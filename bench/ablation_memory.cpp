@@ -1,0 +1,88 @@
+//===- bench/ablation_memory.cpp - Memory-system sensitivity (Ablation B) -===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Two sweeps over the Figure 10 kernels:
+//
+//   1. load latency (L1-hit 2 cycles up to a 12-cycle L2-ish hit): as
+//      memory latency grows to dominate block critical paths, the relative
+//      cost of duplication shrinks — redundancy hides under the stalls;
+//
+//   2. memory ports (1, 2, 4): the duplicated stream doubles memory
+//      traffic, so port-starved configurations amplify the overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Evaluate.h"
+#include "wile/Kernels.h"
+
+#include <cmath>
+#include <cstdio>
+#include <deque>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+struct Prepared {
+  CompiledProgram Base, Ft;
+  ExecutionProfile BaseProf, FtProf;
+};
+
+double geomeanOverhead(const std::vector<Prepared> &Programs,
+                       const PipelineConfig &Config) {
+  double Log = 0;
+  for (const Prepared &P : Programs) {
+    uint64_t Base = totalCycles(P.Base, P.BaseProf, Config);
+    uint64_t Ft = totalCycles(P.Ft, P.FtProf, Config);
+    Log += std::log((double)Ft / (double)Base);
+  }
+  return std::exp(Log / Programs.size());
+}
+
+} // namespace
+
+int main() {
+  std::vector<Prepared> Programs;
+  std::deque<TypeContext> Contexts;
+  for (const Kernel &K : benchmarkKernels()) {
+    DiagnosticEngine Diags;
+    Expected<CompiledProgram> Base =
+        compileWile(Contexts.emplace_back(), K.Source,
+                    CodegenMode::Unprotected, Diags);
+    Expected<CompiledProgram> Ft =
+        compileWile(Contexts.emplace_back(), K.Source,
+                    CodegenMode::FaultTolerant, Diags);
+    if (!Base || !Ft)
+      return 1;
+    Expected<ExecutionProfile> BP = profileExecution(*Base, 50'000'000);
+    Expected<ExecutionProfile> FP = profileExecution(*Ft, 50'000'000);
+    if (!BP || !FP)
+      return 1;
+    Programs.push_back({std::move(*Base), std::move(*Ft), std::move(*BP),
+                        std::move(*FP)});
+  }
+
+  std::printf("Ablation B1: TAL-FT overhead vs. load latency\n");
+  std::printf("(geomean over the Figure 10 kernels, width 6)\n\n");
+  std::printf("%12s %10s\n", "load cycles", "TAL-FT");
+  std::printf("-----------------------\n");
+  for (unsigned Lat : {1u, 2u, 4u, 8u, 12u}) {
+    PipelineConfig Config;
+    Config.LatLoad = Lat;
+    std::printf("%12u %9.2fx\n", Lat, geomeanOverhead(Programs, Config));
+  }
+
+  std::printf("\nAblation B2: TAL-FT overhead vs. memory ports\n\n");
+  std::printf("%10s %10s\n", "mem ports", "TAL-FT");
+  std::printf("---------------------\n");
+  for (unsigned Ports : {1u, 2u, 4u}) {
+    PipelineConfig Config;
+    Config.MemPorts = Ports;
+    std::printf("%10u %9.2fx\n", Ports, geomeanOverhead(Programs, Config));
+  }
+  return 0;
+}

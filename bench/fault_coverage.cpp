@@ -1,0 +1,188 @@
+//===- bench/fault_coverage.cpp - Theorem 4 exhaustive sweep table --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's reliability claim is the Fault Tolerance theorem: on a
+// well-typed program, every single transient fault either leaves the
+// observable output unchanged (masked) or is detected before corrupt data
+// becomes observable, with the faulty output a prefix of the fault-free
+// output. This harness performs the exhaustive quantifier sweep —
+// every reference-execution step x every fault site x every
+// representative corruption value — over the hand-written example
+// programs and a compiled kernel, and tabulates the verdicts. A single
+// "silent corruption" cell would falsify the theorem; the paper's
+// contribution is that type checking makes testing like this redundant
+// ("perfect fault coverage relative to the fault model").
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "tal/Parser.h"
+#include "wile/Codegen.h"
+
+#include <cstdio>
+
+using namespace talft;
+
+namespace {
+
+// The Section 2.2 paired-store example.
+const char *PairedStore = R"(
+entry main
+exit done
+data { 256: int = 0 }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5
+  mov r2, G 256
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 256
+  stB r4, r3
+  mov r5, G @done
+  mov r6, B @done
+  jmpG r5
+  jmpB r6
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+// A loop with branches, stores and forwarding.
+const char *CountdownLoop = R"(
+entry main
+exit done
+data { 500: int = 0 }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 4
+  mov r2, B 4
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+block loop {
+  pre { forall n: int, m: mem;
+        r1: (G, int, n); r2: (B, int, n);
+        queue []; mem m }
+  mov r20, G @done
+  mov r21, B @done
+  bzG r1, r20
+  bzB r2, r21
+  mov r3, G 500
+  stG r3, r1
+  mov r4, B 500
+  stB r4, r2
+  sub r1, r1, G 1
+  sub r2, r2, B 1
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+bool sweepTal(const char *Name, const char *Source,
+              const TheoremConfig &Config) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
+  if (!P) {
+    std::fprintf(stderr, "%s: %s\n", Name, P.message().c_str());
+    return false;
+  }
+  Expected<CheckedProgram> CP = checkProgram(TC, *P, Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s: ill-typed:\n%s", Name, Diags.str().c_str());
+    return false;
+  }
+  TheoremReport R = checkFaultTolerance(TC, *CP, Config);
+  std::printf("%-18s %9llu %11llu %9llu %8llu %10s\n", Name,
+              (unsigned long long)R.ReferenceSteps,
+              (unsigned long long)R.InjectionsTested,
+              (unsigned long long)R.DetectedFaults,
+              (unsigned long long)R.MaskedFaults,
+              R.Ok ? "0 (OK)" : "VIOLATED");
+  if (!R.Ok)
+    for (const std::string &V : R.Violations)
+      std::fprintf(stderr, "  %s\n", V.c_str());
+  return R.Ok;
+}
+
+bool sweepKernel(const char *Name, const char *Source,
+                 const TheoremConfig &Config) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<wile::CompiledProgram> CP =
+      wile::compileWile(TC, Source, wile::CodegenMode::FaultTolerant, Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s: %s\n", Name, CP.message().c_str());
+    return false;
+  }
+  Expected<CheckedProgram> Checked = checkProgram(TC, CP->Prog, Diags);
+  if (!Checked) {
+    std::fprintf(stderr, "%s: ill-typed:\n%s", Name, Diags.str().c_str());
+    return false;
+  }
+  TheoremReport R = checkFaultTolerance(TC, *Checked, Config);
+  std::printf("%-18s %9llu %11llu %9llu %8llu %10s\n", Name,
+              (unsigned long long)R.ReferenceSteps,
+              (unsigned long long)R.InjectionsTested,
+              (unsigned long long)R.DetectedFaults,
+              (unsigned long long)R.MaskedFaults,
+              R.Ok ? "0 (OK)" : "VIOLATED");
+  if (!R.Ok)
+    for (const std::string &V : R.Violations)
+      std::fprintf(stderr, "  %s\n", V.c_str());
+  return R.Ok;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Theorem 4 exhaustive single-fault sweep\n");
+  std::printf("(every step x fault site x representative corruption; "
+              "'violations' must be 0)\n\n");
+  std::printf("%-18s %9s %11s %9s %8s %10s\n", "program", "ref steps",
+              "injections", "detected", "masked", "violations");
+  std::printf("%.*s\n", 70,
+              "----------------------------------------------------------"
+              "------------");
+
+  bool Ok = true;
+  TheoremConfig Exhaustive;
+  Ok &= sweepTal("paired-store", PairedStore, Exhaustive);
+  Ok &= sweepTal("countdown-loop", CountdownLoop, Exhaustive);
+
+  // A compiled kernel: stride the injection points to keep the sweep
+  // tractable (every 7th reference state; all sites and values at each).
+  TheoremConfig Strided;
+  Strided.InjectionStride = 7;
+  const char *TinyKernel = R"(
+var n = 3; var acc = 0;
+while (n != 0) { acc = acc + n * n; n = n - 1; }
+output(acc);
+)";
+  Ok &= sweepKernel("wile-sum-squares", TinyKernel, Strided);
+
+  std::printf("\n%s\n", Ok ? "All sweeps clean: every injected fault was "
+                             "masked or detected with a prefix trace."
+                           : "VIOLATIONS FOUND");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+//===- bench/throughput.cpp - Tooling throughput (Ablation C) -------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the toolchain itself: type-checking
+// throughput (the paper argues the checker replaces fault-injection
+// testing, so its cost matters), simulator step rate, the expression
+// normalizer, and the end-to-end Wile compilation rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "sexpr/ExprNormalize.h"
+#include "sim/Step.h"
+#include "wile/Codegen.h"
+#include "wile/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace talft;
+
+namespace {
+
+/// The largest typable kernel, reused across benchmarks.
+const wile::Kernel &jpegKernel() {
+  for (const wile::Kernel &K : wile::benchmarkKernels())
+    if (K.Name == "jpeg")
+      return K;
+  std::abort();
+}
+
+void BM_TypeCheckKernel(benchmark::State &State) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<wile::CompiledProgram> CP = wile::compileWile(
+      TC, jpegKernel().Source, wile::CodegenMode::FaultTolerant, Diags);
+  if (!CP) {
+    State.SkipWithError("compilation failed");
+    return;
+  }
+  uint64_t Insts = CP->Prog.code().size();
+  for (auto _ : State) {
+    DiagnosticEngine D;
+    Expected<CheckedProgram> C = checkProgram(TC, CP->Prog, D);
+    benchmark::DoNotOptimize(C);
+    if (!C)
+      State.SkipWithError("kernel failed to check");
+  }
+  State.SetItemsProcessed((int64_t)(State.iterations() * Insts));
+  State.SetLabel("instructions/sec");
+}
+BENCHMARK(BM_TypeCheckKernel);
+
+void BM_SimulatorSteps(benchmark::State &State) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<wile::CompiledProgram> CP = wile::compileWile(
+      TC, jpegKernel().Source, wile::CodegenMode::FaultTolerant, Diags);
+  if (!CP) {
+    State.SkipWithError("compilation failed");
+    return;
+  }
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    Expected<MachineState> S = CP->Prog.initialState();
+    RunResult R = run(*S, CP->Prog.exitAddress(), 10'000'000);
+    Steps += R.Steps;
+    benchmark::DoNotOptimize(R.Trace.data());
+  }
+  State.SetItemsProcessed((int64_t)Steps);
+  State.SetLabel("machine steps/sec");
+}
+BENCHMARK(BM_SimulatorSteps);
+
+void BM_CompileKernel(benchmark::State &State) {
+  for (auto _ : State) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    Expected<wile::CompiledProgram> CP = wile::compileWile(
+        TC, jpegKernel().Source, wile::CodegenMode::FaultTolerant, Diags);
+    benchmark::DoNotOptimize(CP);
+    if (!CP)
+      State.SkipWithError("compilation failed");
+  }
+  State.SetItemsProcessed((int64_t)State.iterations());
+  State.SetLabel("compilations/sec");
+}
+BENCHMARK(BM_CompileKernel);
+
+void BM_NormalizeExpressions(benchmark::State &State) {
+  for (auto _ : State) {
+    ExprContext Es;
+    const Expr *X = Es.var("x", ExprKind::Int);
+    const Expr *M = Es.var("m", ExprKind::Mem);
+    const Expr *E = X;
+    for (int I = 0; I != 24; ++I) {
+      E = Es.binop(I % 3 == 0 ? Opcode::Mul : Opcode::Add, E,
+                   Es.binop(Opcode::Sub, X, Es.intConst(I)));
+      M = Es.upd(M, Es.binop(Opcode::Add, X, Es.intConst(8 * I)), E);
+    }
+    const Expr *S = Es.sel(M, Es.binop(Opcode::Add, X, Es.intConst(80)));
+    benchmark::DoNotOptimize(normalize(Es, S));
+    benchmark::DoNotOptimize(normalize(Es, E));
+  }
+  State.SetItemsProcessed((int64_t)State.iterations());
+}
+BENCHMARK(BM_NormalizeExpressions);
+
+void BM_FaultInjectionRun(benchmark::State &State) {
+  // One full faulty continuation per iteration: the unit of work of the
+  // Theorem 4 sweep.
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+var n = 6; var acc = 0;
+while (n != 0) { acc = acc + n; n = n - 1; }
+output(acc);
+)";
+  Expected<wile::CompiledProgram> CP =
+      wile::compileWile(TC, Src, wile::CodegenMode::FaultTolerant, Diags);
+  Expected<CheckedProgram> Checked = checkProgram(TC, CP->Prog, Diags);
+  if (!Checked) {
+    State.SkipWithError("kernel failed to check");
+    return;
+  }
+  TrackedRun Ref(TC, *Checked);
+  if (Ref.start()) {
+    State.SkipWithError("cannot start");
+    return;
+  }
+  for (int I = 0; I != 10; ++I)
+    Ref.stepOnce();
+  TrackedRun::Snapshot Snap = Ref.snapshot();
+
+  for (auto _ : State) {
+    TrackedRun Run(TC, *Checked);
+    (void)Run.start();
+    Run.restore(Snap);
+    Run.injectSingleFault(FaultSite::reg(Reg::general(0)), 0x1234);
+    while (!Run.atExitBlock()) {
+      StepResult SR = Run.stepOnce();
+      if (SR.Status != StepStatus::Ok)
+        break;
+    }
+    benchmark::DoNotOptimize(Run.trace().size());
+  }
+  State.SetItemsProcessed((int64_t)State.iterations());
+  State.SetLabel("faulty runs/sec");
+}
+BENCHMARK(BM_FaultInjectionRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

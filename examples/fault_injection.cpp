@@ -1,0 +1,145 @@
+//===- examples/fault_injection.cpp - The Theorem 4 sweep, visibly ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the exhaustive single-fault sweep on a well-typed loop and prints
+// the verdict distribution, then zooms into three individual injections —
+// a masked fault, a store-time detection and a control-flow detection —
+// showing the exact step, fault site and hardware rule that fired.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "tal/Parser.h"
+
+#include <cstdio>
+
+using namespace talft;
+
+namespace {
+
+const char *Source = R"(
+entry main
+exit done
+data { 500: int = 0 }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 3
+  mov r2, B 3
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+block loop {
+  pre { forall n: int, m: mem;
+        r1: (G, int, n); r2: (B, int, n);
+        queue []; mem m }
+  mov r20, G @done
+  mov r21, B @done
+  bzG r1, r20
+  bzB r2, r21
+  mov r3, G 500
+  stG r3, r1
+  mov r4, B 500
+  stB r4, r2
+  sub r1, r1, G 1
+  sub r2, r2, B 1
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+void showOneInjection(TypeContext &TC, const CheckedProgram &CP,
+                      uint64_t AtStep, FaultSite Site, int64_t Corruption) {
+  TrackedRun Run(TC, CP);
+  if (Run.start()) {
+    std::fprintf(stderr, "cannot start\n");
+    return;
+  }
+  for (uint64_t I = 0; I != AtStep; ++I)
+    Run.stepOnce();
+  int64_t Old = currentValueAt(Run.state(), Site);
+  Run.injectSingleFault(Site, Corruption);
+  std::printf("  step %llu: %s, %lld -> %lld ... ",
+              (unsigned long long)AtStep, Site.str().c_str(),
+              (long long)Old, (long long)Corruption);
+
+  while (!Run.atExitBlock()) {
+    StepResult SR = Run.stepOnce();
+    if (SR.Status == StepStatus::Fault) {
+      std::printf("DETECTED by rule %s after %llu more steps; %zu stores "
+                  "committed\n",
+                  SR.Rule, (unsigned long long)(Run.steps() - AtStep),
+                  Run.trace().size());
+      return;
+    }
+    if (SR.Status == StepStatus::Stuck) {
+      std::printf("STUCK (should be impossible)\n");
+      return;
+    }
+  }
+  std::printf("MASKED: run completed with %zu stores, output unchanged\n",
+              Run.trace().size());
+}
+
+} // namespace
+
+int main() {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> Prog = parseAndLayoutTalProgram(TC, Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s\n", Prog.message().c_str());
+    return 1;
+  }
+  Expected<CheckedProgram> Checked = checkProgram(TC, *Prog, Diags);
+  if (!Checked) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  std::printf("== Exhaustive Theorem 4 sweep ==\n");
+  TheoremReport Report = checkFaultTolerance(TC, *Checked, TheoremConfig());
+  std::printf("reference run: %llu steps, %zu committed stores\n",
+              (unsigned long long)Report.ReferenceSteps,
+              Report.ReferenceTrace.size());
+  std::printf("injections tested: %llu\n",
+              (unsigned long long)Report.InjectionsTested);
+  std::printf("  detected by hardware: %llu\n",
+              (unsigned long long)Report.DetectedFaults);
+  std::printf("  masked (output identical): %llu\n",
+              (unsigned long long)Report.MaskedFaults);
+  std::printf("  silent corruptions / stuck states: %zu%s\n\n",
+              Report.Violations.size(),
+              Report.Ok ? "  -- the Fault Tolerance theorem holds" : "");
+  if (!Report.Ok) {
+    for (const std::string &V : Report.Violations)
+      std::fprintf(stderr, "VIOLATION: %s\n", V.c_str());
+    return 1;
+  }
+
+  std::printf("== Three individual injections ==\n");
+  // A fault in a dead register: masked.
+  showOneInjection(TC, *Checked, 4, FaultSite::reg(Reg::general(40)),
+                   0x7777);
+  // A fault in the green loop counter right after the first store pair:
+  // the next blue comparison disagrees.
+  showOneInjection(TC, *Checked, 30, FaultSite::reg(Reg::general(1)),
+                   12345);
+  // A fault in the green program counter: fetch-fail fires.
+  showOneInjection(TC, *Checked, 20, FaultSite::reg(Reg::pcG()), 2);
+  return 0;
+}

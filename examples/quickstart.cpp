@@ -1,0 +1,114 @@
+//===- examples/quickstart.cpp - Hello, TALFT ------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The five-minute tour of the public API:
+//
+//   1. write a fault-tolerant assembly program (the paper's Section 2.2
+//      paired-store example) in the .tal format;
+//   2. parse and lay it out;
+//   3. type-check it — the static guarantee that *every* single transient
+//      fault will be masked or detected;
+//   4. run it on the operational semantics and observe its output trace;
+//   5. inject one fault by hand and watch the hardware detect it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "sim/Machine.h"
+#include "tal/Parser.h"
+
+#include <cstdio>
+
+using namespace talft;
+
+namespace {
+
+const char *Source = R"(
+// Store 5 to address 256, redundantly, then halt.
+entry main
+exit done
+
+data {
+  256: int = 0          // the memory-mapped output cell
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5           // green computation: value...
+  mov r2, G 256         // ...and address
+  stG r2, r1            // enqueue the green (address, value) intention
+  mov r3, B 5           // blue computation, independently
+  mov r4, B 256
+  stB r4, r3            // hardware compares and commits — or detects
+  mov r5, G @done
+  mov r6, B @done
+  jmpG r5               // paired control transfer
+  jmpB r6
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+} // namespace
+
+int main() {
+  // 1-2. Parse and lay out.
+  TypeContext Types;
+  DiagnosticEngine Diags;
+  Expected<Program> Prog = parseAndLayoutTalProgram(Types, Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s\n", Prog.message().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu blocks, %zu data cells; entry at address %lld\n",
+              Prog->blocks().size(), Prog->data().size(),
+              (long long)Prog->entryAddress());
+
+  // 3. Type-check: accepted programs are provably fault tolerant.
+  Expected<CheckedProgram> Checked = checkProgram(Types, *Prog, Diags);
+  if (!Checked) {
+    std::fprintf(stderr, "type errors:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  std::printf("type check: OK — every single fault is masked or detected\n");
+
+  // 4. Execute and observe the output trace (the committed stores).
+  Expected<MachineState> State = Prog->initialState();
+  if (!State) {
+    std::fprintf(stderr, "%s\n", State.message().c_str());
+    return 1;
+  }
+  RunResult Clean = run(*State, Prog->exitAddress(), 1000);
+  std::printf("fault-free run: %s after %llu steps; output:",
+              runStatusName(Clean.Status),
+              (unsigned long long)Clean.Steps);
+  for (const QueueEntry &E : Clean.Trace)
+    std::printf(" (%lld <- %lld)", (long long)E.Address, (long long)E.Val);
+  std::printf("\n");
+
+  // 5. Re-run, but corrupt the green value register after 2 steps
+  //    (one fetch + one execute — right after "mov r1, G 5").
+  Expected<MachineState> Faulty = Prog->initialState();
+  for (int I = 0; I != 2; ++I)
+    step(*Faulty);
+  Faulty->Regs.set(Reg::general(1), Value::green(99));
+  std::printf("injecting: r1 corrupted 5 -> 99 (a green transient fault)\n");
+  RunResult FaultyRun = run(*Faulty, Prog->exitAddress(), 1000);
+  std::printf("faulty run: %s; output:", runStatusName(FaultyRun.Status));
+  for (const QueueEntry &E : FaultyRun.Trace)
+    std::printf(" (%lld <- %lld)", (long long)E.Address, (long long)E.Val);
+  std::printf("%s\n", FaultyRun.Trace.empty() ? " (none)" : "");
+  std::printf("the blue store disagreed with the corrupted green intention "
+              "before\nanything reached memory — nothing corrupt was "
+              "observable.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- examples/talft_tool.cpp - The talft command-line driver ------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small command-line front end over the library — the artifact a
+// compiler team would wire into their build to check generated code:
+//
+//   talft_tool check  prog.tal            type-check
+//   talft_tool run    prog.tal [steps]    execute, print the output trace
+//   talft_tool trace  prog.tal [steps]    execute, print every rule firing
+//   talft_tool print  prog.tal            parse and pretty-print
+//   talft_tool sweep  prog.tal            exhaustive single-fault sweep
+//
+// Exit status is 0 on success / verified, 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "tal/Parser.h"
+#include "tal/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace talft;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: talft_tool <check|run|print|sweep> <file.tal> "
+               "[max-steps]\n");
+  return 1;
+}
+
+std::optional<std::string> readFile(const char *Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  const char *Command = Argv[1];
+  std::optional<std::string> Source = readFile(Argv[2]);
+  if (!Source) {
+    std::fprintf(stderr, "cannot read '%s'\n", Argv[2]);
+    return 1;
+  }
+  uint64_t MaxSteps = Argc > 3 ? strtoull(Argv[3], nullptr, 10) : 1'000'000;
+
+  TypeContext Types;
+  DiagnosticEngine Diags;
+  Expected<Program> Prog = parseAndLayoutTalProgram(Types, *Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  if (std::strcmp(Command, "print") == 0) {
+    std::printf("%s", printTalProgram(*Prog).c_str());
+    return 0;
+  }
+
+  if (std::strcmp(Command, "check") == 0) {
+    Expected<CheckedProgram> Checked = checkProgram(Types, *Prog, Diags);
+    if (!Checked) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    std::printf("%s: OK (%zu instructions, %zu blocks)\n", Argv[2],
+                Prog->code().size(), Prog->blocks().size());
+    return 0;
+  }
+
+  if (std::strcmp(Command, "run") == 0) {
+    Expected<MachineState> State = Prog->initialState();
+    if (!State) {
+      std::fprintf(stderr, "%s\n", State.message().c_str());
+      return 1;
+    }
+    RunResult R = run(*State, Prog->exitAddress(), MaxSteps);
+    std::printf("%s after %llu steps\n", runStatusName(R.Status),
+                (unsigned long long)R.Steps);
+    for (const QueueEntry &E : R.Trace)
+      std::printf("  store %lld <- %lld\n", (long long)E.Address,
+                  (long long)E.Val);
+    return R.Status == RunStatus::Halted ? 0 : 1;
+  }
+
+  if (std::strcmp(Command, "trace") == 0) {
+    Expected<MachineState> State = Prog->initialState();
+    if (!State) {
+      std::fprintf(stderr, "%s\n", State.message().c_str());
+      return 1;
+    }
+    uint64_t Steps = 0;
+    while (Steps < MaxSteps && !atExit(*State, Prog->exitAddress())) {
+      Addr Pc = State->pcG().N;
+      bool Executing = State->IR.has_value();
+      std::string What =
+          Executing ? State->IR->str()
+                    : (Prog->blockAt(Pc)
+                           ? "fetch @" + Prog->blockAt(Pc)->Label
+                           : "fetch");
+      StepResult SR = step(*State);
+      if (SR.Status == StepStatus::Stuck) {
+        std::printf("%6llu  pc=%-5lld STUCK\n",
+                    (unsigned long long)Steps, (long long)Pc);
+        return 1;
+      }
+      std::string Suffix;
+      if (SR.Output)
+        Suffix = "   => store " + std::to_string(SR.Output->Address) +
+                 " <- " + std::to_string(SR.Output->Val);
+      std::printf("%6llu  pc=%-5lld %-24s %s%s\n",
+                  (unsigned long long)Steps, (long long)Pc, What.c_str(),
+                  SR.Rule, Suffix.c_str());
+      ++Steps;
+      if (SR.Status == StepStatus::Fault) {
+        std::printf("fault detected\n");
+        return 1;
+      }
+    }
+    std::printf("%s after %llu steps\n",
+                atExit(*State, Prog->exitAddress()) ? "halted"
+                                                    : "out of steps",
+                (unsigned long long)Steps);
+    return 0;
+  }
+
+  if (std::strcmp(Command, "sweep") == 0) {
+    Expected<CheckedProgram> Checked = checkProgram(Types, *Prog, Diags);
+    if (!Checked) {
+      std::fprintf(stderr, "sweep requires a well-typed program:\n%s",
+                   Diags.str().c_str());
+      return 1;
+    }
+    TheoremConfig Config;
+    Config.MaxSteps = MaxSteps;
+    TheoremReport R = checkFaultTolerance(Types, *Checked, Config);
+    std::printf("reference: %llu steps; injections: %llu; detected: %llu; "
+                "masked: %llu; violations: %zu\n",
+                (unsigned long long)R.ReferenceSteps,
+                (unsigned long long)R.InjectionsTested,
+                (unsigned long long)R.DetectedFaults,
+                (unsigned long long)R.MaskedFaults, R.Violations.size());
+    for (const std::string &V : R.Violations)
+      std::fprintf(stderr, "VIOLATION: %s\n", V.c_str());
+    return R.Ok ? 0 : 1;
+  }
+
+  return usage();
+}

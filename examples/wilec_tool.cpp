@@ -1,0 +1,86 @@
+//===- examples/wilec_tool.cpp - The Wile compiler driver -----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles a .wile source file to TALFT assembly on stdout:
+//
+//   wilec_tool prog.wile                 fault-tolerant code (the default)
+//   wilec_tool prog.wile --unprotected   baseline code
+//   wilec_tool prog.wile --no-opt        skip the IR optimizer
+//   wilec_tool prog.wile --check         also run the TALFT checker
+//
+// Composes with talft_tool:
+//
+//   wilec_tool prog.wile > prog.tal && talft_tool sweep prog.tal
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "tal/Printer.h"
+#include "wile/Codegen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace talft;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "usage: wilec_tool <file.wile> [--unprotected] "
+                         "[--no-opt] [--check]\n");
+    return 1;
+  }
+  bool Unprotected = false, Optimize = true, Check = false;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--unprotected") == 0)
+      Unprotected = true;
+    else if (std::strcmp(Argv[I], "--no-opt") == 0)
+      Optimize = false;
+    else if (std::strcmp(Argv[I], "--check") == 0)
+      Check = true;
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", Argv[I]);
+      return 1;
+    }
+  }
+
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "cannot read '%s'\n", Argv[1]);
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  TypeContext Types;
+  DiagnosticEngine Diags;
+  Expected<wile::CompiledProgram> CP = wile::compileWile(
+      Types, Buf.str(),
+      Unprotected ? wile::CodegenMode::Unprotected
+                  : wile::CodegenMode::FaultTolerant,
+      Diags, Optimize);
+  if (!CP) {
+    std::fprintf(stderr, "%s\n", CP.message().c_str());
+    return 1;
+  }
+
+  if (Check) {
+    DiagnosticEngine CheckDiags;
+    Expected<CheckedProgram> Checked =
+        checkProgram(Types, CP->Prog, CheckDiags);
+    if (!Checked) {
+      std::fprintf(stderr, "generated code failed the checker:\n%s",
+                   CheckDiags.str().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "check: OK (%zu instructions)\n",
+                 CP->Prog.code().size());
+  }
+
+  std::printf("%s", printTalProgram(CP->Prog).c_str());
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- check/ContextMatch.cpp ---------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ContextMatch.h"
+
+#include "sexpr/ExprNormalize.h"
+#include "support/StringUtils.h"
+
+using namespace talft;
+
+RegType talft::applySubstToRegType(TypeContext &TC, const Subst &S,
+                                   const RegType &T) {
+  RegType Out = T;
+  Out.E = S.apply(TC.exprs(), T.E);
+  if (T.Guard)
+    Out.Guard = S.apply(TC.exprs(), T.Guard);
+  return Out;
+}
+
+namespace {
+
+/// Accumulates bindings for the target's quantified variables.
+class Matcher {
+public:
+  Matcher(TypeContext &TC, const StaticContext &Cur,
+          const StaticContext &Target)
+      : TC(TC), Es(TC.exprs()), Cur(Cur), Target(Target) {}
+
+  Expected<Subst> run(const Expr *PcSubject, MatchMode Mode) {
+    // --- Every general register the target constrains must be tracked
+    // here (reported first: a missing register otherwise surfaces as a
+    // confusing unbound-variable error).
+    for (const auto &[Key, TT] : Target.Gamma) {
+      Reg R = RegFileType::regForKey(Key);
+      if (!R.isDest() && !Cur.Gamma.lookup(R))
+        return fail(R.str() + " is required to have type " + TT.str() +
+                    " but is untracked here");
+    }
+
+    // --- Binding pass: bare-variable patterns capture the corresponding
+    // current expression.
+    tryBind(Target.Pc, PcSubject);
+    tryBind(Target.MemExpr, Cur.MemExpr);
+    if (Target.Queue.size() == Cur.Queue.size()) {
+      for (size_t I = 0, E = Target.Queue.size(); I != E; ++I) {
+        tryBind(Target.Queue.entry(I).AddrE, Cur.Queue.entry(I).AddrE);
+        tryBind(Target.Queue.entry(I).ValE, Cur.Queue.entry(I).ValE);
+      }
+    }
+    for (const auto &[Key, TT] : Target.Gamma) {
+      Reg R = RegFileType::regForKey(Key);
+      if (R.isDest())
+        continue;
+      const RegType *CT = Cur.Gamma.lookup(R);
+      if (!CT)
+        continue; // Verification will report the missing register.
+      tryBind(TT.E, CT->E);
+      if (TT.Guard && CT->Guard)
+        tryBind(TT.Guard, CT->Guard);
+    }
+
+    // --- Every quantified variable must now be bound, and each binding
+    // must be well-formed in the current Δ (the judgment Δ ⊢ S : Δ').
+    for (const auto &[Name, Kind] : Target.Delta) {
+      const Expr *Var = Es.var(Name, Kind);
+      const Expr *Bound = S.lookup(Var);
+      if (!Bound)
+        return fail("cannot infer an instantiation for variable '" + Name +
+                    "' of the target precondition");
+      if (!wellFormedIn(Bound, Cur.Delta))
+        return fail("instantiation " + Bound->str() + " for '" + Name +
+                    "' mentions variables not in scope");
+    }
+
+    // --- Verify the program counters: S(Target.Pc) = PcSubject.
+    if (!provablyEqual(Es, S.apply(Es, Target.Pc), PcSubject))
+      return fail("cannot prove the program-counter expression " +
+                  S.apply(Es, Target.Pc)->str() + " = " + PcSubject->str());
+
+    // --- Verify the destination register.
+    const RegType *TargetD = Target.Gamma.lookup(Reg::dest());
+    if (Mode == MatchMode::Jump) {
+      if (!TargetD ||
+          !isZeroDestType(TC, applySubstToRegType(TC, S, *TargetD)))
+        return fail("jump targets must declare d:(G,int,0); target '" +
+                    Target.Label + "' does not");
+    } else if (TargetD) {
+      const RegType *CurD = Cur.Gamma.lookup(Reg::dest());
+      if (!CurD)
+        return fail("fall-through target constrains d but d is untracked");
+      std::string Why;
+      if (!isSubtype(TC, *CurD, applySubstToRegType(TC, S, *TargetD), &Why))
+        return fail("d: " + Why);
+    }
+
+    // --- Verify memory: Δ ⊢ Em = S(Em').
+    if (!provablyEqual(Es, Cur.MemExpr, S.apply(Es, Target.MemExpr)))
+      return fail("cannot prove the memory description " +
+                  Cur.MemExpr->str() + " = " +
+                  S.apply(Es, Target.MemExpr)->str());
+
+    // --- Verify the queue descriptors: Δ ⊢ (Ed,Es) = S((Ed',Es')).
+    if (Target.Queue.size() != Cur.Queue.size())
+      return fail(formatv("store-queue depth mismatch: %zu pending stores "
+                          "here, target expects %zu",
+                          Cur.Queue.size(), Target.Queue.size()));
+    for (size_t I = 0, E = Target.Queue.size(); I != E; ++I) {
+      const QueueTypeEntry &CQ = Cur.Queue.entry(I);
+      const QueueTypeEntry &TQ = Target.Queue.entry(I);
+      if (!provablyEqual(Es, CQ.AddrE, S.apply(Es, TQ.AddrE)) ||
+          !provablyEqual(Es, CQ.ValE, S.apply(Es, TQ.ValE)))
+        return fail(formatv("store-queue entry %zu does not match the "
+                            "target's descriptor",
+                            I));
+    }
+
+    // --- Verify the register file: Δ ⊢ Γ ≤ S(Γ') over general registers.
+    RegFileType Instantiated;
+    for (const auto &[Key, TT] : Target.Gamma) {
+      Reg R = RegFileType::regForKey(Key);
+      if (R.isDest())
+        continue;
+      Instantiated.set(R, applySubstToRegType(TC, S, TT));
+    }
+    std::string Why;
+    if (!isRegFileSubtype(TC, Cur.Gamma, Instantiated, &Why))
+      return fail(Why);
+
+    return S;
+  }
+
+private:
+  TypeContext &TC;
+  ExprContext &Es;
+  const StaticContext &Cur;
+  const StaticContext &Target;
+  Subst S;
+
+  Error fail(std::string Msg) {
+    return makeError("does not satisfy the precondition of '" +
+                     Target.Label + "': " + std::move(Msg));
+  }
+
+  void tryBind(const Expr *Pattern, const Expr *Subject) {
+    if (!Pattern || !Subject || !Pattern->isVar())
+      return;
+    if (!Target.Delta.contains(Pattern->varName()))
+      return;
+    if (S.lookup(Pattern))
+      return;
+    S.bind(Pattern, Subject);
+  }
+};
+
+} // namespace
+
+Expected<Subst> talft::matchContext(TypeContext &TC, const StaticContext &Cur,
+                                    const StaticContext &Target,
+                                    const Expr *PcSubject, MatchMode Mode) {
+  return Matcher(TC, Cur, Target).run(PcSubject, Mode);
+}

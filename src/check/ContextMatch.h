@@ -1,0 +1,65 @@
+//===- check/ContextMatch.h - Precondition matching & instantiation -------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardest premises of the control-flow typing rules (jmpB-t, bzB-t)
+/// and of fall-through code typing have the form
+///
+///   ∃S.  Δ ⊢ S : Δ'   ∧   S(Γ')(d) = (G,int,0)
+///        ∧  S(Γ')(pcG) = (G,int,Er')  ∧  S(Γ')(pcB) = (B,int,Er)
+///        ∧  Δ ⊢ Γ ≤ S(Γ')  ∧  Δ ⊢ (Ed,Es) = S((Ed',Es'))
+///        ∧  Δ ⊢ Em = S(Em')
+///
+/// — the current context must entail the jump target's precondition under
+/// some instantiation S of the target's universally quantified variables.
+/// matchContext *infers* S by first-order matching: target components that
+/// are bare Δ'-variables bind to the corresponding current expression, and
+/// every component is then verified under the completed S using the
+/// provable-equality procedure. Components that mention a Δ'-variable
+/// under a constructor before it is bound are rejected with a diagnostic
+/// (compilers emit preconditions in the bindable form).
+///
+/// The destination register differs between the two uses: a jump resets d
+/// to G 0 in hardware, so jump targets must declare d:(G,int,0) and the
+/// current d is not constrained; a fall-through leaves d alone, so the
+/// current d must subtype the target's declared d.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_CHECK_CONTEXTMATCH_H
+#define TALFT_CHECK_CONTEXTMATCH_H
+
+#include "check/Subtype.h"
+#include "support/Error.h"
+
+namespace talft {
+
+/// How the destination register and program counters are treated.
+enum class MatchMode {
+  /// A control transfer (jmpB / bzB taken): hardware resets d; the target
+  /// must declare d:(G,int,0); S(Target.Pc) must equal the transfer
+  /// address expression.
+  Jump,
+  /// Sequential flow into a labelled block: d flows through (subtyping);
+  /// S(Target.Pc) must equal the current pc expression.
+  Fallthrough,
+};
+
+/// Applies \p S to the expressions of \p T.
+RegType applySubstToRegType(TypeContext &TC, const Subst &S, const RegType &T);
+
+/// Infers and verifies the instantiation S making \p Cur entail
+/// \p Target. \p PcSubject is the expression S(Target.Pc) must provably
+/// equal (the jump-register expression for Jump mode, the current pc
+/// expression for Fallthrough mode). Returns the substitution, or an error
+/// explaining the first failing premise.
+Expected<Subst> matchContext(TypeContext &TC, const StaticContext &Cur,
+                             const StaticContext &Target,
+                             const Expr *PcSubject, MatchMode Mode);
+
+} // namespace talft
+
+#endif // TALFT_CHECK_CONTEXTMATCH_H

@@ -1,0 +1,349 @@
+//===- check/InstTyping.cpp -----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/InstTyping.h"
+
+#include "sexpr/ExprNormalize.h"
+#include "support/Unreachable.h"
+
+using namespace talft;
+
+RegType InstTyper::inferImmType(Value V) const {
+  const BasicType *B = Prog.heapTyping().lookup(V.N);
+  if (!B)
+    B = TC.intType();
+  return RegType(V.C, B, Es.intConst(V.N));
+}
+
+const RegType *InstTyper::require(const StaticContext &T, Reg R,
+                                  SourceLoc Loc) {
+  const RegType *RT = T.Gamma.lookup(R);
+  if (!RT)
+    Diags.error(Loc, R.str() + " has no tracked type here");
+  return RT;
+}
+
+std::optional<RegType> InstTyper::requirePlainInt(const StaticContext &T,
+                                                  Reg R, SourceLoc Loc) {
+  const RegType *RT = require(T, R, Loc);
+  if (!RT)
+    return std::nullopt;
+  if (RT->isConditional()) {
+    Diags.error(Loc, R.str() + " has the conditional type " + RT->str() +
+                         ", which cannot be used as an integer");
+    return std::nullopt;
+  }
+  // Subtyping: (c,b,E) ≤ (c,int,E).
+  return RegType(RT->C, TC.intType(), RT->E);
+}
+
+/// Constant refinement: a plain register type whose singleton expression
+/// normalizes to a literal address n may be re-typed at Ψ(n). This is the
+/// paper's val-t/base-t pair read through the singleton invariant: absent a
+/// fault of the register's color, the register holds exactly n, and the
+/// value n has type Ψ(n).
+static RegType refineViaPsi(TypeContext &TC, const HeapTyping &Psi,
+                            const RegType &T) {
+  if (T.isConditional())
+    return T;
+  const Expr *N = normalize(TC.exprs(), T.E);
+  if (!N->isIntConst())
+    return T;
+  const BasicType *B = Psi.lookup(N->intValue());
+  if (!B)
+    return T;
+  return RegType(T.C, B, T.E);
+}
+
+std::optional<InstTypingResult>
+InstTyper::check(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+    return checkAlu(I, T, Loc);
+  case Opcode::Mov:
+    return checkMov(I, T, Loc);
+  case Opcode::Ld:
+    return checkLd(I, T, Loc);
+  case Opcode::St:
+    return checkSt(I, T, Loc);
+  case Opcode::Jmp:
+    return checkJmp(I, T, Loc);
+  case Opcode::Bz:
+    return checkBz(I, T, Loc);
+  }
+  talft_unreachable("unknown opcode");
+}
+
+// Rules op2r-t / op1r-t: operands must be integers of one color; the
+// result is that color, with the symbolic operation as its singleton.
+std::optional<InstTypingResult>
+InstTyper::checkAlu(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  std::optional<RegType> Src = requirePlainInt(T, I.Rs, Loc);
+  if (!Src)
+    return std::nullopt;
+
+  Color C;
+  const Expr *RhsE;
+  if (I.HasImm) {
+    C = I.Imm.C;
+    RhsE = Es.intConst(I.Imm.N);
+  } else {
+    std::optional<RegType> Rhs = requirePlainInt(T, I.Rt, Loc);
+    if (!Rhs)
+      return std::nullopt;
+    C = Rhs->C;
+    RhsE = Rhs->E;
+  }
+  if (Src->C != C)
+    return err(Loc, std::string("operands mix colors: ") + I.Rs.str() +
+                        " is " + colorName(Src->C) + " but the second " +
+                        "operand is " + colorName(C));
+
+  const Expr *E = normalize(Es, Es.binop(I.Op, Src->E, RhsE));
+  advancePc(T);
+  T.Gamma.set(I.Rd, RegType(C, TC.intType(), E));
+  return InstTypingResult();
+}
+
+// Rule mov-t.
+std::optional<InstTypingResult>
+InstTyper::checkMov(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  (void)Loc;
+  advancePc(T);
+  T.Gamma.set(I.Rd, inferImmType(I.Imm));
+  return InstTypingResult();
+}
+
+/// Builds the overlay memory `upd Em (Ed,Es)` seen by green loads: the
+/// queue descriptors applied over Em, front entry outermost.
+static const Expr *queueOverlay(ExprContext &Es, const StaticContext &T) {
+  const Expr *M = T.MemExpr;
+  for (size_t I = T.Queue.size(); I-- > 0;)
+    M = Es.upd(M, T.Queue.entry(I).AddrE, T.Queue.entry(I).ValE);
+  return M;
+}
+
+// Rules ldG-t / ldB-t: the address register must be a same-colored ref;
+// the result is the symbolic contents of the queue-overlaid memory (green)
+// or of memory alone (blue).
+std::optional<InstTypingResult>
+InstTyper::checkLd(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  const RegType *AddrT = require(T, I.Rs, Loc);
+  if (!AddrT)
+    return std::nullopt;
+  RegType Refined = refineViaPsi(TC, Prog.heapTyping(), *AddrT);
+  if (Refined.isConditional() || !Refined.B->isRef())
+    return err(Loc, "load address " + I.Rs.str() + " has type " +
+                        AddrT->str() + ", not a ref type");
+  if (Refined.C != I.C)
+    return err(Loc, std::string("ld") + colorLetter(I.C) +
+                        " requires a " + colorName(I.C) + " address, but " +
+                        I.Rs.str() + " is " + colorName(Refined.C));
+
+  const Expr *MemE =
+      I.C == Color::Green ? queueOverlay(Es, T) : T.MemExpr;
+  const Expr *E = normalize(Es, Es.sel(MemE, Refined.E));
+  advancePc(T);
+  T.Gamma.set(I.Rd, RegType(I.C, Refined.B->refPointee(), E));
+  return InstTypingResult();
+}
+
+// Rules stG-t / stB-t.
+std::optional<InstTypingResult>
+InstTyper::checkSt(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  const RegType *AddrT0 = require(T, I.Rd, Loc);
+  const RegType *ValT = require(T, I.Rs, Loc);
+  if (!AddrT0 || !ValT)
+    return std::nullopt;
+  RegType AddrT = refineViaPsi(TC, Prog.heapTyping(), *AddrT0);
+  if (AddrT.isConditional() || !AddrT.B->isRef())
+    return err(Loc, "store address " + I.Rd.str() + " has type " +
+                        AddrT0->str() + ", not a ref type");
+  if (AddrT.C != I.C)
+    return err(Loc, std::string("st") + colorLetter(I.C) +
+                        " requires a " + colorName(I.C) + " address, but " +
+                        I.Rd.str() + " is " + colorName(AddrT.C));
+  if (ValT->isConditional())
+    return err(Loc, "cannot store " + I.Rs.str() +
+                        ": it has a conditional type");
+  if (ValT->C != I.C)
+    return err(Loc, std::string("st") + colorLetter(I.C) +
+                        " requires a " + colorName(I.C) + " value, but " +
+                        I.Rs.str() + " is " + colorName(ValT->C));
+  // The stored value's shape must match the cell's contents type b (an int
+  // cell accepts any plain value via subtyping to int).
+  const BasicType *CellB = AddrT.B->refPointee();
+  if (ValT->B != CellB && !CellB->isInt())
+    return err(Loc, "cell holds " + CellB->str() + " but " + I.Rs.str() +
+                        " has shape " + ValT->B->str());
+
+  if (I.C == Color::Green) {
+    // stG-t: push the (address, value) descriptor onto the queue front.
+    advancePc(T);
+    T.Queue.pushFront({AddrT.E, ValT->E});
+    return InstTypingResult();
+  }
+
+  // stB-t: the queue back descriptor must provably equal the blue operands.
+  if (T.Queue.empty())
+    return err(Loc, "stB with no pending green store in the queue");
+  QueueTypeEntry Back = T.Queue.back();
+  if (!provablyEqual(Es, AddrT.E, Back.AddrE))
+    return err(Loc, "cannot prove the blue store address " +
+                        AddrT.E->str() +
+                        " equals the pending green address " +
+                        Back.AddrE->str());
+  if (!provablyEqual(Es, ValT->E, Back.ValE))
+    return err(Loc, "cannot prove the blue store value " + ValT->E->str() +
+                        " equals the pending green value " +
+                        Back.ValE->str());
+  advancePc(T);
+  T.Queue.popBack();
+  T.MemExpr = normalize(Es, Es.upd(T.MemExpr, Back.AddrE, Back.ValE));
+  return InstTypingResult();
+}
+
+// Rules jmpG-t / jmpB-t.
+std::optional<InstTypingResult>
+InstTyper::checkJmp(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  const RegType *RdT0 = require(T, I.Rd, Loc);
+  if (!RdT0)
+    return std::nullopt;
+  RegType RdT = refineViaPsi(TC, Prog.heapTyping(), *RdT0);
+  if (RdT.isConditional() || !RdT.B->isCode())
+    return err(Loc, "jump target " + I.Rd.str() + " has type " +
+                        RdT0->str() + ", not a code type");
+
+  const RegType *DT = require(T, Reg::dest(), Loc);
+  if (!DT)
+    return std::nullopt;
+
+  if (I.C == Color::Green) {
+    // jmpG-t: d must currently be (G,int,0); the target precondition must
+    // itself pin d to (G,int,0); d becomes the recorded intention.
+    if (RdT.C != Color::Green)
+      return err(Loc, "jmpG requires a green target, but " + I.Rd.str() +
+                          " is blue");
+    if (!isZeroDestType(TC, *DT))
+      return err(Loc, "jmpG with a pending transfer: d has type " +
+                          DT->str() + ", not (G,int,0)");
+    const StaticContext *Target = RdT.B->codePrecondition();
+    const RegType *TargetD = Target->Gamma.lookup(Reg::dest());
+    if (!TargetD || !isZeroDestType(TC, *TargetD))
+      return err(Loc, "jump target '" + Target->Label +
+                          "' must declare d:(G,int,0)");
+    advancePc(T);
+    T.Gamma.set(Reg::dest(), RdT);
+    return InstTypingResult();
+  }
+
+  // jmpB-t: d holds the same code type with a provably equal address; the
+  // current context must satisfy the target precondition.
+  if (RdT.C != Color::Blue)
+    return err(Loc, "jmpB requires a blue target, but " + I.Rd.str() +
+                        " is green");
+  if (DT->isConditional())
+    return err(Loc, "jmpB while a conditional transfer is pending "
+                    "(d has a conditional type); commit it with bzB first");
+  RegType DRef = refineViaPsi(TC, Prog.heapTyping(), *DT);
+  if (!DRef.B->isCode() || DRef.C != Color::Green)
+    return err(Loc, "jmpB with no pending green intention: d has type " +
+                        DT->str());
+  if (DRef.B != RdT.B)
+    return err(Loc, "d and " + I.Rd.str() +
+                        " advertise different code types (" +
+                        DRef.B->str() + " vs " + RdT.B->str() + ")");
+  if (!provablyEqual(Es, RdT.E, DRef.E))
+    return err(Loc, "cannot prove the blue target " + RdT.E->str() +
+                        " equals the green intention " + DRef.E->str());
+
+  const StaticContext *Target = RdT.B->codePrecondition();
+  Expected<Subst> S = matchContext(TC, T, *Target, RdT.E, MatchMode::Jump);
+  if (!S)
+    return err(Loc, S.message());
+
+  InstTypingResult Result;
+  Result.IsVoid = true;
+  Result.Transfer = *S;
+  Result.TransferTarget = Target;
+  return Result;
+}
+
+// Rules bzG-t / bzB-t.
+std::optional<InstTypingResult>
+InstTyper::checkBz(const Inst &I, StaticContext &T, SourceLoc Loc) {
+  std::optional<RegType> ZT = requirePlainInt(T, I.rz(), Loc);
+  if (!ZT)
+    return std::nullopt;
+  if (ZT->C != I.C)
+    return err(Loc, std::string("bz") + colorLetter(I.C) + " requires a " +
+                        colorName(I.C) + " test register, but " +
+                        I.rz().str() + " is " + colorName(ZT->C));
+
+  const RegType *RdT0 = require(T, I.Rd, Loc);
+  const RegType *DT = require(T, Reg::dest(), Loc);
+  if (!RdT0 || !DT)
+    return std::nullopt;
+  RegType RdT = refineViaPsi(TC, Prog.heapTyping(), *RdT0);
+  if (RdT.isConditional() || !RdT.B->isCode())
+    return err(Loc, "branch target " + I.Rd.str() + " has type " +
+                        RdT0->str() + ", not a code type");
+  if (RdT.C != I.C)
+    return err(Loc, std::string("bz") + colorLetter(I.C) + " requires a " +
+                        colorName(I.C) + " target, but " + I.Rd.str() +
+                        " is " + colorName(RdT.C));
+
+  const StaticContext *Target = RdT.B->codePrecondition();
+  const RegType *TargetD = Target->Gamma.lookup(Reg::dest());
+  if (!TargetD || !isZeroDestType(TC, *TargetD))
+    return err(Loc, "branch target '" + Target->Label +
+                        "' must declare d:(G,int,0)");
+
+  if (I.C == Color::Green) {
+    // bzG-t: a conditional move into d. d must currently be (G,int,0);
+    // afterwards it records "if Ez = 0, the pending target".
+    if (!isZeroDestType(TC, *DT))
+      return err(Loc, "bzG with a pending transfer: d has type " +
+                          DT->str() + ", not (G,int,0)");
+    advancePc(T);
+    T.Gamma.set(Reg::dest(),
+                RegType::conditional(ZT->E, Color::Green, RdT.B, RdT.E));
+    return InstTypingResult();
+  }
+
+  // bzB-t: d must hold the matching conditional intention.
+  if (!DT->isConditional())
+    return err(Loc, "bzB with no pending bzG: d has type " + DT->str());
+  if (DT->C != Color::Green || DT->B != RdT.B)
+    return err(Loc, "d and " + I.Rd.str() +
+                        " advertise different pending transfers (" +
+                        DT->str() + " vs " + RdT.str() + ")");
+  if (!provablyEqual(Es, ZT->E, DT->Guard))
+    return err(Loc, "cannot prove the blue branch test " + ZT->E->str() +
+                        " equals the green test " + DT->Guard->str());
+  if (!provablyEqual(Es, RdT.E, DT->E))
+    return err(Loc, "cannot prove the blue target " + RdT.E->str() +
+                        " equals the green intention " + DT->E->str());
+
+  // The taken path must satisfy the target precondition (d is reset by the
+  // hardware on the transfer).
+  Expected<Subst> S = matchContext(TC, T, *Target, RdT.E, MatchMode::Jump);
+  if (!S)
+    return err(Loc, S.message());
+
+  // Fall-through: the untaken rule fires only when d = 0 at run time, so
+  // the postcondition soundly restores d:(G,int,0).
+  advancePc(T);
+  T.Gamma.set(Reg::dest(),
+              RegType(Color::Green, TC.intType(), Es.intConst(0)));
+
+  InstTypingResult Result;
+  Result.Transfer = *S;
+  Result.TransferTarget = Target;
+  return Result;
+}

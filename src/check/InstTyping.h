@@ -1,0 +1,105 @@
+//===- check/InstTyping.h - Instruction typing (Figure 7) -----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The judgment Ψ; T ⊢ i ⇒ RT: checking one instruction against the
+/// current static context T produces either a postcondition T' (control
+/// may fall through) or void (an unconditional transfer — jmpB). The
+/// checker threads T through a block by mutating it in place.
+///
+/// Four principles organize the rules (Section 3.3 of the paper):
+///  1. absent faults, standard TAL typing must hold (jump targets have
+///     code types, loads/stores go through refs, ...);
+///  2. green values depend only on green values, blue only on blue;
+///  3. both computations get equal say in dangerous actions (stores to
+///     observable memory, control transfers);
+///  4. absent faults, the green and blue computations compute *identical*
+///     values — enforced with singleton types and provable equality of
+///     their static expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_CHECK_INSTTYPING_H
+#define TALFT_CHECK_INSTTYPING_H
+
+#include "check/ContextMatch.h"
+#include "support/Diagnostics.h"
+#include "tal/Program.h"
+
+#include <optional>
+
+namespace talft {
+
+/// Outcome of typing one instruction.
+struct InstTypingResult {
+  /// True when RT = void (control cannot fall through: jmpB).
+  bool IsVoid = false;
+  /// For jmpB and bzB: the inferred instantiation of the transfer target's
+  /// quantified variables, and the target precondition. (For bzB this
+  /// describes the taken path; the mutated context describes fall-through.)
+  std::optional<Subst> Transfer;
+  const StaticContext *TransferTarget = nullptr;
+};
+
+/// Types instructions of one program.
+class InstTyper {
+public:
+  InstTyper(TypeContext &TC, const Program &Prog, DiagnosticEngine &Diags)
+      : TC(TC), Es(TC.exprs()), Prog(Prog), Diags(Diags) {}
+
+  /// Checks \p I under context \p T, mutating \p T into the postcondition
+  /// (when RT is not void). Returns nullopt after reporting a diagnostic
+  /// on a type error.
+  std::optional<InstTypingResult> check(const Inst &I, StaticContext &T,
+                                        SourceLoc Loc);
+
+  /// The most specific register type of an immediate value: its singleton
+  /// expression is the constant; its basic type is Ψ(n) when n is a
+  /// declared address (a code pointer or a data-cell pointer), int
+  /// otherwise.
+  RegType inferImmType(Value V) const;
+
+private:
+  TypeContext &TC;
+  ExprContext &Es;
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+
+  std::optional<InstTypingResult> err(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
+    return std::nullopt;
+  }
+
+  /// Looks up \p R in Γ; reports an error when untracked.
+  const RegType *require(const StaticContext &T, Reg R, SourceLoc Loc);
+
+  /// Weakens a tracked plain type to (c, int, E); errors on conditional
+  /// types (they never subtype int).
+  std::optional<RegType> requirePlainInt(const StaticContext &T, Reg R,
+                                         SourceLoc Loc);
+
+  /// Increments the program-counter expression (the paper's Γ++).
+  void advancePc(StaticContext &T) {
+    T.Pc = normalize(Es, Es.binop(Opcode::Add, T.Pc, Es.intConst(1)));
+  }
+
+  std::optional<InstTypingResult> checkAlu(const Inst &I, StaticContext &T,
+                                           SourceLoc Loc);
+  std::optional<InstTypingResult> checkMov(const Inst &I, StaticContext &T,
+                                           SourceLoc Loc);
+  std::optional<InstTypingResult> checkLd(const Inst &I, StaticContext &T,
+                                          SourceLoc Loc);
+  std::optional<InstTypingResult> checkSt(const Inst &I, StaticContext &T,
+                                          SourceLoc Loc);
+  std::optional<InstTypingResult> checkJmp(const Inst &I, StaticContext &T,
+                                           SourceLoc Loc);
+  std::optional<InstTypingResult> checkBz(const Inst &I, StaticContext &T,
+                                          SourceLoc Loc);
+};
+
+} // namespace talft
+
+#endif // TALFT_CHECK_INSTTYPING_H

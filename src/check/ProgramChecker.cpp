@@ -1,0 +1,147 @@
+//===- check/ProgramChecker.cpp -------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+
+#include "support/StringUtils.h"
+
+using namespace talft;
+
+namespace {
+
+class Checker {
+public:
+  Checker(TypeContext &TC, const Program &Prog, DiagnosticEngine &Diags)
+      : TC(TC), Prog(Prog), Diags(Diags), Typer(TC, Prog, Diags) {}
+
+  Expected<CheckedProgram> run() {
+    assert(Prog.isLaidOut() && "checking a program before layout");
+    CheckedProgram CP;
+    CP.Prog = &Prog;
+
+    bool Ok = true;
+    const std::vector<Block> &Blocks = Prog.blocks();
+    for (size_t BI = 0, BE = Blocks.size(); BI != BE; ++BI) {
+      const Block *Next = BI + 1 == BE ? nullptr : &Blocks[BI + 1];
+      Ok &= checkBlock(Blocks[BI], Next, CP);
+    }
+    if (!Ok)
+      return makeError("program is not well-typed (" +
+                       std::to_string(Diags.errorCount()) + " errors)");
+    return CP;
+  }
+
+private:
+  TypeContext &TC;
+  const Program &Prog;
+  DiagnosticEngine &Diags;
+  InstTyper Typer;
+
+  bool validatePrecondition(const Block &B) {
+    const StaticContext &Pre = *B.Pre;
+    bool Ok = true;
+    auto CheckWF = [&](const Expr *E, const char *What) {
+      if (E && !wellFormedIn(E, Pre.Delta)) {
+        Diags.error(B.Loc, formatv("precondition of '%s': %s mentions "
+                                   "variables outside its forall clause",
+                                   B.Label.c_str(), What));
+        Ok = false;
+      }
+    };
+    if (!Pre.Pc) {
+      Diags.error(B.Loc, "precondition of '" + B.Label +
+                             "' lacks a program-counter expression");
+      return false;
+    }
+    if (!Pre.MemExpr) {
+      Diags.error(B.Loc, "precondition of '" + B.Label +
+                             "' lacks a memory description");
+      return false;
+    }
+    CheckWF(Pre.Pc, "the pc expression");
+    CheckWF(Pre.MemExpr, "the memory description");
+    for (const QueueTypeEntry &Q : Pre.Queue) {
+      CheckWF(Q.AddrE, "a queue descriptor");
+      CheckWF(Q.ValE, "a queue descriptor");
+    }
+    for (const auto &[Key, T] : Pre.Gamma) {
+      Reg R = RegFileType::regForKey(Key);
+      (void)R;
+      CheckWF(T.E, "a register type");
+      if (T.Guard)
+        CheckWF(T.Guard, "a register type's branch test");
+    }
+    return Ok;
+  }
+
+  /// Interns a snapshot of the threaded context for CheckedProgram.
+  const StaticContext *intern(const StaticContext &T, const Block &B,
+                              size_t Offset) {
+    StaticContext *Copy = TC.createContext();
+    *Copy = T;
+    Copy->Label = formatv("%s+%zu", B.Label.c_str(), Offset);
+    return Copy;
+  }
+
+  bool checkBlock(const Block &B, const Block *Next, CheckedProgram &CP) {
+    if (!validatePrecondition(B))
+      return false;
+
+    Addr Entry = Prog.addressOf(B.Label);
+    StaticContext T = *B.Pre;
+    bool EndedVoid = false;
+
+    for (size_t I = 0, E = B.Insts.size(); I != E; ++I) {
+      Addr A = Entry + (Addr)I;
+      if (EndedVoid) {
+        Diags.error(B.Insts[I].Loc,
+                    "unreachable instruction after an unconditional jmpB");
+        return false;
+      }
+      CP.PreAt[A] = I == 0 ? B.Pre : intern(T, B, I);
+      std::optional<InstTypingResult> R =
+          Typer.check(B.Insts[I].I, T, B.Insts[I].Loc);
+      if (!R)
+        return false;
+      if (R->Transfer) {
+        CP.TransferAt[A] = *R->Transfer;
+        CP.TransferTargetAt[A] = R->TransferTarget;
+      }
+      EndedVoid = R->IsVoid;
+    }
+
+    if (EndedVoid)
+      return true;
+
+    // Fall-through off the block's end: the postcondition must entail the
+    // next block's declared precondition.
+    if (!Next) {
+      Diags.error(B.Loc, "block '" + B.Label +
+                             "' falls off the end of the program; "
+                             "end it with a jmpB");
+      return false;
+    }
+    Expected<Subst> S =
+        matchContext(TC, T, *Next->Pre, T.Pc, MatchMode::Fallthrough);
+    if (!S) {
+      Diags.error(B.Loc, "fall-through from '" + B.Label + "' " +
+                             S.message());
+      return false;
+    }
+    Addr LastAddr = Entry + (Addr)B.Insts.size() - 1;
+    CP.FallthroughAt[LastAddr] = *S;
+    CP.FallthroughTargetAt[LastAddr] = Next->Pre;
+    return true;
+  }
+};
+
+} // namespace
+
+Expected<CheckedProgram> talft::checkProgram(TypeContext &TC,
+                                             const Program &Prog,
+                                             DiagnosticEngine &Diags) {
+  return Checker(TC, Prog, Diags).run();
+}

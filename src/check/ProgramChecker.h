@@ -1,0 +1,65 @@
+//===- check/ProgramChecker.h - Whole-program code typing (rule C-t) ------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks a laid-out Program: every block is typed starting from its
+/// declared precondition, threading the static context through its
+/// instructions; a block either ends in a jmpB (RT = void) or falls
+/// through into the next block, whose declared precondition the threaded
+/// postcondition must entail.
+///
+/// A successful check yields a CheckedProgram: the per-address
+/// preconditions (the Ψ(n) = T -> void of the paper's C-t, materialized at
+/// every address rather than only block entries) and, for every transfer
+/// site, the inferred instantiation of the target's quantified variables.
+/// The metatheory harness composes these instantiations with the running
+/// closing substitution to re-type machine states during execution
+/// (Figure 8 / StateTyping.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_CHECK_PROGRAMCHECKER_H
+#define TALFT_CHECK_PROGRAMCHECKER_H
+
+#include "check/InstTyping.h"
+
+#include <map>
+
+namespace talft {
+
+/// The artifacts of a successful whole-program check.
+struct CheckedProgram {
+  const Program *Prog = nullptr;
+
+  /// For each code address, the static context holding *before* the
+  /// instruction at that address executes (block entries carry their
+  /// declared precondition).
+  std::map<Addr, const StaticContext *> PreAt;
+
+  /// For each jmpB / bzB address, the inferred substitution instantiating
+  /// the transfer target's precondition, and that target.
+  std::map<Addr, Subst> TransferAt;
+  std::map<Addr, const StaticContext *> TransferTargetAt;
+
+  /// For the last address of each block that falls through into the next
+  /// block: the substitution into the next block's precondition.
+  std::map<Addr, Subst> FallthroughAt;
+  std::map<Addr, const StaticContext *> FallthroughTargetAt;
+
+  const StaticContext *preconditionAt(Addr A) const {
+    auto It = PreAt.find(A);
+    return It == PreAt.end() ? nullptr : It->second;
+  }
+};
+
+/// Type-checks \p Prog (which must be laid out). Diagnostics go to
+/// \p Diags; returns the CheckedProgram on success.
+Expected<CheckedProgram> checkProgram(TypeContext &TC, const Program &Prog,
+                                      DiagnosticEngine &Diags);
+
+} // namespace talft
+
+#endif // TALFT_CHECK_PROGRAMCHECKER_H

@@ -1,0 +1,211 @@
+//===- check/StateTyping.cpp ----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/StateTyping.h"
+
+#include "support/StringUtils.h"
+
+using namespace talft;
+
+/// Ψ ⊢ n : b (rules int-t / base-t): any integer has type int; a non-int
+/// shape must be Ψ's type for that address.
+static bool intHasBasicType(const HeapTyping &Psi, int64_t N,
+                            const BasicType *B) {
+  if (B->isInt())
+    return true;
+  return Psi.lookup(N) == B;
+}
+
+Error talft::checkValueHasType(TypeContext &TC, const HeapTyping &Psi,
+                               ZapTag Z, Value V, const RegType &T,
+                               const Subst &Closing) {
+  // Rules val-zap-t / val-zap-cond: data matching the zap tag may have
+  // been corrupted arbitrarily and can be given any (closed) type.
+  if (Z.is(T.C))
+    return Error::success();
+
+  RegType CT = applySubstToRegType(TC, Closing, T);
+  if (!CT.E->isClosed())
+    return makeError("closing substitution leaves " + CT.E->str() + " open");
+
+  if (V.C != CT.C)
+    return makeError("value " + V.str() + " has the wrong color for type " +
+                     CT.str());
+
+  if (CT.isConditional()) {
+    std::optional<int64_t> Guard = evalInt(CT.Guard);
+    if (!Guard)
+      return makeError("branch-test expression " + CT.Guard->str() +
+                       " has no denotation");
+    if (*Guard != 0) {
+      // Rule cond-t-n0: the value must be 0.
+      if (V.N != 0)
+        return makeError("value " + V.str() + " must be 0 under type " +
+                         CT.str());
+      return Error::success();
+    }
+    // Rule cond-t: check the underlying triple.
+  }
+
+  std::optional<int64_t> E = evalInt(CT.E);
+  if (!E)
+    return makeError("singleton expression " + CT.E->str() +
+                     " has no denotation");
+  if (V.N != *E)
+    return makeError(formatv("value %lld differs from its singleton "
+                             "expression %s = %lld",
+                             (long long)V.N, CT.E->str().c_str(),
+                             (long long)*E));
+  if (!intHasBasicType(Psi, V.N, CT.B))
+    return makeError(formatv("value %lld does not have shape %s",
+                             (long long)V.N, CT.B->str().c_str()));
+  return Error::success();
+}
+
+Error talft::checkStateTyped(TypeContext &TC, const CheckedProgram &CP,
+                             const MachineState &S, ZapTag Z,
+                             const Subst &Closing) {
+  if (S.isFault())
+    return makeError("the fault state is never well-typed");
+  const HeapTyping &Psi = CP.Prog->heapTyping();
+
+  // Locate the anchor: the program counter of a color the zap tag does not
+  // cover. With no zap tag the two must agree.
+  Value PcG = S.pcG(), PcB = S.pcB();
+  if (Z.isNone() && PcG.N != PcB.N)
+    return makeError(formatv("program counters disagree (%lld vs %lld) "
+                             "without a fault",
+                             (long long)PcG.N, (long long)PcB.N));
+  Addr Anchor = Z.is(Color::Green) ? PcB.N : PcG.N;
+
+  const StaticContext *T = CP.preconditionAt(Anchor);
+  if (!T)
+    return makeError(formatv("no checked context at address %lld",
+                             (long long)Anchor));
+
+  // Program counters: colors are fixed; the non-zapped ones must equal the
+  // context's pc expression.
+  if (PcG.C != Color::Green || PcB.C != Color::Blue)
+    return makeError("program counters carry the wrong color tags");
+  const Expr *PcE = Closing.apply(TC.exprs(), T->Pc);
+  std::optional<int64_t> PcV = evalInt(PcE);
+  if (!PcV)
+    return makeError("pc expression " + PcE->str() + " has no denotation");
+  if (!Z.is(Color::Green) && PcG.N != *PcV)
+    return makeError(formatv("pcG = %lld differs from the context's pc %lld",
+                             (long long)PcG.N, (long long)*PcV));
+  if (!Z.is(Color::Blue) && PcB.N != *PcV)
+    return makeError(formatv("pcB = %lld differs from the context's pc %lld",
+                             (long long)PcB.N, (long long)*PcV));
+
+  // Instruction register consistency: a fetched instruction must be the
+  // one at the anchor address.
+  if (S.IR) {
+    if (!S.Code->contains(Anchor) || !(S.Code->get(Anchor) == *S.IR))
+      return makeError("instruction register does not hold the instruction "
+                       "at the anchor address");
+  }
+
+  // Rule R-t: every tracked register satisfies its type.
+  for (const auto &[Key, RT] : T->Gamma) {
+    Reg R = RegFileType::regForKey(Key);
+    if (Error E = checkValueHasType(TC, Psi, Z, S.Regs.get(R), RT, Closing))
+      return makeError(R.str() + ": " + E.message());
+  }
+
+  // Rules Q-t / Q-zap-t: the queue is a green structure. Under zap tag G
+  // only its length is constrained; otherwise each entry matches its
+  // descriptor and is well-typed against Ψ.
+  if (S.Queue.size() != T->Queue.size())
+    return makeError(formatv("store queue has %zu entries, context "
+                             "describes %zu",
+                             S.Queue.size(), T->Queue.size()));
+  if (!Z.is(Color::Green)) {
+    for (size_t I = 0, E = S.Queue.size(); I != E; ++I) {
+      const QueueEntry &QE = S.Queue.entry(I);
+      const QueueTypeEntry &QT = T->Queue.entry(I);
+      std::optional<int64_t> A =
+          evalInt(Closing.apply(TC.exprs(), QT.AddrE));
+      std::optional<int64_t> V = evalInt(Closing.apply(TC.exprs(), QT.ValE));
+      if (!A || !V)
+        return makeError(formatv("queue descriptor %zu has no denotation",
+                                 I));
+      if (QE.Address != *A || QE.Val != *V)
+        return makeError(formatv("queue entry %zu is (%lld,%lld) but its "
+                                 "descriptor denotes (%lld,%lld)",
+                                 I, (long long)QE.Address, (long long)QE.Val,
+                                 (long long)*A, (long long)*V));
+      const BasicType *PtrT = Psi.lookup(QE.Address);
+      if (!PtrT || !PtrT->isRef())
+        return makeError(formatv("queue entry %zu targets address %lld, "
+                                 "which is not a declared cell",
+                                 I, (long long)QE.Address));
+      if (!intHasBasicType(Psi, QE.Val, PtrT->refPointee()))
+        return makeError(formatv("queue entry %zu's value has the wrong "
+                                 "shape for its cell",
+                                 I));
+      // Dom(Q) ⊆ Dom(M) when the queue is intact.
+      if (!S.Mem.contains(QE.Address))
+        return makeError(formatv("queue entry %zu targets address %lld "
+                                 "outside Dom(M)",
+                                 I, (long long)QE.Address));
+    }
+  }
+
+  // Rule M-t: memory must *be* the denotation of its description, and
+  // every cell's contents must satisfy Ψ.
+  const Expr *MemE = Closing.apply(TC.exprs(), T->MemExpr);
+  std::optional<MemDenotation> MemV = evalMem(MemE);
+  if (!MemV)
+    return makeError("memory description has no denotation");
+  if (!(MemDenotation(S.Mem.begin(), S.Mem.end()) == *MemV))
+    return makeError("memory differs from the denotation of its "
+                     "description " +
+                     MemE->str());
+  for (const auto &[A, V] : S.Mem) {
+    const BasicType *PtrT = Psi.lookup(A);
+    if (!PtrT || !PtrT->isRef())
+      return makeError(formatv("memory address %lld is not a declared cell",
+                               (long long)A));
+    if (!intHasBasicType(Psi, V, PtrT->refPointee()))
+      return makeError(formatv("contents of cell %lld do not have shape %s",
+                               (long long)A,
+                               PtrT->refPointee()->str().c_str()));
+  }
+
+  return Error::success();
+}
+
+Expected<Subst> talft::initialClosing(TypeContext &TC,
+                                      const CheckedProgram &CP,
+                                      const MachineState &S) {
+  ExprContext &Es = TC.exprs();
+  const Program &Prog = *CP.Prog;
+  const Block *Entry = Prog.findBlock(Prog.EntryLabel);
+  const StaticContext &Pre = *Entry->Pre;
+
+  // The literal description of the initial memory.
+  const Expr *MemLit = Es.emp();
+  for (const auto &[A, V] : S.Mem)
+    MemLit = Es.upd(MemLit, Es.intConst(A), Es.intConst(V));
+
+  Subst Closing;
+  auto BindIfVar = [&](const Expr *Pattern, const Expr *To) {
+    if (Pattern && Pattern->isVar() && Pre.Delta.contains(Pattern->varName()))
+      Closing.bind(Pattern, To);
+  };
+  BindIfVar(Pre.Pc, Es.intConst(Prog.entryAddress()));
+  BindIfVar(Pre.MemExpr, MemLit);
+  for (const auto &[Key, T] : Pre.Gamma) {
+    Reg R = RegFileType::regForKey(Key);
+    BindIfVar(T.E, Es.intConst(S.Regs.val(R)));
+  }
+
+  for (const auto &[Name, Kind] : Pre.Delta)
+    if (!Closing.lookup(Es.var(Name, Kind)))
+      return makeError("cannot close entry variable '" + Name + "'");
+  return Closing;
+}

@@ -1,0 +1,55 @@
+//===- check/StateTyping.h - Machine-state typing (Figure 8) --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The executable version of the judgment ⊢Z S: a machine state is
+/// well-typed under zap tag Z when its register file, store queue, memory
+/// and instruction register satisfy the static context declared (by a
+/// successful whole-program check) at the current instruction address,
+/// under a *closing substitution* mapping the context's quantified
+/// variables to closed expressions.
+///
+/// The paper's S-t rule existentially quantifies that substitution; the
+/// metatheory harness instead *tracks* it during execution — it starts from
+/// the entry block's instantiation and composes the checker's inferred
+/// per-transfer substitutions at every jump — so each check is a direct
+/// evaluation, not a search. Under zap tag c, values colored c (and the
+/// whole queue when c = G, plus the c-colored program counter) are exempt
+/// from the value checks, exactly as in rules val-zap-t, Q-zap-t and R-t.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_CHECK_STATETYPING_H
+#define TALFT_CHECK_STATETYPING_H
+
+#include "check/ProgramChecker.h"
+#include "types/ZapTag.h"
+
+namespace talft {
+
+/// Checks Ψ; · ⊢Z V : T under closing substitution \p Closing.
+/// Implements rules val-t, cond-t, cond-t-n0, val-zap-t, val-zap-cond.
+Error checkValueHasType(TypeContext &TC, const HeapTyping &Psi, ZapTag Z,
+                        Value V, const RegType &T, const Subst &Closing);
+
+/// Checks ⊢Z S (rule S-t with premises R-t, Q-t/Q-zap-t, M-t). \p Closing
+/// maps the quantified variables of the context at the current address to
+/// closed expressions. Returns success or an explanation of the first
+/// violated premise.
+Error checkStateTyped(TypeContext &TC, const CheckedProgram &CP,
+                      const MachineState &S, ZapTag Z, const Subst &Closing);
+
+/// Builds the closing substitution for the initial state of a checked
+/// program: the entry precondition's pc variable binds to the entry
+/// address, its memory variable to the literal description of the initial
+/// memory, and any variable appearing bare as a register's singleton
+/// expression to that register's value.
+Expected<Subst> initialClosing(TypeContext &TC, const CheckedProgram &CP,
+                               const MachineState &S);
+
+} // namespace talft
+
+#endif // TALFT_CHECK_STATETYPING_H

@@ -1,0 +1,71 @@
+//===- check/Subtype.cpp --------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Subtype.h"
+
+using namespace talft;
+
+static void explain(std::string *WhyNot, std::string Msg) {
+  if (WhyNot)
+    *WhyNot += Msg;
+}
+
+bool talft::isSubtype(TypeContext &TC, const RegType &Sub, const RegType &Sup,
+                      std::string *WhyNot) {
+  ExprContext &Es = TC.exprs();
+
+  if (Sub.C != Sup.C) {
+    explain(WhyNot, "color mismatch (" + Sub.str() + " vs " + Sup.str() + ")");
+    return false;
+  }
+  if (Sub.isConditional() != Sup.isConditional()) {
+    explain(WhyNot, "conditional/plain mismatch (" + Sub.str() + " vs " +
+                        Sup.str() + ")");
+    return false;
+  }
+  if (Sub.isConditional() && !provablyEqual(Es, Sub.Guard, Sup.Guard)) {
+    explain(WhyNot, "branch-test expressions differ (" + Sub.Guard->str() +
+                        " vs " + Sup.Guard->str() + ")");
+    return false;
+  }
+  if (Sub.B != Sup.B && !Sup.B->isInt()) {
+    explain(WhyNot,
+            "basic types differ (" + Sub.B->str() + " vs " + Sup.B->str() +
+                ") and the supertype is not int");
+    return false;
+  }
+  if (!provablyEqual(Es, Sub.E, Sup.E)) {
+    explain(WhyNot, "cannot prove " + Sub.E->str() + " = " + Sup.E->str());
+    return false;
+  }
+  return true;
+}
+
+bool talft::isRegFileSubtype(TypeContext &TC, const RegFileType &Sub,
+                             const RegFileType &Sup, std::string *WhyNot) {
+  for (const auto &[Key, SupT] : Sup) {
+    Reg R = RegFileType::regForKey(Key);
+    if (R.isDest())
+      continue;
+    const RegType *SubT = Sub.lookup(R);
+    if (!SubT) {
+      explain(WhyNot, R.str() + " is required to have type " + SupT.str() +
+                          " but is untracked here");
+      return false;
+    }
+    std::string Why;
+    if (!isSubtype(TC, *SubT, SupT, &Why)) {
+      explain(WhyNot, R.str() + ": " + Why);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool talft::isZeroDestType(TypeContext &TC, const RegType &T) {
+  return !T.isConditional() && T.C == Color::Green && T.B->isInt() &&
+         provablyEqual(TC.exprs(), T.E, TC.exprs().intConst(0));
+}

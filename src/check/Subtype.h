@@ -1,0 +1,45 @@
+//===- check/Subtype.h - Value and register-file subtyping ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's subtyping: Δ ⊢ (c,b,E1) ≤ (c,int,E2) whenever Δ ⊢ E1 = E2 —
+/// i.e. the only nontrivial coercion forgets a ref or code shape down to
+/// int (the singleton expression and the color are preserved). Conditional
+/// types relate only to equal conditional types (component-wise provable
+/// equality). Register-file subtyping Δ ⊢ Γ1 ≤ Γ2 ranges over the
+/// *general-purpose* registers of Γ2 only; the special registers d, pcG and
+/// pcB are related by explicit premises at each use site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_CHECK_SUBTYPE_H
+#define TALFT_CHECK_SUBTYPE_H
+
+#include "sexpr/ExprNormalize.h"
+#include "types/StaticContext.h"
+#include "types/TypeContext.h"
+
+#include <string>
+
+namespace talft {
+
+/// Decides Δ ⊢ Sub ≤ Sup. On failure, appends an explanation to \p WhyNot
+/// when non-null.
+bool isSubtype(TypeContext &TC, const RegType &Sub, const RegType &Sup,
+               std::string *WhyNot = nullptr);
+
+/// Decides Δ ⊢ Sub ≤ Sup over the general-purpose registers mentioned by
+/// \p Sup (d entries in \p Sup are ignored; callers check d explicitly).
+bool isRegFileSubtype(TypeContext &TC, const RegFileType &Sub,
+                      const RegFileType &Sup, std::string *WhyNot = nullptr);
+
+/// Convenience: true when \p T is the plain type (G, int, 0) — the shape
+/// required of the destination register by every control-flow rule.
+bool isZeroDestType(TypeContext &TC, const RegType &T);
+
+} // namespace talft
+
+#endif // TALFT_CHECK_SUBTYPE_H

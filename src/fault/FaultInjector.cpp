@@ -1,0 +1,96 @@
+//===- fault/FaultInjector.cpp --------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/FaultInjector.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <algorithm>
+
+using namespace talft;
+
+std::string FaultSite::str() const {
+  switch (K) {
+  case Kind::Register:
+    return "reg-zap " + R.str();
+  case Kind::QueueAddress:
+    return formatv("Q-zap1 (entry %zu address)", QueueIndex);
+  case Kind::QueueValue:
+    return formatv("Q-zap2 (entry %zu value)", QueueIndex);
+  }
+  talft_unreachable("unknown fault site kind");
+}
+
+std::vector<FaultSite> talft::enumerateFaultSites(const MachineState &S) {
+  std::vector<FaultSite> Sites;
+  Sites.reserve(Reg::NumRegs + 2 * S.Queue.size());
+  for (unsigned I = 0; I != NumGeneralRegs; ++I)
+    Sites.push_back(FaultSite::reg(Reg::general(I)));
+  Sites.push_back(FaultSite::reg(Reg::dest()));
+  Sites.push_back(FaultSite::reg(Reg::pcG()));
+  Sites.push_back(FaultSite::reg(Reg::pcB()));
+  for (size_t I = 0, E = S.Queue.size(); I != E; ++I) {
+    Sites.push_back(FaultSite::queueAddress(I));
+    Sites.push_back(FaultSite::queueValue(I));
+  }
+  return Sites;
+}
+
+Color talft::faultColor(const MachineState &S, const FaultSite &Site) {
+  if (Site.K == FaultSite::Kind::Register)
+    return S.Regs.col(Site.R);
+  // The store queue holds green data (it is filled by stG).
+  return Color::Green;
+}
+
+int64_t talft::currentValueAt(const MachineState &S, const FaultSite &Site) {
+  switch (Site.K) {
+  case FaultSite::Kind::Register:
+    return S.Regs.val(Site.R);
+  case FaultSite::Kind::QueueAddress:
+    return S.Queue.entry(Site.QueueIndex).Address;
+  case FaultSite::Kind::QueueValue:
+    return S.Queue.entry(Site.QueueIndex).Val;
+  }
+  talft_unreachable("unknown fault site kind");
+}
+
+void talft::injectFault(MachineState &S, const FaultSite &Site,
+                        int64_t NewValue) {
+  assert(!S.isFault() && "injecting into the fault state");
+  switch (Site.K) {
+  case FaultSite::Kind::Register: {
+    Value V = S.Regs.get(Site.R);
+    V.N = NewValue; // The color tag is preserved (it is fictional).
+    S.Regs.set(Site.R, V);
+    return;
+  }
+  case FaultSite::Kind::QueueAddress:
+    S.Queue.entry(Site.QueueIndex).Address = NewValue;
+    return;
+  case FaultSite::Kind::QueueValue:
+    S.Queue.entry(Site.QueueIndex).Val = NewValue;
+    return;
+  }
+  talft_unreachable("unknown fault site kind");
+}
+
+std::vector<int64_t> talft::representativeCorruptions(const Program &Prog) {
+  std::vector<int64_t> Values = {0, 1, -1, 2, 0x7FFF'0001, -0x7FFF'0001};
+  auto AddNear = [&Values](int64_t A) {
+    Values.push_back(A - 1);
+    Values.push_back(A);
+    Values.push_back(A + 1);
+  };
+  for (const Block &B : Prog.blocks())
+    AddNear(Prog.addressOf(B.Label));
+  for (const DataCell &Cell : Prog.data())
+    AddNear(Cell.Address);
+  std::sort(Values.begin(), Values.end());
+  Values.erase(std::unique(Values.begin(), Values.end()), Values.end());
+  return Values;
+}

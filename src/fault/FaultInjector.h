@@ -1,0 +1,95 @@
+//===- fault/FaultInjector.h - The fault model (rules reg-zap, Q-zap) -----===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's fault model is three operational rules, each a k=1
+/// transition under the Single Event Upset assumption:
+///
+///   reg-zap: any register's payload is replaced by an arbitrary value
+///            (the fictional color tag is preserved);
+///   Q-zap1:  the address component of any store-queue entry is replaced;
+///   Q-zap2:  the value component of any store-queue entry is replaced.
+///
+/// Code memory and value memory are inside the protected sphere and are
+/// never corrupted.
+///
+/// reg-zap quantifies over all 2^64 replacement values; the exhaustive
+/// checker instead tests the *representative set* of values that can
+/// change which operational rule fires next: zero and nonzero, valid and
+/// invalid code addresses, valid and invalid data addresses, and near-miss
+/// offsets of each. Two corruptions that drive every comparison and
+/// domain-membership test in the semantics to the same outcomes induce the
+/// same rule firings, so covering all equivalence classes of those tests
+/// covers the model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_FAULT_FAULTINJECTOR_H
+#define TALFT_FAULT_FAULTINJECTOR_H
+
+#include "isa/MachineState.h"
+#include "tal/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// Where a single fault strikes.
+struct FaultSite {
+  enum class Kind : uint8_t { Register, QueueAddress, QueueValue };
+  Kind K = Kind::Register;
+  /// Register faults: which register (any, including d and the pcs).
+  Reg R;
+  /// Queue faults: which entry (0 = front).
+  size_t QueueIndex = 0;
+
+  static FaultSite reg(Reg R) {
+    FaultSite S;
+    S.K = Kind::Register;
+    S.R = R;
+    return S;
+  }
+  static FaultSite queueAddress(size_t I) {
+    FaultSite S;
+    S.K = Kind::QueueAddress;
+    S.QueueIndex = I;
+    return S;
+  }
+  static FaultSite queueValue(size_t I) {
+    FaultSite S;
+    S.K = Kind::QueueValue;
+    S.QueueIndex = I;
+    return S;
+  }
+
+  std::string str() const;
+};
+
+/// All fault sites of a state: every register, and both components of
+/// every queue entry.
+std::vector<FaultSite> enumerateFaultSites(const MachineState &S);
+
+/// The color of the computation a fault at \p Site corrupts (the zap tag
+/// of the resulting state). Queue entries are green structures.
+Color faultColor(const MachineState &S, const FaultSite &Site);
+
+/// Applies the fault: replaces the payload at \p Site with \p NewValue,
+/// preserving color tags (rules reg-zap / Q-zap1 / Q-zap2).
+void injectFault(MachineState &S, const FaultSite &Site, int64_t NewValue);
+
+/// The current payload at \p Site (the fault model requires the new value
+/// to differ).
+int64_t currentValueAt(const MachineState &S, const FaultSite &Site);
+
+/// The representative corruption values for \p Prog: zero, ±1, small and
+/// large sentinels, every block entry address and each ±1, and every data
+/// cell address and each ±1.
+std::vector<int64_t> representativeCorruptions(const Program &Prog);
+
+} // namespace talft
+
+#endif // TALFT_FAULT_FAULTINJECTOR_H

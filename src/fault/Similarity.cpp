@@ -1,0 +1,50 @@
+//===- fault/Similarity.cpp -----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Similarity.h"
+
+using namespace talft;
+
+bool talft::similarValues(ZapTag Z, Value A, Value B) {
+  if (A == B)
+    return true;
+  // sim-val-zap: both values carry the zapped color.
+  return A.C == B.C && Z.is(A.C);
+}
+
+bool talft::similarRegisterFiles(ZapTag Z, const RegisterFile &A,
+                                 const RegisterFile &B) {
+  for (unsigned I = 0; I != NumGeneralRegs; ++I)
+    if (!similarValues(Z, A.get(Reg::general(I)), B.get(Reg::general(I))))
+      return false;
+  return similarValues(Z, A.get(Reg::dest()), B.get(Reg::dest())) &&
+         similarValues(Z, A.get(Reg::pcG()), B.get(Reg::pcG())) &&
+         similarValues(Z, A.get(Reg::pcB()), B.get(Reg::pcB()));
+}
+
+bool talft::similarQueues(ZapTag Z, const StoreQueue &A, const StoreQueue &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    const QueueEntry &EA = A.entry(I);
+    const QueueEntry &EB = B.entry(I);
+    if (!similarValues(Z, Value::green(EA.Address), Value::green(EB.Address)))
+      return false;
+    if (!similarValues(Z, Value::green(EA.Val), Value::green(EB.Val)))
+      return false;
+  }
+  return true;
+}
+
+bool talft::similarStates(ZapTag Z, const MachineState &A,
+                          const MachineState &B) {
+  if (A.isFault() || B.isFault())
+    return A.isFault() == B.isFault();
+  if (A.Code != B.Code || !(A.Mem == B.Mem) || !(A.IR == B.IR))
+    return false;
+  return similarRegisterFiles(Z, A.Regs, B.Regs) &&
+         similarQueues(Z, A.Queue, B.Queue);
+}

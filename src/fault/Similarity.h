@@ -1,0 +1,49 @@
+//===- fault/Similarity.h - Similarity relations (Figure 9) ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The similarity relations relate a faulty execution's states to the
+/// fault-free execution's states, indexed by a zap tag Z:
+///
+///   - with Z empty, related objects are identical;
+///   - with Z = c, values colored c may differ arbitrarily (they are the
+///     ones a c-colored fault can have corrupted), while everything else —
+///     values of the other color, code memory, value memory, the
+///     instruction register — must be identical. Queue entries are green.
+///
+/// Fault Tolerance (Theorem 4) states that an undetected single fault
+/// leaves the final state similar (for some color) to the fault-free
+/// final state, with an identical output trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_FAULT_SIMILARITY_H
+#define TALFT_FAULT_SIMILARITY_H
+
+#include "isa/MachineState.h"
+#include "types/ZapTag.h"
+
+namespace talft {
+
+/// v1 simZ v2 (rules sim-val / sim-val-zap): identical, or same color
+/// matching the zap tag.
+bool similarValues(ZapTag Z, Value A, Value B);
+
+/// R simZ R' (rule sim-R): pointwise over every register.
+bool similarRegisterFiles(ZapTag Z, const RegisterFile &A,
+                          const RegisterFile &B);
+
+/// Q simZ Q' (rules sim-Q-empty / sim-Q): pointwise; entries are green.
+bool similarQueues(ZapTag Z, const StoreQueue &A, const StoreQueue &B);
+
+/// S1 simZ S2 (rule sim-S): same code, memory and instruction register;
+/// similar register files and queues. The fault state is similar only to
+/// itself.
+bool similarStates(ZapTag Z, const MachineState &A, const MachineState &B);
+
+} // namespace talft
+
+#endif // TALFT_FAULT_SIMILARITY_H

@@ -1,0 +1,97 @@
+//===- fault/Theorems.h - Executable checkers for the formal results ------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4 of the paper proves four results about well-typed programs:
+///
+///   Theorem 1 (Progress): a well-typed state steps; with an empty zap tag
+///     the step does not reach the fault state.
+///   Theorem 2 (Preservation): non-faulty steps preserve ⊢Z; a faulty step
+///     from ⊢ S yields ⊢c S' for the corrupted color c.
+///   Corollary 3 (No False Positives): a fault-free execution of a
+///     well-typed program never signals a fault.
+///   Theorem 4 (Fault Tolerance): a single fault either leaves the output
+///     trace identical (and the final state similar modulo the corrupted
+///     color) or is detected, in which case the faulty output is a prefix
+///     of the fault-free output.
+///
+/// These checkers verify every quantifier instance of the theorems on a
+/// concrete checked program with a bounded reference execution: every
+/// reachable state is re-typed, and every (step, fault site, representative
+/// corruption value) triple is injected and classified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_FAULT_THEOREMS_H
+#define TALFT_FAULT_THEOREMS_H
+
+#include "fault/Similarity.h"
+#include "fault/TrackedRun.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// Knobs for the theorem checkers.
+struct TheoremConfig {
+  /// Budget for the fault-free reference execution.
+  uint64_t MaxSteps = 100000;
+  /// Extra budget granted to faulty continuations beyond the reference
+  /// length (a corrupted state may need a few more steps to reach a
+  /// detection point).
+  uint64_t ExtraSteps = 4096;
+  /// Inject at every Nth reference state (1 = every state).
+  uint64_t InjectionStride = 1;
+  /// Restrict register fault sites to registers the program mentions,
+  /// plus d and the program counters. Faults in never-read registers are
+  /// trivially masked; skipping them changes no verdict.
+  bool OnlyMentionedRegisters = true;
+  /// Re-type every state of faulty continuations (Theorem 2 part 2 and
+  /// Theorem 1 part 2). Expensive; stride applies.
+  bool TypeCheckFaultyStates = false;
+  uint64_t FaultyTypeCheckStride = 1;
+  /// Cap on retained violation descriptions.
+  size_t MaxViolations = 16;
+  StepPolicy Policy;
+};
+
+/// Aggregated verdicts.
+struct TheoremReport {
+  bool Ok = true;
+  uint64_t ReferenceSteps = 0;
+  OutputTrace ReferenceTrace;
+  uint64_t StatesTypechecked = 0;
+  uint64_t InjectionsTested = 0;
+  /// Faulty runs ending in hardware detection (output was a prefix).
+  uint64_t DetectedFaults = 0;
+  /// Faulty runs completing with identical output (fault was masked).
+  uint64_t MaskedFaults = 0;
+  std::vector<std::string> Violations;
+
+  void addViolation(std::string V, size_t Cap) {
+    Ok = false;
+    if (Violations.size() < Cap)
+      Violations.push_back(std::move(V));
+  }
+};
+
+/// Runs the fault-free execution, re-typing every state (Theorems 1 and 2
+/// part 1) and confirming no fault is signaled (Corollary 3) and the
+/// machine never gets stuck (Progress).
+TheoremReport checkFaultFreeExecution(TypeContext &TC,
+                                      const CheckedProgram &CP,
+                                      const TheoremConfig &Config);
+
+/// The exhaustive single-fault sweep of Theorem 4 (optionally also
+/// checking faulty-run preservation, Theorem 2 part 2).
+TheoremReport checkFaultTolerance(TypeContext &TC, const CheckedProgram &CP,
+                                  const TheoremConfig &Config);
+
+} // namespace talft
+
+#endif // TALFT_FAULT_THEOREMS_H

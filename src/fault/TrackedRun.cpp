@@ -1,0 +1,61 @@
+//===- fault/TrackedRun.cpp -----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/TrackedRun.h"
+
+#include <cstring>
+
+using namespace talft;
+
+Error TrackedRun::start() {
+  Expected<MachineState> Init = CP.Prog->initialState();
+  if (Error E = Init.moveInto(S))
+    return E;
+  Expected<Subst> C = initialClosing(TC, CP, S);
+  if (Error E = C.moveInto(Closing))
+    return E;
+  return Error::success();
+}
+
+StepResult TrackedRun::stepOnce() {
+  assert(!S.isFault() && "stepping past the fault state");
+
+  bool WasExecute = S.IR.has_value();
+  Addr A = anchor();
+
+  StepResult SR = step(S, Policy);
+  if (SR.Status == StepStatus::Stuck)
+    return SR;
+  ++Steps;
+  if (SR.Output)
+    Trace.push_back(*SR.Output);
+  if (SR.Status == StepStatus::Fault)
+    return SR;
+
+  // Compose the recorded substitution when the instruction at A committed
+  // a transfer, or completed a block and fell through into the next one.
+  if (WasExecute) {
+    bool Transferred = std::strcmp(SR.Rule, "jmpB") == 0 ||
+                       std::strcmp(SR.Rule, "bzB-taken") == 0;
+    if (Transferred) {
+      auto It = CP.TransferAt.find(A);
+      assert(It != CP.TransferAt.end() &&
+             "committed transfer without a recorded substitution");
+      Closing = It->second.composeWith(TC.exprs(), Closing);
+    } else if (auto It = CP.FallthroughAt.find(A);
+               It != CP.FallthroughAt.end()) {
+      Closing = It->second.composeWith(TC.exprs(), Closing);
+    }
+  }
+  return SR;
+}
+
+void TrackedRun::injectSingleFault(const FaultSite &Site, int64_t NewValue) {
+  assert(!Injected && "the SEU model allows at most one fault per run");
+  Injected = true;
+  Z = ZapTag::color(faultColor(S, Site));
+  injectFault(S, Site, NewValue);
+}

@@ -1,0 +1,46 @@
+//===- isa/Color.h - Computation colors (Figure 1) ------------------------===//
+//
+// Part of the TALFT project: a reproduction of "Fault-tolerant Typed
+// Assembly Language" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every fault-tolerant TALFT program maintains two redundant computations:
+/// a green (G) one, which generally leads, and a blue (B) one, which
+/// generally trails. Values and the memory/control-flow opcodes carry a
+/// color. Color tags on *values* are fictional (they never affect run-time
+/// behavior; they exist to state the fault model and the fault-tolerance
+/// theorem), whereas the color on an *opcode* selects between the paired
+/// semantics (e.g. stG pushes onto the store queue, stB commits).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ISA_COLOR_H
+#define TALFT_ISA_COLOR_H
+
+#include <cstdint>
+
+namespace talft {
+
+/// The two redundant computation colors.
+enum class Color : uint8_t { Green, Blue };
+
+/// Returns the other color.
+inline Color otherColor(Color C) {
+  return C == Color::Green ? Color::Blue : Color::Green;
+}
+
+/// Returns "G" or "B" (the paper's notation).
+inline const char *colorLetter(Color C) {
+  return C == Color::Green ? "G" : "B";
+}
+
+/// Returns "green" or "blue".
+inline const char *colorName(Color C) {
+  return C == Color::Green ? "green" : "blue";
+}
+
+} // namespace talft
+
+#endif // TALFT_ISA_COLOR_H

@@ -1,0 +1,92 @@
+//===- isa/Memory.h - Code and value memories (Figure 1) ------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code memory C maps integer addresses to instructions; value memory M
+/// maps addresses to integers. Both are inside the protected sphere (the
+/// fault model never corrupts them; error-correcting codes make this cheap
+/// in practice). Address 0 is never a valid code address — the destination
+/// register uses 0 as its "no pending transfer" sentinel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ISA_MEMORY_H
+#define TALFT_ISA_MEMORY_H
+
+#include "isa/Inst.h"
+#include "isa/Value.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+namespace talft {
+
+/// Code memory C: a partial map from addresses to instructions. Immutable
+/// during execution (the fault model does not corrupt instructions).
+class CodeMemory {
+public:
+  /// Places instruction \p I at address \p A (must be nonzero and unused).
+  void set(Addr A, Inst I) {
+    assert(A != 0 && "address 0 is not a valid code address");
+    assert(!Insts.count(A) && "code address defined twice");
+    Insts.emplace(A, I);
+  }
+
+  bool contains(Addr A) const { return Insts.count(A) != 0; }
+
+  /// C(n). Requires contains(n).
+  const Inst &get(Addr A) const {
+    auto It = Insts.find(A);
+    assert(It != Insts.end() && "fetch from an undefined code address");
+    return It->second;
+  }
+
+  size_t size() const { return Insts.size(); }
+  auto begin() const { return Insts.begin(); }
+  auto end() const { return Insts.end(); }
+
+private:
+  std::map<Addr, Inst> Insts;
+};
+
+/// Value memory M: a partial map from addresses to integers. Loads from
+/// addresses outside Dom(M) are "wild" (see the ldG-fail / ldG-rand rules).
+class ValueMemory {
+public:
+  /// Defines (or overwrites) location \p A.
+  void set(Addr A, int64_t V) { Cells[A] = V; }
+
+  bool contains(Addr A) const { return Cells.count(A) != 0; }
+
+  /// M(n). Requires contains(n).
+  int64_t get(Addr A) const {
+    auto It = Cells.find(A);
+    assert(It != Cells.end() && "load from an undefined memory address");
+    return It->second;
+  }
+
+  /// M(n) if defined.
+  std::optional<int64_t> lookup(Addr A) const {
+    auto It = Cells.find(A);
+    if (It == Cells.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  size_t size() const { return Cells.size(); }
+  auto begin() const { return Cells.begin(); }
+  auto end() const { return Cells.end(); }
+
+  bool operator==(const ValueMemory &O) const = default;
+
+private:
+  std::map<Addr, int64_t> Cells;
+};
+
+} // namespace talft
+
+#endif // TALFT_ISA_MEMORY_H

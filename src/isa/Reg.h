@@ -1,0 +1,92 @@
+//===- isa/Reg.h - Register names (Figure 1) ------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register names. The machine has NumGeneralRegs general-purpose registers
+/// r0..r63 (the paper writes r1, r2, ...), plus three special registers:
+///
+///   - d:   the destination register, holding a pending (green) control-flow
+///          intention; 0 means "no pending transfer";
+///   - pcG: the green program counter;
+///   - pcB: the blue program counter.
+///
+/// The meta variable `a` in the paper ranges over all registers, `r` only
+/// over general-purpose registers. Reg covers `a`; isGeneral() identifies
+/// the `r` subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ISA_REG_H
+#define TALFT_ISA_REG_H
+
+#include "isa/Color.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace talft {
+
+/// Number of general-purpose registers.
+inline constexpr unsigned NumGeneralRegs = 64;
+
+/// A register name: r0..r63, d, pcG or pcB.
+class Reg {
+public:
+  Reg() = default;
+
+  /// Builds a general-purpose register name.
+  static Reg general(unsigned Index) {
+    assert(Index < NumGeneralRegs && "general register index out of range");
+    return Reg(Index);
+  }
+
+  /// The special destination register d.
+  static Reg dest() { return Reg(NumGeneralRegs); }
+  /// The program counter of the given color.
+  static Reg pc(Color C) {
+    return Reg(C == Color::Green ? NumGeneralRegs + 1 : NumGeneralRegs + 2);
+  }
+  static Reg pcG() { return pc(Color::Green); }
+  static Reg pcB() { return pc(Color::Blue); }
+
+  bool isGeneral() const { return Index < NumGeneralRegs; }
+  bool isDest() const { return Index == NumGeneralRegs; }
+  bool isPC() const { return Index > NumGeneralRegs; }
+
+  /// For general registers, the 0-based index.
+  unsigned generalIndex() const {
+    assert(isGeneral() && "not a general register");
+    return Index;
+  }
+
+  /// Dense index usable for array-backed register files (generals first,
+  /// then d, pcG, pcB).
+  unsigned denseIndex() const { return Index; }
+
+  /// Total number of registers (generals + d + pcG + pcB).
+  static constexpr unsigned NumRegs = NumGeneralRegs + 3;
+
+  bool operator==(const Reg &O) const = default;
+
+  /// Renders as "r7", "d", "pcG" or "pcB".
+  std::string str() const {
+    if (isGeneral())
+      return "r" + std::to_string(Index);
+    if (isDest())
+      return "d";
+    return Index == NumGeneralRegs + 1 ? "pcG" : "pcB";
+  }
+
+private:
+  explicit Reg(unsigned Index) : Index(Index) {}
+
+  unsigned Index = 0;
+};
+
+} // namespace talft
+
+#endif // TALFT_ISA_REG_H

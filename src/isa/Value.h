@@ -1,0 +1,53 @@
+//===- isa/Value.h - Colored machine values (Figure 1) --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A colored value "c n": a 64-bit integer tagged with the color of the
+/// computation that produced it. The tag has no effect on evaluation — the
+/// interpreter never branches on it — but it is preserved by the fault
+/// model (reg-zap keeps the color while corrupting the payload), which is
+/// what makes the similarity relations of Figure 9 definable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ISA_VALUE_H
+#define TALFT_ISA_VALUE_H
+
+#include "isa/Color.h"
+
+#include <cstdint>
+#include <string>
+
+namespace talft {
+
+/// Machine addresses (both code and data) are plain integers.
+using Addr = int64_t;
+
+/// A colored value: the payload integer plus its computation color.
+struct Value {
+  Color C = Color::Green;
+  int64_t N = 0;
+
+  Value() = default;
+  Value(Color C, int64_t N) : C(C), N(N) {}
+
+  /// Builds a green value.
+  static Value green(int64_t N) { return Value(Color::Green, N); }
+  /// Builds a blue value.
+  static Value blue(int64_t N) { return Value(Color::Blue, N); }
+
+  /// Full equality, including the (fictional) color tag.
+  bool operator==(const Value &O) const = default;
+
+  /// Renders as "G 5" / "B -3", the paper's notation.
+  std::string str() const {
+    return std::string(colorLetter(C)) + " " + std::to_string(N);
+  }
+};
+
+} // namespace talft
+
+#endif // TALFT_ISA_VALUE_H

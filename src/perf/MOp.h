@@ -1,0 +1,90 @@
+//===- perf/MOp.h - Machine operations for the cost model -----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation (Section 5) measures the TALFT reliability
+/// transformation on an Itanium 2 — a wide in-order machine. We reproduce
+/// the *mechanism* behind its 1.34x result with a cost model: compiled
+/// code is lowered to streams of machine operations (MOps) carrying
+/// latency classes and register dependences, which a list scheduler packs
+/// onto a configurable-width in-order pipeline.
+///
+/// A MOp is deliberately simpler than a tal::Inst: the cost model does not
+/// execute anything, it only needs dependences, latencies and port usage.
+/// The unprotected baseline compiles one MOp per logical operation; the
+/// TALFT variants compile the duplicated streams, with pairing metadata
+/// for the green-before-blue ordering constraint that Figure 10 ablates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_PERF_MOP_H
+#define TALFT_PERF_MOP_H
+
+#include <cstdint>
+#include <vector>
+
+namespace talft {
+
+/// Latency/port class of a machine operation.
+enum class MOpClass : uint8_t {
+  /// Single-cycle integer ALU op (add/sub/mov).
+  Alu,
+  /// Pipelined integer multiply.
+  Mul,
+  /// Memory load.
+  Load,
+  /// Memory store (a green store entering the store queue, or a plain
+  /// baseline store).
+  Store,
+  /// A blue store: reads the queue back, compares, commits.
+  StoreCommit,
+  /// A branch or jump (including the green "intention" halves).
+  Branch,
+};
+
+/// One operation of a block's cost stream.
+struct MOp {
+  MOpClass Class = MOpClass::Alu;
+  /// Destination register (dense index), or -1.
+  int Dst = -1;
+  /// Source registers (dense indices), -1 when unused.
+  int Src0 = -1;
+  int Src1 = -1;
+  /// Nonnegative id linking the green and blue halves of a paired store /
+  /// jump / branch; -1 for unpaired ops.
+  int PairId = -1;
+  /// True for the green half of a pair (must precede the blue half when
+  /// the ordering constraint is enforced).
+  bool GreenHalf = false;
+
+  static MOp alu(int Dst, int Src0 = -1, int Src1 = -1) {
+    return {MOpClass::Alu, Dst, Src0, Src1, -1, false};
+  }
+  static MOp mul(int Dst, int Src0, int Src1) {
+    return {MOpClass::Mul, Dst, Src0, Src1, -1, false};
+  }
+  static MOp load(int Dst, int AddrReg) {
+    return {MOpClass::Load, Dst, AddrReg, -1, -1, false};
+  }
+  static MOp store(int AddrReg, int ValReg, int PairId = -1,
+                   bool GreenHalf = false) {
+    return {MOpClass::Store, -1, AddrReg, ValReg, PairId, GreenHalf};
+  }
+  static MOp storeCommit(int AddrReg, int ValReg, int PairId) {
+    return {MOpClass::StoreCommit, -1, AddrReg, ValReg, PairId, false};
+  }
+  static MOp branch(int Src0 = -1, int Src1 = -1, int PairId = -1,
+                    bool GreenHalf = false) {
+    return {MOpClass::Branch, -1, Src0, Src1, PairId, GreenHalf};
+  }
+};
+
+/// A block's cost stream in program order.
+using MOpStream = std::vector<MOp>;
+
+} // namespace talft
+
+#endif // TALFT_PERF_MOP_H

@@ -1,0 +1,250 @@
+//===- perf/Scheduler.cpp -------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/Scheduler.h"
+
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace talft;
+
+unsigned PipelineConfig::latencyOf(MOpClass C) const {
+  switch (C) {
+  case MOpClass::Alu:
+    return LatAlu;
+  case MOpClass::Mul:
+    return LatMul;
+  case MOpClass::Load:
+    return LatLoad;
+  case MOpClass::Store:
+  case MOpClass::StoreCommit:
+    return LatStore;
+  case MOpClass::Branch:
+    return LatBranch;
+  }
+  talft_unreachable("unknown MOp class");
+}
+
+static bool isMem(MOpClass C) {
+  return C == MOpClass::Load || C == MOpClass::Store ||
+         C == MOpClass::StoreCommit;
+}
+static bool isStore(MOpClass C) {
+  return C == MOpClass::Store || C == MOpClass::StoreCommit;
+}
+
+namespace {
+
+/// Dependence graph over one block. Edges carry the latency the
+/// successor must wait after the predecessor issues: full operation
+/// latency for data edges (RAW, pair dependences), zero for pure ordering
+/// edges (WAR/WAW, memory order, barriers) — those only constrain the
+/// issue order.
+class DepGraph {
+public:
+  struct Edge {
+    size_t To;
+    unsigned Latency;
+  };
+
+  DepGraph(const MOpStream &Ops, const PipelineConfig &Config)
+      : N(Ops.size()), Preds(N), Succs(N) {
+    auto AddEdge = [this](size_t From, size_t To, unsigned Latency) {
+      Succs[From].push_back({To, Latency});
+      Preds[To].push_back(From);
+    };
+
+    for (size_t I = 0; I != N; ++I) {
+      const MOp &A = Ops[I];
+      unsigned LatA = Config.latencyOf(A.Class);
+      for (size_t J = I + 1; J != N; ++J) {
+        const MOp &B = Ops[J];
+        bool Data = false, Order = false;
+        // RAW: B reads A's result.
+        if (A.Dst != -1 && (A.Dst == B.Src0 || A.Dst == B.Src1))
+          Data = true;
+        // WAW / WAR: ordering only.
+        if (A.Dst != -1 && A.Dst == B.Dst)
+          Order = true;
+        if (B.Dst != -1 && (B.Dst == A.Src0 || B.Dst == A.Src1))
+          Order = true;
+        // Memory ordering: stores stay in order; loads don't cross stores.
+        if ((isStore(A.Class) && isMem(B.Class)) ||
+            (isMem(A.Class) && isStore(B.Class)))
+          Order = true;
+        // Branches are scheduling barriers.
+        if (A.Class == MOpClass::Branch || B.Class == MOpClass::Branch)
+          Order = true;
+        // Paired halves: control-flow pairs always carry a data edge
+        // (jmpB/bzB read the d register jmpG/bzG wrote); store pairs
+        // carry one only under the TALFT ordering constraint — the
+        // "without ordering" hardware correlates redundant *memory*
+        // operations regardless of order.
+        if (A.PairId != -1 && A.PairId == B.PairId &&
+            (A.Class == MOpClass::Branch || Config.EnforceColorOrdering))
+          Data = true;
+        if (Data)
+          AddEdge(I, J, LatA);
+        else if (Order)
+          AddEdge(I, J, 0);
+      }
+    }
+  }
+
+  size_t size() const { return N; }
+  const std::vector<size_t> &preds(size_t I) const { return Preds[I]; }
+  const std::vector<Edge> &succs(size_t I) const { return Succs[I]; }
+
+private:
+  size_t N;
+  std::vector<std::vector<size_t>> Preds;
+  std::vector<std::vector<Edge>> Succs;
+};
+
+} // namespace
+
+MOpStream talft::scheduleBlock(const MOpStream &Block,
+                               const PipelineConfig &Config) {
+  size_t N = Block.size();
+  if (N < 2)
+    return Block;
+  DepGraph G(Block, Config);
+
+  // Priority: longest latency path to the block's end (critical-path
+  // height), computed bottom-up.
+  std::vector<uint64_t> Height(N, 0);
+  for (size_t I = N; I-- > 0;) {
+    uint64_t H = Config.latencyOf(Block[I].Class);
+    for (const DepGraph::Edge &E : G.succs(I))
+      H = std::max(H, (uint64_t)E.Latency + Height[E.To]);
+    Height[I] = H;
+  }
+
+  std::vector<size_t> RemainingPreds(N);
+  for (size_t I = 0; I != N; ++I)
+    RemainingPreds[I] = G.preds(I).size();
+
+  // Cycle-driven greedy list scheduling: at each clock tick, repeatedly
+  // emit the data-ready op with the largest height (ties broken by
+  // program order); advance the clock when nothing is ready, so
+  // independent work hoists into load/mul shadows.
+  std::vector<uint64_t> ReadyAt(N, 0);
+  std::vector<bool> Emitted(N, false);
+  MOpStream Out;
+  Out.reserve(N);
+  uint64_t Clock = 0;
+  unsigned IssuedThisCycle = 0;
+  while (Out.size() != N) {
+    size_t Best = N;
+    uint64_t NextReady = UINT64_MAX;
+    for (size_t I = 0; I != N; ++I) {
+      if (Emitted[I] || RemainingPreds[I] != 0)
+        continue;
+      if (ReadyAt[I] > Clock) {
+        NextReady = std::min(NextReady, ReadyAt[I]);
+        continue;
+      }
+      if (Best == N || Height[I] > Height[Best])
+        Best = I;
+    }
+    if (Best == N || IssuedThisCycle >= Config.IssueWidth) {
+      assert(NextReady != UINT64_MAX || Best != N);
+      Clock = std::max(Clock + 1, Best == N ? NextReady : Clock + 1);
+      IssuedThisCycle = 0;
+      continue;
+    }
+    Emitted[Best] = true;
+    ++IssuedThisCycle;
+    Out.push_back(Block[Best]);
+    for (const DepGraph::Edge &E : G.succs(Best)) {
+      --RemainingPreds[E.To];
+      ReadyAt[E.To] = std::max(ReadyAt[E.To], Clock + E.Latency);
+    }
+  }
+  return Out;
+}
+
+uint64_t talft::issueCycles(const MOpStream &Scheduled,
+                            const PipelineConfig &Config) {
+  if (Scheduled.empty())
+    return 0;
+
+  std::map<int, uint64_t> RegReady; // register -> first cycle a reader may issue
+  std::map<int, uint64_t> PairReady; // pair id -> green half completion
+  uint64_t Cur = 0;                  // cycle the in-order front is at
+  unsigned Slots = 0, Ints = 0, Mem = 0, Br = 0;
+  uint64_t LastIssue = 0;
+
+  auto AdvanceTo = [&](uint64_t C) {
+    if (C > Cur) {
+      Cur = C;
+      Slots = Ints = Mem = Br = 0;
+    }
+  };
+
+  for (const MOp &Op : Scheduled) {
+    uint64_t Start = LastIssue; // in-order: never before the previous op
+    auto NeedReg = [&](int R) {
+      if (R == -1)
+        return;
+      auto It = RegReady.find(R);
+      if (It != RegReady.end())
+        Start = std::max(Start, It->second);
+    };
+    NeedReg(Op.Src0);
+    NeedReg(Op.Src1);
+    // The blue half of a pair carries a true dependence on its green
+    // half: a blue store compares against the queue entry the green store
+    // wrote, and jmpB/bzB read the destination register d that jmpG/bzG
+    // set. The control-flow dependence is architectural and always holds;
+    // the store-queue dependence dissolves on the "without ordering"
+    // hardware, which correlates redundant memory operations regardless
+    // of their order.
+    if (Op.PairId != -1 && !Op.GreenHalf &&
+        (Op.Class == MOpClass::Branch || Config.EnforceColorOrdering)) {
+      auto It = PairReady.find(Op.PairId);
+      if (It != PairReady.end())
+        Start = std::max(Start, It->second);
+    }
+    AdvanceTo(Start);
+
+    // Find a cycle with free issue slots and ports.
+    bool IsBranch = Op.Class == MOpClass::Branch;
+    while (true) {
+      bool IntOk = IsBranch || Ints < Config.IntPorts;
+      bool MemOk = !isMem(Op.Class) || Mem < Config.MemPorts;
+      bool BrOk = !IsBranch || Br < Config.BranchPorts;
+      if (Slots < Config.IssueWidth && IntOk && MemOk && BrOk)
+        break;
+      AdvanceTo(Cur + 1);
+    }
+
+    ++Slots;
+    if (!IsBranch)
+      ++Ints;
+    if (isMem(Op.Class))
+      ++Mem;
+    if (IsBranch)
+      ++Br;
+    if (Op.Dst != -1)
+      RegReady[Op.Dst] = Cur + Config.latencyOf(Op.Class);
+    if (Op.PairId != -1 && Op.GreenHalf)
+      PairReady[Op.PairId] = Cur + Config.latencyOf(Op.Class);
+    LastIssue = Cur;
+  }
+
+  // The block retires when its last op completes.
+  return Cur + Config.latencyOf(Scheduled.back().Class);
+}
+
+uint64_t talft::blockCycles(const MOpStream &Block,
+                            const PipelineConfig &Config) {
+  return issueCycles(scheduleBlock(Block, Config), Config);
+}

@@ -1,0 +1,74 @@
+//===- perf/Scheduler.h - List scheduling + in-order issue cost model -----===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two stages reproduce what VELOCITY + the Itanium 2 did in the paper's
+/// evaluation:
+///
+///  1. a *list scheduler* reorders each block's MOp stream by critical-path
+///     priority, respecting register dependences (RAW/WAR/WAW), memory
+///     ordering (stores stay in FIFO order; loads do not pass stores),
+///     control flow (branches retire last, in order), and — when enabled —
+///     the TALFT ordering constraint (the green half of every paired
+///     store/branch precedes its blue half);
+///
+///  2. an *in-order issue model* walks the schedule cycle by cycle: up to
+///     IssueWidth ops per cycle, bounded by memory and branch ports, an op
+///     issuing only when its operands' latencies have elapsed and every
+///     earlier op has issued (stalls propagate, as on a real in-order
+///     machine).
+///
+/// Turning EnforceColorOrdering off models the paper's "more aggressive
+/// hardware implementation that could correlate the original and redundant
+/// memory operations regardless of the executed order" (the TAL-FT
+/// without-ordering bars of Figure 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_PERF_SCHEDULER_H
+#define TALFT_PERF_SCHEDULER_H
+
+#include "perf/MOp.h"
+
+#include <cstdint>
+
+namespace talft {
+
+/// Pipeline parameters. Defaults are Itanium-2-flavoured: 6-wide issue
+/// of which at most 4 slots carry integer/memory operations (2 I-units +
+/// 2 M-units) and up to 3 carry branches (B-units); 1-cycle ALU, 2-cycle
+/// loads (L1 hit), pipelined 3-cycle multiply.
+struct PipelineConfig {
+  unsigned IssueWidth = 6;
+  /// Non-branch operations share the integer/memory units (Itanium 2: two
+  /// I-units + two M-units); branches issue on the separate B-units.
+  unsigned IntPorts = 4;
+  unsigned MemPorts = 2;
+  unsigned BranchPorts = 3;
+  unsigned LatAlu = 1;
+  unsigned LatMul = 3;
+  unsigned LatLoad = 2;
+  unsigned LatStore = 1;
+  unsigned LatBranch = 1;
+  /// Enforce the green-before-blue ordering of paired operations.
+  bool EnforceColorOrdering = true;
+
+  unsigned latencyOf(MOpClass C) const;
+};
+
+/// Reorders \p Block by list scheduling under \p Config's constraints.
+MOpStream scheduleBlock(const MOpStream &Block, const PipelineConfig &Config);
+
+/// Cycles to issue \p Scheduled in order on the modelled pipeline.
+uint64_t issueCycles(const MOpStream &Scheduled,
+                     const PipelineConfig &Config);
+
+/// Convenience: scheduleBlock + issueCycles.
+uint64_t blockCycles(const MOpStream &Block, const PipelineConfig &Config);
+
+} // namespace talft
+
+#endif // TALFT_PERF_SCHEDULER_H

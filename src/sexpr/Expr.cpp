@@ -1,0 +1,80 @@
+//===- sexpr/Expr.cpp -----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/Expr.h"
+
+#include "support/Unreachable.h"
+
+using namespace talft;
+
+static bool needsParens(const Expr *E) {
+  return E->isBinOp() || E->isSel() || E->isUpd();
+}
+
+static std::string childStr(const Expr *E) {
+  if (needsParens(E))
+    return "(" + E->str() + ")";
+  return E->str();
+}
+
+std::string Expr::str() const {
+  switch (NK) {
+  case ExprNodeKind::Var:
+    return Name;
+  case ExprNodeKind::IntConst:
+    return std::to_string(IntVal);
+  case ExprNodeKind::BinOp: {
+    const char *OpStr = Op == Opcode::Add   ? " + "
+                        : Op == Opcode::Sub ? " - "
+                                            : " * ";
+    return childStr(C0) + OpStr + childStr(C1);
+  }
+  case ExprNodeKind::Sel:
+    return "sel " + childStr(C0) + " " + childStr(C1);
+  case ExprNodeKind::Emp:
+    return "emp";
+  case ExprNodeKind::Upd:
+    return "upd " + childStr(C0) + " " + childStr(C1) + " " + childStr(C2);
+  }
+  talft_unreachable("unknown expression node kind");
+}
+
+int talft::compareExprs(const Expr *A, const Expr *B) {
+  if (A == B)
+    return 0;
+  if (A->nodeKind() != B->nodeKind())
+    return (int)A->nodeKind() < (int)B->nodeKind() ? -1 : 1;
+  switch (A->nodeKind()) {
+  case ExprNodeKind::Var:
+    return A->varName().compare(B->varName());
+  case ExprNodeKind::IntConst:
+    return A->intValue() < B->intValue() ? -1
+           : A->intValue() == B->intValue() ? 0
+                                            : 1;
+  case ExprNodeKind::BinOp: {
+    if (A->binOp() != B->binOp())
+      return (int)A->binOp() < (int)B->binOp() ? -1 : 1;
+    if (int C = compareExprs(A->child0(), B->child0()))
+      return C;
+    return compareExprs(A->child1(), B->child1());
+  }
+  case ExprNodeKind::Sel: {
+    if (int C = compareExprs(A->child0(), B->child0()))
+      return C;
+    return compareExprs(A->child1(), B->child1());
+  }
+  case ExprNodeKind::Emp:
+    return 0;
+  case ExprNodeKind::Upd: {
+    if (int C = compareExprs(A->child0(), B->child0()))
+      return C;
+    if (int C = compareExprs(A->child1(), B->child1()))
+      return C;
+    return compareExprs(A->child2(), B->child2());
+  }
+  }
+  talft_unreachable("unknown expression node kind");
+}

@@ -1,0 +1,123 @@
+//===- sexpr/Expr.h - Static expressions (Figure 5, Appendix A.2) ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Hoare-logic half of the TALFT type system reasons about run-time
+/// values with *static expressions* drawn from the classical theory of
+/// arithmetic and arrays:
+///
+///   kinds        κ ::= κint | κmem
+///   expressions  E ::= x | n | E op E | sel Em En | emp | upd Em En1 En2
+///
+/// Integer expressions denote machine integers; memory expressions denote
+/// finite maps from addresses to integers. `sel Em En` is the value at
+/// address En in Em; `upd Em En1 En2` is Em with address En1 updated to
+/// En2; `emp` is the empty memory.
+///
+/// Expr nodes are immutable and hash-consed by an ExprContext, so pointer
+/// equality coincides with structural equality and contexts can memoize
+/// normalization. All Expr pointers are owned by their context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SEXPR_EXPR_H
+#define TALFT_SEXPR_EXPR_H
+
+#include "isa/Inst.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace talft {
+
+/// Expression kinds κ.
+enum class ExprKind : uint8_t { Int, Mem };
+
+/// Expression node discriminator.
+enum class ExprNodeKind : uint8_t { Var, IntConst, BinOp, Sel, Emp, Upd };
+
+class ExprContext;
+
+/// One immutable, hash-consed static-expression node.
+class Expr {
+public:
+  ExprNodeKind nodeKind() const { return NK; }
+  ExprKind kind() const { return K; }
+
+  bool isVar() const { return NK == ExprNodeKind::Var; }
+  bool isIntConst() const { return NK == ExprNodeKind::IntConst; }
+  bool isBinOp() const { return NK == ExprNodeKind::BinOp; }
+  bool isSel() const { return NK == ExprNodeKind::Sel; }
+  bool isEmp() const { return NK == ExprNodeKind::Emp; }
+  bool isUpd() const { return NK == ExprNodeKind::Upd; }
+
+  /// Variable name. Requires isVar().
+  const std::string &varName() const {
+    assert(isVar() && "varName() on a non-variable");
+    return Name;
+  }
+
+  /// Constant payload. Requires isIntConst().
+  int64_t intValue() const {
+    assert(isIntConst() && "intValue() on a non-constant");
+    return IntVal;
+  }
+
+  /// The arithmetic operator. Requires isBinOp().
+  Opcode binOp() const {
+    assert(isBinOp() && "binOp() on a non-binop");
+    return Op;
+  }
+
+  /// Left operand of a binop; memory operand of sel/upd.
+  const Expr *child0() const {
+    assert((isBinOp() || isSel() || isUpd()) && "node has no children");
+    return C0;
+  }
+  /// Right operand of a binop; address operand of sel/upd.
+  const Expr *child1() const {
+    assert((isBinOp() || isSel() || isUpd()) && "node has no children");
+    return C1;
+  }
+  /// Stored-value operand of upd.
+  const Expr *child2() const {
+    assert(isUpd() && "child2() only on upd nodes");
+    return C2;
+  }
+
+  /// True when the expression has no free variables.
+  bool isClosed() const { return Closed; }
+
+  /// True when some free variable of this expression satisfies... see
+  /// ExprContext::freeVars for full enumeration; this is a cheap check.
+  bool hasFreeVars() const { return !Closed; }
+
+  /// Renders in the paper's concrete syntax, e.g. "sel (upd m 4 x) 4".
+  std::string str() const;
+
+private:
+  friend class ExprContext;
+  Expr() = default;
+
+  ExprNodeKind NK = ExprNodeKind::IntConst;
+  ExprKind K = ExprKind::Int;
+  bool Closed = true;
+  Opcode Op = Opcode::Add;     // BinOp only.
+  int64_t IntVal = 0;          // IntConst only.
+  std::string Name;            // Var only.
+  const Expr *C0 = nullptr;    // BinOp lhs / Sel mem / Upd mem.
+  const Expr *C1 = nullptr;    // BinOp rhs / Sel addr / Upd addr.
+  const Expr *C2 = nullptr;    // Upd value.
+};
+
+/// Total structural order on expressions (used to canonicalize commutative
+/// operand lists deterministically). Returns <0, 0, >0.
+int compareExprs(const Expr *A, const Expr *B);
+
+} // namespace talft
+
+#endif // TALFT_SEXPR_EXPR_H

@@ -1,0 +1,128 @@
+//===- sexpr/ExprContext.cpp ----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprContext.h"
+
+#include "support/Unreachable.h"
+
+#include <cstdio>
+
+using namespace talft;
+
+// Children are already uniqued, so a serialized key containing the child
+// pointers identifies a node structurally.
+static std::string pointerKey(const Expr *E) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%p", (const void *)E);
+  return Buf;
+}
+
+ExprContext::ExprContext() {
+  Expr Proto;
+  Proto.NK = ExprNodeKind::Emp;
+  Proto.K = ExprKind::Mem;
+  EmpNode = unique(std::move(Proto));
+}
+
+const Expr *ExprContext::unique(Expr Proto) {
+  std::string Key;
+  switch (Proto.NK) {
+  case ExprNodeKind::IntConst:
+    Key = "C:" + std::to_string(Proto.IntVal);
+    break;
+  case ExprNodeKind::Var:
+    Key = "V:";
+    Key += Proto.K == ExprKind::Int ? "i:" : "m:";
+    Key += Proto.Name;
+    break;
+  case ExprNodeKind::BinOp:
+    Key = "B:";
+    Key += opcodeStem(Proto.Op);
+    Key += ":" + pointerKey(Proto.C0) + ":" + pointerKey(Proto.C1);
+    break;
+  case ExprNodeKind::Sel:
+    Key = "S:" + pointerKey(Proto.C0) + ":" + pointerKey(Proto.C1);
+    break;
+  case ExprNodeKind::Emp:
+    Key = "E";
+    break;
+  case ExprNodeKind::Upd:
+    Key = "U:" + pointerKey(Proto.C0) + ":" + pointerKey(Proto.C1) + ":" +
+          pointerKey(Proto.C2);
+    break;
+  }
+
+  auto It = UniqueTable.find(Key);
+  if (It != UniqueTable.end())
+    return It->second;
+
+  auto Node = std::make_unique<Expr>(std::move(Proto));
+  const Expr *Result = Node.get();
+  Nodes.push_back(std::move(Node));
+  UniqueTable.emplace(std::move(Key), Result);
+  return Result;
+}
+
+const Expr *ExprContext::intConst(int64_t N) {
+  Expr Proto;
+  Proto.NK = ExprNodeKind::IntConst;
+  Proto.K = ExprKind::Int;
+  Proto.IntVal = N;
+  return unique(std::move(Proto));
+}
+
+const Expr *ExprContext::var(std::string_view Name, ExprKind K) {
+  assert(!Name.empty() && "variables need a name");
+  Expr Proto;
+  Proto.NK = ExprNodeKind::Var;
+  Proto.K = K;
+  Proto.Closed = false;
+  Proto.Name = std::string(Name);
+  const Expr *Result = unique(std::move(Proto));
+  assert(Result->kind() == K && "one variable name used at two kinds");
+  return Result;
+}
+
+const Expr *ExprContext::binop(Opcode Op, const Expr *L, const Expr *R) {
+  assert(isAluOpcode(Op) && "static binops are add/sub/mul");
+  assert(L->kind() == ExprKind::Int && R->kind() == ExprKind::Int &&
+         "binop operands must have kind int");
+  Expr Proto;
+  Proto.NK = ExprNodeKind::BinOp;
+  Proto.K = ExprKind::Int;
+  Proto.Closed = L->isClosed() && R->isClosed();
+  Proto.Op = Op;
+  Proto.C0 = L;
+  Proto.C1 = R;
+  return unique(std::move(Proto));
+}
+
+const Expr *ExprContext::sel(const Expr *Mem, const Expr *Addr) {
+  assert(Mem->kind() == ExprKind::Mem && "sel needs a memory expression");
+  assert(Addr->kind() == ExprKind::Int && "sel needs an integer address");
+  Expr Proto;
+  Proto.NK = ExprNodeKind::Sel;
+  Proto.K = ExprKind::Int;
+  Proto.Closed = Mem->isClosed() && Addr->isClosed();
+  Proto.C0 = Mem;
+  Proto.C1 = Addr;
+  return unique(std::move(Proto));
+}
+
+const Expr *ExprContext::upd(const Expr *Mem, const Expr *Addr,
+                             const Expr *Val) {
+  assert(Mem->kind() == ExprKind::Mem && "upd needs a memory expression");
+  assert(Addr->kind() == ExprKind::Int && "upd needs an integer address");
+  assert(Val->kind() == ExprKind::Int && "upd needs an integer value");
+  Expr Proto;
+  Proto.NK = ExprNodeKind::Upd;
+  Proto.K = ExprKind::Mem;
+  Proto.Closed = Mem->isClosed() && Addr->isClosed() && Val->isClosed();
+  Proto.C0 = Mem;
+  Proto.C1 = Addr;
+  Proto.C2 = Val;
+  return unique(std::move(Proto));
+}

@@ -1,0 +1,67 @@
+//===- sexpr/ExprContext.h - Hash-consing arena for static expressions ----===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExprContext owns and uniques Expr nodes: structurally equal expressions
+/// built through the same context are the same pointer. The context also
+/// memoizes normalization (see ExprNormalize.h). One context is shared by a
+/// whole type-checking or verification session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SEXPR_EXPRCONTEXT_H
+#define TALFT_SEXPR_EXPRCONTEXT_H
+
+#include "sexpr/Expr.h"
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace talft {
+
+/// Uniquing arena and factory for static expressions.
+class ExprContext {
+public:
+  ExprContext();
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  /// The integer constant n.
+  const Expr *intConst(int64_t N);
+  /// The variable \p Name of kind \p K. A name denotes one variable: asking
+  /// for the same name with a different kind is a programming error.
+  const Expr *var(std::string_view Name, ExprKind K);
+  /// E1 op E2 (op ∈ {add, sub, mul}); both operands of kind int.
+  const Expr *binop(Opcode Op, const Expr *L, const Expr *R);
+  /// sel Em En.
+  const Expr *sel(const Expr *Mem, const Expr *Addr);
+  /// The empty memory emp.
+  const Expr *emp() const { return EmpNode; }
+  /// upd Em En1 En2.
+  const Expr *upd(const Expr *Mem, const Expr *Addr, const Expr *Val);
+
+  /// Number of distinct nodes created (for tests and benchmarks).
+  size_t numNodes() const { return Nodes.size(); }
+
+  /// Internal: the normalization memo table (see ExprNormalize.cpp).
+  std::unordered_map<const Expr *, const Expr *> &normalizeMemo() {
+    return NormalizeMemoTable;
+  }
+
+private:
+  const Expr *unique(Expr Proto);
+
+  std::vector<std::unique_ptr<Expr>> Nodes;
+  std::unordered_map<std::string, const Expr *> UniqueTable;
+  std::unordered_map<const Expr *, const Expr *> NormalizeMemoTable;
+  const Expr *EmpNode = nullptr;
+};
+
+} // namespace talft
+
+#endif // TALFT_SEXPR_EXPRCONTEXT_H

@@ -1,0 +1,329 @@
+//===- sexpr/ExprNormalize.cpp --------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprNormalize.h"
+
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace talft;
+
+namespace {
+
+/// Wrapping 64-bit arithmetic (two's complement machine integers).
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A + (uint64_t)B);
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return (int64_t)((uint64_t)A * (uint64_t)B);
+}
+int64_t wrapNeg(int64_t A) { return (int64_t)(0 - (uint64_t)A); }
+
+/// A term of the linear normal form: Coeff * (product of Atoms). Atoms are
+/// normalized non-sum, non-constant integer expressions (variables, sels,
+/// opaque products left unexpanded), kept sorted by compareExprs.
+struct LinearTerm {
+  int64_t Coeff = 0;
+  std::vector<const Expr *> Atoms;
+};
+
+/// A linear combination: Constant + sum of terms.
+struct LinearForm {
+  int64_t Constant = 0;
+  std::vector<LinearTerm> Terms;
+};
+
+int compareAtomLists(const std::vector<const Expr *> &A,
+                     const std::vector<const Expr *> &B) {
+  size_t N = std::min(A.size(), B.size());
+  for (size_t I = 0; I != N; ++I)
+    if (int C = compareExprs(A[I], B[I]))
+      return C;
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  return 0;
+}
+
+class Normalizer {
+public:
+  explicit Normalizer(ExprContext &Ctx) : Ctx(Ctx) {}
+
+  const Expr *run(const Expr *E) {
+    auto &Memo = Ctx.normalizeMemo();
+    auto It = Memo.find(E);
+    if (It != Memo.end())
+      return It->second;
+    const Expr *Result =
+        E->kind() == ExprKind::Int ? emit(linearize(E)) : normMem(E);
+    Memo.emplace(E, Result);
+    // The normal form of a normal form is itself.
+    Memo.emplace(Result, Result);
+    return Result;
+  }
+
+private:
+  ExprContext &Ctx;
+
+  /// Converts an integer expression to its linear form, normalizing
+  /// sub-expressions under sel/upd on the way.
+  LinearForm linearize(const Expr *E) {
+    LinearForm F;
+    accumulate(E, /*Sign=*/1, F);
+    canonicalize(F);
+    return F;
+  }
+
+  /// Adds Sign * E into \p F.
+  void accumulate(const Expr *E, int64_t Sign, LinearForm &F) {
+    switch (E->nodeKind()) {
+    case ExprNodeKind::IntConst:
+      F.Constant = wrapAdd(F.Constant, wrapMul(Sign, E->intValue()));
+      return;
+    case ExprNodeKind::BinOp:
+      switch (E->binOp()) {
+      case Opcode::Add:
+        accumulate(E->child0(), Sign, F);
+        accumulate(E->child1(), Sign, F);
+        return;
+      case Opcode::Sub:
+        accumulate(E->child0(), Sign, F);
+        accumulate(E->child1(), wrapNeg(Sign), F);
+        return;
+      case Opcode::Mul: {
+        LinearTerm T = multiply(E);
+        T.Coeff = wrapMul(T.Coeff, Sign);
+        pushTerm(std::move(T), F);
+        return;
+      }
+      default:
+        talft_unreachable("non-ALU opcode in a static expression");
+      }
+    case ExprNodeKind::Var:
+    case ExprNodeKind::Sel: {
+      LinearTerm T;
+      T.Coeff = Sign;
+      T.Atoms.push_back(normAtom(E));
+      pushTerm(std::move(T), F);
+      return;
+    }
+    case ExprNodeKind::Emp:
+    case ExprNodeKind::Upd:
+      break;
+    }
+    talft_unreachable("memory node in integer linearization");
+  }
+
+  /// Normalizes a product node into coefficient * sorted atoms. Sums inside
+  /// products are distributed only when one side is a constant; otherwise
+  /// the (normalized) sum is kept as an opaque atom — sound, and it keeps
+  /// normal forms small.
+  LinearTerm multiply(const Expr *E) {
+    LinearTerm T;
+    T.Coeff = 1;
+    mulInto(E, T);
+    std::sort(T.Atoms.begin(), T.Atoms.end(),
+              [](const Expr *A, const Expr *B) {
+                return compareExprs(A, B) < 0;
+              });
+    return T;
+  }
+
+  void mulInto(const Expr *E, LinearTerm &T) {
+    if (E->isIntConst()) {
+      T.Coeff = wrapMul(T.Coeff, E->intValue());
+      return;
+    }
+    if (E->isBinOp() && E->binOp() == Opcode::Mul) {
+      mulInto(E->child0(), T);
+      mulInto(E->child1(), T);
+      return;
+    }
+    // Non-constant factor: normalize it. If it normalizes to a constant or
+    // another product, fold that in; a sum becomes an opaque atom unless it
+    // is constant-plus-nothing.
+    const Expr *N = run(E);
+    if (N->isIntConst()) {
+      T.Coeff = wrapMul(T.Coeff, N->intValue());
+      return;
+    }
+    if (N->isBinOp() && N->binOp() == Opcode::Mul) {
+      mulInto(N->child0(), T);
+      mulInto(N->child1(), T);
+      return;
+    }
+    T.Atoms.push_back(N);
+  }
+
+  /// Normalizes an atom (variable or sel).
+  const Expr *normAtom(const Expr *E) {
+    if (E->isVar())
+      return E;
+    assert(E->isSel() && "atoms are variables or sels");
+    return normSel(run(E->child0()), emit(linearize(E->child1())));
+  }
+
+  void pushTerm(LinearTerm T, LinearForm &F) {
+    if (T.Coeff == 0)
+      return;
+    if (T.Atoms.empty()) {
+      F.Constant = wrapAdd(F.Constant, T.Coeff);
+      return;
+    }
+    F.Terms.push_back(std::move(T));
+  }
+
+  /// Sorts terms and merges equal atom-lists (coefficients add, wrapping).
+  void canonicalize(LinearForm &F) {
+    std::sort(F.Terms.begin(), F.Terms.end(),
+              [](const LinearTerm &A, const LinearTerm &B) {
+                return compareAtomLists(A.Atoms, B.Atoms) < 0;
+              });
+    std::vector<LinearTerm> Merged;
+    for (LinearTerm &T : F.Terms) {
+      if (!Merged.empty() &&
+          compareAtomLists(Merged.back().Atoms, T.Atoms) == 0) {
+        Merged.back().Coeff = wrapAdd(Merged.back().Coeff, T.Coeff);
+        if (Merged.back().Coeff == 0)
+          Merged.pop_back();
+        continue;
+      }
+      Merged.push_back(std::move(T));
+    }
+    F.Terms = std::move(Merged);
+  }
+
+  /// Rebuilds the canonical expression tree for a linear form.
+  const Expr *emit(const LinearForm &F) {
+    const Expr *Acc = nullptr;
+    for (const LinearTerm &T : F.Terms) {
+      const Expr *Prod = nullptr;
+      for (const Expr *A : T.Atoms)
+        Prod = Prod ? Ctx.binop(Opcode::Mul, Prod, A) : A;
+      assert(Prod && "term with no atoms");
+      if (T.Coeff != 1)
+        Prod = Ctx.binop(Opcode::Mul, Ctx.intConst(T.Coeff), Prod);
+      Acc = Acc ? Ctx.binop(Opcode::Add, Acc, Prod) : Prod;
+    }
+    if (!Acc)
+      return Ctx.intConst(F.Constant);
+    if (F.Constant != 0)
+      Acc = Ctx.binop(Opcode::Add, Acc, Ctx.intConst(F.Constant));
+    return Acc;
+  }
+
+  /// Resolves sel over an upd chain with normalized operands.
+  const Expr *normSel(const Expr *Mem, const Expr *Addr) {
+    const Expr *M = Mem;
+    while (M->isUpd()) {
+      Proof Same = addrCompare(M->child1(), Addr);
+      if (Same == Proof::Yes)
+        return M->child2();
+      if (Same == Proof::No) {
+        M = M->child0();
+        continue;
+      }
+      break;
+    }
+    return Ctx.sel(M, Addr);
+  }
+
+  /// Equality of two *normalized* integer expressions: identical nodes are
+  /// equal; otherwise decide by the normal form of their difference.
+  Proof addrCompare(const Expr *A, const Expr *B) {
+    if (A == B)
+      return Proof::Yes;
+    const Expr *Diff = run(Ctx.binop(Opcode::Sub, A, B));
+    if (Diff->isIntConst())
+      return Diff->intValue() == 0 ? Proof::Yes : Proof::No;
+    return Proof::Unknown;
+  }
+
+  /// Normalizes a memory expression: normalize components, drop shadowed
+  /// updates, and canonically order commuting adjacent updates.
+  const Expr *normMem(const Expr *E) {
+    if (E->isEmp() || E->isVar())
+      return E;
+    assert(E->isUpd() && "unknown memory node");
+
+    // Collect the chain outermost-first down to the base.
+    struct Entry {
+      const Expr *Addr;
+      const Expr *Val;
+    };
+    std::vector<Entry> Chain;
+    const Expr *Base = E;
+    while (Base->isUpd()) {
+      Chain.push_back({emit(linearize(Base->child1())),
+                       emit(linearize(Base->child2()))});
+      Base = Base->child0();
+    }
+    Base = normMem(Base);
+
+    // Drop entries shadowed by a provably equal outer (earlier) address.
+    std::vector<Entry> Kept;
+    for (size_t I = 0, N = Chain.size(); I != N; ++I) {
+      bool Shadowed = false;
+      for (size_t J = 0; J != I && !Shadowed; ++J)
+        Shadowed = addrCompare(Chain[J].Addr, Chain[I].Addr) == Proof::Yes;
+      if (!Shadowed)
+        Kept.push_back(Chain[I]);
+    }
+
+    // Reverse to application (innermost-first) order, then bubble provably
+    // distinct adjacent entries into canonical address order. Chains are
+    // short; O(n^2) is fine.
+    std::reverse(Kept.begin(), Kept.end());
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I + 1 < Kept.size(); ++I) {
+        if (compareExprs(Kept[I].Addr, Kept[I + 1].Addr) > 0 &&
+            addrCompare(Kept[I].Addr, Kept[I + 1].Addr) == Proof::No) {
+          std::swap(Kept[I], Kept[I + 1]);
+          Changed = true;
+        }
+      }
+    }
+
+    const Expr *M = Base;
+    for (const Entry &En : Kept)
+      M = Ctx.upd(M, En.Addr, En.Val);
+    return M;
+  }
+};
+
+} // namespace
+
+const Expr *talft::normalize(ExprContext &Ctx, const Expr *E) {
+  return Normalizer(Ctx).run(E);
+}
+
+Proof talft::compareEqual(ExprContext &Ctx, const Expr *A, const Expr *B) {
+  assert(A->kind() == B->kind() && "comparing expressions of unequal kind");
+  const Expr *NA = normalize(Ctx, A);
+  const Expr *NB = normalize(Ctx, B);
+  if (NA == NB)
+    return Proof::Yes;
+  if (A->kind() == ExprKind::Mem) {
+    // Distinctness of memories is not decided (it is never needed by the
+    // checker); unequal normal forms are merely "unknown".
+    return Proof::Unknown;
+  }
+  const Expr *Diff = normalize(Ctx, Ctx.binop(Opcode::Sub, NA, NB));
+  if (Diff->isIntConst())
+    return Diff->intValue() == 0 ? Proof::Yes : Proof::No;
+  return Proof::Unknown;
+}
+
+bool talft::provablyEqual(ExprContext &Ctx, const Expr *A, const Expr *B) {
+  return compareEqual(Ctx, A, B) == Proof::Yes;
+}
+
+bool talft::provablyDistinct(ExprContext &Ctx, const Expr *A, const Expr *B) {
+  return compareEqual(Ctx, A, B) == Proof::No;
+}

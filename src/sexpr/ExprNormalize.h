@@ -1,0 +1,61 @@
+//===- sexpr/ExprNormalize.h - Normalization & the equality judgment ------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decision procedure for the paper's semantic equality judgment
+/// Δ ⊢ E1 = E2 ("equal objects in the standard model", Appendix A.2).
+/// Full first-order equality over arithmetic + arrays is undecidable, so we
+/// implement a sound, incomplete procedure via normalization:
+///
+///   - integer expressions are put into a linear-combination normal form
+///     c0 + c1*P1 + ... + cn*Pn over canonically ordered product atoms,
+///     with all coefficient arithmetic wrapping (machine integers wrap);
+///   - sel-over-upd chains are resolved when the addresses are provably
+///     equal or provably distinct;
+///   - upd chains drop entries shadowed by a provably equal outer address
+///     and order commuting (provably distinct) adjacent entries
+///     canonically.
+///
+/// Two expressions are *provably equal* when their normal forms coincide,
+/// or (for integers) when the normal form of their difference is the
+/// constant 0. They are *provably distinct* when the difference normalizes
+/// to a nonzero constant. Anything else is "unknown", which the type
+/// checker conservatively treats as not-equal. The procedure is complete
+/// on the expressions produced by the Wile compiler (linear arithmetic over
+/// variables and constant-addressed arrays), which is what the paper's
+/// "standard theory used in many classical Hoare Logics" needs to cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SEXPR_EXPRNORMALIZE_H
+#define TALFT_SEXPR_EXPRNORMALIZE_H
+
+#include "sexpr/ExprContext.h"
+
+namespace talft {
+
+/// Returns the normal form of \p E (memoized in \p Ctx). Normal forms are
+/// canonical: semantically equal expressions *recognized by the procedure*
+/// normalize to the same node.
+const Expr *normalize(ExprContext &Ctx, const Expr *E);
+
+/// Three-valued comparison result.
+enum class Proof { Yes, No, Unknown };
+
+/// Decides Δ ⊢ E1 = E2: Yes when provably equal in the standard model,
+/// No when provably distinct, Unknown otherwise. (The variable context is
+/// implicit: free variables are universally quantified.)
+Proof compareEqual(ExprContext &Ctx, const Expr *A, const Expr *B);
+
+/// Convenience: compareEqual == Yes.
+bool provablyEqual(ExprContext &Ctx, const Expr *A, const Expr *B);
+
+/// Convenience: compareEqual == No.
+bool provablyDistinct(ExprContext &Ctx, const Expr *A, const Expr *B);
+
+} // namespace talft
+
+#endif // TALFT_SEXPR_EXPRNORMALIZE_H

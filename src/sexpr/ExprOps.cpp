@@ -1,0 +1,234 @@
+//===- sexpr/ExprOps.cpp --------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprOps.h"
+
+#include "support/Unreachable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace talft;
+
+std::string VarScope::str() const {
+  std::string Out;
+  for (const auto &[Name, K] : Vars) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += Name;
+    Out += K == ExprKind::Int ? ":int" : ":mem";
+  }
+  return Out;
+}
+
+static void collectFreeVars(const Expr *E,
+                            std::unordered_set<const Expr *> &Seen,
+                            std::vector<const Expr *> &Out) {
+  // Seen covers every visited node (expressions are DAGs under
+  // hash-consing; revisiting shared subtrees would be exponential).
+  if (E->isClosed() || !Seen.insert(E).second)
+    return;
+  switch (E->nodeKind()) {
+  case ExprNodeKind::Var:
+    Out.push_back(E);
+    return;
+  case ExprNodeKind::IntConst:
+  case ExprNodeKind::Emp:
+    return;
+  case ExprNodeKind::BinOp:
+  case ExprNodeKind::Sel:
+    collectFreeVars(E->child0(), Seen, Out);
+    collectFreeVars(E->child1(), Seen, Out);
+    return;
+  case ExprNodeKind::Upd:
+    collectFreeVars(E->child0(), Seen, Out);
+    collectFreeVars(E->child1(), Seen, Out);
+    collectFreeVars(E->child2(), Seen, Out);
+    return;
+  }
+  talft_unreachable("unknown expression node kind");
+}
+
+std::vector<const Expr *> talft::freeVars(const Expr *E) {
+  std::unordered_set<const Expr *> Seen;
+  std::vector<const Expr *> Out;
+  collectFreeVars(E, Seen, Out);
+  return Out;
+}
+
+bool talft::wellFormedIn(const Expr *E, const VarScope &Delta) {
+  for (const Expr *V : freeVars(E)) {
+    std::optional<ExprKind> K = Delta.lookup(V->varName());
+    if (!K || *K != V->kind())
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Hash-consing makes expressions DAGs: shared subtrees must be visited
+/// once per top-level call or substitution over self-referencing chains
+/// (e.g. a loop's acc = acc*acc + 1 singleton) goes exponential.
+const Expr *applyMemo(ExprContext &Ctx, const Subst &S, const Expr *E,
+                      std::unordered_map<const Expr *, const Expr *> &Memo) {
+  if (E->isClosed())
+    return E;
+  auto It = Memo.find(E);
+  if (It != Memo.end())
+    return It->second;
+  const Expr *Result = nullptr;
+  switch (E->nodeKind()) {
+  case ExprNodeKind::Var: {
+    const Expr *Bound = S.lookup(E);
+    Result = Bound ? Bound : E;
+    break;
+  }
+  case ExprNodeKind::IntConst:
+  case ExprNodeKind::Emp:
+    Result = E;
+    break;
+  case ExprNodeKind::BinOp:
+    Result = Ctx.binop(E->binOp(), applyMemo(Ctx, S, E->child0(), Memo),
+                       applyMemo(Ctx, S, E->child1(), Memo));
+    break;
+  case ExprNodeKind::Sel:
+    Result = Ctx.sel(applyMemo(Ctx, S, E->child0(), Memo),
+                     applyMemo(Ctx, S, E->child1(), Memo));
+    break;
+  case ExprNodeKind::Upd:
+    Result = Ctx.upd(applyMemo(Ctx, S, E->child0(), Memo),
+                     applyMemo(Ctx, S, E->child1(), Memo),
+                     applyMemo(Ctx, S, E->child2(), Memo));
+    break;
+  }
+  Memo.emplace(E, Result);
+  return Result;
+}
+
+} // namespace
+
+const Expr *Subst::apply(ExprContext &Ctx, const Expr *E) const {
+  if (E->isClosed() || empty())
+    return E;
+  std::unordered_map<const Expr *, const Expr *> Memo;
+  return applyMemo(Ctx, *this, E, Memo);
+}
+
+Subst Subst::composeWith(ExprContext &Ctx, const Subst &Outer) const {
+  Subst Result;
+  for (const auto &[Var, E] : Map)
+    Result.bind(Var, Outer.apply(Ctx, E));
+  return Result;
+}
+
+std::string Subst::str() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const auto &[Var, E] : Map) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += E->str();
+    Out += "/";
+    Out += Var->varName();
+  }
+  Out += "]";
+  return Out;
+}
+
+namespace {
+
+/// Memoized evaluation over the expression DAG (see applyMemo for why:
+/// shared subtrees would otherwise be re-evaluated exponentially often).
+struct Evaluator {
+  std::unordered_map<const Expr *, std::optional<int64_t>> IntMemo;
+  std::unordered_map<const Expr *, std::optional<MemDenotation>> MemMemo;
+
+  std::optional<int64_t> evalI(const Expr *E) {
+    auto It = IntMemo.find(E);
+    if (It != IntMemo.end())
+      return It->second;
+    std::optional<int64_t> Result = evalIUncached(E);
+    IntMemo.emplace(E, Result);
+    return Result;
+  }
+
+  std::optional<int64_t> evalIUncached(const Expr *E) {
+    switch (E->nodeKind()) {
+    case ExprNodeKind::IntConst:
+      return E->intValue();
+    case ExprNodeKind::BinOp: {
+      std::optional<int64_t> L = evalI(E->child0());
+      std::optional<int64_t> R = evalI(E->child1());
+      if (!L || !R)
+        return std::nullopt;
+      return evalAluOp(E->binOp(), *L, *R);
+    }
+    case ExprNodeKind::Sel: {
+      const std::optional<MemDenotation> &M = evalM(E->child0());
+      std::optional<int64_t> A = evalI(E->child1());
+      if (!M || !A)
+        return std::nullopt;
+      auto It = M->find(*A);
+      if (It == M->end())
+        return std::nullopt;
+      return It->second;
+    }
+    case ExprNodeKind::Var:
+    case ExprNodeKind::Emp:
+    case ExprNodeKind::Upd:
+      break;
+    }
+    talft_unreachable("non-integer node in evalInt");
+  }
+
+  const std::optional<MemDenotation> &evalM(const Expr *E) {
+    auto It = MemMemo.find(E);
+    if (It != MemMemo.end())
+      return It->second;
+    std::optional<MemDenotation> Result = evalMUncached(E);
+    return MemMemo.emplace(E, std::move(Result)).first->second;
+  }
+
+  std::optional<MemDenotation> evalMUncached(const Expr *E) {
+    switch (E->nodeKind()) {
+    case ExprNodeKind::Emp:
+      return MemDenotation();
+    case ExprNodeKind::Upd: {
+      std::optional<MemDenotation> M = evalM(E->child0()); // copy
+      std::optional<int64_t> A = evalI(E->child1());
+      std::optional<int64_t> V = evalI(E->child2());
+      if (!M || !A || !V)
+        return std::nullopt;
+      (*M)[*A] = *V;
+      return M;
+    }
+    case ExprNodeKind::Var:
+    case ExprNodeKind::IntConst:
+    case ExprNodeKind::BinOp:
+    case ExprNodeKind::Sel:
+      break;
+    }
+    talft_unreachable("non-memory node in evalMem");
+  }
+};
+
+} // namespace
+
+std::optional<int64_t> talft::evalInt(const Expr *E) {
+  assert(E->kind() == ExprKind::Int && "evalInt on a memory expression");
+  assert(E->isClosed() && "evalInt on an open expression");
+  Evaluator Ev;
+  return Ev.evalI(E);
+}
+
+std::optional<MemDenotation> talft::evalMem(const Expr *E) {
+  assert(E->kind() == ExprKind::Mem && "evalMem on an integer expression");
+  assert(E->isClosed() && "evalMem on an open expression");
+  Evaluator Ev;
+  return Ev.evalM(E);
+}

@@ -1,0 +1,131 @@
+//===- sexpr/ExprOps.h - Substitution, evaluation, scoping ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operations over static expressions:
+///
+///   - Subst: the paper's substitutions S mapping expression variables to
+///     expressions (the judgment Δ ⊢ S : Δ' maps Dom(Δ') into expressions
+///     well-formed in Δ);
+///   - VarScope: the variable contexts Δ (name -> kind);
+///   - free-variable collection and scope checking;
+///   - the denotation [[E]] of closed expressions (Appendix A.2): integers
+///     for kind int, finite address->value maps for kind mem.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SEXPR_EXPROPS_H
+#define TALFT_SEXPR_EXPROPS_H
+
+#include "sexpr/ExprContext.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// A variable context Δ: an ordered set of (name, kind) bindings.
+class VarScope {
+public:
+  /// Adds a binding; returns false if the name is already bound.
+  bool declare(const std::string &Name, ExprKind K) {
+    return Vars.emplace(Name, K).second;
+  }
+
+  bool contains(const std::string &Name) const { return Vars.count(Name); }
+
+  /// The kind of a bound name, if any.
+  std::optional<ExprKind> lookup(const std::string &Name) const {
+    auto It = Vars.find(Name);
+    if (It == Vars.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool empty() const { return Vars.empty(); }
+  size_t size() const { return Vars.size(); }
+  auto begin() const { return Vars.begin(); }
+  auto end() const { return Vars.end(); }
+
+  /// Merges another scope in; returns false on a clashing name.
+  bool merge(const VarScope &O) {
+    for (const auto &[Name, K] : O)
+      if (!declare(Name, K))
+        return false;
+    return true;
+  }
+
+  /// Renders as "x:int, m:mem".
+  std::string str() const;
+
+private:
+  std::map<std::string, ExprKind> Vars;
+};
+
+/// Collects the distinct free variables of \p E (as Var nodes) in
+/// left-to-right first-occurrence order.
+std::vector<const Expr *> freeVars(const Expr *E);
+
+/// True when every free variable of \p E is declared (with its kind) in
+/// \p Delta — the well-formedness judgment Δ ⊢ E : κ restricted to scoping
+/// (kinding is intrinsic to Expr construction).
+bool wellFormedIn(const Expr *E, const VarScope &Delta);
+
+/// A substitution S from variables to expressions.
+class Subst {
+public:
+  Subst() = default;
+
+  /// Binds variable node \p Var (must be a Var expr) to \p E of the same
+  /// kind. Overwrites any previous binding.
+  void bind(const Expr *Var, const Expr *E) {
+    assert(Var->isVar() && "Subst keys must be variables");
+    assert(Var->kind() == E->kind() && "kind-incorrect substitution");
+    Map[Var] = E;
+  }
+
+  /// The binding for \p Var, or null.
+  const Expr *lookup(const Expr *Var) const {
+    auto It = Map.find(Var);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  bool empty() const { return Map.empty(); }
+  size_t size() const { return Map.size(); }
+  auto begin() const { return Map.begin(); }
+  auto end() const { return Map.end(); }
+
+  /// Applies the substitution to \p E, rebuilding in \p Ctx.
+  const Expr *apply(ExprContext &Ctx, const Expr *E) const;
+
+  /// Composition: returns a substitution mapping each of this substitution's
+  /// variables x to Outer(this(x)) — i.e. apply this first, then \p Outer.
+  Subst composeWith(ExprContext &Ctx, const Subst &Outer) const;
+
+  /// Renders as "[E1/x, E2/y]".
+  std::string str() const;
+
+private:
+  std::map<const Expr *, const Expr *> Map;
+};
+
+/// The denotation of a closed memory expression: a finite map.
+using MemDenotation = std::map<int64_t, int64_t>;
+
+/// [[E]] for a closed integer expression. Returns nullopt when the
+/// denotation is undefined (a sel at an address the memory does not map).
+std::optional<int64_t> evalInt(const Expr *E);
+
+/// [[E]] for a closed memory expression. Returns nullopt when undefined
+/// (an address or stored value whose denotation is undefined).
+std::optional<MemDenotation> evalMem(const Expr *E);
+
+} // namespace talft
+
+#endif // TALFT_SEXPR_EXPROPS_H

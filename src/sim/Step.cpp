@@ -1,0 +1,212 @@
+//===- sim/Step.cpp -------------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Step.h"
+
+#include "support/Unreachable.h"
+
+using namespace talft;
+
+namespace {
+
+/// Helper bundling the state mutation for one instruction execution.
+class Executor {
+public:
+  Executor(MachineState &S, const StepPolicy &Policy) : S(S), Policy(Policy) {}
+
+  StepResult run(const Inst &I) {
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+      return execAlu(I);
+    case Opcode::Mov:
+      return execMov(I);
+    case Opcode::Ld:
+      return I.C == Color::Green ? execLdG(I) : execLdB(I);
+    case Opcode::St:
+      return I.C == Color::Green ? execStG(I) : execStB(I);
+    case Opcode::Jmp:
+      return I.C == Color::Green ? execJmpG(I) : execJmpB(I);
+    case Opcode::Bz:
+      return execBz(I);
+    }
+    talft_unreachable("unknown opcode");
+  }
+
+private:
+  MachineState &S;
+  const StepPolicy &Policy;
+
+  StepResult ok(const char *Rule) {
+    S.IR.reset();
+    return {StepStatus::Ok, std::nullopt, Rule};
+  }
+
+  StepResult okWithOutput(const char *Rule, QueueEntry Out) {
+    S.IR.reset();
+    return {StepStatus::Ok, Out, Rule};
+  }
+
+  StepResult toFault(const char *Rule) {
+    S = MachineState::faultState();
+    return {StepStatus::Fault, std::nullopt, Rule};
+  }
+
+  // Rules op2r / op1r: the result takes the color of the second operand.
+  StepResult execAlu(const Inst &I) {
+    RegisterFile &R = S.Regs;
+    if (I.HasImm) {
+      Value V(I.Imm.C, evalAluOp(I.Op, R.val(I.Rs), I.Imm.N));
+      R.incrementPCs();
+      R.set(I.Rd, V);
+      return ok("op1r");
+    }
+    Value V(R.col(I.Rt), evalAluOp(I.Op, R.val(I.Rs), R.val(I.Rt)));
+    R.incrementPCs();
+    R.set(I.Rd, V);
+    return ok("op2r");
+  }
+
+  StepResult execMov(const Inst &I) {
+    S.Regs.incrementPCs();
+    S.Regs.set(I.Rd, I.Imm);
+    return ok("mov");
+  }
+
+  // Rule stG-queue: push (Rval(rd), Rval(rs)) onto the queue front.
+  StepResult execStG(const Inst &I) {
+    S.Queue.pushFront({S.Regs.val(I.Rd), S.Regs.val(I.Rs)});
+    S.Regs.incrementPCs();
+    return ok("stG-queue");
+  }
+
+  // Rules stB-mem / stB-queue-fail / stB-mem-fail: compare operands with
+  // the queue back; commit on agreement, detect a fault otherwise.
+  StepResult execStB(const Inst &I) {
+    if (S.Queue.empty())
+      return toFault("stB-queue-fail");
+    QueueEntry Back = S.Queue.back();
+    if (S.Regs.val(I.Rd) != Back.Address || S.Regs.val(I.Rs) != Back.Val)
+      return toFault("stB-mem-fail");
+    S.Queue.popBack();
+    S.Mem.set(Back.Address, Back.Val);
+    S.Regs.incrementPCs();
+    return okWithOutput("stB-mem", Back);
+  }
+
+  // Rules ldG-queue / ldG-mem / ldG-fail / ldG-rand: the green load checks
+  // the store queue first so the green computation can read its own
+  // pending stores.
+  StepResult execLdG(const Inst &I) {
+    Addr A = S.Regs.val(I.Rs);
+    if (std::optional<int64_t> Pending = S.Queue.find(A)) {
+      S.Regs.incrementPCs();
+      S.Regs.set(I.Rd, Value::green(*Pending));
+      return ok("ldG-queue");
+    }
+    if (std::optional<int64_t> Cell = S.Mem.lookup(A)) {
+      S.Regs.incrementPCs();
+      S.Regs.set(I.Rd, Value::green(*Cell));
+      return ok("ldG-mem");
+    }
+    if (Policy.WildLoad == WildLoadPolicy::Trap)
+      return toFault("ldG-fail");
+    S.Regs.incrementPCs();
+    S.Regs.set(I.Rd, Value::green(Policy.GarbageValue));
+    return ok("ldG-rand");
+  }
+
+  // Rules ldB-mem / ldB-fail / ldB-rand: the blue load goes straight to
+  // memory, ignoring the queue.
+  StepResult execLdB(const Inst &I) {
+    Addr A = S.Regs.val(I.Rs);
+    if (std::optional<int64_t> Cell = S.Mem.lookup(A)) {
+      S.Regs.incrementPCs();
+      S.Regs.set(I.Rd, Value::blue(*Cell));
+      return ok("ldB-mem");
+    }
+    if (Policy.WildLoad == WildLoadPolicy::Trap)
+      return toFault("ldB-fail");
+    S.Regs.incrementPCs();
+    S.Regs.set(I.Rd, Value::blue(Policy.GarbageValue));
+    return ok("ldB-rand");
+  }
+
+  // Rules jmpG / jmpG-fail: record the green intention in d.
+  StepResult execJmpG(const Inst &I) {
+    RegisterFile &R = S.Regs;
+    if (R.val(Reg::dest()) != 0)
+      return toFault("jmpG-fail");
+    Value Target = R.get(I.Rd);
+    R.incrementPCs();
+    R.set(Reg::dest(), Target);
+    return ok("jmpG");
+  }
+
+  // Rules jmpB / jmpB-fail: commit the transfer if both computations agree.
+  StepResult execJmpB(const Inst &I) {
+    RegisterFile &R = S.Regs;
+    if (R.val(Reg::dest()) == 0 || R.val(I.Rd) != R.val(Reg::dest()))
+      return toFault("jmpB-fail");
+    R.set(Reg::pcG(), R.get(Reg::dest()));
+    R.set(Reg::pcB(), R.get(I.Rd));
+    R.set(Reg::dest(), Value::green(0));
+    return ok("jmpB");
+  }
+
+  // Rules bz-untaken / bzG-taken / bzB-taken and their -fail variants.
+  StepResult execBz(const Inst &I) {
+    RegisterFile &R = S.Regs;
+    int64_t Z = R.val(I.rz());
+    int64_t D = R.val(Reg::dest());
+    if (Z != 0) {
+      // Fall through — but only if no prior bz of the other color decided
+      // to take the branch.
+      if (D != 0)
+        return toFault("bz-untaken-fail");
+      R.incrementPCs();
+      return ok("bz-untaken");
+    }
+    if (I.C == Color::Green) {
+      if (D != 0)
+        return toFault("bzG-taken-fail");
+      Value Target = R.get(I.Rd);
+      R.incrementPCs();
+      R.set(Reg::dest(), Target);
+      return ok("bzG-taken");
+    }
+    // Blue taken: commit like jmpB.
+    if (D == 0 || R.val(I.Rd) != D)
+      return toFault("bzB-taken-fail");
+    R.set(Reg::pcG(), R.get(Reg::dest()));
+    R.set(Reg::pcB(), R.get(I.Rd));
+    R.set(Reg::dest(), Value::green(0));
+    return ok("bzB-taken");
+  }
+};
+
+} // namespace
+
+StepResult talft::step(MachineState &S, const StepPolicy &Policy) {
+  assert(!S.isFault() && "stepping the fault state");
+  assert(S.Code && "machine state without code memory");
+
+  // Execute a fetched instruction, if any.
+  if (S.IR)
+    return Executor(S, Policy).run(*S.IR);
+
+  // Rules fetch / fetch-fail.
+  Value PcG = S.pcG(), PcB = S.pcB();
+  if (PcG.N != PcB.N) {
+    S = MachineState::faultState();
+    return {StepStatus::Fault, std::nullopt, "fetch-fail"};
+  }
+  if (!S.Code->contains(PcG.N))
+    return {StepStatus::Stuck, std::nullopt, nullptr};
+  S.IR = S.Code->get(PcG.N);
+  return {StepStatus::Ok, std::nullopt, "fetch"};
+}

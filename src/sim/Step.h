@@ -1,0 +1,77 @@
+//===- sim/Step.h - Small-step operational semantics (Figures 2-4, A.1) ---===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single-step transition S1 -(s,k)-> S2 of the TALFT machine,
+/// restricted to the k=0 (non-faulty) transitions; the k=1 fault
+/// transitions (reg-zap, Q-zap1, Q-zap2) live in fault/FaultInjector.h.
+///
+/// The machine alternates instruction fetch (when the instruction register
+/// is empty) with instruction execution. The only externally observable
+/// behavior is the sequence s of (address, value) pairs written to memory
+/// (a memory-mapped output device reads them) and the signaling of a
+/// hardware-detected fault.
+///
+/// Two of the rules — a wild load's ldG-rand / ldB-rand vs. ldG-fail /
+/// ldB-fail — are genuinely nondeterministic in the paper (a load from an
+/// invalid address may trap like a segmentation fault or return garbage);
+/// StepPolicy selects which rule the simulator fires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SIM_STEP_H
+#define TALFT_SIM_STEP_H
+
+#include "isa/MachineState.h"
+
+#include <optional>
+#include <vector>
+
+namespace talft {
+
+/// Outcome classification of one step.
+enum class StepStatus : uint8_t {
+  /// Stepped to an ordinary state.
+  Ok,
+  /// Stepped to the distinguished `fault` state (hardware detection).
+  Fault,
+  /// No rule fires (well-typed programs never get stuck, even with one
+  /// fault — Theorem 1).
+  Stuck,
+};
+
+/// Behavior of loads from addresses outside Dom(M).
+enum class WildLoadPolicy : uint8_t {
+  /// Fire ldG-fail / ldB-fail: trap to the fault state.
+  Trap,
+  /// Fire ldG-rand / ldB-rand: load an arbitrary value.
+  Garbage,
+};
+
+/// Configuration for the nondeterministic rules.
+struct StepPolicy {
+  WildLoadPolicy WildLoad = WildLoadPolicy::Trap;
+  /// The "arbitrary" value a Garbage wild load produces.
+  int64_t GarbageValue = 0xDEAD;
+};
+
+/// The result of one transition.
+struct StepResult {
+  StepStatus Status = StepStatus::Ok;
+  /// The observable output s of this step: empty, or one committed store.
+  std::optional<QueueEntry> Output;
+  /// The name of the operational rule that fired (e.g. "stB-mem"),
+  /// matching the paper's rule names; null only for Stuck.
+  const char *Rule = nullptr;
+};
+
+/// Performs one non-faulty transition in place. \p S must not already be
+/// the fault state. On StepStatus::Fault, \p S becomes the fault state.
+StepResult step(MachineState &S, const StepPolicy &Policy = StepPolicy());
+
+} // namespace talft
+
+#endif // TALFT_SIM_STEP_H

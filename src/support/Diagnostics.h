@@ -1,0 +1,75 @@
+//===- support/Diagnostics.h - Diagnostic collection ----------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine shared by the assembler, the type checker and
+/// the Wile compiler. Diagnostics accumulate in the engine; callers decide
+/// how to render them (tests inspect them, tools print them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_DIAGNOSTICS_H
+#define TALFT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem: severity, optional location, and message text.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "error: 3:7: message" (location omitted when unknown).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics during a front-end or checker pass.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Msg)});
+    ++NumErrors;
+  }
+  void error(std::string Msg) { error(SourceLoc(), std::move(Msg)); }
+
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Msg)});
+  }
+
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Msg)});
+  }
+  void note(std::string Msg) { note(SourceLoc(), std::move(Msg)); }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  /// Discards all accumulated diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace talft
+
+#endif // TALFT_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,115 @@
+//===- support/Error.h - Lightweight recoverable-error types --------------===//
+//
+// Part of the TALFT project: a reproduction of "Fault-tolerant Typed
+// Assembly Language" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable-error plumbing in the spirit of llvm::Error / llvm::Expected,
+/// scaled down for a standalone library that does not use exceptions.
+///
+/// An Error is either success (empty) or carries a message. An Expected<T>
+/// carries either a T or an Error. Both convert to bool: Error is true on
+/// *failure*, Expected<T> is true on *success* (matching the LLVM
+/// conventions, which make the common early-exit idioms read naturally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_ERROR_H
+#define TALFT_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace talft {
+
+/// A recoverable error: success, or a failure carrying a message.
+class Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure value carrying \p Msg.
+  explicit Error(std::string Msg) : Failed(true), Msg(std::move(Msg)) {}
+
+  Error() = default;
+  Error(Error &&) = default;
+  Error &operator=(Error &&) = default;
+  Error(const Error &) = default;
+  Error &operator=(const Error &) = default;
+
+  /// True on failure, false on success.
+  explicit operator bool() const { return Failed; }
+
+  /// Returns the failure message. Only valid on failure.
+  const std::string &message() const {
+    assert(Failed && "message() on a success value");
+    return Msg;
+  }
+
+private:
+  bool Failed = false;
+  std::string Msg;
+};
+
+/// Creates a failure Error with the given message.
+inline Error makeError(std::string Msg) { return Error(std::move(Msg)); }
+
+/// Either a T (success) or an Error (failure).
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Val) : Storage(std::in_place_index<0>, std::move(Val)) {}
+
+  /// Constructs a failure value. \p Err must be a failure.
+  Expected(Error Err) : Storage(std::in_place_index<1>, std::move(Err)) {
+    assert(std::get<1>(Storage) && "Expected constructed from success Error");
+  }
+
+  /// True on success.
+  explicit operator bool() const { return Storage.index() == 0; }
+
+  /// Accesses the contained value. Only valid on success.
+  T &operator*() {
+    assert(*this && "dereference of failed Expected");
+    return std::get<0>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "dereference of failed Expected");
+    return std::get<0>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// Extracts the error (success Error if in success mode).
+  Error takeError() {
+    if (*this)
+      return Error::success();
+    return std::move(std::get<1>(Storage));
+  }
+
+  /// Returns the failure message. Only valid on failure.
+  const std::string &message() const {
+    assert(!*this && "message() on a success value");
+    return std::get<1>(Storage).message();
+  }
+
+  /// Moves the contained value into \p Out on success; returns the error
+  /// state either way.
+  template <typename U> Error moveInto(U &Out) {
+    if (!*this)
+      return takeError();
+    Out = std::move(std::get<0>(Storage));
+    return Error::success();
+  }
+
+private:
+  std::variant<T, Error> Storage;
+};
+
+} // namespace talft
+
+#endif // TALFT_SUPPORT_ERROR_H

@@ -1,0 +1,42 @@
+//===- support/SourceLoc.h - Source positions for diagnostics -------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A (line, column) position within a textual input, used by the TAL
+/// assembler and the Wile front end to report precise diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_SOURCELOC_H
+#define TALFT_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace talft {
+
+/// A 1-based (line, column) source position. Line 0 means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &O) const = default;
+
+  /// Renders as "line:col", or "?" when unknown.
+  std::string str() const {
+    if (!isValid())
+      return "?";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace talft
+
+#endif // TALFT_SUPPORT_SOURCELOC_H

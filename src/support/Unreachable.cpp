@@ -1,0 +1,16 @@
+//===- support/Unreachable.cpp --------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Unreachable.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void talft::reportUnreachable(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

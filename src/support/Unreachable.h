@@ -1,0 +1,30 @@
+//===- support/Unreachable.h - Marker for impossible control flow ---------===//
+//
+// Part of the TALFT project: a reproduction of "Fault-tolerant Typed
+// Assembly Language" (PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provides talft_unreachable, used to document control-flow points that
+/// cannot be reached when the program invariants hold. Mirrors
+/// llvm_unreachable: aborts with a message in all build modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_UNREACHABLE_H
+#define TALFT_SUPPORT_UNREACHABLE_H
+
+namespace talft {
+
+/// Reports a fatal internal error and aborts. Never returns.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+} // namespace talft
+
+/// Marks a point in the code that must never execute.
+#define talft_unreachable(MSG)                                                 \
+  ::talft::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // TALFT_SUPPORT_UNREACHABLE_H

@@ -1,0 +1,175 @@
+//===- tal/Lexer.cpp ------------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tal/Lexer.h"
+
+#include "isa/Reg.h"
+#include "support/StringUtils.h"
+
+using namespace talft;
+
+namespace {
+
+class Lexer {
+public:
+  Lexer(std::string_view Input) : Input(Input) {}
+
+  bool run(std::vector<Token> &Out, std::string &ErrorMsg,
+           SourceLoc &ErrorLoc) {
+    while (true) {
+      skipTrivia();
+      SourceLoc Loc(Line, Col);
+      if (atEnd()) {
+        Out.push_back({TokKind::Eof, "", 0, Loc});
+        return true;
+      }
+      char C = peek();
+      if (isIdentStart(C)) {
+        Out.push_back(lexWord(Loc));
+        continue;
+      }
+      if (C >= '0' && C <= '9') {
+        Out.push_back(lexNumber(Loc));
+        continue;
+      }
+      TokKind K;
+      switch (C) {
+      case '{':
+        K = TokKind::LBrace;
+        break;
+      case '}':
+        K = TokKind::RBrace;
+        break;
+      case '(':
+        K = TokKind::LParen;
+        break;
+      case ')':
+        K = TokKind::RParen;
+        break;
+      case '[':
+        K = TokKind::LBracket;
+        break;
+      case ']':
+        K = TokKind::RBracket;
+        break;
+      case ':':
+        K = TokKind::Colon;
+        break;
+      case ',':
+        K = TokKind::Comma;
+        break;
+      case ';':
+        K = TokKind::Semi;
+        break;
+      case '@':
+        K = TokKind::At;
+        break;
+      case '+':
+        K = TokKind::Plus;
+        break;
+      case '-':
+        K = TokKind::Minus;
+        break;
+      case '*':
+        K = TokKind::Star;
+        break;
+      case '=':
+        advance();
+        if (!atEnd() && peek() == '>') {
+          advance();
+          Out.push_back({TokKind::Arrow, "", 0, Loc});
+          continue;
+        }
+        Out.push_back({TokKind::Equal, "", 0, Loc});
+        continue;
+      default:
+        ErrorMsg = formatv("unexpected character '%c'", C);
+        ErrorLoc = Loc;
+        return false;
+      }
+      advance();
+      Out.push_back({K, "", 0, Loc});
+    }
+  }
+
+private:
+  std::string_view Input;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  bool atEnd() const { return Pos >= Input.size(); }
+  char peek() const { return Input[Pos]; }
+  char peekAt(size_t Off) const {
+    return Pos + Off < Input.size() ? Input[Pos + Off] : '\0';
+  }
+
+  void advance() {
+    if (Input[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        advance();
+        continue;
+      }
+      if (C == '/' && peekAt(1) == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool isIdentStart(char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == '$';
+  }
+  static bool isIdentChar(char C) {
+    return isIdentStart(C) || (C >= '0' && C <= '9') || C == '.';
+  }
+
+  Token lexWord(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (!atEnd() && isIdentChar(peek()))
+      advance();
+    std::string Text(Input.substr(Start, Pos - Start));
+    // Register names lex as their own kind.
+    if (Text == "d")
+      return {TokKind::Reg, Text, 0, Loc};
+    if (Text.size() >= 2 && Text[0] == 'r') {
+      std::optional<int64_t> N = parseInt64(Text.substr(1));
+      if (N && *N >= 0 && *N < (int64_t)NumGeneralRegs)
+        return {TokKind::Reg, Text, *N, Loc};
+    }
+    return {TokKind::Ident, Text, 0, Loc};
+  }
+
+  Token lexNumber(SourceLoc Loc) {
+    size_t Start = Pos;
+    while (!atEnd() && peek() >= '0' && peek() <= '9')
+      advance();
+    std::optional<int64_t> N = parseInt64(Input.substr(Start, Pos - Start));
+    // Overflowing literals saturate; the parser reports them rarely enough
+    // that a lexical clamp keeps the token stream simple.
+    return {TokKind::Number, "", N ? *N : INT64_MAX, Loc};
+  }
+};
+
+} // namespace
+
+bool talft::lexTal(std::string_view Input, std::vector<Token> &Out,
+                   std::string &ErrorMsg, SourceLoc &ErrorLoc) {
+  return Lexer(Input).run(Out, ErrorMsg, ErrorLoc);
+}

@@ -1,0 +1,76 @@
+//===- tal/Lexer.h - Tokenizer for .tal assembly ---------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes the textual TALFT assembly format. An input is a sequence of
+/// top-level forms:
+///
+///   entry <label>
+///   exit <label>
+///   data { <addr>: <btype> = <int | @label> ... }
+///   block <label> { pre { ... } <instructions> }
+///
+/// Comments run from "//" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TAL_LEXER_H
+#define TALFT_TAL_LEXER_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace talft {
+
+/// Token kinds of the .tal grammar.
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,   // labels, mnemonics, keywords, variable names
+  Number,  // decimal integer (unsigned; '-' is a separate token)
+  Reg,     // r0..r63 or d
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Colon,
+  Comma,
+  Semi,
+  Equal,
+  Arrow, // =>
+  At,    // @
+  Plus,
+  Minus,
+  Star,
+};
+
+/// One token with its source location.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text; // Ident text; Reg text ("r5" / "d").
+  int64_t Num = 0;  // Number payload.
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+  /// True for an Ident token with exactly this text.
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Input. On a lexical error, returns false and sets
+/// \p ErrorMsg / \p ErrorLoc.
+bool lexTal(std::string_view Input, std::vector<Token> &Out,
+            std::string &ErrorMsg, SourceLoc &ErrorLoc);
+
+} // namespace talft
+
+#endif // TALFT_TAL_LEXER_H

@@ -1,0 +1,618 @@
+//===- tal/Parser.cpp -----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tal/Parser.h"
+
+#include "tal/Lexer.h"
+
+using namespace talft;
+
+namespace {
+
+class Parser {
+public:
+  Parser(TypeContext &Types, std::vector<Token> Tokens,
+         DiagnosticEngine &Diags)
+      : Types(Types), Es(Types.exprs()), Tokens(std::move(Tokens)),
+        Diags(Diags), Prog(Types) {}
+
+  Expected<Program> run() {
+    while (!peek().is(TokKind::Eof)) {
+      if (peek().isIdent("entry")) {
+        next();
+        if (!expectIdent("entry label"))
+          return bail();
+        Prog.EntryLabel = next().Text;
+        continue;
+      }
+      if (peek().isIdent("exit")) {
+        next();
+        if (!expectIdent("exit label"))
+          return bail();
+        Prog.ExitLabel = next().Text;
+        continue;
+      }
+      if (peek().isIdent("data")) {
+        if (!parseDataSection())
+          return bail();
+        continue;
+      }
+      if (peek().isIdent("block")) {
+        if (!parseBlock())
+          return bail();
+        continue;
+      }
+      error("expected 'entry', 'exit', 'data' or 'block'");
+      return bail();
+    }
+    if (Prog.blocks().empty()) {
+      error("program has no blocks");
+      return bail();
+    }
+    // Second pass: resolve code types named before their block appeared.
+    for (auto &[Label, Pre] : PendingCodeTypes) {
+      if (!Prog.findBlock(Label)) {
+        Diags.error("code type references unknown block '@" + Label + "'");
+        return bail();
+      }
+    }
+    return std::move(Prog);
+  }
+
+private:
+  TypeContext &Types;
+  ExprContext &Es;
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  Program Prog;
+  /// Labels referenced in code types; verified to exist after parsing.
+  std::map<std::string, const StaticContext *> PendingCodeTypes;
+  /// The Δ of the precondition being parsed (for variable kinds).
+  VarScope *CurDelta = nullptr;
+
+  const Token &peek(size_t Off = 0) const {
+    size_t I = Pos + Off;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &next() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool consumeIf(TokKind K) {
+    if (!peek().is(K))
+      return false;
+    next();
+    return true;
+  }
+
+  void error(std::string Msg) { Diags.error(peek().Loc, std::move(Msg)); }
+  Error bail() { return makeError("parse failed:\n" + Diags.str()); }
+
+  bool expect(TokKind K, const char *What) {
+    if (peek().is(K)) {
+      next();
+      return true;
+    }
+    error(std::string("expected ") + What);
+    return false;
+  }
+  bool expectIdent(const char *What) {
+    if (peek().is(TokKind::Ident))
+      return true;
+    error(std::string("expected ") + What);
+    return false;
+  }
+
+  /// Precondition contexts created on first reference, keyed by label, so
+  /// code types may name blocks defined later. The actual Block is only
+  /// appended (in source order) when its definition is parsed.
+  std::map<std::string, StaticContext *> PreByLabel;
+
+  StaticContext *preconditionOf(const std::string &Label) {
+    auto It = PreByLabel.find(Label);
+    if (It != PreByLabel.end())
+      return It->second;
+    StaticContext *Pre = Types.createContext();
+    Pre->Label = Label;
+    PreByLabel.emplace(Label, Pre);
+    return Pre;
+  }
+
+  // --- Data section -----------------------------------------------------
+
+  bool parseDataSection() {
+    next(); // 'data'
+    if (!expect(TokKind::LBrace, "'{' after 'data'"))
+      return false;
+    while (!consumeIf(TokKind::RBrace)) {
+      DataCell Cell;
+      Cell.Loc = peek().Loc;
+      std::optional<int64_t> A = parseSignedNumber();
+      if (!A) {
+        error("expected a data cell address");
+        return false;
+      }
+      Cell.Address = *A;
+      if (!expect(TokKind::Colon, "':' after the cell address"))
+        return false;
+      const BasicType *B = parseBasicType();
+      if (!B)
+        return false;
+      Cell.Type = B;
+      if (!expect(TokKind::Equal, "'=' before the initializer"))
+        return false;
+      if (consumeIf(TokKind::At)) {
+        if (!expectIdent("label after '@'"))
+          return false;
+        Cell.InitLabel = next().Text;
+      } else {
+        std::optional<int64_t> V = parseSignedNumber();
+        if (!V) {
+          error("expected an initializer value");
+          return false;
+        }
+        Cell.Init = *V;
+      }
+      Prog.addData(Cell);
+    }
+    return true;
+  }
+
+  std::optional<int64_t> parseSignedNumber() {
+    bool Neg = consumeIf(TokKind::Minus);
+    if (!peek().is(TokKind::Number))
+      return std::nullopt;
+    int64_t N = next().Num;
+    return Neg ? -N : N;
+  }
+
+  // --- Types ------------------------------------------------------------
+
+  const BasicType *parseBasicType() {
+    const BasicType *B = nullptr;
+    if (peek().isIdent("int")) {
+      next();
+      B = Types.intType();
+    } else if (peek().isIdent("code")) {
+      next();
+      if (!expect(TokKind::LParen, "'(' after 'code'") ||
+          !expect(TokKind::At, "'@' naming a block"))
+        return nullptr;
+      if (!expectIdent("block label"))
+        return nullptr;
+      std::string Label = next().Text;
+      const StaticContext *Pre = preconditionOf(Label);
+      PendingCodeTypes.emplace(Label, Pre);
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      B = Types.codeType(Pre);
+    } else {
+      error("expected a basic type ('int' or 'code(@label)')");
+      return nullptr;
+    }
+    while (peek().isIdent("ref")) {
+      next();
+      B = Types.refType(B);
+    }
+    return B;
+  }
+
+  // --- Static expressions -----------------------------------------------
+
+  const Expr *parseExpr() { return parseAdd(); }
+
+  const Expr *parseAdd() {
+    const Expr *L = parseMul();
+    if (!L)
+      return nullptr;
+    while (peek().is(TokKind::Plus) || peek().is(TokKind::Minus)) {
+      Opcode Op = peek().is(TokKind::Plus) ? Opcode::Add : Opcode::Sub;
+      next();
+      const Expr *R = parseMul();
+      if (!R)
+        return nullptr;
+      if (!requireIntKind(L) || !requireIntKind(R))
+        return nullptr;
+      L = Es.binop(Op, L, R);
+    }
+    return L;
+  }
+
+  const Expr *parseMul() {
+    const Expr *L = parsePrimary();
+    if (!L)
+      return nullptr;
+    while (peek().is(TokKind::Star)) {
+      next();
+      const Expr *R = parsePrimary();
+      if (!R)
+        return nullptr;
+      if (!requireIntKind(L) || !requireIntKind(R))
+        return nullptr;
+      L = Es.binop(Opcode::Mul, L, R);
+    }
+    return L;
+  }
+
+  bool requireIntKind(const Expr *E) {
+    if (E->kind() == ExprKind::Int)
+      return true;
+    error("expected an integer expression, found the memory expression '" +
+          E->str() + "'");
+    return false;
+  }
+  bool requireMemKind(const Expr *E) {
+    if (E->kind() == ExprKind::Mem)
+      return true;
+    error("expected a memory expression, found '" + E->str() + "'");
+    return false;
+  }
+
+  const Expr *parsePrimary() {
+    if (peek().is(TokKind::Number))
+      return Es.intConst(next().Num);
+    if (peek().is(TokKind::Minus)) {
+      next();
+      if (!peek().is(TokKind::Number)) {
+        error("expected a number after '-'");
+        return nullptr;
+      }
+      return Es.intConst(-next().Num);
+    }
+    if (consumeIf(TokKind::LParen)) {
+      const Expr *E = parseExpr();
+      if (!E || !expect(TokKind::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    if (peek().isIdent("emp")) {
+      next();
+      return Es.emp();
+    }
+    if (peek().isIdent("sel")) {
+      next();
+      const Expr *M = parsePrimary();
+      if (!M || !requireMemKind(M))
+        return nullptr;
+      const Expr *A = parsePrimary();
+      if (!A || !requireIntKind(A))
+        return nullptr;
+      return Es.sel(M, A);
+    }
+    if (peek().isIdent("upd")) {
+      next();
+      const Expr *M = parsePrimary();
+      if (!M || !requireMemKind(M))
+        return nullptr;
+      const Expr *A = parsePrimary();
+      if (!A || !requireIntKind(A))
+        return nullptr;
+      const Expr *V = parsePrimary();
+      if (!V || !requireIntKind(V))
+        return nullptr;
+      return Es.upd(M, A, V);
+    }
+    if (peek().is(TokKind::Ident)) {
+      std::string Name = peek().Text;
+      std::optional<ExprKind> K =
+          CurDelta ? CurDelta->lookup(Name) : std::nullopt;
+      if (!K) {
+        error("variable '" + Name + "' is not declared in a forall clause");
+        return nullptr;
+      }
+      next();
+      return Es.var(Name, *K);
+    }
+    error("expected an expression");
+    return nullptr;
+  }
+
+  // --- Preconditions ----------------------------------------------------
+
+  bool parseRegTypeInto(StaticContext &Pre, Reg R) {
+    // Either "(c, b, E)" or "E = 0 => (c, b, E)". A triple starts with
+    // "(G," or "(B,"; anything else is the conditional's test expression.
+    bool IsTriple = peek().is(TokKind::LParen) &&
+                    (peek(1).isIdent("G") || peek(1).isIdent("B")) &&
+                    peek(2).is(TokKind::Comma);
+    const Expr *Guard = nullptr;
+    if (!IsTriple) {
+      Guard = parseExpr();
+      if (!Guard || !requireIntKind(Guard))
+        return false;
+      if (!expect(TokKind::Equal, "'=' in a conditional register type"))
+        return false;
+      if (!peek().is(TokKind::Number) || peek().Num != 0) {
+        error("conditional register types test against 0");
+        return false;
+      }
+      next();
+      if (!expect(TokKind::Arrow, "'=>'"))
+        return false;
+    }
+    if (!expect(TokKind::LParen, "'(' starting a register type"))
+      return false;
+    Color C;
+    if (peek().isIdent("G"))
+      C = Color::Green;
+    else if (peek().isIdent("B"))
+      C = Color::Blue;
+    else {
+      error("expected a color ('G' or 'B')");
+      return false;
+    }
+    next();
+    if (!expect(TokKind::Comma, "','"))
+      return false;
+    const BasicType *B = parseBasicType();
+    if (!B)
+      return false;
+    if (!expect(TokKind::Comma, "','"))
+      return false;
+    const Expr *E = parseExpr();
+    if (!E || !requireIntKind(E))
+      return false;
+    if (!expect(TokKind::RParen, "')'"))
+      return false;
+    RegType T = Guard ? RegType::conditional(Guard, C, B, E)
+                      : RegType(C, B, E);
+    Pre.Gamma.set(R, T);
+    return true;
+  }
+
+  bool parsePrecondition(StaticContext &Pre) {
+    if (!expect(TokKind::LBrace, "'{' after 'pre'"))
+      return false;
+    CurDelta = &Pre.Delta;
+    bool SeenQueue = false;
+    while (!peek().is(TokKind::RBrace)) {
+      if (peek().isIdent("forall")) {
+        next();
+        do {
+          if (!expectIdent("variable name"))
+            return false;
+          std::string Name = next().Text;
+          if (!expect(TokKind::Colon, "':' after the variable name"))
+            return false;
+          ExprKind K;
+          if (peek().isIdent("int"))
+            K = ExprKind::Int;
+          else if (peek().isIdent("mem"))
+            K = ExprKind::Mem;
+          else {
+            error("expected a kind ('int' or 'mem')");
+            return false;
+          }
+          next();
+          if (!Pre.Delta.declare(Name, K)) {
+            error("variable '" + Name + "' declared twice");
+            return false;
+          }
+        } while (consumeIf(TokKind::Comma));
+      } else if (peek().isIdent("queue")) {
+        next();
+        if (!expect(TokKind::LBracket, "'[' after 'queue'"))
+          return false;
+        SeenQueue = true;
+        while (!consumeIf(TokKind::RBracket)) {
+          if (!expect(TokKind::LParen, "'(' starting a queue descriptor"))
+            return false;
+          const Expr *A = parseExpr();
+          if (!A || !requireIntKind(A))
+            return false;
+          if (!expect(TokKind::Comma, "','"))
+            return false;
+          const Expr *V = parseExpr();
+          if (!V || !requireIntKind(V))
+            return false;
+          if (!expect(TokKind::RParen, "')'"))
+            return false;
+          // Descriptors are written front-first, matching the queue order.
+          Pre.Queue.pushFront({A, V});
+          consumeIf(TokKind::Comma);
+        }
+        // pushFront reversed the written order; rebuild front-first.
+        QueueType Rebuilt;
+        for (const QueueTypeEntry &E : Pre.Queue)
+          Rebuilt.pushFront(E);
+        Pre.Queue = Rebuilt;
+      } else if (peek().isIdent("mem")) {
+        next();
+        const Expr *M = parseExpr();
+        if (!M || !requireMemKind(M))
+          return false;
+        Pre.MemExpr = M;
+      } else if (peek().isIdent("pc")) {
+        next();
+        const Expr *P = parseExpr();
+        if (!P || !requireIntKind(P))
+          return false;
+        Pre.Pc = P;
+      } else if (peek().is(TokKind::Reg)) {
+        Token RT = next();
+        Reg R = RT.Text == "d" ? Reg::dest() : Reg::general((unsigned)RT.Num);
+        if (!expect(TokKind::Colon, "':' after the register"))
+          return false;
+        if (!parseRegTypeInto(Pre, R))
+          return false;
+      } else {
+        error("expected a precondition clause (forall / rN / d / queue / "
+              "mem / pc)");
+        return false;
+      }
+      consumeIf(TokKind::Semi);
+    }
+    next(); // '}'
+    CurDelta = nullptr;
+    (void)SeenQueue;
+    return true;
+  }
+
+  // --- Instructions -----------------------------------------------------
+
+  std::optional<Value> parseImmediate(std::string *LabelOut) {
+    Color C;
+    if (peek().isIdent("G"))
+      C = Color::Green;
+    else if (peek().isIdent("B"))
+      C = Color::Blue;
+    else {
+      error("expected a colored immediate ('G <n>' or 'B <n>')");
+      return std::nullopt;
+    }
+    next();
+    if (consumeIf(TokKind::At)) {
+      if (!expectIdent("label after '@'"))
+        return std::nullopt;
+      *LabelOut = next().Text;
+      return Value(C, 0);
+    }
+    std::optional<int64_t> N = parseSignedNumber();
+    if (!N) {
+      error("expected an immediate value");
+      return std::nullopt;
+    }
+    return Value(C, *N);
+  }
+
+  std::optional<Reg> parseReg() {
+    if (!peek().is(TokKind::Reg) || peek().Text == "d") {
+      error("expected a general-purpose register");
+      return std::nullopt;
+    }
+    return Reg::general((unsigned)next().Num);
+  }
+
+  bool parseInst(Block &B) {
+    SourceLoc Loc = peek().Loc;
+    if (!expectIdent("an instruction mnemonic"))
+      return false;
+    std::string M = next().Text;
+    ProgInst PI;
+    PI.Loc = Loc;
+
+    auto Finish = [&](Inst I) {
+      PI.I = I;
+      B.Insts.push_back(PI);
+      return true;
+    };
+
+    if (M == "add" || M == "sub" || M == "mul") {
+      Opcode Op = M == "add" ? Opcode::Add
+                  : M == "sub" ? Opcode::Sub
+                               : Opcode::Mul;
+      std::optional<Reg> Rd = parseReg();
+      if (!Rd || !expect(TokKind::Comma, "','"))
+        return false;
+      std::optional<Reg> Rs = parseReg();
+      if (!Rs || !expect(TokKind::Comma, "','"))
+        return false;
+      if (peek().is(TokKind::Reg)) {
+        std::optional<Reg> Rt = parseReg();
+        if (!Rt)
+          return false;
+        return Finish(Inst::alu(Op, *Rd, *Rs, *Rt));
+      }
+      std::optional<Value> V = parseImmediate(&PI.ImmLabel);
+      if (!V)
+        return false;
+      return Finish(Inst::aluImm(Op, *Rd, *Rs, *V));
+    }
+    if (M == "mov") {
+      std::optional<Reg> Rd = parseReg();
+      if (!Rd || !expect(TokKind::Comma, "','"))
+        return false;
+      std::optional<Value> V = parseImmediate(&PI.ImmLabel);
+      if (!V)
+        return false;
+      return Finish(Inst::mov(*Rd, *V));
+    }
+    auto TwoRegs = [&](auto Make) {
+      std::optional<Reg> R1 = parseReg();
+      if (!R1 || !expect(TokKind::Comma, "','"))
+        return false;
+      std::optional<Reg> R2 = parseReg();
+      if (!R2)
+        return false;
+      return Finish(Make(*R1, *R2));
+    };
+    if (M == "ldG" || M == "ldB") {
+      Color C = M == "ldG" ? Color::Green : Color::Blue;
+      return TwoRegs([C](Reg A, Reg B2) { return Inst::ld(C, A, B2); });
+    }
+    if (M == "stG" || M == "stB") {
+      Color C = M == "stG" ? Color::Green : Color::Blue;
+      return TwoRegs([C](Reg A, Reg B2) { return Inst::st(C, A, B2); });
+    }
+    if (M == "bzG" || M == "bzB") {
+      Color C = M == "bzG" ? Color::Green : Color::Blue;
+      return TwoRegs([C](Reg A, Reg B2) { return Inst::bz(C, A, B2); });
+    }
+    if (M == "jmpG" || M == "jmpB") {
+      Color C = M == "jmpG" ? Color::Green : Color::Blue;
+      std::optional<Reg> R = parseReg();
+      if (!R)
+        return false;
+      return Finish(Inst::jmp(C, *R));
+    }
+    Diags.error(Loc, "unknown mnemonic '" + M + "'");
+    return false;
+  }
+
+  bool parseBlock() {
+    next(); // 'block'
+    if (!expectIdent("block label"))
+      return false;
+    SourceLoc Loc = peek().Loc;
+    std::string Label = next().Text;
+    if (Prog.findBlock(Label)) {
+      Diags.error(Loc, "block '" + Label + "' defined twice");
+      return false;
+    }
+    Block *B = &Prog.addBlock(Label, preconditionOf(Label));
+    B->Loc = Loc;
+    if (!expect(TokKind::LBrace, "'{' after the block label"))
+      return false;
+    if (peek().isIdent("pre")) {
+      next();
+      if (!parsePrecondition(*B->Pre))
+        return false;
+    }
+    finalizeBlockPrecondition(Types, *B->Pre);
+    while (!consumeIf(TokKind::RBrace))
+      if (!parseInst(*B))
+        return false;
+    if (B->Insts.empty()) {
+      Diags.error(Loc, "block '" + Label + "' has no instructions");
+      return false;
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+Expected<Program> talft::parseTalProgram(TypeContext &Types,
+                                         std::string_view Source,
+                                         DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  std::string LexError;
+  SourceLoc LexLoc;
+  if (!lexTal(Source, Tokens, LexError, LexLoc)) {
+    Diags.error(LexLoc, LexError);
+    return makeError("lex failed: " + LexError);
+  }
+  return Parser(Types, std::move(Tokens), Diags).run();
+}
+
+Expected<Program> talft::parseAndLayoutTalProgram(TypeContext &Types,
+                                                  std::string_view Source,
+                                                  DiagnosticEngine &Diags) {
+  Expected<Program> P = parseTalProgram(Types, Source, Diags);
+  if (!P)
+    return P;
+  if (!P->layout(Diags))
+    return makeError("layout failed:\n" + Diags.str());
+  return P;
+}

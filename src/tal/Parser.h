@@ -1,0 +1,61 @@
+//===- tal/Parser.h - Parser for .tal assembly ----------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual TALFT assembly format into a Program. The format
+/// carries the typing annotations the checker needs (the paper notes that
+/// compilers emit such hints to make type reconstruction trivial):
+///
+///   entry main
+///   exit done
+///
+///   data {
+///     256: int = 0
+///     300: code(@loop) = @loop      // a cell holding a code pointer
+///   }
+///
+///   block main {
+///     pre { forall x: int, m: mem;
+///           r1: (G, int, x); r2: (B, int, x);
+///           d: (G, int, 0);
+///           queue [];
+///           mem m }
+///     mov r3, G 256
+///     stG r3, r1
+///     ...
+///   }
+///
+/// Omitted precondition clauses default to: a fresh quantified pc
+/// variable, a fresh quantified memory variable, d:(G,int,0), and an empty
+/// queue. Conditional register types are written
+/// "rz_expr = 0 => (G, code(@l), e)".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TAL_PARSER_H
+#define TALFT_TAL_PARSER_H
+
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "tal/Program.h"
+
+#include <string_view>
+
+namespace talft {
+
+/// Parses \p Source into a Program (unlaid-out). Diagnostics are reported
+/// to \p Diags.
+Expected<Program> parseTalProgram(TypeContext &Types, std::string_view Source,
+                                  DiagnosticEngine &Diags);
+
+/// Convenience: parse + layout + return the program ready for checking.
+Expected<Program> parseAndLayoutTalProgram(TypeContext &Types,
+                                           std::string_view Source,
+                                           DiagnosticEngine &Diags);
+
+} // namespace talft
+
+#endif // TALFT_TAL_PARSER_H

@@ -1,0 +1,111 @@
+//===- tal/Printer.cpp ----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tal/Printer.h"
+
+#include "support/Unreachable.h"
+
+using namespace talft;
+
+std::string talft::printBasicType(const BasicType *B) {
+  switch (B->kind()) {
+  case BasicTypeKind::Int:
+    return "int";
+  case BasicTypeKind::Ref:
+    return printBasicType(B->refPointee()) + " ref";
+  case BasicTypeKind::Code:
+    return "code(@" + B->codePrecondition()->Label + ")";
+  }
+  talft_unreachable("unknown basic type kind");
+}
+
+std::string talft::printRegType(const RegType &T) {
+  std::string Out;
+  if (T.isConditional())
+    Out += T.Guard->str() + " = 0 => ";
+  Out += "(";
+  Out += colorLetter(T.C);
+  Out += ", " + printBasicType(T.B) + ", " + T.E->str() + ")";
+  return Out;
+}
+
+std::string talft::printPrecondition(const StaticContext &Pre) {
+  std::string Out;
+  if (!Pre.Delta.empty()) {
+    Out += "forall ";
+    bool First = true;
+    for (const auto &[Name, K] : Pre.Delta) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += Name;
+      Out += K == ExprKind::Int ? ": int" : ": mem";
+    }
+    Out += ";\n";
+  }
+  for (const auto &[Key, T] : Pre.Gamma) {
+    Out += "        " + RegFileType::regForKey(Key).str() + ": " +
+           printRegType(T) + ";\n";
+  }
+  if (Pre.Pc)
+    Out += "        pc " + Pre.Pc->str() + ";\n";
+  Out += "        queue [";
+  bool First = true;
+  for (const QueueTypeEntry &Q : Pre.Queue) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "(" + Q.AddrE->str() + ", " + Q.ValE->str() + ")";
+  }
+  Out += "];\n";
+  if (Pre.MemExpr)
+    Out += "        mem " + Pre.MemExpr->str();
+  return Out;
+}
+
+std::string talft::printTalProgram(const Program &Prog) {
+  std::string Out;
+  if (!Prog.EntryLabel.empty())
+    Out += "entry " + Prog.EntryLabel + "\n";
+  if (!Prog.ExitLabel.empty())
+    Out += "exit " + Prog.ExitLabel + "\n";
+  Out += "\n";
+
+  if (!Prog.data().empty()) {
+    Out += "data {\n";
+    for (const DataCell &Cell : Prog.data()) {
+      Out += "  " + std::to_string(Cell.Address) + ": " +
+             printBasicType(Cell.Type) + " = ";
+      Out += Cell.InitLabel.empty() ? std::to_string(Cell.Init)
+                                    : "@" + Cell.InitLabel;
+      Out += "\n";
+    }
+    Out += "}\n\n";
+  }
+
+  for (const Block &B : Prog.blocks()) {
+    Out += "block " + B.Label + " {\n";
+    Out += "  pre { " + printPrecondition(*B.Pre) + " }\n";
+    for (const ProgInst &PI : B.Insts) {
+      if (!PI.ImmLabel.empty()) {
+        // Re-render the immediate as its label reference.
+        Inst I = PI.I;
+        std::string Line = I.str();
+        // The numeric immediate sits at the end; rebuild it textually.
+        std::string ImmText = I.Imm.str();
+        size_t Where = Line.rfind(ImmText);
+        assert(Where != std::string::npos && "immediate not in rendering");
+        Line.replace(Where, ImmText.size(),
+                     std::string(colorLetter(I.Imm.C)) + " @" + PI.ImmLabel);
+        Out += "  " + Line + "\n";
+        continue;
+      }
+      Out += "  " + PI.I.str() + "\n";
+    }
+    Out += "}\n\n";
+  }
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- tal/Printer.h - Rendering programs back to .tal text ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Program in the concrete .tal syntax accepted by the parser,
+/// annotations included, so that parse ∘ print is the identity on the
+/// checked structure (round-trip tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TAL_PRINTER_H
+#define TALFT_TAL_PRINTER_H
+
+#include "tal/Program.h"
+
+#include <string>
+
+namespace talft {
+
+/// Renders a basic type in source syntax ("int", "code(@l) ref", ...).
+std::string printBasicType(const BasicType *B);
+
+/// Renders a register type in source syntax.
+std::string printRegType(const RegType &T);
+
+/// Renders a full precondition clause list (without the "pre" keyword).
+std::string printPrecondition(const StaticContext &Pre);
+
+/// Renders the whole program.
+std::string printTalProgram(const Program &Prog);
+
+} // namespace talft
+
+#endif // TALFT_TAL_PRINTER_H

@@ -1,0 +1,181 @@
+//===- tal/Program.cpp ----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tal/Program.h"
+
+#include "sexpr/ExprOps.h"
+#include "support/StringUtils.h"
+
+using namespace talft;
+
+Block &Program::addBlock(std::string Label, StaticContext *Pre) {
+  assert(!findBlock(Label) && "duplicate block label");
+  assert((!Pre || Pre->Label == Label) &&
+         "precondition labelled for a different block");
+  Blocks.emplace_back();
+  Block &B = Blocks.back();
+  B.Label = Label;
+  if (Pre) {
+    B.Pre = Pre;
+  } else {
+    B.Pre = Types->createContext();
+    B.Pre->Label = std::move(Label);
+  }
+  if (EntryLabel.empty())
+    EntryLabel = B.Label;
+  return B;
+}
+
+Block *Program::findBlock(const std::string &Label) {
+  for (Block &B : Blocks)
+    if (B.Label == Label)
+      return &B;
+  return nullptr;
+}
+
+const Block *Program::findBlock(const std::string &Label) const {
+  return const_cast<Program *>(this)->findBlock(Label);
+}
+
+Addr Program::addressOf(const std::string &Label) const {
+  assert(LaidOut && "addressOf() before layout");
+  auto It = LabelAddr.find(Label);
+  assert(It != LabelAddr.end() && "addressOf() on an unknown label");
+  return It->second;
+}
+
+const Block *Program::blockAt(Addr A) const {
+  auto It = BlockByAddr.find(A);
+  return It == BlockByAddr.end() ? nullptr : It->second;
+}
+
+bool Program::layout(DiagnosticEngine &Diags) {
+  assert(!LaidOut && "program laid out twice");
+
+  if (Blocks.empty()) {
+    Diags.error("program has no code blocks");
+    return false;
+  }
+
+  // Pass 1: assign consecutive addresses from 1.
+  Addr Next = 1;
+  for (const Block &B : Blocks) {
+    if (!LabelAddr.emplace(B.Label, Next).second) {
+      Diags.error(B.Loc, "duplicate block label '" + B.Label + "'");
+      return false;
+    }
+    BlockByAddr.emplace(Next, &B);
+    if (B.Insts.empty()) {
+      Diags.error(B.Loc, "block '" + B.Label + "' is empty");
+      return false;
+    }
+    Next += (Addr)B.Insts.size();
+  }
+
+  if (!findBlock(EntryLabel)) {
+    Diags.error("entry label '" + EntryLabel + "' is not a block");
+    return false;
+  }
+  if (!ExitLabel.empty() && !findBlock(ExitLabel)) {
+    Diags.error("exit label '" + ExitLabel + "' is not a block");
+    return false;
+  }
+
+  // Pass 2: resolve label immediates (in place, so the checker sees the
+  // resolved addresses) and build code memory.
+  for (Block &B : Blocks) {
+    Addr A = LabelAddr[B.Label];
+    for (ProgInst &PI : B.Insts) {
+      if (!PI.ImmLabel.empty()) {
+        auto It = LabelAddr.find(PI.ImmLabel);
+        if (It == LabelAddr.end()) {
+          Diags.error(PI.Loc, "unknown label '" + PI.ImmLabel + "'");
+          return false;
+        }
+        assert(PI.I.HasImm &&
+               "label immediate on an instruction without one");
+        PI.I.Imm.N = It->second;
+      }
+      Code.set(A++, PI.I);
+    }
+  }
+
+  // Pass 3: Ψ gets each block entry's code type and each data cell's type.
+  for (const Block &B : Blocks)
+    Psi.declare(LabelAddr[B.Label], Types->codeType(B.Pre));
+  for (DataCell &Cell : Data) {
+    if (Cell.Address <= 0) {
+      Diags.error(Cell.Loc, "data addresses must be positive");
+      return false;
+    }
+    if (Code.contains(Cell.Address) || Psi.contains(Cell.Address)) {
+      Diags.error(Cell.Loc, formatv("data cell at address %lld overlaps code "
+                                    "or another cell",
+                                    (long long)Cell.Address));
+      return false;
+    }
+    if (!Cell.InitLabel.empty()) {
+      auto It = LabelAddr.find(Cell.InitLabel);
+      if (It == LabelAddr.end()) {
+        Diags.error(Cell.Loc, "unknown label '" + Cell.InitLabel + "'");
+        return false;
+      }
+      Cell.Init = It->second;
+    }
+    Psi.declare(Cell.Address, Types->refType(Cell.Type));
+  }
+
+  LaidOut = true;
+  return true;
+}
+
+void talft::finalizeBlockPrecondition(TypeContext &Types,
+                                      StaticContext &Pre) {
+  ExprContext &Es = Types.exprs();
+  assert(!Pre.Label.empty() && "finalizing an unlabelled precondition");
+  if (!Pre.Pc) {
+    std::string Name = "pc$" + Pre.Label;
+    Pre.Delta.declare(Name, ExprKind::Int);
+    Pre.Pc = Es.var(Name, ExprKind::Int);
+  }
+  if (!Pre.MemExpr) {
+    std::string Name = "m$" + Pre.Label;
+    Pre.Delta.declare(Name, ExprKind::Mem);
+    Pre.MemExpr = Es.var(Name, ExprKind::Mem);
+  }
+  if (!Pre.Gamma.lookup(Reg::dest()))
+    Pre.Gamma.set(Reg::dest(),
+                  RegType(Color::Green, Types.intType(), Es.intConst(0)));
+}
+
+Expected<MachineState> Program::initialState() const {
+  assert(LaidOut && "initialState() before layout");
+
+  MachineState S(Code, entryAddress());
+  for (const DataCell &Cell : Data)
+    S.Mem.set(Cell.Address, Cell.Init);
+
+  // Registers come from the entry precondition: every register type's
+  // static expression must be closed so the loader can evaluate it.
+  const Block *Entry = findBlock(EntryLabel);
+  for (const auto &[Key, T] : Entry->Pre->Gamma) {
+    Reg R = RegFileType::regForKey(Key);
+    if (T.isConditional())
+      return makeError("entry precondition gives " + R.str() +
+                       " a conditional type");
+    if (!T.E->isClosed())
+      return makeError("entry precondition for " + R.str() +
+                       " uses an open expression '" + T.E->str() + "'");
+    std::optional<int64_t> V = evalInt(T.E);
+    if (!V)
+      return makeError("entry precondition for " + R.str() +
+                       " has an undefined denotation");
+    S.Regs.set(R, Value(T.C, *V));
+  }
+  if (!Entry->Pre->Queue.empty())
+    return makeError("entry precondition requires a non-empty store queue");
+  return S;
+}

@@ -1,0 +1,159 @@
+//===- tal/Program.h - TALFT programs: blocks, data, layout ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is the unit the assembler produces and the type checker
+/// consumes: a sequence of labelled code blocks, each carrying its declared
+/// precondition (a code type), plus a data section of typed, initialized
+/// memory cells.
+///
+/// Layout assigns consecutive code addresses starting at 1 (address 0 is
+/// reserved as the "no pending transfer" sentinel), resolves label
+/// references in immediates and data initializers, and builds the machine's
+/// CodeMemory and the heap typing Ψ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TAL_PROGRAM_H
+#define TALFT_TAL_PROGRAM_H
+
+#include "isa/MachineState.h"
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "types/HeapTyping.h"
+#include "types/TypeContext.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// An instruction whose immediate may still reference a label.
+struct ProgInst {
+  Inst I;
+  /// When nonempty, the immediate's payload is the address of this label
+  /// (resolved at layout).
+  std::string ImmLabel;
+  SourceLoc Loc;
+};
+
+/// One labelled code block.
+struct Block {
+  std::string Label;
+  /// The declared precondition; owned by the program's TypeContext. Its
+  /// Label field names this block.
+  StaticContext *Pre = nullptr;
+  std::vector<ProgInst> Insts;
+  SourceLoc Loc;
+};
+
+/// One initialized data cell.
+struct DataCell {
+  Addr Address = 0;
+  /// The contents type b; Ψ(Address) = b, and pointers to this cell have
+  /// type b ref.
+  const BasicType *Type = nullptr;
+  int64_t Init = 0;
+  /// When nonempty, Init is the address of this label.
+  std::string InitLabel;
+  SourceLoc Loc;
+};
+
+/// A whole TALFT program plus its layout.
+class Program {
+public:
+  explicit Program(TypeContext &Types) : Types(&Types) {}
+
+  TypeContext &types() const { return *Types; }
+
+  /// Appends a block; returns it for population. The label must be unique.
+  /// When \p Pre is non-null it becomes the block's precondition (its
+  /// Label must already name this block) — used when the precondition
+  /// context was created earlier by a forward reference.
+  Block &addBlock(std::string Label, StaticContext *Pre = nullptr);
+
+  /// Appends a data cell (addresses must be unique and positive).
+  void addData(DataCell Cell) { Data.push_back(Cell); }
+
+  const std::vector<Block> &blocks() const { return Blocks; }
+  std::vector<Block> &blocks() { return Blocks; }
+  const std::vector<DataCell> &data() const { return Data; }
+
+  /// The block with the given label, or null.
+  Block *findBlock(const std::string &Label);
+  const Block *findBlock(const std::string &Label) const;
+
+  /// Label of the block execution starts at (defaults to the first block).
+  std::string EntryLabel;
+  /// Label of the exit block (the halting convention); may be empty.
+  std::string ExitLabel;
+
+  /// \name Layout results (valid after layout() succeeds).
+  /// @{
+
+  /// Assigns addresses, resolves label immediates, builds code memory and
+  /// Ψ. Reports problems (duplicate labels, unknown label references,
+  /// overlapping data) to \p Diags; returns false on error.
+  bool layout(DiagnosticEngine &Diags);
+
+  bool isLaidOut() const { return LaidOut; }
+
+  /// The address of a label. Requires layout and a known label.
+  Addr addressOf(const std::string &Label) const;
+  /// The label starting at an address, if any.
+  const Block *blockAt(Addr A) const;
+
+  Addr entryAddress() const { return addressOf(EntryLabel); }
+  /// The exit address, or 0 when no exit label is declared.
+  Addr exitAddress() const {
+    return ExitLabel.empty() ? 0 : addressOf(ExitLabel);
+  }
+
+  const CodeMemory &code() const {
+    assert(LaidOut && "code() before layout");
+    return Code;
+  }
+
+  /// Ψ maps each address to the type *the address itself* has as a value:
+  /// a block entry address maps to the block's code type, and a data cell
+  /// address with contents type b maps to `b ref`.
+  const HeapTyping &heapTyping() const {
+    assert(LaidOut && "heapTyping() before layout");
+    return Psi;
+  }
+
+  /// Builds the initial machine state: registers initialized from the
+  /// entry block's precondition (which must use only closed expressions
+  /// for registers), memory from the data section, empty queue, program
+  /// counters at the entry address.
+  Expected<MachineState> initialState() const;
+
+  /// @}
+
+private:
+  TypeContext *Types;
+  std::vector<Block> Blocks;
+  std::vector<DataCell> Data;
+
+  bool LaidOut = false;
+  std::map<std::string, Addr> LabelAddr;
+  std::map<Addr, const Block *> BlockByAddr;
+  CodeMemory Code;
+  HeapTyping Psi;
+};
+
+/// Fills a block precondition's defaults: if no pc expression was given, a
+/// fresh variable "pc$<label>" is quantified and used; if no memory
+/// description was given, a fresh variable "m$<label>" is quantified and
+/// used; if d is untracked, it defaults to (G,int,0) — the shape every
+/// jump target needs.
+void finalizeBlockPrecondition(TypeContext &Types, StaticContext &Pre);
+
+} // namespace talft
+
+#endif // TALFT_TAL_PROGRAM_H

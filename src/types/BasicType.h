@@ -1,0 +1,72 @@
+//===- types/BasicType.h - Basic types b (Figure 5) -----------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic types describe a value's shape when no fault has corrupted its
+/// color:
+///
+///   b ::= int | T -> void | b ref
+///
+/// int values may have any bit pattern; `T -> void` values are code
+/// pointers whose precondition T must hold before jumping; `b ref` values
+/// are pointers to memory cells holding values of type b.
+///
+/// Code types always arise by naming a labelled code block, so every
+/// distinct code type is one StaticContext object and basic-type equality
+/// is pointer equality on the precondition. BasicTypes are uniqued by a
+/// TypeContext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_BASICTYPE_H
+#define TALFT_TYPES_BASICTYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace talft {
+
+class StaticContext;
+
+/// Basic-type discriminator.
+enum class BasicTypeKind : uint8_t { Int, Ref, Code };
+
+/// One immutable, uniqued basic type.
+class BasicType {
+public:
+  BasicTypeKind kind() const { return K; }
+  bool isInt() const { return K == BasicTypeKind::Int; }
+  bool isRef() const { return K == BasicTypeKind::Ref; }
+  bool isCode() const { return K == BasicTypeKind::Code; }
+
+  /// The pointee type of a ref.
+  const BasicType *refPointee() const {
+    assert(isRef() && "refPointee() on a non-ref");
+    return Pointee;
+  }
+
+  /// The precondition of a code type.
+  const StaticContext *codePrecondition() const {
+    assert(isCode() && "codePrecondition() on a non-code type");
+    return Pre;
+  }
+
+  /// Renders as "int", "int ref", or "code(<label>)".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  BasicType() = default;
+
+  BasicTypeKind K = BasicTypeKind::Int;
+  const BasicType *Pointee = nullptr;  // Ref only.
+  const StaticContext *Pre = nullptr;  // Code only.
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_BASICTYPE_H

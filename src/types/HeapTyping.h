@@ -1,0 +1,53 @@
+//===- types/HeapTyping.h - Heap typing Ψ (Figure 5) ----------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap typing Ψ maps addresses to basic types. We store, for each
+/// address n, the type that *the value n* has (the conclusion of the
+/// paper's base-t rule): a block entry address maps to the block's code
+/// type T -> void, and a data address whose cell holds values of type b
+/// maps to b ref. Ψ contains invariant assumptions: it never changes
+/// during checking or execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_HEAPTYPING_H
+#define TALFT_TYPES_HEAPTYPING_H
+
+#include "isa/Value.h"
+#include "types/BasicType.h"
+
+#include <map>
+
+namespace talft {
+
+/// Ψ: address -> basic type.
+class HeapTyping {
+public:
+  /// Declares the type of address \p A (must not already be declared).
+  void declare(Addr A, const BasicType *B) {
+    [[maybe_unused]] bool Inserted = Map.emplace(A, B).second;
+    assert(Inserted && "heap address declared twice");
+  }
+
+  /// Ψ(n), or null when undeclared.
+  const BasicType *lookup(Addr A) const {
+    auto It = Map.find(A);
+    return It == Map.end() ? nullptr : It->second;
+  }
+
+  bool contains(Addr A) const { return Map.count(A) != 0; }
+  size_t size() const { return Map.size(); }
+  auto begin() const { return Map.begin(); }
+  auto end() const { return Map.end(); }
+
+private:
+  std::map<Addr, const BasicType *> Map;
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_HEAPTYPING_H

@@ -1,0 +1,64 @@
+//===- types/RegType.h - Register types t (Figure 5) ----------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register types:
+///
+///   t ::= (c, b, E) | E' = 0 ⇒ (c, b, E)
+///
+/// A plain type (c,b,E) says: the value belongs to the color-c computation;
+/// absent a fault of color c its shape is b and it is *exactly* equal to
+/// the static expression E (a singleton type — this is what lets the type
+/// system prove the green and blue computations compute equal values).
+///
+/// The conditional form `E' = 0 ⇒ (c,b,E)` types the destination register
+/// between a bzG and its matching bzB: if E' (the branch test) equals 0 the
+/// register has type (c,b,E) — it holds the pending branch target; if E' is
+/// nonzero the register holds 0 (no pending transfer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_REGTYPE_H
+#define TALFT_TYPES_REGTYPE_H
+
+#include "isa/Color.h"
+#include "sexpr/Expr.h"
+#include "types/BasicType.h"
+
+namespace talft {
+
+/// A register type t.
+struct RegType {
+  /// The branch-test expression E' of a conditional type; null for the
+  /// plain form.
+  const Expr *Guard = nullptr;
+  Color C = Color::Green;
+  const BasicType *B = nullptr;
+  const Expr *E = nullptr;
+
+  RegType() = default;
+  RegType(Color C, const BasicType *B, const Expr *E) : C(C), B(B), E(E) {}
+
+  /// Builds the conditional form Guard = 0 ⇒ (C, B, E).
+  static RegType conditional(const Expr *Guard, Color C, const BasicType *B,
+                             const Expr *E) {
+    RegType T(C, B, E);
+    T.Guard = Guard;
+    return T;
+  }
+
+  bool isConditional() const { return Guard != nullptr; }
+
+  /// Structural equality (exprs by node identity, i.e. up to hash-consing).
+  bool operator==(const RegType &O) const = default;
+
+  /// Renders as "(G, int, x + 1)" or "z = 0 => (G, code(l), t)".
+  std::string str() const;
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_REGTYPE_H

@@ -1,0 +1,146 @@
+//===- types/StaticContext.h - Static contexts T (Figure 5) ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static context T = (Δ; Γ; (Ed,Es); Em) carries the fine-grained,
+/// flow-sensitive state the checker threads through a block:
+///
+///   - Δ: the expression variables free in the other components
+///     (universally quantified at a block's entry);
+///   - Γ: register-file typing for the general registers and d. Γ is a
+///     partial map — registers it does not mention are unconstrained
+///     (recovered from the paper's total Γ via register-file subtyping);
+///   - Pc: the static expression describing both program counters. (The
+///     paper gives pcG and pcB separate entries whose expressions must be
+///     provably equal; we keep the single canonical expression.)
+///   - (Ed,Es): static descriptors of the store-queue entries, front first
+///     (the entry a stG just pushed is index 0; stB consumes the back);
+///   - Em: the static expression describing value memory, as in Hoare
+///     logic.
+///
+/// A StaticContext doubles as a code type's precondition: code types are
+/// created by labelling a block, so each context is a unique object and
+/// code-type equality is pointer equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_STATICCONTEXT_H
+#define TALFT_TYPES_STATICCONTEXT_H
+
+#include "isa/Reg.h"
+#include "sexpr/ExprOps.h"
+#include "types/RegType.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// Γ: a partial map from registers (general registers and d) to register
+/// types.
+class RegFileType {
+public:
+  /// Sets (or replaces) the type of \p R.
+  void set(Reg R, RegType T) {
+    assert((R.isGeneral() || R.isDest()) &&
+           "Γ covers general registers and d only");
+    Map[R.denseIndex()] = T;
+  }
+
+  /// The type of \p R, or null when Γ does not constrain it.
+  const RegType *lookup(Reg R) const {
+    auto It = Map.find(R.denseIndex());
+    return It == Map.end() ? nullptr : &It->second;
+  }
+
+  /// Removes any binding for \p R.
+  void forget(Reg R) { Map.erase(R.denseIndex()); }
+
+  size_t size() const { return Map.size(); }
+  auto begin() const { return Map.begin(); }
+  auto end() const { return Map.end(); }
+
+  bool operator==(const RegFileType &O) const = default;
+
+  /// Reconstructs the Reg for an iteration key.
+  static Reg regForKey(unsigned DenseIndex) {
+    if (DenseIndex < NumGeneralRegs)
+      return Reg::general(DenseIndex);
+    assert(DenseIndex == NumGeneralRegs && "Γ key is neither general nor d");
+    return Reg::dest();
+  }
+
+private:
+  std::map<unsigned, RegType> Map;
+};
+
+/// One queue descriptor pair (Ed, Es): address and value expressions.
+struct QueueTypeEntry {
+  const Expr *AddrE = nullptr;
+  const Expr *ValE = nullptr;
+
+  bool operator==(const QueueTypeEntry &O) const = default;
+};
+
+/// The static description of the store queue, front (most recent) first.
+class QueueType {
+public:
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  void pushFront(QueueTypeEntry E) { Entries.insert(Entries.begin(), E); }
+
+  const QueueTypeEntry &back() const {
+    assert(!empty() && "back() on an empty queue type");
+    return Entries.back();
+  }
+  void popBack() {
+    assert(!empty() && "popBack() on an empty queue type");
+    Entries.pop_back();
+  }
+
+  const QueueTypeEntry &entry(size_t I) const {
+    assert(I < Entries.size() && "queue type index out of range");
+    return Entries[I];
+  }
+
+  auto begin() const { return Entries.begin(); }
+  auto end() const { return Entries.end(); }
+
+  bool operator==(const QueueType &O) const = default;
+
+private:
+  std::vector<QueueTypeEntry> Entries;
+};
+
+/// The static context T = (Δ; Γ; (Ed,Es); Em), extended with the program
+/// counter expression and, when the context is a block's precondition, the
+/// block label.
+class StaticContext {
+public:
+  /// Label of the block this context preconditions; empty for the
+  /// intermediate contexts threaded through a block.
+  std::string Label;
+  /// Δ: variables universally quantified at the block entry.
+  VarScope Delta;
+  /// Γ over general registers and d.
+  RegFileType Gamma;
+  /// The expression describing both program counters.
+  const Expr *Pc = nullptr;
+  /// (Ed, Es): the store-queue descriptors.
+  QueueType Queue;
+  /// Em: the memory description.
+  const Expr *MemExpr = nullptr;
+
+  /// Renders the context for diagnostics.
+  std::string str() const;
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_STATICCONTEXT_H

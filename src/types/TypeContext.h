@@ -1,0 +1,91 @@
+//===- types/TypeContext.h - Ownership and uniquing of types --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TypeContext owns all BasicType and StaticContext objects of a checking
+/// session (alongside an ExprContext for the static expressions they
+/// embed). BasicTypes are uniqued: `int` is a singleton, `b ref` is unique
+/// per pointee, and `T -> void` is unique per precondition object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_TYPECONTEXT_H
+#define TALFT_TYPES_TYPECONTEXT_H
+
+#include "sexpr/ExprContext.h"
+#include "types/StaticContext.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace talft {
+
+/// Arena and uniquing tables for the type system.
+class TypeContext {
+public:
+  TypeContext() {
+    auto Node = std::make_unique<BasicType>(BasicType());
+    IntNode = Node.get();
+    Types.push_back(std::move(Node));
+  }
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  /// The shared expression context.
+  ExprContext &exprs() { return Exprs; }
+
+  /// The basic type int.
+  const BasicType *intType() const { return IntNode; }
+
+  /// The basic type `Pointee ref`.
+  const BasicType *refType(const BasicType *Pointee) {
+    auto It = RefTypes.find(Pointee);
+    if (It != RefTypes.end())
+      return It->second;
+    auto Node = std::make_unique<BasicType>(BasicType());
+    Node->K = BasicTypeKind::Ref;
+    Node->Pointee = Pointee;
+    const BasicType *Result = Node.get();
+    Types.push_back(std::move(Node));
+    RefTypes.emplace(Pointee, Result);
+    return Result;
+  }
+
+  /// The code type `Pre -> void`.
+  const BasicType *codeType(const StaticContext *Pre) {
+    auto It = CodeTypes.find(Pre);
+    if (It != CodeTypes.end())
+      return It->second;
+    auto Node = std::make_unique<BasicType>(BasicType());
+    Node->K = BasicTypeKind::Code;
+    Node->Pre = Pre;
+    const BasicType *Result = Node.get();
+    Types.push_back(std::move(Node));
+    CodeTypes.emplace(Pre, Result);
+    return Result;
+  }
+
+  /// Allocates a fresh (mutable until shared) static context.
+  StaticContext *createContext() {
+    Contexts.push_back(std::make_unique<StaticContext>());
+    return Contexts.back().get();
+  }
+
+private:
+  friend class BasicType;
+
+  ExprContext Exprs;
+  std::vector<std::unique_ptr<BasicType>> Types;
+  std::vector<std::unique_ptr<StaticContext>> Contexts;
+  const BasicType *IntNode = nullptr;
+  std::map<const BasicType *, const BasicType *> RefTypes;
+  std::map<const StaticContext *, const BasicType *> CodeTypes;
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_TYPECONTEXT_H

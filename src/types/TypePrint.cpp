@@ -1,0 +1,66 @@
+//===- types/TypePrint.cpp - Rendering of types and contexts --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Unreachable.h"
+#include "types/StaticContext.h"
+
+using namespace talft;
+
+std::string BasicType::str() const {
+  switch (K) {
+  case BasicTypeKind::Int:
+    return "int";
+  case BasicTypeKind::Ref:
+    return Pointee->str() + " ref";
+  case BasicTypeKind::Code: {
+    const std::string &Label = Pre->Label;
+    return "code(" + (Label.empty() ? std::string("<anon>") : Label) + ")";
+  }
+  }
+  talft_unreachable("unknown basic type kind");
+}
+
+std::string RegType::str() const {
+  std::string Out;
+  if (isConditional()) {
+    Out += Guard->str();
+    Out += " = 0 => ";
+  }
+  Out += "(";
+  Out += colorLetter(C);
+  Out += ", ";
+  Out += B->str();
+  Out += ", ";
+  Out += E->str();
+  Out += ")";
+  return Out;
+}
+
+std::string StaticContext::str() const {
+  std::string Out = "{";
+  if (!Label.empty())
+    Out += " label " + Label + ";";
+  if (!Delta.empty())
+    Out += " forall " + Delta.str() + ";";
+  for (const auto &[Key, T] : Gamma) {
+    Out += " " + RegFileType::regForKey(Key).str() + ": " + T.str() + ";";
+  }
+  if (Pc)
+    Out += " pc: " + Pc->str() + ";";
+  Out += " queue [";
+  bool First = true;
+  for (const QueueTypeEntry &Q : Queue) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "(" + Q.AddrE->str() + ", " + Q.ValE->str() + ")";
+  }
+  Out += "];";
+  if (MemExpr)
+    Out += " mem " + MemExpr->str() + ";";
+  Out += " }";
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- types/ZapTag.h - Zap tags Z (Figure 5) -----------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A zap tag Z is either empty (no fault has occurred) or a color c (a
+/// single fault may have corrupted data of color c). Under zap tag c, a
+/// value of color c may be given any type whose static expression is
+/// closed — it may have been arbitrarily corrupted — while values of the
+/// other color must still satisfy their declared types exactly. Zap tags
+/// are what let Preservation track typing *across* a fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TYPES_ZAPTAG_H
+#define TALFT_TYPES_ZAPTAG_H
+
+#include "isa/Color.h"
+
+#include <optional>
+#include <string>
+
+namespace talft {
+
+/// Z ::= · | c
+class ZapTag {
+public:
+  /// The empty zap tag (no fault).
+  static ZapTag none() { return ZapTag(); }
+  /// The zap tag for a fault of color \p C.
+  static ZapTag color(Color C) {
+    ZapTag Z;
+    Z.C = C;
+    return Z;
+  }
+
+  bool isNone() const { return !C.has_value(); }
+  /// True when the tag is exactly color \p Other.
+  bool is(Color Other) const { return C && *C == Other; }
+  /// The zapped color; requires !isNone().
+  Color zappedColor() const { return *C; }
+
+  bool operator==(const ZapTag &O) const = default;
+
+  std::string str() const {
+    if (!C)
+      return "·";
+    return colorLetter(*C);
+  }
+
+private:
+  std::optional<Color> C;
+};
+
+} // namespace talft
+
+#endif // TALFT_TYPES_ZAPTAG_H

@@ -1,0 +1,107 @@
+//===- wile/Ast.h - The Wile source language -------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wile is the small imperative language our benchmark kernels are written
+/// in — it plays the role SPEC CINT2000 / MediaBench sources played in the
+/// paper's evaluation. It has 64-bit integer variables, fixed-size global
+/// arrays, while loops, if/else, and arithmetic matching the TALFT ALU
+/// (add/sub/mul; conditions are zero-tests and (in)equalities, which lower
+/// to the machine's bz instruction through a subtraction).
+///
+///   var x = 5;
+///   array a[8] @ 1000;          // 8 cells at base address 1000
+///   while (x != 0) { a[0] = a[0] + x; x = x - 1; }
+///   output(a[0]);               // write to the memory-mapped output cell
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_AST_H
+#define TALFT_WILE_AST_H
+
+#include "isa/Inst.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace talft::wile {
+
+/// An arithmetic expression.
+struct Expr {
+  enum class Kind : uint8_t {
+    Const,   // N
+    Var,     // Name
+    Index,   // Name[Lhs]
+    Bin,     // Lhs Op Rhs
+  };
+
+  Kind K = Kind::Const;
+  int64_t N = 0;
+  std::string Name;
+  Opcode Op = Opcode::Add;
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+  SourceLoc Loc;
+};
+
+/// A branch condition: a zero-test of an expression, or an (in)equality
+/// (lowered to a zero-test of the difference).
+struct Cond {
+  enum class Kind : uint8_t { NonZero, Eq, Ne };
+  Kind K = Kind::NonZero;
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs; // Eq / Ne only.
+};
+
+/// A statement.
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,     // Name = Value
+    StoreIndex, // Name[Index] = Value
+    Output,     // output(Value)
+    While,      // while (C) Body
+    If,         // if (C) Body else Else
+  };
+
+  Kind K = Kind::Assign;
+  std::string Name;
+  std::unique_ptr<Expr> Index;
+  std::unique_ptr<Expr> Value;
+  std::unique_ptr<Cond> C;
+  std::vector<std::unique_ptr<Stmt>> Body;
+  std::vector<std::unique_ptr<Stmt>> Else;
+  SourceLoc Loc;
+};
+
+/// A variable declaration.
+struct VarDecl {
+  std::string Name;
+  int64_t Init = 0;
+  SourceLoc Loc;
+};
+
+/// A global array declaration: Size cells of zeros at a fixed base
+/// address (auto-assigned when Base is 0).
+struct ArrayDecl {
+  std::string Name;
+  int64_t Size = 0;
+  int64_t Base = 0;
+  SourceLoc Loc;
+};
+
+/// A whole Wile program.
+struct WileProgram {
+  std::vector<VarDecl> Vars;
+  std::vector<ArrayDecl> Arrays;
+  std::vector<std::unique_ptr<Stmt>> Body;
+};
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_AST_H

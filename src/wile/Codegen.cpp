@@ -1,0 +1,295 @@
+//===- wile/Codegen.cpp ---------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Codegen.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+#include "wile/Lower.h"
+#include "wile/Optimize.h"
+#include "wile/Parser.h"
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+// Scratch registers (outside the 2*26 value registers).
+constexpr unsigned AddrG = 52, AddrB = 53, TgtG = 54, TgtB = 55;
+constexpr unsigned MaxValues = 26;
+
+class Backend {
+public:
+  Backend(TypeContext &Types, const IRProgram &IR, CodegenMode Mode)
+      : Types(Types), Es(Types.exprs()), IR(IR), Mode(Mode),
+        FT(Mode == CodegenMode::FaultTolerant), Out(Types) {}
+
+  Expected<CompiledProgram> run() {
+    if (IR.NumRegs > (int)MaxValues)
+      return makeError(formatv("program needs %d simultaneous values; the "
+                               "backend supports %u",
+                               IR.NumRegs, MaxValues));
+
+    // Data section: array cells and the output cell.
+    for (const IRProgram::ArrayInfo &A : IR.Arrays)
+      for (int64_t I = 0; I != A.Size; ++I)
+        Out.Prog.addData({A.Base + I, Types.intType(), 0, "", SourceLoc()});
+    Out.Prog.addData({IR.OutputAddr, Types.intType(), 0, "", SourceLoc()});
+
+    for (size_t BI = 0, BE = IR.Blocks.size(); BI != BE; ++BI)
+      emitBlock(IR.Blocks[BI],
+                BI + 1 == BE ? nullptr : &IR.Blocks[BI + 1]);
+    emitExitBlock();
+
+    Out.Prog.EntryLabel = IR.Blocks.front().Label;
+    Out.Prog.ExitLabel = "exit";
+    Out.Mode = Mode;
+    DiagnosticEngine LayoutDiags;
+    if (!Out.Prog.layout(LayoutDiags))
+      return makeError("codegen produced an un-layoutable program:\n" +
+                       LayoutDiags.str());
+    return std::move(Out);
+  }
+
+private:
+  TypeContext &Types;
+  ExprContext &Es;
+  const IRProgram &IR;
+  CodegenMode Mode;
+  bool FT;
+  CompiledProgram Out;
+
+  Block *Cur = nullptr;
+  MOpStream *Cost = nullptr;
+  int NextPairId = 0;
+
+  static Reg greenOf(int V) { return Reg::general(2 * (unsigned)V); }
+  static Reg blueOf(int V) { return Reg::general(2 * (unsigned)V + 1); }
+  /// The register carrying value V for the given color (the baseline uses
+  /// the green copy only).
+  Reg valueReg(Color C, int V) const {
+    return !FT || C == Color::Green ? greenOf(V) : blueOf(V);
+  }
+
+  void emit(Inst I, std::string ImmLabel = std::string()) {
+    ProgInst PI;
+    PI.I = I;
+    PI.ImmLabel = std::move(ImmLabel);
+    Cur->Insts.push_back(PI);
+  }
+  void cost(MOp Op) { Cost->push_back(Op); }
+
+  /// Variable name -> quantified singleton variable in preconditions.
+  const talft::Expr *varSingleton(const std::string &Name) {
+    return Es.var("v$" + Name, ExprKind::Int);
+  }
+
+  /// Builds the precondition for a non-entry block: every variable's two
+  /// copies share one universally quantified singleton.
+  void annotate(StaticContext &Pre) {
+    if (!FT)
+      return; // The baseline carries no annotations (it is not typable).
+    for (size_t I = 0, E = IR.VarNames.size(); I != E; ++I) {
+      const std::string &Name = IR.VarNames[I];
+      Pre.Delta.declare("v$" + Name, ExprKind::Int);
+      const talft::Expr *X = varSingleton(Name);
+      Pre.Gamma.set(greenOf((int)I),
+                    RegType(Color::Green, Types.intType(), X));
+      Pre.Gamma.set(blueOf((int)I),
+                    RegType(Color::Blue, Types.intType(), X));
+    }
+  }
+
+  void emitBlock(const IRBlock &B, const IRBlock *Next) {
+    Cur = &Out.Prog.addBlock(B.Label);
+    Cost = &Out.CostStreams[B.Label];
+    if (&B != &IR.Blocks.front())
+      annotate(*Cur->Pre);
+    finalizeBlockPrecondition(Types, *Cur->Pre);
+
+    for (const IROp &Op : B.Ops)
+      emitOp(Op);
+    emitTerminator(B, Next);
+  }
+
+  void emitOp(const IROp &Op) {
+    switch (Op.K) {
+    case IROp::Kind::Const:
+      emit(Inst::mov(greenOf(Op.Dst), Value::green(Op.Imm)));
+      cost(MOp::alu(greenOf(Op.Dst).denseIndex()));
+      if (FT) {
+        emit(Inst::mov(blueOf(Op.Dst), Value::blue(Op.Imm)));
+        cost(MOp::alu(blueOf(Op.Dst).denseIndex()));
+      }
+      return;
+
+    case IROp::Kind::Bin: {
+      auto EmitHalf = [&](Color C) {
+        Reg D = valueReg(C, Op.Dst), A = valueReg(C, Op.A),
+            B2 = valueReg(C, Op.B);
+        emit(Inst::alu(Op.Op, D, A, B2));
+        if (Op.Op == Opcode::Mul)
+          cost(MOp::mul(D.denseIndex(), A.denseIndex(), B2.denseIndex()));
+        else
+          cost(MOp::alu(D.denseIndex(), A.denseIndex(), B2.denseIndex()));
+      };
+      EmitHalf(Color::Green);
+      if (FT)
+        EmitHalf(Color::Blue);
+      return;
+    }
+
+    case IROp::Kind::Load: {
+      auto EmitHalf = [&](Color C) {
+        Reg D = valueReg(C, Op.Dst);
+        Reg A;
+        if (Op.AddrTemp != -1) {
+          A = valueReg(C, Op.AddrTemp);
+        } else {
+          A = C == Color::Green ? Reg::general(AddrG) : Reg::general(AddrB);
+          emit(Inst::mov(A, Value(C, Op.Addr)));
+          cost(MOp::alu(A.denseIndex()));
+        }
+        emit(Inst::ld(C, D, A));
+        cost(MOp::load(D.denseIndex(), A.denseIndex()));
+      };
+      EmitHalf(Color::Green);
+      if (FT)
+        EmitHalf(Color::Blue);
+      return;
+    }
+
+    case IROp::Kind::Store: {
+      int Pair = NextPairId++;
+      auto AddrRegFor = [&](Color C) {
+        if (Op.AddrTemp != -1)
+          return valueReg(C, Op.AddrTemp);
+        Reg A = C == Color::Green ? Reg::general(AddrG) : Reg::general(AddrB);
+        emit(Inst::mov(A, Value(C, Op.Addr)));
+        cost(MOp::alu(A.denseIndex()));
+        return A;
+      };
+      Reg AG = AddrRegFor(Color::Green);
+      Reg VG = valueReg(Color::Green, Op.A);
+      emit(Inst::st(Color::Green, AG, VG));
+      if (!FT) {
+        // Degenerate pair through the same registers; one store in cost.
+        emit(Inst::st(Color::Blue, AG, VG));
+        cost(MOp::store(AG.denseIndex(), VG.denseIndex()));
+        return;
+      }
+      cost(MOp::store(AG.denseIndex(), VG.denseIndex(), Pair,
+                      /*GreenHalf=*/true));
+      Reg AB = AddrRegFor(Color::Blue);
+      Reg VB = valueReg(Color::Blue, Op.A);
+      emit(Inst::st(Color::Blue, AB, VB));
+      cost(MOp::storeCommit(AB.denseIndex(), VB.denseIndex(), Pair));
+      return;
+    }
+    }
+    talft_unreachable("unknown IR op kind");
+  }
+
+  /// Emits the paired (or degenerate) unconditional transfer to \p Label.
+  /// The baseline's cost stream charges a single direct branch (a plain
+  /// ISA embeds the target; only TALFT architecturally requires the
+  /// target-materializing movs).
+  void emitJumpTo(const std::string &Label) {
+    int Pair = NextPairId++;
+    Reg TG = Reg::general(TgtG), TB = Reg::general(TgtB);
+    emit(Inst::mov(TG, Value::green(0)), Label);
+    if (FT) {
+      cost(MOp::alu(TG.denseIndex()));
+      emit(Inst::mov(TB, Value::blue(0)), Label);
+      cost(MOp::alu(TB.denseIndex()));
+      emit(Inst::jmp(Color::Green, TG));
+      cost(MOp::branch(TG.denseIndex(), -1, Pair, /*GreenHalf=*/true));
+      emit(Inst::jmp(Color::Blue, TB));
+      cost(MOp::branch(TB.denseIndex(), -1, Pair));
+      return;
+    }
+    emit(Inst::jmp(Color::Green, TG));
+    emit(Inst::jmp(Color::Blue, TG));
+    cost(MOp::branch());
+  }
+
+  void emitTerminator(const IRBlock &B, const IRBlock *Next) {
+    switch (B.T) {
+    case IRBlock::Term::Jump:
+      // Jump-to-next is a fall-through (the FT checker verifies the next
+      // block's precondition is entailed). Blocks need at least one
+      // instruction, so an otherwise-empty block keeps its jump.
+      if (Next && Next->Label == B.Target0 && !Cur->Insts.empty())
+        return;
+      emitJumpTo(B.Target0);
+      return;
+
+    case IRBlock::Term::CondZero: {
+      assert(Next && Next->Label == B.Target1 &&
+             "CondZero fall-through target must be laid out next");
+      int Pair = NextPairId++;
+      Reg TG = Reg::general(TgtG), TB = Reg::general(TgtB);
+      emit(Inst::mov(TG, Value::green(0)), B.Target0);
+      Reg ZG = valueReg(Color::Green, B.CondTemp);
+      if (FT) {
+        cost(MOp::alu(TG.denseIndex()));
+        emit(Inst::mov(TB, Value::blue(0)), B.Target0);
+        cost(MOp::alu(TB.denseIndex()));
+        Reg ZB = valueReg(Color::Blue, B.CondTemp);
+        emit(Inst::bz(Color::Green, ZG, TG));
+        cost(MOp::branch(ZG.denseIndex(), TG.denseIndex(), Pair,
+                         /*GreenHalf=*/true));
+        emit(Inst::bz(Color::Blue, ZB, TB));
+        cost(MOp::branch(ZB.denseIndex(), TB.denseIndex(), Pair));
+        return;
+      }
+      // Baseline: one direct conditional branch.
+      emit(Inst::bz(Color::Green, ZG, TG));
+      emit(Inst::bz(Color::Blue, ZG, TG));
+      cost(MOp::branch(ZG.denseIndex()));
+      return;
+    }
+
+    case IRBlock::Term::Halt:
+      emitJumpTo("exit");
+      return;
+    }
+    talft_unreachable("unknown terminator");
+  }
+
+  void emitExitBlock() {
+    Cur = &Out.Prog.addBlock("exit");
+    Cost = &Out.CostStreams["exit"];
+    finalizeBlockPrecondition(Types, *Cur->Pre);
+    emitJumpTo("exit");
+  }
+};
+
+} // namespace
+
+Expected<CompiledProgram> talft::wile::generateCode(TypeContext &Types,
+                                                    const IRProgram &IR,
+                                                    CodegenMode Mode,
+                                                    DiagnosticEngine &Diags) {
+  (void)Diags;
+  return Backend(Types, IR, Mode).run();
+}
+
+Expected<CompiledProgram> talft::wile::compileWile(TypeContext &Types,
+                                                   std::string_view Source,
+                                                   CodegenMode Mode,
+                                                   DiagnosticEngine &Diags,
+                                                   bool Optimize) {
+  Expected<WileProgram> Ast = parseWile(Source, Diags);
+  if (!Ast)
+    return Ast.takeError();
+  Expected<IRProgram> IR = lowerToIR(*Ast, Diags);
+  if (!IR)
+    return IR.takeError();
+  if (Optimize)
+    optimizeIR(*IR);
+  return generateCode(Types, *IR, Mode, Diags);
+}

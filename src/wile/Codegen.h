@@ -1,0 +1,76 @@
+//===- wile/Codegen.h - Backends: unprotected and TALFT ---------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two backends lower the Wile IR to TALFT machine code:
+///
+///  - Unprotected: the baseline "original VELOCITY compiler" equivalent —
+///    one instruction per IR operation, no redundancy. It runs on the
+///    TALFT machine by issuing degenerate pairs for stores and transfers
+///    (stG;stB through the *same* registers — exactly the pattern the
+///    checker rejects), and its cost stream counts one operation per
+///    logical op, so the cost model sees a plain single-thread binary.
+///
+///  - FaultTolerant: the paper's reliability transformation — every
+///    computation is duplicated into a green and a blue register copy,
+///    stores commit through the stG/stB queue protocol, and every control
+///    transfer runs the jmpG/jmpB (bzG/bzB) agreement protocol. Each block
+///    carries the typing precondition relating the two copies (one shared
+///    universally-quantified singleton per variable), so compiled programs
+///    without dynamic addressing pass the TALFT checker.
+///
+/// Register convention: IR value i lives in r(2i) (green) and r(2i+1)
+/// (blue; unused by the baseline). r52..r55 are the address/target scratch
+/// pairs. Programs needing more than 26 simultaneous values are rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_CODEGEN_H
+#define TALFT_WILE_CODEGEN_H
+
+#include "perf/MOp.h"
+#include "support/Diagnostics.h"
+#include "tal/Program.h"
+#include "wile/IR.h"
+
+#include <map>
+
+namespace talft::wile {
+
+/// Which backend to run.
+enum class CodegenMode : uint8_t { Unprotected, FaultTolerant };
+
+/// A compiled program plus the per-block cost streams for the pipeline
+/// model.
+struct CompiledProgram {
+  Program Prog;
+  std::map<std::string, MOpStream> CostStreams;
+  CodegenMode Mode = CodegenMode::Unprotected;
+
+  explicit CompiledProgram(TypeContext &Types) : Prog(Types) {}
+};
+
+/// Lowers \p IR through the selected backend. The returned program is laid
+/// out and runnable; FaultTolerant output additionally carries full typing
+/// annotations.
+Expected<CompiledProgram> generateCode(TypeContext &Types,
+                                       const IRProgram &IR, CodegenMode Mode,
+                                       DiagnosticEngine &Diags);
+
+/// Front-to-back convenience: parse + lower + (optionally) optimize +
+/// codegen. Optimization runs before the backend, as in the paper's
+/// VELOCITY pipeline ("the reliability transformation was compiled into
+/// the low level code immediately before register allocation and
+/// scheduling").
+Expected<CompiledProgram> compileWile(TypeContext &Types,
+                                      std::string_view Source,
+                                      CodegenMode Mode,
+                                      DiagnosticEngine &Diags,
+                                      bool Optimize = false);
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_CODEGEN_H

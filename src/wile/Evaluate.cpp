@@ -1,0 +1,62 @@
+//===- wile/Evaluate.cpp --------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Evaluate.h"
+
+#include "sim/Step.h"
+#include "support/StringUtils.h"
+
+using namespace talft;
+using namespace talft::wile;
+
+Expected<ExecutionProfile> talft::wile::profileExecution(
+    const CompiledProgram &CP, uint64_t MaxSteps) {
+  Expected<MachineState> Init = CP.Prog.initialState();
+  if (!Init)
+    return Init.takeError();
+  MachineState S = std::move(*Init);
+
+  ExecutionProfile Profile;
+  Addr Exit = CP.Prog.exitAddress();
+  while (Profile.Steps < MaxSteps) {
+    if (atExit(S, Exit)) {
+      Profile.Status = RunStatus::Halted;
+      return Profile;
+    }
+    // A fetch about to happen at a block entry is one visit.
+    if (!S.IR) {
+      if (const Block *B = CP.Prog.blockAt(S.pcG().N))
+        ++Profile.BlockVisits[B->Label];
+    }
+    StepResult SR = step(S);
+    if (SR.Status == StepStatus::Stuck) {
+      Profile.Status = RunStatus::Stuck;
+      return Profile;
+    }
+    ++Profile.Steps;
+    if (SR.Output)
+      Profile.Trace.push_back(*SR.Output);
+    if (SR.Status == StepStatus::Fault) {
+      Profile.Status = RunStatus::FaultDetected;
+      return Profile;
+    }
+  }
+  return makeError(formatv("program did not halt within %llu steps",
+                           (unsigned long long)MaxSteps));
+}
+
+uint64_t talft::wile::totalCycles(const CompiledProgram &CP,
+                                  const ExecutionProfile &Profile,
+                                  const PipelineConfig &Config) {
+  uint64_t Total = 0;
+  for (const auto &[Label, Visits] : Profile.BlockVisits) {
+    auto It = CP.CostStreams.find(Label);
+    if (It == CP.CostStreams.end())
+      continue;
+    Total += Visits * blockCycles(It->second, Config);
+  }
+  return Total;
+}

@@ -1,0 +1,54 @@
+//===- wile/Evaluate.h - Cycle accounting for compiled programs -----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation methodology behind our Figure 10 reproduction: a
+/// compiled program's cost is the sum over basic blocks of
+/// (dynamic visit count) x (statically scheduled block cycles). Visit
+/// counts come from actually executing the program on the TALFT semantics
+/// (the analogue of the paper's reference-input runs); block cycles come
+/// from the perf list scheduler and in-order issue model.
+///
+/// The same CompiledProgram is costed under different PipelineConfigs —
+/// in particular with the green-before-blue ordering constraint on or off
+/// — without re-running the program: the visit counts are
+/// schedule-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_EVALUATE_H
+#define TALFT_WILE_EVALUATE_H
+
+#include "perf/Scheduler.h"
+#include "sim/Machine.h"
+#include "support/Error.h"
+#include "wile/Codegen.h"
+
+#include <map>
+
+namespace talft::wile {
+
+/// A program's dynamic profile: the observable trace plus per-block visit
+/// counts.
+struct ExecutionProfile {
+  RunStatus Status = RunStatus::OutOfSteps;
+  uint64_t Steps = 0;
+  OutputTrace Trace;
+  std::map<std::string, uint64_t> BlockVisits;
+};
+
+/// Executes \p CP on the TALFT semantics, counting block visits.
+Expected<ExecutionProfile> profileExecution(const CompiledProgram &CP,
+                                            uint64_t MaxSteps);
+
+/// Total modelled cycles of \p CP given a profile and pipeline.
+uint64_t totalCycles(const CompiledProgram &CP,
+                     const ExecutionProfile &Profile,
+                     const PipelineConfig &Config);
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_EVALUATE_H

@@ -1,0 +1,90 @@
+//===- wile/IR.h - Three-address CFG IR for Wile ---------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wile lowers to a conventional three-address IR over a control-flow
+/// graph. Values live in numbered virtual registers: variables get the
+/// fixed ids [0, NumVars); statement temporaries reuse ids from NumVars
+/// upwards (they never live across statements, so the pool resets).
+///
+/// This is the level the paper's reliability transformation operates at
+/// ("the reliability transformation was compiled into the low level code
+/// immediately before register allocation and scheduling"): the backends
+/// in Codegen.h map one IR to the unprotected instruction stream and to
+/// the duplicated green/blue TALFT stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_IR_H
+#define TALFT_WILE_IR_H
+
+#include "isa/Inst.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace talft::wile {
+
+/// One three-address operation.
+struct IROp {
+  enum class Kind : uint8_t {
+    Const, // v[Dst] = Imm
+    Bin,   // v[Dst] = v[A] op v[B]
+    Load,  // v[Dst] = mem[address]
+    Store, // mem[address] = v[A]
+  };
+  /// Addressing of Load/Store: a constant address (Addr) when AddrTemp is
+  /// -1, otherwise the dynamic address v[AddrTemp].
+  Kind K = Kind::Const;
+  Opcode Op = Opcode::Add;
+  int Dst = -1;
+  int A = -1;
+  int B = -1;
+  int64_t Imm = 0;
+  int AddrTemp = -1;
+  int64_t Addr = 0;
+};
+
+/// A basic block with one terminator.
+struct IRBlock {
+  std::string Label;
+  std::vector<IROp> Ops;
+
+  enum class Term : uint8_t {
+    Jump,     // goto Target0
+    CondZero, // if v[CondTemp] == 0 goto Target0 else fall through to
+              // Target1 (which is laid out immediately after this block)
+    Halt,     // transfer to the exit block
+  };
+  Term T = Term::Halt;
+  std::string Target0;
+  std::string Target1;
+  int CondTemp = -1;
+};
+
+/// A lowered program.
+struct IRProgram {
+  std::vector<IRBlock> Blocks; // Blocks[0] is the entry.
+  std::vector<std::string> VarNames;
+  /// First temp id (== number of variables).
+  int FirstTemp = 0;
+  /// One past the largest virtual register id used.
+  int NumRegs = 0;
+  /// Array storage: name, base address, size (cells are ints, zeroed).
+  struct ArrayInfo {
+    std::string Name;
+    int64_t Base = 0;
+    int64_t Size = 0;
+  };
+  std::vector<ArrayInfo> Arrays;
+  /// The memory-mapped output cell `output(...)` writes to.
+  int64_t OutputAddr = 0;
+};
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_IR_H

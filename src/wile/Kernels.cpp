@@ -1,0 +1,403 @@
+//===- wile/Kernels.cpp ---------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Kernels.h"
+
+using namespace talft::wile;
+
+const std::vector<Kernel> &talft::wile::benchmarkKernels() {
+  static const std::vector<Kernel> Kernels = {
+
+      {"164.gzip", "SPEC CINT2000",
+       "deflate's longest-match scan: rolling hash over a window, "
+       "match-count accumulation",
+       R"(
+var seed = 7;
+var i = 0;
+var pos = 2;
+var matches = 0;
+var hash = 0;
+array buf[64];
+while (i != 64) { seed = seed * 75 + 74; buf[i] = seed; i = i + 1; }
+while (pos != 64) {
+  hash = buf[pos - 1] * 31 + buf[pos - 2];
+  if (buf[pos] == hash) { matches = matches + 1; }
+  pos = pos + 1;
+}
+output(matches);
+output(hash);
+)",
+       false},
+
+      {"175.vpr", "SPEC CINT2000",
+       "placement cost estimation: per-net squared wirelength accumulation",
+       R"(
+var n = 160;
+var x = 3;
+var y = 5;
+var dx = 0;
+var dy = 0;
+var cost = 0;
+while (n != 0) {
+  x = x * 17 + 1;
+  y = y * 23 + 7;
+  dx = x - y;
+  dy = y - x * 3;
+  cost = cost + dx * dx + dy * dy;
+  n = n - 1;
+}
+output(cost);
+)",
+       true},
+
+      {"176.gcc", "SPEC CINT2000",
+       "rtl peephole scan: pattern hashing over instruction words with "
+       "match dispatch",
+       R"(
+var seed = 91;
+var i = 0;
+var hits = 0;
+var word = 0;
+var key = 0;
+array insns[48];
+while (i != 48) { seed = seed * 69 + 5; insns[i] = seed; i = i + 1; }
+i = 0;
+while (i != 48) {
+  word = insns[i];
+  key = word * 2654435761;
+  if (key == word) { hits = hits + 1; } else { hits = hits + 0; }
+  if (word - key != 0) { word = word - key; }
+  i = i + 1;
+}
+output(hits);
+output(word);
+)",
+       false},
+
+      {"181.mcf", "SPEC CINT2000",
+       "network-simplex arc sweep: distance relaxation traffic over "
+       "node/arc tables",
+       R"(
+var rounds = 8;
+var u = 0;
+var next = 0;
+array dist[16];
+array wgt[16];
+var i = 0;
+var s = 3;
+while (i != 16) { s = s * 13 + 1; wgt[i] = s * s; dist[i] = 1000000; i = i + 1; }
+dist[0] = 0;
+while (rounds != 0) {
+  u = 0;
+  while (u != 15) {
+    next = u + 1;
+    dist[next] = dist[u] + wgt[next];
+    u = next;
+  }
+  rounds = rounds - 1;
+}
+output(dist[15]);
+)",
+       false},
+
+      {"186.crafty", "SPEC CINT2000",
+       "board evaluation: weighted material/mobility sums over scalar "
+       "piece state",
+       R"(
+var plies = 120;
+var pawns = 8;
+var knights = 2;
+var mobility = 13;
+var phase = 3;
+var score = 0;
+while (plies != 0) {
+  score = pawns * 100 + knights * 320 + mobility * 4;
+  mobility = mobility * 5 + phase - score * 2;
+  phase = phase + mobility * 3 - pawns;
+  pawns = pawns + phase * 7 - knights * 11;
+  knights = knights + score - phase * 5;
+  plies = plies - 1;
+}
+output(score);
+)",
+       true},
+
+      {"197.parser", "SPEC CINT2000",
+       "dictionary lookup: linear probe with exact-match tests",
+       R"(
+var i = 0;
+var seed = 17;
+var probes = 24;
+var found = 0;
+var probe = 0;
+array dict[32];
+while (i != 32) { seed = seed * 29 + 11; dict[i] = seed; i = i + 1; }
+while (probes != 0) {
+  probe = probe * 29 + 11;
+  i = 0;
+  while (i != 32) {
+    if (dict[i] == probe) { found = found + 1; }
+    i = i + 1;
+  }
+  probes = probes - 1;
+}
+output(found);
+)",
+       false},
+
+      {"254.gap", "SPEC CINT2000",
+       "group theory workhorse: permutation composition r = p ∘ q",
+       R"(
+var n = 16;
+var i = 0;
+var reps = 12;
+var c = 0;
+var acc = 0;
+array p[16];
+array q[16];
+array r[16];
+while (i != 16) {
+  p[i] = c;
+  c = c + 5;
+  if (c == 20) { c = 4; }
+  if (c == 21) { c = 5; }
+  if (c == 16) { c = 0; }
+  if (c == 17) { c = 1; }
+  if (c == 18) { c = 2; }
+  if (c == 19) { c = 3; }
+  q[i] = 15 - i;
+  i = i + 1;
+}
+while (reps != 0) {
+  i = 0;
+  while (i != 16) { r[i] = p[q[i]]; i = i + 1; }
+  i = 0;
+  while (i != 16) { p[i] = r[i]; i = i + 1; }
+  reps = reps - 1;
+}
+i = 0;
+while (i != 16) { acc = acc * 16 + p[i]; i = i + 1; }
+output(acc);
+)",
+       false},
+
+      {"255.vortex", "SPEC CINT2000",
+       "object store: hash-table probe walk with key mixing",
+       R"(
+var i = 0;
+var slot = 0;
+var lookups = 48;
+var key = 5;
+var hits = 0;
+array table[16];
+while (i != 16) { table[i] = i * 2654435761 + 1; i = i + 1; }
+while (lookups != 0) {
+  key = key * 2654435761 + 13;
+  if (table[slot] == key) { hits = hits + 1; }
+  table[slot] = key;
+  slot = slot + 1;
+  if (slot == 16) { slot = 0; }
+  lookups = lookups - 1;
+}
+output(hits);
+output(table[3]);
+)",
+       false},
+
+      {"256.bzip2", "SPEC CINT2000",
+       "run-length encoding pass: run detection with exact-match tests",
+       R"(
+var i = 0;
+var c = 0;
+var run = 1;
+var prev = 0;
+var cur = 0;
+array buf[96];
+while (i != 96) {
+  buf[i] = c;
+  c = c + 1;
+  if (c == 3) { c = 0; }
+  if (i * 1 == 40) { c = 0; }
+  i = i + 1;
+}
+prev = buf[0];
+i = 1;
+while (i != 96) {
+  cur = buf[i];
+  if (cur == prev) {
+    run = run + 1;
+  } else {
+    output(run);
+    run = 1;
+    prev = cur;
+  }
+  i = i + 1;
+}
+output(run);
+)",
+       false},
+
+      {"300.twolf", "SPEC CINT2000",
+       "simulated-annealing cost delta: scalar overlap/penalty arithmetic",
+       R"(
+var moves = 140;
+var xa = 7;
+var xb = 12;
+var overlap = 0;
+var penalty = 0;
+var delta = 0;
+var accepted = 0;
+while (moves != 0) {
+  xa = xa * 21 + 9;
+  xb = xb * 13 + 3;
+  overlap = (xa - xb) * (xa - xb);
+  penalty = overlap * 3 + xa * 2 - xb;
+  delta = penalty - overlap * 2;
+  accepted = accepted + delta * delta;
+  moves = moves - 1;
+}
+output(accepted);
+)",
+       true},
+
+      {"adpcm", "MediaBench",
+       "ADPCM encode inner loop: prediction error and step adaptation",
+       R"(
+var samples = 160;
+var wave = 100;
+var pred = 0;
+var step = 7;
+var delta = 0;
+var energy = 0;
+while (samples != 0) {
+  wave = wave * 41 + 3;
+  delta = wave - pred;
+  pred = pred + delta * 3 - step;
+  step = step + delta - pred * 2;
+  energy = energy + delta * delta;
+  samples = samples - 1;
+}
+output(energy);
+output(pred);
+)",
+       true},
+
+      {"epic", "MediaBench",
+       "pyramid image coder: 3-tap separable filter sweep",
+       R"(
+var i = 0;
+var seed = 3;
+var acc = 0;
+array img[40];
+array outp[40];
+while (i != 40) { seed = seed * 19 + 1; img[i] = seed; i = i + 1; }
+i = 1;
+while (i != 39) {
+  outp[i] = img[i - 1] + img[i] * 2 + img[i + 1];
+  i = i + 1;
+}
+i = 1;
+while (i != 39) { acc = acc + outp[i]; i = i + 1; }
+output(acc);
+)",
+       false},
+
+      {"g721", "MediaBench",
+       "G.721 adaptive predictor: two-pole/six-zero scalar recurrence",
+       R"(
+var samples = 120;
+var inp = 13;
+var a1 = 2;
+var a2 = 1;
+var z1 = 0;
+var z2 = 0;
+var est = 0;
+var err = 0;
+var acc = 0;
+while (samples != 0) {
+  inp = inp * 37 + 5;
+  est = a1 * z1 + a2 * z2;
+  err = inp - est;
+  a1 = a1 + err * 3;
+  a2 = a2 + err - a1 * 2;
+  z2 = z1;
+  z1 = inp + err;
+  acc = acc + err * err;
+  samples = samples - 1;
+}
+output(acc);
+)",
+       true},
+
+      {"pegwit", "MediaBench",
+       "elliptic-curve field arithmetic: square-and-multiply ladder",
+       R"(
+var bits = 48;
+var acc = 1;
+var base = 7;
+var mask = 1;
+var digest = 0;
+while (bits != 0) {
+  acc = acc * acc + 1;
+  acc = acc * base - mask;
+  mask = mask * 3 + acc;
+  digest = digest + acc * 5 + mask;
+  bits = bits - 1;
+}
+output(digest);
+)",
+       true},
+
+      {"jpeg", "MediaBench",
+       "8-point 1-D DCT butterfly, fully unrolled at constant indices "
+       "(type-checkable array traffic)",
+       R"(
+var frames = 24;
+var s = 11;
+var t0 = 0;
+var t1 = 0;
+var t2 = 0;
+var t3 = 0;
+var u0 = 0;
+var u1 = 0;
+var u2 = 0;
+var u3 = 0;
+var sum = 0;
+array blk[8];
+while (frames != 0) {
+  s = s * 57 + 2;  blk[0] = s;
+  s = s * 57 + 2;  blk[1] = s;
+  s = s * 57 + 2;  blk[2] = s;
+  s = s * 57 + 2;  blk[3] = s;
+  s = s * 57 + 2;  blk[4] = s;
+  s = s * 57 + 2;  blk[5] = s;
+  s = s * 57 + 2;  blk[6] = s;
+  s = s * 57 + 2;  blk[7] = s;
+  t0 = blk[0] + blk[7];
+  t1 = blk[1] + blk[6];
+  t2 = blk[2] + blk[5];
+  t3 = blk[3] + blk[4];
+  u0 = blk[0] - blk[7];
+  u1 = blk[1] - blk[6];
+  u2 = blk[2] - blk[5];
+  u3 = blk[3] - blk[4];
+  blk[0] = t0 + t3;
+  blk[1] = t1 + t2;
+  blk[2] = t1 - t2;
+  blk[3] = t0 - t3;
+  blk[4] = u0 * 3 + u1;
+  blk[5] = u1 * 3 - u2;
+  blk[6] = u2 * 3 + u3;
+  blk[7] = u3 * 3 - u0;
+  sum = sum + blk[0] * 2 - blk[4] + blk[2] * 3 - blk[6];
+  frames = frames - 1;
+}
+output(sum);
+)",
+       true},
+  };
+  return Kernels;
+}

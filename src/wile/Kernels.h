@@ -1,0 +1,47 @@
+//===- wile/Kernels.h - The Figure 10 benchmark kernels --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates on SPEC CINT2000 and MediaBench with reference
+/// inputs; we cannot ship those, so each benchmark is represented by a
+/// Wile kernel modelled on its dominant loop (the substitution is
+/// documented in DESIGN.md). Kernels marked Typable avoid dynamic
+/// addressing, so their fault-tolerant compilation passes the TALFT
+/// checker end-to-end; the rest exercise the simulator and cost model
+/// exactly as the paper's binaries exercised the Itanium (which had no
+/// type checker either).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_KERNELS_H
+#define TALFT_WILE_KERNELS_H
+
+#include <string>
+#include <vector>
+
+namespace talft::wile {
+
+/// One benchmark kernel.
+struct Kernel {
+  /// Benchmark it stands in for (e.g. "164.gzip").
+  std::string Name;
+  /// "SPEC CINT2000" or "MediaBench".
+  std::string Suite;
+  /// What the kernel models.
+  std::string Models;
+  /// Wile source.
+  std::string Source;
+  /// True when the fault-tolerant compilation is expected to type-check
+  /// (no dynamic addressing).
+  bool Typable = false;
+};
+
+/// The kernels of the Figure 10 reproduction, in the paper's suite order.
+const std::vector<Kernel> &benchmarkKernels();
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_KERNELS_H

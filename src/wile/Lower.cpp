@@ -1,0 +1,422 @@
+//===- wile/Lower.cpp -----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Lower.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+/// The fixed memory-mapped output cell.
+constexpr int64_t OutputCellAddr = 2048;
+/// Auto-assigned array bases start here.
+constexpr int64_t AutoArrayBase = 4096;
+
+class Lowerer {
+public:
+  Lowerer(const WileProgram &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  Expected<IRProgram> run() {
+    IR.OutputAddr = OutputCellAddr;
+
+    for (const VarDecl &V : P.Vars) {
+      VarIds[V.Name] = (int)IR.VarNames.size();
+      IR.VarNames.push_back(V.Name);
+    }
+    IR.FirstTemp = (int)IR.VarNames.size();
+    IR.NumRegs = IR.FirstTemp;
+
+    if (!layoutArrays())
+      return makeError("Wile lowering failed:\n" + Diags.str());
+
+    size_t Entry = newBlock("entry");
+    // Initialize every variable so non-entry preconditions can assume all
+    // variable registers are populated.
+    for (const VarDecl &V : P.Vars) {
+      IROp Op;
+      Op.K = IROp::Kind::Const;
+      Op.Dst = VarIds[V.Name];
+      Op.Imm = V.Init;
+      block(Entry).Ops.push_back(Op);
+    }
+
+    size_t Last = Entry;
+    if (!lowerStmts(P.Body, Last))
+      return makeError("Wile lowering failed:\n" + Diags.str());
+    block(Last).T = IRBlock::Term::Halt;
+    return std::move(IR);
+  }
+
+private:
+  const WileProgram &P;
+  DiagnosticEngine &Diags;
+  IRProgram IR;
+  std::map<std::string, int> VarIds;
+  std::map<std::string, size_t> ArrayIndex;
+  int NextTemp = 0;
+  unsigned NextLabel = 0;
+
+  IRBlock &block(size_t I) { return IR.Blocks[I]; }
+
+  size_t newBlock(std::string Label = std::string()) {
+    if (Label.empty())
+      Label = formatv("b%u", NextLabel++);
+    IR.Blocks.emplace_back();
+    IR.Blocks.back().Label = std::move(Label);
+    return IR.Blocks.size() - 1;
+  }
+
+  bool layoutArrays() {
+    int64_t NextAuto = AutoArrayBase;
+    // Place explicitly-based arrays first, then auto ones after the
+    // highest explicit range.
+    for (const ArrayDecl &A : P.Arrays)
+      if (A.Base != 0)
+        NextAuto = std::max(NextAuto, A.Base + A.Size);
+    for (const ArrayDecl &A : P.Arrays) {
+      int64_t Base = A.Base;
+      if (Base == 0) {
+        Base = NextAuto;
+        NextAuto += A.Size;
+      }
+      if (Base <= 0) {
+        Diags.error(A.Loc, "array base must be positive");
+        return false;
+      }
+      // Overlap checks (including the output cell).
+      if (Base <= OutputCellAddr && OutputCellAddr < Base + A.Size) {
+        Diags.error(A.Loc, "array '" + A.Name +
+                               "' overlaps the output cell");
+        return false;
+      }
+      for (const IRProgram::ArrayInfo &Other : IR.Arrays) {
+        if (Base < Other.Base + Other.Size && Other.Base < Base + A.Size) {
+          Diags.error(A.Loc, "array '" + A.Name + "' overlaps '" +
+                                 Other.Name + "'");
+          return false;
+        }
+      }
+      ArrayIndex[A.Name] = IR.Arrays.size();
+      IR.Arrays.push_back({A.Name, Base, A.Size});
+    }
+    return true;
+  }
+
+  int freshTemp() {
+    int T = NextTemp++;
+    IR.NumRegs = std::max(IR.NumRegs, NextTemp);
+    return T;
+  }
+
+  /// Lowers an expression into \p B, returning the id holding its value.
+  std::optional<int> lowerExpr(const Expr &E, size_t B) {
+    switch (E.K) {
+    case Expr::Kind::Const: {
+      int T = freshTemp();
+      IROp Op;
+      Op.K = IROp::Kind::Const;
+      Op.Dst = T;
+      Op.Imm = E.N;
+      block(B).Ops.push_back(Op);
+      return T;
+    }
+    case Expr::Kind::Var:
+      return VarIds.at(E.Name);
+    case Expr::Kind::Index: {
+      const IRProgram::ArrayInfo &A = IR.Arrays[ArrayIndex.at(E.Name)];
+      IROp Op;
+      Op.K = IROp::Kind::Load;
+      Op.Dst = freshTemp();
+      if (E.Lhs->K == Expr::Kind::Const) {
+        if (!checkBounds(*E.Lhs, A))
+          return std::nullopt;
+        Op.Addr = A.Base + E.Lhs->N;
+      } else {
+        std::optional<int> Idx = lowerExpr(*E.Lhs, B);
+        if (!Idx)
+          return std::nullopt;
+        // address = base + index
+        int BaseT = freshTemp();
+        IROp BaseOp;
+        BaseOp.K = IROp::Kind::Const;
+        BaseOp.Dst = BaseT;
+        BaseOp.Imm = A.Base;
+        block(B).Ops.push_back(BaseOp);
+        int AddrT = freshTemp();
+        IROp AddOp;
+        AddOp.K = IROp::Kind::Bin;
+        AddOp.Op = Opcode::Add;
+        AddOp.Dst = AddrT;
+        AddOp.A = BaseT;
+        AddOp.B = *Idx;
+        block(B).Ops.push_back(AddOp);
+        Op.AddrTemp = AddrT;
+      }
+      block(B).Ops.push_back(Op);
+      return Op.Dst;
+    }
+    case Expr::Kind::Bin: {
+      std::optional<int> L = lowerExpr(*E.Lhs, B);
+      std::optional<int> R = lowerExpr(*E.Rhs, B);
+      if (!L || !R)
+        return std::nullopt;
+      IROp Op;
+      Op.K = IROp::Kind::Bin;
+      Op.Op = E.Op;
+      Op.Dst = freshTemp();
+      Op.A = *L;
+      Op.B = *R;
+      block(B).Ops.push_back(Op);
+      return Op.Dst;
+    }
+    }
+    return std::nullopt;
+  }
+
+  /// Lowers an expression directly into register \p Dst (the assignment
+  /// statement's fast path: no extra copy for the root operation).
+  bool lowerExprInto(const Expr &E, size_t B, int Dst) {
+    switch (E.K) {
+    case Expr::Kind::Const: {
+      IROp Op;
+      Op.K = IROp::Kind::Const;
+      Op.Dst = Dst;
+      Op.Imm = E.N;
+      block(B).Ops.push_back(Op);
+      return true;
+    }
+    case Expr::Kind::Var: {
+      int Src = VarIds.at(E.Name);
+      if (Src == Dst)
+        return true;
+      // Register-to-register copies materialize as src + 0.
+      int Zero = freshTemp();
+      IROp Z;
+      Z.K = IROp::Kind::Const;
+      Z.Dst = Zero;
+      Z.Imm = 0;
+      block(B).Ops.push_back(Z);
+      IROp Op;
+      Op.K = IROp::Kind::Bin;
+      Op.Op = Opcode::Add;
+      Op.Dst = Dst;
+      Op.A = Src;
+      Op.B = Zero;
+      block(B).Ops.push_back(Op);
+      return true;
+    }
+    case Expr::Kind::Index:
+    case Expr::Kind::Bin: {
+      // Reuse the generic path, then retarget the final op's destination.
+      std::optional<int> V = lowerExpr(E, B);
+      if (!V)
+        return false;
+      assert(!block(B).Ops.empty() && block(B).Ops.back().Dst == *V &&
+             "expression root is not the last op");
+      block(B).Ops.back().Dst = Dst;
+      return true;
+    }
+    }
+    return false;
+  }
+
+  bool checkBounds(const Expr &Idx, const IRProgram::ArrayInfo &A) {
+    if (Idx.N < 0 || Idx.N >= A.Size) {
+      Diags.error(Idx.Loc, formatv("index %lld out of bounds for '%s[%lld]'",
+                                   (long long)Idx.N, A.Name.c_str(),
+                                   (long long)A.Size));
+      return false;
+    }
+    return true;
+  }
+
+  /// Lowers the condition's test value: 0 iff "false" for NonZero, and
+  /// 0 iff "lhs == rhs" for Eq/Ne.
+  std::optional<int> lowerCondValue(const Cond &C, size_t B) {
+    std::optional<int> L = lowerExpr(*C.Lhs, B);
+    if (!L)
+      return std::nullopt;
+    if (C.K == Cond::Kind::NonZero)
+      return L;
+    std::optional<int> R = lowerExpr(*C.Rhs, B);
+    if (!R)
+      return std::nullopt;
+    IROp Op;
+    Op.K = IROp::Kind::Bin;
+    Op.Op = Opcode::Sub;
+    Op.Dst = freshTemp();
+    Op.A = *L;
+    Op.B = *R;
+    block(B).Ops.push_back(Op);
+    return Op.Dst;
+  }
+
+  /// True when the condition is satisfied by a ZERO test value (the bz
+  /// branch target is the "true" side).
+  static bool trueOnZero(const Cond &C) { return C.K == Cond::Kind::Eq; }
+
+  bool lowerStmts(const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                  size_t &Cur) {
+    for (const auto &S : Stmts) {
+      NextTemp = IR.FirstTemp; // Temps never live across statements.
+      switch (S->K) {
+      case Stmt::Kind::Assign:
+        if (!lowerExprInto(*S->Value, Cur, VarIds.at(S->Name)))
+          return false;
+        break;
+      case Stmt::Kind::StoreIndex: {
+        const IRProgram::ArrayInfo &A = IR.Arrays[ArrayIndex.at(S->Name)];
+        IROp Op;
+        Op.K = IROp::Kind::Store;
+        if (S->Index->K == Expr::Kind::Const) {
+          if (!checkBounds(*S->Index, A))
+            return false;
+          Op.Addr = A.Base + S->Index->N;
+        } else {
+          std::optional<int> Idx = lowerExpr(*S->Index, Cur);
+          if (!Idx)
+            return false;
+          int BaseT = freshTemp();
+          IROp BaseOp;
+          BaseOp.K = IROp::Kind::Const;
+          BaseOp.Dst = BaseT;
+          BaseOp.Imm = A.Base;
+          block(Cur).Ops.push_back(BaseOp);
+          int AddrT = freshTemp();
+          IROp AddOp;
+          AddOp.K = IROp::Kind::Bin;
+          AddOp.Op = Opcode::Add;
+          AddOp.Dst = AddrT;
+          AddOp.A = BaseT;
+          AddOp.B = *Idx;
+          block(Cur).Ops.push_back(AddOp);
+          Op.AddrTemp = AddrT;
+        }
+        std::optional<int> V = lowerExpr(*S->Value, Cur);
+        if (!V)
+          return false;
+        Op.A = *V;
+        block(Cur).Ops.push_back(Op);
+        break;
+      }
+      case Stmt::Kind::Output: {
+        std::optional<int> V = lowerExpr(*S->Value, Cur);
+        if (!V)
+          return false;
+        IROp Op;
+        Op.K = IROp::Kind::Store;
+        Op.Addr = IR.OutputAddr;
+        Op.A = *V;
+        block(Cur).Ops.push_back(Op);
+        break;
+      }
+      case Stmt::Kind::While: {
+        size_t Head = newBlock();
+        block(Cur).T = IRBlock::Term::Jump;
+        block(Cur).Target0 = block(Head).Label;
+
+        NextTemp = IR.FirstTemp;
+        std::optional<int> T = lowerCondValue(*S->C, Head);
+        if (!T)
+          return false;
+
+        size_t Tramp = SIZE_MAX;
+        if (trueOnZero(*S->C))
+          Tramp = newBlock();
+
+        size_t BodyFirst = newBlock();
+        size_t BodyLast = BodyFirst;
+        if (!lowerStmts(S->Body, BodyLast))
+          return false;
+        block(BodyLast).T = IRBlock::Term::Jump;
+        block(BodyLast).Target0 = block(Head).Label;
+
+        size_t After = newBlock();
+        block(Head).T = IRBlock::Term::CondZero;
+        block(Head).CondTemp = *T;
+        if (trueOnZero(*S->C)) {
+          // Zero-test true => enter the body; the physical fall-through is
+          // a trampoline to the exit.
+          block(Head).Target0 = block(BodyFirst).Label;
+          block(Head).Target1 = block(Tramp).Label;
+          block(Tramp).T = IRBlock::Term::Jump;
+          block(Tramp).Target0 = block(After).Label;
+        } else {
+          block(Head).Target0 = block(After).Label;
+          block(Head).Target1 = block(BodyFirst).Label;
+        }
+        Cur = After;
+        break;
+      }
+      case Stmt::Kind::If: {
+        NextTemp = IR.FirstTemp;
+        std::optional<int> T = lowerCondValue(*S->C, Cur);
+        if (!T)
+          return false;
+        size_t CondBlock = Cur;
+
+        if (trueOnZero(*S->C)) {
+          // bz branches to the then-side; the fall-through handles else.
+          size_t FallFirst = newBlock();
+          size_t FallLast = FallFirst;
+          if (!lowerStmts(S->Else, FallLast))
+            return false;
+          size_t ThenFirst = newBlock();
+          size_t ThenLast = ThenFirst;
+          if (!lowerStmts(S->Body, ThenLast))
+            return false;
+          size_t After = newBlock();
+          block(CondBlock).T = IRBlock::Term::CondZero;
+          block(CondBlock).CondTemp = *T;
+          block(CondBlock).Target0 = block(ThenFirst).Label;
+          block(CondBlock).Target1 = block(FallFirst).Label;
+          block(FallLast).T = IRBlock::Term::Jump;
+          block(FallLast).Target0 = block(After).Label;
+          block(ThenLast).T = IRBlock::Term::Jump;
+          block(ThenLast).Target0 = block(After).Label;
+          Cur = After;
+          break;
+        }
+
+        // Nonzero-true conditions: bz branches to the else-side.
+        size_t ThenFirst = newBlock();
+        size_t ThenLast = ThenFirst;
+        if (!lowerStmts(S->Body, ThenLast))
+          return false;
+        size_t ElseFirst = newBlock();
+        size_t ElseLast = ElseFirst;
+        if (!lowerStmts(S->Else, ElseLast))
+          return false;
+        size_t After = newBlock();
+        block(CondBlock).T = IRBlock::Term::CondZero;
+        block(CondBlock).CondTemp = *T;
+        block(CondBlock).Target0 = block(ElseFirst).Label;
+        block(CondBlock).Target1 = block(ThenFirst).Label;
+        block(ThenLast).T = IRBlock::Term::Jump;
+        block(ThenLast).Target0 = block(After).Label;
+        block(ElseLast).T = IRBlock::Term::Jump;
+        block(ElseLast).Target0 = block(After).Label;
+        Cur = After;
+        break;
+      }
+      }
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+Expected<IRProgram> talft::wile::lowerToIR(const WileProgram &P,
+                                           DiagnosticEngine &Diags) {
+  return Lowerer(P, Diags).run();
+}

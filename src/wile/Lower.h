@@ -1,0 +1,26 @@
+//===- wile/Lower.h - AST to IR lowering ------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_LOWER_H
+#define TALFT_WILE_LOWER_H
+
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "wile/Ast.h"
+#include "wile/IR.h"
+
+namespace talft::wile {
+
+/// Lowers an AST to the CFG IR: assigns variable/temp ids, lays out array
+/// bases (auto bases start at 4096, above the output cell), flattens
+/// expressions to three-address code, and structures loops/conditionals
+/// so that every CondZero terminator's fall-through target is laid out
+/// immediately after its block.
+Expected<IRProgram> lowerToIR(const WileProgram &P, DiagnosticEngine &Diags);
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_LOWER_H

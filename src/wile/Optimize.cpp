@@ -1,0 +1,189 @@
+//===- wile/Optimize.cpp --------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Optimize.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+/// What the forward pass knows about a virtual register.
+struct Known {
+  std::optional<int64_t> Const;
+  /// A register currently holding the same value, or -1.
+  int CopyOf = -1;
+};
+
+class BlockOptimizer {
+public:
+  BlockOptimizer(IRBlock &B, int FirstTemp, OptStats &Stats)
+      : B(B), FirstTemp(FirstTemp), Stats(Stats) {}
+
+  void run() {
+    forward();
+    eliminateDead();
+  }
+
+private:
+  IRBlock &B;
+  int FirstTemp;
+  OptStats &Stats;
+  std::map<int, Known> Facts;
+
+  /// Invalidate everything that referred to \p Reg before it changed.
+  void kill(int Reg) {
+    Facts.erase(Reg);
+    for (auto &[R, K] : Facts)
+      if (K.CopyOf == Reg)
+        K.CopyOf = -1;
+  }
+
+  std::optional<int64_t> constOf(int Reg) const {
+    auto It = Facts.find(Reg);
+    if (It == Facts.end())
+      return std::nullopt;
+    return It->second.Const;
+  }
+
+  /// Rewrites an operand through copy facts.
+  void propagate(int &Reg) {
+    if (Reg == -1)
+      return;
+    auto It = Facts.find(Reg);
+    if (It != Facts.end() && It->second.CopyOf != -1) {
+      Reg = It->second.CopyOf;
+      ++Stats.Propagated;
+    }
+  }
+
+  void forward() {
+    for (IROp &Op : B.Ops) {
+      switch (Op.K) {
+      case IROp::Kind::Const:
+        kill(Op.Dst);
+        Facts[Op.Dst] = {Op.Imm, -1};
+        break;
+
+      case IROp::Kind::Bin: {
+        propagate(Op.A);
+        propagate(Op.B);
+        std::optional<int64_t> CA = constOf(Op.A);
+        std::optional<int64_t> CB = constOf(Op.B);
+        if (CA && CB) {
+          int64_t V = evalAluOp(Op.Op, *CA, *CB);
+          int Dst = Op.Dst;
+          Op = IROp();
+          Op.K = IROp::Kind::Const;
+          Op.Dst = Dst;
+          Op.Imm = V;
+          ++Stats.Folded;
+          kill(Dst);
+          Facts[Dst] = {V, -1};
+          break;
+        }
+        // dst = src + 0 / src - 0 / src * 1: dst copies src.
+        int Src = -1;
+        if ((Op.Op == Opcode::Add || Op.Op == Opcode::Sub) && CB &&
+            *CB == 0)
+          Src = Op.A;
+        else if (Op.Op == Opcode::Add && CA && *CA == 0)
+          Src = Op.B;
+        else if (Op.Op == Opcode::Mul && CB && *CB == 1)
+          Src = Op.A;
+        else if (Op.Op == Opcode::Mul && CA && *CA == 1)
+          Src = Op.B;
+        kill(Op.Dst);
+        if (Src != -1 && Src != Op.Dst)
+          Facts[Op.Dst] = {std::nullopt, Src};
+        break;
+      }
+
+      case IROp::Kind::Load:
+        if (Op.AddrTemp != -1) {
+          propagate(Op.AddrTemp);
+          if (std::optional<int64_t> C = constOf(Op.AddrTemp)) {
+            Op.AddrTemp = -1;
+            Op.Addr = *C;
+            ++Stats.AddressesStrengthened;
+          }
+        }
+        kill(Op.Dst);
+        break;
+
+      case IROp::Kind::Store:
+        propagate(Op.A);
+        if (Op.AddrTemp != -1) {
+          propagate(Op.AddrTemp);
+          if (std::optional<int64_t> C = constOf(Op.AddrTemp)) {
+            Op.AddrTemp = -1;
+            Op.Addr = *C;
+            ++Stats.AddressesStrengthened;
+          }
+        }
+        break;
+      }
+    }
+    if (B.T == IRBlock::Term::CondZero) {
+      auto It = Facts.find(B.CondTemp);
+      if (It != Facts.end() && It->second.CopyOf != -1) {
+        B.CondTemp = It->second.CopyOf;
+        ++Stats.Propagated;
+      }
+    }
+  }
+
+  void eliminateDead() {
+    // Live-out: every variable (they live across blocks) plus the
+    // terminator's test register.
+    std::set<int> Live;
+    for (int V = 0; V != FirstTemp; ++V)
+      Live.insert(V);
+    if (B.T == IRBlock::Term::CondZero)
+      Live.insert(B.CondTemp);
+
+    std::vector<IROp> Kept;
+    Kept.reserve(B.Ops.size());
+    for (size_t I = B.Ops.size(); I-- > 0;) {
+      IROp &Op = B.Ops[I];
+      bool HasDst = Op.K == IROp::Kind::Const || Op.K == IROp::Kind::Bin ||
+                    Op.K == IROp::Kind::Load;
+      bool Pure = Op.K == IROp::Kind::Const || Op.K == IROp::Kind::Bin;
+      if (Pure && HasDst && !Live.count(Op.Dst)) {
+        ++Stats.Eliminated;
+        continue;
+      }
+      if (HasDst)
+        Live.erase(Op.Dst);
+      if (Op.K == IROp::Kind::Bin) {
+        Live.insert(Op.A);
+        Live.insert(Op.B);
+      }
+      if (Op.K == IROp::Kind::Store)
+        Live.insert(Op.A);
+      if ((Op.K == IROp::Kind::Load || Op.K == IROp::Kind::Store) &&
+          Op.AddrTemp != -1)
+        Live.insert(Op.AddrTemp);
+      Kept.push_back(Op);
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    B.Ops = std::move(Kept);
+  }
+};
+
+} // namespace
+
+OptStats talft::wile::optimizeIR(IRProgram &IR) {
+  OptStats Stats;
+  for (IRBlock &B : IR.Blocks)
+    BlockOptimizer(B, IR.FirstTemp, Stats).run();
+  return Stats;
+}

@@ -1,0 +1,53 @@
+//===- wile/Optimize.h - IR-level optimizations -----------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local (per-block) optimizations over the Wile IR, run before either
+/// backend — the paper's VELOCITY compiler likewise applied its
+/// optimizations before the reliability transformation:
+///
+///   - constant folding: binary ops over known constants become Const;
+///   - copy propagation: uses of `dst = src + 0` read src directly;
+///   - address strengthening: loads/stores whose dynamic address register
+///     is known constant become constant-addressed (fewer address movs;
+///     the checker's own constant refinement already covers the
+///     block-local typability of such accesses);
+///   - dead code elimination: pure ops (Const/Bin) writing temps that are
+///     never read afterwards are dropped. Loads are never deleted: a wild
+///     load may trap, so removing one is not behavior-preserving under
+///     the trapping policy.
+///
+/// All state is per-block (blocks may have multiple predecessors, and the
+/// IR is not in SSA form), so the passes are sound without any CFG
+/// analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_OPTIMIZE_H
+#define TALFT_WILE_OPTIMIZE_H
+
+#include "wile/IR.h"
+
+namespace talft::wile {
+
+/// Counters for what the pass did (for tests and reporting).
+struct OptStats {
+  unsigned Folded = 0;
+  unsigned Propagated = 0;
+  unsigned AddressesStrengthened = 0;
+  unsigned Eliminated = 0;
+
+  unsigned total() const {
+    return Folded + Propagated + AddressesStrengthened + Eliminated;
+  }
+};
+
+/// Optimizes \p IR in place.
+OptStats optimizeIR(IRProgram &IR);
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_OPTIMIZE_H

@@ -1,0 +1,551 @@
+//===- wile/Parser.cpp ----------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wile/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Assign, // =
+  EqEq,   // ==
+  NotEq,  // !=
+  Plus,
+  Minus,
+  Star,
+  At,
+};
+
+struct Token {
+  Tok K = Tok::Eof;
+  std::string Text;
+  int64_t Num = 0;
+  SourceLoc Loc;
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view In) : In(In) {}
+
+  bool run(std::vector<Token> &Out, DiagnosticEngine &Diags) {
+    while (true) {
+      skip();
+      SourceLoc Loc(Line, Col);
+      if (Pos >= In.size()) {
+        Out.push_back({Tok::Eof, "", 0, Loc});
+        return true;
+      }
+      char C = In[Pos];
+      if (isalpha((unsigned char)C) || C == '_') {
+        size_t S = Pos;
+        while (Pos < In.size() &&
+               (isalnum((unsigned char)In[Pos]) || In[Pos] == '_'))
+          adv();
+        Out.push_back({Tok::Ident, std::string(In.substr(S, Pos - S)), 0,
+                       Loc});
+        continue;
+      }
+      if (isdigit((unsigned char)C)) {
+        size_t S = Pos;
+        while (Pos < In.size() && isdigit((unsigned char)In[Pos]))
+          adv();
+        std::optional<int64_t> N = parseInt64(In.substr(S, Pos - S));
+        if (!N) {
+          Diags.error(Loc, "integer literal out of range");
+          return false;
+        }
+        Out.push_back({Tok::Number, "", *N, Loc});
+        continue;
+      }
+      Tok K;
+      switch (C) {
+      case '{':
+        K = Tok::LBrace;
+        break;
+      case '}':
+        K = Tok::RBrace;
+        break;
+      case '(':
+        K = Tok::LParen;
+        break;
+      case ')':
+        K = Tok::RParen;
+        break;
+      case '[':
+        K = Tok::LBracket;
+        break;
+      case ']':
+        K = Tok::RBracket;
+        break;
+      case ';':
+        K = Tok::Semi;
+        break;
+      case '+':
+        K = Tok::Plus;
+        break;
+      case '-':
+        K = Tok::Minus;
+        break;
+      case '*':
+        K = Tok::Star;
+        break;
+      case '@':
+        K = Tok::At;
+        break;
+      case '=':
+        adv();
+        if (Pos < In.size() && In[Pos] == '=') {
+          adv();
+          Out.push_back({Tok::EqEq, "", 0, Loc});
+        } else {
+          Out.push_back({Tok::Assign, "", 0, Loc});
+        }
+        continue;
+      case '!':
+        adv();
+        if (Pos < In.size() && In[Pos] == '=') {
+          adv();
+          Out.push_back({Tok::NotEq, "", 0, Loc});
+          continue;
+        }
+        Diags.error(Loc, "expected '=' after '!'");
+        return false;
+      default:
+        Diags.error(Loc, formatv("unexpected character '%c'", C));
+        return false;
+      }
+      adv();
+      Out.push_back({K, "", 0, Loc});
+    }
+  }
+
+private:
+  std::string_view In;
+  size_t Pos = 0;
+  unsigned Line = 1, Col = 1;
+
+  void adv() {
+    if (In[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+
+  void skip() {
+    while (Pos < In.size()) {
+      char C = In[Pos];
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        adv();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < In.size() && In[Pos + 1] == '/') {
+        while (Pos < In.size() && In[Pos] != '\n')
+          adv();
+        continue;
+      }
+      return;
+    }
+  }
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Expected<WileProgram> run() {
+    // Declarations first.
+    while (peek().K == Tok::Ident &&
+           (peek().Text == "var" || peek().Text == "array")) {
+      if (!parseDecl())
+        return fail();
+    }
+    // Then the statement list.
+    while (peek().K != Tok::Eof) {
+      std::unique_ptr<Stmt> S = parseStmt();
+      if (!S)
+        return fail();
+      P.Body.push_back(std::move(S));
+    }
+    if (!resolveNames())
+      return fail();
+    return std::move(P);
+  }
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+  WileProgram P;
+
+  const Token &peek(size_t Off = 0) const {
+    size_t I = Pos + Off;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &next() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool consumeIf(Tok K) {
+    if (peek().K != K)
+      return false;
+    next();
+    return true;
+  }
+  bool expect(Tok K, const char *What) {
+    if (consumeIf(K))
+      return true;
+    Diags.error(peek().Loc, std::string("expected ") + What);
+    return false;
+  }
+  Error fail() { return makeError("Wile parse failed:\n" + Diags.str()); }
+
+  std::optional<int64_t> parseSigned() {
+    bool Neg = consumeIf(Tok::Minus);
+    if (peek().K != Tok::Number) {
+      Diags.error(peek().Loc, "expected a number");
+      return std::nullopt;
+    }
+    int64_t N = next().Num;
+    return Neg ? -N : N;
+  }
+
+  bool parseDecl() {
+    Token Kw = next();
+    if (peek().K != Tok::Ident) {
+      Diags.error(peek().Loc, "expected a name");
+      return false;
+    }
+    Token Name = next();
+    if (Kw.Text == "var") {
+      VarDecl D;
+      D.Name = Name.Text;
+      D.Loc = Name.Loc;
+      if (consumeIf(Tok::Assign)) {
+        std::optional<int64_t> N = parseSigned();
+        if (!N)
+          return false;
+        D.Init = *N;
+      }
+      P.Vars.push_back(std::move(D));
+      return expect(Tok::Semi, "';'");
+    }
+    ArrayDecl D;
+    D.Name = Name.Text;
+    D.Loc = Name.Loc;
+    if (!expect(Tok::LBracket, "'['"))
+      return false;
+    std::optional<int64_t> Size = parseSigned();
+    if (!Size)
+      return false;
+    if (*Size <= 0) {
+      Diags.error(Name.Loc, "array size must be positive");
+      return false;
+    }
+    D.Size = *Size;
+    if (!expect(Tok::RBracket, "']'"))
+      return false;
+    if (consumeIf(Tok::At)) {
+      std::optional<int64_t> Base = parseSigned();
+      if (!Base)
+        return false;
+      D.Base = *Base;
+    }
+    P.Arrays.push_back(std::move(D));
+    return expect(Tok::Semi, "';'");
+  }
+
+  std::unique_ptr<Expr> parseFactor() {
+    SourceLoc Loc = peek().Loc;
+    if (peek().K == Tok::Number) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Const;
+      E->N = next().Num;
+      E->Loc = Loc;
+      return E;
+    }
+    if (consumeIf(Tok::Minus)) {
+      // Unary minus lowers to 0 - x.
+      std::unique_ptr<Expr> Inner = parseFactor();
+      if (!Inner)
+        return nullptr;
+      auto Zero = std::make_unique<Expr>();
+      Zero->K = Expr::Kind::Const;
+      Zero->N = 0;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Bin;
+      E->Op = Opcode::Sub;
+      E->Lhs = std::move(Zero);
+      E->Rhs = std::move(Inner);
+      E->Loc = Loc;
+      return E;
+    }
+    if (consumeIf(Tok::LParen)) {
+      std::unique_ptr<Expr> E = parseExpr();
+      if (!E || !expect(Tok::RParen, "')'"))
+        return nullptr;
+      return E;
+    }
+    if (peek().K == Tok::Ident) {
+      auto E = std::make_unique<Expr>();
+      E->Name = next().Text;
+      E->Loc = Loc;
+      if (consumeIf(Tok::LBracket)) {
+        E->K = Expr::Kind::Index;
+        E->Lhs = parseExpr();
+        if (!E->Lhs || !expect(Tok::RBracket, "']'"))
+          return nullptr;
+      } else {
+        E->K = Expr::Kind::Var;
+      }
+      return E;
+    }
+    Diags.error(Loc, "expected an expression");
+    return nullptr;
+  }
+
+  std::unique_ptr<Expr> parseTerm() {
+    std::unique_ptr<Expr> L = parseFactor();
+    if (!L)
+      return nullptr;
+    while (peek().K == Tok::Star) {
+      SourceLoc Loc = next().Loc;
+      std::unique_ptr<Expr> R = parseFactor();
+      if (!R)
+        return nullptr;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Bin;
+      E->Op = Opcode::Mul;
+      E->Lhs = std::move(L);
+      E->Rhs = std::move(R);
+      E->Loc = Loc;
+      L = std::move(E);
+    }
+    return L;
+  }
+
+  std::unique_ptr<Expr> parseExpr() {
+    std::unique_ptr<Expr> L = parseTerm();
+    if (!L)
+      return nullptr;
+    while (peek().K == Tok::Plus || peek().K == Tok::Minus) {
+      Opcode Op = peek().K == Tok::Plus ? Opcode::Add : Opcode::Sub;
+      SourceLoc Loc = next().Loc;
+      std::unique_ptr<Expr> R = parseTerm();
+      if (!R)
+        return nullptr;
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Bin;
+      E->Op = Op;
+      E->Lhs = std::move(L);
+      E->Rhs = std::move(R);
+      E->Loc = Loc;
+      L = std::move(E);
+    }
+    return L;
+  }
+
+  std::unique_ptr<Cond> parseCond() {
+    auto C = std::make_unique<Cond>();
+    C->Lhs = parseExpr();
+    if (!C->Lhs)
+      return nullptr;
+    if (peek().K == Tok::EqEq || peek().K == Tok::NotEq) {
+      C->K = peek().K == Tok::EqEq ? Cond::Kind::Eq : Cond::Kind::Ne;
+      next();
+      C->Rhs = parseExpr();
+      if (!C->Rhs)
+        return nullptr;
+    }
+    return C;
+  }
+
+  bool parseBlockInto(std::vector<std::unique_ptr<Stmt>> &Out) {
+    if (!expect(Tok::LBrace, "'{'"))
+      return false;
+    while (!consumeIf(Tok::RBrace)) {
+      std::unique_ptr<Stmt> S = parseStmt();
+      if (!S)
+        return false;
+      Out.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  std::unique_ptr<Stmt> parseStmt() {
+    SourceLoc Loc = peek().Loc;
+    if (peek().K != Tok::Ident) {
+      Diags.error(Loc, "expected a statement");
+      return nullptr;
+    }
+    std::string Head = peek().Text;
+
+    if (Head == "while" || Head == "if") {
+      next();
+      auto S = std::make_unique<Stmt>();
+      S->K = Head == "while" ? Stmt::Kind::While : Stmt::Kind::If;
+      S->Loc = Loc;
+      if (!expect(Tok::LParen, "'('"))
+        return nullptr;
+      S->C = parseCond();
+      if (!S->C || !expect(Tok::RParen, "')'"))
+        return nullptr;
+      if (!parseBlockInto(S->Body))
+        return nullptr;
+      if (S->K == Stmt::Kind::If && peek().K == Tok::Ident &&
+          peek().Text == "else") {
+        next();
+        if (!parseBlockInto(S->Else))
+          return nullptr;
+      }
+      return S;
+    }
+
+    if (Head == "output") {
+      next();
+      auto S = std::make_unique<Stmt>();
+      S->K = Stmt::Kind::Output;
+      S->Loc = Loc;
+      if (!expect(Tok::LParen, "'('"))
+        return nullptr;
+      S->Value = parseExpr();
+      if (!S->Value || !expect(Tok::RParen, "')'") ||
+          !expect(Tok::Semi, "';'"))
+        return nullptr;
+      return S;
+    }
+
+    // Assignment or indexed store.
+    next();
+    auto S = std::make_unique<Stmt>();
+    S->Name = Head;
+    S->Loc = Loc;
+    if (consumeIf(Tok::LBracket)) {
+      S->K = Stmt::Kind::StoreIndex;
+      S->Index = parseExpr();
+      if (!S->Index || !expect(Tok::RBracket, "']'"))
+        return nullptr;
+    } else {
+      S->K = Stmt::Kind::Assign;
+    }
+    if (!expect(Tok::Assign, "'='"))
+      return nullptr;
+    S->Value = parseExpr();
+    if (!S->Value || !expect(Tok::Semi, "';'"))
+      return nullptr;
+    return S;
+  }
+
+  // --- Name resolution ----------------------------------------------------
+
+  bool checkExpr(const Expr &E, const std::set<std::string> &Vars,
+                 const std::set<std::string> &Arrays) {
+    switch (E.K) {
+    case Expr::Kind::Const:
+      return true;
+    case Expr::Kind::Var:
+      if (!Vars.count(E.Name)) {
+        Diags.error(E.Loc, "undeclared variable '" + E.Name + "'");
+        return false;
+      }
+      return true;
+    case Expr::Kind::Index:
+      if (!Arrays.count(E.Name)) {
+        Diags.error(E.Loc, "undeclared array '" + E.Name + "'");
+        return false;
+      }
+      return checkExpr(*E.Lhs, Vars, Arrays);
+    case Expr::Kind::Bin:
+      return checkExpr(*E.Lhs, Vars, Arrays) &&
+             checkExpr(*E.Rhs, Vars, Arrays);
+    }
+    return false;
+  }
+
+  bool checkStmts(const std::vector<std::unique_ptr<Stmt>> &Stmts,
+                  const std::set<std::string> &Vars,
+                  const std::set<std::string> &Arrays) {
+    for (const auto &S : Stmts) {
+      switch (S->K) {
+      case Stmt::Kind::Assign:
+        if (!Vars.count(S->Name)) {
+          Diags.error(S->Loc, "undeclared variable '" + S->Name + "'");
+          return false;
+        }
+        if (!checkExpr(*S->Value, Vars, Arrays))
+          return false;
+        break;
+      case Stmt::Kind::StoreIndex:
+        if (!Arrays.count(S->Name)) {
+          Diags.error(S->Loc, "undeclared array '" + S->Name + "'");
+          return false;
+        }
+        if (!checkExpr(*S->Index, Vars, Arrays) ||
+            !checkExpr(*S->Value, Vars, Arrays))
+          return false;
+        break;
+      case Stmt::Kind::Output:
+        if (!checkExpr(*S->Value, Vars, Arrays))
+          return false;
+        break;
+      case Stmt::Kind::While:
+      case Stmt::Kind::If:
+        if (!checkExpr(*S->C->Lhs, Vars, Arrays))
+          return false;
+        if (S->C->Rhs && !checkExpr(*S->C->Rhs, Vars, Arrays))
+          return false;
+        if (!checkStmts(S->Body, Vars, Arrays) ||
+            !checkStmts(S->Else, Vars, Arrays))
+          return false;
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool resolveNames() {
+    std::set<std::string> Vars, Arrays;
+    for (const VarDecl &V : P.Vars)
+      if (!Vars.insert(V.Name).second) {
+        Diags.error(V.Loc, "duplicate variable '" + V.Name + "'");
+        return false;
+      }
+    for (const ArrayDecl &A : P.Arrays) {
+      if (Vars.count(A.Name) || !Arrays.insert(A.Name).second) {
+        Diags.error(A.Loc, "duplicate name '" + A.Name + "'");
+        return false;
+      }
+    }
+    return checkStmts(P.Body, Vars, Arrays);
+  }
+};
+
+} // namespace
+
+Expected<WileProgram> talft::wile::parseWile(std::string_view Source,
+                                             DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  if (!Lexer(Source).run(Tokens, Diags))
+    return makeError("Wile lex failed:\n" + Diags.str());
+  return Parser(std::move(Tokens), Diags).run();
+}

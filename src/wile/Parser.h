@@ -1,0 +1,47 @@
+//===- wile/Parser.h - Wile front end --------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Wile. Grammar:
+///
+///   program := decl* stmt*
+///   decl    := 'var' ident ('=' int)? ';'
+///            | 'array' ident '[' int ']' ('@' int)? ';'
+///   stmt    := ident '=' expr ';'
+///            | ident '[' expr ']' '=' expr ';'
+///            | 'output' '(' expr ')' ';'
+///            | 'while' '(' cond ')' block
+///            | 'if' '(' cond ')' block ('else' block)?
+///   block   := '{' stmt* '}'
+///   cond    := expr (('==' | '!=') expr)?
+///   expr    := term (('+' | '-') term)*
+///   term    := factor ('*' factor)*
+///   factor  := int | ident ('[' expr ']')? | '(' expr ')' | '-' factor
+///
+/// Comments run from "//" to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_WILE_PARSER_H
+#define TALFT_WILE_PARSER_H
+
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "wile/Ast.h"
+
+#include <string_view>
+
+namespace talft::wile {
+
+/// Parses Wile source text. Also performs name resolution checks: every
+/// used variable/array is declared, names are unique, array bases don't
+/// overlap.
+Expected<WileProgram> parseWile(std::string_view Source,
+                                DiagnosticEngine &Diags);
+
+} // namespace talft::wile
+
+#endif // TALFT_WILE_PARSER_H

@@ -1,0 +1,273 @@
+//===- tests/TestPrograms.h - Shared example programs for tests -----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical .tal sources shared by the test suite: the three inline
+/// examples of Section 2.2 of the paper, plus small loop/branch programs
+/// exercising the control-flow rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_TESTS_TESTPROGRAMS_H
+#define TALFT_TESTS_TESTPROGRAMS_H
+
+namespace talft::progs {
+
+/// A well-typed self-loop exit block (the halting convention).
+inline const char *ExitBlock = R"(
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// Section 2.2, first example: the paired store of 5 to address 256.
+/// "These six instructions have the effect of storing 5 into memory
+/// address 256. Moreover, a fault at any point in execution, to either
+/// blue or green values or addresses, will be caught by the hardware."
+inline const char *PairedStore = R"(
+entry main
+exit done
+
+data {
+  256: int = 0
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5
+  mov r2, G 256
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 256
+  stB r4, r3
+  mov r5, G @done
+  mov r6, B @done
+  jmpG r5
+  jmpB r6
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// Section 2.2, second example: the result of an unsound common
+/// subexpression elimination — the blue store reuses the *green*
+/// registers, so a single fault in r1 or r2 can silently corrupt the
+/// store. TALFT rejects it.
+inline const char *CseBroken = R"(
+entry main
+exit done
+
+data {
+  256: int = 0
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5
+  mov r2, G 256
+  stG r2, r1
+  stB r2, r1
+  mov r5, G @done
+  mov r6, B @done
+  jmpG r5
+  jmpB r6
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// Section 2.2, third example: a control-flow transfer through a code
+/// pointer loaded from memory (registers r2 and r4 point to the same
+/// location, which contains a code pointer).
+inline const char *IndirectJump = R"(
+entry main
+exit done
+
+data {
+  300: code(@done) = @done
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r2, G 300
+  ldG r1, r2
+  mov r4, B 300
+  ldB r3, r4
+  jmpG r1
+  jmpB r3
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// A countdown loop: stores the values 3,2,1 to address 500 and exits.
+/// Exercises bzG/bzB (taken and untaken), loop-carried register typing
+/// and repeated store commits.
+inline const char *CountdownLoop = R"(
+entry main
+exit done
+
+data {
+  500: int = 0
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 3
+  mov r2, B 3
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+
+block loop {
+  pre { forall n: int, m: mem;
+        r1: (G, int, n); r2: (B, int, n);
+        queue []; mem m }
+  mov r20, G @done
+  mov r21, B @done
+  bzG r1, r20
+  bzB r2, r21
+  mov r3, G 500
+  stG r3, r1
+  mov r4, B 500
+  stB r4, r2
+  sub r1, r1, G 1
+  sub r2, r2, B 1
+  mov r10, G @loop
+  mov r11, B @loop
+  jmpG r10
+  jmpB r11
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// A program whose observable trace interleaves multiple committed stores
+/// with a pending green store across a green load (ldG-queue path).
+inline const char *QueueForwarding = R"(
+entry main
+exit done
+
+data {
+  400: int = 7
+  404: int = 0
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 400
+  ldG r2, r1          // r2 = 7 (from memory)
+  add r2, r2, G 1     // r2 = 8
+  mov r3, G 404
+  stG r3, r2          // pending (404, 8)
+  mov r4, G 404
+  ldG r5, r4          // forwarded from the queue: 8
+  mov r6, B 400
+  ldB r7, r6
+  add r7, r7, B 1
+  mov r8, B 404
+  stB r8, r7          // commits (404, 8)
+  mov r9, G 404
+  stG r9, r5          // pending (404, 8) again (value via forwarding)
+  mov r12, B 404
+  ldB r13, r12        // 8 from memory
+  mov r14, B 404
+  stB r14, r13        // commits (404, 8)
+  mov r30, G @done
+  mov r31, B @done
+  jmpG r30
+  jmpB r31
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+/// A pending green store carried across a committed jump: the target
+/// block's precondition describes the in-flight queue entry, and the blue
+/// half commits it on the other side. Exercises queue-descriptor matching
+/// in the control-flow rules and queue typing across transfers.
+inline const char *PendingStoreAcrossJump = R"(
+entry main
+exit done
+
+data {
+  256: int = 0
+}
+
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5
+  mov r2, G 256
+  stG r2, r1
+  mov r3, B 5
+  mov r4, B 256
+  mov r5, G @commit
+  mov r6, B @commit
+  jmpG r5
+  jmpB r6
+}
+
+block commit {
+  pre { forall a: int, v: int, m: mem;
+        r3: (B, int, v);
+        r4: (B, int ref, a);
+        queue [(a, v)];
+        mem m }
+  stB r4, r3
+  mov r5, G @done
+  mov r6, B @done
+  jmpG r5
+  jmpB r6
+}
+
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+
+} // namespace talft::progs
+
+#endif // TALFT_TESTS_TESTPROGRAMS_H

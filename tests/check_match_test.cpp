@@ -1,0 +1,215 @@
+//===- tests/check_match_test.cpp - Precondition matching tests -----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ContextMatch.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+class MatchTest : public ::testing::Test {
+protected:
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+
+  StaticContext *makeTarget(const char *Label) {
+    StaticContext *T = TC.createContext();
+    T->Label = Label;
+    // Quantified pc and memory variables, d pinned to (G,int,0).
+    T->Delta.declare("pc", ExprKind::Int);
+    T->Delta.declare("m", ExprKind::Mem);
+    T->Pc = Es.var("pc", ExprKind::Int);
+    T->MemExpr = Es.var("m", ExprKind::Mem);
+    T->Gamma.set(Reg::dest(),
+                 RegType(Color::Green, TC.intType(), Es.intConst(0)));
+    return T;
+  }
+
+  StaticContext makeCurrent() {
+    StaticContext Cur;
+    Cur.Label = "cur";
+    Cur.Delta.declare("k", ExprKind::Int);
+    Cur.Delta.declare("mm", ExprKind::Mem);
+    Cur.Pc = Es.intConst(17);
+    Cur.MemExpr = Es.var("mm", ExprKind::Mem);
+    Cur.Gamma.set(Reg::dest(),
+                  RegType(Color::Green, TC.intType(), Es.intConst(0)));
+    return Cur;
+  }
+};
+
+TEST_F(MatchTest, TrivialJumpMatch) {
+  StaticContext *Target = makeTarget("t");
+  StaticContext Cur = makeCurrent();
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->lookup(Es.var("pc", ExprKind::Int)), Es.intConst(42));
+  EXPECT_EQ(S->lookup(Es.var("m", ExprKind::Mem)),
+            Es.var("mm", ExprKind::Mem));
+}
+
+TEST_F(MatchTest, SharedSingletonBindsOnceAndVerifiesTwice) {
+  StaticContext *Target = makeTarget("t");
+  Target->Delta.declare("x", ExprKind::Int);
+  const Expr *X = Es.var("x", ExprKind::Int);
+  Target->Gamma.set(Reg::general(1),
+                    RegType(Color::Green, TC.intType(), X));
+  Target->Gamma.set(Reg::general(2), RegType(Color::Blue, TC.intType(), X));
+
+  StaticContext Cur = makeCurrent();
+  const Expr *K = Es.var("k", ExprKind::Int);
+  const Expr *KPlus1 = Es.binop(Opcode::Add, K, Es.intConst(1));
+  const Expr *OnePlusK = Es.binop(Opcode::Add, Es.intConst(1), K);
+  Cur.Gamma.set(Reg::general(1),
+                RegType(Color::Green, TC.intType(), KPlus1));
+  Cur.Gamma.set(Reg::general(2),
+                RegType(Color::Blue, TC.intType(), OnePlusK));
+
+  // x binds to k+1 from r1; r2's 1+k verifies provably equal.
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->lookup(X), KPlus1);
+}
+
+TEST_F(MatchTest, SingletonMismatchFails) {
+  StaticContext *Target = makeTarget("t");
+  Target->Delta.declare("x", ExprKind::Int);
+  const Expr *X = Es.var("x", ExprKind::Int);
+  Target->Gamma.set(Reg::general(1),
+                    RegType(Color::Green, TC.intType(), X));
+  Target->Gamma.set(Reg::general(2), RegType(Color::Blue, TC.intType(), X));
+
+  StaticContext Cur = makeCurrent();
+  const Expr *K = Es.var("k", ExprKind::Int);
+  Cur.Gamma.set(Reg::general(1), RegType(Color::Green, TC.intType(), K));
+  Cur.Gamma.set(Reg::general(2),
+                RegType(Color::Blue, TC.intType(),
+                        Es.binop(Opcode::Add, K, Es.intConst(1))));
+
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("r2"), std::string::npos) << S.message();
+}
+
+TEST_F(MatchTest, MissingRegisterFails) {
+  StaticContext *Target = makeTarget("t");
+  Target->Delta.declare("x", ExprKind::Int);
+  Target->Gamma.set(Reg::general(5),
+                    RegType(Color::Green, TC.intType(),
+                            Es.var("x", ExprKind::Int)));
+  StaticContext Cur = makeCurrent();
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("r5"), std::string::npos);
+}
+
+TEST_F(MatchTest, UnboundVariableFails) {
+  StaticContext *Target = makeTarget("t");
+  // y never appears bare in any component.
+  Target->Delta.declare("y", ExprKind::Int);
+  Target->Gamma.set(
+      Reg::general(1),
+      RegType(Color::Green, TC.intType(),
+              Es.binop(Opcode::Add, Es.var("y", ExprKind::Int),
+                       Es.intConst(1))));
+  StaticContext Cur = makeCurrent();
+  Cur.Gamma.set(Reg::general(1),
+                RegType(Color::Green, TC.intType(), Es.intConst(5)));
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("cannot infer"), std::string::npos);
+}
+
+TEST_F(MatchTest, QueueDepthMismatchFails) {
+  StaticContext *Target = makeTarget("t");
+  StaticContext Cur = makeCurrent();
+  Cur.Queue.pushFront({Es.intConst(100), Es.intConst(1)});
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("store-queue depth"), std::string::npos);
+}
+
+TEST_F(MatchTest, QueueDescriptorsMatchPointwise) {
+  StaticContext *Target = makeTarget("t");
+  Target->Delta.declare("a", ExprKind::Int);
+  Target->Queue.pushFront(
+      {Es.var("a", ExprKind::Int), Es.intConst(1)});
+  StaticContext Cur = makeCurrent();
+  Cur.Queue.pushFront({Es.intConst(100), Es.intConst(1)});
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->lookup(Es.var("a", ExprKind::Int)), Es.intConst(100));
+}
+
+TEST_F(MatchTest, JumpModeRequiresZeroDestInTarget) {
+  StaticContext *Target = makeTarget("t");
+  Target->Gamma.forget(Reg::dest());
+  StaticContext Cur = makeCurrent();
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("d:(G,int,0)"), std::string::npos);
+}
+
+TEST_F(MatchTest, FallthroughChecksDestSubtyping) {
+  StaticContext *Target = makeTarget("t");
+  StaticContext Cur = makeCurrent();
+  // Current d is a pending green code pointer, target wants (G,int,0):
+  // legal for a jump (hardware resets d) but not for a fall-through.
+  StaticContext *SomePre = TC.createContext();
+  SomePre->Label = "elsewhere";
+  Cur.Gamma.set(Reg::dest(), RegType(Color::Green, TC.codeType(SomePre),
+                                     Es.intConst(9)));
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Cur.Pc,
+                                   MatchMode::Fallthrough);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("d:"), std::string::npos);
+}
+
+TEST_F(MatchTest, PcMismatchFails) {
+  // A target whose pc is pinned to a literal that disagrees with the
+  // subject (no quantified pc variable).
+  StaticContext *Target = TC.createContext();
+  Target->Label = "t";
+  Target->Delta.declare("m", ExprKind::Mem);
+  Target->Pc = Es.intConst(5);
+  Target->MemExpr = Es.var("m", ExprKind::Mem);
+  Target->Gamma.set(Reg::dest(),
+                    RegType(Color::Green, TC.intType(), Es.intConst(0)));
+  StaticContext Cur = makeCurrent();
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("program-counter"), std::string::npos);
+}
+
+TEST_F(MatchTest, InstantiationMustBeWellFormedInCurrentScope) {
+  StaticContext *Target = makeTarget("t");
+  Target->Delta.declare("x", ExprKind::Int);
+  Target->Gamma.set(Reg::general(1),
+                    RegType(Color::Green, TC.intType(),
+                            Es.var("x", ExprKind::Int)));
+  StaticContext Cur = makeCurrent();
+  // r1's expression mentions a variable not in Cur's Δ.
+  Cur.Gamma.set(Reg::general(1),
+                RegType(Color::Green, TC.intType(),
+                        Es.var("alien", ExprKind::Int)));
+  Expected<Subst> S = matchContext(TC, Cur, *Target, Es.intConst(42),
+                                   MatchMode::Jump);
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("not in scope"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,377 @@
+//===- tests/check_program_test.cpp - Whole-program checker tests ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Negative coverage for the instruction typing rules: each test violates
+// one premise of Figure 7 and expects a rejection mentioning the culprit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "check/ProgramChecker.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+/// Parses+checks a program, returning the diagnostics on rejection.
+std::optional<std::string> rejectionOf(const char *Src) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, Src, Diags);
+  EXPECT_TRUE(P) << P.message();
+  if (!P)
+    return "parse failed";
+  Expected<CheckedProgram> C = checkProgram(TC, *P, Diags);
+  if (C)
+    return std::nullopt;
+  return Diags.str();
+}
+
+void expectAccepted(const char *Src) {
+  std::optional<std::string> R = rejectionOf(Src);
+  EXPECT_FALSE(R) << *R;
+}
+
+void expectRejected(const char *Src, const char *Mentioning) {
+  std::optional<std::string> R = rejectionOf(Src);
+  ASSERT_TRUE(R) << "expected rejection mentioning '" << Mentioning << "'";
+  EXPECT_NE(R->find(Mentioning), std::string::npos) << *R;
+}
+
+/// Wraps a main-block body in the standard harness with an exit block.
+std::string wrap(const std::string &Body, const std::string &Data = "") {
+  std::string Src = "entry main\nexit done\n";
+  if (!Data.empty())
+    Src += "data {\n" + Data + "\n}\n";
+  Src += "block main {\n" + Body + R"(
+  mov r50, G @done
+  mov r51, B @done
+  jmpG r50
+  jmpB r51
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  return Src;
+}
+
+TEST(CheckerRejects, AluMixingColors) {
+  expectRejected(wrap(R"(
+  mov r1, G 1
+  mov r2, B 2
+  add r3, r1, r2
+)").c_str(), "mix colors");
+}
+
+TEST(CheckerRejects, AluImmediateColorMismatch) {
+  expectRejected(wrap(R"(
+  mov r1, G 1
+  add r3, r1, B 2
+)").c_str(), "mix colors");
+}
+
+TEST(CheckerRejects, AluOnUntrackedRegister) {
+  expectRejected(wrap("  add r3, r40, G 1\n").c_str(), "no tracked type");
+}
+
+TEST(CheckerRejects, LoadFromNonRef) {
+  expectRejected(wrap(R"(
+  mov r1, G 5
+  ldG r2, r1
+)").c_str(), "not a ref type");
+}
+
+TEST(CheckerRejects, GreenLoadFromBlueAddress) {
+  expectRejected(wrap(R"(
+  mov r1, B 256
+  ldG r2, r1
+)", "  256: int = 0").c_str(), "requires a green address");
+}
+
+TEST(CheckerRejects, StoreValueColorMismatch) {
+  expectRejected(wrap(R"(
+  mov r1, G 256
+  mov r2, B 5
+  stG r1, r2
+)", "  256: int = 0").c_str(), "requires a green value");
+}
+
+TEST(CheckerRejects, BlueStoreWithEmptyQueue) {
+  expectRejected(wrap(R"(
+  mov r1, B 256
+  mov r2, B 5
+  stB r1, r2
+)", "  256: int = 0").c_str(), "no pending green store");
+}
+
+TEST(CheckerRejects, BlueStoreValueMismatch) {
+  expectRejected(wrap(R"(
+  mov r1, G 256
+  mov r2, G 5
+  stG r1, r2
+  mov r3, B 256
+  mov r4, B 6
+  stB r3, r4
+)", "  256: int = 0").c_str(), "cannot prove the blue store value");
+}
+
+TEST(CheckerRejects, BlueStoreAddressMismatch) {
+  expectRejected(wrap(R"(
+  mov r1, G 256
+  mov r2, G 5
+  stG r1, r2
+  mov r3, B 260
+  mov r4, B 5
+  stB r3, r4
+)", "  256: int = 0\n  260: int = 0").c_str(),
+                "cannot prove the blue store address");
+}
+
+TEST(CheckerRejects, DanglingGreenStoreAtBlockEnd) {
+  // A pending queue entry cannot satisfy done's empty-queue precondition.
+  expectRejected(wrap(R"(
+  mov r1, G 256
+  mov r2, G 5
+  stG r1, r2
+)", "  256: int = 0").c_str(), "store-queue depth mismatch");
+}
+
+TEST(CheckerRejects, JmpGWhileTransferPending) {
+  expectRejected(wrap(R"(
+  mov r1, G @done
+  jmpG r1
+  jmpG r1
+)").c_str(), "pending transfer");
+}
+
+TEST(CheckerRejects, JmpBWithoutIntention) {
+  std::string Src = R"(
+entry main
+exit done
+block main {
+  mov r1, B @done
+  jmpB r1
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectRejected(Src.c_str(), "no pending green intention");
+}
+
+TEST(CheckerRejects, JmpTargetsDisagree) {
+  std::string Src = R"(
+entry main
+exit done
+block main {
+  mov r1, G @main
+  mov r2, B @done
+  jmpG r1
+  jmpB r2
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectRejected(Src.c_str(), "advertise different code types");
+}
+
+TEST(CheckerRejects, UnreachableCodeAfterJmpB) {
+  std::string Src = R"(
+entry main
+exit done
+block main {
+  mov r1, G @done
+  mov r2, B @done
+  jmpG r1
+  jmpB r2
+  mov r3, G 1
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectRejected(Src.c_str(), "unreachable");
+}
+
+TEST(CheckerRejects, FallingOffTheProgram) {
+  const char *Src = R"(
+entry main
+block main {
+  mov r1, G 1
+}
+)";
+  expectRejected(Src, "falls off the end");
+}
+
+TEST(CheckerRejects, BzBWithoutBzG) {
+  expectRejected(wrap(R"(
+  mov r1, B 1
+  mov r2, B @done
+  bzB r1, r2
+)").c_str(), "no pending bzG");
+}
+
+TEST(CheckerRejects, BzTestsDisagree) {
+  expectRejected(wrap(R"(
+  mov r1, G 1
+  mov r2, B 2
+  mov r3, G @done
+  mov r4, B @done
+  bzG r1, r3
+  bzB r2, r4
+)").c_str(), "cannot prove the blue branch test");
+}
+
+TEST(CheckerRejects, JmpBWhileBranchPending) {
+  expectRejected(wrap(R"(
+  mov r1, G 1
+  mov r3, G @done
+  bzG r1, r3
+  mov r4, B @done
+  mov r5, B 1
+  jmpB r4
+)").c_str(), "conditional");
+}
+
+TEST(CheckerAccepts, FallthroughIntoLabelledBlock) {
+  const char *Src = R"(
+entry main
+exit done
+block main {
+  mov r1, G 7
+  mov r2, B 7
+}
+block middle {
+  pre { forall v: int, m: mem;
+        r1: (G, int, v); r2: (B, int, v);
+        queue []; mem m }
+  mov r50, G @done
+  mov r51, B @done
+  jmpG r50
+  jmpB r51
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectAccepted(Src);
+}
+
+TEST(CheckerRejects, FallthroughPreconditionUnsatisfied) {
+  const char *Src = R"(
+entry main
+exit done
+block main {
+  mov r1, G 7
+  mov r2, B 8
+}
+block middle {
+  pre { forall v: int, m: mem;
+        r1: (G, int, v); r2: (B, int, v);
+        queue []; mem m }
+  mov r50, G @done
+  mov r51, B @done
+  jmpG r50
+  jmpB r51
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectRejected(Src, "fall-through");
+}
+
+TEST(CheckerAccepts, RegisterReuseAcrossColors) {
+  // The paper: "our instruction set gives a compiler the freedom to
+  // allocate registers however it chooses (e.g., reusing registers 1 and
+  // 2 in instructions 4-6)".
+  expectAccepted(wrap(R"(
+  mov r1, G 5
+  mov r2, G 256
+  stG r2, r1
+  mov r1, B 5
+  mov r2, B 256
+  stB r2, r1
+)", "  256: int = 0").c_str());
+}
+
+TEST(CheckerAccepts, ScheduleFlexibility) {
+  // "...moving instruction 3 to a position between instructions 5 and 6".
+  expectAccepted(wrap(R"(
+  mov r1, G 5
+  mov r2, G 256
+  mov r3, B 5
+  mov r4, B 256
+  stG r2, r1
+  stB r4, r3
+)", "  256: int = 0").c_str());
+}
+
+TEST(CheckerAccepts, PointerArithmeticOnConstants) {
+  // 252 + 4 normalizes to the declared cell 256; the constant-refinement
+  // rule re-types the result as a ref.
+  expectAccepted(wrap(R"(
+  mov r1, G 252
+  add r1, r1, G 4
+  mov r2, G 5
+  stG r1, r2
+  mov r3, B 256
+  mov r4, B 5
+  stB r3, r4
+)", "  256: int = 0").c_str());
+}
+
+TEST(CheckerRejects, DynamicAddressStore) {
+  // A store through a dynamically computed (non-constant) address cannot
+  // be typed — exactly the paper's singleton-ref discipline.
+  const char *Src = R"(
+entry main
+exit done
+data { 256: int = 0 }
+block main {
+  pre { forall i: int, m: mem;
+        r1: (G, int, i); queue []; mem m }
+  mov r2, G 5
+  stG r1, r2
+  mov r50, G @done
+  mov r51, B @done
+  jmpG r50
+  jmpB r51
+}
+block done {
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  expectRejected(Src, "not a ref type");
+}
+
+} // namespace

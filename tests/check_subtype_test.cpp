@@ -1,0 +1,113 @@
+//===- tests/check_subtype_test.cpp - Subtyping judgment tests ------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Subtype.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+class SubtypeTest : public ::testing::Test {
+protected:
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  const Expr *X = Es.var("x", ExprKind::Int);
+
+  RegType gInt(const Expr *E) {
+    return RegType(Color::Green, TC.intType(), E);
+  }
+  RegType bInt(const Expr *E) {
+    return RegType(Color::Blue, TC.intType(), E);
+  }
+};
+
+TEST_F(SubtypeTest, Reflexivity) {
+  EXPECT_TRUE(isSubtype(TC, gInt(X), gInt(X)));
+}
+
+TEST_F(SubtypeTest, EqualExpressionsModuloNormalization) {
+  const Expr *A = Es.binop(Opcode::Add, X, Es.intConst(1));
+  const Expr *B = Es.binop(Opcode::Add, Es.intConst(1), X);
+  EXPECT_TRUE(isSubtype(TC, gInt(A), gInt(B)));
+}
+
+TEST_F(SubtypeTest, ColorsNeverCoerce) {
+  std::string Why;
+  EXPECT_FALSE(isSubtype(TC, gInt(X), bInt(X), &Why));
+  EXPECT_NE(Why.find("color"), std::string::npos);
+}
+
+TEST_F(SubtypeTest, RefWeakensToInt) {
+  RegType Ref(Color::Green, TC.refType(TC.intType()), Es.intConst(256));
+  EXPECT_TRUE(isSubtype(TC, Ref, gInt(Es.intConst(256))));
+  // ...but not the other way.
+  EXPECT_FALSE(isSubtype(TC, gInt(Es.intConst(256)), Ref));
+}
+
+TEST_F(SubtypeTest, CodeWeakensToInt) {
+  StaticContext *Pre = TC.createContext();
+  Pre->Label = "l";
+  RegType CodeT(Color::Green, TC.codeType(Pre), X);
+  EXPECT_TRUE(isSubtype(TC, CodeT, gInt(X)));
+}
+
+TEST_F(SubtypeTest, DistinctExpressionsFail) {
+  EXPECT_FALSE(
+      isSubtype(TC, gInt(X), gInt(Es.binop(Opcode::Add, X, Es.intConst(1)))));
+}
+
+TEST_F(SubtypeTest, ConditionalRequiresConditional) {
+  RegType Cond = RegType::conditional(X, Color::Green, TC.intType(),
+                                      Es.intConst(0));
+  EXPECT_FALSE(isSubtype(TC, Cond, gInt(Es.intConst(0))));
+  EXPECT_FALSE(isSubtype(TC, gInt(Es.intConst(0)), Cond));
+  EXPECT_TRUE(isSubtype(TC, Cond, Cond));
+}
+
+TEST_F(SubtypeTest, ConditionalGuardsMustAgree) {
+  RegType A = RegType::conditional(X, Color::Green, TC.intType(),
+                                   Es.intConst(0));
+  RegType B = RegType::conditional(Es.binop(Opcode::Add, X, Es.intConst(1)),
+                                   Color::Green, TC.intType(),
+                                   Es.intConst(0));
+  EXPECT_FALSE(isSubtype(TC, A, B));
+}
+
+TEST_F(SubtypeTest, RegFileCoversSupertypeDomain) {
+  RegFileType Sub, Sup;
+  Sub.set(Reg::general(1), gInt(X));
+  Sub.set(Reg::general(2), bInt(X));
+  Sup.set(Reg::general(1), gInt(X));
+  EXPECT_TRUE(isRegFileSubtype(TC, Sub, Sup));
+  // Supertype may not mention registers the subtype lacks.
+  Sup.set(Reg::general(3), gInt(X));
+  std::string Why;
+  EXPECT_FALSE(isRegFileSubtype(TC, Sub, Sup, &Why));
+  EXPECT_NE(Why.find("r3"), std::string::npos);
+}
+
+TEST_F(SubtypeTest, RegFileSubtypingIgnoresDest) {
+  RegFileType Sub, Sup;
+  // d is related by explicit premises at each use site, not by Γ-subtyping.
+  Sup.set(Reg::dest(), gInt(Es.intConst(0)));
+  EXPECT_TRUE(isRegFileSubtype(TC, Sub, Sup));
+}
+
+TEST_F(SubtypeTest, ZeroDestRecognition) {
+  EXPECT_TRUE(isZeroDestType(TC, gInt(Es.intConst(0))));
+  EXPECT_FALSE(isZeroDestType(TC, gInt(Es.intConst(1))));
+  EXPECT_FALSE(isZeroDestType(TC, bInt(Es.intConst(0))));
+  EXPECT_FALSE(isZeroDestType(
+      TC, RegType::conditional(X, Color::Green, TC.intType(),
+                               Es.intConst(0))));
+  // Normalization applies: 1 - 1 is provably 0.
+  EXPECT_TRUE(isZeroDestType(
+      TC, gInt(Es.binop(Opcode::Sub, Es.intConst(1), Es.intConst(1)))));
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+//===- tests/fault_injector_test.cpp - Fault model unit tests -------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "fault/FaultInjector.h"
+#include "fault/Similarity.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+MachineState makeState(const CodeMemory &Code) {
+  MachineState S(Code, 1);
+  S.Regs.set(Reg::general(3), Value::blue(42));
+  S.Queue.pushFront({100, 1});
+  S.Queue.pushFront({200, 2});
+  return S;
+}
+
+TEST(FaultSiteTest, EnumerationCoversAllRegistersAndQueue) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState S = makeState(Code);
+  std::vector<FaultSite> Sites = enumerateFaultSites(S);
+  // Every register plus two components per queue entry.
+  EXPECT_EQ(Sites.size(), Reg::NumRegs + 2 * 2);
+}
+
+TEST(FaultSiteTest, RegZapPreservesColor) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState S = makeState(Code);
+  injectFault(S, FaultSite::reg(Reg::general(3)), 999);
+  // Rule reg-zap: the payload changes, the (fictional) color tag stays.
+  EXPECT_EQ(S.Regs.get(Reg::general(3)), Value::blue(999));
+}
+
+TEST(FaultSiteTest, QueueZapsTargetOneComponent) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState S = makeState(Code);
+  injectFault(S, FaultSite::queueAddress(0), 777); // front entry (200,2)
+  EXPECT_EQ(S.Queue.entry(0), (QueueEntry{777, 2}));
+  injectFault(S, FaultSite::queueValue(1), 888); // back entry (100,1)
+  EXPECT_EQ(S.Queue.entry(1), (QueueEntry{100, 888}));
+}
+
+TEST(FaultSiteTest, FaultColors) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState S = makeState(Code);
+  EXPECT_EQ(faultColor(S, FaultSite::reg(Reg::general(3))), Color::Blue);
+  EXPECT_EQ(faultColor(S, FaultSite::reg(Reg::general(0))), Color::Green);
+  EXPECT_EQ(faultColor(S, FaultSite::reg(Reg::pcB())), Color::Blue);
+  // The queue is a green structure.
+  EXPECT_EQ(faultColor(S, FaultSite::queueAddress(0)), Color::Green);
+  EXPECT_EQ(faultColor(S, FaultSite::queueValue(1)), Color::Green);
+}
+
+TEST(FaultSiteTest, CurrentValueAt) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState S = makeState(Code);
+  EXPECT_EQ(currentValueAt(S, FaultSite::reg(Reg::general(3))), 42);
+  EXPECT_EQ(currentValueAt(S, FaultSite::queueAddress(0)), 200);
+  EXPECT_EQ(currentValueAt(S, FaultSite::queueValue(0)), 2);
+}
+
+TEST(FaultSiteTest, Rendering) {
+  EXPECT_EQ(FaultSite::reg(Reg::general(7)).str(), "reg-zap r7");
+  EXPECT_EQ(FaultSite::reg(Reg::pcG()).str(), "reg-zap pcG");
+  EXPECT_EQ(FaultSite::queueAddress(2).str(), "Q-zap1 (entry 2 address)");
+  EXPECT_EQ(FaultSite::queueValue(0).str(), "Q-zap2 (entry 0 value)");
+}
+
+TEST(CorruptionSetTest, CoversRuleDiscriminatingValues) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::PairedStore, Diags);
+  ASSERT_TRUE(P) << P.message();
+  std::vector<int64_t> Values = representativeCorruptions(*P);
+
+  auto Contains = [&Values](int64_t V) {
+    return std::find(Values.begin(), Values.end(), V) != Values.end();
+  };
+  // The zero/nonzero discriminator (d tests, bz tests).
+  EXPECT_TRUE(Contains(0));
+  EXPECT_TRUE(Contains(1));
+  EXPECT_TRUE(Contains(-1));
+  // Each block entry and neighbors (valid/invalid code addresses).
+  for (const Block &B : P->blocks()) {
+    Addr A = P->addressOf(B.Label);
+    EXPECT_TRUE(Contains(A - 1));
+    EXPECT_TRUE(Contains(A));
+    EXPECT_TRUE(Contains(A + 1));
+  }
+  // Each data cell and neighbors (valid/invalid data addresses).
+  EXPECT_TRUE(Contains(255));
+  EXPECT_TRUE(Contains(256));
+  EXPECT_TRUE(Contains(257));
+  // Sorted and deduplicated.
+  EXPECT_TRUE(std::is_sorted(Values.begin(), Values.end()));
+  EXPECT_TRUE(std::adjacent_find(Values.begin(), Values.end()) ==
+              Values.end());
+}
+
+// --- Similarity relations (Figure 9) ------------------------------------
+
+TEST(SimilarityTest, ValuesIdenticalOrZapColored) {
+  ZapTag None = ZapTag::none();
+  ZapTag G = ZapTag::color(Color::Green);
+  EXPECT_TRUE(similarValues(None, Value::green(4), Value::green(4)));
+  EXPECT_FALSE(similarValues(None, Value::green(4), Value::green(5)));
+  // Under a green zap, green payloads may differ arbitrarily...
+  EXPECT_TRUE(similarValues(G, Value::green(4), Value::green(999)));
+  // ...but blue values must still agree, and colors never mix.
+  EXPECT_FALSE(similarValues(G, Value::blue(4), Value::blue(5)));
+  EXPECT_FALSE(similarValues(G, Value::green(4), Value::blue(4)));
+}
+
+TEST(SimilarityTest, RegisterFilesPointwise) {
+  RegisterFile A(1), B(1);
+  ZapTag G = ZapTag::color(Color::Green);
+  EXPECT_TRUE(similarRegisterFiles(ZapTag::none(), A, B));
+  B.set(Reg::general(2), Value::green(7));
+  EXPECT_FALSE(similarRegisterFiles(ZapTag::none(), A, B));
+  EXPECT_TRUE(similarRegisterFiles(G, A, B));
+  B.set(Reg::general(3), Value::blue(7));
+  EXPECT_FALSE(similarRegisterFiles(G, A, B));
+}
+
+TEST(SimilarityTest, QueuesAreGreenStructures) {
+  StoreQueue A, B;
+  A.pushFront({100, 1});
+  B.pushFront({100, 2});
+  EXPECT_FALSE(similarQueues(ZapTag::none(), A, B));
+  EXPECT_TRUE(similarQueues(ZapTag::color(Color::Green), A, B));
+  // A blue zap cannot excuse queue differences.
+  EXPECT_FALSE(similarQueues(ZapTag::color(Color::Blue), A, B));
+  B.pushFront({1, 1});
+  EXPECT_FALSE(similarQueues(ZapTag::color(Color::Green), A, B));
+}
+
+TEST(SimilarityTest, StatesRequireIdenticalMemoryAndIR) {
+  CodeMemory Code;
+  Code.set(1, Inst::mov(Reg::general(0), Value::green(0)));
+  MachineState A(Code, 1), B(Code, 1);
+  ZapTag G = ZapTag::color(Color::Green);
+  EXPECT_TRUE(similarStates(G, A, B));
+  B.Mem.set(10, 5);
+  EXPECT_FALSE(similarStates(G, A, B));
+  B = MachineState(Code, 1);
+  B.IR = Code.get(1);
+  EXPECT_FALSE(similarStates(G, A, B));
+  // The fault state is similar only to itself.
+  EXPECT_FALSE(similarStates(G, MachineState::faultState(), A));
+  EXPECT_TRUE(similarStates(G, MachineState::faultState(),
+                            MachineState::faultState()));
+}
+
+} // namespace

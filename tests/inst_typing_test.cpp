@@ -1,0 +1,245 @@
+//===- tests/inst_typing_test.cpp - Figure 7 rules, postconditions --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// White-box tests of InstTyper: beyond accept/reject (covered in
+// check_program_test), these inspect the *postconditions* each rule
+// produces — the singleton expressions, queue descriptors, memory
+// updates and the conditional type bzG installs on d.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/InstTyping.h"
+#include "sexpr/ExprNormalize.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+/// A minimal laid-out program providing Ψ: one int cell at 256, one code
+/// cell target block, and a dummy block so InstTyper has a Program.
+class InstTypingTest : public ::testing::Test {
+protected:
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+  std::optional<InstTyper> Typer;
+  StaticContext T;
+
+  void SetUp() override {
+    const char *Src = R"(
+entry main
+data { 256: int = 0 }
+block main {
+  mov r1, G 1
+  mov r50, G @main
+  mov r51, B @main
+  jmpG r50
+  jmpB r51
+}
+)";
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Src, Diags);
+    ASSERT_TRUE(P) << P.message();
+    Prog.emplace(std::move(*P));
+    Typer.emplace(TC, *Prog, Diags);
+
+    // A generic context: pc variable, memory variable, d=(G,int,0).
+    T.Label = "test";
+    T.Delta.declare("pc", ExprKind::Int);
+    T.Delta.declare("m", ExprKind::Mem);
+    T.Delta.declare("x", ExprKind::Int);
+    T.Pc = Es.var("pc", ExprKind::Int);
+    T.MemExpr = Es.var("m", ExprKind::Mem);
+    T.Gamma.set(Reg::dest(),
+                RegType(Color::Green, TC.intType(), Es.intConst(0)));
+  }
+
+  Reg R(unsigned I) { return Reg::general(I); }
+
+  /// Checks one instruction, asserting success.
+  InstTypingResult mustCheck(Inst I) {
+    std::optional<InstTypingResult> Res = Typer->check(I, T, SourceLoc());
+    EXPECT_TRUE(Res) << Diags.str();
+    return Res ? *Res : InstTypingResult();
+  }
+};
+
+TEST_F(InstTypingTest, MovInfersIntSingleton) {
+  mustCheck(Inst::mov(R(1), Value::green(5)));
+  const RegType *RT = T.Gamma.lookup(R(1));
+  ASSERT_NE(RT, nullptr);
+  EXPECT_EQ(RT->C, Color::Green);
+  EXPECT_TRUE(RT->B->isInt());
+  EXPECT_EQ(RT->E, Es.intConst(5));
+}
+
+TEST_F(InstTypingTest, MovInfersRefTypeFromPsi) {
+  mustCheck(Inst::mov(R(1), Value::blue(256)));
+  const RegType *RT = T.Gamma.lookup(R(1));
+  ASSERT_NE(RT, nullptr);
+  EXPECT_TRUE(RT->B->isRef());
+  EXPECT_TRUE(RT->B->refPointee()->isInt());
+}
+
+TEST_F(InstTypingTest, MovInfersCodeTypeForBlockEntry) {
+  Addr Main = Prog->addressOf("main");
+  mustCheck(Inst::mov(R(1), Value::green(Main)));
+  const RegType *RT = T.Gamma.lookup(R(1));
+  ASSERT_NE(RT, nullptr);
+  EXPECT_TRUE(RT->B->isCode());
+  EXPECT_EQ(RT->B->codePrecondition()->Label, "main");
+}
+
+TEST_F(InstTypingTest, PcAdvancesPerInstruction) {
+  const Expr *Pc0 = T.Pc;
+  mustCheck(Inst::mov(R(1), Value::green(5)));
+  mustCheck(Inst::mov(R(2), Value::green(6)));
+  EXPECT_TRUE(provablyEqual(
+      Es, T.Pc, Es.binop(Opcode::Add, Pc0, Es.intConst(2))));
+}
+
+TEST_F(InstTypingTest, AluComposesSingletons) {
+  T.Gamma.set(R(1),
+              RegType(Color::Green, TC.intType(), Es.var("x", ExprKind::Int)));
+  mustCheck(Inst::aluImm(Opcode::Add, R(2), R(1), Value::green(3)));
+  mustCheck(Inst::alu(Opcode::Mul, R(3), R(2), R(2)));
+  const RegType *RT = T.Gamma.lookup(R(3));
+  ASSERT_NE(RT, nullptr);
+  // (x+3)*(x+3), normalized.
+  const Expr *X3 = Es.binop(Opcode::Add, Es.var("x", ExprKind::Int),
+                            Es.intConst(3));
+  EXPECT_TRUE(provablyEqual(Es, RT->E, Es.binop(Opcode::Mul, X3, X3)));
+}
+
+TEST_F(InstTypingTest, AluWeakensRefOperandsToInt) {
+  mustCheck(Inst::mov(R(1), Value::green(256))); // (G, int ref, 256)
+  mustCheck(Inst::aluImm(Opcode::Add, R(2), R(1), Value::green(4)));
+  const RegType *RT = T.Gamma.lookup(R(2));
+  ASSERT_NE(RT, nullptr);
+  EXPECT_TRUE(RT->B->isInt());
+  EXPECT_EQ(normalize(Es, RT->E), Es.intConst(260));
+}
+
+TEST_F(InstTypingTest, StGPushesDescriptorOntoQueueFront) {
+  mustCheck(Inst::mov(R(1), Value::green(256)));
+  mustCheck(Inst::mov(R(2), Value::green(7)));
+  mustCheck(Inst::st(Color::Green, R(1), R(2)));
+  ASSERT_EQ(T.Queue.size(), 1u);
+  EXPECT_EQ(normalize(Es, T.Queue.entry(0).AddrE), Es.intConst(256));
+  EXPECT_EQ(normalize(Es, T.Queue.entry(0).ValE), Es.intConst(7));
+}
+
+TEST_F(InstTypingTest, StBConsumesAndUpdatesMemory) {
+  mustCheck(Inst::mov(R(1), Value::green(256)));
+  mustCheck(Inst::mov(R(2), Value::green(7)));
+  mustCheck(Inst::st(Color::Green, R(1), R(2)));
+  mustCheck(Inst::mov(R(3), Value::blue(256)));
+  mustCheck(Inst::mov(R(4), Value::blue(7)));
+  mustCheck(Inst::st(Color::Blue, R(3), R(4)));
+  EXPECT_TRUE(T.Queue.empty());
+  const Expr *Want = Es.upd(Es.var("m", ExprKind::Mem), Es.intConst(256),
+                            Es.intConst(7));
+  EXPECT_TRUE(provablyEqual(Es, T.MemExpr, Want));
+}
+
+TEST_F(InstTypingTest, LdGSeesQueueOverlayLdBSeesMemory) {
+  mustCheck(Inst::mov(R(1), Value::green(256)));
+  mustCheck(Inst::mov(R(2), Value::green(7)));
+  mustCheck(Inst::st(Color::Green, R(1), R(2))); // pending (256, 7)
+  // Green load forwards from the queue...
+  mustCheck(Inst::mov(R(3), Value::green(256)));
+  mustCheck(Inst::ld(Color::Green, R(4), R(3)));
+  EXPECT_EQ(normalize(Es, T.Gamma.lookup(R(4))->E), Es.intConst(7));
+  // ...while a blue load reads the (not yet updated) memory.
+  mustCheck(Inst::mov(R(5), Value::blue(256)));
+  mustCheck(Inst::ld(Color::Blue, R(6), R(5)));
+  const Expr *SelM =
+      Es.sel(Es.var("m", ExprKind::Mem), Es.intConst(256));
+  EXPECT_TRUE(provablyEqual(Es, T.Gamma.lookup(R(6))->E, SelM));
+}
+
+TEST_F(InstTypingTest, JmpGRecordsIntentionInD) {
+  Addr Main = Prog->addressOf("main");
+  mustCheck(Inst::mov(R(1), Value::green(Main)));
+  mustCheck(Inst::jmp(Color::Green, R(1)));
+  const RegType *D = T.Gamma.lookup(Reg::dest());
+  ASSERT_NE(D, nullptr);
+  EXPECT_FALSE(D->isConditional());
+  EXPECT_TRUE(D->B->isCode());
+  EXPECT_EQ(normalize(Es, D->E), Es.intConst(Main));
+}
+
+TEST_F(InstTypingTest, BzGInstallsConditionalTypeOnD) {
+  Addr Main = Prog->addressOf("main");
+  T.Gamma.set(R(1),
+              RegType(Color::Green, TC.intType(), Es.var("x", ExprKind::Int)));
+  mustCheck(Inst::mov(R(2), Value::green(Main)));
+  mustCheck(Inst::bz(Color::Green, R(1), R(2)));
+  const RegType *D = T.Gamma.lookup(Reg::dest());
+  ASSERT_NE(D, nullptr);
+  ASSERT_TRUE(D->isConditional());
+  EXPECT_EQ(D->Guard, Es.var("x", ExprKind::Int));
+  EXPECT_TRUE(D->B->isCode());
+}
+
+TEST_F(InstTypingTest, BzBRestoresZeroDestOnFallthrough) {
+  Addr Main = Prog->addressOf("main");
+  // The main precondition requires nothing beyond defaults, so matching
+  // succeeds with empty queue and any memory.
+  T.Gamma.set(R(1),
+              RegType(Color::Green, TC.intType(), Es.var("x", ExprKind::Int)));
+  T.Gamma.set(R(2),
+              RegType(Color::Blue, TC.intType(), Es.var("x", ExprKind::Int)));
+  mustCheck(Inst::mov(R(3), Value::green(Main)));
+  mustCheck(Inst::mov(R(4), Value::blue(Main)));
+  mustCheck(Inst::bz(Color::Green, R(1), R(3)));
+  InstTypingResult Res = mustCheck(Inst::bz(Color::Blue, R(2), R(4)));
+  EXPECT_FALSE(Res.IsVoid);
+  ASSERT_TRUE(Res.Transfer);
+  EXPECT_EQ(Res.TransferTarget->Label, "main");
+  const RegType *D = T.Gamma.lookup(Reg::dest());
+  ASSERT_NE(D, nullptr);
+  EXPECT_FALSE(D->isConditional());
+  EXPECT_TRUE(isZeroDestType(TC, *D));
+}
+
+TEST_F(InstTypingTest, JmpBIsVoidAndCarriesTransfer) {
+  Addr Main = Prog->addressOf("main");
+  mustCheck(Inst::mov(R(1), Value::green(Main)));
+  mustCheck(Inst::mov(R(2), Value::blue(Main)));
+  mustCheck(Inst::jmp(Color::Green, R(1)));
+  InstTypingResult Res = mustCheck(Inst::jmp(Color::Blue, R(2)));
+  EXPECT_TRUE(Res.IsVoid);
+  ASSERT_TRUE(Res.Transfer);
+  EXPECT_EQ(Res.TransferTarget->Label, "main");
+}
+
+TEST_F(InstTypingTest, ConstantRefinementThroughArithmetic) {
+  // 250 + 6 = 256 — the refinement re-types the sum as the cell's ref.
+  mustCheck(Inst::mov(R(1), Value::green(250)));
+  mustCheck(Inst::aluImm(Opcode::Add, R(1), R(1), Value::green(6)));
+  mustCheck(Inst::mov(R(2), Value::green(1)));
+  EXPECT_TRUE(Typer->check(Inst::st(Color::Green, R(1), R(2)), T,
+                           SourceLoc())
+                  .has_value())
+      << Diags.str();
+  ASSERT_EQ(T.Queue.size(), 1u);
+}
+
+TEST_F(InstTypingTest, OverwritingAPendingDestFails) {
+  Addr Main = Prog->addressOf("main");
+  mustCheck(Inst::mov(R(1), Value::green(Main)));
+  mustCheck(Inst::jmp(Color::Green, R(1)));
+  // A second jmpG while d is armed must be rejected (jmpG-t needs
+  // d=(G,int,0)).
+  EXPECT_FALSE(
+      Typer->check(Inst::jmp(Color::Green, R(1)), T, SourceLoc()));
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- tests/metatheory_test.cpp - Executable Theorems 1-4 ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the executable versions of Progress, Preservation, No False
+// Positives and Fault Tolerance over the example programs — including the
+// expensive variant that re-types every state of every faulty
+// continuation (Theorem 2 part 2), strided for test-time budgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+struct Loaded {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+  std::optional<CheckedProgram> CP;
+
+  void load(const char *Source) {
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
+    ASSERT_TRUE(P) << P.message();
+    Prog.emplace(std::move(*P));
+    Expected<CheckedProgram> C = checkProgram(TC, *Prog, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    CP.emplace(std::move(*C));
+  }
+};
+
+const char *allPrograms[] = {progs::PairedStore, progs::IndirectJump,
+                             progs::CountdownLoop, progs::QueueForwarding,
+                             progs::PendingStoreAcrossJump};
+
+class MetatheoryTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(MetatheoryTest, FaultFreeProgressPreservationNoFalsePositives) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(GetParam()));
+  TheoremReport R = checkFaultFreeExecution(L.TC, *L.CP, TheoremConfig());
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  // Every reachable state was re-typed (fetch and execute states).
+  EXPECT_EQ(R.StatesTypechecked, R.ReferenceSteps + 1);
+}
+
+TEST_P(MetatheoryTest, FaultToleranceExhaustive) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(GetParam()));
+  TheoremReport R = checkFaultTolerance(L.TC, *L.CP, TheoremConfig());
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  EXPECT_EQ(R.DetectedFaults + R.MaskedFaults, R.InjectionsTested);
+  EXPECT_GT(R.DetectedFaults, 0u);
+  EXPECT_GT(R.MaskedFaults, 0u);
+}
+
+TEST_P(MetatheoryTest, FaultyStatePreservation) {
+  // Theorem 2 part 2 / Theorem 1 part 2: after a fault of color c, every
+  // subsequent state of the faulty run is well-typed under zap tag c
+  // (until detection). Strided to keep runtime in budget.
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(GetParam()));
+  TheoremConfig Config;
+  Config.InjectionStride = 3;
+  Config.TypeCheckFaultyStates = true;
+  Config.FaultyTypeCheckStride = 2;
+  TheoremReport R = checkFaultTolerance(L.TC, *L.CP, Config);
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  EXPECT_GT(R.StatesTypechecked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, MetatheoryTest,
+                         ::testing::ValuesIn(allPrograms));
+
+TEST(MetatheoryNegative, UntypedProgramViolatesFaultTolerance) {
+  // The CSE-broken program is rejected by the checker; run the Theorem 4
+  // sweep anyway (bypassing the type guarantee) and confirm the sweep
+  // finds the silent corruption — i.e. the checker is load-bearing.
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::CseBroken, Diags);
+  ASSERT_TRUE(P) << P.message();
+  // Forge a CheckedProgram the checker would refuse to produce: thread
+  // contexts exist only where checking succeeded, so build a minimal one
+  // by checking the program's blocks leniently — here we simply reuse the
+  // sweep's machinery through an unchecked TrackedRun-free path: inject
+  // directly on the semantics.
+  Expected<MachineState> S0 = P->initialState();
+  ASSERT_TRUE(S0) << S0.message();
+  MachineState Ref = *S0;
+  RunResult RefRun = run(Ref, P->exitAddress(), 1000);
+  ASSERT_EQ(RefRun.Status, RunStatus::Halted);
+
+  bool FoundSilentCorruption = false;
+  for (uint64_t K = 0; K <= RefRun.Steps && !FoundSilentCorruption; ++K) {
+    MachineState S = *S0;
+    for (uint64_t I = 0; I != K; ++I)
+      step(S);
+    if (S.isFault())
+      break;
+    for (const FaultSite &Site : enumerateFaultSites(S)) {
+      if (Site.K == FaultSite::Kind::Register &&
+          !Site.R.isGeneral())
+        continue;
+      MachineState F = S;
+      injectFault(F, Site, 99);
+      RunResult FR = run(F, P->exitAddress(), 2000);
+      if (FR.Status == RunStatus::Halted && !(FR.Trace == RefRun.Trace)) {
+        FoundSilentCorruption = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(FoundSilentCorruption)
+      << "the ill-typed program should exhibit silent corruption";
+}
+
+TEST(TrackedRunTest, SnapshotsRestoreExactly) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::CountdownLoop));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  for (int I = 0; I != 25; ++I)
+    Run.stepOnce();
+  TrackedRun::Snapshot Snap = Run.snapshot();
+  OutputTrace TraceAt = Run.trace();
+
+  // Diverge: inject and run to detection.
+  Run.injectSingleFault(FaultSite::reg(Reg::general(1)), 777);
+  while (!Run.atExitBlock() && !Run.state().isFault())
+    if (Run.stepOnce().Status != StepStatus::Ok)
+      break;
+
+  // Restore and confirm the clean continuation still works and types.
+  Run.restore(Snap);
+  EXPECT_TRUE(Run.zapTag().isNone());
+  EXPECT_EQ(Run.steps(), 25u);
+  EXPECT_EQ(Run.trace(), TraceAt);
+  ASSERT_FALSE(Run.checkTyped());
+  while (!Run.atExitBlock()) {
+    ASSERT_EQ(Run.stepOnce().Status, StepStatus::Ok);
+    ASSERT_FALSE(Run.checkTyped());
+  }
+}
+
+TEST(TrackedRunTest, ClosingSubstitutionTracksTransfers) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::CountdownLoop));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  // Step through at least one committed jump and keep checking types; the
+  // closing substitution must follow the transfer.
+  uint64_t Jumps = 0;
+  while (!Run.atExitBlock()) {
+    StepResult SR = Run.stepOnce();
+    ASSERT_EQ(SR.Status, StepStatus::Ok);
+    if (SR.Rule && std::string(SR.Rule) == "jmpB")
+      ++Jumps;
+    ASSERT_FALSE(Run.checkTyped()) << "after rule " << SR.Rule;
+  }
+  EXPECT_GE(Jumps, 4u); // entry->loop, 3 back edges, loop->done via bzB
+}
+
+} // namespace

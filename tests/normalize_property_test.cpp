@@ -1,0 +1,191 @@
+//===- tests/normalize_property_test.cpp - Prover soundness properties ----===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Randomized (deterministically seeded) property tests for the equality
+// decision procedure, which the whole type system leans on:
+//
+//   P1 (soundness of normalize): for random expressions E and random
+//      closing substitutions S, [[S(E)]] = [[S(normalize(E))]];
+//   P2 (soundness of Yes): provablyEqual(A,B) implies [[S(A)]] = [[S(B)]]
+//      for every tested S;
+//   P3 (soundness of No): provablyDistinct(A,B) implies
+//      [[S(A)]] ≠ [[S(B)]] for every tested S;
+//   P4 (congruence): normalize is idempotent and stable under
+//      hash-consing identity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprNormalize.h"
+#include "sexpr/ExprOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+/// xorshift64* — deterministic, seedable, no global state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, N).
+  uint64_t below(uint64_t N) { return next() % N; }
+
+  int64_t smallInt() { return (int64_t)below(21) - 10; }
+
+private:
+  uint64_t State;
+};
+
+/// Builds a random integer expression of bounded depth over {x, y} and a
+/// memory skeleton over {m}.
+class ExprGen {
+public:
+  ExprGen(ExprContext &Es, Rng &R) : Es(Es), R(R) {}
+
+  const Expr *intExpr(unsigned Depth) {
+    if (Depth == 0 || R.below(4) == 0) {
+      switch (R.below(3)) {
+      case 0:
+        return Es.intConst(R.smallInt());
+      case 1:
+        return Es.var("x", ExprKind::Int);
+      default:
+        return Es.var("y", ExprKind::Int);
+      }
+    }
+    switch (R.below(5)) {
+    case 0:
+      return Es.binop(Opcode::Add, intExpr(Depth - 1), intExpr(Depth - 1));
+    case 1:
+      return Es.binop(Opcode::Sub, intExpr(Depth - 1), intExpr(Depth - 1));
+    case 2:
+      return Es.binop(Opcode::Mul, intExpr(Depth - 1), intExpr(Depth - 1));
+    default:
+      return Es.sel(memExpr(Depth - 1), intExpr(Depth - 1));
+    }
+  }
+
+  const Expr *memExpr(unsigned Depth) {
+    if (Depth == 0 || R.below(3) == 0)
+      return Es.var("m", ExprKind::Mem);
+    return Es.upd(memExpr(Depth - 1), intExpr(Depth - 1),
+                  intExpr(Depth - 1));
+  }
+
+private:
+  ExprContext &Es;
+  Rng &R;
+};
+
+/// A dense closing substitution: x, y small ints; m a small literal
+/// memory covering the address range random sub-expressions land in.
+Subst closing(ExprContext &Es, Rng &R) {
+  Subst S;
+  S.bind(Es.var("x", ExprKind::Int), Es.intConst(R.smallInt()));
+  S.bind(Es.var("y", ExprKind::Int), Es.intConst(R.smallInt()));
+  const Expr *M = Es.emp();
+  for (int64_t A = -40; A <= 40; ++A)
+    M = Es.upd(M, Es.intConst(A), Es.intConst(R.smallInt()));
+  S.bind(Es.var("m", ExprKind::Mem), M);
+  return S;
+}
+
+class NormalizeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NormalizeProperty, NormalizationPreservesDenotation) {
+  ExprContext Es;
+  Rng R(GetParam() * 2654435761u + 1);
+  ExprGen Gen(Es, R);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    const Expr *E = Gen.intExpr(4);
+    const Expr *N = normalize(Es, E);
+    for (int SubstTrial = 0; SubstTrial != 3; ++SubstTrial) {
+      Subst S = closing(Es, R);
+      std::optional<int64_t> VE = evalInt(S.apply(Es, E));
+      std::optional<int64_t> VN = evalInt(S.apply(Es, N));
+      // Denotations agree whenever both are defined; normalization may
+      // only *add* definedness (sel-over-upd resolution can remove a
+      // failing lookup, never introduce one).
+      if (VE) {
+        ASSERT_TRUE(VN) << "normalize lost definedness of " << E->str();
+        EXPECT_EQ(*VE, *VN) << E->str() << "  vs  " << N->str();
+      }
+    }
+  }
+}
+
+TEST_P(NormalizeProperty, YesVerdictsAreSemanticallyTrue) {
+  ExprContext Es;
+  Rng R(GetParam() * 0x9E3779B9u + 7);
+  ExprGen Gen(Es, R);
+  unsigned YesSeen = 0;
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    const Expr *A = Gen.intExpr(3);
+    // Derive B from A by a semantically identity-preserving rewrite, so
+    // Yes verdicts actually occur: B = (A + k) - k.
+    const Expr *K = Es.intConst(R.smallInt());
+    const Expr *B =
+        Es.binop(Opcode::Sub, Es.binop(Opcode::Add, A, K), K);
+    Proof P = compareEqual(Es, A, B);
+    EXPECT_NE(P, Proof::No);
+    if (P == Proof::Yes)
+      ++YesSeen;
+    Subst S = closing(Es, R);
+    std::optional<int64_t> VA = evalInt(S.apply(Es, A));
+    std::optional<int64_t> VB = evalInt(S.apply(Es, B));
+    if (VA && VB) {
+      EXPECT_EQ(*VA, *VB);
+    }
+  }
+  EXPECT_GT(YesSeen, 0u);
+}
+
+TEST_P(NormalizeProperty, NoVerdictsAreSemanticallyTrue) {
+  ExprContext Es;
+  Rng R(GetParam() * 6364136223846793005ull + 3);
+  ExprGen Gen(Es, R);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    const Expr *A = Gen.intExpr(3);
+    const Expr *B = Gen.intExpr(3);
+    if (compareEqual(Es, A, B) != Proof::No)
+      continue;
+    // Provably distinct: no substitution may make them equal.
+    for (int SubstTrial = 0; SubstTrial != 4; ++SubstTrial) {
+      Subst S = closing(Es, R);
+      std::optional<int64_t> VA = evalInt(S.apply(Es, A));
+      std::optional<int64_t> VB = evalInt(S.apply(Es, B));
+      if (VA && VB) {
+        EXPECT_NE(*VA, *VB) << A->str() << "  vs  " << B->str();
+      }
+    }
+  }
+}
+
+TEST_P(NormalizeProperty, NormalizeIsIdempotent) {
+  ExprContext Es;
+  Rng R(GetParam() + 11);
+  ExprGen Gen(Es, R);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    const Expr *E = R.below(2) ? Gen.intExpr(4) : Gen.memExpr(3);
+    const Expr *N1 = normalize(Es, E);
+    const Expr *N2 = normalize(Es, N1);
+    EXPECT_EQ(N1, N2) << E->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeProperty,
+                         ::testing::Range<uint64_t>(1, 26));
+
+} // namespace

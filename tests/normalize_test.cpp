@@ -1,0 +1,184 @@
+//===- tests/normalize_test.cpp - Equality decision procedure tests -------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprNormalize.h"
+#include "sexpr/ExprOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+class NormalizeTest : public ::testing::Test {
+protected:
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  const Expr *M = Es.var("m", ExprKind::Mem);
+
+  const Expr *add(const Expr *A, const Expr *B) {
+    return Es.binop(Opcode::Add, A, B);
+  }
+  const Expr *sub(const Expr *A, const Expr *B) {
+    return Es.binop(Opcode::Sub, A, B);
+  }
+  const Expr *mul(const Expr *A, const Expr *B) {
+    return Es.binop(Opcode::Mul, A, B);
+  }
+  const Expr *c(int64_t N) { return Es.intConst(N); }
+};
+
+TEST_F(NormalizeTest, ConstantFolding) {
+  EXPECT_EQ(normalize(Es, add(c(2), c(3))), c(5));
+  EXPECT_EQ(normalize(Es, mul(c(4), c(5))), c(20));
+  EXPECT_EQ(normalize(Es, sub(c(4), c(9))), c(-5));
+}
+
+TEST_F(NormalizeTest, CommutativityOfAddition) {
+  EXPECT_EQ(normalize(Es, add(X, Y)), normalize(Es, add(Y, X)));
+}
+
+TEST_F(NormalizeTest, AssociativityAndConstantGathering) {
+  // (x + 1) + 2 = x + 3
+  EXPECT_EQ(normalize(Es, add(add(X, c(1)), c(2))),
+            normalize(Es, add(X, c(3))));
+  // 1 + (x + (2 + y)) = (y + x) + 3
+  EXPECT_EQ(normalize(Es, add(c(1), add(X, add(c(2), Y)))),
+            normalize(Es, add(add(Y, X), c(3))));
+}
+
+TEST_F(NormalizeTest, SubtractionAsNegation) {
+  // (x + 5) - 5 = x
+  EXPECT_EQ(normalize(Es, sub(add(X, c(5)), c(5))), X);
+  // x - x = 0
+  EXPECT_EQ(normalize(Es, sub(X, X)), c(0));
+  // (x + y) - y = x
+  EXPECT_EQ(normalize(Es, sub(add(X, Y), Y)), X);
+}
+
+TEST_F(NormalizeTest, CoefficientMerging) {
+  // x + x = 2 * x; 3*x - x = 2*x
+  EXPECT_EQ(normalize(Es, add(X, X)), normalize(Es, sub(mul(c(3), X), X)));
+  // 2*x - 2*x = 0
+  EXPECT_EQ(normalize(Es, sub(mul(c(2), X), mul(c(2), X))), c(0));
+}
+
+TEST_F(NormalizeTest, ProductsCommute) {
+  EXPECT_EQ(normalize(Es, mul(X, Y)), normalize(Es, mul(Y, X)));
+  EXPECT_EQ(normalize(Es, mul(mul(X, c(3)), Y)),
+            normalize(Es, mul(c(3), mul(Y, X))));
+}
+
+TEST_F(NormalizeTest, MulByZeroAndOne) {
+  EXPECT_EQ(normalize(Es, mul(X, c(0))), c(0));
+  EXPECT_EQ(normalize(Es, mul(X, c(1))), X);
+}
+
+TEST_F(NormalizeTest, SelOverUpdSameAddress) {
+  const Expr *U = Es.upd(M, X, Y);
+  EXPECT_EQ(normalize(Es, Es.sel(U, X)), Y);
+}
+
+TEST_F(NormalizeTest, SelOverUpdDistinctConstants) {
+  const Expr *U = Es.upd(M, c(4), Y);
+  EXPECT_EQ(normalize(Es, Es.sel(U, c(8))), Es.sel(M, c(8)));
+}
+
+TEST_F(NormalizeTest, SelOverUpdDistinctByOffset) {
+  // Addresses x and x+4 are provably distinct: the difference is 4.
+  const Expr *U = Es.upd(M, add(X, c(4)), Y);
+  EXPECT_EQ(normalize(Es, Es.sel(U, X)), Es.sel(M, X));
+}
+
+TEST_F(NormalizeTest, SelOverUpdUnknownAliasingStays) {
+  const Expr *U = Es.upd(M, X, c(1));
+  const Expr *S = normalize(Es, Es.sel(U, Y));
+  EXPECT_TRUE(S->isSel());
+  EXPECT_TRUE(S->child0()->isUpd());
+}
+
+TEST_F(NormalizeTest, SelThroughNormalizedAddress) {
+  // sel (upd m (x+1) y) (1+x) resolves: the addresses are equal.
+  const Expr *U = Es.upd(M, add(X, c(1)), Y);
+  EXPECT_EQ(normalize(Es, Es.sel(U, add(c(1), X))), Y);
+}
+
+TEST_F(NormalizeTest, UpdShadowing) {
+  // upd (upd m 4 a) 4 b = upd m 4 b (the outer update wins).
+  const Expr *Inner = Es.upd(M, c(4), X);
+  const Expr *Outer = Es.upd(Inner, c(4), Y);
+  EXPECT_EQ(normalize(Es, Outer), normalize(Es, Es.upd(M, c(4), Y)));
+}
+
+TEST_F(NormalizeTest, UpdCommutingDistinctAddresses) {
+  const Expr *A = Es.upd(Es.upd(M, c(4), X), c(8), Y);
+  const Expr *B = Es.upd(Es.upd(M, c(8), Y), c(4), X);
+  EXPECT_EQ(normalize(Es, A), normalize(Es, B));
+}
+
+TEST_F(NormalizeTest, UpdUnknownAliasingDoesNotCommute) {
+  const Expr *A = Es.upd(Es.upd(M, X, c(1)), Y, c(2));
+  const Expr *B = Es.upd(Es.upd(M, Y, c(2)), X, c(1));
+  // x and y may alias; the two chains must stay distinct.
+  EXPECT_NE(normalize(Es, A), normalize(Es, B));
+}
+
+TEST_F(NormalizeTest, IdempotentOnNormalForms) {
+  const Expr *E = normalize(Es, add(add(X, c(1)), mul(Y, c(2))));
+  EXPECT_EQ(normalize(Es, E), E);
+}
+
+// --- compareEqual: the three-valued judgment --------------------------
+
+TEST_F(NormalizeTest, ProvablyEqualBasics) {
+  EXPECT_TRUE(provablyEqual(Es, add(X, c(1)), add(c(1), X)));
+  EXPECT_TRUE(provablyEqual(Es, X, X));
+  EXPECT_TRUE(provablyEqual(Es, sub(add(X, Y), Y), X));
+}
+
+TEST_F(NormalizeTest, ProvablyDistinctByConstantDifference) {
+  EXPECT_TRUE(provablyDistinct(Es, X, add(X, c(1))));
+  EXPECT_TRUE(provablyDistinct(Es, c(4), c(5)));
+  EXPECT_EQ(compareEqual(Es, X, Y), Proof::Unknown);
+}
+
+TEST_F(NormalizeTest, MemoryEquality) {
+  const Expr *A = Es.upd(Es.upd(M, c(4), X), c(8), Y);
+  const Expr *B = Es.upd(Es.upd(M, c(8), Y), c(4), X);
+  EXPECT_EQ(compareEqual(Es, A, B), Proof::Yes);
+  EXPECT_EQ(compareEqual(Es, A, M), Proof::Unknown);
+}
+
+TEST_F(NormalizeTest, WrappingArithmetic) {
+  // Coefficient arithmetic must wrap like the machine's.
+  const Expr *Big = c(INT64_MAX);
+  EXPECT_EQ(normalize(Es, add(Big, c(1))), c(INT64_MIN));
+  EXPECT_EQ(normalize(Es, mul(c(INT64_MIN), c(-1))), c(INT64_MIN));
+}
+
+// Parameterized sweep: normalization agrees with evaluation on closed
+// expressions built from a seed grammar.
+class NormalizeEvalAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizeEvalAgreement, ClosedExpressionsNormalizeToTheirValue) {
+  ExprContext Es;
+  int Seed = GetParam();
+  // Deterministically build a closed expression from the seed.
+  int64_t A = Seed % 7 - 3, B = (Seed / 7) % 5 - 2, C = (Seed / 35) % 3;
+  const Expr *E = Es.binop(
+      Opcode::Add,
+      Es.binop(Opcode::Mul, Es.intConst(A), Es.intConst(B)),
+      Es.binop(Opcode::Sub, Es.intConst(C), Es.intConst(A)));
+  const Expr *N = normalize(Es, E);
+  ASSERT_TRUE(N->isIntConst());
+  EXPECT_EQ(N->intValue(), *evalInt(E));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizeEvalAgreement,
+                         ::testing::Range(0, 105));
+
+} // namespace

@@ -1,0 +1,213 @@
+//===- tests/paper_examples_test.cpp - The paper's inline examples --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end coverage of the three Section 2.2 examples: the paired store
+// (well-typed, runs, fault-tolerant), the CSE-broken store (rejected by
+// the checker), and the indirect jump through memory (well-typed, runs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "sim/Machine.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+/// Parses, lays out and type-checks a source, expecting success.
+struct CheckedFixture {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+  std::optional<CheckedProgram> CP;
+
+  void load(const char *Source) {
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
+    ASSERT_TRUE(P) << P.message();
+    Prog.emplace(std::move(*P));
+    Expected<CheckedProgram> C = checkProgram(TC, *Prog, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    CP.emplace(std::move(*C));
+  }
+};
+
+TEST(PairedStoreExample, TypeChecks) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::PairedStore));
+}
+
+TEST(PairedStoreExample, Stores5At256) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::PairedStore));
+  Expected<MachineState> S = F.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, F.Prog->exitAddress(), 1000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 1u);
+  EXPECT_EQ(R.Trace[0].Address, 256);
+  EXPECT_EQ(R.Trace[0].Val, 5);
+  EXPECT_EQ(S->Mem.get(256), 5);
+}
+
+TEST(PairedStoreExample, EverySingleFaultIsTolerated) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::PairedStore));
+  TheoremConfig Config;
+  TheoremReport Report = checkFaultTolerance(F.TC, *F.CP, Config);
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+  EXPECT_GT(Report.InjectionsTested, 0u);
+  EXPECT_GT(Report.DetectedFaults, 0u);
+}
+
+TEST(CseBrokenExample, IsRejectedByTheChecker) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, progs::CseBroken,
+                                                 Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<CheckedProgram> C = checkProgram(TC, *P, Diags);
+  EXPECT_FALSE(C);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The offending instruction is the blue store reusing green registers.
+  EXPECT_NE(Diags.str().find("stB"), std::string::npos) << Diags.str();
+}
+
+TEST(CseBrokenExample, SilentCorruptionWithoutTheChecker) {
+  // Demonstrate *why* the checker matters: the ill-typed program runs
+  // fine fault-free, but a fault in r1 after instruction 1 silently
+  // changes the stored value — the store commits because both stG and stB
+  // read the same corrupted register.
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, progs::CseBroken,
+                                                 Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S0 = P->initialState();
+  ASSERT_TRUE(S0) << S0.message();
+
+  // Fault-free run commits (256, 5).
+  MachineState Clean = *S0;
+  RunResult Ref = run(Clean, P->exitAddress(), 1000);
+  ASSERT_EQ(Ref.Status, RunStatus::Halted);
+  ASSERT_EQ(Ref.Trace.size(), 1u);
+  EXPECT_EQ(Ref.Trace[0].Val, 5);
+
+  // Corrupt r1 after "mov r1, G 5" (2 steps: fetch + execute).
+  MachineState Faulty = *S0;
+  for (int I = 0; I != 2; ++I)
+    ASSERT_EQ(step(Faulty).Status, StepStatus::Ok);
+  Faulty.Regs.set(Reg::general(1), Value::green(99));
+  RunResult FR = run(Faulty, P->exitAddress(), 1000);
+  EXPECT_EQ(FR.Status, RunStatus::Halted);
+  ASSERT_EQ(FR.Trace.size(), 1u);
+  // Silent data corruption: the wrong value was committed undetected.
+  EXPECT_EQ(FR.Trace[0].Val, 99);
+}
+
+TEST(IndirectJumpExample, TypeChecksAndRuns) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::IndirectJump));
+  Expected<MachineState> S = F.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, F.Prog->exitAddress(), 1000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_TRUE(R.Trace.empty());
+}
+
+TEST(IndirectJumpExample, EverySingleFaultIsTolerated) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::IndirectJump));
+  TheoremReport Report = checkFaultTolerance(F.TC, *F.CP, TheoremConfig());
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+}
+
+TEST(CountdownLoop, TypeChecksAndProducesTheTrace) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::CountdownLoop));
+  Expected<MachineState> S = F.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, F.Prog->exitAddress(), 10000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 3u);
+  EXPECT_EQ(R.Trace[0].Val, 3);
+  EXPECT_EQ(R.Trace[1].Val, 2);
+  EXPECT_EQ(R.Trace[2].Val, 1);
+}
+
+TEST(CountdownLoop, FaultFreeMetatheoryHolds) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::CountdownLoop));
+  TheoremReport Report = checkFaultFreeExecution(F.TC, *F.CP,
+                                                 TheoremConfig());
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+  EXPECT_GT(Report.StatesTypechecked, 0u);
+}
+
+TEST(CountdownLoop, EverySingleFaultIsTolerated) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::CountdownLoop));
+  TheoremConfig Config;
+  TheoremReport Report = checkFaultTolerance(F.TC, *F.CP, Config);
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+}
+
+TEST(QueueForwarding, TypeChecksAndRuns) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::QueueForwarding));
+  Expected<MachineState> S = F.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, F.Prog->exitAddress(), 10000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 2u);
+  EXPECT_EQ(R.Trace[0].Address, 404);
+  EXPECT_EQ(R.Trace[0].Val, 8);
+  EXPECT_EQ(R.Trace[1].Val, 8);
+}
+
+TEST(PendingStoreAcrossJump, TypeChecksAndCommitsOnTheFarSide) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::PendingStoreAcrossJump));
+  Expected<MachineState> S = F.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, F.Prog->exitAddress(), 1000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 1u);
+  EXPECT_EQ(R.Trace[0], (QueueEntry{256, 5}));
+}
+
+TEST(PendingStoreAcrossJump, EverySingleFaultIsTolerated) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::PendingStoreAcrossJump));
+  TheoremReport Report = checkFaultTolerance(F.TC, *F.CP, TheoremConfig());
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+}
+
+TEST(QueueForwarding, FaultFreeMetatheoryHolds) {
+  CheckedFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.load(progs::QueueForwarding));
+  TheoremReport Report = checkFaultFreeExecution(F.TC, *F.CP,
+                                                 TheoremConfig());
+  EXPECT_TRUE(Report.Ok) << (Report.Violations.empty()
+                                 ? "?"
+                                 : Report.Violations.front());
+}
+
+} // namespace

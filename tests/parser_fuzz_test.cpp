@@ -1,0 +1,134 @@
+//===- tests/parser_fuzz_test.cpp - Front-end robustness ------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic fuzzing of the two front ends: random byte strings and
+// random token soups must produce diagnostics, never crashes or
+// assertion failures. Truncations of valid programs cover the
+// "unexpected EOF at every position" family.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "tal/Parser.h"
+#include "wile/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+  uint64_t below(uint64_t N) { return next() % N; }
+
+private:
+  uint64_t State;
+};
+
+std::string randomBytes(Rng &R, size_t Len) {
+  // Printable-ish ASCII plus newlines.
+  std::string S;
+  for (size_t I = 0; I != Len; ++I)
+    S += (char)(R.below(95) + 32 - (R.below(12) == 0 ? 22 : 0));
+  for (char &C : S)
+    if (C < 32 && C != '\n' && C != '\t')
+      C = '\n';
+  return S;
+}
+
+std::string tokenSoup(Rng &R, size_t Len) {
+  static const char *Tokens[] = {
+      "block",  "pre",  "forall", "queue", "mem",  "pc",    "entry",
+      "exit",   "data", "int",    "code",  "ref",  "sel",   "upd",
+      "emp",    "mov",  "add",    "sub",   "mul",  "ldG",   "ldB",
+      "stG",    "stB",  "bzG",    "bzB",   "jmpG", "jmpB",  "G",
+      "B",      "r1",   "r2",     "d",     "{",    "}",     "(",
+      ")",      "[",    "]",      ":",     ",",    ";",     "=",
+      "=>",     "@",    "+",      "-",     "*",    "0",     "1",
+      "256",    "x",    "m",      "main",  "done", "//c\n", "9999999999",
+  };
+  std::string S;
+  for (size_t I = 0; I != Len; ++I) {
+    S += Tokens[R.below(std::size(Tokens))];
+    S += ' ';
+  }
+  return S;
+}
+
+class TalFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TalFuzz, RandomBytesNeverCrash) {
+  Rng R(GetParam() * 7919 + 1);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    std::string Input = randomBytes(R, R.below(400));
+    // Must return (success or failure), not crash.
+    (void)parseTalProgram(TC, Input, Diags);
+  }
+}
+
+TEST_P(TalFuzz, TokenSoupNeverCrashes) {
+  Rng R(GetParam() * 104729 + 3);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    (void)parseTalProgram(TC, tokenSoup(R, R.below(200)), Diags);
+  }
+}
+
+TEST_P(TalFuzz, TruncationsOfValidProgramsNeverCrash) {
+  std::string Valid = progs::CountdownLoop;
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    size_t Cut = R.below(Valid.size());
+    (void)parseTalProgram(TC, Valid.substr(0, Cut), Diags);
+  }
+}
+
+class WileFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WileFuzz, RandomBytesNeverCrash) {
+  Rng R(GetParam() * 31337 + 5);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    DiagnosticEngine Diags;
+    (void)wile::parseWile(randomBytes(R, R.below(400)), Diags);
+  }
+}
+
+TEST_P(WileFuzz, TokenSoupNeverCrashes) {
+  static const char *Tokens[] = {
+      "var",   "array", "while", "if",  "else", "output", "x",
+      "y",     "a",     "=",     "==",  "!=",   ";",      "{",
+      "}",     "(",     ")",     "[",   "]",    "+",      "-",
+      "*",     "@",     "0",     "1",   "42",   "//c\n",
+  };
+  Rng R(GetParam() * 65537 + 11);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    std::string S;
+    for (uint64_t I = 0, E = R.below(150); I != E; ++I) {
+      S += Tokens[R.below(std::size(Tokens))];
+      S += ' ';
+    }
+    DiagnosticEngine Diags;
+    (void)wile::parseWile(S, Diags);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TalFuzz, ::testing::Range<uint64_t>(1, 16));
+INSTANTIATE_TEST_SUITE_P(Seeds, WileFuzz, ::testing::Range<uint64_t>(1, 16));
+
+} // namespace

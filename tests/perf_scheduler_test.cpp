@@ -1,0 +1,174 @@
+//===- tests/perf_scheduler_test.cpp - Cost model unit tests --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "perf/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+TEST(IssueCyclesTest, EmptyBlockIsFree) {
+  EXPECT_EQ(issueCycles({}, PipelineConfig()), 0u);
+}
+
+TEST(IssueCyclesTest, IndependentOpsPackIntoWidth) {
+  PipelineConfig Config;
+  Config.IssueWidth = 4;
+  MOpStream Ops;
+  for (int I = 0; I != 8; ++I)
+    Ops.push_back(MOp::alu(I));
+  // 8 independent single-cycle ops on a 4-wide machine: 2 issue cycles,
+  // the last op completes one cycle after its issue.
+  EXPECT_EQ(issueCycles(Ops, Config), 2u);
+}
+
+TEST(IssueCyclesTest, RawDependenceSerializes) {
+  PipelineConfig Config;
+  MOpStream Ops = {MOp::alu(1), MOp::alu(2, 1), MOp::alu(3, 2)};
+  // Three chained 1-cycle ops: issue at 0,1,2; done at 3.
+  EXPECT_EQ(issueCycles(Ops, Config), 3u);
+}
+
+TEST(IssueCyclesTest, LoadLatencyStallsConsumer) {
+  PipelineConfig Config;
+  Config.LatLoad = 2;
+  MOpStream Ops = {MOp::load(1, 0), MOp::alu(2, 1)};
+  // Load issues at 0, completes at 2; consumer issues at 2, done at 3.
+  EXPECT_EQ(issueCycles(Ops, Config), 3u);
+}
+
+TEST(IssueCyclesTest, MulLatency) {
+  PipelineConfig Config;
+  MOpStream Ops = {MOp::mul(1, 0, 0), MOp::alu(2, 1)};
+  EXPECT_EQ(issueCycles(Ops, Config), 4u); // mul 0..3, alu 3..4
+}
+
+TEST(IssueCyclesTest, MemPortsLimitLoadsPerCycle) {
+  PipelineConfig Config;
+  Config.IssueWidth = 6;
+  Config.MemPorts = 2;
+  MOpStream Ops;
+  for (int I = 0; I != 4; ++I)
+    Ops.push_back(MOp::load(I, 10));
+  // 4 loads, 2 ports: cycles 0,0,1,1; last completes at 1+2=3.
+  EXPECT_EQ(issueCycles(Ops, Config), 3u);
+}
+
+TEST(IssueCyclesTest, InOrderStallPropagates) {
+  PipelineConfig Config;
+  Config.IssueWidth = 4;
+  // Op 2 depends on a load; op 3 is independent but in-order issue keeps
+  // it from issuing before op 2.
+  MOpStream Ops = {MOp::load(1, 0), MOp::alu(2, 1), MOp::alu(3)};
+  // load @0; alu2 waits until 2; alu3 also @2. Done at 3.
+  EXPECT_EQ(issueCycles(Ops, Config), 3u);
+}
+
+TEST(IssueCyclesTest, PairLatencyUnderOrdering) {
+  PipelineConfig Ordered;
+  PipelineConfig Unordered;
+  Unordered.EnforceColorOrdering = false;
+
+  MOpStream Ops = {MOp::store(1, 2, /*PairId=*/0, /*GreenHalf=*/true),
+                   MOp::storeCommit(3, 4, /*PairId=*/0)};
+  // Ordered: the commit waits for the queue write: issue 0 and 1.
+  EXPECT_EQ(issueCycles(Ops, Ordered), 2u);
+  // The aggressive hardware correlates them: both issue at 0.
+  EXPECT_EQ(issueCycles(Ops, Unordered), 1u);
+}
+
+TEST(IssueCyclesTest, BranchPairSerializesEvenWithoutOrdering) {
+  PipelineConfig Unordered;
+  Unordered.EnforceColorOrdering = false;
+  MOpStream Ops = {MOp::branch(1, -1, /*PairId=*/0, /*GreenHalf=*/true),
+                   MOp::branch(2, -1, /*PairId=*/0)};
+  // jmpB reads the d register jmpG wrote: the pair never shares a cycle
+  // (issue at 0 and 1; the commit completes at 2).
+  EXPECT_EQ(issueCycles(Ops, Unordered), 2u);
+  // An unpaired degenerate branch duo could dual-issue instead.
+  MOpStream Unpaired = {MOp::branch(1), MOp::branch(2)};
+  EXPECT_EQ(issueCycles(Unpaired, Unordered), 1u);
+}
+
+TEST(ScheduleBlockTest, HoistsIndependentWorkAboveAStall) {
+  PipelineConfig Config;
+  Config.IssueWidth = 1;
+  // Program order: load; consumer; independent alu. The list scheduler
+  // should move the independent alu into the load shadow.
+  MOpStream Ops = {MOp::load(1, 0), MOp::alu(2, 1), MOp::alu(3)};
+  MOpStream Scheduled = scheduleBlock(Ops, Config);
+  ASSERT_EQ(Scheduled.size(), 3u);
+  EXPECT_EQ(Scheduled[0].Class, MOpClass::Load);
+  EXPECT_EQ(Scheduled[1].Dst, 3); // hoisted
+  EXPECT_EQ(Scheduled[2].Dst, 2);
+  EXPECT_LE(issueCycles(Scheduled, Config), issueCycles(Ops, Config));
+}
+
+TEST(ScheduleBlockTest, RespectsStoreOrder) {
+  PipelineConfig Config;
+  MOpStream Ops = {MOp::store(1, 2), MOp::store(3, 4), MOp::load(5, 6)};
+  MOpStream Scheduled = scheduleBlock(Ops, Config);
+  // Stores stay in FIFO order and the load cannot cross them.
+  EXPECT_EQ(Scheduled[0].Src0, 1);
+  EXPECT_EQ(Scheduled[1].Src0, 3);
+  EXPECT_EQ(Scheduled[2].Class, MOpClass::Load);
+}
+
+TEST(ScheduleBlockTest, BranchStaysLast) {
+  PipelineConfig Config;
+  MOpStream Ops = {MOp::branch(0), MOp::alu(1)};
+  // A branch is a barrier: the alu after it cannot move above it.
+  MOpStream Scheduled = scheduleBlock(Ops, Config);
+  EXPECT_EQ(Scheduled[0].Class, MOpClass::Branch);
+  EXPECT_EQ(Scheduled[1].Class, MOpClass::Alu);
+}
+
+TEST(ScheduleBlockTest, OrderingConstraintKeepsPairsOrdered) {
+  PipelineConfig Ordered;
+  MOpStream Ops = {MOp::alu(9),
+                   MOp::store(1, 2, /*PairId=*/7, /*GreenHalf=*/true),
+                   MOp::storeCommit(3, 4, /*PairId=*/7)};
+  MOpStream Scheduled = scheduleBlock(Ops, Ordered);
+  size_t GreenIdx = 99, BlueIdx = 99;
+  for (size_t I = 0; I != Scheduled.size(); ++I) {
+    if (Scheduled[I].Class == MOpClass::Store)
+      GreenIdx = I;
+    if (Scheduled[I].Class == MOpClass::StoreCommit)
+      BlueIdx = I;
+  }
+  EXPECT_LT(GreenIdx, BlueIdx);
+}
+
+// Property sweep: for every width, the duplicated stream never costs more
+// than 2x + pairing slack of the single stream, and at width 1 it costs at
+// least the op-count ratio.
+class WidthProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(WidthProperty, DuplicationCostBounds) {
+  PipelineConfig Config;
+  Config.IssueWidth = GetParam();
+  MOpStream Single, Doubled;
+  for (int I = 0; I != 10; ++I) {
+    Single.push_back(MOp::alu(I, I > 0 ? I - 1 : -1));
+    Doubled.push_back(MOp::alu(2 * I, I > 0 ? 2 * (I - 1) : -1));
+    Doubled.push_back(MOp::alu(2 * I + 1, I > 0 ? 2 * (I - 1) + 1 : -1));
+  }
+  uint64_t S = blockCycles(Single, Config);
+  uint64_t D = blockCycles(Doubled, Config);
+  EXPECT_LE(D, 2 * S);
+  EXPECT_GE(D, S);
+  if (GetParam() >= 2) {
+    // Two independent chains fit side by side: duplication is free.
+    EXPECT_EQ(D, S);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthProperty,
+                         ::testing::Values(1u, 2u, 4u, 6u, 8u));
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/program_loader_test.cpp - Layout & initial-state edge cases --===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "sim/Machine.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+Expected<Program> load(TypeContext &TC, const char *Src,
+                       DiagnosticEngine &Diags) {
+  return parseAndLayoutTalProgram(TC, Src, Diags);
+}
+
+TEST(InitialStateTest, RegistersComeFromEntryPrecondition) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall m: mem;
+        r1: (G, int, 42); r2: (B, int, 42);
+        r3: (G, int, 5 + 2);
+        queue []; mem m }
+  add r4, r1, G 0
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->Regs.get(Reg::general(1)), Value::green(42));
+  EXPECT_EQ(S->Regs.get(Reg::general(2)), Value::blue(42));
+  // Closed compound expressions evaluate.
+  EXPECT_EQ(S->Regs.get(Reg::general(3)), Value::green(7));
+  // d starts at G 0 and the pcs at the entry address.
+  EXPECT_EQ(S->Regs.get(Reg::dest()), Value::green(0));
+  EXPECT_EQ(S->pcG().N, P->entryAddress());
+}
+
+TEST(InitialStateTest, OpenEntryExpressionRejected) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall x: int, m: mem; r1: (G, int, x); queue []; mem m }
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("open expression"), std::string::npos);
+}
+
+TEST(InitialStateTest, ConditionalEntryTypeRejected) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall m: mem;
+        r1: 1 = 0 => (G, int, 3);
+        queue []; mem m }
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("conditional"), std::string::npos);
+}
+
+TEST(InitialStateTest, NonEmptyEntryQueueRejected) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall m: mem; queue [(256, 5)]; mem m }
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_FALSE(S);
+  EXPECT_NE(S.message().find("queue"), std::string::npos);
+}
+
+TEST(InitialStateTest, DataCellsPopulateMemory) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+data {
+  100: int = -7
+  104: code(@main) = @main
+}
+block main {
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->Mem.get(100), -7);
+  EXPECT_EQ(S->Mem.get(104), P->addressOf("main"));
+  EXPECT_TRUE(S->Queue.empty());
+}
+
+TEST(LayoutTest, HeapTypingShape) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+data { 100: int = 1 }
+block main {
+  mov r10, G @main
+  mov r11, B @main
+  jmpG r10
+  jmpB r11
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  const HeapTyping &Psi = P->heapTyping();
+  // The block entry address carries the code type of the block...
+  const BasicType *Entry = Psi.lookup(P->addressOf("main"));
+  ASSERT_NE(Entry, nullptr);
+  EXPECT_TRUE(Entry->isCode());
+  // ...a data address carries `contents-type ref`...
+  const BasicType *Cell = Psi.lookup(100);
+  ASSERT_NE(Cell, nullptr);
+  ASSERT_TRUE(Cell->isRef());
+  EXPECT_TRUE(Cell->refPointee()->isInt());
+  // ...and interior instruction addresses are not in Ψ.
+  EXPECT_EQ(Psi.lookup(P->addressOf("main") + 1), nullptr);
+}
+
+TEST(SemanticsEdge, WrappingArithmeticInPrograms) {
+  // Machine arithmetic wraps; the checker's singleton expressions agree
+  // (the prover uses the same wrapping semantics).
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+exit done
+data { 256: int = 0 }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 9223372036854775807
+  add r1, r1, G 1
+  mov r2, G 256
+  stG r2, r1
+  mov r3, B 9223372036854775807
+  add r3, r3, B 1
+  mov r4, B 256
+  stB r4, r3
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  Expected<Program> P = load(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  DiagnosticEngine DC;
+  EXPECT_TRUE(checkProgram(TC, *P, DC)) << DC.str();
+  Expected<MachineState> S = P->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, P->exitAddress(), 1000);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 1u);
+  EXPECT_EQ(R.Trace[0].Val, INT64_MIN);
+}
+
+} // namespace

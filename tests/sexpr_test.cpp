@@ -1,0 +1,170 @@
+//===- tests/sexpr_test.cpp - Static expression unit tests ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sexpr/ExprOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+TEST(ExprContextTest, ConstantsAreUniqued) {
+  ExprContext Es;
+  EXPECT_EQ(Es.intConst(5), Es.intConst(5));
+  EXPECT_NE(Es.intConst(5), Es.intConst(6));
+}
+
+TEST(ExprContextTest, VariablesAreUniquedByName) {
+  ExprContext Es;
+  const Expr *X1 = Es.var("x", ExprKind::Int);
+  const Expr *X2 = Es.var("x", ExprKind::Int);
+  EXPECT_EQ(X1, X2);
+  EXPECT_NE(X1, Es.var("y", ExprKind::Int));
+}
+
+TEST(ExprContextTest, CompoundNodesAreUniqued) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *A = Es.binop(Opcode::Add, X, Es.intConst(1));
+  const Expr *B = Es.binop(Opcode::Add, X, Es.intConst(1));
+  EXPECT_EQ(A, B);
+  const Expr *M = Es.var("m", ExprKind::Mem);
+  EXPECT_EQ(Es.sel(M, X), Es.sel(M, X));
+  EXPECT_EQ(Es.upd(M, X, A), Es.upd(M, X, A));
+  EXPECT_EQ(Es.emp(), Es.emp());
+}
+
+TEST(ExprTest, ClosednessTracking) {
+  ExprContext Es;
+  EXPECT_TRUE(Es.intConst(3)->isClosed());
+  EXPECT_TRUE(Es.emp()->isClosed());
+  const Expr *X = Es.var("x", ExprKind::Int);
+  EXPECT_FALSE(X->isClosed());
+  EXPECT_FALSE(Es.binop(Opcode::Add, X, Es.intConst(1))->isClosed());
+  EXPECT_TRUE(
+      Es.binop(Opcode::Add, Es.intConst(1), Es.intConst(2))->isClosed());
+}
+
+TEST(ExprTest, Rendering) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *M = Es.var("m", ExprKind::Mem);
+  EXPECT_EQ(Es.intConst(-4)->str(), "-4");
+  EXPECT_EQ(Es.binop(Opcode::Add, X, Es.intConst(1))->str(), "x + 1");
+  EXPECT_EQ(Es.sel(M, X)->str(), "sel m x");
+  EXPECT_EQ(Es.upd(M, Es.intConst(4), X)->str(), "upd m 4 x");
+  EXPECT_EQ(Es.sel(Es.upd(M, Es.intConst(4), X), Es.intConst(4))->str(),
+            "sel (upd m 4 x) 4");
+}
+
+TEST(ExprTest, StructuralOrderIsTotal) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  EXPECT_EQ(compareExprs(X, X), 0);
+  EXPECT_LT(compareExprs(X, Y), 0);
+  EXPECT_GT(compareExprs(Y, X), 0);
+  EXPECT_NE(compareExprs(Es.intConst(1), X), 0);
+}
+
+TEST(FreeVarsTest, CollectsDistinctInOrder) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  const Expr *E = Es.binop(Opcode::Add, Es.binop(Opcode::Mul, X, Y), X);
+  std::vector<const Expr *> FV = freeVars(E);
+  ASSERT_EQ(FV.size(), 2u);
+  EXPECT_EQ(FV[0], X);
+  EXPECT_EQ(FV[1], Y);
+  EXPECT_TRUE(freeVars(Es.intConst(3)).empty());
+}
+
+TEST(VarScopeTest, DeclareAndLookup) {
+  VarScope D;
+  EXPECT_TRUE(D.declare("x", ExprKind::Int));
+  EXPECT_FALSE(D.declare("x", ExprKind::Mem)); // duplicate name
+  EXPECT_TRUE(D.declare("m", ExprKind::Mem));
+  EXPECT_EQ(D.lookup("x"), ExprKind::Int);
+  EXPECT_EQ(D.lookup("m"), ExprKind::Mem);
+  EXPECT_FALSE(D.lookup("z"));
+  EXPECT_EQ(D.str(), "m:mem, x:int");
+}
+
+TEST(WellFormedTest, RespectsScopeAndKind) {
+  ExprContext Es;
+  VarScope D;
+  D.declare("x", ExprKind::Int);
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  EXPECT_TRUE(wellFormedIn(X, D));
+  EXPECT_FALSE(wellFormedIn(Y, D));
+  EXPECT_TRUE(wellFormedIn(Es.intConst(1), D));
+}
+
+TEST(SubstTest, ApplyReplacesVariables) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *E = Es.binop(Opcode::Add, X, Es.intConst(1));
+  Subst S;
+  S.bind(X, Es.intConst(41));
+  const Expr *R = S.apply(Es, E);
+  EXPECT_EQ(R, Es.binop(Opcode::Add, Es.intConst(41), Es.intConst(1)));
+}
+
+TEST(SubstTest, ApplyLeavesUnboundVariables) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  Subst S;
+  S.bind(X, Es.intConst(1));
+  const Expr *E = Es.binop(Opcode::Add, X, Y);
+  const Expr *R = S.apply(Es, E);
+  EXPECT_EQ(R, Es.binop(Opcode::Add, Es.intConst(1), Y));
+}
+
+TEST(SubstTest, ComposeAppliesOuterToBindings) {
+  ExprContext Es;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  const Expr *Y = Es.var("y", ExprKind::Int);
+  Subst Inner;
+  Inner.bind(X, Es.binop(Opcode::Add, Y, Es.intConst(1)));
+  Subst Outer;
+  Outer.bind(Y, Es.intConst(10));
+  Subst C = Inner.composeWith(Es, Outer);
+  EXPECT_EQ(C.lookup(X),
+            Es.binop(Opcode::Add, Es.intConst(10), Es.intConst(1)));
+}
+
+TEST(EvalTest, IntegerDenotations) {
+  ExprContext Es;
+  EXPECT_EQ(evalInt(Es.intConst(7)), 7);
+  const Expr *E = Es.binop(
+      Opcode::Mul, Es.binop(Opcode::Add, Es.intConst(2), Es.intConst(3)),
+      Es.intConst(4));
+  EXPECT_EQ(evalInt(E), 20);
+}
+
+TEST(EvalTest, MemoryDenotations) {
+  ExprContext Es;
+  const Expr *M = Es.upd(Es.upd(Es.emp(), Es.intConst(4), Es.intConst(10)),
+                         Es.intConst(8), Es.intConst(20));
+  std::optional<MemDenotation> D = evalMem(M);
+  ASSERT_TRUE(D);
+  EXPECT_EQ(D->at(4), 10);
+  EXPECT_EQ(D->at(8), 20);
+  EXPECT_EQ(evalInt(Es.sel(M, Es.intConst(4))), 10);
+  // Outer updates win.
+  const Expr *M2 = Es.upd(M, Es.intConst(4), Es.intConst(99));
+  EXPECT_EQ(evalInt(Es.sel(M2, Es.intConst(4))), 99);
+}
+
+TEST(EvalTest, UndefinedSelections) {
+  ExprContext Es;
+  EXPECT_FALSE(evalInt(Es.sel(Es.emp(), Es.intConst(4))));
+}
+
+} // namespace

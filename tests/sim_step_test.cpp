@@ -1,0 +1,354 @@
+//===- tests/sim_step_test.cpp - Operational semantics rule tests ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// One test per operational rule of Figures 2-4 and Appendix A.1, driving
+// hand-built machine states through single steps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Step.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+Reg R(unsigned I) { return Reg::general(I); }
+
+/// Fixture with a small code memory and a state positioned at address 1.
+class StepTest : public ::testing::Test {
+protected:
+  CodeMemory Code;
+  MachineState S;
+
+  /// Installs a single instruction at address 1 and loads it into IR.
+  void setInst(Inst I) {
+    Code.set(1, I);
+    S = MachineState(Code, 1);
+    S.IR = I;
+  }
+
+  StepResult exec(Inst I) {
+    setInst(I);
+    return step(S);
+  }
+};
+
+TEST_F(StepTest, FetchLoadsInstruction) {
+  Inst I = Inst::mov(R(1), Value::green(5));
+  Code.set(1, I);
+  S = MachineState(Code, 1);
+  StepResult SR = step(S);
+  EXPECT_EQ(SR.Status, StepStatus::Ok);
+  EXPECT_STREQ(SR.Rule, "fetch");
+  ASSERT_TRUE(S.IR);
+  EXPECT_EQ(*S.IR, I);
+  // Fetch does not advance the program counters.
+  EXPECT_EQ(S.pcG().N, 1);
+}
+
+TEST_F(StepTest, FetchFailOnDisagreeingPCs) {
+  Code.set(1, Inst::mov(R(1), Value::green(5)));
+  S = MachineState(Code, 1);
+  S.Regs.set(Reg::pcG(), Value::green(2));
+  StepResult SR = step(S);
+  EXPECT_EQ(SR.Status, StepStatus::Fault);
+  EXPECT_STREQ(SR.Rule, "fetch-fail");
+  EXPECT_TRUE(S.isFault());
+}
+
+TEST_F(StepTest, FetchFromUndefinedAddressIsStuck) {
+  Code.set(1, Inst::mov(R(1), Value::green(5)));
+  S = MachineState(Code, 99);
+  EXPECT_EQ(step(S).Status, StepStatus::Stuck);
+}
+
+TEST_F(StepTest, Op2rTakesSecondOperandColor) {
+  Code.set(1, Inst::alu(Opcode::Add, R(3), R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(2));
+  S.Regs.set(R(2), Value::blue(3));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "op2r");
+  // Rule op2r: result color is Rcol(rt).
+  EXPECT_EQ(S.Regs.get(R(3)), Value::blue(5));
+  EXPECT_EQ(S.pcG().N, 2);
+  EXPECT_EQ(S.pcB().N, 2);
+  EXPECT_FALSE(S.IR);
+}
+
+TEST_F(StepTest, Op1rTakesImmediateColor) {
+  Code.set(1, Inst::aluImm(Opcode::Mul, R(3), R(1), Value::blue(4)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(5));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "op1r");
+  EXPECT_EQ(S.Regs.get(R(3)), Value::blue(20));
+}
+
+TEST_F(StepTest, MovLoadsImmediate) {
+  StepResult SR = exec(Inst::mov(R(7), Value::blue(-9)));
+  EXPECT_STREQ(SR.Rule, "mov");
+  EXPECT_EQ(S.Regs.get(R(7)), Value::blue(-9));
+  EXPECT_EQ(S.pcG().N, 2);
+}
+
+TEST_F(StepTest, StGPushesOntoQueueFront) {
+  Code.set(1, Inst::st(Color::Green, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(100));
+  S.Regs.set(R(2), Value::green(42));
+  S.Queue.pushFront({200, 7}); // pre-existing entry
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "stG-queue");
+  ASSERT_EQ(S.Queue.size(), 2u);
+  EXPECT_EQ(S.Queue.entry(0), (QueueEntry{100, 42}));
+  EXPECT_FALSE(SR.Output); // stG is not observable
+}
+
+TEST_F(StepTest, StBCommitsMatchingPair) {
+  Code.set(1, Inst::st(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(100));
+  S.Regs.set(R(2), Value::blue(42));
+  S.Queue.pushFront({100, 42});
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "stB-mem");
+  EXPECT_TRUE(S.Queue.empty());
+  EXPECT_EQ(S.Mem.get(100), 42);
+  ASSERT_TRUE(SR.Output);
+  EXPECT_EQ(*SR.Output, (QueueEntry{100, 42}));
+}
+
+TEST_F(StepTest, StBConsumesBackNotFront) {
+  Code.set(1, Inst::st(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(100));
+  S.Regs.set(R(2), Value::blue(1));
+  S.Queue.pushFront({100, 1}); // older (back)
+  S.Queue.pushFront({200, 2}); // newer (front)
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "stB-mem");
+  ASSERT_EQ(S.Queue.size(), 1u);
+  EXPECT_EQ(S.Queue.entry(0), (QueueEntry{200, 2}));
+}
+
+TEST_F(StepTest, StBEmptyQueueFaults) {
+  StepResult SR = exec(Inst::st(Color::Blue, R(1), R(2)));
+  EXPECT_EQ(SR.Status, StepStatus::Fault);
+  EXPECT_STREQ(SR.Rule, "stB-queue-fail");
+}
+
+TEST_F(StepTest, StBMismatchedValueFaults) {
+  Code.set(1, Inst::st(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(100));
+  S.Regs.set(R(2), Value::blue(42));
+  S.Queue.pushFront({100, 43});
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_EQ(SR.Status, StepStatus::Fault);
+  EXPECT_STREQ(SR.Rule, "stB-mem-fail");
+}
+
+TEST_F(StepTest, StBMismatchedAddressFaults) {
+  Code.set(1, Inst::st(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(104));
+  S.Regs.set(R(2), Value::blue(42));
+  S.Queue.pushFront({100, 42});
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "stB-mem-fail");
+}
+
+TEST_F(StepTest, LdGPrefersQueue) {
+  Code.set(1, Inst::ld(Color::Green, R(2), R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(100));
+  S.Mem.set(100, 5);
+  S.Queue.pushFront({100, 9});
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "ldG-queue");
+  EXPECT_EQ(S.Regs.get(R(2)), Value::green(9));
+}
+
+TEST_F(StepTest, LdGFallsBackToMemory) {
+  Code.set(1, Inst::ld(Color::Green, R(2), R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(100));
+  S.Mem.set(100, 5);
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "ldG-mem");
+  EXPECT_EQ(S.Regs.get(R(2)), Value::green(5));
+}
+
+TEST_F(StepTest, LdBIgnoresQueue) {
+  Code.set(1, Inst::ld(Color::Blue, R(2), R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(100));
+  S.Mem.set(100, 5);
+  S.Queue.pushFront({100, 9});
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "ldB-mem");
+  EXPECT_EQ(S.Regs.get(R(2)), Value::blue(5));
+}
+
+TEST_F(StepTest, WildLoadTrapPolicy) {
+  Code.set(1, Inst::ld(Color::Green, R(2), R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(999));
+  S.IR = Code.get(1);
+  StepResult SR = step(S); // default policy traps
+  EXPECT_EQ(SR.Status, StepStatus::Fault);
+  EXPECT_STREQ(SR.Rule, "ldG-fail");
+}
+
+TEST_F(StepTest, WildLoadGarbagePolicy) {
+  Code.set(1, Inst::ld(Color::Blue, R(2), R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(999));
+  S.IR = Code.get(1);
+  StepPolicy P;
+  P.WildLoad = WildLoadPolicy::Garbage;
+  P.GarbageValue = 1234;
+  StepResult SR = step(S, P);
+  EXPECT_STREQ(SR.Rule, "ldB-rand");
+  EXPECT_EQ(S.Regs.get(R(2)), Value::blue(1234));
+}
+
+TEST_F(StepTest, JmpGRecordsIntention) {
+  Code.set(1, Inst::jmp(Color::Green, R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(10));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "jmpG");
+  EXPECT_EQ(S.Regs.get(Reg::dest()), Value::green(10));
+  EXPECT_EQ(S.pcG().N, 2); // jmpG itself falls through
+}
+
+TEST_F(StepTest, JmpGWithPendingTransferFaults) {
+  Code.set(1, Inst::jmp(Color::Green, R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(Reg::dest(), Value::green(10));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "jmpG-fail");
+}
+
+TEST_F(StepTest, JmpBCommitsAgreedTransfer) {
+  Code.set(1, Inst::jmp(Color::Blue, R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(10));
+  S.Regs.set(Reg::dest(), Value::green(10));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "jmpB");
+  EXPECT_EQ(S.pcG(), Value::green(10));
+  EXPECT_EQ(S.pcB(), Value::blue(10));
+  EXPECT_EQ(S.Regs.get(Reg::dest()), Value::green(0));
+}
+
+TEST_F(StepTest, JmpBDisagreementFaults) {
+  Code.set(1, Inst::jmp(Color::Blue, R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(11));
+  S.Regs.set(Reg::dest(), Value::green(10));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "jmpB-fail");
+}
+
+TEST_F(StepTest, JmpBWithNoIntentionFaults) {
+  Code.set(1, Inst::jmp(Color::Blue, R(1)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(0));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "jmpB-fail");
+}
+
+TEST_F(StepTest, BzUntakenFallsThrough) {
+  Code.set(1, Inst::bz(Color::Green, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(5)); // nonzero: not taken
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "bz-untaken");
+  EXPECT_EQ(S.pcG().N, 2);
+  EXPECT_EQ(S.Regs.get(Reg::dest()), Value::green(0));
+}
+
+TEST_F(StepTest, BzUntakenWithPendingTransferFaults) {
+  Code.set(1, Inst::bz(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(5));
+  S.Regs.set(Reg::dest(), Value::green(10)); // green decided to take it
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "bz-untaken-fail");
+}
+
+TEST_F(StepTest, BzGTakenRecordsIntention) {
+  Code.set(1, Inst::bz(Color::Green, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(0));
+  S.Regs.set(R(2), Value::green(10));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "bzG-taken");
+  EXPECT_EQ(S.Regs.get(Reg::dest()), Value::green(10));
+  EXPECT_EQ(S.pcG().N, 2); // bzG always falls through
+}
+
+TEST_F(StepTest, BzGTakenWithPendingTransferFaults) {
+  Code.set(1, Inst::bz(Color::Green, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::green(0));
+  S.Regs.set(Reg::dest(), Value::green(7));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "bzG-taken-fail");
+}
+
+TEST_F(StepTest, BzBTakenCommits) {
+  Code.set(1, Inst::bz(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(0));
+  S.Regs.set(R(2), Value::blue(10));
+  S.Regs.set(Reg::dest(), Value::green(10));
+  S.IR = Code.get(1);
+  StepResult SR = step(S);
+  EXPECT_STREQ(SR.Rule, "bzB-taken");
+  EXPECT_EQ(S.pcG(), Value::green(10));
+  EXPECT_EQ(S.pcB(), Value::blue(10));
+  EXPECT_EQ(S.Regs.get(Reg::dest()), Value::green(0));
+}
+
+TEST_F(StepTest, BzBTakenDisagreementFaults) {
+  Code.set(1, Inst::bz(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(0));
+  S.Regs.set(R(2), Value::blue(11));
+  S.Regs.set(Reg::dest(), Value::green(10));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "bzB-taken-fail");
+}
+
+TEST_F(StepTest, BzBTakenWithNoIntentionFaults) {
+  Code.set(1, Inst::bz(Color::Blue, R(1), R(2)));
+  S = MachineState(Code, 1);
+  S.Regs.set(R(1), Value::blue(0));
+  S.Regs.set(R(2), Value::blue(10));
+  S.IR = Code.get(1);
+  EXPECT_STREQ(step(S).Rule, "bzB-taken-fail");
+}
+
+} // namespace

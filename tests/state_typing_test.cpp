@@ -1,0 +1,215 @@
+//===- tests/state_typing_test.cpp - Machine-state typing (Figure 8) ------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "check/StateTyping.h"
+#include "fault/TrackedRun.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+struct Loaded {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+  std::optional<CheckedProgram> CP;
+
+  void load(const char *Source) {
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
+    ASSERT_TRUE(P) << P.message();
+    Prog.emplace(std::move(*P));
+    Expected<CheckedProgram> C = checkProgram(TC, *Prog, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    CP.emplace(std::move(*C));
+  }
+};
+
+TEST(ValueTypingTest, PlainSingletons) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  HeapTyping Psi;
+  Subst Empty;
+  RegType T(Color::Green, TC.intType(), Es.intConst(5));
+  EXPECT_FALSE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(5),
+                                 T, Empty));
+  // Wrong payload.
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(6), T,
+                                Empty));
+  // Wrong color.
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::none(), Value::blue(5), T,
+                                Empty));
+}
+
+TEST(ValueTypingTest, ZapTagExemptsMatchingColor) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  HeapTyping Psi;
+  Subst Empty;
+  RegType T(Color::Green, TC.intType(), Es.intConst(5));
+  // Rule val-zap-t: any green value is fine under a green zap.
+  EXPECT_FALSE(checkValueHasType(TC, Psi, ZapTag::color(Color::Green),
+                                 Value::green(999), T, Empty));
+  // A blue zap does not excuse a green mismatch.
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::color(Color::Blue),
+                                Value::green(999), T, Empty));
+}
+
+TEST(ValueTypingTest, ClosingSubstitutionApplies) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  HeapTyping Psi;
+  const Expr *X = Es.var("x", ExprKind::Int);
+  RegType T(Color::Blue, TC.intType(),
+            Es.binop(Opcode::Add, X, Es.intConst(1)));
+  Subst S;
+  S.bind(X, Es.intConst(9));
+  EXPECT_FALSE(
+      checkValueHasType(TC, Psi, ZapTag::none(), Value::blue(10), T, S));
+  EXPECT_TRUE(
+      checkValueHasType(TC, Psi, ZapTag::none(), Value::blue(9), T, S));
+}
+
+TEST(ValueTypingTest, ConditionalTypes) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  HeapTyping Psi;
+  Subst Empty;
+  // Guard 0: the underlying triple must hold (rule cond-t).
+  RegType Taken = RegType::conditional(Es.intConst(0), Color::Green,
+                                       TC.intType(), Es.intConst(7));
+  EXPECT_FALSE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(7),
+                                 Taken, Empty));
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(8),
+                                Taken, Empty));
+  // Guard nonzero: the value must be 0 (rule cond-t-n0).
+  RegType Untaken = RegType::conditional(Es.intConst(3), Color::Green,
+                                         TC.intType(), Es.intConst(7));
+  EXPECT_FALSE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(0),
+                                 Untaken, Empty));
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(7),
+                                Untaken, Empty));
+}
+
+TEST(ValueTypingTest, ShapesCheckAgainstPsi) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  HeapTyping Psi;
+  const BasicType *IntRef = TC.refType(TC.intType());
+  Psi.declare(256, IntRef);
+  Subst Empty;
+  RegType T(Color::Green, IntRef, Es.intConst(256));
+  EXPECT_FALSE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(256),
+                                 T, Empty));
+  // 257 is not a declared cell, so it cannot have a ref shape.
+  RegType T2(Color::Green, IntRef, Es.intConst(257));
+  EXPECT_TRUE(checkValueHasType(TC, Psi, ZapTag::none(), Value::green(257),
+                                T2, Empty));
+}
+
+TEST(StateTypingTest, InitialStateIsWellTyped) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  Expected<MachineState> S = L.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  Expected<Subst> Closing = initialClosing(L.TC, *L.CP, *S);
+  ASSERT_TRUE(Closing) << Closing.message();
+  EXPECT_FALSE(checkStateTyped(L.TC, *L.CP, *S, ZapTag::none(), *Closing));
+}
+
+TEST(StateTypingTest, CorruptedRegisterBreaksEmptyZapTyping) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  for (int I = 0; I != 4; ++I)
+    Run.stepOnce(); // r1 and r2 now hold green 5 and 256
+  ASSERT_FALSE(Run.checkTyped());
+
+  MachineState Corrupt = Run.state();
+  Corrupt.Regs.set(Reg::general(1), Value::green(99));
+  // Under the empty zap tag the corrupted state is NOT well-typed...
+  Error E = checkStateTyped(L.TC, *L.CP, Corrupt, ZapTag::none(),
+                            Run.closing());
+  EXPECT_TRUE(E);
+  EXPECT_NE(E.message().find("r1"), std::string::npos);
+  // ...but it is under the green zap tag (Preservation part 2).
+  EXPECT_FALSE(checkStateTyped(L.TC, *L.CP, Corrupt,
+                               ZapTag::color(Color::Green), Run.closing()));
+  // A blue zap tag does not cover a green corruption.
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, Corrupt,
+                              ZapTag::color(Color::Blue), Run.closing()));
+}
+
+TEST(StateTypingTest, DisagreeingPCsNeedAZapTag) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  MachineState S = Run.state();
+  S.Regs.set(Reg::pcG(), Value::green(3));
+  Error E = checkStateTyped(L.TC, *L.CP, S, ZapTag::none(), Run.closing());
+  EXPECT_TRUE(E);
+  EXPECT_NE(E.message().find("program counters"), std::string::npos);
+  // Anchored at pcB, the green zap tag accepts the state.
+  EXPECT_FALSE(checkStateTyped(L.TC, *L.CP, S, ZapTag::color(Color::Green),
+                               Run.closing()));
+}
+
+TEST(StateTypingTest, CorruptedQueueNeedsGreenZap) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  // Execute through the stG (3 instructions = 6 steps) so the queue holds
+  // the pending (256, 5).
+  for (int I = 0; I != 6; ++I)
+    Run.stepOnce();
+  ASSERT_EQ(Run.state().Queue.size(), 1u);
+  ASSERT_FALSE(Run.checkTyped());
+
+  MachineState Corrupt = Run.state();
+  Corrupt.Queue.entry(0).Val = 99;
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, Corrupt, ZapTag::none(),
+                              Run.closing()));
+  EXPECT_FALSE(checkStateTyped(L.TC, *L.CP, Corrupt,
+                               ZapTag::color(Color::Green), Run.closing()));
+  // The queue is green: a blue zap cannot excuse it.
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, Corrupt,
+                              ZapTag::color(Color::Blue), Run.closing()));
+}
+
+TEST(StateTypingTest, FaultStateIsNeverWellTyped) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  MachineState F = MachineState::faultState();
+  Subst Empty;
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, F, ZapTag::none(), Empty));
+  EXPECT_TRUE(
+      checkStateTyped(L.TC, *L.CP, F, ZapTag::color(Color::Green), Empty));
+}
+
+TEST(StateTypingTest, MemoryMutationBreaksTyping) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(progs::PairedStore));
+  TrackedRun Run(L.TC, *L.CP);
+  ASSERT_FALSE(Run.start());
+  MachineState S = Run.state();
+  // Memory is inside the protected sphere: no zap tag excuses a mismatch
+  // between M and the denotation of its description.
+  S.Mem.set(256, 77);
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, S, ZapTag::none(),
+                              Run.closing()));
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, S, ZapTag::color(Color::Green),
+                              Run.closing()));
+  EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, S, ZapTag::color(Color::Blue),
+                              Run.closing()));
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(E);
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = makeError("bad things");
+  EXPECT_TRUE(E);
+  EXPECT_EQ(E.message(), "bad things");
+}
+
+TEST(ExpectedTest, SuccessHoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(E);
+  EXPECT_EQ(*E, 42);
+  EXPECT_FALSE(E.takeError());
+}
+
+TEST(ExpectedTest, FailureHoldsError) {
+  Expected<int> E(makeError("nope"));
+  ASSERT_FALSE(E);
+  EXPECT_EQ(E.message(), "nope");
+}
+
+TEST(ExpectedTest, MoveIntoTransfersOnSuccess) {
+  Expected<std::string> E(std::string("hello"));
+  std::string Out;
+  EXPECT_FALSE(E.moveInto(Out));
+  EXPECT_EQ(Out, "hello");
+}
+
+TEST(ExpectedTest, MoveIntoReturnsErrorOnFailure) {
+  Expected<std::string> E(makeError("no"));
+  std::string Out = "unchanged";
+  Error Err = E.moveInto(Out);
+  EXPECT_TRUE(Err);
+  EXPECT_EQ(Out, "unchanged");
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc(1, 2), "w");
+  D.note(SourceLoc(), "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 4), "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, Rendering) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(3, 7), "bad register");
+  EXPECT_EQ(D.diagnostics()[0].str(), "error: 3:7: bad register");
+  D.clear();
+  D.error("global problem");
+  EXPECT_EQ(D.diagnostics()[0].str(), "error: global problem");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilsTest, ParseInt64) {
+  EXPECT_EQ(parseInt64("0"), 0);
+  EXPECT_EQ(parseInt64("12345"), 12345);
+  EXPECT_EQ(parseInt64("-7"), -7);
+  EXPECT_EQ(parseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parseInt64("-9223372036854775808"), INT64_MIN);
+  EXPECT_FALSE(parseInt64(""));
+  EXPECT_FALSE(parseInt64("-"));
+  EXPECT_FALSE(parseInt64("12x"));
+  EXPECT_FALSE(parseInt64("9223372036854775808"));  // overflow
+  EXPECT_FALSE(parseInt64("-9223372036854775809")); // underflow
+}
+
+TEST(StringUtilsTest, Formatv) {
+  EXPECT_EQ(formatv("x=%d y=%s", 5, "hi"), "x=5 y=hi");
+  EXPECT_EQ(formatv("no args"), "no args");
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+//===- tests/tal_features_test.cpp - Deeper TALFT feature coverage --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Programs exercising the less-traveled corners of the type system:
+// conditional destination-register types flowing across block boundaries
+// (a bzG in one block, the matching bzB in the next), literal pc
+// preconditions, and a split store whose green half and blue half live in
+// different blocks on *both* sides of a conditional.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "sim/Machine.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+/// bzG and bzB separated by a block boundary: the intermediate block's
+/// precondition carries the conditional type on d. The branch test value
+/// is a parameter so both the taken and untaken paths get a program.
+std::string conditionalAcrossBlocks(int64_t TestValue) {
+  std::string V = std::to_string(TestValue);
+  return R"(
+entry main
+exit done
+data { 600: int = 0 }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G )" + V + R"(
+  mov r2, B )" + V + R"(
+  mov r3, G @target
+  mov r4, B @target
+  bzG r1, r3
+}
+block mid {
+  pre { forall z: int, t: int, m: mem;
+        r2: (B, int, z);
+        r4: (B, code(@target), t);
+        d: z = 0 => (G, code(@target), t);
+        queue []; mem m }
+  bzB r2, r4
+  mov r5, G 600
+  mov r6, G 1
+  stG r5, r6
+  mov r7, B 600
+  mov r8, B 1
+  stB r7, r8
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block target {
+  pre { forall m: mem; queue []; mem m }
+  mov r5, G 600
+  mov r6, G 2
+  stG r5, r6
+  mov r7, B 600
+  mov r8, B 2
+  stB r7, r8
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+}
+
+struct Loaded {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<Program> Prog;
+  std::optional<CheckedProgram> CP;
+
+  void load(const std::string &Source) {
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
+    ASSERT_TRUE(P) << P.message();
+    Prog.emplace(std::move(*P));
+    Expected<CheckedProgram> C = checkProgram(TC, *Prog, Diags);
+    ASSERT_TRUE(C) << Diags.str();
+    CP.emplace(std::move(*C));
+  }
+};
+
+class ConditionalAcrossBlocks : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ConditionalAcrossBlocks, TypeChecksRunsAndTolerates) {
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(conditionalAcrossBlocks(GetParam())));
+  Expected<MachineState> S = L.Prog->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, L.Prog->exitAddress(), 1000);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Trace.size(), 1u);
+  // Taken (test value 0) stores 2; untaken stores 1.
+  EXPECT_EQ(R.Trace[0].Val, GetParam() == 0 ? 2 : 1);
+
+  TheoremReport FaultFree =
+      checkFaultFreeExecution(L.TC, *L.CP, TheoremConfig());
+  EXPECT_TRUE(FaultFree.Ok)
+      << (FaultFree.Violations.empty() ? "?" : FaultFree.Violations.front());
+  TheoremReport FT = checkFaultTolerance(L.TC, *L.CP, TheoremConfig());
+  EXPECT_TRUE(FT.Ok) << (FT.Violations.empty() ? "?"
+                                               : FT.Violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(TakenAndUntaken, ConditionalAcrossBlocks,
+                         ::testing::Values(0, 1, 7));
+
+TEST(TalFeatures, ConditionalDMismatchedGuardRejected) {
+  // The mid block claims the branch test was a *different* expression
+  // than the actual bzG test value: the fall-through must fail.
+  const char *Src = R"(
+entry main
+exit done
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 1
+  mov r2, B 2
+  mov r3, G @target
+  mov r4, B @target
+  bzG r1, r3
+}
+block mid {
+  pre { forall z: int, t: int, m: mem;
+        r2: (B, int, z);
+        r4: (B, code(@target), t);
+        d: z = 0 => (G, code(@target), t);
+        queue []; mem m }
+  bzB r2, r4
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block target {
+  pre { forall m: mem; queue []; mem m }
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  // z binds to r2's singleton (2) but the pending guard is r1's (1).
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(checkProgram(TC, *P, Diags));
+}
+
+TEST(TalFeatures, LiteralPcPreconditionMatchesItsAddress) {
+  // A block may pin its pc to the literal address it is laid out at
+  // (main = address 1, so next = 1 + 4 = 5).
+  const char *Src = R"(
+entry main
+exit done
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r10, G @next
+  mov r11, B @next
+  jmpG r10
+  jmpB r11
+}
+block next {
+  pre { forall m: mem; pc 5; queue []; mem m }
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  Loaded L;
+  ASSERT_NO_FATAL_FAILURE(L.load(Src));
+  EXPECT_EQ(L.Prog->addressOf("next"), 5);
+}
+
+TEST(TalFeatures, LiteralPcPreconditionAtWrongAddressRejected) {
+  const char *Src = R"(
+entry main
+exit done
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r10, G @next
+  mov r11, B @next
+  jmpG r10
+  jmpB r11
+}
+block next {
+  pre { forall m: mem; pc 99; queue []; mem m }
+  mov r10, G @done
+  mov r11, B @done
+  jmpG r10
+  jmpB r11
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(checkProgram(TC, *P, Diags));
+  EXPECT_NE(Diags.str().find("program-counter"), std::string::npos)
+      << Diags.str();
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+//===- tests/tal_lexer_test.cpp - Assembly tokenizer tests ----------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tal/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+std::vector<Token> lexOk(std::string_view Input) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  SourceLoc Loc;
+  EXPECT_TRUE(lexTal(Input, Tokens, Err, Loc)) << Err;
+  return Tokens;
+}
+
+TEST(LexerTest, EmptyInput) {
+  std::vector<Token> T = lexOk("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokKind::Eof));
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  std::vector<Token> T = lexOk("// a comment\nfoo // trailing\n");
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_TRUE(T[0].isIdent("foo"));
+}
+
+TEST(LexerTest, RegistersLexSpecially) {
+  std::vector<Token> T = lexOk("r0 r63 d r64 rx");
+  EXPECT_TRUE(T[0].is(TokKind::Reg));
+  EXPECT_EQ(T[0].Num, 0);
+  EXPECT_TRUE(T[1].is(TokKind::Reg));
+  EXPECT_EQ(T[1].Num, 63);
+  EXPECT_TRUE(T[2].is(TokKind::Reg));
+  EXPECT_EQ(T[2].Text, "d");
+  // Out-of-range registers and non-numeric suffixes are identifiers.
+  EXPECT_TRUE(T[3].is(TokKind::Ident));
+  EXPECT_TRUE(T[4].is(TokKind::Ident));
+}
+
+TEST(LexerTest, NumbersAndMinus) {
+  std::vector<Token> T = lexOk("42 -7");
+  EXPECT_TRUE(T[0].is(TokKind::Number));
+  EXPECT_EQ(T[0].Num, 42);
+  EXPECT_TRUE(T[1].is(TokKind::Minus));
+  EXPECT_TRUE(T[2].is(TokKind::Number));
+  EXPECT_EQ(T[2].Num, 7);
+}
+
+TEST(LexerTest, PunctuationAndArrow) {
+  std::vector<Token> T = lexOk("{ } ( ) [ ] : , ; = => @ + - *");
+  TokKind Expected[] = {TokKind::LBrace,   TokKind::RBrace, TokKind::LParen,
+                        TokKind::RParen,   TokKind::LBracket,
+                        TokKind::RBracket, TokKind::Colon,  TokKind::Comma,
+                        TokKind::Semi,     TokKind::Equal,  TokKind::Arrow,
+                        TokKind::At,       TokKind::Plus,   TokKind::Minus,
+                        TokKind::Star,     TokKind::Eof};
+  ASSERT_EQ(T.size(), std::size(Expected));
+  for (size_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(T[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  std::vector<Token> T = lexOk("a\n  b");
+  EXPECT_EQ(T[0].Loc, SourceLoc(1, 1));
+  EXPECT_EQ(T[1].Loc, SourceLoc(2, 3));
+}
+
+TEST(LexerTest, DollarAndDotsInIdentifiers) {
+  std::vector<Token> T = lexOk("pc$loop m$done a.b");
+  EXPECT_TRUE(T[0].isIdent("pc$loop"));
+  EXPECT_TRUE(T[1].isIdent("m$done"));
+  EXPECT_TRUE(T[2].isIdent("a.b"));
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  std::vector<Token> Tokens;
+  std::string Err;
+  SourceLoc Loc;
+  EXPECT_FALSE(lexTal("a ? b", Tokens, Err, Loc));
+  EXPECT_EQ(Loc, SourceLoc(1, 3));
+}
+
+} // namespace

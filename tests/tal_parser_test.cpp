@@ -1,0 +1,225 @@
+//===- tests/tal_parser_test.cpp - Assembly parser tests ------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "tal/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+TEST(ParserTest, ParsesThePairedStoreExample) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseTalProgram(TC, progs::PairedStore, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_EQ(P->EntryLabel, "main");
+  EXPECT_EQ(P->ExitLabel, "done");
+  ASSERT_EQ(P->blocks().size(), 2u);
+  EXPECT_EQ(P->blocks()[0].Label, "main");
+  EXPECT_EQ(P->blocks()[0].Insts.size(), 10u);
+  ASSERT_EQ(P->data().size(), 1u);
+  EXPECT_EQ(P->data()[0].Address, 256);
+  EXPECT_TRUE(P->data()[0].Type->isInt());
+}
+
+TEST(ParserTest, LayoutAssignsConsecutiveAddressesFromOne) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::PairedStore, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_EQ(P->addressOf("main"), 1);
+  EXPECT_EQ(P->addressOf("done"), 11);
+  EXPECT_EQ(P->entryAddress(), 1);
+  EXPECT_EQ(P->exitAddress(), 11);
+  EXPECT_EQ(P->code().size(), 14u);
+}
+
+TEST(ParserTest, LabelImmediatesResolve) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::PairedStore, Diags);
+  ASSERT_TRUE(P) << P.message();
+  // Instruction 7 of main is "mov r5, G @done".
+  const Inst &I = P->code().get(7);
+  EXPECT_EQ(I.Op, Opcode::Mov);
+  EXPECT_EQ(I.Imm, Value::green(11));
+}
+
+TEST(ParserTest, PreconditionDefaults) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  mov r1, G 1
+  mov r2, G @main
+  mov r3, B @main
+  jmpG r2
+  jmpB r3
+}
+)";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  const StaticContext &Pre = *P->blocks()[0].Pre;
+  // Auto pc and memory variables plus the d:(G,int,0) default.
+  ASSERT_NE(Pre.Pc, nullptr);
+  EXPECT_TRUE(Pre.Pc->isVar());
+  ASSERT_NE(Pre.MemExpr, nullptr);
+  EXPECT_TRUE(Pre.MemExpr->isVar());
+  const RegType *D = Pre.Gamma.lookup(Reg::dest());
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->C, Color::Green);
+  EXPECT_TRUE(D->B->isInt());
+  EXPECT_TRUE(Pre.Queue.empty());
+}
+
+TEST(ParserTest, ConditionalRegisterTypes) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall z: int, t: int, m: mem;
+        d: z = 0 => (G, code(@main), t);
+        mem m }
+  mov r1, G 1
+  mov r2, G @main
+  mov r3, B @main
+  jmpG r2
+  jmpB r3
+}
+)";
+  // This precondition is unusual (d conditional at entry) but must parse.
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  const RegType *D = P->blocks()[0].Pre->Gamma.lookup(Reg::dest());
+  ASSERT_NE(D, nullptr);
+  EXPECT_TRUE(D->isConditional());
+  EXPECT_TRUE(D->B->isCode());
+}
+
+TEST(ParserTest, QueueDescriptorsParseFrontFirst) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry main
+block main {
+  pre { forall a: int, b: int, m: mem;
+        queue [(a, 1), (b, 2)];
+        mem m }
+  mov r1, G 1
+  mov r2, G @main
+  mov r3, B @main
+  jmpG r2
+  jmpB r3
+}
+)";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  const QueueType &Q = P->blocks()[0].Pre->Queue;
+  ASSERT_EQ(Q.size(), 2u);
+  EXPECT_EQ(Q.entry(0).AddrE->varName(), "a");
+  EXPECT_EQ(Q.entry(1).AddrE->varName(), "b");
+}
+
+TEST(ParserTest, ForwardCodeTypeReferencesKeepBlockOrder) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+entry first
+data { 300: code(@second) = @second }
+block first {
+  mov r1, G 300
+  ldG r2, r1
+  mov r3, B 300
+  ldB r4, r3
+  jmpG r2
+  jmpB r4
+}
+block second {
+  mov r1, G @second
+  mov r2, B @second
+  jmpG r1
+  jmpB r2
+}
+)";
+  Expected<Program> P = parseAndLayoutTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_EQ(P->blocks()[0].Label, "first");
+  EXPECT_EQ(P->blocks()[1].Label, "second");
+  EXPECT_EQ(P->addressOf("first"), 1);
+  // The data cell initializer resolved to second's address.
+  EXPECT_EQ(P->data()[0].Init, P->addressOf("second"));
+}
+
+TEST(ParserTest, ErrorOnUnknownMnemonic) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseTalProgram(TC, "block b { frobnicate r1 }", Diags);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Diags.str().find("frobnicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnUndeclaredVariable) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+block b { pre { r1: (G, int, nope); } mov r1, G 1 }
+)";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  EXPECT_FALSE(P);
+  EXPECT_NE(Diags.str().find("nope"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnDuplicateBlock) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = "block b { mov r1, G 1 } block b { mov r1, G 1 }";
+  EXPECT_FALSE(parseTalProgram(TC, Src, Diags));
+}
+
+TEST(ParserTest, ErrorOnUnknownLabelImmediate) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = "entry b\nblock b { mov r1, G @nowhere }";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(P->layout(Diags));
+  EXPECT_NE(Diags.str().find("nowhere"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnOverlappingData) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+data { 100: int = 1
+       100: int = 2 }
+block b { mov r1, G 1 }
+)";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(P->layout(Diags));
+}
+
+TEST(ParserTest, DataCellOverlappingCodeIsRejected) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Src = R"(
+data { 1: int = 1 }
+block b { mov r1, G 1 }
+)";
+  Expected<Program> P = parseTalProgram(TC, Src, Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(P->layout(Diags));
+}
+
+} // namespace

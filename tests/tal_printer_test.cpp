@@ -1,0 +1,117 @@
+//===- tests/tal_printer_test.cpp - Printer round-trip tests --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+#include "check/ProgramChecker.h"
+#include "tal/Parser.h"
+#include "sim/Machine.h"
+#include "tal/Printer.h"
+#include "wile/Codegen.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+
+namespace {
+
+class RoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTrip, PrintedProgramReparsesAndChecksIdentically) {
+  TypeContext TC1;
+  DiagnosticEngine D1;
+  Expected<Program> P1 = parseAndLayoutTalProgram(TC1, GetParam(), D1);
+  ASSERT_TRUE(P1) << P1.message();
+  std::string Printed = printTalProgram(*P1);
+
+  TypeContext TC2;
+  DiagnosticEngine D2;
+  Expected<Program> P2 = parseAndLayoutTalProgram(TC2, Printed, D2);
+  ASSERT_TRUE(P2) << "printed program failed to reparse: " << P2.message()
+                  << "\n"
+                  << Printed;
+
+  // Structure survives the round trip.
+  ASSERT_EQ(P1->blocks().size(), P2->blocks().size());
+  for (size_t I = 0; I != P1->blocks().size(); ++I) {
+    EXPECT_EQ(P1->blocks()[I].Label, P2->blocks()[I].Label);
+    ASSERT_EQ(P1->blocks()[I].Insts.size(), P2->blocks()[I].Insts.size());
+    for (size_t J = 0; J != P1->blocks()[I].Insts.size(); ++J)
+      EXPECT_EQ(P1->blocks()[I].Insts[J].I, P2->blocks()[I].Insts[J].I)
+          << P1->blocks()[I].Label << " instruction " << J;
+  }
+  EXPECT_EQ(P1->data().size(), P2->data().size());
+
+  // And type-checkability survives too.
+  DiagnosticEngine DC1, DC2;
+  bool C1 = bool(checkProgram(TC1, *P1, DC1));
+  bool C2 = bool(checkProgram(TC2, *P2, DC2));
+  EXPECT_EQ(C1, C2) << DC2.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, RoundTrip,
+                         ::testing::Values(progs::PairedStore,
+                                           progs::IndirectJump,
+                                           progs::CountdownLoop,
+                                           progs::QueueForwarding,
+                                           progs::PendingStoreAcrossJump));
+
+TEST(PrinterTest, CompiledProgramsRoundTripWithAnnotations) {
+  // Machine-generated programs carry quantified singleton annotations
+  // (v$x variables, pc$/m$ defaults); printing and reparsing must
+  // preserve type-checkability.
+  const char *Src = R"(
+var n = 4; var acc = 0;
+while (n != 0) { acc = acc + n; n = n - 1; }
+output(acc);
+)";
+  TypeContext TC1;
+  DiagnosticEngine Diags;
+  Expected<wile::CompiledProgram> CP = wile::compileWile(
+      TC1, Src, wile::CodegenMode::FaultTolerant, Diags);
+  ASSERT_TRUE(CP) << CP.message();
+  ASSERT_TRUE(checkProgram(TC1, CP->Prog, Diags)) << Diags.str();
+
+  std::string Printed = printTalProgram(CP->Prog);
+  TypeContext TC2;
+  DiagnosticEngine D2;
+  Expected<Program> Reparsed = parseAndLayoutTalProgram(TC2, Printed, D2);
+  ASSERT_TRUE(Reparsed) << Reparsed.message() << "\n" << Printed;
+  Expected<CheckedProgram> Rechecked = checkProgram(TC2, *Reparsed, D2);
+  EXPECT_TRUE(Rechecked) << D2.str() << "\n" << Printed;
+
+  // And it still computes the same thing.
+  Expected<MachineState> S = Reparsed->initialState();
+  ASSERT_TRUE(S) << S.message();
+  RunResult R = run(*S, Reparsed->exitAddress(), 100000);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  bool Found10 = false;
+  for (const QueueEntry &E : R.Trace)
+    Found10 |= E.Val == 10;
+  EXPECT_TRUE(Found10);
+}
+
+TEST(PrinterTest, BasicTypeRendering) {
+  TypeContext TC;
+  StaticContext *Pre = TC.createContext();
+  Pre->Label = "l";
+  EXPECT_EQ(printBasicType(TC.intType()), "int");
+  EXPECT_EQ(printBasicType(TC.refType(TC.intType())), "int ref");
+  EXPECT_EQ(printBasicType(TC.codeType(Pre)), "code(@l)");
+  EXPECT_EQ(printBasicType(TC.refType(TC.codeType(Pre))), "code(@l) ref");
+}
+
+TEST(PrinterTest, RegTypeRendering) {
+  TypeContext TC;
+  ExprContext &Es = TC.exprs();
+  RegType Plain(Color::Green, TC.intType(), Es.intConst(5));
+  EXPECT_EQ(printRegType(Plain), "(G, int, 5)");
+  RegType Cond = RegType::conditional(Es.var("z", ExprKind::Int),
+                                      Color::Blue, TC.intType(),
+                                      Es.intConst(0));
+  EXPECT_EQ(printRegType(Cond), "z = 0 => (B, int, 0)");
+}
+
+} // namespace

@@ -1,0 +1,312 @@
+//===- tests/wile_compiler_test.cpp - Wile front end & backends -----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "wile/Codegen.h"
+#include "wile/Evaluate.h"
+#include "wile/Kernels.h"
+#include "wile/Lower.h"
+#include "wile/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+WileProgram parseOk(const char *Src) {
+  DiagnosticEngine Diags;
+  Expected<WileProgram> P = parseWile(Src, Diags);
+  EXPECT_TRUE(P) << P.message();
+  return P ? std::move(*P) : WileProgram();
+}
+
+TEST(WileParserTest, DeclarationsAndStatements) {
+  WileProgram P = parseOk(R"(
+var x = 5;
+var y;
+array a[8] @ 1000;
+x = x + 2 * y;
+a[3] = x;
+output(a[3]);
+while (x != 0) { x = x - 1; }
+if (x == y) { y = 1; } else { y = 2; }
+)");
+  ASSERT_EQ(P.Vars.size(), 2u);
+  EXPECT_EQ(P.Vars[0].Name, "x");
+  EXPECT_EQ(P.Vars[0].Init, 5);
+  EXPECT_EQ(P.Vars[1].Init, 0);
+  ASSERT_EQ(P.Arrays.size(), 1u);
+  EXPECT_EQ(P.Arrays[0].Base, 1000);
+  EXPECT_EQ(P.Body.size(), 5u);
+}
+
+TEST(WileParserTest, RejectsUndeclaredNames) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseWile("x = 1;", Diags));
+  Diags.clear();
+  EXPECT_FALSE(parseWile("var x; x = a[0];", Diags));
+  Diags.clear();
+  EXPECT_FALSE(parseWile("var x; var x;", Diags));
+}
+
+TEST(WileParserTest, RejectsSyntaxErrors) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(parseWile("var x = ;", Diags));
+  Diags.clear();
+  EXPECT_FALSE(parseWile("var x; while x { }", Diags));
+  Diags.clear();
+  EXPECT_FALSE(parseWile("var x; x = 1", Diags)); // missing ';'
+}
+
+TEST(WileLowerTest, BoundsChecking) {
+  DiagnosticEngine Diags;
+  Expected<WileProgram> P = parseWile("array a[4]; a[4] = 1;", Diags);
+  ASSERT_TRUE(P) << P.message();
+  EXPECT_FALSE(lowerToIR(*P, Diags));
+  EXPECT_NE(Diags.str().find("out of bounds"), std::string::npos);
+}
+
+TEST(WileLowerTest, CondZeroFallthroughInvariant) {
+  DiagnosticEngine Diags;
+  Expected<WileProgram> P = parseWile(R"(
+var x = 3;
+while (x != 0) { x = x - 1; }
+while (x == 0) { x = 1; }
+if (x == 1) { x = 2; } else { x = 3; }
+output(x);
+)", Diags);
+  ASSERT_TRUE(P) << P.message();
+  Expected<IRProgram> IR = lowerToIR(*P, Diags);
+  ASSERT_TRUE(IR) << IR.message();
+  // Every CondZero's fall-through target is laid out immediately after.
+  for (size_t I = 0; I != IR->Blocks.size(); ++I) {
+    const IRBlock &B = IR->Blocks[I];
+    if (B.T != IRBlock::Term::CondZero)
+      continue;
+    ASSERT_LT(I + 1, IR->Blocks.size());
+    EXPECT_EQ(IR->Blocks[I + 1].Label, B.Target1);
+  }
+}
+
+/// Reference interpreter for Wile used as the compilation oracle.
+class WileInterp {
+public:
+  explicit WileInterp(const WileProgram &P) : P(P) {
+    for (const VarDecl &V : P.Vars)
+      Vars[V.Name] = V.Init;
+    for (const ArrayDecl &A : P.Arrays)
+      Arrays[A.Name] = std::vector<int64_t>((size_t)A.Size, 0);
+  }
+
+  std::vector<int64_t> run() {
+    execList(P.Body);
+    return Outputs;
+  }
+
+private:
+  const WileProgram &P;
+  std::map<std::string, int64_t> Vars;
+  std::map<std::string, std::vector<int64_t>> Arrays;
+  std::vector<int64_t> Outputs;
+
+  int64_t eval(const wile::Expr &E) {
+    switch (E.K) {
+    case wile::Expr::Kind::Const:
+      return E.N;
+    case wile::Expr::Kind::Var:
+      return Vars.at(E.Name);
+    case wile::Expr::Kind::Index:
+      return Arrays.at(E.Name).at((size_t)eval(*E.Lhs));
+    case wile::Expr::Kind::Bin:
+      return evalAluOp(E.Op, eval(*E.Lhs), eval(*E.Rhs));
+    }
+    return 0;
+  }
+
+  bool evalCond(const Cond &C) {
+    int64_t L = eval(*C.Lhs);
+    switch (C.K) {
+    case Cond::Kind::NonZero:
+      return L != 0;
+    case Cond::Kind::Eq:
+      return L == eval(*C.Rhs);
+    case Cond::Kind::Ne:
+      return L != eval(*C.Rhs);
+    }
+    return false;
+  }
+
+  void execList(const std::vector<std::unique_ptr<Stmt>> &Stmts) {
+    for (const auto &S : Stmts)
+      exec(*S);
+  }
+
+  void exec(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Assign:
+      Vars[S.Name] = eval(*S.Value);
+      return;
+    case Stmt::Kind::StoreIndex:
+      Arrays.at(S.Name).at((size_t)eval(*S.Index)) = eval(*S.Value);
+      return;
+    case Stmt::Kind::Output:
+      Outputs.push_back(eval(*S.Value));
+      return;
+    case Stmt::Kind::While:
+      while (evalCond(*S.C))
+        execList(S.Body);
+      return;
+    case Stmt::Kind::If:
+      if (evalCond(*S.C))
+        execList(S.Body);
+      else
+        execList(S.Else);
+      return;
+    }
+  }
+};
+
+/// Output-cell writes of a compiled run (dropping array traffic).
+std::vector<int64_t> outputWrites(const ExecutionProfile &Profile,
+                                  int64_t OutputAddr) {
+  std::vector<int64_t> Out;
+  for (const QueueEntry &E : Profile.Trace)
+    if (E.Address == OutputAddr)
+      Out.push_back(E.Val);
+  return Out;
+}
+
+/// Compiles under both backends and checks each against the reference
+/// interpreter.
+void expectCompilesAndAgrees(const std::string &Src, bool ExpectTypable) {
+  DiagnosticEngine Diags;
+  Expected<WileProgram> Ast = parseWile(Src, Diags);
+  ASSERT_TRUE(Ast) << Ast.message();
+  std::vector<int64_t> Want = WileInterp(*Ast).run();
+
+  for (CodegenMode Mode :
+       {CodegenMode::Unprotected, CodegenMode::FaultTolerant}) {
+    TypeContext TC;
+    DiagnosticEngine D2;
+    Expected<CompiledProgram> CP = compileWile(TC, Src, Mode, D2);
+    ASSERT_TRUE(CP) << CP.message();
+    Expected<ExecutionProfile> Profile =
+        profileExecution(*CP, 10'000'000);
+    ASSERT_TRUE(Profile) << Profile.message();
+    EXPECT_EQ(Profile->Status, RunStatus::Halted);
+    Expected<WileProgram> Ast2 = parseWile(Src, D2);
+    ASSERT_TRUE(Ast2);
+    Expected<IRProgram> IR = lowerToIR(*Ast2, D2);
+    ASSERT_TRUE(IR);
+    EXPECT_EQ(outputWrites(*Profile, IR->OutputAddr), Want)
+        << "mode=" << (Mode == CodegenMode::Unprotected ? "base" : "ft");
+
+    if (Mode == CodegenMode::FaultTolerant && ExpectTypable) {
+      DiagnosticEngine DC;
+      Expected<CheckedProgram> C = checkProgram(TC, CP->Prog, DC);
+      EXPECT_TRUE(C) << DC.str();
+    }
+  }
+}
+
+TEST(WileCodegenTest, StraightLineArithmetic) {
+  expectCompilesAndAgrees("var x = 3; var y = 4; output(x * y + 2);",
+                          /*ExpectTypable=*/true);
+}
+
+TEST(WileCodegenTest, WhileLoopCountdown) {
+  expectCompilesAndAgrees(R"(
+var n = 5; var acc = 0;
+while (n != 0) { acc = acc + n * n; n = n - 1; }
+output(acc);
+)", true);
+}
+
+TEST(WileCodegenTest, WhileEqCondition) {
+  expectCompilesAndAgrees(R"(
+var n = 0; var acc = 7;
+while (n == 0) { acc = acc * 2; n = acc - 28; }
+output(acc);
+output(n);
+)", true);
+}
+
+TEST(WileCodegenTest, IfElseBothSides) {
+  expectCompilesAndAgrees(R"(
+var x = 4; var y = 0;
+if (x == 4) { y = 10; } else { y = 20; }
+output(y);
+if (x != 4) { y = 30; } else { y = 40; }
+output(y);
+if (x) { y = 1; }
+output(y);
+)", true);
+}
+
+TEST(WileCodegenTest, ConstantIndexedArrays) {
+  expectCompilesAndAgrees(R"(
+var t = 0;
+array a[4];
+a[0] = 11; a[1] = 22;
+a[2] = a[0] + a[1];
+t = a[2] * 2;
+output(t);
+)", true);
+}
+
+TEST(WileCodegenTest, DynamicIndexedArrays) {
+  expectCompilesAndAgrees(R"(
+var i = 0; var sum = 0;
+array a[8];
+while (i != 8) { a[i] = i * i; i = i + 1; }
+i = 0;
+while (i != 8) { sum = sum + a[i]; i = i + 1; }
+output(sum);
+)", /*ExpectTypable=*/false);
+}
+
+TEST(WileCodegenTest, NestedControlFlow) {
+  expectCompilesAndAgrees(R"(
+var i = 3; var j = 0; var acc = 0;
+while (i != 0) {
+  j = 4;
+  while (j != 0) {
+    if (j == i) { acc = acc + 100; } else { acc = acc + 1; }
+    j = j - 1;
+  }
+  i = i - 1;
+}
+output(acc);
+)", true);
+}
+
+TEST(WileCodegenTest, UnaryMinusAndPrecedence) {
+  expectCompilesAndAgrees(
+      "var x = 5; output(-x + 2 * 3 - (4 - 1) * 2); output(-(x * x));",
+      true);
+}
+
+class KernelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelTest, CompilesRunsAndAgreesWithReference) {
+  const Kernel &K = benchmarkKernels()[GetParam()];
+  expectCompilesAndAgrees(K.Source, K.Typable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest,
+    ::testing::Range<size_t>(0, benchmarkKernels().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = benchmarkKernels()[Info.param].Name;
+      for (char &C : Name)
+        if (!isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

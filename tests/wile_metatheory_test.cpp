@@ -1,0 +1,125 @@
+//===- tests/wile_metatheory_test.cpp - Theorems on compiled code ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The end-to-end guarantee chain: Wile source -> reliability
+// transformation -> TALFT checker -> executable theorems. Every state of
+// a compiled kernel's execution re-types, no fault-free run signals a
+// fault, and strided exhaustive injection confirms fault tolerance —
+// "if the output from these compilers type check, their code will have
+// strong fault tolerance guarantees."
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Theorems.h"
+#include "wile/Codegen.h"
+#include "wile/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+struct CompiledFixture {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<CompiledProgram> CP;
+  std::optional<CheckedProgram> Checked;
+
+  void compile(const std::string &Source, bool Optimize = false) {
+    Expected<CompiledProgram> C = compileWile(
+        TC, Source, CodegenMode::FaultTolerant, Diags, Optimize);
+    ASSERT_TRUE(C) << C.message();
+    CP.emplace(std::move(*C));
+    Expected<CheckedProgram> Ck = checkProgram(TC, CP->Prog, Diags);
+    ASSERT_TRUE(Ck) << Diags.str();
+    Checked.emplace(std::move(*Ck));
+  }
+};
+
+TEST(CompiledMetatheory, TinyProgramFullSweep) {
+  CompiledFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.compile(R"(
+var a = 2; var b = 3;
+output(a * b + 1);
+)"));
+  TheoremReport FaultFree =
+      checkFaultFreeExecution(F.TC, *F.Checked, TheoremConfig());
+  EXPECT_TRUE(FaultFree.Ok)
+      << (FaultFree.Violations.empty() ? "?" : FaultFree.Violations.front());
+
+  TheoremReport FT = checkFaultTolerance(F.TC, *F.Checked, TheoremConfig());
+  EXPECT_TRUE(FT.Ok) << (FT.Violations.empty() ? "?"
+                                               : FT.Violations.front());
+  EXPECT_GT(FT.DetectedFaults, 0u);
+}
+
+TEST(CompiledMetatheory, LoopProgramEveryStateTypes) {
+  CompiledFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.compile(R"(
+var n = 6; var acc = 1;
+while (n != 0) { acc = acc * n; n = n - 1; }
+output(acc);
+)"));
+  TheoremReport R = checkFaultFreeExecution(F.TC, *F.Checked,
+                                            TheoremConfig());
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  EXPECT_EQ(R.StatesTypechecked, R.ReferenceSteps + 1);
+  ASSERT_EQ(R.ReferenceTrace.size(), 1u);
+  EXPECT_EQ(R.ReferenceTrace[0].Val, 720);
+}
+
+TEST(CompiledMetatheory, BranchyProgramStridedInjection) {
+  CompiledFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.compile(R"(
+var n = 4; var odd = 0; var even = 0; var parity = 0;
+while (n != 0) {
+  if (parity == 0) { even = even + n; parity = 1; }
+  else { odd = odd + n; parity = 0; }
+  n = n - 1;
+}
+output(even);
+output(odd);
+)"));
+  TheoremConfig Config;
+  Config.InjectionStride = 5;
+  TheoremReport R = checkFaultTolerance(F.TC, *F.Checked, Config);
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  EXPECT_GT(R.InjectionsTested, 1000u);
+}
+
+TEST(CompiledMetatheory, PegwitKernelFaultFree) {
+  // The smallest Figure 10 kernel that type-checks: re-type all of its
+  // several thousand reachable states.
+  const Kernel *Pegwit = nullptr;
+  for (const Kernel &K : benchmarkKernels())
+    if (K.Name == "pegwit")
+      Pegwit = &K;
+  ASSERT_NE(Pegwit, nullptr);
+  CompiledFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.compile(Pegwit->Source));
+  TheoremConfig Config;
+  Config.MaxSteps = 1'000'000;
+  TheoremReport R = checkFaultFreeExecution(F.TC, *F.Checked, Config);
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+  EXPECT_GT(R.StatesTypechecked, 1000u);
+}
+
+TEST(CompiledMetatheory, OptimizedCompilationAlsoSatisfiesTheorems) {
+  CompiledFixture F;
+  ASSERT_NO_FATAL_FAILURE(F.compile(R"(
+var n = 5; var acc = 0; var step;
+step = 2 + 1;
+while (n != 0) { acc = acc + step; n = n - 1; }
+output(acc);
+)", /*Optimize=*/true));
+  TheoremReport R = checkFaultTolerance(F.TC, *F.Checked, TheoremConfig());
+  EXPECT_TRUE(R.Ok) << (R.Violations.empty() ? "?" : R.Violations.front());
+}
+
+} // namespace

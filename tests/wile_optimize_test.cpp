@@ -1,0 +1,190 @@
+//===- tests/wile_optimize_test.cpp - IR optimizer tests ------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "wile/Evaluate.h"
+#include "wile/Kernels.h"
+#include "wile/Lower.h"
+#include "wile/Optimize.h"
+#include "wile/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace talft;
+using namespace talft::wile;
+
+namespace {
+
+IRProgram lowered(const char *Src) {
+  DiagnosticEngine Diags;
+  Expected<WileProgram> P = parseWile(Src, Diags);
+  EXPECT_TRUE(P) << P.message();
+  Expected<IRProgram> IR = lowerToIR(*P, Diags);
+  EXPECT_TRUE(IR) << IR.message();
+  return IR ? std::move(*IR) : IRProgram();
+}
+
+size_t totalOps(const IRProgram &IR) {
+  size_t N = 0;
+  for (const IRBlock &B : IR.Blocks)
+    N += B.Ops.size();
+  return N;
+}
+
+TEST(OptimizeTest, FoldsConstantArithmetic) {
+  IRProgram IR = lowered("var x; x = 2 + 3 * 4; output(x);");
+  OptStats Stats = optimizeIR(IR);
+  EXPECT_GE(Stats.Folded, 2u);
+  // The entry block should now define x with a single Const 14.
+  bool FoundConst14 = false;
+  for (const IROp &Op : IR.Blocks[0].Ops)
+    if (Op.K == IROp::Kind::Const && Op.Dst == 0 && Op.Imm == 14)
+      FoundConst14 = true;
+  EXPECT_TRUE(FoundConst14);
+}
+
+TEST(OptimizeTest, EliminatesDeadTemporaries) {
+  IRProgram IR = lowered("var x; x = (1 + 2) + (3 + 4); output(x);");
+  size_t Before = totalOps(IR);
+  OptStats Stats = optimizeIR(IR);
+  EXPECT_GT(Stats.Eliminated, 0u);
+  EXPECT_LT(totalOps(IR), Before);
+}
+
+TEST(OptimizeTest, StrengthensConstantIndexAddresses) {
+  // i is a constant at the access point, so the dynamic index becomes a
+  // constant address.
+  IRProgram IR = lowered(R"(
+var i; var y;
+array a[8];
+i = 3;
+a[i] = 7;
+y = a[i];
+output(y);
+)");
+  OptStats Stats = optimizeIR(IR);
+  EXPECT_GE(Stats.AddressesStrengthened, 2u);
+  for (const IRBlock &B : IR.Blocks)
+    for (const IROp &Op : B.Ops)
+      if (Op.K == IROp::Kind::Load || Op.K == IROp::Kind::Store) {
+        EXPECT_EQ(Op.AddrTemp, -1);
+      }
+}
+
+TEST(OptimizeTest, BlockLocalConstantIndexingTypesEitherWay) {
+  // A block-local constant index is inside the singleton-ref discipline
+  // both ways: the optimizer strengthens the address at the IR level, and
+  // even without it the checker's constant refinement normalizes the
+  // address expression to the literal cell. (Truly symbolic indices —
+  // loop-carried ones — stay untypable either way; neither pass crosses
+  // block boundaries.)
+  const char *Src = R"(
+var i; var y;
+array a[4];
+i = 2;
+a[i] = 9;
+y = a[i] + 1;
+output(y);
+)";
+  for (bool Optimize : {false, true}) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    Expected<CompiledProgram> CP = compileWile(
+        TC, Src, CodegenMode::FaultTolerant, Diags, Optimize);
+    ASSERT_TRUE(CP) << CP.message();
+    DiagnosticEngine DC;
+    Expected<CheckedProgram> C = checkProgram(TC, CP->Prog, DC);
+    EXPECT_TRUE(C) << "optimize=" << Optimize << "\n" << DC.str();
+  }
+}
+
+TEST(OptimizeTest, NeverDeletesLoads) {
+  // A load's result may be dead, but deleting it would change behavior
+  // under the trapping wild-load policy.
+  IRProgram IR = lowered(R"(
+var x; var dead;
+array a[2];
+dead = a[0];
+x = 5;
+output(x);
+)");
+  size_t LoadsBefore = 0, LoadsAfter = 0;
+  for (const IRBlock &B : IR.Blocks)
+    for (const IROp &Op : B.Ops)
+      LoadsBefore += Op.K == IROp::Kind::Load;
+  optimizeIR(IR);
+  for (const IRBlock &B : IR.Blocks)
+    for (const IROp &Op : B.Ops)
+      LoadsAfter += Op.K == IROp::Kind::Load;
+  EXPECT_EQ(LoadsBefore, LoadsAfter);
+}
+
+TEST(OptimizeTest, CopyPropagationReachesTerminators) {
+  // "while (y ...)" where y copies x: the branch should test x's register
+  // after propagation... observable via semantics preservation below; here
+  // just confirm the pass runs and reports propagations.
+  IRProgram IR = lowered(R"(
+var x = 3; var y;
+y = x;
+while (y != 0) { y = y - 1; }
+output(y);
+)");
+  OptStats Stats = optimizeIR(IR);
+  EXPECT_GT(Stats.Propagated, 0u);
+}
+
+/// Oracle check: optimization preserves every kernel's behavior under
+/// both backends.
+class OptimizedKernels : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OptimizedKernels, SemanticsPreserved) {
+  const Kernel &K = benchmarkKernels()[GetParam()];
+  for (CodegenMode Mode :
+       {CodegenMode::Unprotected, CodegenMode::FaultTolerant}) {
+    TypeContext TC1, TC2;
+    DiagnosticEngine Diags;
+    Expected<CompiledProgram> Plain =
+        compileWile(TC1, K.Source, Mode, Diags, /*Optimize=*/false);
+    Expected<CompiledProgram> Opt =
+        compileWile(TC2, K.Source, Mode, Diags, /*Optimize=*/true);
+    ASSERT_TRUE(Plain) << Plain.message();
+    ASSERT_TRUE(Opt) << Opt.message();
+    Expected<ExecutionProfile> P1 = profileExecution(*Plain, 50'000'000);
+    Expected<ExecutionProfile> P2 = profileExecution(*Opt, 50'000'000);
+    ASSERT_TRUE(P1) << P1.message();
+    ASSERT_TRUE(P2) << P2.message();
+    EXPECT_EQ(P1->Trace, P2->Trace);
+    // Optimization never makes the run longer.
+    EXPECT_LE(P2->Steps, P1->Steps);
+  }
+}
+
+TEST_P(OptimizedKernels, TypabilityNeverRegresses) {
+  const Kernel &K = benchmarkKernels()[GetParam()];
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<CompiledProgram> Opt = compileWile(
+      TC, K.Source, CodegenMode::FaultTolerant, Diags, /*Optimize=*/true);
+  ASSERT_TRUE(Opt) << Opt.message();
+  DiagnosticEngine DC;
+  bool Checks = bool(checkProgram(TC, Opt->Prog, DC));
+  if (K.Typable) {
+    EXPECT_TRUE(Checks) << DC.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, OptimizedKernels,
+    ::testing::Range<size_t>(0, benchmarkKernels().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = benchmarkKernels()[Info.param].Name;
+      for (char &C : Name)
+        if (!isalnum((unsigned char)C))
+          C = '_';
+      return Name;
+    });
+
+} // namespace
