@@ -17,12 +17,17 @@
 //     corruption — exactly what the formal model rules out by assuming a
 //     single event.
 //
+// The pairs run as explicit injection plans on the campaign engine
+// (fault/Campaign.h), so the sweep parallelizes: pass --threads N.
+//
 //===----------------------------------------------------------------------===//
 
-#include "sim/Machine.h"
+#include "fault/Campaign.h"
 #include "tal/Parser.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace talft;
@@ -55,78 +60,45 @@ block done {
 }
 )";
 
-struct Tally {
-  uint64_t Injections = 0;
-  uint64_t Detected = 0;
-  uint64_t Masked = 0;
-  uint64_t Silent = 0;
-  uint64_t Other = 0;
-};
-
-/// Replays to \p Step1, corrupts \p R1, replays to \p Step2, corrupts
-/// \p R2, runs to completion and classifies against the reference.
-void injectPair(const Program &Prog, const MachineState &S0,
-                const OutputTrace &Ref, uint64_t Step1, Reg R1,
-                uint64_t Step2, Reg R2, int64_t V, Tally &T) {
-  MachineState S = S0;
-  OutputTrace Trace;
-  auto StepTo = [&](uint64_t From, uint64_t To) {
-    for (uint64_t I = From; I != To; ++I) {
-      StepResult SR = step(S);
-      if (SR.Output)
-        Trace.push_back(*SR.Output);
-      if (SR.Status != StepStatus::Ok)
-        return false;
-    }
-    return true;
-  };
-
-  ++T.Injections;
-  if (!StepTo(0, Step1)) {
-    ++T.Other;
-    return;
-  }
-  S.Regs.set(R1, Value(S.Regs.col(R1), V));
-  if (!StepTo(Step1, Step2)) {
-    ++T.Detected; // The first fault was caught before the second landed.
-    return;
-  }
-  S.Regs.set(R2, Value(S.Regs.col(R2), V));
-
-  Addr Exit = Prog.exitAddress();
-  for (uint64_t Budget = 0; Budget != 2000; ++Budget) {
-    if (atExit(S, Exit)) {
-      if (Trace == Ref)
-        ++T.Masked;
-      else
-        ++T.Silent;
-      return;
-    }
-    StepResult SR = step(S);
-    if (SR.Output)
-      Trace.push_back(*SR.Output);
-    if (SR.Status == StepStatus::Fault) {
-      ++T.Detected;
-      return;
-    }
-    if (SR.Status == StepStatus::Stuck) {
-      ++T.Other;
-      return;
-    }
-  }
-  ++T.Other;
+/// Every (step1 <= step2, value, regA, regB) pair plan: corrupt A at step1
+/// and B at step2 with the same correlated value.
+std::vector<InjectionPlan> makePlans(uint64_t RefSteps,
+                                     const std::vector<Reg> &First,
+                                     const std::vector<Reg> &Second,
+                                     const std::vector<int64_t> &Values) {
+  std::vector<InjectionPlan> Plans;
+  for (uint64_t S1 = 0; S1 <= RefSteps; ++S1)
+    for (uint64_t S2 = S1; S2 <= RefSteps; ++S2)
+      for (int64_t V : Values)
+        for (Reg A : First)
+          for (Reg B : Second)
+            Plans.push_back({{S1, FaultSite::reg(A), V},
+                             {S2, FaultSite::reg(B), V}});
+  return Plans;
 }
 
-void report(const char *Label, const Tally &T) {
+void report(const char *Label, const CampaignResult &R) {
+  uint64_t Detected = R.Table[Verdict::Detected] +
+                      R.Table[Verdict::DetectedBadPrefix];
+  uint64_t Masked =
+      R.Table[Verdict::Masked] + R.Table[Verdict::DissimilarState];
+  uint64_t Other =
+      R.Table[Verdict::Stuck] + R.Table[Verdict::BudgetExhausted];
   std::printf("%-28s %10llu %9llu %7llu %7llu %6llu\n", Label,
-              (unsigned long long)T.Injections,
-              (unsigned long long)T.Detected, (unsigned long long)T.Masked,
-              (unsigned long long)T.Silent, (unsigned long long)T.Other);
+              (unsigned long long)R.Table.total(),
+              (unsigned long long)Detected, (unsigned long long)Masked,
+              (unsigned long long)R.Table[Verdict::SilentCorruption],
+              (unsigned long long)Other);
 }
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Threads = 1;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+      Threads = (unsigned)std::strtoul(Argv[++I], nullptr, 10);
+
   TypeContext TC;
   DiagnosticEngine Diags;
   Expected<Program> Prog = parseAndLayoutTalProgram(TC, Source, Diags);
@@ -134,10 +106,15 @@ int main() {
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
-  Expected<MachineState> S0 = Prog->initialState();
-  MachineState Ref = *S0;
-  RunResult RefRun = run(Ref, Prog->exitAddress(), 1000);
-  if (RefRun.Status != RunStatus::Halted) {
+
+  // A first, plan-free campaign run just resolves the reference length the
+  // plan grid quantifies over.
+  PlanCampaign Probe;
+  Probe.Prog = &*Prog;
+  CampaignOptions Opts;
+  Opts.Threads = Threads;
+  CampaignResult Ref = runInjectionPlans(Probe, Opts);
+  if (!Ref.Ok) {
     std::fprintf(stderr, "reference run failed\n");
     return 1;
   }
@@ -148,25 +125,18 @@ int main() {
                                Reg::general(6)};
   std::vector<int64_t> Values = {99, 260, 0};
 
-  Tally SameColor, CrossColor;
-  for (uint64_t S1 = 0; S1 <= RefRun.Steps; ++S1) {
-    for (uint64_t S2 = S1; S2 <= RefRun.Steps; ++S2) {
-      for (int64_t V : Values) {
-        for (Reg A : GreenRegs)
-          for (Reg B : GreenRegs)
-            injectPair(*Prog, *S0, RefRun.Trace, S1, A, S2, B, V,
-                       SameColor);
-        for (Reg A : GreenRegs)
-          for (Reg B : BlueRegs)
-            injectPair(*Prog, *S0, RefRun.Trace, S1, A, S2, B, V,
-                       CrossColor);
-      }
-    }
-  }
+  PlanCampaign Same = Probe;
+  Same.Plans = makePlans(Ref.ReferenceSteps, GreenRegs, GreenRegs, Values);
+  CampaignResult SameColor = runInjectionPlans(Same, Opts);
+
+  PlanCampaign Cross = Probe;
+  Cross.Plans = makePlans(Ref.ReferenceSteps, GreenRegs, BlueRegs, Values);
+  CampaignResult CrossColor = runInjectionPlans(Cross, Opts);
 
   std::printf("Ablation D: double faults vs. the Single Event Upset model\n");
   std::printf("(paired-store program; correlated value pairs; 'silent' = "
-              "completed with wrong output)\n\n");
+              "completed with wrong output; %u thread%s)\n\n",
+              Threads, Threads == 1 ? "" : "s");
   std::printf("%-28s %10s %9s %7s %7s %6s\n", "fault pair", "injections",
               "detected", "masked", "silent", "other");
   std::printf("%.*s\n", 72,
@@ -180,5 +150,8 @@ int main() {
               "essential, as the paper states.\n");
   // The experiment *expects* silent corruption in the cross-color row and
   // none in the same-color row.
-  return (SameColor.Silent == 0 && CrossColor.Silent > 0) ? 0 : 1;
+  return (SameColor.Table[Verdict::SilentCorruption] == 0 &&
+          CrossColor.Table[Verdict::SilentCorruption] > 0)
+             ? 0
+             : 1;
 }

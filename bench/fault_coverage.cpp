@@ -16,14 +16,30 @@
 // contribution is that type checking makes testing like this redundant
 // ("perfect fault coverage relative to the fault model").
 //
+// The sweep runs on the parallel campaign engine (fault/Campaign.h):
+//
+//   fault_coverage [--threads N] [--stride N] [--json [FILE]]
+//
+//   --threads N   worker threads (default 1; 0 = hardware concurrency).
+//                 Verdict tables are bit-identical for every N.
+//   --stride N    inject at every Nth reference state (default 1 for the
+//                 TAL programs, 7 for the compiled kernel).
+//   --json [FILE] emit a machine-readable report (schema
+//                 talft-fault-campaign-v1) to FILE, or stdout with the
+//                 human table on stderr.
+//
 //===----------------------------------------------------------------------===//
 
 #include "check/ProgramChecker.h"
-#include "fault/Theorems.h"
+#include "fault/Campaign.h"
 #include "tal/Parser.h"
 #include "wile/Codegen.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace talft;
 
@@ -98,8 +114,93 @@ block done {
 }
 )";
 
-bool sweepTal(const char *Name, const char *Source,
-              const TheoremConfig &Config) {
+struct Cli {
+  unsigned Threads = 1;
+  uint64_t Stride = 0; // 0 = per-program default
+  bool Json = false;
+  std::string JsonPath; // empty = stdout
+};
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--stride N] [--json [FILE]]\n",
+               Argv0);
+}
+
+bool parseCli(int Argc, char **Argv, Cli &C) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto NumArg = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      const char *V = Argv[++I];
+      char *End = nullptr;
+      Out = std::strtoull(V, &End, 10);
+      return End != V && *End == '\0';
+    };
+    if (std::strcmp(A, "--threads") == 0) {
+      uint64_t N;
+      if (!NumArg(N))
+        return false;
+      C.Threads = (unsigned)N;
+    } else if (std::strcmp(A, "--stride") == 0) {
+      if (!NumArg(C.Stride) || C.Stride == 0)
+        return false;
+    } else if (std::strcmp(A, "--json") == 0) {
+      C.Json = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        C.JsonPath = Argv[++I];
+    } else if (std::strcmp(A, "--help") == 0) {
+      usage(Argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", A);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Where the human-readable table goes: stderr when JSON claims stdout.
+FILE *tableStream(const Cli &C) {
+  return (C.Json && C.JsonPath.empty()) ? stderr : stdout;
+}
+
+struct SweepRow {
+  std::string Name;
+  CampaignResult Result;
+  uint64_t Stride = 1;
+};
+
+void printRow(FILE *Out, const SweepRow &Row) {
+  const CampaignResult &R = Row.Result;
+  std::fprintf(Out, "%-18s %9llu %11llu %9llu %8llu %10s %8.2fs %11.0f\n",
+               Row.Name.c_str(), (unsigned long long)R.ReferenceSteps,
+               (unsigned long long)R.Table.total(),
+               (unsigned long long)(R.Table[Verdict::Detected] +
+                                    R.Table[Verdict::DetectedBadPrefix]),
+               (unsigned long long)R.Table[Verdict::Masked],
+               R.Ok ? "0 (OK)" : "VIOLATED", R.Stats.WallSeconds,
+               R.Stats.TriplesPerSecond);
+  if (!R.Ok)
+    for (const std::string &V : R.Violations)
+      std::fprintf(stderr, "  %s\n", V.c_str());
+}
+
+bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
+              const CheckedProgram &CP, std::vector<SweepRow> &Rows) {
+  TheoremConfig Config;
+  Config.InjectionStride = Stride;
+  CampaignOptions Opts;
+  Opts.Threads = C.Threads;
+  CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
+  Rows.push_back({Name, std::move(R), Stride});
+  printRow(tableStream(C), Rows.back());
+  return Rows.back().Result.Ok;
+}
+
+bool sweepTal(const Cli &C, const char *Name, const char *Source,
+              uint64_t Stride, std::vector<SweepRow> &Rows) {
   TypeContext TC;
   DiagnosticEngine Diags;
   Expected<Program> P = parseAndLayoutTalProgram(TC, Source, Diags);
@@ -112,21 +213,11 @@ bool sweepTal(const char *Name, const char *Source,
     std::fprintf(stderr, "%s: ill-typed:\n%s", Name, Diags.str().c_str());
     return false;
   }
-  TheoremReport R = checkFaultTolerance(TC, *CP, Config);
-  std::printf("%-18s %9llu %11llu %9llu %8llu %10s\n", Name,
-              (unsigned long long)R.ReferenceSteps,
-              (unsigned long long)R.InjectionsTested,
-              (unsigned long long)R.DetectedFaults,
-              (unsigned long long)R.MaskedFaults,
-              R.Ok ? "0 (OK)" : "VIOLATED");
-  if (!R.Ok)
-    for (const std::string &V : R.Violations)
-      std::fprintf(stderr, "  %s\n", V.c_str());
-  return R.Ok;
+  return runSweep(C, Name, Stride, TC, *CP, Rows);
 }
 
-bool sweepKernel(const char *Name, const char *Source,
-                 const TheoremConfig &Config) {
+bool sweepKernel(const Cli &C, const char *Name, const char *Source,
+                 uint64_t Stride, std::vector<SweepRow> &Rows) {
   TypeContext TC;
   DiagnosticEngine Diags;
   Expected<wile::CompiledProgram> CP =
@@ -140,49 +231,85 @@ bool sweepKernel(const char *Name, const char *Source,
     std::fprintf(stderr, "%s: ill-typed:\n%s", Name, Diags.str().c_str());
     return false;
   }
-  TheoremReport R = checkFaultTolerance(TC, *Checked, Config);
-  std::printf("%-18s %9llu %11llu %9llu %8llu %10s\n", Name,
-              (unsigned long long)R.ReferenceSteps,
-              (unsigned long long)R.InjectionsTested,
-              (unsigned long long)R.DetectedFaults,
-              (unsigned long long)R.MaskedFaults,
-              R.Ok ? "0 (OK)" : "VIOLATED");
-  if (!R.Ok)
-    for (const std::string &V : R.Violations)
-      std::fprintf(stderr, "  %s\n", V.c_str());
-  return R.Ok;
+  return runSweep(C, Name, Stride, TC, *Checked, Rows);
+}
+
+std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
+                       bool Ok) {
+  std::string S = "{\n";
+  S += "  \"schema\": \"talft-fault-campaign-v1\",\n";
+  S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
+  S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
+  S += "  \"programs\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    S += "    {\n      \"name\": \"" + Rows[I].Name + "\",\n";
+    S += "      \"stride\": " + std::to_string(Rows[I].Stride) + ",\n";
+    S += "      \"campaign\":\n";
+    S += campaignToJson(Rows[I].Result, 6);
+    S += "\n    }";
+    S += I + 1 != Rows.size() ? ",\n" : "\n";
+  }
+  S += "  ]\n}\n";
+  return S;
 }
 
 } // namespace
 
-int main() {
-  std::printf("Theorem 4 exhaustive single-fault sweep\n");
-  std::printf("(every step x fault site x representative corruption; "
-              "'violations' must be 0)\n\n");
-  std::printf("%-18s %9s %11s %9s %8s %10s\n", "program", "ref steps",
-              "injections", "detected", "masked", "violations");
-  std::printf("%.*s\n", 70,
-              "----------------------------------------------------------"
-              "------------");
+int main(int Argc, char **Argv) {
+  Cli C;
+  if (!parseCli(Argc, Argv, C)) {
+    usage(Argv[0]);
+    return 2;
+  }
 
+  FILE *Out = tableStream(C);
+  std::fprintf(Out, "Theorem 4 exhaustive single-fault sweep\n");
+  std::fprintf(Out, "(every step x fault site x representative corruption; "
+                    "'violations' must be 0; %u thread%s)\n\n",
+               C.Threads, C.Threads == 1 ? "" : "s");
+  std::fprintf(Out, "%-18s %9s %11s %9s %8s %10s %9s %11s\n", "program",
+               "ref steps", "injections", "detected", "masked", "violations",
+               "wall", "triples/s");
+  std::fprintf(Out, "%.*s\n", 92,
+               "----------------------------------------------------------"
+               "----------------------------------");
+
+  std::vector<SweepRow> Rows;
   bool Ok = true;
-  TheoremConfig Exhaustive;
-  Ok &= sweepTal("paired-store", PairedStore, Exhaustive);
-  Ok &= sweepTal("countdown-loop", CountdownLoop, Exhaustive);
+  uint64_t TalStride = C.Stride ? C.Stride : 1;
+  Ok &= sweepTal(C, "paired-store", PairedStore, TalStride, Rows);
+  Ok &= sweepTal(C, "countdown-loop", CountdownLoop, TalStride, Rows);
 
   // A compiled kernel: stride the injection points to keep the sweep
-  // tractable (every 7th reference state; all sites and values at each).
-  TheoremConfig Strided;
-  Strided.InjectionStride = 7;
+  // tractable (default every 7th reference state; all sites and values at
+  // each).
   const char *TinyKernel = R"(
 var n = 3; var acc = 0;
 while (n != 0) { acc = acc + n * n; n = n - 1; }
 output(acc);
 )";
-  Ok &= sweepKernel("wile-sum-squares", TinyKernel, Strided);
+  Ok &= sweepKernel(C, "wile-sum-squares", TinyKernel,
+                    C.Stride ? C.Stride : 7, Rows);
 
-  std::printf("\n%s\n", Ok ? "All sweeps clean: every injected fault was "
-                             "masked or detected with a prefix trace."
-                           : "VIOLATIONS FOUND");
+  std::fprintf(Out, "\n%s\n",
+               Ok ? "All sweeps clean: every injected fault was "
+                    "masked or detected with a prefix trace."
+                  : "VIOLATIONS FOUND");
+
+  if (C.Json) {
+    std::string Json = reportJson(C, Rows, Ok);
+    if (C.JsonPath.empty()) {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      FILE *F = std::fopen(C.JsonPath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "cannot write %s\n", C.JsonPath.c_str());
+        return 2;
+      }
+      std::fputs(Json.c_str(), F);
+      std::fclose(F);
+      std::fprintf(Out, "JSON report written to %s\n", C.JsonPath.c_str());
+    }
+  }
   return Ok ? 0 : 1;
 }

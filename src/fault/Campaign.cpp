@@ -1,0 +1,703 @@
+//===- fault/Campaign.cpp -------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Campaign.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+using namespace talft;
+
+const char *talft::verdictName(Verdict V) {
+  switch (V) {
+  case Verdict::Masked:
+    return "masked";
+  case Verdict::Detected:
+    return "detected";
+  case Verdict::SilentCorruption:
+    return "silent corruption";
+  case Verdict::DissimilarState:
+    return "dissimilar state";
+  case Verdict::DetectedBadPrefix:
+    return "detected (bad prefix)";
+  case Verdict::BudgetExhausted:
+    return "budget exhausted";
+  case Verdict::Stuck:
+    return "stuck";
+  case Verdict::IllTyped:
+    return "ill-typed";
+  }
+  talft_unreachable("unknown verdict");
+}
+
+const char *talft::verdictJsonKey(Verdict V) {
+  switch (V) {
+  case Verdict::Masked:
+    return "masked";
+  case Verdict::Detected:
+    return "detected";
+  case Verdict::SilentCorruption:
+    return "silent_corruption";
+  case Verdict::DissimilarState:
+    return "dissimilar_state";
+  case Verdict::DetectedBadPrefix:
+    return "detected_bad_prefix";
+  case Verdict::BudgetExhausted:
+    return "budget_exhausted";
+  case Verdict::Stuck:
+    return "stuck";
+  case Verdict::IllTyped:
+    return "ill_typed";
+  }
+  talft_unreachable("unknown verdict");
+}
+
+uint64_t VerdictTable::total() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}
+
+uint64_t VerdictTable::benign() const {
+  return (*this)[Verdict::Masked] + (*this)[Verdict::Detected];
+}
+
+void VerdictTable::merge(const VerdictTable &O) {
+  for (size_t I = 0; I != NumVerdicts; ++I)
+    Counts[I] += O.Counts[I];
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+bool isBenign(Verdict V) {
+  return V == Verdict::Masked || V == Verdict::Detected;
+}
+
+/// The violation text for an abnormal single-fault verdict, matching the
+/// wording the serial checker has always produced.
+const char *abnormalMessage(Verdict V) {
+  switch (V) {
+  case Verdict::SilentCorruption:
+    return "completed with a DIFFERENT output trace (silent data corruption)";
+  case Verdict::DissimilarState:
+    return "completed but the final state is not similar to the reference "
+           "final state";
+  case Verdict::DetectedBadPrefix:
+    return "detected, but the faulty output is not a prefix of the "
+           "reference output";
+  case Verdict::BudgetExhausted:
+    return "faulty run exceeded its step budget without detection or "
+           "completion";
+  case Verdict::Stuck:
+    return "faulty run got stuck";
+  default:
+    talft_unreachable("verdict has no violation message");
+  }
+}
+
+std::string describeInjection(const FaultSite &Site, int64_t Value,
+                              uint64_t AtStep, const char *What) {
+  return formatv("inject %s := %lld at step %llu: %s", Site.str().c_str(),
+                 (long long)Value, (unsigned long long)AtStep, What);
+}
+
+/// Runs \p RunOne over every index in [0, Total) across \p Threads workers.
+/// Workers pull fixed-size chunks off an atomic cursor; because each task
+/// writes only its own slot, the schedule cannot affect results.
+void dispatchTasks(unsigned Threads, uint64_t Total,
+                   const std::function<void(uint64_t)> &RunOne,
+                   uint64_t ProgressInterval,
+                   const std::function<void(const CampaignProgress &)> &Progress) {
+  if (Total == 0)
+    return;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = (unsigned)std::min<uint64_t>(Threads, Total);
+  uint64_t Chunk =
+      std::max<uint64_t>(1, std::min<uint64_t>(64, Total / (uint64_t(Threads) * 8)));
+
+  std::atomic<uint64_t> Next{0};
+  std::atomic<uint64_t> Completed{0};
+  std::mutex ProgressMu;
+  auto Work = [&] {
+    while (true) {
+      uint64_t Begin = Next.fetch_add(Chunk, std::memory_order_relaxed);
+      if (Begin >= Total)
+        return;
+      uint64_t End = std::min(Total, Begin + Chunk);
+      for (uint64_t I = Begin; I != End; ++I)
+        RunOne(I);
+      uint64_t Prev = Completed.fetch_add(End - Begin, std::memory_order_acq_rel);
+      uint64_t Done = Prev + (End - Begin);
+      if (Progress && ProgressInterval &&
+          (Done == Total || Done / ProgressInterval != Prev / ProgressInterval)) {
+        std::lock_guard<std::mutex> Lock(ProgressMu);
+        Progress({Done, Total});
+      }
+    }
+  };
+
+  if (Threads == 1) {
+    Work();
+    return;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned T = 0; T + 1 < Threads; ++T)
+    Pool.emplace_back(Work);
+  Work();
+  for (std::thread &Th : Pool)
+    Th.join();
+}
+
+/// Registers the program mentions anywhere, plus the specials.
+std::set<unsigned> mentionedRegisters(const Program &Prog) {
+  std::set<unsigned> Used;
+  for (const Block &B : Prog.blocks()) {
+    for (const ProgInst &PI : B.Insts) {
+      const Inst &I = PI.I;
+      Used.insert(I.Rd.denseIndex());
+      Used.insert(I.Rs.denseIndex());
+      if (!I.HasImm)
+        Used.insert(I.Rt.denseIndex());
+    }
+  }
+  Used.insert(Reg::dest().denseIndex());
+  Used.insert(Reg::pcG().denseIndex());
+  Used.insert(Reg::pcB().denseIndex());
+  return Used;
+}
+
+/// The reference state at one injection step, without typing bookkeeping.
+struct UntypedSnapshot {
+  MachineState S;
+  uint64_t Steps = 0;
+  size_t TraceLen = 0;
+};
+
+/// One (step, site, corruption) triple of the work list.
+struct InjectionTask {
+  uint32_t SnapIdx = 0;
+  FaultSite Site;
+  int64_t Value = 0;
+};
+
+/// Classifies one faulty continuation on the raw semantics. \p S is the
+/// reference state at the injection step; \p TraceLen the reference trace
+/// length there. Mirrors the serial checker's control flow exactly (exit
+/// check before budget check) so verdicts agree bit-for-bit.
+Verdict classifyContinuation(const CheckedProgram &CP,
+                             const StepPolicy &Policy, uint64_t ExtraSteps,
+                             const OutputTrace &RefTrace,
+                             const MachineState &RefFinal, uint64_t RefSteps,
+                             MachineState S, uint64_t AtSteps, size_t TraceLen,
+                             const FaultSite &Site, int64_t Value) {
+  ZapTag Z = ZapTag::color(faultColor(S, Site));
+  injectFault(S, Site, Value);
+
+  uint64_t Budget = RefSteps - AtSteps + ExtraSteps;
+  uint64_t Taken = 0;
+  // The faulty trace so far is RefTrace[0, MatchPos) as long as !Diverged;
+  // one mismatched output makes both the prefix and equality checks fail
+  // forever, so no trace needs to be materialized.
+  size_t MatchPos = TraceLen;
+  bool Diverged = false;
+  Addr Exit = CP.Prog->exitAddress();
+
+  while (true) {
+    if (atExit(S, Exit))
+      break;
+    if (Taken >= Budget)
+      return Verdict::BudgetExhausted;
+    StepResult SR = step(S, Policy);
+    ++Taken;
+    if (SR.Output) {
+      if (!Diverged && MatchPos < RefTrace.size() &&
+          *SR.Output == RefTrace[MatchPos])
+        ++MatchPos;
+      else
+        Diverged = true;
+    }
+    if (SR.Status == StepStatus::Stuck)
+      return Verdict::Stuck;
+    if (SR.Status == StepStatus::Fault)
+      return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  }
+
+  if (Diverged || MatchPos != RefTrace.size())
+    return Verdict::SilentCorruption;
+  if (!similarStates(Z, S, RefFinal))
+    return Verdict::DissimilarState;
+  return Verdict::Masked;
+}
+
+/// Outcome of one typed-mode injection (serial path).
+struct TypedOutcome {
+  Verdict V = Verdict::Masked;
+  std::string Detail;
+  uint64_t Typechecked = 0;
+};
+
+/// The typed-mode continuation: identical classification, but every state
+/// (strided) is re-typed under the corrupted color's zap tag (Theorem 2
+/// part 2). Runs through TrackedRun and the shared TypeContext, hence
+/// serial-only.
+TypedOutcome runTypedInjection(const TheoremConfig &Config, TrackedRun &Run,
+                               const TrackedRun::Snapshot &At,
+                               const FaultSite &Site, int64_t Corruption,
+                               const TrackedRun::Snapshot &RefFinal,
+                               const OutputTrace &RefTrace) {
+  TypedOutcome O;
+  Run.restore(At);
+  Run.injectSingleFault(Site, Corruption);
+
+  auto Fail = [&](Verdict V, const char *What) {
+    O.V = V;
+    O.Detail = describeInjection(Site, Corruption, At.Steps, What);
+  };
+
+  uint64_t TypeStride = std::max<uint64_t>(1, Config.FaultyTypeCheckStride);
+  uint64_t Budget = RefFinal.Steps - At.Steps + Config.ExtraSteps;
+  uint64_t Taken = 0;
+  uint64_t SinceInjection = 0;
+  while (true) {
+    if (SinceInjection % TypeStride == 0) {
+      if (Error E = Run.checkTyped()) {
+        Fail(Verdict::IllTyped,
+             ("faulty state not well-typed: " + E.message()).c_str());
+        return O;
+      }
+      ++O.Typechecked;
+    }
+    if (Run.atExitBlock())
+      break;
+    if (Taken >= Budget) {
+      Fail(Verdict::BudgetExhausted, abnormalMessage(Verdict::BudgetExhausted));
+      return O;
+    }
+    StepResult SR = Run.stepOnce();
+    ++Taken;
+    ++SinceInjection;
+    if (SR.Status == StepStatus::Stuck) {
+      Fail(Verdict::Stuck, abnormalMessage(Verdict::Stuck));
+      return O;
+    }
+    if (SR.Status == StepStatus::Fault) {
+      if (isTracePrefix(Run.trace(), RefTrace)) {
+        O.V = Verdict::Detected;
+      } else {
+        Fail(Verdict::DetectedBadPrefix,
+             abnormalMessage(Verdict::DetectedBadPrefix));
+      }
+      return O;
+    }
+  }
+
+  if (!(Run.trace() == RefTrace)) {
+    Fail(Verdict::SilentCorruption, abnormalMessage(Verdict::SilentCorruption));
+    return O;
+  }
+  if (!similarStates(Run.zapTag(), Run.state(), RefFinal.S)) {
+    Fail(Verdict::DissimilarState, abnormalMessage(Verdict::DissimilarState));
+    return O;
+  }
+  O.V = Verdict::Masked;
+  return O;
+}
+
+} // namespace
+
+CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
+                                                const CheckedProgram &CP,
+                                                const TheoremConfig &Config,
+                                                const CampaignOptions &Opts) {
+  CampaignResult R;
+  auto AddViolation = [&](std::string V) {
+    R.Ok = false;
+    if (R.Violations.size() < Config.MaxViolations)
+      R.Violations.push_back(std::move(V));
+  };
+
+  // Phase 1 (serial): the reference execution, snapshotting every
+  // injection step. Typed campaigns keep full TrackedRun snapshots (state
+  // plus closing substitution); classification-only campaigns keep just
+  // the machine state and the trace length.
+  Clock::time_point RefStart = Clock::now();
+  bool Typed = Config.TypeCheckFaultyStates;
+  uint64_t Stride = std::max<uint64_t>(1, Config.InjectionStride);
+
+  TrackedRun Run(TC, CP, Config.Policy);
+  if (Error E = Run.start()) {
+    AddViolation("cannot start: " + E.message());
+    return R;
+  }
+
+  std::vector<TrackedRun::Snapshot> TypedSnaps;
+  std::vector<UntypedSnapshot> Snaps;
+  auto TakeSnapshot = [&] {
+    if (Typed)
+      TypedSnaps.push_back(Run.snapshot());
+    else
+      Snaps.push_back({Run.state(), Run.steps(), Run.trace().size()});
+  };
+
+  TakeSnapshot(); // Step 0 is always an injection point.
+  while (!Run.atExitBlock()) {
+    if (Run.steps() >= Config.MaxSteps) {
+      AddViolation("reference run exceeded MaxSteps");
+      return R;
+    }
+    StepResult SR = Run.stepOnce();
+    if (SR.Status != StepStatus::Ok) {
+      AddViolation(formatv("reference run failed at step %llu (%s)",
+                           (unsigned long long)Run.steps(),
+                           SR.Status == StepStatus::Stuck ? "stuck"
+                                                          : "false positive"));
+      return R;
+    }
+    if (Run.steps() % Stride == 0)
+      TakeSnapshot();
+  }
+  TrackedRun::Snapshot RefFinal = Run.snapshot();
+  R.ReferenceSteps = RefFinal.Steps;
+  R.ReferenceTrace = RefFinal.Trace;
+
+  // Phase 2 (serial): enumerate the full work list in the order the serial
+  // checker visits it, so merged violation lists match it exactly.
+  std::set<unsigned> UsedRegs;
+  if (Config.OnlyMentionedRegisters)
+    UsedRegs = mentionedRegisters(*CP.Prog);
+  std::vector<int64_t> Corruptions = representativeCorruptions(*CP.Prog);
+
+  size_t NumSnaps = Typed ? TypedSnaps.size() : Snaps.size();
+  std::vector<InjectionTask> Tasks;
+  for (size_t SI = 0; SI != NumSnaps; ++SI) {
+    const MachineState &S = Typed ? TypedSnaps[SI].S : Snaps[SI].S;
+    for (const FaultSite &Site : enumerateFaultSites(S)) {
+      if (Config.OnlyMentionedRegisters &&
+          Site.K == FaultSite::Kind::Register &&
+          !UsedRegs.count(Site.R.denseIndex()))
+        continue;
+      int64_t Current = currentValueAt(S, Site);
+      for (int64_t Corruption : Corruptions) {
+        if (Corruption == Current)
+          continue; // reg-zap replaces the value with a *different* one.
+        Tasks.push_back({(uint32_t)SI, Site, Corruption});
+      }
+    }
+  }
+  R.Stats.ReferenceSeconds = secondsSince(RefStart);
+  R.Stats.Tasks = Tasks.size();
+
+  // Phase 3: classify every continuation. Typed campaigns run serially
+  // through the shared TypeContext; classification-only campaigns fan out.
+  Clock::time_point InjectStart = Clock::now();
+  if (Typed) {
+    R.Stats.ThreadsUsed = 1;
+    uint64_t Done = 0;
+    for (const InjectionTask &T : Tasks) {
+      const TrackedRun::Snapshot *At = &TypedSnaps[T.SnapIdx];
+      TrackedRun::Snapshot Replayed;
+      if (Opts.Resume == ResumeMode::Replay) {
+        // Rebuild the snapshot by re-executing the reference prefix.
+        TrackedRun Fresh(TC, CP, Config.Policy);
+        if (Error E = Fresh.start()) {
+          AddViolation("cannot start: " + E.message());
+          return R;
+        }
+        while (Fresh.steps() < TypedSnaps[T.SnapIdx].Steps)
+          Fresh.stepOnce();
+        Replayed = Fresh.snapshot();
+        At = &Replayed;
+      }
+      TypedOutcome O = runTypedInjection(Config, Run, *At, T.Site, T.Value,
+                                         RefFinal, RefFinal.Trace);
+      R.Table[O.V] += 1;
+      R.StatesTypechecked += O.Typechecked;
+      if (!isBenign(O.V))
+        AddViolation(std::move(O.Detail));
+      ++Done;
+      if (Opts.Progress && Opts.ProgressInterval &&
+          (Done % Opts.ProgressInterval == 0 || Done == Tasks.size()))
+        Opts.Progress({Done, Tasks.size()});
+    }
+  } else {
+    unsigned Threads = Opts.Threads ? Opts.Threads
+                                    : std::max(1u, std::thread::hardware_concurrency());
+    R.Stats.ThreadsUsed =
+        (unsigned)std::min<uint64_t>(Threads, std::max<size_t>(1, Tasks.size()));
+    Expected<MachineState> Initial = CP.Prog->initialState();
+    if (Error E = Initial.takeError()) {
+      AddViolation("cannot start: " + E.message());
+      return R;
+    }
+
+    std::vector<uint8_t> Verdicts(Tasks.size(), 0);
+    std::vector<std::string> Details(Tasks.size());
+    auto RunOne = [&](uint64_t I) {
+      const InjectionTask &T = Tasks[I];
+      const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
+      Verdict V;
+      if (Opts.Resume == ResumeMode::Snapshot) {
+        V = classifyContinuation(CP, Config.Policy, Config.ExtraSteps,
+                                 RefFinal.Trace, RefFinal.S, RefFinal.Steps,
+                                 Snap.S, Snap.Steps, Snap.TraceLen, T.Site,
+                                 T.Value);
+      } else {
+        MachineState S = *Initial;
+        OutputTrace Prefix;
+        replaySteps(S, Snap.Steps, Prefix, Config.Policy);
+        V = classifyContinuation(CP, Config.Policy, Config.ExtraSteps,
+                                 RefFinal.Trace, RefFinal.S, RefFinal.Steps,
+                                 std::move(S), Snap.Steps, Prefix.size(),
+                                 T.Site, T.Value);
+      }
+      Verdicts[I] = (uint8_t)V;
+      if (!isBenign(V))
+        Details[I] =
+            describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
+    };
+    dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
+                  Opts.Progress);
+
+    // Deterministic merge: counters sum, violations keep enumeration order.
+    for (size_t I = 0; I != Tasks.size(); ++I) {
+      Verdict V = (Verdict)Verdicts[I];
+      R.Table[V] += 1;
+      if (!isBenign(V))
+        AddViolation(std::move(Details[I]));
+    }
+  }
+
+  R.Stats.WallSeconds = secondsSince(InjectStart);
+  if (R.Stats.WallSeconds > 0)
+    R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
+  return R;
+}
+
+namespace {
+
+/// Classifies one explicit injection plan on the raw semantics.
+Verdict classifyPlan(const Program &Prog, const StepPolicy &Policy,
+                     uint64_t ExtraSteps, const OutputTrace &RefTrace,
+                     const MachineState &RefFinal, uint64_t RefSteps,
+                     MachineState S, const InjectionPlan &Plan) {
+  size_t MatchPos = 0;
+  bool Diverged = false;
+  auto Track = [&](const StepResult &SR) {
+    if (SR.Output) {
+      if (!Diverged && MatchPos < RefTrace.size() &&
+          *SR.Output == RefTrace[MatchPos])
+        ++MatchPos;
+      else
+        Diverged = true;
+    }
+  };
+
+  uint64_t Now = 0;
+  std::optional<Color> ZapColor;
+  bool MixedColors = false;
+  for (const InjectionPoint &P : Plan) {
+    assert(P.Step >= Now && "injection plan must be step-ordered");
+    while (Now < P.Step) {
+      StepResult SR = step(S, Policy);
+      if (SR.Status == StepStatus::Stuck)
+        return Verdict::Stuck;
+      ++Now;
+      Track(SR);
+      if (SR.Status == StepStatus::Fault)
+        return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+    }
+    Color C = faultColor(S, P.Site);
+    if (ZapColor && *ZapColor != C)
+      MixedColors = true;
+    ZapColor = C;
+    injectFault(S, P.Site, P.Value);
+  }
+
+  uint64_t Budget = (RefSteps > Now ? RefSteps - Now : 0) + ExtraSteps;
+  uint64_t Taken = 0;
+  Addr Exit = Prog.exitAddress();
+  while (true) {
+    if (atExit(S, Exit))
+      break;
+    if (Taken >= Budget)
+      return Verdict::BudgetExhausted;
+    StepResult SR = step(S, Policy);
+    ++Taken;
+    Track(SR);
+    if (SR.Status == StepStatus::Stuck)
+      return Verdict::Stuck;
+    if (SR.Status == StepStatus::Fault)
+      return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  }
+
+  if (Diverged || MatchPos != RefTrace.size())
+    return Verdict::SilentCorruption;
+  // Similarity is indexed by a single zap color; a cross-color plan has no
+  // such index, so it classifies on the trace alone.
+  if (!MixedColors && ZapColor &&
+      !similarStates(ZapTag::color(*ZapColor), S, RefFinal))
+    return Verdict::DissimilarState;
+  return Verdict::Masked;
+}
+
+std::string describePlan(const InjectionPlan &Plan, const char *What) {
+  std::string S = "plan [";
+  for (size_t I = 0; I != Plan.size(); ++I) {
+    if (I)
+      S += "; ";
+    S += formatv("%s := %lld at step %llu", Plan[I].Site.str().c_str(),
+                 (long long)Plan[I].Value, (unsigned long long)Plan[I].Step);
+  }
+  S += "]: ";
+  S += What;
+  return S;
+}
+
+} // namespace
+
+CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
+                                        const CampaignOptions &Opts) {
+  CampaignResult R;
+  assert(Spec.Prog && "plan campaign needs a program");
+
+  Clock::time_point RefStart = Clock::now();
+  Expected<MachineState> S0 = Spec.Prog->initialState();
+  if (!S0) {
+    R.Ok = false;
+    R.Violations.push_back("cannot build initial state: " + S0.message());
+    return R;
+  }
+  MachineState Final = *S0;
+  RunResult RefRun =
+      run(Final, Spec.Prog->exitAddress(), Spec.MaxReferenceSteps, Spec.Policy);
+  if (RefRun.Status != RunStatus::Halted) {
+    R.Ok = false;
+    R.Violations.push_back(formatv("reference run did not halt (%s after %llu steps)",
+                                   runStatusName(RefRun.Status),
+                                   (unsigned long long)RefRun.Steps));
+    return R;
+  }
+  R.ReferenceSteps = RefRun.Steps;
+  R.ReferenceTrace = RefRun.Trace;
+  R.Stats.ReferenceSeconds = secondsSince(RefStart);
+  R.Stats.Tasks = Spec.Plans.size();
+
+  Clock::time_point InjectStart = Clock::now();
+  unsigned Threads = Opts.Threads ? Opts.Threads
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  R.Stats.ThreadsUsed = (unsigned)std::min<uint64_t>(
+      Threads, std::max<size_t>(1, Spec.Plans.size()));
+
+  std::vector<uint8_t> Verdicts(Spec.Plans.size(), 0);
+  auto RunOne = [&](uint64_t I) {
+    Verdicts[I] = (uint8_t)classifyPlan(*Spec.Prog, Spec.Policy,
+                                        Spec.ExtraSteps, RefRun.Trace, Final,
+                                        RefRun.Steps, *S0, Spec.Plans[I]);
+  };
+  dispatchTasks(Threads, Spec.Plans.size(), RunOne, Opts.ProgressInterval,
+                Opts.Progress);
+
+  for (size_t I = 0; I != Spec.Plans.size(); ++I) {
+    Verdict V = (Verdict)Verdicts[I];
+    R.Table[V] += 1;
+    // Multi-fault plans legitimately produce SilentCorruption (that is what
+    // the double-fault ablation demonstrates); only a wedged machine is a
+    // campaign-level violation here.
+    if (V == Verdict::Stuck || V == Verdict::BudgetExhausted) {
+      R.Ok = false;
+      if (R.Violations.size() < 16)
+        R.Violations.push_back(describePlan(Spec.Plans[I], abnormalMessage(V)));
+    }
+  }
+
+  R.Stats.WallSeconds = secondsSince(InjectStart);
+  if (R.Stats.WallSeconds > 0)
+    R.Stats.TriplesPerSecond =
+        (double)Spec.Plans.size() / R.Stats.WallSeconds;
+  return R;
+}
+
+namespace {
+
+void appendJsonEscaped(std::string &Out, const std::string &In) {
+  Out += '"';
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20)
+        Out += formatv("\\u%04x", (unsigned)(unsigned char)C);
+      else
+        Out += C;
+    }
+  }
+  Out += '"';
+}
+
+} // namespace
+
+std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
+  std::string P(Indent, ' ');
+  std::string S;
+  S += P + "{\n";
+  S += P + formatv("  \"ok\": %s,\n", R.Ok ? "true" : "false");
+  S += P + formatv("  \"reference_steps\": %llu,\n",
+                   (unsigned long long)R.ReferenceSteps);
+  S += P + formatv("  \"injections\": %llu,\n",
+                   (unsigned long long)R.Table.total());
+  S += P + "  \"verdicts\": {";
+  for (size_t I = 0; I != NumVerdicts; ++I) {
+    if (I)
+      S += ", ";
+    S += formatv("\"%s\": %llu", verdictJsonKey((Verdict)I),
+                 (unsigned long long)R.Table.Counts[I]);
+  }
+  S += "},\n";
+  S += P + formatv("  \"states_typechecked\": %llu,\n",
+                   (unsigned long long)R.StatesTypechecked);
+  S += P + "  \"violations\": [";
+  for (size_t I = 0; I != R.Violations.size(); ++I) {
+    S += I ? ", " : "";
+    appendJsonEscaped(S, R.Violations[I]);
+  }
+  S += "],\n";
+  S += P + formatv("  \"stats\": {\"threads\": %u, \"tasks\": %llu, "
+                   "\"reference_seconds\": %.6f, \"wall_seconds\": %.6f, "
+                   "\"triples_per_second\": %.1f}\n",
+                   R.Stats.ThreadsUsed, (unsigned long long)R.Stats.Tasks,
+                   R.Stats.ReferenceSeconds, R.Stats.WallSeconds,
+                   R.Stats.TriplesPerSecond);
+  S += P + "}";
+  return S;
+}

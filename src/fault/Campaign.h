@@ -1,0 +1,194 @@
+//===- fault/Campaign.h - Parallel fault-injection campaign engine --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Theorem 4 sweep is embarrassingly parallel: every (reference step,
+/// fault site, representative corruption) triple is an independent faulty
+/// continuation. The campaign engine enumerates the full work list up
+/// front, partitions it deterministically across a worker pool, classifies
+/// each continuation into a Verdict, and merges per-worker tallies into a
+/// single table. Results are bit-identical for any thread count and for
+/// either resume mode: per-task verdicts are stored by task index, counters
+/// are order-independent sums, and violation descriptions are emitted in
+/// enumeration order with the cap applied after the merge.
+///
+/// Workers either resume from a per-step snapshot of the reference
+/// MachineState (the default) or re-execute the reference prefix from step
+/// 0; deterministic semantics make the two equivalent, and the test suite
+/// checks they agree.
+///
+/// Campaigns that re-typecheck faulty states (Theorem 2 part 2) run
+/// serially regardless of the requested thread count: the type checker
+/// hash-conses expressions through the shared TypeContext, which is not
+/// thread-safe. The classification-only sweep — the common case and the
+/// scaling bottleneck — touches only MachineState, the step function and
+/// the similarity relations, all of which are thread-pure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_FAULT_CAMPAIGN_H
+#define TALFT_FAULT_CAMPAIGN_H
+
+#include "fault/Theorems.h"
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace talft {
+
+/// Classification of one injected-fault continuation.
+enum class Verdict : uint8_t {
+  /// Completed with the reference output trace and a final state similar
+  /// to the reference modulo the corrupted color (Theorem 4, case 1).
+  Masked = 0,
+  /// The hardware signaled a fault and the partial output was a prefix of
+  /// the reference output (Theorem 4, case 2).
+  Detected,
+  /// Completed with a DIFFERENT output trace. Falsifies Theorem 4.
+  SilentCorruption,
+  /// Completed with the reference trace, but a final state not similar to
+  /// the reference.
+  DissimilarState,
+  /// Detected, but the partial output was not a reference prefix.
+  DetectedBadPrefix,
+  /// Neither completed nor was detected within the step budget.
+  BudgetExhausted,
+  /// A faulty state got stuck (Progress, part 2, violated).
+  Stuck,
+  /// A faulty state failed re-typechecking (only with
+  /// TheoremConfig::TypeCheckFaultyStates).
+  IllTyped,
+};
+
+inline constexpr size_t NumVerdicts = 8;
+
+/// Human-readable name ("masked", "detected", ...).
+const char *verdictName(Verdict V);
+/// Stable snake_case key used in JSON reports ("silent_corruption", ...).
+const char *verdictJsonKey(Verdict V);
+
+/// Per-verdict tallies, mergeable across workers.
+struct VerdictTable {
+  std::array<uint64_t, NumVerdicts> Counts{};
+
+  uint64_t &operator[](Verdict V) { return Counts[size_t(V)]; }
+  uint64_t operator[](Verdict V) const { return Counts[size_t(V)]; }
+
+  uint64_t total() const;
+  /// Masked + Detected: the two benign Theorem 4 cases.
+  uint64_t benign() const;
+  void merge(const VerdictTable &O);
+
+  bool operator==(const VerdictTable &) const = default;
+};
+
+/// How a worker reconstructs the reference state at an injection step.
+enum class ResumeMode : uint8_t {
+  /// Copy the per-step snapshot taken during the reference run (default).
+  Snapshot,
+  /// Re-execute the reference prefix from step 0 (slower; used to
+  /// cross-check snapshot integrity).
+  Replay,
+};
+
+struct CampaignProgress {
+  uint64_t Completed = 0;
+  uint64_t Total = 0;
+};
+
+/// Execution knobs for a campaign. Theorem-level knobs (stride, budgets,
+/// site filters) stay in TheoremConfig.
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Forced to 1
+  /// when the campaign re-typechecks faulty states (see file comment).
+  unsigned Threads = 1;
+  ResumeMode Resume = ResumeMode::Snapshot;
+  /// Invoke Progress after roughly every this many completed tasks
+  /// (0 disables). Calls are serialized but may fire on any worker.
+  uint64_t ProgressInterval = 0;
+  std::function<void(const CampaignProgress &)> Progress;
+};
+
+struct CampaignStats {
+  /// Injection phase only (excludes the reference run).
+  double WallSeconds = 0;
+  /// Reference execution and snapshotting.
+  double ReferenceSeconds = 0;
+  double TriplesPerSecond = 0;
+  unsigned ThreadsUsed = 1;
+  uint64_t Tasks = 0;
+};
+
+/// The merged outcome of a campaign.
+struct CampaignResult {
+  /// False when any continuation received a non-benign verdict, or the
+  /// reference run itself failed.
+  bool Ok = true;
+  uint64_t ReferenceSteps = 0;
+  OutputTrace ReferenceTrace;
+  VerdictTable Table;
+  /// States re-typed in faulty continuations (typed campaigns only).
+  uint64_t StatesTypechecked = 0;
+  /// Violation descriptions in task-enumeration order, capped at
+  /// TheoremConfig::MaxViolations after the merge.
+  std::vector<std::string> Violations;
+  CampaignStats Stats;
+};
+
+/// The Theorem 4 exhaustive single-fault sweep, parallelized. With one
+/// thread this reproduces checkFaultTolerance exactly (Theorems.cpp
+/// delegates here); with N threads the verdict table, violation list and
+/// every counter are bit-identical to the serial run.
+CampaignResult runFaultToleranceCampaign(TypeContext &TC,
+                                         const CheckedProgram &CP,
+                                         const TheoremConfig &Config,
+                                         const CampaignOptions &Opts);
+
+/// One scheduled corruption of an explicit multi-fault plan: when the run
+/// reaches \p Step transitions, replace the payload at \p Site with
+/// \p Value.
+struct InjectionPoint {
+  uint64_t Step = 0;
+  FaultSite Site;
+  int64_t Value = 0;
+};
+
+/// A plan is a step-ordered list of injections (one point = the SEU model;
+/// two points = the double-fault ablation).
+using InjectionPlan = std::vector<InjectionPoint>;
+
+/// A batch of explicit plans classified against one reference run. Plans
+/// run on the raw semantics (no typing), so this also works for programs
+/// the checker rejects.
+struct PlanCampaign {
+  const Program *Prog = nullptr;
+  StepPolicy Policy;
+  /// Budget for the reference execution.
+  uint64_t MaxReferenceSteps = 100000;
+  /// Faulty continuations get the remaining reference steps plus this.
+  uint64_t ExtraSteps = 2000;
+  std::vector<InjectionPlan> Plans;
+};
+
+/// Classifies every plan in parallel. Final-state similarity is only
+/// meaningful when every injection of a plan corrupts the same color (the
+/// zap tag is a single color); cross-color plans classify on the output
+/// trace alone. Ok here means no plan got stuck or exhausted its budget —
+/// SilentCorruption is tallied, not treated as a violation, because
+/// multi-fault ablations *expect* it; callers judge the table themselves.
+CampaignResult runInjectionPlans(const PlanCampaign &Spec,
+                                 const CampaignOptions &Opts);
+
+/// Renders a campaign result as a JSON object (no trailing newline).
+/// \p Indent is the number of spaces prefixed to every line, letting
+/// callers nest the object in a larger report.
+std::string campaignToJson(const CampaignResult &R, unsigned Indent = 0);
+
+} // namespace talft
+
+#endif // TALFT_FAULT_CAMPAIGN_H

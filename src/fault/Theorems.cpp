@@ -6,9 +6,8 @@
 
 #include "fault/Theorems.h"
 
+#include "fault/Campaign.h"
 #include "support/StringUtils.h"
-
-#include <set>
 
 using namespace talft;
 
@@ -59,159 +58,29 @@ TheoremReport talft::checkFaultFreeExecution(TypeContext &TC,
   return Report;
 }
 
-namespace {
-
-/// Registers the program mentions anywhere, plus the specials.
-std::set<unsigned> mentionedRegisters(const Program &Prog) {
-  std::set<unsigned> Used;
-  for (const Block &B : Prog.blocks()) {
-    for (const ProgInst &PI : B.Insts) {
-      const Inst &I = PI.I;
-      Used.insert(I.Rd.denseIndex());
-      Used.insert(I.Rs.denseIndex());
-      if (!I.HasImm)
-        Used.insert(I.Rt.denseIndex());
-    }
-  }
-  Used.insert(Reg::dest().denseIndex());
-  Used.insert(Reg::pcG().denseIndex());
-  Used.insert(Reg::pcB().denseIndex());
-  return Used;
-}
-
-/// Runs one faulty continuation and classifies it against the reference.
-void runInjection(TypeContext &TC, const CheckedProgram &CP,
-                  const TheoremConfig &Config, TrackedRun &Run,
-                  const TrackedRun::Snapshot &At, const FaultSite &Site,
-                  int64_t Corruption, const TrackedRun::Snapshot &RefFinal,
-                  const OutputTrace &RefTrace, TheoremReport &Report) {
-  Run.restore(At);
-  Run.injectSingleFault(Site, Corruption);
-  ++Report.InjectionsTested;
-
-  auto Describe = [&](const char *What) {
-    return formatv("inject %s := %lld at step %llu: %s", Site.str().c_str(),
-                   (long long)Corruption, (unsigned long long)At.Steps, What);
-  };
-
-  uint64_t Budget = RefFinal.Steps - At.Steps + Config.ExtraSteps;
-  uint64_t Taken = 0;
-  uint64_t SinceInjection = 0;
-  while (true) {
-    if (Config.TypeCheckFaultyStates &&
-        SinceInjection % Config.FaultyTypeCheckStride == 0) {
-      // Preservation, part 2: the corrupted state (and its successors)
-      // are well-typed under the corrupted color's zap tag.
-      if (Error E = Run.checkTyped()) {
-        Report.addViolation(
-            Describe(("faulty state not well-typed: " + E.message()).c_str()),
-            Config.MaxViolations);
-        return;
-      }
-      ++Report.StatesTypechecked;
-    }
-    if (Run.atExitBlock())
-      break;
-    if (Taken >= Budget) {
-      Report.addViolation(Describe("faulty run exceeded its step budget "
-                                   "without detection or completion"),
-                          Config.MaxViolations);
-      return;
-    }
-    StepResult SR = Run.stepOnce();
-    ++Taken;
-    ++SinceInjection;
-    if (SR.Status == StepStatus::Stuck) {
-      // Progress, part 2, violated.
-      Report.addViolation(Describe("faulty run got stuck"),
-                          Config.MaxViolations);
-      return;
-    }
-    if (SR.Status == StepStatus::Fault) {
-      // Theorem 4, case 2: the output must be a prefix of the reference.
-      ++Report.DetectedFaults;
-      if (!isTracePrefix(Run.trace(), RefTrace))
-        Report.addViolation(Describe("detected, but the faulty output is "
-                                     "not a prefix of the reference output"),
-                            Config.MaxViolations);
-      return;
-    }
-  }
-
-  // Theorem 4, case 1: the fault was masked. The full output must be
-  // identical and the final state similar modulo the corrupted color.
-  ++Report.MaskedFaults;
-  if (!(Run.trace() == RefTrace)) {
-    Report.addViolation(Describe("completed with a DIFFERENT output trace "
-                                 "(silent data corruption)"),
-                        Config.MaxViolations);
-    return;
-  }
-  if (!similarStates(Run.zapTag(), Run.state(), RefFinal.S))
-    Report.addViolation(Describe("completed but the final state is not "
-                                 "similar to the reference final state"),
-                        Config.MaxViolations);
-  (void)TC;
-  (void)CP;
-}
-
-} // namespace
-
 TheoremReport talft::checkFaultTolerance(TypeContext &TC,
                                          const CheckedProgram &CP,
                                          const TheoremConfig &Config) {
+  // The exhaustive sweep is the campaign engine's single-fault campaign;
+  // one worker reproduces the historical serial behavior (and the engine
+  // guarantees identical verdicts for any worker count anyway).
+  CampaignOptions Opts;
+  Opts.Threads = 1;
+  CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
+
   TheoremReport Report;
-  TrackedRun Run(TC, CP, Config.Policy);
-  if (Error E = Run.start()) {
-    Report.addViolation("cannot start: " + E.message(), Config.MaxViolations);
-    return Report;
-  }
-
-  // Reference execution, snapshotting every state.
-  std::vector<TrackedRun::Snapshot> Snapshots;
-  Snapshots.push_back(Run.snapshot());
-  while (!Run.atExitBlock()) {
-    if (Run.steps() >= Config.MaxSteps) {
-      Report.addViolation("reference run exceeded MaxSteps",
-                          Config.MaxViolations);
-      return Report;
-    }
-    StepResult SR = Run.stepOnce();
-    if (SR.Status != StepStatus::Ok) {
-      Report.addViolation(formatv("reference run failed at step %llu (%s)",
-                                  (unsigned long long)Run.steps(),
-                                  SR.Status == StepStatus::Stuck
-                                      ? "stuck"
-                                      : "false positive"),
-                          Config.MaxViolations);
-      return Report;
-    }
-    Snapshots.push_back(Run.snapshot());
-  }
-  TrackedRun::Snapshot RefFinal = Run.snapshot();
-  Report.ReferenceSteps = RefFinal.Steps;
-  Report.ReferenceTrace = RefFinal.Trace;
-
-  std::set<unsigned> UsedRegs;
-  if (Config.OnlyMentionedRegisters)
-    UsedRegs = mentionedRegisters(*CP.Prog);
-  std::vector<int64_t> Corruptions = representativeCorruptions(*CP.Prog);
-
-  for (size_t K = 0; K < Snapshots.size(); K += Config.InjectionStride) {
-    const TrackedRun::Snapshot &At = Snapshots[K];
-    for (const FaultSite &Site : enumerateFaultSites(At.S)) {
-      if (Config.OnlyMentionedRegisters &&
-          Site.K == FaultSite::Kind::Register &&
-          !UsedRegs.count(Site.R.denseIndex()))
-        continue;
-      int64_t Current = currentValueAt(At.S, Site);
-      for (int64_t Corruption : Corruptions) {
-        if (Corruption == Current)
-          continue; // reg-zap replaces the value with a *different* one.
-        runInjection(TC, CP, Config, Run, At, Site, Corruption, RefFinal,
-                     RefFinal.Trace, Report);
-      }
-    }
-  }
+  Report.Ok = R.Ok;
+  Report.ReferenceSteps = R.ReferenceSteps;
+  Report.ReferenceTrace = std::move(R.ReferenceTrace);
+  Report.StatesTypechecked = R.StatesTypechecked;
+  Report.InjectionsTested = R.Table.total();
+  Report.DetectedFaults =
+      R.Table[Verdict::Detected] + R.Table[Verdict::DetectedBadPrefix];
+  // The serial checker tallied every completed continuation as "masked"
+  // before checking the trace and final state; keep that accounting.
+  Report.MaskedFaults = R.Table[Verdict::Masked] +
+                        R.Table[Verdict::SilentCorruption] +
+                        R.Table[Verdict::DissimilarState];
+  Report.Violations = std::move(R.Violations);
   return Report;
 }

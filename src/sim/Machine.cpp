@@ -55,6 +55,27 @@ RunResult talft::run(MachineState &S, Addr ExitAddr, uint64_t MaxSteps,
   return Result;
 }
 
+ReplayResult talft::replaySteps(MachineState &S, uint64_t NSteps,
+                                OutputTrace &Trace,
+                                const StepPolicy &Policy) {
+  ReplayResult Result;
+  while (Result.Taken < NSteps) {
+    StepResult SR = step(S, Policy);
+    if (SR.Status == StepStatus::Stuck) {
+      Result.Last = StepStatus::Stuck;
+      return Result;
+    }
+    ++Result.Taken;
+    if (SR.Output)
+      Trace.push_back(*SR.Output);
+    if (SR.Status == StepStatus::Fault) {
+      Result.Last = StepStatus::Fault;
+      return Result;
+    }
+  }
+  return Result;
+}
+
 bool talft::isTracePrefix(const OutputTrace &Prefix, const OutputTrace &Full) {
   if (Prefix.size() > Full.size())
     return false;

@@ -66,6 +66,20 @@ RunResult run(MachineState &S, Addr ExitAddr, uint64_t MaxSteps,
 /// with agreeing program counters (the halt condition).
 bool atExit(const MachineState &S, Addr ExitAddr);
 
+/// The outcome of replaySteps: the status of the last transition taken and
+/// how many transitions were actually taken.
+struct ReplayResult {
+  StepStatus Last = StepStatus::Ok;
+  uint64_t Taken = 0;
+};
+
+/// Executes exactly \p NSteps transitions in place, stopping early only
+/// when a transition faults or gets stuck, and appending observable
+/// outputs to \p Trace. Deterministic semantics make this an exact
+/// substitute for restoring a step-\p NSteps snapshot of the same run.
+ReplayResult replaySteps(MachineState &S, uint64_t NSteps, OutputTrace &Trace,
+                         const StepPolicy &Policy = StepPolicy());
+
 /// True when \p Prefix is a prefix of \p Full (the fault-tolerance
 /// theorem's output condition for detected faults).
 bool isTracePrefix(const OutputTrace &Prefix, const OutputTrace &Full);
