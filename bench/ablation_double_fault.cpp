@@ -18,16 +18,20 @@
 //     single event.
 //
 // The pairs run as explicit injection plans on the campaign engine
-// (fault/Campaign.h), so the sweep parallelizes: pass --threads N.
+// (fault/Campaign.h), so the sweep parallelizes: pass --threads N. The
+// plans replay on the decoded VM engine by default; --engine reference
+// selects the structural interpreter (identical tallies by construction).
 //
 //===----------------------------------------------------------------------===//
 
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
+#include "vm/Engine.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 using namespace talft;
@@ -95,9 +99,22 @@ void report(const char *Label, const CampaignResult &R) {
 
 int main(int Argc, char **Argv) {
   unsigned Threads = 1;
-  for (int I = 1; I < Argc; ++I)
-    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc)
+  bool UseVm = true;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
       Threads = (unsigned)std::strtoul(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
+      const char *V = Argv[++I];
+      if (std::strcmp(V, "vm") == 0) {
+        UseVm = true;
+      } else if (std::strcmp(V, "reference") == 0) {
+        UseVm = false;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", V);
+        return 2;
+      }
+    }
+  }
 
   TypeContext TC;
   DiagnosticEngine Diags;
@@ -113,6 +130,11 @@ int main(int Argc, char **Argv) {
   Probe.Prog = &*Prog;
   CampaignOptions Opts;
   Opts.Threads = Threads;
+  std::unique_ptr<ExecEngine> Vm;
+  if (UseVm) {
+    Vm = vm::createEngine(Prog->code());
+    Opts.Engine = Vm.get();
+  }
   CampaignResult Ref = runInjectionPlans(Probe, Opts);
   if (!Ref.Ok) {
     std::fprintf(stderr, "reference run failed\n");
@@ -135,8 +157,8 @@ int main(int Argc, char **Argv) {
 
   std::printf("Ablation D: double faults vs. the Single Event Upset model\n");
   std::printf("(paired-store program; correlated value pairs; 'silent' = "
-              "completed with wrong output; %u thread%s)\n\n",
-              Threads, Threads == 1 ? "" : "s");
+              "completed with wrong output; %u thread%s; %s engine)\n\n",
+              Threads, Threads == 1 ? "" : "s", UseVm ? "vm" : "reference");
   std::printf("%-28s %10s %9s %7s %7s %6s\n", "fault pair", "injections",
               "detected", "masked", "silent", "other");
   std::printf("%.*s\n", 72,

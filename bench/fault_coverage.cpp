@@ -18,12 +18,16 @@
 //
 // The sweep runs on the parallel campaign engine (fault/Campaign.h):
 //
-//   fault_coverage [--threads N] [--stride N] [--json [FILE]]
+//   fault_coverage [--threads N] [--stride N] [--engine E] [--json [FILE]]
 //
 //   --threads N   worker threads (default 1; 0 = hardware concurrency).
 //                 Verdict tables are bit-identical for every N.
 //   --stride N    inject at every Nth reference state (default 1 for the
 //                 TAL programs, 7 for the compiled kernel).
+//   --engine E    execution engine for the faulty continuations:
+//                 'vm' (default, the decoded fast path) or 'reference'
+//                 (the structural interpreter). Engines are bit-identical
+//                 by construction, so the verdicts cannot depend on this.
 //   --json [FILE] emit a machine-readable report (schema
 //                 talft-fault-campaign-v1) to FILE, or stdout with the
 //                 human table on stderr.
@@ -33,11 +37,13 @@
 #include "check/ProgramChecker.h"
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
+#include "vm/Engine.h"
 #include "wile/Codegen.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -117,13 +123,15 @@ block done {
 struct Cli {
   unsigned Threads = 1;
   uint64_t Stride = 0; // 0 = per-program default
+  bool UseVm = true;
   bool Json = false;
   std::string JsonPath; // empty = stdout
 };
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threads N] [--stride N] [--json [FILE]]\n",
+               "usage: %s [--threads N] [--stride N] "
+               "[--engine reference|vm] [--json [FILE]]\n",
                Argv0);
 }
 
@@ -145,6 +153,16 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
       C.Threads = (unsigned)N;
     } else if (std::strcmp(A, "--stride") == 0) {
       if (!NumArg(C.Stride) || C.Stride == 0)
+        return false;
+    } else if (std::strcmp(A, "--engine") == 0) {
+      if (I + 1 >= Argc)
+        return false;
+      const char *V = Argv[++I];
+      if (std::strcmp(V, "vm") == 0)
+        C.UseVm = true;
+      else if (std::strcmp(V, "reference") == 0)
+        C.UseVm = false;
+      else
         return false;
     } else if (std::strcmp(A, "--json") == 0) {
       C.Json = true;
@@ -193,6 +211,12 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   Config.InjectionStride = Stride;
   CampaignOptions Opts;
   Opts.Threads = C.Threads;
+  // The VM engine is bound to one CodeMemory, so it is built per program.
+  std::unique_ptr<ExecEngine> Vm;
+  if (C.UseVm) {
+    Vm = vm::createEngine(CP.Prog->code());
+    Opts.Engine = Vm.get();
+  }
   CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
   Rows.push_back({Name, std::move(R), Stride});
   printRow(tableStream(C), Rows.back());
@@ -238,6 +262,7 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
   S += "  \"schema\": \"talft-fault-campaign-v1\",\n";
+  S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
@@ -265,8 +290,9 @@ int main(int Argc, char **Argv) {
   FILE *Out = tableStream(C);
   std::fprintf(Out, "Theorem 4 exhaustive single-fault sweep\n");
   std::fprintf(Out, "(every step x fault site x representative corruption; "
-                    "'violations' must be 0; %u thread%s)\n\n",
-               C.Threads, C.Threads == 1 ? "" : "s");
+                    "'violations' must be 0; %u thread%s; %s engine)\n\n",
+               C.Threads, C.Threads == 1 ? "" : "s",
+               C.UseVm ? "vm" : "reference");
   std::fprintf(Out, "%-18s %9s %11s %9s %8s %10s %9s %11s\n", "program",
                "ref steps", "injections", "detected", "masked", "violations",
                "wall", "triples/s");

@@ -1,0 +1,213 @@
+//===- bench/vm_speedup.cpp - Reference vs. decoded-VM step rate ----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the decoded fast path (vm/Engine.h) buys over the
+// structural reference interpreter: both engines execute the same
+// compiled Figure 10 kernels to completion and we compare machine steps
+// per second. The engines are observationally bit-identical (enforced by
+// tests/vm_differential_test.cpp), so this is a pure substrate
+// comparison — same programs, same traces, same step counts.
+//
+//   vm_speedup                 google-benchmark mode (one pair of
+//                              benchmarks per kernel, usual gbench flags)
+//   vm_speedup --json [FILE]   self-timed comparison written as a
+//                              machine-readable report (schema
+//                              talft-bench-v1) to FILE or stdout
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExecEngine.h"
+#include "vm/Engine.h"
+#include "wile/Codegen.h"
+#include "wile/Kernels.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace talft;
+
+namespace {
+
+constexpr uint64_t MaxSteps = 50'000'000;
+
+/// One compiled kernel both engines run. The program (and the TypeContext
+/// its types live in) sit behind stable pointers: the VM engine keeps a
+/// pointer into the program's CodeMemory for its lifetime.
+struct Subject {
+  std::string Name;
+  std::string Suite;
+  std::unique_ptr<TypeContext> TC;
+  std::unique_ptr<wile::CompiledProgram> CP;
+  std::unique_ptr<ExecEngine> Vm;
+  uint64_t Steps = 0; // reference run length (identical on both engines)
+};
+
+/// Compiles every kernel that builds and halts, with a VM bound to each.
+std::vector<Subject> &subjects() {
+  static std::vector<Subject> Subjects = [] {
+    std::vector<Subject> Out;
+    for (const wile::Kernel &K : wile::benchmarkKernels()) {
+      Subject S;
+      S.Name = K.Name;
+      S.Suite = K.Suite;
+      S.TC = std::make_unique<TypeContext>();
+      DiagnosticEngine Diags;
+      Expected<wile::CompiledProgram> CP = wile::compileWile(
+          *S.TC, K.Source, wile::CodegenMode::FaultTolerant, Diags);
+      if (!CP)
+        continue;
+      S.CP = std::make_unique<wile::CompiledProgram>(std::move(*CP));
+      Expected<MachineState> M = S.CP->Prog.initialState();
+      if (!M)
+        continue;
+      RunResult R = run(*M, S.CP->Prog.exitAddress(), MaxSteps);
+      if (R.Status != RunStatus::Halted)
+        continue;
+      S.Steps = R.Steps;
+      S.Vm = vm::createEngine(S.CP->Prog.code());
+      Out.push_back(std::move(S));
+    }
+    return Out;
+  }();
+  return Subjects;
+}
+
+uint64_t runOnce(const ExecEngine &E, const Subject &S) {
+  Expected<MachineState> M = S.CP->Prog.initialState();
+  RunResult R = E.run(*M, S.CP->Prog.exitAddress(), MaxSteps, StepPolicy());
+  benchmark::DoNotOptimize(R.Trace.data());
+  return R.Steps;
+}
+
+// --- google-benchmark mode ---
+
+void BM_Engine(benchmark::State &State, const ExecEngine &E,
+               const Subject &S) {
+  uint64_t Steps = 0;
+  for (auto _ : State)
+    Steps += runOnce(E, S);
+  State.SetItemsProcessed((int64_t)Steps);
+  State.SetLabel("machine steps/sec");
+}
+
+int gbenchMain(int Argc, char **Argv) {
+  for (const Subject &S : subjects()) {
+    benchmark::RegisterBenchmark(("BM_Reference/" + S.Name).c_str(),
+                                 [&S](benchmark::State &St) {
+                                   BM_Engine(St, referenceEngine(), S);
+                                 });
+    benchmark::RegisterBenchmark(("BM_Vm/" + S.Name).c_str(),
+                                 [&S](benchmark::State &St) {
+                                   BM_Engine(St, *S.Vm, S);
+                                 });
+  }
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+// --- self-timed JSON mode ---
+
+/// Steps per second over repeated full runs, self-timed until the sample
+/// covers at least MinSeconds (after one warm-up run).
+double stepsPerSecond(const ExecEngine &E, const Subject &S,
+                      double MinSeconds) {
+  using Clock = std::chrono::steady_clock;
+  runOnce(E, S);
+  uint64_t Steps = 0;
+  Clock::time_point Start = Clock::now();
+  double Elapsed = 0;
+  do {
+    Steps += runOnce(E, S);
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Elapsed < MinSeconds);
+  return (double)Steps / Elapsed;
+}
+
+int jsonMain(const std::string &Path) {
+  std::string S = "{\n";
+  S += "  \"schema\": \"talft-bench-v1\",\n";
+  S += "  \"benchmark\": \"vm_speedup\",\n";
+  S += "  \"unit\": \"machine_steps_per_second\",\n";
+  S += "  \"kernels\": [\n";
+
+  const std::vector<Subject> &Subs = subjects();
+  size_t Largest = 0;
+  for (size_t I = 1; I < Subs.size(); ++I)
+    if (Subs[I].Steps > Subs[Largest].Steps)
+      Largest = I;
+
+  double LargestSpeedup = 0;
+  for (size_t I = 0; I != Subs.size(); ++I) {
+    const Subject &Sub = Subs[I];
+    double Ref = stepsPerSecond(referenceEngine(), Sub, 0.2);
+    double Vm = stepsPerSecond(*Sub.Vm, Sub, 0.2);
+    double Speedup = Ref > 0 ? Vm / Ref : 0;
+    if (I == Largest)
+      LargestSpeedup = Speedup;
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"name\": \"%s\", \"suite\": \"%s\", "
+                  "\"steps\": %llu, \"reference_steps_per_sec\": %.0f, "
+                  "\"vm_steps_per_sec\": %.0f, \"speedup\": %.2f, "
+                  "\"largest\": %s}%s\n",
+                  Sub.Name.c_str(), Sub.Suite.c_str(),
+                  (unsigned long long)Sub.Steps, Ref, Vm, Speedup,
+                  I == Largest ? "true" : "false",
+                  I + 1 != Subs.size() ? "," : "");
+    S += Buf;
+    std::fprintf(stderr, "%-12s %9llu steps  ref %12.0f/s  vm %12.0f/s  "
+                         "speedup %.2fx\n",
+                 Sub.Name.c_str(), (unsigned long long)Sub.Steps, Ref, Vm,
+                 Speedup);
+  }
+  S += "  ],\n";
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"largest_kernel\": {\"name\": \"%s\", \"speedup\": "
+                "%.2f}\n",
+                Subs.empty() ? "" : Subs[Largest].Name.c_str(),
+                LargestSpeedup);
+  S += Buf;
+  S += "}\n";
+
+  if (Path.empty()) {
+    std::fputs(S.c_str(), stdout);
+  } else {
+    FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 2;
+    }
+    std::fputs(S.c_str(), F);
+    std::fclose(F);
+    std::fprintf(stderr, "JSON report written to %s\n", Path.c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      std::string Path;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        Path = Argv[I + 1];
+      return jsonMain(Path);
+    }
+  }
+  return gbenchMain(Argc, Argv);
+}

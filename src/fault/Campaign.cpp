@@ -200,11 +200,29 @@ struct InjectionTask {
   int64_t Value = 0;
 };
 
-/// Classifies one faulty continuation on the raw semantics. \p S is the
-/// reference state at the injection step; \p TraceLen the reference trace
-/// length there. Mirrors the serial checker's control flow exactly (exit
-/// check before budget check) so verdicts agree bit-for-bit.
-Verdict classifyContinuation(const CheckedProgram &CP,
+/// Tracks whether a faulty run's outputs are still the prefix
+/// RefTrace[0, MatchPos): one mismatched output makes both the prefix and
+/// equality checks fail forever, so no faulty trace needs materializing.
+struct PrefixTracker {
+  const OutputTrace &RefTrace;
+  size_t MatchPos;
+  bool Diverged = false;
+
+  void track(const QueueEntry &Out) {
+    if (!Diverged && MatchPos < RefTrace.size() && Out == RefTrace[MatchPos])
+      ++MatchPos;
+    else
+      Diverged = true;
+  }
+};
+
+/// Classifies one faulty continuation on the raw semantics via \p E. \p S
+/// is the reference state at the injection step; \p TraceLen the reference
+/// trace length there. The engine's runContinuation reproduces the serial
+/// checker's control flow exactly (exit check before budget check) so
+/// verdicts agree bit-for-bit with the historical classifier — and, since
+/// engines are observationally identical, for every engine.
+Verdict classifyContinuation(const ExecEngine &E, const CheckedProgram &CP,
                              const StepPolicy &Policy, uint64_t ExtraSteps,
                              const OutputTrace &RefTrace,
                              const MachineState &RefFinal, uint64_t RefSteps,
@@ -214,35 +232,23 @@ Verdict classifyContinuation(const CheckedProgram &CP,
   injectFault(S, Site, Value);
 
   uint64_t Budget = RefSteps - AtSteps + ExtraSteps;
-  uint64_t Taken = 0;
-  // The faulty trace so far is RefTrace[0, MatchPos) as long as !Diverged;
-  // one mismatched output makes both the prefix and equality checks fail
-  // forever, so no trace needs to be materialized.
-  size_t MatchPos = TraceLen;
-  bool Diverged = false;
-  Addr Exit = CP.Prog->exitAddress();
+  PrefixTracker Prefix{RefTrace, TraceLen};
+  RunStatus St = E.runContinuation(
+      S, CP.Prog->exitAddress(), Budget, Policy,
+      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); });
 
-  while (true) {
-    if (atExit(S, Exit))
-      break;
-    if (Taken >= Budget)
-      return Verdict::BudgetExhausted;
-    StepResult SR = step(S, Policy);
-    ++Taken;
-    if (SR.Output) {
-      if (!Diverged && MatchPos < RefTrace.size() &&
-          *SR.Output == RefTrace[MatchPos])
-        ++MatchPos;
-      else
-        Diverged = true;
-    }
-    if (SR.Status == StepStatus::Stuck)
-      return Verdict::Stuck;
-    if (SR.Status == StepStatus::Fault)
-      return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  switch (St) {
+  case RunStatus::OutOfSteps:
+    return Verdict::BudgetExhausted;
+  case RunStatus::Stuck:
+    return Verdict::Stuck;
+  case RunStatus::FaultDetected:
+    return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  case RunStatus::Halted:
+    break;
   }
 
-  if (Diverged || MatchPos != RefTrace.size())
+  if (Prefix.Diverged || Prefix.MatchPos != RefTrace.size())
     return Verdict::SilentCorruption;
   if (!similarStates(Z, S, RefFinal))
     return Verdict::DissimilarState;
@@ -411,6 +417,9 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   // through the shared TypeContext; classification-only campaigns fan out.
   Clock::time_point InjectStart = Clock::now();
   if (Typed) {
+    // Typed campaigns re-check ⊢Z S through TrackedRun, which owns the
+    // typing bookkeeping; they always replay on the reference semantics.
+    R.Stats.Engine = referenceEngine().name();
     R.Stats.ThreadsUsed = 1;
     uint64_t Done = 0;
     for (const InjectionTask &T : Tasks) {
@@ -440,6 +449,8 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
         Opts.Progress({Done, Tasks.size()});
     }
   } else {
+    const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
+    R.Stats.Engine = E.name();
     unsigned Threads = Opts.Threads ? Opts.Threads
                                     : std::max(1u, std::thread::hardware_concurrency());
     R.Stats.ThreadsUsed =
@@ -457,15 +468,15 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
       const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
       Verdict V;
       if (Opts.Resume == ResumeMode::Snapshot) {
-        V = classifyContinuation(CP, Config.Policy, Config.ExtraSteps,
+        V = classifyContinuation(E, CP, Config.Policy, Config.ExtraSteps,
                                  RefFinal.Trace, RefFinal.S, RefFinal.Steps,
                                  Snap.S, Snap.Steps, Snap.TraceLen, T.Site,
                                  T.Value);
       } else {
         MachineState S = *Initial;
         OutputTrace Prefix;
-        replaySteps(S, Snap.Steps, Prefix, Config.Policy);
-        V = classifyContinuation(CP, Config.Policy, Config.ExtraSteps,
+        E.replaySteps(S, Snap.Steps, Prefix, Config.Policy);
+        V = classifyContinuation(E, CP, Config.Policy, Config.ExtraSteps,
                                  RefFinal.Trace, RefFinal.S, RefFinal.Steps,
                                  std::move(S), Snap.Steps, Prefix.size(),
                                  T.Site, T.Value);
@@ -495,37 +506,30 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
 
 namespace {
 
-/// Classifies one explicit injection plan on the raw semantics.
-Verdict classifyPlan(const Program &Prog, const StepPolicy &Policy,
-                     uint64_t ExtraSteps, const OutputTrace &RefTrace,
-                     const MachineState &RefFinal, uint64_t RefSteps,
-                     MachineState S, const InjectionPlan &Plan) {
-  size_t MatchPos = 0;
-  bool Diverged = false;
-  auto Track = [&](const StepResult &SR) {
-    if (SR.Output) {
-      if (!Diverged && MatchPos < RefTrace.size() &&
-          *SR.Output == RefTrace[MatchPos])
-        ++MatchPos;
-      else
-        Diverged = true;
-    }
-  };
+/// Classifies one explicit injection plan on the raw semantics via \p E.
+Verdict classifyPlan(const ExecEngine &E, const Program &Prog,
+                     const StepPolicy &Policy, uint64_t ExtraSteps,
+                     const OutputTrace &RefTrace, const MachineState &RefFinal,
+                     uint64_t RefSteps, MachineState S,
+                     const InjectionPlan &Plan) {
+  PrefixTracker Prefix{RefTrace, 0};
 
   uint64_t Now = 0;
   std::optional<Color> ZapColor;
   bool MixedColors = false;
   for (const InjectionPoint &P : Plan) {
     assert(P.Step >= Now && "injection plan must be step-ordered");
-    while (Now < P.Step) {
-      StepResult SR = step(S, Policy);
-      if (SR.Status == StepStatus::Stuck)
-        return Verdict::Stuck;
-      ++Now;
-      Track(SR);
-      if (SR.Status == StepStatus::Fault)
-        return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
-    }
+    // Fault and stuck transitions never emit output, so match-tracking the
+    // chunk after the replay is equivalent to tracking each step inline.
+    OutputTrace Chunk;
+    ReplayResult RR = E.replaySteps(S, P.Step - Now, Chunk, Policy);
+    Now += RR.Taken;
+    for (const QueueEntry &Out : Chunk)
+      Prefix.track(Out);
+    if (RR.Last == StepStatus::Stuck)
+      return Verdict::Stuck;
+    if (RR.Last == StepStatus::Fault)
+      return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
     Color C = faultColor(S, P.Site);
     if (ZapColor && *ZapColor != C)
       MixedColors = true;
@@ -534,23 +538,21 @@ Verdict classifyPlan(const Program &Prog, const StepPolicy &Policy,
   }
 
   uint64_t Budget = (RefSteps > Now ? RefSteps - Now : 0) + ExtraSteps;
-  uint64_t Taken = 0;
-  Addr Exit = Prog.exitAddress();
-  while (true) {
-    if (atExit(S, Exit))
-      break;
-    if (Taken >= Budget)
-      return Verdict::BudgetExhausted;
-    StepResult SR = step(S, Policy);
-    ++Taken;
-    Track(SR);
-    if (SR.Status == StepStatus::Stuck)
-      return Verdict::Stuck;
-    if (SR.Status == StepStatus::Fault)
-      return Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  RunStatus St = E.runContinuation(
+      S, Prog.exitAddress(), Budget, Policy,
+      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); });
+  switch (St) {
+  case RunStatus::OutOfSteps:
+    return Verdict::BudgetExhausted;
+  case RunStatus::Stuck:
+    return Verdict::Stuck;
+  case RunStatus::FaultDetected:
+    return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  case RunStatus::Halted:
+    break;
   }
 
-  if (Diverged || MatchPos != RefTrace.size())
+  if (Prefix.Diverged || Prefix.MatchPos != RefTrace.size())
     return Verdict::SilentCorruption;
   // Similarity is indexed by a single zap color; a cross-color plan has no
   // such index, so it classifies on the trace alone.
@@ -580,6 +582,9 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   CampaignResult R;
   assert(Spec.Prog && "plan campaign needs a program");
 
+  const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
+  R.Stats.Engine = E.name();
+
   Clock::time_point RefStart = Clock::now();
   Expected<MachineState> S0 = Spec.Prog->initialState();
   if (!S0) {
@@ -588,8 +593,8 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
     return R;
   }
   MachineState Final = *S0;
-  RunResult RefRun =
-      run(Final, Spec.Prog->exitAddress(), Spec.MaxReferenceSteps, Spec.Policy);
+  RunResult RefRun = E.run(Final, Spec.Prog->exitAddress(),
+                           Spec.MaxReferenceSteps, Spec.Policy);
   if (RefRun.Status != RunStatus::Halted) {
     R.Ok = false;
     R.Violations.push_back(formatv("reference run did not halt (%s after %llu steps)",
@@ -610,7 +615,7 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
 
   std::vector<uint8_t> Verdicts(Spec.Plans.size(), 0);
   auto RunOne = [&](uint64_t I) {
-    Verdicts[I] = (uint8_t)classifyPlan(*Spec.Prog, Spec.Policy,
+    Verdicts[I] = (uint8_t)classifyPlan(E, *Spec.Prog, Spec.Policy,
                                         Spec.ExtraSteps, RefRun.Trace, Final,
                                         RefRun.Steps, *S0, Spec.Plans[I]);
   };
@@ -692,10 +697,12 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
     appendJsonEscaped(S, R.Violations[I]);
   }
   S += "],\n";
-  S += P + formatv("  \"stats\": {\"threads\": %u, \"tasks\": %llu, "
+  S += P + formatv("  \"stats\": {\"engine\": \"%s\", \"threads\": %u, "
+                   "\"tasks\": %llu, "
                    "\"reference_seconds\": %.6f, \"wall_seconds\": %.6f, "
                    "\"triples_per_second\": %.1f}\n",
-                   R.Stats.ThreadsUsed, (unsigned long long)R.Stats.Tasks,
+                   R.Stats.Engine, R.Stats.ThreadsUsed,
+                   (unsigned long long)R.Stats.Tasks,
                    R.Stats.ReferenceSeconds, R.Stats.WallSeconds,
                    R.Stats.TriplesPerSecond);
   S += P + "}";

@@ -33,6 +33,7 @@
 #define TALFT_FAULT_CAMPAIGN_H
 
 #include "fault/Theorems.h"
+#include "sim/ExecEngine.h"
 
 #include <array>
 #include <functional>
@@ -108,6 +109,13 @@ struct CampaignOptions {
   /// when the campaign re-typechecks faulty states (see file comment).
   unsigned Threads = 1;
   ResumeMode Resume = ResumeMode::Snapshot;
+  /// The execution engine faulty continuations replay on (null = the
+  /// structural reference interpreter). Engines are required to be
+  /// observationally bit-identical, so the verdict table cannot depend on
+  /// this choice; the campaign records which engine produced it in
+  /// Stats.Engine. Campaigns that re-typecheck faulty states always run on
+  /// the reference interpreter (TrackedRun owns the typing bookkeeping).
+  const ExecEngine *Engine = nullptr;
   /// Invoke Progress after roughly every this many completed tasks
   /// (0 disables). Calls are serialized but may fire on any worker.
   uint64_t ProgressInterval = 0;
@@ -122,6 +130,8 @@ struct CampaignStats {
   double TriplesPerSecond = 0;
   unsigned ThreadsUsed = 1;
   uint64_t Tasks = 0;
+  /// Name of the engine that produced the verdicts ("reference", "vm").
+  const char *Engine = "reference";
 };
 
 /// The merged outcome of a campaign.

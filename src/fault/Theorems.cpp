@@ -60,12 +60,14 @@ TheoremReport talft::checkFaultFreeExecution(TypeContext &TC,
 
 TheoremReport talft::checkFaultTolerance(TypeContext &TC,
                                          const CheckedProgram &CP,
-                                         const TheoremConfig &Config) {
+                                         const TheoremConfig &Config,
+                                         const ExecEngine *Engine) {
   // The exhaustive sweep is the campaign engine's single-fault campaign;
   // one worker reproduces the historical serial behavior (and the engine
   // guarantees identical verdicts for any worker count anyway).
   CampaignOptions Opts;
   Opts.Threads = 1;
+  Opts.Engine = Engine;
   CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
 
   TheoremReport Report;

@@ -87,10 +87,16 @@ TheoremReport checkFaultFreeExecution(TypeContext &TC,
                                       const CheckedProgram &CP,
                                       const TheoremConfig &Config);
 
+class ExecEngine;
+
 /// The exhaustive single-fault sweep of Theorem 4 (optionally also
-/// checking faulty-run preservation, Theorem 2 part 2).
+/// checking faulty-run preservation, Theorem 2 part 2). \p Engine selects
+/// the execution engine faulty continuations replay on (null = the
+/// structural reference interpreter); verdicts are engine-independent by
+/// construction (see sim/ExecEngine.h).
 TheoremReport checkFaultTolerance(TypeContext &TC, const CheckedProgram &CP,
-                                  const TheoremConfig &Config);
+                                  const TheoremConfig &Config,
+                                  const ExecEngine *Engine = nullptr);
 
 } // namespace talft
 

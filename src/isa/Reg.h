@@ -67,6 +67,13 @@ public:
   /// then d, pcG, pcB).
   unsigned denseIndex() const { return Index; }
 
+  /// Inverse of denseIndex(); used by engines that pre-resolve register
+  /// names to array indices at decode time.
+  static Reg fromDenseIndex(unsigned Index) {
+    assert(Index < NumRegs && "dense register index out of range");
+    return Reg(Index);
+  }
+
   /// Total number of registers (generals + d + pcG + pcB).
   static constexpr unsigned NumRegs = NumGeneralRegs + 3;
 

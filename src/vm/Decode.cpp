@@ -1,0 +1,74 @@
+//===- vm/Decode.cpp ------------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Decode.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace talft;
+using namespace talft::vm;
+
+MicroOp vm::decodeInst(const Inst &I) {
+  MicroOp M;
+  M.Rd = (uint8_t)I.Rd.denseIndex();
+  M.Rs = (uint8_t)I.Rs.denseIndex();
+  M.Rt = (uint8_t)I.Rt.denseIndex();
+  M.ImmC = I.Imm.C;
+  M.ImmN = I.Imm.N;
+  switch (I.Op) {
+  case Opcode::Add:
+    M.Kind = I.HasImm ? MicroOpKind::AddRI : MicroOpKind::AddRR;
+    return M;
+  case Opcode::Sub:
+    M.Kind = I.HasImm ? MicroOpKind::SubRI : MicroOpKind::SubRR;
+    return M;
+  case Opcode::Mul:
+    M.Kind = I.HasImm ? MicroOpKind::MulRI : MicroOpKind::MulRR;
+    return M;
+  case Opcode::Mov:
+    M.Kind = MicroOpKind::Mov;
+    return M;
+  case Opcode::Ld:
+    M.Kind = I.C == Color::Green ? MicroOpKind::LdG : MicroOpKind::LdB;
+    return M;
+  case Opcode::St:
+    M.Kind = I.C == Color::Green ? MicroOpKind::StG : MicroOpKind::StB;
+    return M;
+  case Opcode::Jmp:
+    M.Kind = I.C == Color::Green ? MicroOpKind::JmpG : MicroOpKind::JmpB;
+    return M;
+  case Opcode::Bz:
+    M.Kind = I.C == Color::Green ? MicroOpKind::BzG : MicroOpKind::BzB;
+    return M;
+  }
+  talft_unreachable("unknown opcode");
+}
+
+DecodedProgram::DecodedProgram(const CodeMemory &Code) : Code(&Code) {
+  Count = Code.size();
+  if (Count == 0)
+    return;
+  Addr Lo = Code.begin()->first;
+  Addr Hi = Lo;
+  for (const auto &[A, I] : Code)
+    Hi = A; // std::map iterates in address order.
+  // Program layout assigns consecutive addresses from 1, so the span
+  // equals the instruction count; a hand-built sparse code memory would
+  // waste slots but stay correct.
+  assert(Hi - Lo < (Addr)(1u << 26) && "code address span too sparse for the VM");
+  Base = Lo;
+  size_t Span = (size_t)(Hi - Lo + 1);
+  Ops.resize(Span);
+  Insts.resize(Span);
+  Valid.assign(Span, 0);
+  for (const auto &[A, I] : Code) {
+    Ops[A - Base] = decodeInst(I);
+    Insts[A - Base] = I;
+    Valid[A - Base] = 1;
+  }
+}

@@ -1,0 +1,67 @@
+//===- vm/Decode.h - Lowering a CodeMemory into a micro-op array ----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A DecodedProgram is the VM's image of one CodeMemory: a contiguous
+/// micro-op array indexed by code address (offset by the lowest address, so
+/// the standard layout starting at 1 wastes one slot). The domain of the
+/// array matches the domain of the code memory exactly — fetches from
+/// in-span holes and out-of-span addresses are both misses, preserving the
+/// stuck/fetch-fail behavior of the structural semantics bit-for-bit even
+/// when a fault corrupts a program counter to a wild address.
+///
+/// Decoding is done once per program; the result is immutable and shared
+/// read-only by all campaign workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_VM_DECODE_H
+#define TALFT_VM_DECODE_H
+
+#include "isa/Memory.h"
+#include "vm/MicroOp.h"
+
+#include <vector>
+
+namespace talft::vm {
+
+/// The dense, immutable decode of one CodeMemory.
+class DecodedProgram {
+public:
+  /// Decodes every instruction of \p Code. The CodeMemory must outlive the
+  /// decoded program (states executed against it reference the same code).
+  explicit DecodedProgram(const CodeMemory &Code);
+
+  const CodeMemory &code() const { return *Code; }
+
+  /// Mirrors CodeMemory::contains.
+  bool contains(Addr A) const {
+    return A >= Base && A < Base + (Addr)Ops.size() && Valid[A - Base];
+  }
+
+  /// The micro-op at \p A. Requires contains(A).
+  const MicroOp &op(Addr A) const { return Ops[A - Base]; }
+
+  /// The structural instruction at \p A (for materializing the machine's
+  /// instruction register at fused-loop boundaries). Requires contains(A).
+  const Inst &inst(Addr A) const { return Insts[A - Base]; }
+
+  /// Number of decoded instructions.
+  size_t size() const { return Count; }
+
+private:
+  const CodeMemory *Code;
+  Addr Base = 0;
+  size_t Count = 0;
+  std::vector<MicroOp> Ops;
+  std::vector<Inst> Insts;
+  /// Ops/Insts slots inside the address span but outside Dom(C).
+  std::vector<uint8_t> Valid;
+};
+
+} // namespace talft::vm
+
+#endif // TALFT_VM_DECODE_H

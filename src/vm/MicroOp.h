@@ -1,0 +1,73 @@
+//===- vm/MicroOp.h - Pre-decoded micro-operations ------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's instruction word: one TALFT instruction lowered into a flat,
+/// fully resolved form the dispatch loop can execute without consulting the
+/// structural Inst again. Decoding specializes everything the structural
+/// interpreter re-derives per step:
+///
+///   - the opcode/color/immediate-form discriminators collapse into one
+///     dense MicroOpKind (the colored-value checks of Step.cpp's Executor
+///     become distinct cases, e.g. Ld splits into LdG / LdB);
+///   - register names are resolved to dense register-file indices;
+///   - the immediate's color and payload are unpacked (label immediates
+///     were already resolved to addresses at program layout).
+///
+/// A micro-op is 24 bytes and the decoded program is a contiguous array
+/// indexed by code address, so the fetch-execute loop touches one cache
+/// line per instruction instead of chasing a std::map.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_VM_MICROOP_H
+#define TALFT_VM_MICROOP_H
+
+#include "isa/Inst.h"
+
+namespace talft::vm {
+
+/// Fully discriminated operation kinds: opcode x color x immediate-form.
+enum class MicroOpKind : uint8_t {
+  AddRR, // rd <- rs op rt, result colored like rt
+  SubRR,
+  MulRR,
+  AddRI, // rd <- rs op imm, result colored like the immediate
+  SubRI,
+  MulRI,
+  Mov,  // rd <- imm
+  LdG,  // queue-forwarding green load
+  LdB,  // memory-only blue load
+  StG,  // enqueue (addr=rd, val=rs)
+  StB,  // compare with the queue back, commit or detect
+  JmpG, // record the green intention in d
+  JmpB, // commit the transfer or detect
+  BzG,  // conditional version of JmpG (test register rs)
+  BzB,  // conditional version of JmpB
+};
+
+/// One decoded instruction.
+struct MicroOp {
+  MicroOpKind Kind = MicroOpKind::Mov;
+  /// Dense register-file indices (Reg::denseIndex()).
+  uint8_t Rd = 0;
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  /// Immediate color (AluRI result color; Mov value color).
+  Color ImmC = Color::Green;
+  /// Immediate payload.
+  int64_t ImmN = 0;
+};
+
+static_assert(sizeof(MicroOp) <= 24, "micro-ops are meant to stay dense");
+
+/// Lowers one structural instruction. Total: every well-formed Inst has a
+/// micro-op image.
+MicroOp decodeInst(const Inst &I);
+
+} // namespace talft::vm
+
+#endif // TALFT_VM_MICROOP_H
