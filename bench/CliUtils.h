@@ -1,0 +1,98 @@
+//===- bench/CliUtils.h - Shared CLI parsing and report-writing helpers ---===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every bench harness parses the same kinds of flags and writes the same
+// kinds of JSON reports. Two policies live here so they cannot drift:
+//
+//   - numeric flags parse strictly: the entire argument must be a base-10
+//     integer, so '--threads abc' (or '8x', or '') is a usage error in
+//     every harness instead of silently becoming 0;
+//   - report files are written atomically — temp file in the same
+//     directory, then rename — so a crashed or OOM-killed run can never
+//     leave a truncated report for a workflow to upload.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_BENCH_CLIUTILS_H
+#define TALFT_BENCH_CLIUTILS_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace talft::cli {
+
+/// Strict base-10 parse of the whole string \p V into \p Out.
+inline bool parseU64(const char *V, uint64_t &Out) {
+  if (!V || *V == '\0')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V, &End, 10);
+  if (End == V || *End != '\0' || errno == ERANGE || V[0] == '-')
+    return false;
+  Out = N;
+  return true;
+}
+
+/// Consumes the next argument as a strict u64: the common pattern of a
+/// flag loop where \p I indexes the flag itself.
+inline bool numArg(int Argc, char **Argv, int &I, uint64_t &Out) {
+  if (I + 1 >= Argc)
+    return false;
+  return parseU64(Argv[++I], Out);
+}
+
+/// Strict comma-separated list of u64s ("1,4,16"); empty items reject.
+inline bool parseU64List(const char *V, std::vector<uint64_t> &Out) {
+  Out.clear();
+  std::string S(V ? V : "");
+  if (S.empty())
+    return false;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    std::string Item =
+        S.substr(Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+    uint64_t N;
+    if (!parseU64(Item.c_str(), N))
+      return false;
+    Out.push_back(N);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+/// Writes \p Contents to \p Path atomically: temp file alongside the
+/// target, fflush, then rename. Returns false (with the partial temp file
+/// removed) on any failure, so the target is either the old version or
+/// the complete new one — never a truncated report.
+inline bool writeFileAtomic(const std::string &Path,
+                            const std::string &Contents) {
+  std::string Tmp = Path + ".tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+            Contents.size();
+  Ok = (std::fflush(F) == 0) && Ok;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (Ok)
+    Ok = std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (!Ok)
+    std::remove(Tmp.c_str());
+  return Ok;
+}
+
+} // namespace talft::cli
+
+#endif // TALFT_BENCH_CLIUTILS_H

@@ -24,6 +24,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
@@ -101,8 +102,13 @@ int main(int Argc, char **Argv) {
   unsigned Threads = 1;
   bool UseVm = true;
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--threads") == 0 && I + 1 < Argc) {
-      Threads = (unsigned)std::strtoul(Argv[++I], nullptr, 10);
+    if (std::strcmp(Argv[I], "--threads") == 0) {
+      uint64_t N;
+      if (!cli::numArg(Argc, Argv, I, N)) {
+        std::fprintf(stderr, "--threads needs a number\n");
+        return 2;
+      }
+      Threads = (unsigned)N;
     } else if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
       const char *V = Argv[++I];
       if (std::strcmp(V, "vm") == 0) {

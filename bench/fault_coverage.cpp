@@ -19,26 +19,45 @@
 // The sweep runs on the parallel campaign engine (fault/Campaign.h):
 //
 //   fault_coverage [--threads N] [--stride N] [--engine E] [--json [FILE]]
+//                  [--recover] [--checkpoint-interval N] [--retry-budget N]
+//                  [--fig10]
 //
 //   --threads N   worker threads (default 1; 0 = hardware concurrency).
 //                 Verdict tables are bit-identical for every N.
 //   --stride N    inject at every Nth reference state (default 1 for the
-//                 TAL programs, 7 for the compiled kernel).
+//                 TAL programs, 7 for the compiled kernel; the --fig10
+//                 kernels pick an adaptive per-kernel stride).
 //   --engine E    execution engine for the faulty continuations:
 //                 'vm' (default, the decoded fast path) or 'reference'
 //                 (the structural interpreter). Engines are bit-identical
 //                 by construction, so the verdicts cannot depend on this.
+//   --recover     run the faulty continuations under the
+//                 checkpoint/rollback layer (recover/RecoveringEngine.h):
+//                 detected faults roll back and replay instead of
+//                 fail-stopping, and the benign verdicts become
+//                 masked / recovered / recovery-escalated — every
+//                 recovered run's output is bit-identical to the
+//                 fault-free trace.
+//   --checkpoint-interval N
+//                 checkpoint every Nth verified commit point (default 1).
+//   --retry-budget N
+//                 rollbacks per checkpoint before escalating (default 2).
+//   --fig10       also sweep all fifteen Figure 10 kernels on the
+//                 raw-semantics campaign (runSingleFaultCampaign), which
+//                 covers the kernels the type checker rejects too.
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v1) to FILE, or stdout with the
-//                 human table on stderr.
+//                 talft-fault-campaign-v2) to FILE (written atomically),
+//                 or stdout with the human table on stderr.
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "check/ProgramChecker.h"
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
 #include "wile/Codegen.h"
+#include "wile/Kernels.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -126,26 +145,24 @@ struct Cli {
   bool UseVm = true;
   bool Json = false;
   std::string JsonPath; // empty = stdout
+  bool Recover = false;
+  uint64_t CheckpointInterval = 1;
+  uint64_t RetryBudget = 2;
+  bool Fig10 = false;
 };
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--stride N] "
-               "[--engine reference|vm] [--json [FILE]]\n",
+               "[--engine reference|vm] [--json [FILE]] [--recover] "
+               "[--checkpoint-interval N] [--retry-budget N] [--fig10]\n",
                Argv0);
 }
 
 bool parseCli(int Argc, char **Argv, Cli &C) {
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
-    auto NumArg = [&](uint64_t &Out) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      char *End = nullptr;
-      Out = std::strtoull(V, &End, 10);
-      return End != V && *End == '\0';
-    };
+    auto NumArg = [&](uint64_t &Out) { return cli::numArg(Argc, Argv, I, Out); };
     if (std::strcmp(A, "--threads") == 0) {
       uint64_t N;
       if (!NumArg(N))
@@ -154,6 +171,16 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
     } else if (std::strcmp(A, "--stride") == 0) {
       if (!NumArg(C.Stride) || C.Stride == 0)
         return false;
+    } else if (std::strcmp(A, "--recover") == 0) {
+      C.Recover = true;
+    } else if (std::strcmp(A, "--checkpoint-interval") == 0) {
+      if (!NumArg(C.CheckpointInterval) || C.CheckpointInterval == 0)
+        return false;
+    } else if (std::strcmp(A, "--retry-budget") == 0) {
+      if (!NumArg(C.RetryBudget))
+        return false;
+    } else if (std::strcmp(A, "--fig10") == 0) {
+      C.Fig10 = true;
     } else if (std::strcmp(A, "--engine") == 0) {
       if (I + 1 >= Argc)
         return false;
@@ -192,12 +219,15 @@ struct SweepRow {
 
 void printRow(FILE *Out, const SweepRow &Row) {
   const CampaignResult &R = Row.Result;
-  std::fprintf(Out, "%-18s %9llu %11llu %9llu %8llu %10s %8.2fs %11.0f\n",
+  std::fprintf(Out,
+               "%-18s %9llu %11llu %9llu %8llu %9llu %9llu %10s %8.2fs %11.0f\n",
                Row.Name.c_str(), (unsigned long long)R.ReferenceSteps,
                (unsigned long long)R.Table.total(),
                (unsigned long long)(R.Table[Verdict::Detected] +
                                     R.Table[Verdict::DetectedBadPrefix]),
                (unsigned long long)R.Table[Verdict::Masked],
+               (unsigned long long)R.Table[Verdict::Recovered],
+               (unsigned long long)R.Table[Verdict::RecoveryEscalated],
                R.Ok ? "0 (OK)" : "VIOLATED", R.Stats.WallSeconds,
                R.Stats.TriplesPerSecond);
   if (!R.Ok)
@@ -205,10 +235,18 @@ void printRow(FILE *Out, const SweepRow &Row) {
       std::fprintf(stderr, "  %s\n", V.c_str());
 }
 
-bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
-              const CheckedProgram &CP, std::vector<SweepRow> &Rows) {
+TheoremConfig sweepConfig(const Cli &C, uint64_t Stride) {
   TheoremConfig Config;
   Config.InjectionStride = Stride;
+  Config.Recovery.Enabled = C.Recover;
+  Config.Recovery.CheckpointInterval = C.CheckpointInterval;
+  Config.Recovery.RetryBudget = C.RetryBudget;
+  return Config;
+}
+
+bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
+              const CheckedProgram &CP, std::vector<SweepRow> &Rows) {
+  TheoremConfig Config = sweepConfig(C, Stride);
   CampaignOptions Opts;
   Opts.Threads = C.Threads;
   // The VM engine is bound to one CodeMemory, so it is built per program.
@@ -258,12 +296,77 @@ bool sweepKernel(const Cli &C, const char *Name, const char *Source,
   return runSweep(C, Name, Stride, TC, *Checked, Rows);
 }
 
+/// The Figure 10 kernels on the raw-semantics campaign: typability is not
+/// required, so all fifteen sweep — including the dynamically-addressed
+/// kernels the checker rejects. The injection stride adapts to each
+/// kernel's reference length so the sweep stays tractable; it is derived
+/// from the (engine-independent) step count, so verdict tables still
+/// cannot depend on the engine.
+bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
+  bool Ok = true;
+  for (const wile::Kernel &K : wile::benchmarkKernels()) {
+    TypeContext TC;
+    DiagnosticEngine Diags;
+    Expected<wile::CompiledProgram> CP = wile::compileWile(
+        TC, K.Source.c_str(), wile::CodegenMode::FaultTolerant, Diags);
+    if (!CP) {
+      std::fprintf(stderr, "%s: %s\n", K.Name.c_str(), CP.message().c_str());
+      Ok = false;
+      continue;
+    }
+    std::unique_ptr<ExecEngine> Vm;
+    const ExecEngine *E = &referenceEngine();
+    if (C.UseVm) {
+      Vm = vm::createEngine(CP->Prog.code());
+      E = Vm.get();
+    }
+
+    // Probe the reference length to pick the stride (deterministic: step
+    // counts are engine-independent by the engine contract).
+    TheoremConfig Probe;
+    uint64_t Stride = C.Stride;
+    if (Stride == 0) {
+      Expected<MachineState> S0 = CP->Prog.initialState();
+      if (Error Err = S0.takeError()) {
+        std::fprintf(stderr, "%s: %s\n", K.Name.c_str(),
+                     Err.message().c_str());
+        Ok = false;
+        continue;
+      }
+      MachineState S = *S0;
+      RunResult RR =
+          E->run(S, CP->Prog.exitAddress(), Probe.MaxSteps, Probe.Policy);
+      if (RR.Status != RunStatus::Halted) {
+        std::fprintf(stderr, "%s: reference run did not halt (%s)\n",
+                     K.Name.c_str(), runStatusName(RR.Status));
+        Ok = false;
+        continue;
+      }
+      Stride = std::max<uint64_t>(1, RR.Steps / 12);
+    }
+
+    TheoremConfig Config = sweepConfig(C, Stride);
+    CampaignOptions Opts;
+    Opts.Threads = C.Threads;
+    Opts.Engine = C.UseVm ? Vm.get() : nullptr;
+    CampaignResult R = runSingleFaultCampaign(CP->Prog, Config, Opts);
+    Rows.push_back({K.Name, std::move(R), Stride});
+    printRow(tableStream(C), Rows.back());
+    Ok &= Rows.back().Result.Ok;
+  }
+  return Ok;
+}
+
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v1\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v2\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
+  S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
+  S += "  \"checkpoint_interval\": " + std::to_string(C.CheckpointInterval) +
+       ",\n";
+  S += "  \"retry_budget\": " + std::to_string(C.RetryBudget) + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {
@@ -288,17 +391,19 @@ int main(int Argc, char **Argv) {
   }
 
   FILE *Out = tableStream(C);
-  std::fprintf(Out, "Theorem 4 exhaustive single-fault sweep\n");
+  std::fprintf(Out, "Theorem 4 exhaustive single-fault sweep%s\n",
+               C.Recover ? " (checkpoint/rollback recovery enabled)" : "");
   std::fprintf(Out, "(every step x fault site x representative corruption; "
-                    "'violations' must be 0; %u thread%s; %s engine)\n\n",
+                    "'violations' must be 0; %u thread%s; %s engine%s)\n\n",
                C.Threads, C.Threads == 1 ? "" : "s",
-               C.UseVm ? "vm" : "reference");
-  std::fprintf(Out, "%-18s %9s %11s %9s %8s %10s %9s %11s\n", "program",
-               "ref steps", "injections", "detected", "masked", "violations",
-               "wall", "triples/s");
-  std::fprintf(Out, "%.*s\n", 92,
+               C.UseVm ? "vm" : "reference",
+               C.Recover ? "; recovery on" : "");
+  std::fprintf(Out, "%-18s %9s %11s %9s %8s %9s %9s %10s %9s %11s\n",
+               "program", "ref steps", "injections", "detected", "masked",
+               "recovered", "escalated", "violations", "wall", "triples/s");
+  std::fprintf(Out, "%.*s\n", 112,
                "----------------------------------------------------------"
-               "----------------------------------");
+               "------------------------------------------------------");
 
   std::vector<SweepRow> Rows;
   bool Ok = true;
@@ -317,9 +422,16 @@ output(acc);
   Ok &= sweepKernel(C, "wile-sum-squares", TinyKernel,
                     C.Stride ? C.Stride : 7, Rows);
 
+  if (C.Fig10)
+    Ok &= sweepFig10(C, Rows);
+
   std::fprintf(Out, "\n%s\n",
-               Ok ? "All sweeps clean: every injected fault was "
-                    "masked or detected with a prefix trace."
+               Ok ? (C.Recover
+                         ? "All sweeps clean: every injected fault was "
+                           "masked, recovered with a bit-identical trace, "
+                           "or escalated with a verified prefix."
+                         : "All sweeps clean: every injected fault was "
+                           "masked or detected with a prefix trace.")
                   : "VIOLATIONS FOUND");
 
   if (C.Json) {
@@ -327,13 +439,10 @@ output(acc);
     if (C.JsonPath.empty()) {
       std::fputs(Json.c_str(), stdout);
     } else {
-      FILE *F = std::fopen(C.JsonPath.c_str(), "w");
-      if (!F) {
+      if (!cli::writeFileAtomic(C.JsonPath, Json)) {
         std::fprintf(stderr, "cannot write %s\n", C.JsonPath.c_str());
         return 2;
       }
-      std::fputs(Json.c_str(), F);
-      std::fclose(F);
       std::fprintf(Out, "JSON report written to %s\n", C.JsonPath.c_str());
     }
   }

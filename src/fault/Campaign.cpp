@@ -37,6 +37,10 @@ const char *talft::verdictName(Verdict V) {
     return "stuck";
   case Verdict::IllTyped:
     return "ill-typed";
+  case Verdict::Recovered:
+    return "recovered";
+  case Verdict::RecoveryEscalated:
+    return "recovery escalated";
   }
   talft_unreachable("unknown verdict");
 }
@@ -59,6 +63,10 @@ const char *talft::verdictJsonKey(Verdict V) {
     return "stuck";
   case Verdict::IllTyped:
     return "ill_typed";
+  case Verdict::Recovered:
+    return "recovered";
+  case Verdict::RecoveryEscalated:
+    return "recovery_escalated";
   }
   talft_unreachable("unknown verdict");
 }
@@ -71,12 +79,15 @@ uint64_t VerdictTable::total() const {
 }
 
 uint64_t VerdictTable::benign() const {
-  return (*this)[Verdict::Masked] + (*this)[Verdict::Detected];
+  return (*this)[Verdict::Masked] + (*this)[Verdict::Detected] +
+         (*this)[Verdict::Recovered] + (*this)[Verdict::RecoveryEscalated];
 }
 
 void VerdictTable::merge(const VerdictTable &O) {
-  for (size_t I = 0; I != NumVerdicts; ++I)
-    Counts[I] += O.Counts[I];
+  for (size_t I = 0; I != NumVerdicts; ++I) {
+    uint64_t &C = Counts[I];
+    C = (O.Counts[I] > UINT64_MAX - C) ? UINT64_MAX : C + O.Counts[I];
+  }
 }
 
 namespace {
@@ -88,7 +99,8 @@ double secondsSince(Clock::time_point Start) {
 }
 
 bool isBenign(Verdict V) {
-  return V == Verdict::Masked || V == Verdict::Detected;
+  return V == Verdict::Masked || V == Verdict::Detected ||
+         V == Verdict::Recovered || V == Verdict::RecoveryEscalated;
 }
 
 /// The violation text for an abnormal single-fault verdict, matching the
@@ -222,7 +234,7 @@ struct PrefixTracker {
 /// checker's control flow exactly (exit check before budget check) so
 /// verdicts agree bit-for-bit with the historical classifier — and, since
 /// engines are observationally identical, for every engine.
-Verdict classifyContinuation(const ExecEngine &E, const CheckedProgram &CP,
+Verdict classifyContinuation(const ExecEngine &E, Addr ExitAddr,
                              const StepPolicy &Policy, uint64_t ExtraSteps,
                              const OutputTrace &RefTrace,
                              const MachineState &RefFinal, uint64_t RefSteps,
@@ -234,7 +246,7 @@ Verdict classifyContinuation(const ExecEngine &E, const CheckedProgram &CP,
   uint64_t Budget = RefSteps - AtSteps + ExtraSteps;
   PrefixTracker Prefix{RefTrace, TraceLen};
   RunStatus St = E.runContinuation(
-      S, CP.Prog->exitAddress(), Budget, Policy,
+      S, ExitAddr, Budget, Policy,
       [&Prefix](const QueueEntry &Out) { Prefix.track(Out); });
 
   switch (St) {
@@ -253,6 +265,92 @@ Verdict classifyContinuation(const ExecEngine &E, const CheckedProgram &CP,
   if (!similarStates(Z, S, RefFinal))
     return Verdict::DissimilarState;
   return Verdict::Masked;
+}
+
+/// Outcome of one injection under recovery: a verdict, the violation text
+/// when non-empty, and the run's checkpoint/rollback activity.
+struct RecoveredOutcome {
+  Verdict V = Verdict::Masked;
+  std::string Detail;
+  RecoveryStats Stats;
+};
+
+/// The recovery-mode classifier: same injection, but the continuation
+/// runs under the checkpoint/rollback layer. The fault is injected by the
+/// step hook at hook time 0, after the RecoveringEngine has captured the
+/// pre-injection state as its seed checkpoint — the last commit point the
+/// hardware verified before the upset.
+RecoveredOutcome classifyRecoveringContinuation(
+    const ExecEngine &E, Addr ExitAddr, const StepPolicy &Policy,
+    const RecoveryPolicy &RP, uint64_t ExtraSteps, const OutputTrace &RefTrace,
+    const MachineState &RefFinal, uint64_t RefSteps, MachineState S,
+    uint64_t AtSteps, size_t TraceLen, const FaultSite &Site, int64_t Value) {
+  RecoveredOutcome O;
+  ZapTag Z = ZapTag::color(faultColor(S, Site));
+
+  PrefixTracker Prefix{RefTrace, TraceLen};
+  RecoveringEngine RE(E, RP);
+  RecoveringEngine::RunSpec Spec;
+  Spec.ExitAddr = ExitAddr;
+  Spec.Budget = RefSteps - AtSteps + ExtraSteps;
+  Spec.Policy = Policy;
+  Spec.OnOutput = [&Prefix](const QueueEntry &Out) { Prefix.track(Out); };
+  Spec.Hook = [&Site, Value](MachineState &MS, uint64_t Taken) {
+    if (Taken == 0)
+      injectFault(MS, Site, Value);
+  };
+  RecoveryResult RR = RE.run(S, Spec);
+  O.Stats = RR.Stats;
+
+  auto Abnormal = [&](Verdict V) {
+    O.V = V;
+    O.Detail = describeInjection(Site, Value, AtSteps, abnormalMessage(V));
+  };
+  bool PrefixOk = !Prefix.Diverged;
+  switch (RR.Status) {
+  case RecoveryStatus::OutOfSteps:
+    // Satellite fix: the step budget is shared by rollback replays, so
+    // exhausting it mid-recovery is an escalation with its own message,
+    // not a plain BudgetExhausted.
+    if (RR.Stats.Rollbacks > 0) {
+      O.V = Verdict::RecoveryEscalated;
+      O.Detail = describeInjection(
+          Site, Value, AtSteps,
+          formatv("faulty run exceeded its shared step budget during "
+                  "recovery (%llu rollback replay%s); escalated to fail-stop",
+                  (unsigned long long)RR.Stats.Rollbacks,
+                  RR.Stats.Rollbacks == 1 ? "" : "s")
+              .c_str());
+    } else {
+      Abnormal(Verdict::BudgetExhausted);
+    }
+    return O;
+  case RecoveryStatus::Stuck:
+    Abnormal(Verdict::Stuck);
+    return O;
+  case RecoveryStatus::Escalated:
+    // Fail-stop with every emitted output verified: the prefix guarantee
+    // holds and the escalation is benign. A diverged prefix is the same
+    // violation it always was.
+    if (PrefixOk)
+      O.V = Verdict::RecoveryEscalated;
+    else
+      Abnormal(Verdict::DetectedBadPrefix);
+    return O;
+  case RecoveryStatus::Halted:
+    break;
+  }
+
+  if (Prefix.Diverged || Prefix.MatchPos != RefTrace.size()) {
+    Abnormal(Verdict::SilentCorruption);
+    return O;
+  }
+  if (!similarStates(Z, S, RefFinal)) {
+    Abnormal(Verdict::DissimilarState);
+    return O;
+  }
+  O.V = RR.Stats.Rollbacks > 0 ? Verdict::Recovered : Verdict::Masked;
+  return O;
 }
 
 /// Outcome of one typed-mode injection (serial path).
@@ -329,6 +427,117 @@ TypedOutcome runTypedInjection(const TheoremConfig &Config, TrackedRun &Run,
   return O;
 }
 
+/// Phase 2: the full work list in the order the serial checker visits it,
+/// so merged violation lists match it exactly. \p StateAt resolves the
+/// reference state of snapshot \p SI (typed and untyped campaigns store
+/// snapshots differently).
+std::vector<InjectionTask>
+enumerateTasks(const Program &Prog, const TheoremConfig &Config,
+               size_t NumSnaps,
+               const std::function<const MachineState &(size_t)> &StateAt) {
+  std::set<unsigned> UsedRegs;
+  if (Config.OnlyMentionedRegisters)
+    UsedRegs = mentionedRegisters(Prog);
+  std::vector<int64_t> Corruptions = representativeCorruptions(Prog);
+
+  std::vector<InjectionTask> Tasks;
+  for (size_t SI = 0; SI != NumSnaps; ++SI) {
+    const MachineState &S = StateAt(SI);
+    for (const FaultSite &Site : enumerateFaultSites(S)) {
+      if (Config.OnlyMentionedRegisters &&
+          Site.K == FaultSite::Kind::Register &&
+          !UsedRegs.count(Site.R.denseIndex()))
+        continue;
+      int64_t Current = currentValueAt(S, Site);
+      for (int64_t Corruption : Corruptions) {
+        if (Corruption == Current)
+          continue; // reg-zap replaces the value with a *different* one.
+        Tasks.push_back({(uint32_t)SI, Site, Corruption});
+      }
+    }
+  }
+  return Tasks;
+}
+
+/// Phase 3, untyped: classifies every task in parallel on the raw
+/// semantics — with or without the recovery layer — and merges verdicts,
+/// violations and recovery stats into \p R deterministically.
+void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
+                          const CampaignOptions &Opts,
+                          const std::vector<InjectionTask> &Tasks,
+                          const std::vector<UntypedSnapshot> &Snaps,
+                          const OutputTrace &RefTrace,
+                          const MachineState &RefFinal, uint64_t RefSteps,
+                          CampaignResult &R) {
+  auto AddViolation = [&](std::string V) {
+    R.Ok = false;
+    if (R.Violations.size() < Config.MaxViolations)
+      R.Violations.push_back(std::move(V));
+  };
+
+  const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
+  R.Stats.Engine = E.name();
+  unsigned Threads = Opts.Threads
+                         ? Opts.Threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  R.Stats.ThreadsUsed =
+      (unsigned)std::min<uint64_t>(Threads, std::max<size_t>(1, Tasks.size()));
+  Expected<MachineState> Initial = Prog.initialState();
+  if (Error Err = Initial.takeError()) {
+    AddViolation("cannot start: " + Err.message());
+    return;
+  }
+
+  bool Recover = Config.Recovery.Enabled;
+  Addr ExitAddr = Prog.exitAddress();
+  std::vector<uint8_t> Verdicts(Tasks.size(), 0);
+  std::vector<std::string> Details(Tasks.size());
+  std::vector<RecoveryStats> TaskStats(Recover ? Tasks.size() : 0);
+  auto RunOne = [&](uint64_t I) {
+    const InjectionTask &T = Tasks[I];
+    const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
+    MachineState S;
+    size_t TraceLen;
+    if (Opts.Resume == ResumeMode::Snapshot) {
+      S = Snap.S;
+      TraceLen = Snap.TraceLen;
+    } else {
+      S = *Initial;
+      OutputTrace Prefix;
+      E.replaySteps(S, Snap.Steps, Prefix, Config.Policy);
+      TraceLen = Prefix.size();
+    }
+    if (Recover) {
+      RecoveredOutcome O = classifyRecoveringContinuation(
+          E, ExitAddr, Config.Policy, Config.Recovery, Config.ExtraSteps,
+          RefTrace, RefFinal, RefSteps, std::move(S), Snap.Steps, TraceLen,
+          T.Site, T.Value);
+      Verdicts[I] = (uint8_t)O.V;
+      Details[I] = std::move(O.Detail);
+      TaskStats[I] = O.Stats;
+    } else {
+      Verdict V = classifyContinuation(
+          E, ExitAddr, Config.Policy, Config.ExtraSteps, RefTrace, RefFinal,
+          RefSteps, std::move(S), Snap.Steps, TraceLen, T.Site, T.Value);
+      Verdicts[I] = (uint8_t)V;
+      if (!isBenign(V))
+        Details[I] =
+            describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
+    }
+  };
+  dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
+                Opts.Progress);
+
+  // Deterministic merge: counters sum, violations keep enumeration order.
+  for (size_t I = 0; I != Tasks.size(); ++I) {
+    R.Table[(Verdict)Verdicts[I]] += 1;
+    if (!Details[I].empty())
+      AddViolation(std::move(Details[I]));
+    if (Recover)
+      R.Recovery.merge(TaskStats[I]);
+  }
+}
+
 } // namespace
 
 CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
@@ -348,6 +557,11 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   // the machine state and the trace length.
   Clock::time_point RefStart = Clock::now();
   bool Typed = Config.TypeCheckFaultyStates;
+  if (Typed && Config.Recovery.Enabled) {
+    AddViolation("recovery cannot be combined with TypeCheckFaultyStates: "
+                 "rollback replays run on the raw semantics");
+    return R;
+  }
   uint64_t Stride = std::max<uint64_t>(1, Config.InjectionStride);
 
   TrackedRun Run(TC, CP, Config.Policy);
@@ -386,30 +600,11 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   R.ReferenceSteps = RefFinal.Steps;
   R.ReferenceTrace = RefFinal.Trace;
 
-  // Phase 2 (serial): enumerate the full work list in the order the serial
-  // checker visits it, so merged violation lists match it exactly.
-  std::set<unsigned> UsedRegs;
-  if (Config.OnlyMentionedRegisters)
-    UsedRegs = mentionedRegisters(*CP.Prog);
-  std::vector<int64_t> Corruptions = representativeCorruptions(*CP.Prog);
-
-  size_t NumSnaps = Typed ? TypedSnaps.size() : Snaps.size();
-  std::vector<InjectionTask> Tasks;
-  for (size_t SI = 0; SI != NumSnaps; ++SI) {
-    const MachineState &S = Typed ? TypedSnaps[SI].S : Snaps[SI].S;
-    for (const FaultSite &Site : enumerateFaultSites(S)) {
-      if (Config.OnlyMentionedRegisters &&
-          Site.K == FaultSite::Kind::Register &&
-          !UsedRegs.count(Site.R.denseIndex()))
-        continue;
-      int64_t Current = currentValueAt(S, Site);
-      for (int64_t Corruption : Corruptions) {
-        if (Corruption == Current)
-          continue; // reg-zap replaces the value with a *different* one.
-        Tasks.push_back({(uint32_t)SI, Site, Corruption});
-      }
-    }
-  }
+  std::vector<InjectionTask> Tasks = enumerateTasks(
+      *CP.Prog, Config, Typed ? TypedSnaps.size() : Snaps.size(),
+      [&](size_t SI) -> const MachineState & {
+        return Typed ? TypedSnaps[SI].S : Snaps[SI].S;
+      });
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
   R.Stats.Tasks = Tasks.size();
 
@@ -449,55 +644,81 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
         Opts.Progress({Done, Tasks.size()});
     }
   } else {
-    const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
-    R.Stats.Engine = E.name();
-    unsigned Threads = Opts.Threads ? Opts.Threads
-                                    : std::max(1u, std::thread::hardware_concurrency());
-    R.Stats.ThreadsUsed =
-        (unsigned)std::min<uint64_t>(Threads, std::max<size_t>(1, Tasks.size()));
-    Expected<MachineState> Initial = CP.Prog->initialState();
-    if (Error E = Initial.takeError()) {
-      AddViolation("cannot start: " + E.message());
-      return R;
-    }
-
-    std::vector<uint8_t> Verdicts(Tasks.size(), 0);
-    std::vector<std::string> Details(Tasks.size());
-    auto RunOne = [&](uint64_t I) {
-      const InjectionTask &T = Tasks[I];
-      const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
-      Verdict V;
-      if (Opts.Resume == ResumeMode::Snapshot) {
-        V = classifyContinuation(E, CP, Config.Policy, Config.ExtraSteps,
-                                 RefFinal.Trace, RefFinal.S, RefFinal.Steps,
-                                 Snap.S, Snap.Steps, Snap.TraceLen, T.Site,
-                                 T.Value);
-      } else {
-        MachineState S = *Initial;
-        OutputTrace Prefix;
-        E.replaySteps(S, Snap.Steps, Prefix, Config.Policy);
-        V = classifyContinuation(E, CP, Config.Policy, Config.ExtraSteps,
-                                 RefFinal.Trace, RefFinal.S, RefFinal.Steps,
-                                 std::move(S), Snap.Steps, Prefix.size(),
-                                 T.Site, T.Value);
-      }
-      Verdicts[I] = (uint8_t)V;
-      if (!isBenign(V))
-        Details[I] =
-            describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
-    };
-    dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
-                  Opts.Progress);
-
-    // Deterministic merge: counters sum, violations keep enumeration order.
-    for (size_t I = 0; I != Tasks.size(); ++I) {
-      Verdict V = (Verdict)Verdicts[I];
-      R.Table[V] += 1;
-      if (!isBenign(V))
-        AddViolation(std::move(Details[I]));
-    }
+    classifyUntypedTasks(*CP.Prog, Config, Opts, Tasks, Snaps, RefFinal.Trace,
+                         RefFinal.S, RefFinal.Steps, R);
   }
 
+  R.Stats.WallSeconds = secondsSince(InjectStart);
+  if (R.Stats.WallSeconds > 0)
+    R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
+  return R;
+}
+
+CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
+                                             const TheoremConfig &Config,
+                                             const CampaignOptions &Opts) {
+  CampaignResult R;
+  auto AddViolation = [&](std::string V) {
+    R.Ok = false;
+    if (R.Violations.size() < Config.MaxViolations)
+      R.Violations.push_back(std::move(V));
+  };
+  if (Config.TypeCheckFaultyStates) {
+    AddViolation("the raw-semantics sweep cannot re-typecheck faulty states; "
+                 "use runFaultToleranceCampaign on a checked program");
+    return R;
+  }
+
+  // Phase 1 (serial): the reference execution on the raw semantics,
+  // snapshotting every injection step — the same loop shape as the typed
+  // campaign's, so the violation wording matches.
+  Clock::time_point RefStart = Clock::now();
+  uint64_t Stride = std::max<uint64_t>(1, Config.InjectionStride);
+  const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
+
+  Expected<MachineState> S0 = Prog.initialState();
+  if (Error Err = S0.takeError()) {
+    AddViolation("cannot start: " + Err.message());
+    return R;
+  }
+  MachineState S = *S0;
+  Addr ExitAddr = Prog.exitAddress();
+  OutputTrace Trace;
+  uint64_t Steps = 0;
+  std::vector<UntypedSnapshot> Snaps;
+  Snaps.push_back({S, 0, 0}); // Step 0 is always an injection point.
+  while (!atExit(S, ExitAddr)) {
+    if (Steps >= Config.MaxSteps) {
+      AddViolation("reference run exceeded MaxSteps");
+      return R;
+    }
+    StepResult SR = E.step(S, Config.Policy);
+    ++Steps;
+    if (SR.Output)
+      Trace.push_back(*SR.Output);
+    if (SR.Status != StepStatus::Ok) {
+      AddViolation(formatv("reference run failed at step %llu (%s)",
+                           (unsigned long long)Steps,
+                           SR.Status == StepStatus::Stuck ? "stuck"
+                                                          : "false positive"));
+      return R;
+    }
+    if (Steps % Stride == 0)
+      Snaps.push_back({S, Steps, Trace.size()});
+  }
+  R.ReferenceSteps = Steps;
+  R.ReferenceTrace = Trace;
+
+  std::vector<InjectionTask> Tasks =
+      enumerateTasks(Prog, Config, Snaps.size(),
+                     [&](size_t SI) -> const MachineState & {
+                       return Snaps[SI].S;
+                     });
+  R.Stats.ReferenceSeconds = secondsSince(RefStart);
+  R.Stats.Tasks = Tasks.size();
+
+  Clock::time_point InjectStart = Clock::now();
+  classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps, R);
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
@@ -691,6 +912,11 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
   S += "},\n";
   S += P + formatv("  \"states_typechecked\": %llu,\n",
                    (unsigned long long)R.StatesTypechecked);
+  S += P + formatv("  \"recovery\": {\"rollbacks\": %llu, "
+                   "\"checkpoints\": %llu, \"replayed_outputs\": %llu},\n",
+                   (unsigned long long)R.Recovery.Rollbacks,
+                   (unsigned long long)R.Recovery.Checkpoints,
+                   (unsigned long long)R.Recovery.ReplayedOutputs);
   S += P + "  \"violations\": [";
   for (size_t I = 0; I != R.Violations.size(); ++I) {
     S += I ? ", " : "";

@@ -33,6 +33,7 @@
 #define TALFT_FAULT_CAMPAIGN_H
 
 #include "fault/Theorems.h"
+#include "recover/RecoveringEngine.h"
 #include "sim/ExecEngine.h"
 
 #include <array>
@@ -64,9 +65,18 @@ enum class Verdict : uint8_t {
   /// A faulty state failed re-typechecking (only with
   /// TheoremConfig::TypeCheckFaultyStates).
   IllTyped,
+  /// Recovery campaigns only: detection triggered rollback and the run
+  /// completed with the output trace bit-identical to the reference
+  /// (strictly stronger than Theorem 4's prefix).
+  Recovered,
+  /// Recovery campaigns only: the recovery layer gave up and escalated to
+  /// fail-stop — retry budget exhausted, replay divergence, or the shared
+  /// step budget running out during a rollback replay — with the emitted
+  /// output still a verified reference prefix.
+  RecoveryEscalated,
 };
 
-inline constexpr size_t NumVerdicts = 8;
+inline constexpr size_t NumVerdicts = 10;
 
 /// Human-readable name ("masked", "detected", ...).
 const char *verdictName(Verdict V);
@@ -81,8 +91,10 @@ struct VerdictTable {
   uint64_t operator[](Verdict V) const { return Counts[size_t(V)]; }
 
   uint64_t total() const;
-  /// Masked + Detected: the two benign Theorem 4 cases.
+  /// The benign outcomes: Masked + Detected (the two Theorem 4 cases)
+  /// plus, under recovery, Recovered + RecoveryEscalated.
   uint64_t benign() const;
+  /// Adds \p O's tallies, saturating at UINT64_MAX instead of wrapping.
   void merge(const VerdictTable &O);
 
   bool operator==(const VerdictTable &) const = default;
@@ -148,6 +160,10 @@ struct CampaignResult {
   /// TheoremConfig::MaxViolations after the merge.
   std::vector<std::string> Violations;
   CampaignStats Stats;
+  /// Summed checkpoint/rollback activity of all faulty continuations
+  /// (recovery campaigns only; all-zero otherwise). Sums are
+  /// order-independent, so this is as thread-deterministic as the table.
+  RecoveryStats Recovery;
 };
 
 /// The Theorem 4 exhaustive single-fault sweep, parallelized. With one
@@ -158,6 +174,18 @@ CampaignResult runFaultToleranceCampaign(TypeContext &TC,
                                          const CheckedProgram &CP,
                                          const TheoremConfig &Config,
                                          const CampaignOptions &Opts);
+
+/// The same exhaustive single-fault sweep on the raw semantics (no
+/// typing), so it also covers programs the checker rejects — e.g. the
+/// Figure 10 kernels with dynamic addressing. Identical enumeration,
+/// classification and determinism guarantees; TypeCheckFaultyStates is a
+/// configuration error here. With Config.Recovery.Enabled the faulty
+/// continuations run under the checkpoint/rollback layer
+/// (recover/RecoveringEngine.h) and the benign verdicts become
+/// Masked / Recovered / RecoveryEscalated.
+CampaignResult runSingleFaultCampaign(const Program &Prog,
+                                      const TheoremConfig &Config,
+                                      const CampaignOptions &Opts);
 
 /// One scheduled corruption of an explicit multi-fault plan: when the run
 /// reaches \p Step transitions, replace the payload at \p Site with

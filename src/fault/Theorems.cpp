@@ -83,6 +83,8 @@ TheoremReport talft::checkFaultTolerance(TypeContext &TC,
   Report.MaskedFaults = R.Table[Verdict::Masked] +
                         R.Table[Verdict::SilentCorruption] +
                         R.Table[Verdict::DissimilarState];
+  Report.RecoveredFaults = R.Table[Verdict::Recovered];
+  Report.EscalatedFaults = R.Table[Verdict::RecoveryEscalated];
   Report.Violations = std::move(R.Violations);
   return Report;
 }

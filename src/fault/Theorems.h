@@ -30,6 +30,7 @@
 
 #include "fault/Similarity.h"
 #include "fault/TrackedRun.h"
+#include "recover/Checkpoint.h"
 
 #include <cstdint>
 #include <string>
@@ -58,6 +59,13 @@ struct TheoremConfig {
   /// Cap on retained violation descriptions.
   size_t MaxViolations = 16;
   StepPolicy Policy;
+  /// Checkpoint/rollback recovery for the faulty continuations
+  /// (recover/RecoveringEngine.h). Disabled, the sweep is the classic
+  /// fail-stop Theorem 4 check; enabled, detection triggers rollback and
+  /// the benign verdicts become Masked / Recovered / RecoveryEscalated.
+  /// Recovery replays run on the raw semantics, so it cannot be combined
+  /// with TypeCheckFaultyStates.
+  RecoveryPolicy Recovery;
 };
 
 /// Aggregated verdicts.
@@ -71,6 +79,13 @@ struct TheoremReport {
   uint64_t DetectedFaults = 0;
   /// Faulty runs completing with identical output (fault was masked).
   uint64_t MaskedFaults = 0;
+  /// Recovery campaigns only: faulty runs that rolled back and completed
+  /// with the output trace bit-identical to the reference.
+  uint64_t RecoveredFaults = 0;
+  /// Recovery campaigns only: faulty runs the recovery layer escalated
+  /// back to fail-stop (retry budget exhausted or replay divergence); the
+  /// emitted output remained a verified reference prefix.
+  uint64_t EscalatedFaults = 0;
   std::vector<std::string> Violations;
 
   void addViolation(std::string V, size_t Cap) {

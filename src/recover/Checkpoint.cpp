@@ -1,0 +1,22 @@
+//===- recover/Checkpoint.cpp ---------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "recover/Checkpoint.h"
+
+#include <cstring>
+
+using namespace talft;
+
+bool talft::isCommitPoint(const StepResult &SR) {
+  if (SR.Status != StepStatus::Ok)
+    return false;
+  // A committed store is always rule stB-mem; checking the output directly
+  // keeps this independent of the rule-name spelling.
+  if (SR.Output)
+    return true;
+  return SR.Rule && (std::strcmp(SR.Rule, "jmpB") == 0 ||
+                     std::strcmp(SR.Rule, "bzB-taken") == 0);
+}

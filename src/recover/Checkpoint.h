@@ -1,0 +1,65 @@
+//===- recover/Checkpoint.h - Commit-point checkpoints --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recovery layer (RecoveringEngine.h) snapshots the machine at
+/// *verified commit points*: the transitions whose firing proves the green
+/// and blue computations agree on everything the step observes. Those are
+/// exactly the rules that cross-check both colors before acting —
+///
+///   stB-mem   the store queue head commits to memory (addresses and
+///             values of both colors compared),
+///   jmpB      the blue jump retires a control transfer (both program
+///             counters compared),
+///   bzB-taken the blue conditional retires a taken branch (guards and
+///             targets of both colors compared);
+///
+/// a state captured immediately after one of them is the most recent
+/// moment the hardware has vouched for. Rolling back to it can therefore
+/// never resurrect data a cross-check already rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_RECOVER_CHECKPOINT_H
+#define TALFT_RECOVER_CHECKPOINT_H
+
+#include "isa/MachineState.h"
+#include "sim/Step.h"
+
+#include <cstdint>
+
+namespace talft {
+
+/// Knobs for the checkpoint/rollback layer.
+struct RecoveryPolicy {
+  /// Master switch; disabled, the layer is never constructed and the
+  /// campaign classifies exactly as the fail-stop Theorem 4 sweep.
+  bool Enabled = false;
+  /// Take a checkpoint every Nth commit point (1 = every one). Larger
+  /// intervals copy less state but roll back further and keep a fault
+  /// latent across more commits. 0 is normalized to 1.
+  uint64_t CheckpointInterval = 1;
+  /// Rollbacks allowed per checkpoint before the layer gives up and
+  /// escalates to fail-stop. The budget refills whenever the checkpoint
+  /// advances, so a transient fault costs at most RetryBudget replays
+  /// while a persistent (deterministically re-detected) fault still
+  /// terminates with the prefix guarantee.
+  uint64_t RetryBudget = 2;
+};
+
+/// One snapshot of the machine at a verified commit point.
+struct Checkpoint {
+  MachineState S;
+  /// Transitions taken when the snapshot was captured.
+  uint64_t Steps = 0;
+};
+
+/// True when \p SR is a verified commit point (see file comment).
+bool isCommitPoint(const StepResult &SR);
+
+} // namespace talft
+
+#endif // TALFT_RECOVER_CHECKPOINT_H

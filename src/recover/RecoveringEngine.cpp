@@ -1,0 +1,130 @@
+//===- recover/RecoveringEngine.cpp ---------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "recover/RecoveringEngine.h"
+
+#include "support/Unreachable.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace talft;
+
+const char *talft::recoveryStatusName(RecoveryStatus St) {
+  switch (St) {
+  case RecoveryStatus::Halted:
+    return "halted";
+  case RecoveryStatus::Escalated:
+    return "escalated";
+  case RecoveryStatus::Stuck:
+    return "stuck";
+  case RecoveryStatus::OutOfSteps:
+    return "out of steps";
+  }
+  talft_unreachable("unknown recovery status");
+}
+
+const char *talft::escalationReasonName(EscalationReason Why) {
+  switch (Why) {
+  case EscalationReason::None:
+    return "none";
+  case EscalationReason::RetriesExhausted:
+    return "retries exhausted";
+  case EscalationReason::ReplayDiverged:
+    return "replay diverged";
+  }
+  talft_unreachable("unknown escalation reason");
+}
+
+RecoveryResult RecoveringEngine::run(MachineState &S,
+                                     const RunSpec &Spec) const {
+  assert(!S.isFault() && "recovery cannot start from the fault state");
+  RecoveryResult R;
+
+  // The seed state is the initial checkpoint. SinceCkpt holds every store
+  // emitted after the checkpoint was captured; during a replay the prefix
+  // [0, ReplayCursor) has been regenerated and verified, so ReplayCursor ==
+  // SinceCkpt.size() means live execution (emit) and anything less means
+  // replay (suppress and verify).
+  Checkpoint Ckpt;
+  Ckpt.S = S;
+  std::vector<QueueEntry> SinceCkpt;
+  size_t ReplayCursor = 0;
+  uint64_t Retries = P.RetryBudget;
+  uint64_t CommitsSinceCkpt = 0;
+  uint64_t Taken = 0;
+
+  auto Finish = [&](RecoveryStatus St) -> RecoveryResult & {
+    R.Status = St;
+    R.Steps = Taken;
+    return R;
+  };
+  auto Escalate = [&](EscalationReason Why) -> RecoveryResult & {
+    S = MachineState::faultState();
+    R.Reason = Why;
+    return Finish(RecoveryStatus::Escalated);
+  };
+
+  while (true) {
+    if (Spec.Hook)
+      Spec.Hook(S, Taken);
+    if (atExit(S, Spec.ExitAddr)) {
+      // Halting while emitted outputs were never regenerated means the
+      // output device has already seen stores this execution will not
+      // produce; fail-stop is the only honest answer.
+      if (ReplayCursor < SinceCkpt.size())
+        return Escalate(EscalationReason::ReplayDiverged);
+      return Finish(RecoveryStatus::Halted);
+    }
+    if (Taken >= Spec.Budget)
+      return Finish(RecoveryStatus::OutOfSteps);
+
+    StepResult SR = Inner.step(S, Spec.Policy);
+    ++Taken;
+    if (SR.Status == StepStatus::Stuck)
+      return Finish(RecoveryStatus::Stuck);
+    if (SR.Status == StepStatus::Fault) {
+      // Hardware fault detection: the fail-stop event becomes a rollback
+      // while the checkpoint's retry budget lasts.
+      if (Retries == 0)
+        return Escalate(EscalationReason::RetriesExhausted);
+      --Retries;
+      ++R.Stats.Rollbacks;
+      S = Ckpt.S;
+      ReplayCursor = 0;
+      CommitsSinceCkpt = 0;
+      continue;
+    }
+
+    if (SR.Output) {
+      if (ReplayCursor < SinceCkpt.size()) {
+        if (!(*SR.Output == SinceCkpt[ReplayCursor]))
+          return Escalate(EscalationReason::ReplayDiverged);
+        ++ReplayCursor;
+        ++R.Stats.ReplayedOutputs;
+      } else {
+        SinceCkpt.push_back(*SR.Output);
+        ++ReplayCursor;
+        if (Spec.OnOutput)
+          Spec.OnOutput(*SR.Output);
+      }
+    }
+
+    if (isCommitPoint(SR) && ++CommitsSinceCkpt >= P.CheckpointInterval) {
+      // Advancing mid-replay is sound: the verified prefix of SinceCkpt
+      // is dropped and the unregenerated tail carries over as the new
+      // checkpoint's already-emitted outputs.
+      Ckpt.S = S;
+      Ckpt.Steps = Taken;
+      SinceCkpt.erase(SinceCkpt.begin(),
+                      SinceCkpt.begin() + (ptrdiff_t)ReplayCursor);
+      ReplayCursor = 0;
+      CommitsSinceCkpt = 0;
+      Retries = P.RetryBudget;
+      ++R.Stats.Checkpoints;
+    }
+  }
+}

@@ -1,0 +1,149 @@
+//===- recover/RecoveringEngine.h - Checkpoint/rollback execution ---------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TALFT's hardware guarantee is fail-stop: a detected fault halts the
+/// machine with the output a prefix of the fault-free trace (Theorem 4).
+/// The RecoveringEngine turns that into fail-operational execution. It
+/// drives any ExecEngine step by step, snapshots the MachineState at
+/// verified commit points (Checkpoint.h), and when the inner engine
+/// reports hardware fault detection it restores the most recent
+/// checkpoint and replays instead of halting.
+///
+/// Replay is observation-preserving: outputs the machine already emitted
+/// after the current checkpoint are *suppressed and verified* during the
+/// replay — each regenerated store must equal the store previously
+/// emitted at that position, and the first mismatch escalates to
+/// fail-stop before anything diverging reaches the output device. A
+/// transient single fault therefore ends with the output trace
+/// bit-identical to the fault-free run, strictly stronger than the
+/// theorem's prefix.
+///
+/// Each checkpoint carries a bounded retry budget (RecoveryPolicy); the
+/// budget refills whenever the checkpoint advances past a commit point.
+/// A persistent fault — one the deterministic semantics re-detects on
+/// every replay, e.g. a corruption that crossed a commit point and got
+/// checkpointed — exhausts the budget and escalates to fail-stop, so the
+/// original prefix guarantee is the worst case, never lost.
+///
+/// The engine is immutable after construction and safe to share across
+/// threads; all mutable execution state (checkpoint, replay cursor,
+/// retry counter) is per-run local.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_RECOVER_RECOVERINGENGINE_H
+#define TALFT_RECOVER_RECOVERINGENGINE_H
+
+#include "recover/Checkpoint.h"
+#include "sim/ExecEngine.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace talft {
+
+/// Checkpoint/rollback activity of one run (or, summed, of a campaign).
+struct RecoveryStats {
+  /// Checkpoints captured (excluding the seed state).
+  uint64_t Checkpoints = 0;
+  /// Rollbacks performed (= replays started).
+  uint64_t Rollbacks = 0;
+  /// Replayed stores verified against already-emitted outputs.
+  uint64_t ReplayedOutputs = 0;
+
+  void merge(const RecoveryStats &O) {
+    Checkpoints += O.Checkpoints;
+    Rollbacks += O.Rollbacks;
+    ReplayedOutputs += O.ReplayedOutputs;
+  }
+};
+
+/// Why a recovering run stopped.
+enum class RecoveryStatus : uint8_t {
+  /// Reached the exit block with every emitted output verified.
+  Halted,
+  /// The layer gave up and fail-stopped (see RecoveryResult::Reason).
+  Escalated,
+  /// A state got stuck (not a detected fault; nothing to roll back to).
+  Stuck,
+  /// The step budget ran out.
+  OutOfSteps,
+};
+
+const char *recoveryStatusName(RecoveryStatus St);
+
+/// What forced an escalation to fail-stop.
+enum class EscalationReason : uint8_t {
+  None,
+  /// The current checkpoint's retry budget hit zero.
+  RetriesExhausted,
+  /// A replayed store differed from the output previously emitted at the
+  /// same position (or the replay halted with emitted outputs never
+  /// regenerated) — continuing could contradict the output device.
+  ReplayDiverged,
+};
+
+const char *escalationReasonName(EscalationReason Why);
+
+/// The outcome of one recovering run.
+struct RecoveryResult {
+  RecoveryStatus Status = RecoveryStatus::OutOfSteps;
+  EscalationReason Reason = EscalationReason::None;
+  /// Transitions taken, replays included (the budget is shared).
+  uint64_t Steps = 0;
+  RecoveryStats Stats;
+};
+
+/// Drives an inner ExecEngine under the checkpoint/rollback protocol.
+class RecoveringEngine {
+public:
+  /// Test/fault-model instrumentation: invoked before every transition
+  /// with the state and the number of transitions taken so far, and may
+  /// mutate the state (the campaign injects its fault at hook time 0, so
+  /// the seed checkpoint stays clean). Replays re-run the hook at fresh
+  /// step counts only — a transient fault does not recur.
+  using StepHook = std::function<void(MachineState &, uint64_t)>;
+
+  /// One run's parameters.
+  struct RunSpec {
+    /// Entry address of the exit block (0 disables halt detection).
+    Addr ExitAddr = 0;
+    /// Total transition budget, shared between first execution and every
+    /// replay (a rollback is free; the re-executed steps are not).
+    uint64_t Budget = 0;
+    StepPolicy Policy;
+    /// Observer of the *external* output trace: fires once per emitted
+    /// store, never for a verified replay of one.
+    ExecEngine::OutputSink OnOutput;
+    StepHook Hook;
+  };
+
+  RecoveringEngine(const ExecEngine &Inner, const RecoveryPolicy &Policy)
+      : Inner(Inner), P(Policy) {
+    if (P.CheckpointInterval == 0)
+      P.CheckpointInterval = 1;
+  }
+
+  const ExecEngine &inner() const { return Inner; }
+  const RecoveryPolicy &policy() const { return P; }
+
+  /// Runs \p S to the exit block under the protocol. \p S is the seed
+  /// checkpoint (assumed verified, like a freshly loaded initial state);
+  /// on Escalated it becomes the distinguished fault state. The control
+  /// flow checks the exit condition before the budget on every
+  /// transition, exactly like ExecEngine::runContinuation, so verdicts
+  /// derived from this loop line up with the fail-stop classifier's.
+  RecoveryResult run(MachineState &S, const RunSpec &Spec) const;
+
+private:
+  const ExecEngine &Inner;
+  RecoveryPolicy P;
+};
+
+} // namespace talft
+
+#endif // TALFT_RECOVER_RECOVERINGENGINE_H

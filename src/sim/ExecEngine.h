@@ -21,6 +21,12 @@
 ///   - vm::createEngine() (vm/Engine.h): a pre-decoded micro-op engine bound
 ///     to one CodeMemory, roughly an order of magnitude faster per step.
 ///
+/// The checkpoint/rollback layer (recover/RecoveringEngine.h) composes on
+/// top of this interface: it drives any engine through step() and turns the
+/// fail-stop detections engines report into rollback-and-replay. Because it
+/// only observes the engine-independent step contract, the layer inherits
+/// the bit-identical-verdicts guarantee for free.
+///
 /// Engines are immutable after construction and safe to share across the
 /// campaign's worker threads: all execution state lives in the MachineState
 /// the caller passes in.

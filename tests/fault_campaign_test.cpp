@@ -21,6 +21,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string>
 
 using namespace talft;
 
@@ -250,6 +252,54 @@ TEST(FaultCampaignTest, VerdictTableMergeSums) {
   EXPECT_EQ(A[Verdict::SilentCorruption], 4u);
   EXPECT_EQ(A.total(), 10u);
   EXPECT_EQ(A.benign(), 6u);
+}
+
+TEST(FaultCampaignTest, VerdictTableMergeSaturates) {
+  // Tallies saturate instead of wrapping: a merged campaign can never
+  // report fewer injections than either input.
+  VerdictTable A, B;
+  A[Verdict::Masked] = UINT64_MAX - 1;
+  B[Verdict::Masked] = 5;
+  A.merge(B);
+  EXPECT_EQ(A[Verdict::Masked], UINT64_MAX);
+  VerdictTable C, D;
+  C[Verdict::Detected] = UINT64_MAX;
+  D[Verdict::Detected] = UINT64_MAX;
+  C.merge(D);
+  EXPECT_EQ(C[Verdict::Detected], UINT64_MAX);
+}
+
+TEST(FaultCampaignTest, VerdictTableMergeIsOrderIndependent) {
+  VerdictTable A, B;
+  for (size_t I = 0; I != NumVerdicts; ++I) {
+    A.Counts[I] = 3 * I + 1;
+    B.Counts[I] = 7 * I + 2;
+  }
+  VerdictTable AB = A, BA = B;
+  AB.merge(B);
+  BA.merge(A);
+  EXPECT_EQ(AB, BA);
+}
+
+TEST(FaultCampaignTest, VerdictNamesAndJsonKeysCoverEveryVerdict) {
+  std::set<std::string> Names, Keys;
+  for (size_t I = 0; I != NumVerdicts; ++I) {
+    Verdict V = (Verdict)I;
+    const char *Name = verdictName(V);
+    const char *Key = verdictJsonKey(V);
+    ASSERT_NE(Name, nullptr);
+    ASSERT_NE(Key, nullptr);
+    EXPECT_FALSE(std::string(Name).empty());
+    // JSON keys are stable snake_case identifiers.
+    for (char C : std::string(Key))
+      EXPECT_TRUE((C >= 'a' && C <= 'z') || C == '_')
+          << "bad character '" << C << "' in json key " << Key;
+    Names.insert(Name);
+    Keys.insert(Key);
+  }
+  // Distinct verdicts must never alias in reports.
+  EXPECT_EQ(Names.size(), NumVerdicts);
+  EXPECT_EQ(Keys.size(), NumVerdicts);
 }
 
 } // namespace
