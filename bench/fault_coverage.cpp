@@ -20,7 +20,7 @@
 //
 //   fault_coverage [--threads N] [--stride N] [--engine E] [--json [FILE]]
 //                  [--recover] [--checkpoint-interval N] [--retry-budget N]
-//                  [--fig10]
+//                  [--fig10] [--prune]
 //
 //   --threads N   worker threads (default 1; 0 = hardware concurrency).
 //                 Verdict tables are bit-identical for every N.
@@ -45,13 +45,23 @@
 //   --fig10       also sweep all fifteen Figure 10 kernels on the
 //                 raw-semantics campaign (runSingleFaultCampaign), which
 //                 covers the kernels the type checker rejects too.
+//   --prune       discharge provably-dead injection sites statically
+//                 (analysis/ZapCoverage.h) instead of simulating them;
+//                 they are tallied as statically-masked, and the verdict
+//                 table folds bit-identically onto the unpruned one
+//                 (masked + statically-masked is invariant). The nightly
+//                 workflow asserts exactly that.
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v2) to FILE (written atomically),
-//                 or stdout with the human table on stderr.
+//                 talft-fault-campaign-v3: adds per-program
+//                 "certification" from the analysis ladder and the
+//                 statically_masked verdict / pruned stats) to FILE
+//                 (written atomically), or stdout with the human table
+//                 on stderr.
 //
 //===----------------------------------------------------------------------===//
 
 #include "CliUtils.h"
+#include "analysis/Certify.h"
 #include "check/ProgramChecker.h"
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
@@ -149,13 +159,15 @@ struct Cli {
   uint64_t CheckpointInterval = 1;
   uint64_t RetryBudget = 2;
   bool Fig10 = false;
+  bool Prune = false;
 };
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--stride N] "
                "[--engine reference|vm] [--json [FILE]] [--recover] "
-               "[--checkpoint-interval N] [--retry-budget N] [--fig10]\n",
+               "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
+               "[--prune]\n",
                Argv0);
 }
 
@@ -181,6 +193,8 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
         return false;
     } else if (std::strcmp(A, "--fig10") == 0) {
       C.Fig10 = true;
+    } else if (std::strcmp(A, "--prune") == 0) {
+      C.Prune = true;
     } else if (std::strcmp(A, "--engine") == 0) {
       if (I + 1 >= Argc)
         return false;
@@ -215,17 +229,24 @@ struct SweepRow {
   std::string Name;
   CampaignResult Result;
   uint64_t Stride = 1;
+  /// Where the program landed on the certification ladder
+  /// (analysis/Certify.h): typed, analysis-certified or inconsistent.
+  analysis::CertificationStatus Certification =
+      analysis::CertificationStatus::Typed;
 };
 
 void printRow(FILE *Out, const SweepRow &Row) {
   const CampaignResult &R = Row.Result;
+  // The masked column folds in statically-masked so the human table reads
+  // the same with and without --prune (the JSON keeps them split).
   std::fprintf(Out,
                "%-18s %9llu %11llu %9llu %8llu %9llu %9llu %10s %8.2fs %11.0f\n",
                Row.Name.c_str(), (unsigned long long)R.ReferenceSteps,
                (unsigned long long)R.Table.total(),
                (unsigned long long)(R.Table[Verdict::Detected] +
                                     R.Table[Verdict::DetectedBadPrefix]),
-               (unsigned long long)R.Table[Verdict::Masked],
+               (unsigned long long)(R.Table[Verdict::Masked] +
+                                    R.Table[Verdict::StaticallyMasked]),
                (unsigned long long)R.Table[Verdict::Recovered],
                (unsigned long long)R.Table[Verdict::RecoveryEscalated],
                R.Ok ? "0 (OK)" : "VIOLATED", R.Stats.WallSeconds,
@@ -249,6 +270,7 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   TheoremConfig Config = sweepConfig(C, Stride);
   CampaignOptions Opts;
   Opts.Threads = C.Threads;
+  Opts.Prune = C.Prune;
   // The VM engine is bound to one CodeMemory, so it is built per program.
   std::unique_ptr<ExecEngine> Vm;
   if (C.UseVm) {
@@ -256,7 +278,9 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
     Opts.Engine = Vm.get();
   }
   CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
-  Rows.push_back({Name, std::move(R), Stride});
+  // The program type-checked to get here: top rung of the ladder.
+  Rows.push_back({Name, std::move(R), Stride,
+                  analysis::CertificationStatus::Typed});
   printRow(tableStream(C), Rows.back());
   return Rows.back().Result.Ok;
 }
@@ -349,8 +373,13 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     CampaignOptions Opts;
     Opts.Threads = C.Threads;
     Opts.Engine = C.UseVm ? Vm.get() : nullptr;
+    Opts.Prune = C.Prune;
     CampaignResult R = runSingleFaultCampaign(CP->Prog, Config, Opts);
-    Rows.push_back({K.Name, std::move(R), Stride});
+    // Raw-semantics sweeps report the certification rung the analysis
+    // ladder assigns (Typed / AnalysisCertified / Inconsistent) instead
+    // of the old ad-hoc rejected/unsupported booleans.
+    analysis::Certification Cert = analysis::certifyProgram(TC, CP->Prog);
+    Rows.push_back({K.Name, std::move(R), Stride, Cert.Status});
     printRow(tableStream(C), Rows.back());
     Ok &= Rows.back().Result.Ok;
   }
@@ -360,18 +389,23 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v2\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v3\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
   S += "  \"checkpoint_interval\": " + std::to_string(C.CheckpointInterval) +
        ",\n";
   S += "  \"retry_budget\": " + std::to_string(C.RetryBudget) + ",\n";
+  S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {
     S += "    {\n      \"name\": \"" + Rows[I].Name + "\",\n";
     S += "      \"stride\": " + std::to_string(Rows[I].Stride) + ",\n";
+    S += "      \"certification\": \"" +
+         std::string(analysis::certificationStatusJsonKey(
+             Rows[I].Certification)) +
+         "\",\n";
     S += "      \"campaign\":\n";
     S += campaignToJson(Rows[I].Result, 6);
     S += "\n    }";

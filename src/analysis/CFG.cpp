@@ -1,0 +1,251 @@
+//===- analysis/CFG.cpp ---------------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <set>
+
+using namespace talft;
+using namespace talft::analysis;
+
+namespace {
+
+/// The abstract destination register during the constant scan: known zero,
+/// a known candidate target (the value jmpG/bzG parked there), or unknown.
+struct AbstractDest {
+  enum Kind : uint8_t { Zero, Candidate, Unknown } K = Zero;
+  Addr Target = 0;
+};
+
+/// Per-instruction resolution outcome for the blue control instructions.
+struct ControlInfo {
+  std::vector<Addr> Targets;
+  bool Indirect = false;
+};
+
+/// Scans one TAL block linearly, propagating register constants and the
+/// abstract d, and resolves the targets of every jmpB/bzB it contains.
+/// Conditional fallthrough (bzG untaken) does not invalidate constants:
+/// neither branch arm of the pair writes general registers.
+void resolveBlockTargets(const Program &Prog, const Block &B, Addr Begin,
+                         std::vector<ControlInfo> &Out, Addr Base) {
+  std::array<std::optional<int64_t>, Reg::NumRegs> Known;
+  AbstractDest D; // Block preconditions require d = 0 at entry.
+
+  const CodeMemory &Code = Prog.code();
+  for (size_t I = 0; I != B.Insts.size(); ++I) {
+    Addr A = Begin + (Addr)I;
+    const Inst &Ins = B.Insts[I].I;
+    ControlInfo &CI = Out[(size_t)(A - Base)];
+
+    switch (Ins.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul: {
+      std::optional<int64_t> L = Known[Ins.Rs.denseIndex()];
+      std::optional<int64_t> R =
+          Ins.HasImm ? std::optional<int64_t>(Ins.Imm.N)
+                     : Known[Ins.Rt.denseIndex()];
+      Known[Ins.Rd.denseIndex()] =
+          (L && R) ? std::optional<int64_t>(evalAluOp(Ins.Op, *L, *R))
+                   : std::nullopt;
+      break;
+    }
+    case Opcode::Mov:
+      Known[Ins.Rd.denseIndex()] = Ins.Imm.N;
+      break;
+    case Opcode::Ld:
+      Known[Ins.Rd.denseIndex()] = std::nullopt;
+      break;
+    case Opcode::St:
+      break;
+    case Opcode::Jmp:
+      if (Ins.C == Color::Green) {
+        if (std::optional<int64_t> T = Known[Ins.Rd.denseIndex()])
+          D = {AbstractDest::Candidate, *T};
+        else
+          D = {AbstractDest::Unknown, 0};
+      } else {
+        // The committed target is checked equal between d and Rd, so
+        // either constant resolves it.
+        if (std::optional<int64_t> T = Known[Ins.Rd.denseIndex()])
+          CI.Targets.push_back(*T);
+        else if (D.K == AbstractDest::Candidate)
+          CI.Targets.push_back(D.Target);
+        else
+          CI.Indirect = true;
+        // jmpB never falls through: anything after it in this TAL block is
+        // reachable only by a jump from elsewhere, where these constants
+        // do not hold.
+        Known.fill(std::nullopt);
+        D = {AbstractDest::Unknown, 0};
+      }
+      break;
+    case Opcode::Bz:
+      if (Ins.C == Color::Green) {
+        if (std::optional<int64_t> T = Known[Ins.Rd.denseIndex()])
+          D = {AbstractDest::Candidate, *T};
+        else
+          D = {AbstractDest::Unknown, 0};
+      } else {
+        if (std::optional<int64_t> T = Known[Ins.Rd.denseIndex()])
+          CI.Targets.push_back(*T);
+        else if (D.K == AbstractDest::Candidate)
+          CI.Targets.push_back(D.Target);
+        else
+          CI.Indirect = true;
+        D = {AbstractDest::Zero, 0};
+      }
+      break;
+    }
+
+    // Drop candidate targets outside code memory: committing such a
+    // transfer wedges at the next fetch, so there is no CFG edge.
+    CI.Targets.erase(std::remove_if(CI.Targets.begin(), CI.Targets.end(),
+                                    [&](Addr T) { return !Code.contains(T); }),
+                     CI.Targets.end());
+    std::sort(CI.Targets.begin(), CI.Targets.end());
+    CI.Targets.erase(std::unique(CI.Targets.begin(), CI.Targets.end()),
+                     CI.Targets.end());
+  }
+}
+
+} // namespace
+
+std::string CFG::describeAddr(Addr A) const {
+  const Block *B = talBlockOf(A);
+  if (!B)
+    return formatv("@%lld", (long long)A);
+  Addr Off = A - Prog->addressOf(B->Label);
+  if (Off == 0)
+    return B->Label;
+  return formatv("%s+%lld", B->Label.c_str(), (long long)Off);
+}
+
+Expected<CFG> CFG::build(const Program &Prog) {
+  if (!Prog.isLaidOut())
+    return makeError("CFG::build requires a laid-out program");
+
+  CFG G;
+  G.Prog = &Prog;
+  size_t NumInsts = Prog.code().size();
+  if (NumInsts == 0)
+    return makeError("cannot build a CFG for a program with no code");
+  G.Base = 1; // Layout assigns consecutive addresses starting at 1.
+  G.Insts.resize(NumInsts);
+  G.Locs.resize(NumInsts);
+  G.TalBlocks.resize(NumInsts, nullptr);
+  G.Targets.resize(NumInsts);
+
+  std::vector<ControlInfo> Control(NumInsts);
+  std::vector<Addr> TalEntries;
+  for (const Block &B : Prog.blocks()) {
+    Addr Begin = Prog.addressOf(B.Label);
+    TalEntries.push_back(Begin);
+    for (size_t I = 0; I != B.Insts.size(); ++I) {
+      size_t Idx = (size_t)(Begin - G.Base) + I;
+      G.Insts[Idx] = B.Insts[I].I;
+      G.Locs[Idx] = B.Insts[I].Loc;
+      G.TalBlocks[Idx] = &B;
+    }
+    resolveBlockTargets(Prog, B, Begin, Control, G.Base);
+  }
+
+  bool AnyIndirect = false;
+  for (const ControlInfo &CI : Control)
+    AnyIndirect |= CI.Indirect;
+  G.Resolved = !AnyIndirect;
+
+  // An unresolved blue transfer can land on any block entry (transfers
+  // always target declared labels in well-formed programs).
+  for (size_t I = 0; I != NumInsts; ++I) {
+    if (Control[I].Indirect)
+      Control[I].Targets = TalEntries;
+    G.Targets[I] = Control[I].Targets;
+  }
+
+  // Leaders: TAL block entries, committed-transfer targets, and the
+  // instruction after each committing (blue) control instruction.
+  std::set<Addr> Leaders(TalEntries.begin(), TalEntries.end());
+  Leaders.insert(G.Base);
+  for (size_t I = 0; I != NumInsts; ++I) {
+    const Inst &Ins = G.Insts[I];
+    Addr A = G.Base + (Addr)I;
+    bool Commits = Ins.isControlFlow() && Ins.C == Color::Blue;
+    if (Commits) {
+      if (A + 1 < G.limitAddr())
+        Leaders.insert(A + 1);
+      for (Addr T : G.Targets[I])
+        Leaders.insert(T);
+    }
+  }
+
+  G.BlockOf.resize(NumInsts);
+  for (Addr A = G.Base; A < G.limitAddr(); ++A) {
+    if (Leaders.count(A)) {
+      BasicBlock BB;
+      BB.Begin = A;
+      G.Blocks.push_back(BB);
+    }
+    BasicBlock &BB = G.Blocks.back();
+    ++BB.Size;
+    G.BlockOf[G.instIndex(A)] = (uint32_t)(G.Blocks.size() - 1);
+  }
+
+  // Edges.
+  for (uint32_t Id = 0; Id != G.Blocks.size(); ++Id) {
+    BasicBlock &BB = G.Blocks[Id];
+    Addr Last = BB.end() - 1;
+    const Inst &Ins = G.inst(Last);
+    std::set<uint32_t> Succs;
+    bool Commits = Ins.isControlFlow() && Ins.C == Color::Blue;
+    bool Fallthrough = !(Ins.Op == Opcode::Jmp && Ins.C == Color::Blue);
+    if (Fallthrough && Last + 1 < G.limitAddr())
+      Succs.insert(G.blockOf(Last + 1));
+    if (Commits) {
+      BB.HasIndirect = Control[G.instIndex(Last)].Indirect;
+      for (Addr T : G.Targets[G.instIndex(Last)])
+        Succs.insert(G.blockOf(T));
+    }
+    BB.Succs.assign(Succs.begin(), Succs.end());
+    for (uint32_t S : BB.Succs)
+      G.Blocks[S].Preds.push_back(Id);
+  }
+
+  Addr Entry = Prog.entryAddress();
+  if (!G.contains(Entry))
+    return makeError("entry address outside code memory");
+  G.EntryBB = G.blockOf(Entry);
+
+  // Reachability and reverse post-order from the entry block.
+  G.Reachable.assign(G.Blocks.size(), 0);
+  std::vector<uint32_t> Post;
+  Post.reserve(G.Blocks.size());
+  // Iterative DFS with an explicit successor cursor.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  G.Reachable[G.EntryBB] = 1;
+  Stack.push_back({G.EntryBB, 0});
+  while (!Stack.empty()) {
+    auto &[BB, Cursor] = Stack.back();
+    if (Cursor < G.Blocks[BB].Succs.size()) {
+      uint32_t S = G.Blocks[BB].Succs[Cursor++];
+      if (!G.Reachable[S]) {
+        G.Reachable[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Post.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+  G.Rpo.assign(Post.rbegin(), Post.rend());
+  return G;
+}

@@ -1,0 +1,125 @@
+//===- analysis/CFG.h - Control-flow graph over a laid-out program --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic-block control-flow graph over the dense code addresses a laid-out
+/// tal::Program occupies. Control flow in TALFT is split across color pairs:
+/// jmpG only *records* a transfer intention in d (execution falls through),
+/// and the matching jmpB *commits* it; likewise bzG/bzB for conditional
+/// branches. Block boundaries therefore sit after the blue half of each
+/// pair, not after the green half.
+///
+/// Successor resolution runs a little constant propagation over each TAL
+/// block (movs of immediates, folded ALU ops, and the abstract d register)
+/// so that the common codegen shape — mov a target label into a register,
+/// jmpG/jmpB it — resolves to exact targets. A target that cannot be
+/// resolved (e.g. loaded from memory) is over-approximated by every TAL
+/// block entry and recorded in targetsResolved(), which downstream passes
+/// consult before trusting the graph for *pruning* (as opposed to
+/// certification, where extra edges are sound).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_CFG_H
+#define TALFT_ANALYSIS_CFG_H
+
+#include "support/Error.h"
+#include "tal/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace talft {
+namespace analysis {
+
+/// A basic-block CFG over the program's code addresses. Instruction
+/// addresses are dense (layout assigns [1, 1+size)), so per-instruction
+/// facts index a plain vector via instIndex().
+class CFG {
+public:
+  struct BasicBlock {
+    /// Address of the first instruction.
+    Addr Begin = 0;
+    /// Number of consecutive instructions.
+    uint32_t Size = 0;
+    /// Successor / predecessor block ids.
+    std::vector<uint32_t> Succs;
+    std::vector<uint32_t> Preds;
+    /// True when some successor set was over-approximated (an indirect
+    /// jump whose target the constant scan could not resolve).
+    bool HasIndirect = false;
+
+    Addr end() const { return Begin + (Addr)Size; }
+  };
+
+  /// Builds the CFG. Requires Prog.isLaidOut(); fails only on malformed
+  /// layouts (empty code, entry outside code).
+  static Expected<CFG> build(const Program &Prog);
+
+  const Program &program() const { return *Prog; }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  const BasicBlock &block(uint32_t Id) const { return Blocks[Id]; }
+  uint32_t entryBlock() const { return EntryBB; }
+
+  /// First code address and one past the last.
+  Addr minAddr() const { return Base; }
+  Addr limitAddr() const { return Base + (Addr)Insts.size(); }
+  bool contains(Addr A) const { return A >= minAddr() && A < limitAddr(); }
+  size_t numInsts() const { return Insts.size(); }
+
+  /// Dense instruction index of a code address.
+  size_t instIndex(Addr A) const {
+    assert(contains(A) && "address outside code");
+    return (size_t)(A - Base);
+  }
+  const Inst &inst(Addr A) const { return Insts[instIndex(A)]; }
+  /// The block containing a code address.
+  uint32_t blockOf(Addr A) const { return BlockOf[instIndex(A)]; }
+
+  /// Source location of the instruction at \p A (may be invalid).
+  SourceLoc locOf(Addr A) const { return Locs[instIndex(A)]; }
+  /// The TAL block containing \p A (for labels in diagnostics).
+  const Block *talBlockOf(Addr A) const { return TalBlocks[instIndex(A)]; }
+  /// Renders "label+offset" for an address, e.g. "loop+2".
+  std::string describeAddr(Addr A) const;
+
+  /// Resolved control targets of the instruction at \p A (jmpB and the
+  /// taken edge of bzB); empty for straight-line instructions.
+  const std::vector<Addr> &controlTargets(Addr A) const {
+    return Targets[instIndex(A)];
+  }
+
+  /// False when any jump target had to be over-approximated; pruning
+  /// clients must treat the graph as advisory then.
+  bool targetsResolved() const { return Resolved; }
+
+  /// True when the block is reachable from the entry block.
+  bool reachable(uint32_t Id) const { return Reachable[Id]; }
+
+  /// Block ids in reverse post-order from the entry (reachable blocks
+  /// only).
+  const std::vector<uint32_t> &rpo() const { return Rpo; }
+
+private:
+  const Program *Prog = nullptr;
+  Addr Base = 1;
+  std::vector<Inst> Insts;
+  std::vector<SourceLoc> Locs;
+  std::vector<const Block *> TalBlocks;
+  std::vector<std::vector<Addr>> Targets;
+  std::vector<uint32_t> BlockOf;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint8_t> Reachable;
+  std::vector<uint32_t> Rpo;
+  uint32_t EntryBB = 0;
+  bool Resolved = true;
+};
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_CFG_H

@@ -1,0 +1,82 @@
+//===- analysis/Certify.cpp -----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Certify.h"
+
+#include "analysis/CFG.h"
+#include "check/ProgramChecker.h"
+#include "support/Diagnostics.h"
+
+using namespace talft;
+using namespace talft::analysis;
+
+const char *talft::analysis::certificationStatusName(CertificationStatus S) {
+  switch (S) {
+  case CertificationStatus::Typed:
+    return "typed";
+  case CertificationStatus::AnalysisCertified:
+    return "analysis-certified";
+  case CertificationStatus::Inconsistent:
+    return "inconsistent";
+  }
+  return "unknown";
+}
+
+const char *
+talft::analysis::certificationStatusJsonKey(CertificationStatus S) {
+  switch (S) {
+  case CertificationStatus::Typed:
+    return "typed";
+  case CertificationStatus::AnalysisCertified:
+    return "analysis_certified";
+  case CertificationStatus::Inconsistent:
+    return "inconsistent";
+  }
+  return "unknown";
+}
+
+Certification talft::analysis::certifyProgram(TypeContext &TC,
+                                              const Program &Prog) {
+  Certification C;
+  DiagnosticEngine Diags;
+  if (Expected<CheckedProgram> CP = checkProgram(TC, Prog, Diags)) {
+    C.Status = CertificationStatus::Typed;
+    return C;
+  } else {
+    C.CheckerError = CP.message();
+    if (Diags.hasErrors())
+      for (const Diagnostic &D : Diags.diagnostics())
+        if (D.Kind == DiagKind::Error) {
+          C.CheckerError = D.str();
+          break;
+        }
+  }
+
+  Expected<CFG> G = CFG::build(Prog);
+  if (!G) {
+    Finding F;
+    F.Where = "<program>";
+    F.Message = "cannot build CFG: " + G.message();
+    C.Findings.push_back(std::move(F));
+    return C;
+  }
+  Expected<DuplicationResult> Dup = analyzeDuplication(*G);
+  if (!Dup) {
+    Finding F;
+    F.Where = "<program>";
+    F.Message = "duplication analysis failed: " + Dup.message();
+    C.Findings.push_back(std::move(F));
+    return C;
+  }
+  C.TargetsResolved = Dup->TargetsResolved;
+  if (Dup->consistent()) {
+    C.Status = CertificationStatus::AnalysisCertified;
+  } else {
+    C.Status = CertificationStatus::Inconsistent;
+    C.Findings = Dup->Findings;
+  }
+  return C;
+}

@@ -1,0 +1,67 @@
+//===- analysis/Certify.h - Unified program certification status ----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One certification verdict for a program, unifying what used to be
+/// ad-hoc booleans scattered across the checker, the raw-semantics sweep
+/// and the benchmark reports:
+///
+///   Typed             — the Hoare type system accepts the program
+///                       (Theorem 4 applies by construction);
+///   AnalysisCertified — the checker rejects it (typically dynamic
+///                       addressing), but the duplication-consistency
+///                       analysis proves every observable action is
+///                       guarded by an independent-replica cross-check;
+///   Inconsistent      — the analysis pinpointed at least one instruction
+///                       whose operands are not independent replicas.
+///
+/// certifyProgram is the `--analyze` fallback behind check/ProgramChecker:
+/// try the types first, fall back to the dataflow analysis, and report
+/// which rung of the ladder the program landed on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_CERTIFY_H
+#define TALFT_ANALYSIS_CERTIFY_H
+
+#include "analysis/Duplication.h"
+#include "types/TypeContext.h"
+
+namespace talft {
+namespace analysis {
+
+enum class CertificationStatus : uint8_t {
+  Typed,
+  AnalysisCertified,
+  Inconsistent,
+};
+
+/// Human-readable name ("typed", "analysis-certified", "inconsistent").
+const char *certificationStatusName(CertificationStatus S);
+/// Stable snake_case key for JSON reports.
+const char *certificationStatusJsonKey(CertificationStatus S);
+
+struct Certification {
+  CertificationStatus Status = CertificationStatus::Inconsistent;
+  /// The type checker's first complaint (empty when Typed).
+  std::string CheckerError;
+  /// The duplication findings (nonempty iff Inconsistent).
+  std::vector<Finding> Findings;
+  /// False when indirect targets were over-approximated; an
+  /// AnalysisCertified verdict then assumes transfers reach block entries.
+  bool TargetsResolved = true;
+
+  bool certified() const { return Status != CertificationStatus::Inconsistent; }
+};
+
+/// Certifies \p Prog: type check first, duplication analysis as fallback.
+/// The program must be laid out.
+Certification certifyProgram(TypeContext &TC, const Program &Prog);
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_CERTIFY_H

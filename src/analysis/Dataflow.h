@@ -1,0 +1,148 @@
+//===- analysis/Dataflow.h - Worklist dataflow over the CFG ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic round-based worklist solver over analysis::CFG. An analysis
+/// supplies a join-semilattice state and a per-instruction transfer
+/// function:
+///
+///   struct MyAnalysis {
+///     using State = ...;                     // copyable, ==-comparable
+///     static constexpr Direction Dir = Direction::Forward;
+///     State boundary(const CFG &G);          // entry (fwd) / exit (bwd)
+///     State top();                           // join identity / unreached
+///     bool join(State &Into, const State &From, uint32_t AtBlock);
+///     void transfer(Addr A, const Inst &I, State &S);
+///   };
+///
+/// join returns true when Into changed (the solver re-queues dependents).
+/// The block the join lands on is passed so analyses that name join points
+/// (the duplication domain's phi nodes) can do so deterministically.
+///
+/// The solver iterates blocks in reverse post-order (post-order for
+/// backward analyses) until no boundary state changes, then materializes
+/// the per-instruction states: solution.at(A) is the state *entering*
+/// instruction A — facts-in for a forward analysis, live-in for a backward
+/// one. Unreachable blocks keep top().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_DATAFLOW_H
+#define TALFT_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace talft {
+namespace analysis {
+
+enum class Direction : uint8_t { Forward, Backward };
+
+template <typename A> struct DataflowSolution {
+  /// State entering each instruction, indexed by CFG::instIndex().
+  std::vector<typename A::State> In;
+  /// State at each block's flow-exit (fwd: after the last instruction;
+  /// bwd: before the first), indexed by block id.
+  std::vector<typename A::State> BlockOut;
+
+  const typename A::State &at(const CFG &G, Addr Adr) const {
+    return In[G.instIndex(Adr)];
+  }
+};
+
+template <typename A>
+DataflowSolution<A> solveDataflow(const CFG &G, A &Analysis) {
+  constexpr bool Fwd = A::Dir == Direction::Forward;
+  size_t N = G.numBlocks();
+
+  // BoundaryIn[b]: state at the block's flow-entry (fwd: before the first
+  // instruction; bwd: after the last).
+  std::vector<typename A::State> BoundaryIn(N, Analysis.top());
+
+  auto Order = G.rpo();
+  if (!Fwd)
+    std::reverse(Order.begin(), Order.end());
+
+  std::deque<uint32_t> Work(Order.begin(), Order.end());
+  std::vector<uint8_t> InWork(N, 0);
+  for (uint32_t B : Order)
+    InWork[B] = 1;
+
+  auto FlowNeighbors = [&](uint32_t B) -> const std::vector<uint32_t> & {
+    return Fwd ? G.block(B).Succs : G.block(B).Preds;
+  };
+
+  // Seed: the entry block (fwd) / every exit-capable block (bwd). For
+  // backward analyses every block without successors gets the boundary
+  // state; blocks on cycles with no path out are solved from top.
+  {
+    typename A::State Seed = Analysis.boundary(G);
+    if (Fwd) {
+      Analysis.join(BoundaryIn[G.entryBlock()], Seed, G.entryBlock());
+    } else {
+      for (uint32_t B = 0; B != N; ++B)
+        if (G.block(B).Succs.empty())
+          Analysis.join(BoundaryIn[B], Seed, B);
+    }
+  }
+
+  auto TransferBlock = [&](uint32_t B, typename A::State S) {
+    const CFG::BasicBlock &BB = G.block(B);
+    if (Fwd) {
+      for (Addr Adr = BB.Begin; Adr != BB.end(); ++Adr)
+        Analysis.transfer(Adr, G.inst(Adr), S);
+    } else {
+      for (Addr Adr = BB.end() - 1; Adr >= BB.Begin; --Adr)
+        Analysis.transfer(Adr, G.inst(Adr), S);
+    }
+    return S;
+  };
+
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    InWork[B] = 0;
+    typename A::State Out = TransferBlock(B, BoundaryIn[B]);
+    for (uint32_t Nb : FlowNeighbors(B)) {
+      if (Analysis.join(BoundaryIn[Nb], Out, Nb) && !InWork[Nb]) {
+        InWork[Nb] = 1;
+        Work.push_back(Nb);
+      }
+    }
+  }
+
+  // Materialize per-instruction entry states and block flow-exit states.
+  DataflowSolution<A> Sol;
+  Sol.In.assign(G.numInsts(), Analysis.top());
+  Sol.BlockOut.assign(N, Analysis.top());
+  for (uint32_t B = 0; B != N; ++B) {
+    if (!G.reachable(B))
+      continue;
+    const CFG::BasicBlock &BB = G.block(B);
+    typename A::State S = BoundaryIn[B];
+    if (Fwd) {
+      for (Addr Adr = BB.Begin; Adr != BB.end(); ++Adr) {
+        Sol.In[G.instIndex(Adr)] = S;
+        Analysis.transfer(Adr, G.inst(Adr), S);
+      }
+    } else {
+      for (Addr Adr = BB.end() - 1; Adr >= BB.Begin; --Adr) {
+        Analysis.transfer(Adr, G.inst(Adr), S);
+        Sol.In[G.instIndex(Adr)] = S;
+      }
+    }
+    Sol.BlockOut[B] = std::move(S);
+  }
+  return Sol;
+}
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_DATAFLOW_H

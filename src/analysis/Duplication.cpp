@@ -1,0 +1,532 @@
+//===- analysis/Duplication.cpp -------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Duplication.h"
+
+#include "analysis/Dataflow.h"
+#include "support/StringUtils.h"
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace talft;
+using namespace talft::analysis;
+
+namespace {
+
+/// Taint bits: the colors of every register a value has flowed through.
+enum : uint8_t { TaintGreen = 1, TaintBlue = 2 };
+
+inline uint8_t taintOf(Color C) {
+  return C == Color::Green ? TaintGreen : TaintBlue;
+}
+
+/// Abstract color tag of a value (the machine's fictional color).
+enum class Tag : uint8_t { Green, Blue, Top };
+
+inline Tag tagOf(Color C) { return C == Color::Green ? Tag::Green : Tag::Blue; }
+
+inline Tag joinTag(Tag A, Tag B) { return A == B ? A : Tag::Top; }
+
+/// Hash-consed symbolic value expressions. Id 0 is Unknown.
+struct Expr {
+  enum Kind : uint8_t { Unknown, Imm, Entry, Phi, Op, Load } K = Unknown;
+  Opcode Aop = Opcode::Add; // Op only
+  int64_t N = 0;            // Imm payload
+  unsigned RegIdx = 0;      // Entry / Phi (dense index; see phi pseudo-regs)
+  uint32_t BB = 0;          // Phi join block
+  uint32_t L = 0;           // Op lhs / Load address
+  uint32_t R = 0;           // Op rhs
+
+  auto key() const { return std::tie(K, Aop, N, RegIdx, BB, L, R); }
+  bool operator<(const Expr &O) const { return key() < O.key(); }
+};
+
+/// Pseudo register index for phi nodes over the pending branch-test value
+/// (the real d gets its own dense index).
+constexpr unsigned CondPseudoReg = Reg::NumRegs;
+
+constexpr uint32_t UnknownExpr = 0;
+
+/// An abstract value: expression + taint mask + color tag.
+struct AbsVal {
+  uint32_t E = UnknownExpr;
+  uint8_t Taint = TaintGreen | TaintBlue;
+  Tag T = Tag::Top;
+
+  bool operator==(const AbsVal &O) const = default;
+};
+
+/// Abstract transfer-protocol state of the d register.
+enum class DKind : uint8_t { Zero, Pending, CondPending, Top };
+
+/// Queue growth bound before the abstract queue collapses to unknown
+/// (keeps loop states finite; compiled code never queues this deep).
+constexpr size_t MaxAbstractQueue = 64;
+
+struct DupState {
+  bool Bottom = true;
+  std::array<AbsVal, NumGeneralRegs> R;
+  /// Index 0 = queue front (most recent stG); back = next stB's pair.
+  std::vector<std::pair<AbsVal, AbsVal>> Q;
+  bool QTop = false;
+  DKind D = DKind::Zero;
+  AbsVal DTarget;
+  AbsVal DCond;
+
+  bool operator==(const DupState &O) const = default;
+};
+
+using FindingSink = std::vector<Finding>;
+
+class DupDomain {
+public:
+  using State = DupState;
+  static constexpr Direction Dir = Direction::Forward;
+
+  explicit DupDomain(const CFG &G) : G(G) {}
+
+  Error init() {
+    Expected<MachineState> S0 = G.program().initialState();
+    if (Error E = S0.takeError())
+      return E;
+    for (unsigned I = 0; I != Reg::NumRegs; ++I)
+      InitVals[I] = S0->Regs.get(Reg::fromDenseIndex(I));
+    Exprs.push_back(Expr{}); // id 0 = Unknown
+    return Error::success();
+  }
+
+  State top() { return State{}; }
+
+  State boundary(const CFG &) {
+    State S;
+    S.Bottom = false;
+    for (unsigned I = 0; I != NumGeneralRegs; ++I) {
+      Expr E;
+      E.K = Expr::Entry;
+      E.RegIdx = I;
+      S.R[I] = {intern(E), taintOf(InitVals[I].C), tagOf(InitVals[I].C)};
+    }
+    S.D = InitVals[Reg::dest().denseIndex()].N == 0 ? DKind::Zero : DKind::Top;
+    return S;
+  }
+
+  bool join(State &Into, const State &From, uint32_t AtBlock) {
+    if (From.Bottom)
+      return false;
+    if (Into.Bottom) {
+      Into = From;
+      return true;
+    }
+    bool Changed = false;
+    for (unsigned I = 0; I != NumGeneralRegs; ++I)
+      Changed |= joinVal(Into.R[I], From.R[I], AtBlock, I);
+
+    if (!Into.QTop && (From.QTop || From.Q.size() != Into.Q.size())) {
+      Into.QTop = true;
+      Into.Q.clear();
+      Changed = true;
+    } else if (!Into.QTop) {
+      for (size_t I = 0; I != Into.Q.size(); ++I) {
+        Changed |= joinQueueVal(Into.Q[I].first, From.Q[I].first);
+        Changed |= joinQueueVal(Into.Q[I].second, From.Q[I].second);
+      }
+    }
+
+    if (Into.D != From.D) {
+      if (Into.D != DKind::Top) {
+        Into.D = DKind::Top;
+        Into.DTarget = AbsVal{};
+        Into.DCond = AbsVal{};
+        Changed = true;
+      }
+    } else if (Into.D == DKind::Pending) {
+      Changed |= joinVal(Into.DTarget, From.DTarget, AtBlock,
+                         Reg::dest().denseIndex());
+    } else if (Into.D == DKind::CondPending) {
+      Changed |= joinVal(Into.DTarget, From.DTarget, AtBlock,
+                         Reg::dest().denseIndex());
+      Changed |= joinVal(Into.DCond, From.DCond, AtBlock, CondPseudoReg);
+    }
+    return Changed;
+  }
+
+  void transfer(Addr A, const Inst &I, State &S) { step(A, I, S, nullptr); }
+
+  /// Re-runs one instruction with findings enabled (post-fixpoint pass).
+  void step(Addr A, const Inst &I, State &S, FindingSink *Sink);
+
+  /// Makes the solved block-exit states available to replica() for phi
+  /// incoming lookups.
+  void setSolution(const DataflowSolution<DupDomain> *S) { Sol = S; }
+
+  /// Coinductive replica check: do the two expressions compute the same
+  /// function of the (protected) entry state and memory?
+  bool replica(uint32_t A, uint32_t B);
+
+private:
+  uint32_t intern(const Expr &E) {
+    auto [It, New] = Interned.emplace(E, (uint32_t)Exprs.size());
+    if (New)
+      Exprs.push_back(E);
+    return It->second;
+  }
+  uint32_t immExpr(int64_t N) {
+    Expr E;
+    E.K = Expr::Imm;
+    E.N = N;
+    return intern(E);
+  }
+  uint32_t opExpr(Opcode Op, uint32_t L, uint32_t R) {
+    if (L == UnknownExpr || R == UnknownExpr)
+      return UnknownExpr;
+    Expr E;
+    E.K = Expr::Op;
+    E.Aop = Op;
+    E.L = L;
+    E.R = R;
+    return intern(E);
+  }
+  uint32_t loadExpr(uint32_t AddrE) {
+    if (AddrE == UnknownExpr)
+      return UnknownExpr;
+    Expr E;
+    E.K = Expr::Load;
+    E.L = AddrE;
+    return intern(E);
+  }
+  uint32_t phiExpr(uint32_t BB, unsigned RegIdx) {
+    Expr E;
+    E.K = Expr::Phi;
+    E.BB = BB;
+    E.RegIdx = RegIdx;
+    return intern(E);
+  }
+
+  bool joinVal(AbsVal &Into, const AbsVal &From, uint32_t AtBlock,
+               unsigned RegIdx) {
+    AbsVal Merged;
+    Merged.E = Into.E == From.E ? Into.E : phiExpr(AtBlock, RegIdx);
+    Merged.Taint = Into.Taint | From.Taint;
+    Merged.T = joinTag(Into.T, From.T);
+    bool Changed = !(Merged == Into);
+    Into = Merged;
+    return Changed;
+  }
+
+  /// Queue entries have no phi home; differing expressions collapse to
+  /// Unknown (compiled code drains the queue before every join).
+  bool joinQueueVal(AbsVal &Into, const AbsVal &From) {
+    AbsVal Merged;
+    Merged.E = Into.E == From.E ? Into.E : UnknownExpr;
+    Merged.Taint = Into.Taint | From.Taint;
+    Merged.T = joinTag(Into.T, From.T);
+    bool Changed = !(Merged == Into);
+    Into = Merged;
+    return Changed;
+  }
+
+  /// The solved expression register \p RegIdx holds at \p Pred's exit
+  /// (phi pseudo-registers resolve to the abstract d components).
+  uint32_t incomingExpr(uint32_t Pred, unsigned RegIdx) const {
+    const DupState &Out = Sol->BlockOut[Pred];
+    if (Out.Bottom)
+      return UnknownExpr;
+    if (RegIdx < NumGeneralRegs)
+      return Out.R[RegIdx].E;
+    if (RegIdx == Reg::dest().denseIndex())
+      return Out.D == DKind::Pending || Out.D == DKind::CondPending
+                 ? Out.DTarget.E
+                 : UnknownExpr;
+    if (RegIdx == CondPseudoReg)
+      return Out.D == DKind::CondPending ? Out.DCond.E : UnknownExpr;
+    return UnknownExpr;
+  }
+
+  void emit(FindingSink *Sink, Addr A, const Inst &I, std::string Msg) {
+    if (!Sink)
+      return;
+    Finding F;
+    F.A = A;
+    F.Loc = G.locOf(A);
+    F.Where = G.describeAddr(A) + ": " + I.str();
+    F.Message = std::move(Msg);
+    Sink->push_back(std::move(F));
+  }
+
+  /// The three-way independence check behind every hardware comparison:
+  /// the green side must be a green-only derivation, the blue side a
+  /// blue-only derivation, and both must compute the same function.
+  void checkPair(FindingSink *Sink, Addr A, const Inst &I, const AbsVal &Green,
+                 const AbsVal &Blue, const char *What) {
+    // Pure check, no state effects: during fixpoint solving (no sink) the
+    // solution pointer replica() reads is not set yet, so skip entirely.
+    if (!Sink)
+      return;
+    if (Green.Taint & TaintBlue)
+      emit(Sink, A, I,
+           formatv("green %s flowed through a blue-tainted computation",
+                   What));
+    if (Blue.Taint & TaintGreen)
+      emit(Sink, A, I,
+           formatv("blue %s is not an independent replica: it flowed "
+                   "through a green-tainted computation",
+                   What));
+    if (!replica(Green.E, Blue.E))
+      emit(Sink, A, I,
+           formatv("blue %s does not replicate the pending green %s", What,
+                   What));
+  }
+
+  const CFG &G;
+  std::array<Value, Reg::NumRegs> InitVals{};
+  std::vector<Expr> Exprs;
+  std::map<Expr, uint32_t> Interned;
+  const DataflowSolution<DupDomain> *Sol = nullptr;
+  std::map<std::pair<uint32_t, uint32_t>, bool> ReplicaMemo;
+  std::set<std::pair<uint32_t, uint32_t>> ReplicaInProgress;
+};
+
+void DupDomain::step(Addr A, const Inst &I, State &S, FindingSink *Sink) {
+  if (S.Bottom)
+    return;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul: {
+    AbsVal L = S.R[I.Rs.generalIndex()];
+    AbsVal R = I.HasImm ? AbsVal{immExpr(I.Imm.N), 0, tagOf(I.Imm.C)}
+                        : S.R[I.Rt.generalIndex()];
+    // The result takes the second operand's color (sim/Step.cpp), so the
+    // result value now resides in a register of that color.
+    Tag ResTag = R.T;
+    uint8_t ResTaint = L.Taint | R.Taint;
+    ResTaint |= ResTag == Tag::Top ? (TaintGreen | TaintBlue)
+                                   : (ResTag == Tag::Green ? TaintGreen
+                                                           : TaintBlue);
+    S.R[I.Rd.generalIndex()] = {opExpr(I.Op, L.E, R.E), ResTaint, ResTag};
+    break;
+  }
+  case Opcode::Mov:
+    S.R[I.Rd.generalIndex()] = {immExpr(I.Imm.N), taintOf(I.Imm.C),
+                                tagOf(I.Imm.C)};
+    break;
+  case Opcode::Ld: {
+    AbsVal AddrV = S.R[I.Rs.generalIndex()];
+    if (AddrV.T != Tag::Top && AddrV.T != tagOf(I.C))
+      emit(Sink, A, I,
+           formatv("%s address is a %s value (cross-color load)",
+                   I.C == Color::Green ? "ldG" : "ldB",
+                   AddrV.T == Tag::Green ? "green" : "blue"));
+    S.R[I.Rd.generalIndex()] = {loadExpr(AddrV.E),
+                                (uint8_t)(AddrV.Taint | taintOf(I.C)),
+                                tagOf(I.C)};
+    break;
+  }
+  case Opcode::St: {
+    AbsVal AddrV = S.R[I.Rd.generalIndex()];
+    AbsVal ValV = S.R[I.Rs.generalIndex()];
+    if (I.C == Color::Green) {
+      if (AddrV.T == Tag::Blue)
+        emit(Sink, A, I, "stG address is a blue value");
+      if (ValV.T == Tag::Blue)
+        emit(Sink, A, I, "stG stores a blue value");
+      if (!S.QTop) {
+        // Queue residence makes the pair part of the green structure.
+        AddrV.Taint |= TaintGreen;
+        ValV.Taint |= TaintGreen;
+        S.Q.insert(S.Q.begin(), {AddrV, ValV});
+        if (S.Q.size() > MaxAbstractQueue) {
+          S.QTop = true;
+          S.Q.clear();
+        }
+      }
+    } else {
+      if (ValV.T == Tag::Green)
+        emit(Sink, A, I, "stB stores a green value");
+      if (AddrV.T == Tag::Green)
+        emit(Sink, A, I,
+             "stB requires an independently computed blue address, but the "
+             "address is a green value");
+      if (S.QTop) {
+        emit(Sink, A, I,
+             "store queue shape unknown here; cannot pair this stB with "
+             "its stG");
+      } else if (S.Q.empty()) {
+        emit(Sink, A, I,
+             "stB with no pending stG: the machine faults on an empty "
+             "queue");
+      } else {
+        const auto &[QAddr, QVal] = S.Q.back();
+        checkPair(Sink, A, I, QAddr, AddrV, "store address");
+        checkPair(Sink, A, I, QVal, ValV, "store value");
+        S.Q.pop_back();
+      }
+    }
+    break;
+  }
+  case Opcode::Jmp: {
+    AbsVal TargetV = S.R[I.Rd.generalIndex()];
+    if (I.C == Color::Green) {
+      if (S.D != DKind::Zero)
+        emit(Sink, A, I,
+             "jmpG while a transfer may already be pending (d != 0 faults)");
+      if (TargetV.T == Tag::Blue)
+        emit(Sink, A, I, "jmpG target is a blue value");
+      S.D = DKind::Pending;
+      TargetV.Taint |= TaintGreen; // now resides in d, a green location
+      S.DTarget = TargetV;
+      S.DCond = AbsVal{};
+    } else {
+      switch (S.D) {
+      case DKind::Zero:
+        emit(Sink, A, I,
+             "jmpB with no pending jmpG: the machine faults on d = 0");
+        break;
+      case DKind::CondPending:
+        emit(Sink, A, I,
+             "jmpB pairs with a conditional bzG, not an unconditional jmpG");
+        break;
+      case DKind::Top:
+        emit(Sink, A, I, "transfer-protocol state unknown at this jmpB");
+        break;
+      case DKind::Pending:
+        if (TargetV.T == Tag::Green)
+          emit(Sink, A, I, "jmpB target is a green value");
+        checkPair(Sink, A, I, S.DTarget, TargetV, "jump target");
+        break;
+      }
+      S.D = DKind::Zero;
+      S.DTarget = AbsVal{};
+      S.DCond = AbsVal{};
+    }
+    break;
+  }
+  case Opcode::Bz: {
+    AbsVal TestV = S.R[I.rz().generalIndex()];
+    AbsVal TargetV = S.R[I.Rd.generalIndex()];
+    if (I.C == Color::Green) {
+      if (S.D != DKind::Zero)
+        emit(Sink, A, I,
+             "bzG while a transfer may already be pending (d != 0 faults)");
+      if (TestV.T == Tag::Blue)
+        emit(Sink, A, I, "bzG tests a blue value");
+      if (TargetV.T == Tag::Blue)
+        emit(Sink, A, I, "bzG target is a blue value");
+      S.D = DKind::CondPending;
+      TargetV.Taint |= TaintGreen;
+      S.DTarget = TargetV;
+      S.DCond = TestV;
+    } else {
+      switch (S.D) {
+      case DKind::Zero:
+        emit(Sink, A, I,
+             "bzB with no pending bzG: a taken branch would fault on d = 0");
+        break;
+      case DKind::Pending:
+        emit(Sink, A, I,
+             "bzB pairs with an unconditional jmpG, not a bzG");
+        break;
+      case DKind::Top:
+        emit(Sink, A, I, "transfer-protocol state unknown at this bzB");
+        break;
+      case DKind::CondPending:
+        if (TestV.T == Tag::Green)
+          emit(Sink, A, I, "bzB tests a green value");
+        if (TargetV.T == Tag::Green)
+          emit(Sink, A, I, "bzB target is a green value");
+        checkPair(Sink, A, I, S.DCond, TestV, "branch test");
+        checkPair(Sink, A, I, S.DTarget, TargetV, "branch target");
+        break;
+      }
+      S.D = DKind::Zero;
+      S.DTarget = AbsVal{};
+      S.DCond = AbsVal{};
+    }
+    break;
+  }
+  }
+}
+
+bool DupDomain::replica(uint32_t A, uint32_t B) {
+  if (A == UnknownExpr || B == UnknownExpr)
+    return false;
+  if (A == B && Exprs[A].K != Expr::Phi)
+    return true;
+  auto Key = std::make_pair(A, B);
+  if (auto It = ReplicaMemo.find(Key); It != ReplicaMemo.end())
+    return It->second;
+  // A result derived while a coinductive phi assumption is outstanding may
+  // depend on that assumption; only assumption-free results are cached.
+  auto Remember = [&](bool R) {
+    if (ReplicaInProgress.empty())
+      ReplicaMemo[Key] = R;
+    return R;
+  };
+  const Expr &EA = Exprs[A];
+  const Expr &EB = Exprs[B];
+  if (EA.K != EB.K)
+    return Remember(false);
+  switch (EA.K) {
+  case Expr::Imm:
+    return Remember(EA.N == EB.N);
+  case Expr::Entry:
+    return Remember(InitVals[EA.RegIdx].N == InitVals[EB.RegIdx].N);
+  case Expr::Op:
+    return Remember(EA.Aop == EB.Aop && replica(EA.L, EB.L) &&
+                    replica(EA.R, EB.R));
+  case Expr::Load:
+    return Remember(replica(EA.L, EB.L));
+  case Expr::Phi: {
+    if (EA.BB != EB.BB)
+      return Remember(false);
+    // Coinductive: a cycle that never leaves agreeing incomings agrees.
+    if (!ReplicaInProgress.insert(Key).second)
+      return true;
+    bool Ok = true;
+    for (uint32_t Pred : G.block(EA.BB).Preds) {
+      if (!G.reachable(Pred))
+        continue;
+      if (!replica(incomingExpr(Pred, EA.RegIdx),
+                   incomingExpr(Pred, EB.RegIdx))) {
+        Ok = false;
+        break;
+      }
+    }
+    ReplicaInProgress.erase(Key);
+    return Remember(Ok);
+  }
+  case Expr::Unknown:
+    break;
+  }
+  return Remember(false);
+}
+
+} // namespace
+
+Expected<DuplicationResult> talft::analysis::analyzeDuplication(const CFG &G) {
+  DupDomain Dom(G);
+  if (Error E = Dom.init())
+    return E;
+  DataflowSolution<DupDomain> Sol = solveDataflow(G, Dom);
+  Dom.setSolution(&Sol);
+
+  DuplicationResult R;
+  R.TargetsResolved = G.targetsResolved();
+  // Findings pass: replay each reachable block once from its solved entry
+  // state, in address order, so diagnostics are deterministic.
+  for (uint32_t Id = 0; Id != G.numBlocks(); ++Id) {
+    if (!G.reachable(Id))
+      continue;
+    const CFG::BasicBlock &BB = G.block(Id);
+    DupState S = Sol.In[G.instIndex(BB.Begin)];
+    for (Addr A = BB.Begin; A != BB.end(); ++A)
+      Dom.step(A, G.inst(A), S, &R.Findings);
+  }
+  return R;
+}

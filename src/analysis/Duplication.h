@@ -1,0 +1,76 @@
+//===- analysis/Duplication.h - Green/blue duplication consistency --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TALFT reliability argument rests on a structural invariant the type
+/// system enforces syntactically: every observable action (a committed
+/// store, a control transfer) is checked by hardware against two
+/// *independently derived replicas* — one green, one blue — so that a
+/// single-color fault can corrupt at most one side of each comparison.
+/// The Hoare types can only express this for statically-known addresses;
+/// this pass checks the same invariant semantically, so it also certifies
+/// the Figure 10 kernels with dynamic addressing that the checker rejects.
+///
+/// The abstract domain gives every register a symbolic value expression
+/// (entry values, immediates, ALU ops, loads, and phi nodes at joins), a
+/// *taint mask* recording the colors of every register the value flowed
+/// through, and an abstract color tag. Two operands are independent
+/// replicas when their expressions compute the same function of the entry
+/// state (coinductively through phis), the green side is tainted only
+/// green, and the blue side only blue. The abstract store queue pairs each
+/// stB with its pending stG, and the abstract d register tracks the
+/// jmpG/jmpB and bzG/bzB protocol. Every violated check becomes a Finding
+/// with the instruction's address and source location.
+///
+/// Assumption (documented, not checked): paired loads of replica addresses
+/// return replica values. This holds when every store is itself
+/// duplication-consistent — which the pass verifies at each stB — and
+/// matches the protected-memory fault model (memory cells are never
+/// corrupted).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_DUPLICATION_H
+#define TALFT_ANALYSIS_DUPLICATION_H
+
+#include "analysis/CFG.h"
+
+#include <string>
+#include <vector>
+
+namespace talft {
+namespace analysis {
+
+/// One reliability violation located at an instruction.
+struct Finding {
+  Addr A = 0;
+  SourceLoc Loc;
+  /// "label+offset: mnemonic", e.g. "store+3: stB r2, r1".
+  std::string Where;
+  std::string Message;
+
+  /// Renders "store+3: stB r2, r1: <message>".
+  std::string str() const { return Where + ": " + Message; }
+};
+
+/// The outcome of the duplication-consistency pass.
+struct DuplicationResult {
+  std::vector<Finding> Findings;
+  /// False when the CFG over-approximated an indirect target; the
+  /// verdict then assumes transfers only reach block entries.
+  bool TargetsResolved = true;
+
+  bool consistent() const { return Findings.empty(); }
+};
+
+/// Runs the duplication-consistency abstract interpretation over \p G.
+/// Fails only when the program's initial state cannot be built.
+Expected<DuplicationResult> analyzeDuplication(const CFG &G);
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_DUPLICATION_H

@@ -1,0 +1,73 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace talft;
+using namespace talft::analysis;
+
+std::vector<RegFact> talft::analysis::instUses(const Inst &I) {
+  std::vector<RegFact> Uses;
+  // Fetch compares the two program counters on every transition.
+  Uses.push_back({Reg::pcG(), LiveForGreen});
+  Uses.push_back({Reg::pcB(), LiveForBlue});
+
+  uint8_t C = I.C == Color::Green ? LiveForGreen : LiveForBlue;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+    // The machine's ALU is colorless; the consuming computation's color is
+    // only known dynamically, so operand uses count for both.
+    Uses.push_back({I.Rs, LiveForBoth});
+    if (!I.HasImm)
+      Uses.push_back({I.Rt, LiveForBoth});
+    break;
+  case Opcode::Mov:
+    break;
+  case Opcode::Ld:
+    Uses.push_back({I.Rs, C});
+    break;
+  case Opcode::St:
+    Uses.push_back({I.Rd, C});
+    Uses.push_back({I.Rs, C});
+    break;
+  case Opcode::Bz:
+    // rz and d are read on both arms; the target register only when taken
+    // — counting it unconditionally is the conservative direction for a
+    // may-liveness used to prove deadness.
+    Uses.push_back({I.rz(), C});
+    Uses.push_back({I.Rd, C});
+    Uses.push_back({Reg::dest(), LiveForGreen});
+    break;
+  case Opcode::Jmp:
+    Uses.push_back({I.Rd, C});
+    Uses.push_back({Reg::dest(), LiveForGreen});
+    break;
+  }
+  return Uses;
+}
+
+std::vector<Reg> talft::analysis::instDefs(const Inst &I) {
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Mov:
+  case Opcode::Ld:
+    return {I.Rd};
+  case Opcode::St:
+    return {};
+  case Opcode::Bz:
+    // Writes d only on the taken arm: a conditional def must not kill.
+    return {};
+  case Opcode::Jmp:
+    // Faults instead of writing when the d protocol is violated, but a
+    // faulted run has no continuation to observe stale values in.
+    return {Reg::dest()};
+  }
+  return {};
+}

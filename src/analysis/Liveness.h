@@ -1,0 +1,107 @@
+//===- analysis/Liveness.h - Colored register liveness --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward may-liveness over the CFG, tracking *which color of
+/// computation* will consume each register: a register is live-for-green at
+/// a point when some path reaches a green-colored use (ldG address, stG
+/// operand, bzG test, ...) before any redefinition, and likewise for blue.
+/// ALU instructions are colorless in the machine, so their operand uses
+/// count for both colors.
+///
+/// The instruction fetch compares pcG against pcB on every step, so both
+/// program counters are used by every instruction — they are never dead.
+/// The use/def sets mirror sim/Step.cpp exactly; conditional definitions
+/// (bz writing d only when taken) generate but do not kill.
+///
+/// The zap-coverage pass and the campaign pruner build directly on the
+/// contrapositive of Figure 9's similarity: a corrupted register that is
+/// dead at the injection point is never read again before redefinition, so
+/// the faulty run replays the reference run bit-for-bit and ends in a
+/// similar state — the fault is statically Masked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_LIVENESS_H
+#define TALFT_ANALYSIS_LIVENESS_H
+
+#include "analysis/Dataflow.h"
+
+#include <array>
+
+namespace talft {
+namespace analysis {
+
+/// Liveness bits per register.
+enum : uint8_t {
+  LiveForGreen = 1,
+  LiveForBlue = 2,
+  LiveForBoth = LiveForGreen | LiveForBlue,
+};
+
+/// One (register, color-mask) use or def of an instruction.
+struct RegFact {
+  Reg R;
+  uint8_t Colors = LiveForBoth;
+};
+
+/// The registers the instruction at \p A reads, with the color of the
+/// consuming computation. Includes the implicit fetch reads of pcG/pcB and
+/// the d reads of jmp/bz. Mirrors sim/Step.cpp.
+std::vector<RegFact> instUses(const Inst &I);
+
+/// The registers the instruction unconditionally overwrites (a bz only
+/// conditionally writes d, so it defines nothing here). Excludes the pc
+/// increment, which instUses already keeps permanently live.
+std::vector<Reg> instDefs(const Inst &I);
+
+/// The backward colored-liveness analysis.
+class LivenessAnalysis {
+public:
+  using State = std::array<uint8_t, Reg::NumRegs>;
+  static constexpr Direction Dir = Direction::Backward;
+
+  State top() { return State{}; }
+  State boundary(const CFG &) { return State{}; }
+
+  bool join(State &Into, const State &From, uint32_t) {
+    bool Changed = false;
+    for (size_t I = 0; I != Into.size(); ++I) {
+      uint8_t Merged = Into[I] | From[I];
+      Changed |= Merged != Into[I];
+      Into[I] = Merged;
+    }
+    return Changed;
+  }
+
+  void transfer(Addr, const Inst &I, State &S) {
+    for (Reg D : instDefs(I))
+      S[D.denseIndex()] = 0;
+    for (const RegFact &U : instUses(I))
+      S[U.R.denseIndex()] |= U.Colors;
+  }
+};
+
+/// Solved liveness: liveIn(A, r) is nonzero when register r may be read
+/// (by a computation of the returned colors) before being overwritten on
+/// some path from A.
+struct Liveness {
+  DataflowSolution<LivenessAnalysis> Sol;
+
+  static Liveness compute(const CFG &G) {
+    LivenessAnalysis A;
+    return {solveDataflow(G, A)};
+  }
+
+  uint8_t liveIn(const CFG &G, Addr A, Reg R) const {
+    return Sol.at(G, A)[R.denseIndex()];
+  }
+};
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_LIVENESS_H

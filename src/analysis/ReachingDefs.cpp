@@ -1,0 +1,22 @@
+//===- analysis/ReachingDefs.cpp ------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+#include "analysis/Liveness.h"
+
+using namespace talft;
+using namespace talft::analysis;
+
+void ReachingDefsAnalysis::transfer(Addr A, const Inst &I, State &S) {
+  for (Reg D : instDefs(I)) {
+    S[D.denseIndex()].clear();
+    S[D.denseIndex()].insert(A);
+  }
+  // bz conditionally writes d on the taken arm: gen without kill.
+  if (I.Op == Opcode::Bz)
+    S[Reg::dest().denseIndex()].insert(A);
+}

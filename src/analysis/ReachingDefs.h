@@ -1,0 +1,78 @@
+//===- analysis/ReachingDefs.h - Reaching definitions ---------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward reaching definitions over the CFG: which instruction addresses
+/// may have produced the current value of each register. Address 0 (the
+/// sentinel below any code address) stands for the program's initial
+/// register state. Conditional definitions (bz writing d when taken)
+/// generate without killing.
+///
+/// Used by tests as a second, independently-checkable instantiation of the
+/// dataflow framework, and by talft-lint to name the defining instructions
+/// in duplication diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_REACHINGDEFS_H
+#define TALFT_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/Dataflow.h"
+
+#include <array>
+#include <set>
+
+namespace talft {
+namespace analysis {
+
+/// The pseudo-definition address for "still the initial value".
+inline constexpr Addr EntryDef = 0;
+
+class ReachingDefsAnalysis {
+public:
+  using State = std::array<std::set<Addr>, Reg::NumRegs>;
+  static constexpr Direction Dir = Direction::Forward;
+
+  State top() { return State{}; }
+
+  State boundary(const CFG &) {
+    State S;
+    for (auto &Defs : S)
+      Defs.insert(EntryDef);
+    return S;
+  }
+
+  bool join(State &Into, const State &From, uint32_t) {
+    bool Changed = false;
+    for (size_t I = 0; I != Into.size(); ++I)
+      for (Addr D : From[I])
+        Changed |= Into[I].insert(D).second;
+    return Changed;
+  }
+
+  void transfer(Addr A, const Inst &I, State &S);
+};
+
+/// Solved reaching definitions: defsIn(A, r) is the set of instruction
+/// addresses (or EntryDef) that may have last written r when control
+/// reaches A.
+struct ReachingDefs {
+  DataflowSolution<ReachingDefsAnalysis> Sol;
+
+  static ReachingDefs compute(const CFG &G) {
+    ReachingDefsAnalysis A;
+    return {solveDataflow(G, A)};
+  }
+
+  const std::set<Addr> &defsIn(const CFG &G, Addr A, Reg R) const {
+    return Sol.at(G, A)[R.denseIndex()];
+  }
+};
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_REACHINGDEFS_H

@@ -1,0 +1,146 @@
+//===- analysis/ZapCoverage.cpp -------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ZapCoverage.h"
+
+#include "support/StringUtils.h"
+
+#include <deque>
+#include <set>
+
+using namespace talft;
+using namespace talft::analysis;
+
+const char *talft::analysis::zapClassName(ZapClass C) {
+  switch (C) {
+  case ZapClass::Dead:
+    return "dead";
+  case ZapClass::Checked:
+    return "checked";
+  case ZapClass::Vulnerable:
+    return "vulnerable";
+  }
+  return "unknown";
+}
+
+Expected<ZapCoverage> ZapCoverage::compute(const Program &Prog) {
+  Expected<CFG> G = CFG::build(Prog);
+  if (Error E = G.takeError())
+    return E;
+  ZapCoverage Z;
+  Z.G = std::move(*G);
+  Z.Live = Liveness::compute(Z.G);
+  Expected<DuplicationResult> Dup = analyzeDuplication(Z.G);
+  if (Error E = Dup.takeError())
+    return E;
+  Z.Dup = std::move(*Dup);
+
+  // Backward closure: blocks from which some finding is reachable. A site
+  // in such a block can feed a corrupted value into the unchecked
+  // instruction, so liveness alone cannot promise a cross-check.
+  Z.FindingReachable.assign(Z.G.numBlocks(), 0);
+  std::deque<uint32_t> Work;
+  for (const Finding &F : Z.Dup.Findings) {
+    uint32_t B = Z.G.blockOf(F.A);
+    if (!Z.FindingReachable[B]) {
+      Z.FindingReachable[B] = 1;
+      Work.push_back(B);
+    }
+  }
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    for (uint32_t P : Z.G.block(B).Preds)
+      if (!Z.FindingReachable[P]) {
+        Z.FindingReachable[P] = 1;
+        Work.push_back(P);
+      }
+  }
+
+  // Same register filter as the campaign's OnlyMentionedRegisters.
+  std::set<unsigned> Used;
+  for (const Block &B : Prog.blocks())
+    for (const ProgInst &PI : B.Insts) {
+      Used.insert(PI.I.Rd.denseIndex());
+      Used.insert(PI.I.Rs.denseIndex());
+      if (!PI.I.HasImm)
+        Used.insert(PI.I.Rt.denseIndex());
+    }
+  Used.insert(Reg::dest().denseIndex());
+  Used.insert(Reg::pcG().denseIndex());
+  Used.insert(Reg::pcB().denseIndex());
+  for (unsigned I : Used)
+    Z.Mentioned.push_back(Reg::fromDenseIndex(I));
+  return Z;
+}
+
+ZapClass ZapCoverage::classifyRegister(Addr A, Reg R) const {
+  if (Live.liveIn(G, A, R) == 0)
+    return ZapClass::Dead;
+  return FindingReachable[G.blockOf(A)] ? ZapClass::Vulnerable
+                                        : ZapClass::Checked;
+}
+
+ZapClass ZapCoverage::classifyQueue(Addr A) const {
+  // A corrupted pending store is compared against the blue operands at its
+  // stB; only a reachable inconsistency can let it slip through.
+  return FindingReachable[G.blockOf(A)] ? ZapClass::Vulnerable
+                                        : ZapClass::Checked;
+}
+
+ZapSummary ZapCoverage::summarize() const {
+  ZapSummary S;
+  for (Addr A = G.minAddr(); A < G.limitAddr(); ++A) {
+    if (!G.reachable(G.blockOf(A)))
+      continue;
+    for (Reg R : Mentioned) {
+      switch (classifyRegister(A, R)) {
+      case ZapClass::Dead:
+        ++S.Dead;
+        break;
+      case ZapClass::Checked:
+        ++S.Checked;
+        break;
+      case ZapClass::Vulnerable:
+        ++S.Vulnerable;
+        break;
+      }
+    }
+  }
+  return S;
+}
+
+std::string ZapCoverage::reportJson(unsigned Indent) const {
+  std::string P(Indent, ' ');
+  ZapSummary S = summarize();
+  std::string Out;
+  Out += P + "{\n";
+  Out += P + formatv("  \"targets_resolved\": %s,\n",
+                     Dup.TargetsResolved ? "true" : "false");
+  Out += P + formatv("  \"consistent\": %s,\n",
+                     Dup.consistent() ? "true" : "false");
+  Out += P + formatv("  \"blocks\": %zu,\n", G.numBlocks());
+  Out += P + formatv("  \"instructions\": %zu,\n", G.numInsts());
+  Out += P + formatv("  \"sites\": {\"dead\": %llu, \"checked\": %llu, "
+                     "\"vulnerable\": %llu},\n",
+                     (unsigned long long)S.Dead, (unsigned long long)S.Checked,
+                     (unsigned long long)S.Vulnerable);
+  Out += P + "  \"findings\": [";
+  for (size_t I = 0; I != Dup.Findings.size(); ++I) {
+    if (I)
+      Out += ", ";
+    std::string Esc;
+    for (char C : Dup.Findings[I].str()) {
+      if (C == '"' || C == '\\')
+        Esc += '\\';
+      Esc += C;
+    }
+    Out += "\"" + Esc + "\"";
+  }
+  Out += "]\n";
+  Out += P + "}";
+  return Out;
+}

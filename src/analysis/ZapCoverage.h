@@ -1,0 +1,104 @@
+//===- analysis/ZapCoverage.h - Static classification of fault sites ------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every (execution point, fault site) pair of the reg-zap /
+/// Q-zap model statically:
+///
+///   Dead       — the zapped register is not live at the point: no path
+///                reads it before overwriting it, so the faulty run
+///                replays the reference trace and ends in a state similar
+///                modulo the zap color. Statically Masked (Figure 9).
+///   Checked    — live, and every path to an observable action from here
+///                passes the duplication-consistency checks: the first
+///                observable consequence of the corruption is a hardware
+///                cross-check (stB compare, jmpB/bzB compare, fetch
+///                compare).
+///   Vulnerable — live, and some path reaches an instruction with a
+///                duplication-consistency finding, so a corruption may
+///                escape the cross-checks.
+///
+/// The campaign's Prune mode consults deadRegisterSite(): Dead sites are
+/// provably Masked, so their injections can be tallied without simulation.
+/// Pruning additionally requires every control-flow target to have been
+/// resolved exactly (pruneSound()) — an over-approximated CFG is fine for
+/// reporting but not for skipping work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_ZAPCOVERAGE_H
+#define TALFT_ANALYSIS_ZAPCOVERAGE_H
+
+#include "analysis/CFG.h"
+#include "analysis/Duplication.h"
+#include "analysis/Liveness.h"
+
+namespace talft {
+namespace analysis {
+
+enum class ZapClass : uint8_t { Dead, Checked, Vulnerable };
+
+const char *zapClassName(ZapClass C);
+
+/// Per-site totals over every (instruction, mentioned register) pair.
+struct ZapSummary {
+  uint64_t Dead = 0;
+  uint64_t Checked = 0;
+  uint64_t Vulnerable = 0;
+
+  uint64_t total() const { return Dead + Checked + Vulnerable; }
+};
+
+class ZapCoverage {
+public:
+  /// Builds the CFG, solves liveness, runs the duplication pass.
+  static Expected<ZapCoverage> compute(const Program &Prog);
+
+  const CFG &cfg() const { return G; }
+  const DuplicationResult &duplication() const { return Dup; }
+
+  /// Classifies a reg-zap of \p R at the execution point whose current
+  /// instruction address is \p A (i.e. pcG's payload there).
+  ZapClass classifyRegister(Addr A, Reg R) const;
+
+  /// Classifies a Q-zap at the point \p A: pending stores are checked by
+  /// their stB unless a vulnerable instruction is reachable.
+  ZapClass classifyQueue(Addr A) const;
+
+  /// True when the CFG resolved every transfer target exactly, making the
+  /// liveness facts trustworthy for skipping injections.
+  bool pruneSound() const { return G.targetsResolved(); }
+
+  /// True when an injection at (\p A, register \p R) is provably Masked:
+  /// a dead general-register site under a fully resolved CFG.
+  bool deadRegisterSite(Addr A, Reg R) const {
+    return pruneSound() && R.isGeneral() && G.contains(A) &&
+           classifyRegister(A, R) == ZapClass::Dead;
+  }
+
+  /// Registers the program mentions plus d and the pcs — the same site
+  /// filter the campaign's OnlyMentionedRegisters uses.
+  const std::vector<Reg> &mentionedRegs() const { return Mentioned; }
+
+  /// Totals over every (instruction, mentioned register) pair.
+  ZapSummary summarize() const;
+
+  /// Renders the machine-readable coverage report as a JSON object.
+  std::string reportJson(unsigned Indent = 0) const;
+
+private:
+  CFG G;
+  Liveness Live;
+  DuplicationResult Dup;
+  /// Per block: some duplication finding is reachable from here.
+  std::vector<uint8_t> FindingReachable;
+  std::vector<Reg> Mentioned;
+};
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_ZAPCOVERAGE_H

@@ -6,6 +6,7 @@
 
 #include "fault/Campaign.h"
 
+#include "analysis/ZapCoverage.h"
 #include "support/StringUtils.h"
 #include "support/Unreachable.h"
 
@@ -14,6 +15,7 @@
 #include <cassert>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 
@@ -41,6 +43,8 @@ const char *talft::verdictName(Verdict V) {
     return "recovered";
   case Verdict::RecoveryEscalated:
     return "recovery escalated";
+  case Verdict::StaticallyMasked:
+    return "statically masked";
   }
   talft_unreachable("unknown verdict");
 }
@@ -67,6 +71,8 @@ const char *talft::verdictJsonKey(Verdict V) {
     return "recovered";
   case Verdict::RecoveryEscalated:
     return "recovery_escalated";
+  case Verdict::StaticallyMasked:
+    return "statically_masked";
   }
   talft_unreachable("unknown verdict");
 }
@@ -80,7 +86,8 @@ uint64_t VerdictTable::total() const {
 
 uint64_t VerdictTable::benign() const {
   return (*this)[Verdict::Masked] + (*this)[Verdict::Detected] +
-         (*this)[Verdict::Recovered] + (*this)[Verdict::RecoveryEscalated];
+         (*this)[Verdict::Recovered] + (*this)[Verdict::RecoveryEscalated] +
+         (*this)[Verdict::StaticallyMasked];
 }
 
 void VerdictTable::merge(const VerdictTable &O) {
@@ -100,7 +107,8 @@ double secondsSince(Clock::time_point Start) {
 
 bool isBenign(Verdict V) {
   return V == Verdict::Masked || V == Verdict::Detected ||
-         V == Verdict::Recovered || V == Verdict::RecoveryEscalated;
+         V == Verdict::Recovered || V == Verdict::RecoveryEscalated ||
+         V == Verdict::StaticallyMasked;
 }
 
 /// The violation text for an abnormal single-fault verdict, matching the
@@ -427,14 +435,32 @@ TypedOutcome runTypedInjection(const TheoremConfig &Config, TrackedRun &Run,
   return O;
 }
 
+/// Builds the static pruning oracle when the caller asked for one and the
+/// analysis can vouch for the program (fully resolved CFG). Analysis
+/// failures quietly fall back to the unpruned sweep — pruning is an
+/// optimization, never a requirement.
+std::optional<analysis::ZapCoverage>
+buildPruneOracle(const Program &Prog, const CampaignOptions &Opts) {
+  if (!Opts.Prune)
+    return std::nullopt;
+  Expected<analysis::ZapCoverage> Z = analysis::ZapCoverage::compute(Prog);
+  if (!Z || !Z->pruneSound())
+    return std::nullopt;
+  return std::move(*Z);
+}
+
 /// Phase 2: the full work list in the order the serial checker visits it,
 /// so merged violation lists match it exactly. \p StateAt resolves the
 /// reference state of snapshot \p SI (typed and untyped campaigns store
-/// snapshots differently).
+/// snapshots differently). With \p Prune, provably-dead register sites are
+/// tallied into \p Table as StaticallyMasked instead of being enumerated —
+/// exactly the triples the unpruned sweep would have classified, so the
+/// table total is invariant under pruning.
 std::vector<InjectionTask>
 enumerateTasks(const Program &Prog, const TheoremConfig &Config,
                size_t NumSnaps,
-               const std::function<const MachineState &(size_t)> &StateAt) {
+               const std::function<const MachineState &(size_t)> &StateAt,
+               const analysis::ZapCoverage *Prune, VerdictTable &Table) {
   std::set<unsigned> UsedRegs;
   if (Config.OnlyMentionedRegisters)
     UsedRegs = mentionedRegisters(Prog);
@@ -443,12 +469,23 @@ enumerateTasks(const Program &Prog, const TheoremConfig &Config,
   std::vector<InjectionTask> Tasks;
   for (size_t SI = 0; SI != NumSnaps; ++SI) {
     const MachineState &S = StateAt(SI);
+    // The pcs are only bumped when the next rule fires, so pcG's payload
+    // is the address of the instruction the next transition executes —
+    // whether or not it is already fetched into IR.
+    Addr Here = S.pcG().N;
     for (const FaultSite &Site : enumerateFaultSites(S)) {
       if (Config.OnlyMentionedRegisters &&
           Site.K == FaultSite::Kind::Register &&
           !UsedRegs.count(Site.R.denseIndex()))
         continue;
       int64_t Current = currentValueAt(S, Site);
+      if (Prune && Site.K == FaultSite::Kind::Register &&
+          Prune->deadRegisterSite(Here, Site.R)) {
+        for (int64_t Corruption : Corruptions)
+          if (Corruption != Current)
+            ++Table[Verdict::StaticallyMasked];
+        continue;
+      }
       for (int64_t Corruption : Corruptions) {
         if (Corruption == Current)
           continue; // reg-zap replaces the value with a *different* one.
@@ -600,13 +637,18 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   R.ReferenceSteps = RefFinal.Steps;
   R.ReferenceTrace = RefFinal.Trace;
 
+  std::optional<analysis::ZapCoverage> Oracle =
+      buildPruneOracle(*CP.Prog, Opts);
   std::vector<InjectionTask> Tasks = enumerateTasks(
       *CP.Prog, Config, Typed ? TypedSnaps.size() : Snaps.size(),
       [&](size_t SI) -> const MachineState & {
         return Typed ? TypedSnaps[SI].S : Snaps[SI].S;
-      });
+      },
+      Oracle ? &*Oracle : nullptr, R.Table);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
   R.Stats.Tasks = Tasks.size();
+  R.Stats.Pruned = Oracle.has_value();
+  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
 
   // Phase 3: classify every continuation. Typed campaigns run serially
   // through the shared TypeContext; classification-only campaigns fan out.
@@ -709,13 +751,17 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   R.ReferenceSteps = Steps;
   R.ReferenceTrace = Trace;
 
+  std::optional<analysis::ZapCoverage> Oracle = buildPruneOracle(Prog, Opts);
   std::vector<InjectionTask> Tasks =
       enumerateTasks(Prog, Config, Snaps.size(),
                      [&](size_t SI) -> const MachineState & {
                        return Snaps[SI].S;
-                     });
+                     },
+                     Oracle ? &*Oracle : nullptr, R.Table);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
   R.Stats.Tasks = Tasks.size();
+  R.Stats.Pruned = Oracle.has_value();
+  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
 
   Clock::time_point InjectStart = Clock::now();
   classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps, R);
@@ -926,11 +972,13 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
   S += P + formatv("  \"stats\": {\"engine\": \"%s\", \"threads\": %u, "
                    "\"tasks\": %llu, "
                    "\"reference_seconds\": %.6f, \"wall_seconds\": %.6f, "
-                   "\"triples_per_second\": %.1f}\n",
+                   "\"triples_per_second\": %.1f, "
+                   "\"pruned\": %s, \"pruned_tasks\": %llu}\n",
                    R.Stats.Engine, R.Stats.ThreadsUsed,
                    (unsigned long long)R.Stats.Tasks,
                    R.Stats.ReferenceSeconds, R.Stats.WallSeconds,
-                   R.Stats.TriplesPerSecond);
+                   R.Stats.TriplesPerSecond, R.Stats.Pruned ? "true" : "false",
+                   (unsigned long long)R.Stats.PrunedTasks);
   S += P + "}";
   return S;
 }

@@ -74,9 +74,13 @@ enum class Verdict : uint8_t {
   /// step budget running out during a rollback replay — with the emitted
   /// output still a verified reference prefix.
   RecoveryEscalated,
+  /// Prune mode only: the static analysis proved the site dead (the
+  /// zapped register is not live at the injection point), so the
+  /// continuation is Masked without simulation (analysis/ZapCoverage.h).
+  StaticallyMasked,
 };
 
-inline constexpr size_t NumVerdicts = 10;
+inline constexpr size_t NumVerdicts = 11;
 
 /// Human-readable name ("masked", "detected", ...).
 const char *verdictName(Verdict V);
@@ -91,8 +95,9 @@ struct VerdictTable {
   uint64_t operator[](Verdict V) const { return Counts[size_t(V)]; }
 
   uint64_t total() const;
-  /// The benign outcomes: Masked + Detected (the two Theorem 4 cases)
-  /// plus, under recovery, Recovered + RecoveryEscalated.
+  /// The benign outcomes: Masked + Detected (the two Theorem 4 cases),
+  /// under recovery Recovered + RecoveryEscalated, and under pruning
+  /// StaticallyMasked.
   uint64_t benign() const;
   /// Adds \p O's tallies, saturating at UINT64_MAX instead of wrapping.
   void merge(const VerdictTable &O);
@@ -132,6 +137,15 @@ struct CampaignOptions {
   /// (0 disables). Calls are serialized but may fire on any worker.
   uint64_t ProgressInterval = 0;
   std::function<void(const CampaignProgress &)> Progress;
+  /// Discharge provably-dead injection sites statically instead of
+  /// simulating them: sites whose zapped register the liveness analysis
+  /// proves is never read again are tallied as StaticallyMasked. The
+  /// verdict table keeps the same total, every pruned site folds into
+  /// Masked, and the violation list is untouched — pruned and unpruned
+  /// campaigns are equivalent modulo the Masked/StaticallyMasked split.
+  /// Silently ignored when the analysis cannot vouch for the CFG (an
+  /// unresolved indirect target makes liveness advisory only).
+  bool Prune = false;
 };
 
 struct CampaignStats {
@@ -144,6 +158,11 @@ struct CampaignStats {
   uint64_t Tasks = 0;
   /// Name of the engine that produced the verdicts ("reference", "vm").
   const char *Engine = "reference";
+  /// True when CampaignOptions::Prune was requested and the analysis
+  /// accepted the program (pruning actually ran).
+  bool Pruned = false;
+  /// Injections discharged statically (== Table[StaticallyMasked]).
+  uint64_t PrunedTasks = 0;
 };
 
 /// The merged outcome of a campaign.

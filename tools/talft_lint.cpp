@@ -1,0 +1,179 @@
+//===- tools/talft_lint.cpp - Static reliability linter for .tal files ----===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs every pass in src/analysis/ over one or more .tal files and prints
+// compiler-style diagnostics:
+//
+//   talft-lint [--json] [--verbose] file.tal [file2.tal ...]
+//
+// For each file the linter parses and lays out the program, certifies it
+// (type check first, duplication-consistency analysis as the fallback),
+// and classifies every (instruction, register) fault site as dead /
+// checked / vulnerable. Inconsistency findings are printed as
+//
+//   file.tal:12:3: error: loop+4: stB r4, r2: blue operand of the
+//   hardware compare is not an independent replica
+//
+// with the 1-based source position of the offending instruction.
+//
+// Exit status: 0 when every file is certified (typed or
+// analysis-certified) with no vulnerable fault site, 1 when any file has
+// an inconsistency finding or vulnerable site, 2 on usage/parse errors.
+// That makes the tool directly usable as a CI gate over examples/.
+//
+// --json emits one JSON object per file (certification status plus the
+// zap-coverage report) instead of the human summary; diagnostics still go
+// to stderr.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Certify.h"
+#include "analysis/ZapCoverage.h"
+#include "support/StringUtils.h"
+#include "tal/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace talft;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: talft-lint [--json] [--verbose] file.tal [...]\n");
+  return 2;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void printFinding(const std::string &Path, const analysis::Finding &F,
+                  const char *Severity) {
+  if (F.Loc.isValid())
+    std::fprintf(stderr, "%s:%s: %s: %s\n", Path.c_str(), F.Loc.str().c_str(),
+                 Severity, F.str().c_str());
+  else
+    std::fprintf(stderr, "%s: %s: %s\n", Path.c_str(), Severity,
+                 F.str().c_str());
+}
+
+/// Lints one file. Returns 0 / 1 / 2 with the same meaning as the process
+/// exit status; the caller keeps the maximum.
+int lintFile(const std::string &Path, bool Json, bool Verbose) {
+  std::optional<std::string> Source = readFile(Path);
+  if (!Source) {
+    std::fprintf(stderr, "%s: cannot read file\n", Path.c_str());
+    return 2;
+  }
+
+  TypeContext Types;
+  DiagnosticEngine Diags;
+  Expected<Program> Prog = parseAndLayoutTalProgram(Types, *Source, Diags);
+  if (!Prog) {
+    for (const Diagnostic &D : Diags.diagnostics())
+      std::fprintf(stderr, "%s:%s\n", Path.c_str(), D.str().c_str());
+    if (Diags.diagnostics().empty())
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(), Prog.message().c_str());
+    return 2;
+  }
+
+  analysis::Certification Cert = analysis::certifyProgram(Types, *Prog);
+  Expected<analysis::ZapCoverage> Cov = analysis::ZapCoverage::compute(*Prog);
+  if (!Cov) {
+    std::fprintf(stderr, "%s: analysis failed: %s\n", Path.c_str(),
+                 Cov.message().c_str());
+    return 2;
+  }
+  analysis::ZapSummary Sites = Cov->summarize();
+
+  // Diagnostics: inconsistency findings are errors. A typed program with
+  // analysis findings is a false positive of the abstract domain (the type
+  // system vouches for it), reported as warnings under --verbose only.
+  bool Typed = Cert.Status == analysis::CertificationStatus::Typed;
+  for (const analysis::Finding &F : Cert.Findings)
+    printFinding(Path, F, "error");
+  if (Typed && Verbose)
+    for (const analysis::Finding &F : Cov->duplication().Findings)
+      printFinding(Path, F, "warning");
+
+  bool Bad = !Cert.certified() || (!Typed && Sites.Vulnerable != 0);
+
+  if (Json) {
+    std::string S = "{\n";
+    S += formatv("  \"file\": \"%s\",\n", Path.c_str());
+    S += formatv("  \"certification\": \"%s\",\n",
+                 certificationStatusJsonKey(Cert.Status));
+    if (!Cert.CheckerError.empty()) {
+      std::string Esc;
+      for (char C : Cert.CheckerError)
+        if (C == '"' || C == '\\')
+          (Esc += '\\') += C;
+        else if (C == '\n')
+          Esc += "\\n";
+        else
+          Esc += C;
+      S += formatv("  \"checker_error\": \"%s\",\n", Esc.c_str());
+    }
+    S += "  \"zap_coverage\":\n";
+    S += Cov->reportJson(2);
+    S += "\n}\n";
+    std::fputs(S.c_str(), stdout);
+  } else {
+    std::printf("%s: %s (%zu instructions, %u basic blocks%s); "
+                "fault sites: %llu dead, %llu checked, %llu vulnerable\n",
+                Path.c_str(), certificationStatusName(Cert.Status),
+                Prog->code().size(), (unsigned)Cov->cfg().numBlocks(),
+                Cov->cfg().targetsResolved() ? ""
+                                             : ", indirect targets "
+                                               "over-approximated",
+                (unsigned long long)Sites.Dead,
+                (unsigned long long)Sites.Checked,
+                (unsigned long long)Sites.Vulnerable);
+    if (Verbose && !Typed && !Cert.CheckerError.empty())
+      std::printf("%s: note: type checker said: %s\n", Path.c_str(),
+                  Cert.CheckerError.c_str());
+  }
+  return Bad ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  bool Verbose = false;
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(Argv[I], "--verbose") == 0)
+      Verbose = true;
+    else if (std::strcmp(Argv[I], "--help") == 0)
+      return usage();
+    else if (Argv[I][0] == '-')
+      return usage();
+    else
+      Files.push_back(Argv[I]);
+  }
+  if (Files.empty())
+    return usage();
+
+  int Rc = 0;
+  for (const std::string &F : Files)
+    Rc = std::max(Rc, lintFile(F, Json, Verbose));
+  return Rc;
+}
