@@ -21,6 +21,9 @@
 // (fault/Campaign.h), so the sweep parallelizes: pass --threads N. The
 // plans replay on the decoded VM engine by default; --engine reference
 // selects the structural interpreter (identical tallies by construction).
+// Plan campaigns use the convergence early-exit on the final continuation
+// by default; --no-converge disables it (tallies are bit-identical either
+// way — only wall-clock time changes).
 //
 //===----------------------------------------------------------------------===//
 
@@ -101,6 +104,7 @@ void report(const char *Label, const CampaignResult &R) {
 int main(int Argc, char **Argv) {
   unsigned Threads = 1;
   bool UseVm = true;
+  bool Converge = true;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--threads") == 0) {
       uint64_t N;
@@ -119,6 +123,14 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "unknown engine: %s\n", V);
         return 2;
       }
+    } else if (std::strcmp(Argv[I], "--no-converge") == 0) {
+      Converge = false;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--threads N] "
+                   "[--engine reference|vm] [--no-converge]\n",
+                   Argv[I], Argv[0]);
+      return 2;
     }
   }
 
@@ -136,6 +148,7 @@ int main(int Argc, char **Argv) {
   Probe.Prog = &*Prog;
   CampaignOptions Opts;
   Opts.Threads = Threads;
+  Opts.Converge = Converge;
   std::unique_ptr<ExecEngine> Vm;
   if (UseVm) {
     Vm = vm::createEngine(Prog->code());

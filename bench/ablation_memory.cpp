@@ -13,14 +13,23 @@
 //   2. memory ports (1, 2, 4): the duplicated stream doubles memory
 //      traffic, so port-starved configurations amplify the overhead.
 //
+//   ablation_memory [--json [FILE]]
+//
+//   --json [FILE] emit a machine-readable report (schema talft-bench-v1)
+//                 to FILE (written atomically) or stdout, with the human
+//                 table on stderr.
+//
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "wile/Evaluate.h"
 #include "wile/Kernels.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <deque>
+#include <string>
 
 using namespace talft;
 using namespace talft::wile;
@@ -45,7 +54,22 @@ double geomeanOverhead(const std::vector<Prepared> &Programs,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json [FILE]]\n",
+                   Argv[I], Argv[0]);
+      return 2;
+    }
+  }
+  FILE *Out = (Json && JsonPath.empty()) ? stderr : stdout;
+
   std::vector<Prepared> Programs;
   std::deque<TypeContext> Contexts;
   for (const Kernel &K : benchmarkKernels()) {
@@ -66,23 +90,52 @@ int main() {
                         std::move(*FP)});
   }
 
-  std::printf("Ablation B1: TAL-FT overhead vs. load latency\n");
-  std::printf("(geomean over the Figure 10 kernels, width 6)\n\n");
-  std::printf("%12s %10s\n", "load cycles", "TAL-FT");
-  std::printf("-----------------------\n");
+  std::fprintf(Out, "Ablation B1: TAL-FT overhead vs. load latency\n");
+  std::fprintf(Out, "(geomean over the Figure 10 kernels, width 6)\n\n");
+  std::fprintf(Out, "%12s %10s\n", "load cycles", "TAL-FT");
+  std::fprintf(Out, "-----------------------\n");
+  std::string LatRows, PortRows;
   for (unsigned Lat : {1u, 2u, 4u, 8u, 12u}) {
     PipelineConfig Config;
     Config.LatLoad = Lat;
-    std::printf("%12u %9.2fx\n", Lat, geomeanOverhead(Programs, Config));
+    double Geo = geomeanOverhead(Programs, Config);
+    std::fprintf(Out, "%12u %9.2fx\n", Lat, Geo);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%s    {\"load_cycles\": %u, \"ft\": %.4f}",
+                  LatRows.empty() ? "" : ",\n", Lat, Geo);
+    LatRows += Buf;
   }
 
-  std::printf("\nAblation B2: TAL-FT overhead vs. memory ports\n\n");
-  std::printf("%10s %10s\n", "mem ports", "TAL-FT");
-  std::printf("---------------------\n");
+  std::fprintf(Out, "\nAblation B2: TAL-FT overhead vs. memory ports\n\n");
+  std::fprintf(Out, "%10s %10s\n", "mem ports", "TAL-FT");
+  std::fprintf(Out, "---------------------\n");
   for (unsigned Ports : {1u, 2u, 4u}) {
     PipelineConfig Config;
     Config.MemPorts = Ports;
-    std::printf("%10u %9.2fx\n", Ports, geomeanOverhead(Programs, Config));
+    double Geo = geomeanOverhead(Programs, Config);
+    std::fprintf(Out, "%10u %9.2fx\n", Ports, Geo);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%s    {\"mem_ports\": %u, \"ft\": %.4f}",
+                  PortRows.empty() ? "" : ",\n", Ports, Geo);
+    PortRows += Buf;
+  }
+
+  if (Json) {
+    std::string S = "{\n";
+    S += "  \"schema\": \"talft-bench-v1\",\n";
+    S += "  \"benchmark\": \"ablation_memory\",\n";
+    S += "  \"unit\": \"geomean_overhead_vs_unprotected\",\n";
+    S += "  \"load_latency\": [\n" + LatRows + "\n  ],\n";
+    S += "  \"mem_ports\": [\n" + PortRows + "\n  ]\n}\n";
+    if (JsonPath.empty()) {
+      std::fputs(S.c_str(), stdout);
+    } else {
+      if (!cli::writeFileAtomic(JsonPath, S)) {
+        std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+        return 2;
+      }
+      std::fprintf(Out, "JSON report written to %s\n", JsonPath.c_str());
+    }
   }
   return 0;
 }

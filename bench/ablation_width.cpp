@@ -11,24 +11,48 @@
 // naive ~2x; as the machine widens, the overhead falls towards the
 // pair-serialization floor.
 //
+//   ablation_width [--json [FILE]]
+//
+//   --json [FILE] emit a machine-readable report (schema talft-bench-v1)
+//                 to FILE (written atomically) or stdout, with the human
+//                 table on stderr.
+//
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "wile/Evaluate.h"
 #include "wile/Kernels.h"
 
 #include <cmath>
-#include <deque>
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
 
 using namespace talft;
 using namespace talft::wile;
 
-int main() {
-  std::printf("Ablation A: TAL-FT overhead vs. issue width\n");
-  std::printf("(geomean over the Figure 10 kernels; mem/branch ports scale "
-              "with width)\n\n");
-  std::printf("%6s %10s %16s\n", "width", "TAL-FT", "TAL-FT no-order");
-  std::printf("--------------------------------------\n");
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json [FILE]]\n",
+                   Argv[I], Argv[0]);
+      return 2;
+    }
+  }
+  FILE *Out = (Json && JsonPath.empty()) ? stderr : stdout;
+
+  std::fprintf(Out, "Ablation A: TAL-FT overhead vs. issue width\n");
+  std::fprintf(Out, "(geomean over the Figure 10 kernels; mem/branch ports "
+                    "scale with width)\n\n");
+  std::fprintf(Out, "%6s %10s %16s\n", "width", "TAL-FT", "TAL-FT no-order");
+  std::fprintf(Out, "--------------------------------------\n");
 
   // Compile and profile once; cost under each width.
   struct Prepared {
@@ -55,6 +79,8 @@ int main() {
                         std::move(*FP)});
   }
 
+  std::string Rows;
+  bool First = true;
   for (unsigned Width : {1u, 2u, 3u, 4u, 6u, 8u}) {
     PipelineConfig Ordered;
     Ordered.IssueWidth = Width;
@@ -71,9 +97,33 @@ int main() {
       LogFt += std::log((double)Ft / (double)Base);
       LogNoOrder += std::log((double)FtU / (double)Base);
     }
-    std::printf("%6u %9.2fx %15.2fx\n", Width,
-                std::exp(LogFt / Programs.size()),
-                std::exp(LogNoOrder / Programs.size()));
+    double GeoFt = std::exp(LogFt / Programs.size());
+    double GeoNoOrder = std::exp(LogNoOrder / Programs.size());
+    std::fprintf(Out, "%6u %9.2fx %15.2fx\n", Width, GeoFt, GeoNoOrder);
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s    {\"width\": %u, \"ft\": %.4f, "
+                  "\"ft_no_order\": %.4f}",
+                  First ? "" : ",\n", Width, GeoFt, GeoNoOrder);
+    Rows += Buf;
+    First = false;
+  }
+
+  if (Json) {
+    std::string S = "{\n";
+    S += "  \"schema\": \"talft-bench-v1\",\n";
+    S += "  \"benchmark\": \"ablation_width\",\n";
+    S += "  \"unit\": \"geomean_overhead_vs_unprotected\",\n";
+    S += "  \"widths\": [\n" + Rows + "\n  ]\n}\n";
+    if (JsonPath.empty()) {
+      std::fputs(S.c_str(), stdout);
+    } else {
+      if (!cli::writeFileAtomic(JsonPath, S)) {
+        std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+        return 2;
+      }
+      std::fprintf(Out, "JSON report written to %s\n", JsonPath.c_str());
+    }
   }
   return 0;
 }

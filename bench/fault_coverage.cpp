@@ -51,8 +51,16 @@
 //                 table folds bit-identically onto the unpruned one
 //                 (masked + statically-masked is invariant). The nightly
 //                 workflow asserts exactly that.
+//   --no-converge disable the convergence early-exit (fingerprint
+//                 timeline + full-equality probe) in the classifier.
+//                 Verdict tables are bit-identical either way — the
+//                 nightly workflow asserts exactly that — so this is
+//                 purely a baseline/escape hatch for timing the
+//                 unaccelerated sweep.
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v3: adds per-program
+//                 talft-fault-campaign-v4: v3 plus the top-level
+//                 "converge" knob and the per-campaign "convergence"
+//                 stats object; v3 itself added per-program
 //                 "certification" from the analysis ladder and the
 //                 statically_masked verdict / pruned stats) to FILE
 //                 (written atomically), or stdout with the human table
@@ -160,6 +168,7 @@ struct Cli {
   uint64_t RetryBudget = 2;
   bool Fig10 = false;
   bool Prune = false;
+  bool Converge = true;
 };
 
 void usage(const char *Argv0) {
@@ -167,7 +176,7 @@ void usage(const char *Argv0) {
                "usage: %s [--threads N] [--stride N] "
                "[--engine reference|vm] [--json [FILE]] [--recover] "
                "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
-               "[--prune]\n",
+               "[--prune] [--no-converge]\n",
                Argv0);
 }
 
@@ -195,6 +204,8 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
       C.Fig10 = true;
     } else if (std::strcmp(A, "--prune") == 0) {
       C.Prune = true;
+    } else if (std::strcmp(A, "--no-converge") == 0) {
+      C.Converge = false;
     } else if (std::strcmp(A, "--engine") == 0) {
       if (I + 1 >= Argc)
         return false;
@@ -271,6 +282,7 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   CampaignOptions Opts;
   Opts.Threads = C.Threads;
   Opts.Prune = C.Prune;
+  Opts.Converge = C.Converge;
   // The VM engine is bound to one CodeMemory, so it is built per program.
   std::unique_ptr<ExecEngine> Vm;
   if (C.UseVm) {
@@ -374,6 +386,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     Opts.Threads = C.Threads;
     Opts.Engine = C.UseVm ? Vm.get() : nullptr;
     Opts.Prune = C.Prune;
+    Opts.Converge = C.Converge;
     CampaignResult R = runSingleFaultCampaign(CP->Prog, Config, Opts);
     // Raw-semantics sweeps report the certification rung the analysis
     // ladder assigns (Typed / AnalysisCertified / Inconsistent) instead
@@ -389,7 +402,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v3\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v4\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
@@ -397,6 +410,7 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
        ",\n";
   S += "  \"retry_budget\": " + std::to_string(C.RetryBudget) + ",\n";
   S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
+  S += "  \"converge\": " + std::string(C.Converge ? "true" : "false") + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {

@@ -16,14 +16,24 @@
 // 2x because the duplicated streams fill idle issue slots, and (b) a small
 // additional gain from dropping the ordering constraint.
 //
+//   fig10_overhead [--json [FILE]]
+//
+//   --json [FILE] emit a machine-readable report (schema talft-bench-v1)
+//                 to FILE (written atomically) or stdout, with the human
+//                 table on stderr.
+//
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "check/ProgramChecker.h"
 #include "wile/Evaluate.h"
 #include "wile/Kernels.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace talft;
 using namespace talft::wile;
@@ -90,32 +100,87 @@ std::optional<Row> runKernel(const Kernel &K) {
 
 } // namespace
 
-int main() {
-  std::printf("Figure 10: Performance Normalized to Unprotected Version\n");
-  std::printf("(paper: 1.34x average with ordering, 1.30x without)\n\n");
-  std::printf("%-14s %-14s %10s %16s  %s\n", "benchmark", "suite", "TAL-FT",
-              "TAL-FT no-order", "typechecked");
-  std::printf("%.*s\n", 72,
-              "------------------------------------------------------------"
-              "------------");
+int main(int Argc, char **Argv) {
+  bool Json = false;
+  std::string JsonPath;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        JsonPath = Argv[++I];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\nusage: %s [--json [FILE]]\n",
+                   Argv[I], Argv[0]);
+      return 2;
+    }
+  }
+  FILE *Out = (Json && JsonPath.empty()) ? stderr : stdout;
+
+  std::fprintf(Out, "Figure 10: Performance Normalized to Unprotected Version\n");
+  std::fprintf(Out, "(paper: 1.34x average with ordering, 1.30x without)\n\n");
+  std::fprintf(Out, "%-14s %-14s %10s %16s  %s\n", "benchmark", "suite",
+               "TAL-FT", "TAL-FT no-order", "typechecked");
+  std::fprintf(Out, "%.*s\n", 72,
+               "------------------------------------------------------------"
+               "------------");
 
   double LogFt = 0, LogNoOrder = 0;
   unsigned Count = 0;
+  std::vector<std::pair<Row, std::string>> Rows;
   for (const Kernel &K : benchmarkKernels()) {
     std::optional<Row> R = runKernel(K);
     if (!R)
       return 1;
-    std::printf("%-14s %-14s %9.2fx %15.2fx  %s\n", R->Name.c_str(),
-                K.Suite.c_str(), R->Ft, R->FtNoOrder,
-                R->Typechecked ? "yes" : "no (dynamic addressing)");
+    std::fprintf(Out, "%-14s %-14s %9.2fx %15.2fx  %s\n", R->Name.c_str(),
+                 K.Suite.c_str(), R->Ft, R->FtNoOrder,
+                 R->Typechecked ? "yes" : "no (dynamic addressing)");
     LogFt += std::log(R->Ft);
     LogNoOrder += std::log(R->FtNoOrder);
     ++Count;
+    Rows.push_back({*R, K.Suite});
   }
-  std::printf("%.*s\n", 72,
-              "------------------------------------------------------------"
-              "------------");
-  std::printf("%-29s %9.2fx %15.2fx\n", "geometric mean",
-              std::exp(LogFt / Count), std::exp(LogNoOrder / Count));
+  double GeoFt = std::exp(LogFt / Count);
+  double GeoNoOrder = std::exp(LogNoOrder / Count);
+  std::fprintf(Out, "%.*s\n", 72,
+               "------------------------------------------------------------"
+               "------------");
+  std::fprintf(Out, "%-29s %9.2fx %15.2fx\n", "geometric mean", GeoFt,
+               GeoNoOrder);
+
+  if (Json) {
+    std::string S = "{\n";
+    S += "  \"schema\": \"talft-bench-v1\",\n";
+    S += "  \"benchmark\": \"fig10_overhead\",\n";
+    S += "  \"unit\": \"overhead_vs_unprotected\",\n";
+    S += "  \"kernels\": [\n";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      char Buf[256];
+      std::snprintf(Buf, sizeof(Buf),
+                    "    {\"name\": \"%s\", \"suite\": \"%s\", "
+                    "\"ft\": %.4f, \"ft_no_order\": %.4f, "
+                    "\"typechecked\": %s}%s\n",
+                    Rows[I].first.Name.c_str(), Rows[I].second.c_str(),
+                    Rows[I].first.Ft, Rows[I].first.FtNoOrder,
+                    Rows[I].first.Typechecked ? "true" : "false",
+                    I + 1 != Rows.size() ? "," : "");
+      S += Buf;
+    }
+    S += "  ],\n";
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"geomean\": {\"ft\": %.4f, \"ft_no_order\": %.4f}\n",
+                  GeoFt, GeoNoOrder);
+    S += Buf;
+    S += "}\n";
+    if (JsonPath.empty()) {
+      std::fputs(S.c_str(), stdout);
+    } else {
+      if (!cli::writeFileAtomic(JsonPath, S)) {
+        std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+        return 2;
+      }
+      std::fprintf(Out, "JSON report written to %s\n", JsonPath.c_str());
+    }
+  }
   return 0;
 }

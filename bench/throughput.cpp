@@ -9,8 +9,17 @@
 // testing, so its cost matters), simulator step rate, the expression
 // normalizer, and the end-to-end Wile compilation rate.
 //
+//   throughput [gbench flags] [--json [FILE]]
+//
+//   --json [FILE] run the benchmarks with google-benchmark's JSON
+//                 reporter and wrap the result in a talft-bench-v1
+//                 envelope written atomically to FILE (or stdout).
+//                 Unknown flags are rejected (google-benchmark's own
+//                 strict argument check runs either way).
+//
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "check/ProgramChecker.h"
 #include "fault/Theorems.h"
 #include "sexpr/ExprNormalize.h"
@@ -19,6 +28,11 @@
 #include "wile/Kernels.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
 
 using namespace talft;
 
@@ -154,4 +168,52 @@ BENCHMARK(BM_FaultInjectionRun);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  // Peel off our --json [FILE] flag; everything else goes to
+  // google-benchmark, whose ReportUnrecognizedArguments rejects strays.
+  bool Json = false;
+  std::string JsonPath;
+  std::vector<char *> Args = {Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0) {
+      Json = true;
+      if (I + 1 < Argc && Argv[I + 1][0] != '-')
+        JsonPath = Argv[++I];
+    } else {
+      Args.push_back(Argv[I]);
+    }
+  }
+  int N = (int)Args.size();
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+
+  if (!Json) {
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  std::ostringstream OS;
+  benchmark::JSONReporter Reporter;
+  Reporter.SetOutputStream(&OS);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+
+  std::string S = "{\n";
+  S += "  \"schema\": \"talft-bench-v1\",\n";
+  S += "  \"benchmark\": \"throughput\",\n";
+  S += "  \"google_benchmark\":\n";
+  S += OS.str();
+  S += "}\n";
+  if (JsonPath.empty()) {
+    std::fputs(S.c_str(), stdout);
+  } else {
+    if (!cli::writeFileAtomic(JsonPath, S)) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "JSON report written to %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

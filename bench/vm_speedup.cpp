@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliUtils.h"
 #include "sim/ExecEngine.h"
 #include "vm/Engine.h"
 #include "wile/Codegen.h"
@@ -186,13 +187,10 @@ int jsonMain(const std::string &Path) {
   if (Path.empty()) {
     std::fputs(S.c_str(), stdout);
   } else {
-    FILE *F = std::fopen(Path.c_str(), "w");
-    if (!F) {
+    if (!cli::writeFileAtomic(Path, S)) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return 2;
     }
-    std::fputs(S.c_str(), F);
-    std::fclose(F);
     std::fprintf(stderr, "JSON report written to %s\n", Path.c_str());
   }
   return 0;

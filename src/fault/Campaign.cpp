@@ -236,26 +236,463 @@ struct PrefixTracker {
   }
 };
 
+/// Phase-1 record of which reference transitions may touch each register.
+/// Transition k (1-based: the step that produces reference state k) is
+/// recorded against a *superset* of the registers whose payload or color
+/// can influence its behavior or be written by it: the executed
+/// instruction's named operands, plus d for control flow (jmp and bz read
+/// and write it). Fetch transitions read only the pcs, which every
+/// execute transition also touches (incrementPCs or an explicit set), so
+/// the pcs are treated as always-accessed instead of being recorded.
+/// Over-approximating the access set only shrinks the skippable prefix;
+/// missing a genuine access would be unsound, so the superset property is
+/// what the forced-collision and differential tests pin down.
+struct AccessLog {
+  static constexpr uint64_t None = ~uint64_t{0};
+  std::array<std::vector<uint64_t>, Reg::NumRegs> Access;
+
+  void record(Reg R, uint64_t K) {
+    std::vector<uint64_t> &V = Access[R.denseIndex()];
+    if (V.empty() || V.back() != K)
+      V.push_back(K);
+  }
+
+  /// Records transition \p K given the pre-step state \p S.
+  void recordTransition(const MachineState &S, uint64_t K) {
+    if (!S.IR)
+      return; // fetch reads only the (always-accessed) pcs
+    const Inst &I = *S.IR;
+    record(I.Rd, K);
+    record(I.Rs, K);
+    if (!I.HasImm)
+      record(I.Rt, K);
+    if (I.Op == Opcode::Jmp || I.Op == Opcode::Bz)
+      record(Reg::dest(), K);
+  }
+
+  /// First transition index > \p Step that may access \p R, or None when
+  /// the reference never touches it again. The pcs are read by the very
+  /// next transition, whatever it is.
+  uint64_t firstAccessAfter(Reg R, uint64_t Step) const {
+    if (R.isPC())
+      return Step + 1;
+    const std::vector<uint64_t> &V = Access[R.denseIndex()];
+    auto It = std::upper_bound(V.begin(), V.end(), Step);
+    return It == V.end() ? None : *It;
+  }
+};
+
+/// Phase-1 record of one executed reference instruction with its read
+/// operand values and its result, the raw material of the sparse
+/// differential replay. Fetch and execute transitions strictly alternate
+/// (step() fetches into the empty IR, executing resets it), so execute
+/// transitions are exactly the even step indices and the record of
+/// execute step k lives at index k/2 - 1.
+struct ExecRec {
+  Inst I;
+  /// Pre-step val(Rs) — the ALU first operand, the Ld/St address/value
+  /// source, or the Bz test register (rz == Rs).
+  int64_t SrcRs = 0;
+  /// Pre-step val(Rt), or the immediate payload under HasImm.
+  int64_t SrcRt = 0;
+  /// Post-step val(Rd) (the written result for Alu/Mov/Ld; stale
+  /// otherwise).
+  int64_t Result = 0;
+};
+
+/// Everything the convergence machinery needs: the per-step fingerprint
+/// timeline of the reference run, dense snapshots to reconstruct an
+/// arbitrary reference state from (Snaps[k].Steps == k * Stride by
+/// construction), the register access log and the recorded instruction
+/// stream driving the differential replay (null in plan campaigns, whose
+/// earlier injections already diverged the state).
+struct ConvergenceContext {
+  const std::vector<uint64_t> *Timeline = nullptr;
+  const std::vector<UntypedSnapshot> *Snaps = nullptr;
+  uint64_t Stride = 1;
+  const AccessLog *Accesses = nullptr;
+  const std::vector<ExecRec> *Execs = nullptr;
+};
+
+/// Probe only every 16th fetch boundary (ExecEngine::ConvergenceProbe's
+/// Mask). Thinning the probe is verdict-neutral (see the struct's doc);
+/// it exists because the fingerprint compose and timeline load are pure
+/// overhead on continuations that never converge, which dominate the
+/// detect-heavy kernels.
+constexpr uint64_t ProbeMask = 15;
+
+/// The faulty payloads of a differential replay: (dense register index,
+/// value) pairs for exactly the registers whose payload differs from the
+/// reference. Taint never touches color tags (injectFault preserves them
+/// and instruction results take their colors from operand colors, which
+/// are payload-independent), so "reference state with these payloads
+/// patched in" describes the faulty state completely. The set stays tiny
+/// (usually one to three registers), so linear scans beat any map.
+struct TaintMap {
+  std::vector<std::pair<unsigned, int64_t>> V;
+
+  const int64_t *find(unsigned R) const {
+    for (const auto &P : V)
+      if (P.first == R)
+        return &P.second;
+    return nullptr;
+  }
+  void set(unsigned R, int64_t Val) {
+    for (auto &P : V)
+      if (P.first == R) {
+        P.second = Val;
+        return;
+      }
+    V.push_back({R, Val});
+  }
+  void erase(unsigned R) {
+    for (size_t I = 0; I != V.size(); ++I)
+      if (V[I].first == R) {
+        V[I] = V.back();
+        V.pop_back();
+        return;
+      }
+  }
+  bool empty() const { return V.empty(); }
+};
+
+/// Writes the taint payloads into \p S, keeping every color tag.
+void patchTaint(MachineState &S, const TaintMap &T) {
+  for (const auto &P : T.V) {
+    Reg R = Reg::fromDenseIndex(P.first);
+    Value V = S.Regs.get(R);
+    V.N = P.second;
+    S.Regs.set(R, V);
+  }
+}
+
+/// One task's convergence outcome, written by classifyContinuation and
+/// merged deterministically after the parallel phase.
+struct ConvergenceHit {
+  bool Hit = false;
+  uint64_t Window = 0; ///< Steps from injection to the convergence point.
+  uint64_t Saved = 0;  ///< Reference-tail steps skipped by the early exit.
+  uint64_t Skipped = 0; ///< Lockstep-prefix steps discharged unsimulated.
+};
+
+/// Phase-1 collector for the convergence machinery: the per-step
+/// fingerprint timeline, the register access log, and the dense
+/// reconstruction snapshots. The snapshot stride starts small and doubles
+/// (dropping the odd-indexed half) whenever the cap is hit, bounding
+/// memory at MaxSnaps states while preserving the indexing invariant
+/// Snaps[k].Steps == k * Stride.
+struct ConvergenceRecorder {
+  bool Enabled = false;
+  std::vector<uint64_t> Timeline;
+  AccessLog Accesses;
+  std::vector<ExecRec> Execs;
+  std::vector<UntypedSnapshot> Snaps;
+  uint64_t Stride = 16;
+  static constexpr size_t MaxSnaps = 512;
+
+  void start(const MachineState &S) {
+    if (!Enabled)
+      return;
+    Timeline.push_back(S.fingerprint());
+    Snaps.push_back({S, 0, 0});
+  }
+
+  /// Call with the pre-step state; \p NextStep is the 1-based index of the
+  /// transition about to execute.
+  void beforeStep(const MachineState &S, uint64_t NextStep) {
+    if (!Enabled)
+      return;
+    Accesses.recordTransition(S, NextStep);
+    if (!S.IR)
+      return;
+    assert(NextStep == 2 * (Execs.size() + 1) &&
+           "fetch/execute alternation broken");
+    const Inst &I = *S.IR;
+    ExecRec Rec;
+    Rec.I = I;
+    Rec.SrcRs = S.Regs.val(I.Rs);
+    Rec.SrcRt = I.HasImm ? I.Imm.N : S.Regs.val(I.Rt);
+    Execs.push_back(Rec);
+  }
+
+  void afterStep(const MachineState &S, uint64_t Steps, size_t TraceLen) {
+    if (!Enabled)
+      return;
+    // Execute transitions are the even steps; patch the freshly executed
+    // record with the written result (post-step val(Rd)).
+    if ((Steps & 1) == 0 && !Execs.empty())
+      Execs.back().Result = S.Regs.val(Execs.back().I.Rd);
+    Timeline.push_back(S.fingerprint());
+    if (Steps % Stride)
+      return;
+    if (Snaps.size() >= MaxSnaps) {
+      size_t W = 0;
+      for (size_t I = 0; I < Snaps.size(); I += 2)
+        Snaps[W++] = std::move(Snaps[I]);
+      Snaps.resize(W);
+      Stride *= 2;
+      if (Steps % Stride)
+        return;
+    }
+    Snaps.push_back({S, Steps, TraceLen});
+  }
+};
+
+/// Sparse differential replay of one register-site continuation against
+/// the recorded reference instruction stream: the big accelerator for
+/// runs that never re-join the reference (long-latency Detected runs and
+/// color-divergent Masked runs), which full-state simulation can only
+/// classify step by step.
+///
+/// The soundness backbone is *structural lockstep*: as long as every
+/// register payload that differs from the reference is confined to the
+/// TaintMap, the faulty run executes exactly the reference's instruction
+/// sequence. Fetches read only the (untainted) pcs; memory changes only
+/// through stB commits, and a commit whose inputs are tainted is never
+/// reached differentially (its stG or stB is an event that bails first),
+/// so memory and queue stay reference-equal throughout; similarly a
+/// control transition with tainted inputs bails. Every transition whose
+/// accessed registers are all untainted therefore reads reference values,
+/// fires the reference rule, writes reference values and emits the
+/// reference outputs — only the *events*, the transitions the access log
+/// says may touch a tainted register, need attention:
+///
+///   - alu: the faulty result is evalAluOp over the recorded source
+///     values with taint overrides; equal to the recorded result it
+///     kills the Rd taint, different it retaints Rd;
+///   - mov: Rd takes the immediate — the reference result — killing Rd's
+///     taint unconditionally;
+///   - ld with an untainted address: reads reference-equal memory (and,
+///     for ldG, a reference-equal queue), so Rd gets the reference
+///     result, killing its taint; a tainted address bails;
+///   - bz whose target and d are untainted and whose faulty test value
+///     agrees with the reference direction (both fall through): no
+///     register writes, taint unchanged; any disagreement bails;
+///   - everything else (st, jmp, tainted control inputs) bails to the
+///     concrete classifier.
+///
+/// Three ways out, all verdict-exact against the full simulation:
+///
+///   - the taint set empties: the faulty state now equals the reference
+///     state exactly, so the remainder is the reference tail — Masked;
+///   - no tainted register is ever accessed again: the run is lockstep
+///     to the halt, the trace completes, and the final state is RefFinal
+///     with the taint patched in — only the similarity check remains;
+///   - bail: the reference state just before the event is reconstructed
+///     from the dense snapshots, the taint payloads are patched in (that
+///     IS the faulty state there, by the invariant), and nullopt tells
+///     the caller to classify concretely from that point with \p S,
+///     \p AtSteps and \p TraceLen repositioned and the fault already in
+///     place.
+///
+/// Event processing costs an order of magnitude more than one raw
+/// interpreter step, so a run whose taint is touched at nearly every
+/// instruction caps its event count and bails instead of losing the race.
+std::optional<Verdict>
+differentialReplay(const ExecEngine &E, const StepPolicy &Policy,
+                   const ConvergenceContext &Conv, const FaultSite &Site,
+                   int64_t Value, const MachineState &RefFinal,
+                   uint64_t RefSteps, ZapTag Z, MachineState &S,
+                   uint64_t &AtSteps, size_t &TraceLen, ConvergenceHit *Hit) {
+  const AccessLog &AL = *Conv.Accesses;
+  const std::vector<ExecRec> &Execs = *Conv.Execs;
+  const uint64_t InjectedAt = AtSteps;
+  TaintMap T;
+  T.set(Site.R.denseIndex(), Value);
+
+  uint64_t Cur = AtSteps;
+  uint64_t Events = 0;
+  uint64_t Bail = 0;
+  while (true) {
+    // The next reference transition that may touch any tainted register.
+    uint64_t K = AccessLog::None;
+    for (const auto &P : T.V)
+      K = std::min(K, AL.firstAccessAfter(Reg::fromDenseIndex(P.first), Cur));
+    if (K == AccessLog::None) {
+      if (Hit)
+        Hit->Skipped = RefSteps - InjectedAt;
+      MachineState Final = RefFinal;
+      patchTaint(Final, T);
+      return similarStates(Z, Final, RefFinal) ? Verdict::Masked
+                                               : Verdict::DissimilarState;
+    }
+    assert((K & 1) == 0 && K / 2 <= Execs.size() &&
+           "event is not a recorded execute transition");
+    // Progress gate: an event costs several interpreter steps, so the
+    // replay only pays off while events stay sparse. Dense taint (many
+    // hot registers) discharges few steps per event; hand such runs to
+    // the concrete classifier before the bookkeeping loses the race.
+    if (++Events >= 32 && K - InjectedAt < 8 * Events) {
+      Bail = K;
+      break;
+    }
+    const ExecRec &Rec = Execs[K / 2 - 1];
+    const Inst &I = Rec.I;
+    bool Handled = true;
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul: {
+      const int64_t *TA = T.find(I.Rs.denseIndex());
+      int64_t A = TA ? *TA : Rec.SrcRs;
+      int64_t B = Rec.SrcRt;
+      if (!I.HasImm)
+        if (const int64_t *TB = T.find(I.Rt.denseIndex()))
+          B = *TB;
+      int64_t R = evalAluOp(I.Op, A, B);
+      if (R == Rec.Result)
+        T.erase(I.Rd.denseIndex());
+      else
+        T.set(I.Rd.denseIndex(), R);
+      break;
+    }
+    case Opcode::Mov:
+      T.erase(I.Rd.denseIndex());
+      break;
+    case Opcode::Ld:
+      if (T.find(I.Rs.denseIndex()))
+        Handled = false;
+      else
+        T.erase(I.Rd.denseIndex());
+      break;
+    case Opcode::Bz: {
+      if (T.find(I.Rd.denseIndex()) || T.find(Reg::dest().denseIndex())) {
+        Handled = false;
+        break;
+      }
+      const int64_t *TZ = T.find(I.Rs.denseIndex());
+      int64_t Zf = TZ ? *TZ : Rec.SrcRs;
+      if ((Zf == 0) != (Rec.SrcRs == 0) || Zf == 0)
+        Handled = false; // direction differs (or, defensively, taken)
+      break;
+    }
+    default:
+      Handled = false; // st, jmp: hand over to the concrete classifier
+      break;
+    }
+    if (!Handled) {
+      Bail = K;
+      break;
+    }
+    Cur = K;
+    if (T.empty()) {
+      if (Hit) {
+        Hit->Hit = true;
+        Hit->Window = K - InjectedAt;
+        Hit->Saved = RefSteps - K;
+        Hit->Skipped = K - InjectedAt;
+      }
+      return Verdict::Masked;
+    }
+  }
+
+  // Bail: resume concretely just before the event (post-fetch, so the
+  // event instruction re-executes for real). A short discharged prefix is
+  // cheaper to re-simulate than to reconstruct from a snapshot.
+  uint64_t Resume = Bail - 1;
+  if (Resume > InjectedAt + 64) {
+    const UntypedSnapshot &Base = (*Conv.Snaps)[Resume / Conv.Stride];
+    assert(Base.Steps <= Resume && "snapshot stride invariant violated");
+    MachineState Ref = Base.S;
+    OutputTrace Replayed;
+    E.replaySteps(Ref, Resume - Base.Steps, Replayed, Policy);
+    S = std::move(Ref);
+    TraceLen = Base.TraceLen + Replayed.size();
+    AtSteps = Resume;
+    if (Hit)
+      Hit->Skipped = Resume - InjectedAt;
+    patchTaint(S, T);
+  } else {
+    injectFault(S, Site, Value);
+  }
+  return std::nullopt;
+}
+
 /// Classifies one faulty continuation on the raw semantics via \p E. \p S
 /// is the reference state at the injection step; \p TraceLen the reference
 /// trace length there. The engine's runContinuation reproduces the serial
 /// checker's control flow exactly (exit check before budget check) so
 /// verdicts agree bit-for-bit with the historical classifier — and, since
 /// engines are observationally identical, for every engine.
+///
+/// With \p Conv, the differential replay above tries to discharge the run
+/// first; what it cannot discharge is simulated concretely, with fetch
+/// boundaries probing for re-convergence: a fingerprint match at step
+/// index Idx gates a reconstruction of the reference state at Idx
+/// (nearest snapshot + replay) and a full state-equality check. When the
+/// states are exactly equal, the outputs so far are exactly the reference
+/// prefix at Idx and the tracker never diverged, determinism makes the
+/// rest of the run identical to the reference tail: it halts, completes
+/// the reference trace and lands in the reference final state — which
+/// similarStates accepts reflexively — so the full run's verdict would be
+/// Masked. Hence RunStatus::Converged maps to Verdict::Masked with the
+/// remaining RefSteps - Idx transitions skipped, and the accelerated
+/// table folds bit-identically onto the baseline. (The budget never cuts
+/// a converged run short of what the probe proves: remaining budget at
+/// Idx is RefSteps - Idx + ExtraSteps, and the exit check runs before the
+/// budget check.)
 Verdict classifyContinuation(const ExecEngine &E, Addr ExitAddr,
                              const StepPolicy &Policy, uint64_t ExtraSteps,
                              const OutputTrace &RefTrace,
                              const MachineState &RefFinal, uint64_t RefSteps,
                              MachineState S, uint64_t AtSteps, size_t TraceLen,
-                             const FaultSite &Site, int64_t Value) {
+                             const FaultSite &Site, int64_t Value,
+                             const ConvergenceContext *Conv = nullptr,
+                             ConvergenceHit *Hit = nullptr) {
   ZapTag Z = ZapTag::color(faultColor(S, Site));
-  injectFault(S, Site, Value);
+  uint64_t InjectedAt = AtSteps;
+
+  if (Conv && Conv->Accesses && Conv->Execs && !Conv->Execs->empty() &&
+      Site.K == FaultSite::Kind::Register && !Site.R.isPC()) {
+    // pc sites are accessed by the very next transition, so the replay
+    // cannot discharge anything for them; everything else goes through
+    // the differential engine, which either returns the final verdict or
+    // repositions S/AtSteps/TraceLen with the taint already injected.
+    if (std::optional<Verdict> V =
+            differentialReplay(E, Policy, *Conv, Site, Value, RefFinal,
+                               RefSteps, Z, S, AtSteps, TraceLen, Hit))
+      return *V;
+  } else {
+    injectFault(S, Site, Value);
+  }
 
   uint64_t Budget = RefSteps - AtSteps + ExtraSteps;
   PrefixTracker Prefix{RefTrace, TraceLen};
+
+  ExecEngine::ConvergenceProbe Probe;
+  const ExecEngine::ConvergenceProbe *ProbePtr = nullptr;
+  uint64_t ConvIdx = 0;
+  if (Conv) {
+    Probe.Timeline = Conv->Timeline->data();
+    Probe.Size = Conv->Timeline->size();
+    Probe.StartStep = AtSteps;
+    Probe.Mask = ProbeMask;
+    Probe.Verify = [&](const MachineState &FS, uint64_t Idx) {
+      // A diverged output can never fold into Masked; let the run finish
+      // and classify naturally.
+      if (Prefix.Diverged)
+        return false;
+      // Reconstruct the reference state at Idx from the nearest snapshot
+      // at or below it; counting the replay's outputs also recovers the
+      // reference trace length at Idx.
+      const UntypedSnapshot &Base = (*Conv->Snaps)[Idx / Conv->Stride];
+      assert(Base.Steps <= Idx && "snapshot stride invariant violated");
+      MachineState Ref = Base.S;
+      OutputTrace Replayed;
+      E.replaySteps(Ref, Idx - Base.Steps, Replayed, Policy);
+      if (Prefix.MatchPos != Base.TraceLen + Replayed.size())
+        return false;
+      if (!(FS == Ref))
+        return false; // fingerprint collision — the guard held
+      ConvIdx = Idx;
+      return true;
+    };
+    ProbePtr = &Probe;
+  }
+
   RunStatus St = E.runContinuation(
       S, ExitAddr, Budget, Policy,
-      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); });
+      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); }, ProbePtr);
 
   switch (St) {
   case RunStatus::OutOfSteps:
@@ -264,6 +701,16 @@ Verdict classifyContinuation(const ExecEngine &E, Addr ExitAddr,
     return Verdict::Stuck;
   case RunStatus::FaultDetected:
     return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  case RunStatus::Converged:
+    if (Hit) {
+      Hit->Hit = true;
+      // The window is measured from the injection, not the skip's resume
+      // point: the skipped prefix is part of the divergence window even
+      // though it was never simulated.
+      Hit->Window = ConvIdx - InjectedAt;
+      Hit->Saved = RefSteps - ConvIdx;
+    }
+    return Verdict::Masked;
   case RunStatus::Halted:
     break;
   }
@@ -498,13 +945,21 @@ enumerateTasks(const Program &Prog, const TheoremConfig &Config,
 
 /// Phase 3, untyped: classifies every task in parallel on the raw
 /// semantics — with or without the recovery layer — and merges verdicts,
-/// violations and recovery stats into \p R deterministically.
+/// violations and recovery stats into \p R deterministically. A non-empty
+/// \p Timeline (per-step reference fingerprints, recorded by phase 1 when
+/// convergence is on) arms the early-exit probe; \p ConvSnaps are the
+/// dense reconstruction snapshots (stride \p ConvStride) shared by the
+/// probe's Verify and the lockstep-prefix skip, which \p Accesses drives.
 void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
                           const CampaignOptions &Opts,
                           const std::vector<InjectionTask> &Tasks,
                           const std::vector<UntypedSnapshot> &Snaps,
                           const OutputTrace &RefTrace,
                           const MachineState &RefFinal, uint64_t RefSteps,
+                          const std::vector<uint64_t> &Timeline,
+                          const std::vector<UntypedSnapshot> &ConvSnaps,
+                          uint64_t ConvStride, const AccessLog *Accesses,
+                          const std::vector<ExecRec> *Execs,
                           CampaignResult &R) {
   auto AddViolation = [&](std::string V) {
     R.Ok = false;
@@ -526,10 +981,16 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
   }
 
   bool Recover = Config.Recovery.Enabled;
+  bool Converge =
+      !Recover && Opts.Converge && !Timeline.empty() && !ConvSnaps.empty();
+  R.Stats.Converge = Converge;
+  ConvergenceContext Conv{&Timeline, &ConvSnaps,
+                          std::max<uint64_t>(1, ConvStride), Accesses, Execs};
   Addr ExitAddr = Prog.exitAddress();
   std::vector<uint8_t> Verdicts(Tasks.size(), 0);
   std::vector<std::string> Details(Tasks.size());
   std::vector<RecoveryStats> TaskStats(Recover ? Tasks.size() : 0);
+  std::vector<ConvergenceHit> Hits(Converge ? Tasks.size() : 0);
   auto RunOne = [&](uint64_t I) {
     const InjectionTask &T = Tasks[I];
     const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
@@ -555,7 +1016,8 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
     } else {
       Verdict V = classifyContinuation(
           E, ExitAddr, Config.Policy, Config.ExtraSteps, RefTrace, RefFinal,
-          RefSteps, std::move(S), Snap.Steps, TraceLen, T.Site, T.Value);
+          RefSteps, std::move(S), Snap.Steps, TraceLen, T.Site, T.Value,
+          Converge ? &Conv : nullptr, Converge ? &Hits[I] : nullptr);
       Verdicts[I] = (uint8_t)V;
       if (!isBenign(V))
         Details[I] =
@@ -565,13 +1027,26 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
   dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
                 Opts.Progress);
 
-  // Deterministic merge: counters sum, violations keep enumeration order.
+  // Deterministic merge: counters sum (order-independent), violations keep
+  // enumeration order, the window maximum commutes.
   for (size_t I = 0; I != Tasks.size(); ++I) {
     R.Table[(Verdict)Verdicts[I]] += 1;
     if (!Details[I].empty())
       AddViolation(std::move(Details[I]));
     if (Recover)
       R.Recovery.merge(TaskStats[I]);
+    if (Converge) {
+      if (Hits[I].Hit) {
+        ++R.Stats.EarlyExits;
+        R.Stats.WindowSum += Hits[I].Window;
+        R.Stats.MaxWindow = std::max(R.Stats.MaxWindow, Hits[I].Window);
+        R.Stats.StepsSaved += Hits[I].Saved;
+      }
+      if (Hits[I].Skipped) {
+        ++R.Stats.LockstepSkips;
+        R.Stats.LockstepSteps += Hits[I].Skipped;
+      }
+    }
   }
 }
 
@@ -616,12 +1091,22 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
       Snaps.push_back({Run.state(), Run.steps(), Run.trace().size()});
   };
 
+  // The convergence recorder: the per-step fingerprint timeline (8
+  // bytes/step) the probe compares faulty continuations against, the
+  // register access log for the lockstep-prefix skip, and dense
+  // reconstruction snapshots. Typed and recovery campaigns never probe,
+  // so they skip the recording.
+  ConvergenceRecorder CR;
+  CR.Enabled = !Typed && !Config.Recovery.Enabled && Opts.Converge;
+
   TakeSnapshot(); // Step 0 is always an injection point.
+  CR.start(Run.state());
   while (!Run.atExitBlock()) {
     if (Run.steps() >= Config.MaxSteps) {
       AddViolation("reference run exceeded MaxSteps");
       return R;
     }
+    CR.beforeStep(Run.state(), Run.steps() + 1);
     StepResult SR = Run.stepOnce();
     if (SR.Status != StepStatus::Ok) {
       AddViolation(formatv("reference run failed at step %llu (%s)",
@@ -630,6 +1115,7 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
                                                           : "false positive"));
       return R;
     }
+    CR.afterStep(Run.state(), Run.steps(), Run.trace().size());
     if (Run.steps() % Stride == 0)
       TakeSnapshot();
   }
@@ -687,7 +1173,8 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
     }
   } else {
     classifyUntypedTasks(*CP.Prog, Config, Opts, Tasks, Snaps, RefFinal.Trace,
-                         RefFinal.S, RefFinal.Steps, R);
+                         RefFinal.S, RefFinal.Steps, CR.Timeline, CR.Snaps,
+                         CR.Stride, &CR.Accesses, &CR.Execs, R);
   }
 
   R.Stats.WallSeconds = secondsSince(InjectStart);
@@ -727,13 +1214,17 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   Addr ExitAddr = Prog.exitAddress();
   OutputTrace Trace;
   uint64_t Steps = 0;
+  ConvergenceRecorder CR;
+  CR.Enabled = !Config.Recovery.Enabled && Opts.Converge;
   std::vector<UntypedSnapshot> Snaps;
   Snaps.push_back({S, 0, 0}); // Step 0 is always an injection point.
+  CR.start(S);
   while (!atExit(S, ExitAddr)) {
     if (Steps >= Config.MaxSteps) {
       AddViolation("reference run exceeded MaxSteps");
       return R;
     }
+    CR.beforeStep(S, Steps + 1);
     StepResult SR = E.step(S, Config.Policy);
     ++Steps;
     if (SR.Output)
@@ -745,6 +1236,7 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
                                                           : "false positive"));
       return R;
     }
+    CR.afterStep(S, Steps, Trace.size());
     if (Steps % Stride == 0)
       Snaps.push_back({S, Steps, Trace.size()});
   }
@@ -764,7 +1256,9 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
 
   Clock::time_point InjectStart = Clock::now();
-  classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps, R);
+  classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps,
+                       CR.Timeline, CR.Snaps, CR.Stride, &CR.Accesses,
+                       &CR.Execs, R);
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
@@ -774,11 +1268,21 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
 namespace {
 
 /// Classifies one explicit injection plan on the raw semantics via \p E.
+/// Convergence probing applies only to the final continuation — the
+/// interim replays between scheduled injections must execute for real,
+/// since the next injection re-diverges the run anyway. The early exit is
+/// sound by the same argument as the single-fault classifier: exact state
+/// equality plus an exact output prefix at the same step index makes the
+/// rest of the run identical to the reference tail, whose verdict here is
+/// Masked (similarStates is reflexive and the cross-color guard only
+/// *skips* the similarity check).
 Verdict classifyPlan(const ExecEngine &E, const Program &Prog,
                      const StepPolicy &Policy, uint64_t ExtraSteps,
                      const OutputTrace &RefTrace, const MachineState &RefFinal,
                      uint64_t RefSteps, MachineState S,
-                     const InjectionPlan &Plan) {
+                     const InjectionPlan &Plan,
+                     const ConvergenceContext *Conv = nullptr,
+                     ConvergenceHit *Hit = nullptr) {
   PrefixTracker Prefix{RefTrace, 0};
 
   uint64_t Now = 0;
@@ -804,10 +1308,36 @@ Verdict classifyPlan(const ExecEngine &E, const Program &Prog,
     injectFault(S, P.Site, P.Value);
   }
 
+  ExecEngine::ConvergenceProbe Probe;
+  const ExecEngine::ConvergenceProbe *ProbePtr = nullptr;
+  uint64_t ConvIdx = 0;
+  if (Conv) {
+    Probe.Timeline = Conv->Timeline->data();
+    Probe.Size = Conv->Timeline->size();
+    Probe.StartStep = Now;
+    Probe.Mask = ProbeMask;
+    Probe.Verify = [&](const MachineState &FS, uint64_t Idx) {
+      if (Prefix.Diverged)
+        return false;
+      const UntypedSnapshot &Base = (*Conv->Snaps)[Idx / Conv->Stride];
+      assert(Base.Steps <= Idx && "snapshot stride invariant violated");
+      MachineState Ref = Base.S;
+      OutputTrace Replayed;
+      E.replaySteps(Ref, Idx - Base.Steps, Replayed, Policy);
+      if (Prefix.MatchPos != Base.TraceLen + Replayed.size())
+        return false;
+      if (!(FS == Ref))
+        return false;
+      ConvIdx = Idx;
+      return true;
+    };
+    ProbePtr = &Probe;
+  }
+
   uint64_t Budget = (RefSteps > Now ? RefSteps - Now : 0) + ExtraSteps;
   RunStatus St = E.runContinuation(
       S, Prog.exitAddress(), Budget, Policy,
-      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); });
+      [&Prefix](const QueueEntry &Out) { Prefix.track(Out); }, ProbePtr);
   switch (St) {
   case RunStatus::OutOfSteps:
     return Verdict::BudgetExhausted;
@@ -815,6 +1345,13 @@ Verdict classifyPlan(const ExecEngine &E, const Program &Prog,
     return Verdict::Stuck;
   case RunStatus::FaultDetected:
     return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  case RunStatus::Converged:
+    if (Hit) {
+      Hit->Hit = true;
+      Hit->Window = ConvIdx - Now;
+      Hit->Saved = RefSteps - ConvIdx;
+    }
+    return Verdict::Masked;
   case RunStatus::Halted:
     break;
   }
@@ -860,8 +1397,42 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
     return R;
   }
   MachineState Final = *S0;
-  RunResult RefRun = E.run(Final, Spec.Prog->exitAddress(),
-                           Spec.MaxReferenceSteps, Spec.Policy);
+  // With convergence on, the reference run goes stepwise so the per-step
+  // fingerprint timeline and periodic snapshots can be recorded; the loop
+  // mirrors talft::run's stopping conditions exactly (budget before exit).
+  RunResult RefRun;
+  std::vector<uint64_t> Timeline;
+  std::vector<UntypedSnapshot> PlanSnaps;
+  constexpr uint64_t PlanStride = 64;
+  if (Opts.Converge) {
+    Timeline.push_back(Final.fingerprint());
+    PlanSnaps.push_back({Final, 0, 0});
+    RefRun.Status = RunStatus::OutOfSteps;
+    while (RefRun.Steps < Spec.MaxReferenceSteps) {
+      if (atExit(Final, Spec.Prog->exitAddress())) {
+        RefRun.Status = RunStatus::Halted;
+        break;
+      }
+      StepResult SR = E.step(Final, Spec.Policy);
+      if (SR.Status == StepStatus::Stuck) {
+        RefRun.Status = RunStatus::Stuck;
+        break;
+      }
+      ++RefRun.Steps;
+      if (SR.Output)
+        RefRun.Trace.push_back(*SR.Output);
+      if (SR.Status == StepStatus::Fault) {
+        RefRun.Status = RunStatus::FaultDetected;
+        break;
+      }
+      Timeline.push_back(Final.fingerprint());
+      if (RefRun.Steps % PlanStride == 0)
+        PlanSnaps.push_back({Final, RefRun.Steps, RefRun.Trace.size()});
+    }
+  } else {
+    RefRun = E.run(Final, Spec.Prog->exitAddress(), Spec.MaxReferenceSteps,
+                   Spec.Policy);
+  }
   if (RefRun.Status != RunStatus::Halted) {
     R.Ok = false;
     R.Violations.push_back(formatv("reference run did not halt (%s after %llu steps)",
@@ -880,11 +1451,16 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   R.Stats.ThreadsUsed = (unsigned)std::min<uint64_t>(
       Threads, std::max<size_t>(1, Spec.Plans.size()));
 
+  bool Converge = Opts.Converge && !Timeline.empty();
+  R.Stats.Converge = Converge;
+  ConvergenceContext Conv{&Timeline, &PlanSnaps, PlanStride};
   std::vector<uint8_t> Verdicts(Spec.Plans.size(), 0);
+  std::vector<ConvergenceHit> Hits(Converge ? Spec.Plans.size() : 0);
   auto RunOne = [&](uint64_t I) {
-    Verdicts[I] = (uint8_t)classifyPlan(E, *Spec.Prog, Spec.Policy,
-                                        Spec.ExtraSteps, RefRun.Trace, Final,
-                                        RefRun.Steps, *S0, Spec.Plans[I]);
+    Verdicts[I] = (uint8_t)classifyPlan(
+        E, *Spec.Prog, Spec.Policy, Spec.ExtraSteps, RefRun.Trace, Final,
+        RefRun.Steps, *S0, Spec.Plans[I], Converge ? &Conv : nullptr,
+        Converge ? &Hits[I] : nullptr);
   };
   dispatchTasks(Threads, Spec.Plans.size(), RunOne, Opts.ProgressInterval,
                 Opts.Progress);
@@ -892,6 +1468,12 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   for (size_t I = 0; I != Spec.Plans.size(); ++I) {
     Verdict V = (Verdict)Verdicts[I];
     R.Table[V] += 1;
+    if (Converge && Hits[I].Hit) {
+      ++R.Stats.EarlyExits;
+      R.Stats.WindowSum += Hits[I].Window;
+      R.Stats.MaxWindow = std::max(R.Stats.MaxWindow, Hits[I].Window);
+      R.Stats.StepsSaved += Hits[I].Saved;
+    }
     // Multi-fault plans legitimately produce SilentCorruption (that is what
     // the double-fault ablation demonstrates); only a wedged machine is a
     // campaign-level violation here.
@@ -963,6 +1545,19 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    (unsigned long long)R.Recovery.Rollbacks,
                    (unsigned long long)R.Recovery.Checkpoints,
                    (unsigned long long)R.Recovery.ReplayedOutputs);
+  S += P + formatv("  \"convergence\": {\"enabled\": %s, \"early_exits\": %llu, "
+                   "\"mean_window\": %.2f, \"max_window\": %llu, "
+                   "\"steps_saved\": %llu, \"lockstep_skips\": %llu, "
+                   "\"lockstep_steps\": %llu},\n",
+                   R.Stats.Converge ? "true" : "false",
+                   (unsigned long long)R.Stats.EarlyExits,
+                   R.Stats.EarlyExits
+                       ? (double)R.Stats.WindowSum / (double)R.Stats.EarlyExits
+                       : 0.0,
+                   (unsigned long long)R.Stats.MaxWindow,
+                   (unsigned long long)R.Stats.StepsSaved,
+                   (unsigned long long)R.Stats.LockstepSkips,
+                   (unsigned long long)R.Stats.LockstepSteps);
   S += P + "  \"violations\": [";
   for (size_t I = 0; I != R.Violations.size(); ++I) {
     S += I ? ", " : "";

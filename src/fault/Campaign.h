@@ -146,6 +146,26 @@ struct CampaignOptions {
   /// Silently ignored when the analysis cannot vouch for the CFG (an
   /// unresolved indirect target makes liveness advisory only).
   bool Prune = false;
+  /// Convergence acceleration: the reference phase records a per-step
+  /// fingerprint timeline, a register access log and dense snapshots,
+  /// which buy two sound shortcuts for faulty continuations. (1) Early
+  /// exit: a continuation stops as soon as a full state-equality check
+  /// (gated by a fingerprint match at the same step index) proves it has
+  /// re-joined the reference run — determinism makes the remainder
+  /// identical, so the verdict is Masked without executing the rest of
+  /// the program. (2) Sparse differential replay: a register-site
+  /// continuation provably executes the reference instruction stream
+  /// with divergence confined to a small set of register payloads, so
+  /// the classifier walks only the reference transitions that touch a
+  /// tainted register (jumping between them through the access log)
+  /// instead of simulating every step, and hands off to concrete
+  /// simulation the moment an event falls outside the provable cases.
+  /// Verdict tables and violation lists are bit-identical with and
+  /// without this flag (the differential oracle asserts the fold); only
+  /// wall-clock time changes. Ignored by recovery campaigns (rollback
+  /// replays re-diverge from the reference) and typed campaigns (they
+  /// must type every intermediate state).
+  bool Converge = true;
 };
 
 struct CampaignStats {
@@ -163,6 +183,23 @@ struct CampaignStats {
   bool Pruned = false;
   /// Injections discharged statically (== Table[StaticallyMasked]).
   uint64_t PrunedTasks = 0;
+  /// True when convergence probing was active for this campaign.
+  bool Converge = false;
+  /// Continuations classified Masked by a convergence early-exit.
+  uint64_t EarlyExits = 0;
+  /// Sum and max of the divergence windows (steps executed between the
+  /// injection and the proven re-convergence) over all early exits.
+  uint64_t WindowSum = 0;
+  uint64_t MaxWindow = 0;
+  /// Reference-tail steps the early exits skipped (what the full runs
+  /// would have executed past the convergence points).
+  uint64_t StepsSaved = 0;
+  /// Register-site continuations the sparse differential replay advanced
+  /// past at least one reference step without concrete simulation, and
+  /// the total reference steps so discharged (fully replayed runs and
+  /// the skipped prefix of runs that bailed to concrete simulation).
+  uint64_t LockstepSkips = 0;
+  uint64_t LockstepSteps = 0;
 };
 
 /// The merged outcome of a campaign.

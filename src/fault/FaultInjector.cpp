@@ -69,12 +69,18 @@ void talft::injectFault(MachineState &S, const FaultSite &Site,
     S.Regs.set(Site.R, V);
     return;
   }
-  case FaultSite::Kind::QueueAddress:
-    S.Queue.entry(Site.QueueIndex).Address = NewValue;
+  case FaultSite::Kind::QueueAddress: {
+    QueueEntry E = S.Queue.entry(Site.QueueIndex);
+    E.Address = NewValue;
+    S.Queue.setEntry(Site.QueueIndex, E);
     return;
-  case FaultSite::Kind::QueueValue:
-    S.Queue.entry(Site.QueueIndex).Val = NewValue;
+  }
+  case FaultSite::Kind::QueueValue: {
+    QueueEntry E = S.Queue.entry(Site.QueueIndex);
+    E.Val = NewValue;
+    S.Queue.setEntry(Site.QueueIndex, E);
     return;
+  }
   }
   talft_unreachable("unknown fault site kind");
 }

@@ -16,12 +16,15 @@
 #ifndef TALFT_ISA_MEMORY_H
 #define TALFT_ISA_MEMORY_H
 
+#include "isa/Fingerprint.h"
 #include "isa/Inst.h"
 #include "isa/Value.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <optional>
+#include <vector>
 
 namespace talft {
 
@@ -55,24 +58,43 @@ private:
 
 /// Value memory M: a partial map from addresses to integers. Loads from
 /// addresses outside Dom(M) are "wild" (see the ldG-fail / ldG-rand rules).
+///
+/// Stored as a flat sorted vector: memories are tiny (a handful of data
+/// cells), sit on the load/store hot path of both engines, and are copied
+/// into every campaign snapshot — contiguous storage makes both the binary
+/// search and the copy cheap. Iteration yields (address, value) pairs in
+/// ascending address order, exactly like the std::map it replaced.
 class ValueMemory {
 public:
   /// Defines (or overwrites) location \p A.
-  void set(Addr A, int64_t V) { Cells[A] = V; }
+  void set(Addr A, int64_t V) {
+    auto It = find(A);
+    if (It != Cells.end() && It->first == A) {
+      Fp ^= fp::memCell(A, It->second) ^ fp::memCell(A, V);
+      It->second = V;
+      return;
+    }
+    Fp ^= fp::memCell(A, V);
+    Cells.insert(It, {A, V});
+  }
 
-  bool contains(Addr A) const { return Cells.count(A) != 0; }
+  bool contains(Addr A) const {
+    auto It = find(A);
+    return It != Cells.end() && It->first == A;
+  }
 
   /// M(n). Requires contains(n).
   int64_t get(Addr A) const {
-    auto It = Cells.find(A);
-    assert(It != Cells.end() && "load from an undefined memory address");
+    auto It = find(A);
+    assert(It != Cells.end() && It->first == A &&
+           "load from an undefined memory address");
     return It->second;
   }
 
   /// M(n) if defined.
   std::optional<int64_t> lookup(Addr A) const {
-    auto It = Cells.find(A);
-    if (It == Cells.end())
+    auto It = find(A);
+    if (It == Cells.end() || It->first != A)
       return std::nullopt;
     return It->second;
   }
@@ -81,10 +103,27 @@ public:
   auto begin() const { return Cells.begin(); }
   auto end() const { return Cells.end(); }
 
+  /// Zobrist fingerprint of the memory contents, maintained O(1) per
+  /// write: the XOR of one pseudorandom word per defined cell.
+  uint64_t fingerprint() const { return Fp; }
+
   bool operator==(const ValueMemory &O) const = default;
 
 private:
-  std::map<Addr, int64_t> Cells;
+  std::vector<std::pair<Addr, int64_t>>::const_iterator find(Addr A) const {
+    return std::lower_bound(
+        Cells.begin(), Cells.end(), A,
+        [](const std::pair<Addr, int64_t> &C, Addr A) { return C.first < A; });
+  }
+  std::vector<std::pair<Addr, int64_t>>::iterator find(Addr A) {
+    return std::lower_bound(
+        Cells.begin(), Cells.end(), A,
+        [](const std::pair<Addr, int64_t> &C, Addr A) { return C.first < A; });
+  }
+
+  /// Sorted by address, unique.
+  std::vector<std::pair<Addr, int64_t>> Cells;
+  uint64_t Fp = 0;
 };
 
 } // namespace talft

@@ -19,6 +19,7 @@
 #ifndef TALFT_ISA_REGISTERFILE_H
 #define TALFT_ISA_REGISTERFILE_H
 
+#include "isa/Fingerprint.h"
 #include "isa/Reg.h"
 #include "isa/Value.h"
 
@@ -36,6 +37,8 @@ public:
       V = Value::green(0);
     Regs[Reg::pcB().denseIndex()] = Value::blue(Entry);
     Regs[Reg::pcG().denseIndex()] = Value::green(Entry);
+    for (unsigned I = 0; I != Reg::NumRegs; ++I)
+      Fp ^= fp::regCell(I, Regs[I]);
   }
 
   /// R(a): the full colored value in register \p A.
@@ -46,18 +49,32 @@ public:
   Color col(Reg A) const { return get(A).C; }
 
   /// R[a |-> v].
-  void set(Reg A, Value V) { Regs[A.denseIndex()] = V; }
+  void set(Reg A, Value V) {
+    unsigned I = A.denseIndex();
+    Fp ^= fp::regCell(I, Regs[I]) ^ fp::regCell(I, V);
+    Regs[I] = V;
+  }
 
   /// R++: increments both program counters by one (preserving colors).
   void incrementPCs() {
-    Regs[Reg::pcG().denseIndex()].N += 1;
-    Regs[Reg::pcB().denseIndex()].N += 1;
+    Value &G = Regs[Reg::pcG().denseIndex()];
+    Value &B = Regs[Reg::pcB().denseIndex()];
+    constexpr unsigned GI = NumGeneralRegs + 1, BI = NumGeneralRegs + 2;
+    Fp ^= fp::regCell(GI, G) ^ fp::regCell(BI, B);
+    G.N += 1;
+    B.N += 1;
+    Fp ^= fp::regCell(GI, G) ^ fp::regCell(BI, B);
   }
+
+  /// Zobrist fingerprint of the bank, maintained O(1) per write: the XOR
+  /// of one pseudorandom word per (slot, colored value) pair.
+  uint64_t fingerprint() const { return Fp; }
 
   bool operator==(const RegisterFile &O) const = default;
 
 private:
   std::array<Value, Reg::NumRegs> Regs;
+  uint64_t Fp = 0;
 };
 
 } // namespace talft

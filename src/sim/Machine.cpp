@@ -20,6 +20,8 @@ const char *talft::runStatusName(RunStatus St) {
     return "stuck";
   case RunStatus::OutOfSteps:
     return "out-of-steps";
+  case RunStatus::Converged:
+    return "converged";
   }
   talft_unreachable("unknown run status");
 }

@@ -49,7 +49,9 @@ public:
                            const StepPolicy &Policy) const override;
   RunStatus runContinuation(MachineState &S, Addr ExitAddr, uint64_t Budget,
                             const StepPolicy &Policy,
-                            const OutputSink &OnOutput) const override;
+                            const OutputSink &OnOutput,
+                            const ConvergenceProbe *Probe) const override;
+  using ExecEngine::runContinuation;
 
 private:
   DecodedProgram P;

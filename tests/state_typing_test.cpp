@@ -175,7 +175,7 @@ TEST(StateTypingTest, CorruptedQueueNeedsGreenZap) {
   ASSERT_FALSE(Run.checkTyped());
 
   MachineState Corrupt = Run.state();
-  Corrupt.Queue.entry(0).Val = 99;
+  Corrupt.Queue.setEntry(0, {Corrupt.Queue.entry(0).Address, 99});
   EXPECT_TRUE(checkStateTyped(L.TC, *L.CP, Corrupt, ZapTag::none(),
                               Run.closing()));
   EXPECT_FALSE(checkStateTyped(L.TC, *L.CP, Corrupt,
