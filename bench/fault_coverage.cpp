@@ -57,14 +57,24 @@
 //                 nightly workflow asserts exactly that — so this is
 //                 purely a baseline/escape hatch for timing the
 //                 unaccelerated sweep.
+//   --no-lanes    disable the batched structure-of-arrays lane engine
+//                 (vm/LaneEngine.h) and classify every injection on the
+//                 scalar path. Verdict tables are bit-identical either
+//                 way — the lane-determinism CI job asserts exactly
+//                 that — so this is purely a baseline/escape hatch for
+//                 timing the unbatched sweep.
+//   --lane-width N
+//                 lanes advanced in lockstep per group (default 16).
+//                 Any width yields the same verdict tables.
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v4: v3 plus the top-level
+//                 talft-fault-campaign-v5: v4 plus the top-level
+//                 "lanes"/"lane_width" knobs and the per-campaign
+//                 "lanes" stats object; v4 added the top-level
 //                 "converge" knob and the per-campaign "convergence"
-//                 stats object; v3 itself added per-program
-//                 "certification" from the analysis ladder and the
-//                 statically_masked verdict / pruned stats) to FILE
-//                 (written atomically), or stdout with the human table
-//                 on stderr.
+//                 stats object; v3 added per-program "certification"
+//                 from the analysis ladder and the statically_masked
+//                 verdict / pruned stats) to FILE (written atomically),
+//                 or stdout with the human table on stderr.
 //
 //===----------------------------------------------------------------------===//
 
@@ -169,6 +179,8 @@ struct Cli {
   bool Fig10 = false;
   bool Prune = false;
   bool Converge = true;
+  bool Lanes = true;
+  unsigned LaneWidth = 16;
 };
 
 void usage(const char *Argv0) {
@@ -176,7 +188,7 @@ void usage(const char *Argv0) {
                "usage: %s [--threads N] [--stride N] "
                "[--engine reference|vm] [--json [FILE]] [--recover] "
                "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
-               "[--prune] [--no-converge]\n",
+               "[--prune] [--no-converge] [--no-lanes] [--lane-width N]\n",
                Argv0);
 }
 
@@ -206,6 +218,13 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
       C.Prune = true;
     } else if (std::strcmp(A, "--no-converge") == 0) {
       C.Converge = false;
+    } else if (std::strcmp(A, "--no-lanes") == 0) {
+      C.Lanes = false;
+    } else if (std::strcmp(A, "--lane-width") == 0) {
+      uint64_t N;
+      if (!NumArg(N) || N == 0)
+        return false;
+      C.LaneWidth = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
       if (I + 1 >= Argc)
         return false;
@@ -283,6 +302,8 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   Opts.Threads = C.Threads;
   Opts.Prune = C.Prune;
   Opts.Converge = C.Converge;
+  Opts.Lanes = C.Lanes;
+  Opts.LaneWidth = C.LaneWidth;
   // The VM engine is bound to one CodeMemory, so it is built per program.
   std::unique_ptr<ExecEngine> Vm;
   if (C.UseVm) {
@@ -387,6 +408,8 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     Opts.Engine = C.UseVm ? Vm.get() : nullptr;
     Opts.Prune = C.Prune;
     Opts.Converge = C.Converge;
+    Opts.Lanes = C.Lanes;
+    Opts.LaneWidth = C.LaneWidth;
     CampaignResult R = runSingleFaultCampaign(CP->Prog, Config, Opts);
     // Raw-semantics sweeps report the certification rung the analysis
     // ladder assigns (Typed / AnalysisCertified / Inconsistent) instead
@@ -402,7 +425,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v4\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v5\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
@@ -411,6 +434,8 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
   S += "  \"retry_budget\": " + std::to_string(C.RetryBudget) + ",\n";
   S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
   S += "  \"converge\": " + std::string(C.Converge ? "true" : "false") + ",\n";
+  S += "  \"lanes\": " + std::string(C.Lanes ? "true" : "false") + ",\n";
+  S += "  \"lane_width\": " + std::to_string(C.LaneWidth) + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {

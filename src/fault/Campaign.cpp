@@ -9,6 +9,8 @@
 #include "analysis/ZapCoverage.h"
 #include "support/StringUtils.h"
 #include "support/Unreachable.h"
+#include "vm/LaneEngine.h"
+#include "vm/LaneState.h"
 
 #include <algorithm>
 #include <atomic>
@@ -483,17 +485,32 @@ struct ConvergenceRecorder {
 ///     IS the faulty state there, by the invariant), and nullopt tells
 ///     the caller to classify concretely from that point with \p S,
 ///     \p AtSteps and \p TraceLen repositioned and the fault already in
-///     place.
+///     place. With \p DB (the batched lane path) the bail instead leaves
+///     \p S, \p AtSteps and \p TraceLen untouched and reports the resume
+///     step and the taint map through \p DB: the bail step depends only
+///     on the taint *set*, not the corrupted payloads, so every value
+///     zapped into the same site bails at the same event — the caller
+///     pools those continuations, reconstructs their shared base state
+///     once and patches each lane's taint in.
 ///
 /// Event processing costs an order of magnitude more than one raw
 /// interpreter step, so a run whose taint is touched at nearly every
 /// instruction caps its event count and bails instead of losing the race.
+struct DeferredBail {
+  /// Absolute reference step to resume from (post-fetch: the event
+  /// instruction is in flight there and re-executes for real).
+  uint64_t Resume = 0;
+  /// The register payloads that differ from the reference at Resume.
+  TaintMap Taint;
+};
+
 std::optional<Verdict>
 differentialReplay(const ExecEngine &E, const StepPolicy &Policy,
                    const ConvergenceContext &Conv, const FaultSite &Site,
                    int64_t Value, const MachineState &RefFinal,
                    uint64_t RefSteps, ZapTag Z, MachineState &S,
-                   uint64_t &AtSteps, size_t &TraceLen, ConvergenceHit *Hit) {
+                   uint64_t &AtSteps, size_t &TraceLen, ConvergenceHit *Hit,
+                   DeferredBail *DB = nullptr) {
   const AccessLog &AL = *Conv.Accesses;
   const std::vector<ExecRec> &Execs = *Conv.Execs;
   const uint64_t InjectedAt = AtSteps;
@@ -511,10 +528,17 @@ differentialReplay(const ExecEngine &E, const StepPolicy &Policy,
     if (K == AccessLog::None) {
       if (Hit)
         Hit->Skipped = RefSteps - InjectedAt;
-      MachineState Final = RefFinal;
-      patchTaint(Final, T);
-      return similarStates(Z, Final, RefFinal) ? Verdict::Masked
-                                               : Verdict::DissimilarState;
+      // The faulty final state is RefFinal with the taint payloads patched
+      // in — identical everywhere else — so the similarity check reduces
+      // to the tainted registers; no state copy needed.
+      if (RefFinal.isFault())
+        return Verdict::Masked;
+      for (const auto &P : T.V) {
+        talft::Value RefV = RefFinal.Regs.get(Reg::fromDenseIndex(P.first));
+        if (!similarValues(Z, talft::Value(RefV.C, P.second), RefV))
+          return Verdict::DissimilarState;
+      }
+      return Verdict::Masked;
     }
     assert((K & 1) == 0 && K / 2 <= Execs.size() &&
            "event is not a recorded execute transition");
@@ -589,6 +613,11 @@ differentialReplay(const ExecEngine &E, const StepPolicy &Policy,
   // Bail: resume concretely just before the event (post-fetch, so the
   // event instruction re-executes for real). A short discharged prefix is
   // cheaper to re-simulate than to reconstruct from a snapshot.
+  if (DB) {
+    DB->Resume = Bail - 1;
+    DB->Taint = std::move(T);
+    return std::nullopt;
+  }
   uint64_t Resume = Bail - 1;
   if (Resume > InjectedAt + 64) {
     const UntypedSnapshot &Base = (*Conv.Snaps)[Resume / Conv.Stride];
@@ -606,6 +635,32 @@ differentialReplay(const ExecEngine &E, const StepPolicy &Policy,
     injectFault(S, Site, Value);
   }
   return std::nullopt;
+}
+
+/// Maps a finished continuation's RunStatus to its verdict — the single
+/// source of truth shared by the scalar classifier and the batched lane
+/// path, so the two can never drift. Only the Halted case consults the
+/// final state; Converged was already proven Masked by the probe's Verify.
+Verdict verdictForStatus(RunStatus St, const PrefixTracker &Prefix,
+                         const OutputTrace &RefTrace, ZapTag Z,
+                         const MachineState &S, const MachineState &RefFinal) {
+  switch (St) {
+  case RunStatus::OutOfSteps:
+    return Verdict::BudgetExhausted;
+  case RunStatus::Stuck:
+    return Verdict::Stuck;
+  case RunStatus::FaultDetected:
+    return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
+  case RunStatus::Converged:
+    return Verdict::Masked;
+  case RunStatus::Halted:
+    break;
+  }
+  if (Prefix.Diverged || Prefix.MatchPos != RefTrace.size())
+    return Verdict::SilentCorruption;
+  if (!similarStates(Z, S, RefFinal))
+    return Verdict::DissimilarState;
+  return Verdict::Masked;
 }
 
 /// Classifies one faulty continuation on the raw semantics via \p E. \p S
@@ -694,32 +749,15 @@ Verdict classifyContinuation(const ExecEngine &E, Addr ExitAddr,
       S, ExitAddr, Budget, Policy,
       [&Prefix](const QueueEntry &Out) { Prefix.track(Out); }, ProbePtr);
 
-  switch (St) {
-  case RunStatus::OutOfSteps:
-    return Verdict::BudgetExhausted;
-  case RunStatus::Stuck:
-    return Verdict::Stuck;
-  case RunStatus::FaultDetected:
-    return Prefix.Diverged ? Verdict::DetectedBadPrefix : Verdict::Detected;
-  case RunStatus::Converged:
-    if (Hit) {
-      Hit->Hit = true;
-      // The window is measured from the injection, not the skip's resume
-      // point: the skipped prefix is part of the divergence window even
-      // though it was never simulated.
-      Hit->Window = ConvIdx - InjectedAt;
-      Hit->Saved = RefSteps - ConvIdx;
-    }
-    return Verdict::Masked;
-  case RunStatus::Halted:
-    break;
+  if (St == RunStatus::Converged && Hit) {
+    Hit->Hit = true;
+    // The window is measured from the injection, not the skip's resume
+    // point: the skipped prefix is part of the divergence window even
+    // though it was never simulated.
+    Hit->Window = ConvIdx - InjectedAt;
+    Hit->Saved = RefSteps - ConvIdx;
   }
-
-  if (Prefix.Diverged || Prefix.MatchPos != RefTrace.size())
-    return Verdict::SilentCorruption;
-  if (!similarStates(Z, S, RefFinal))
-    return Verdict::DissimilarState;
-  return Verdict::Masked;
+  return verdictForStatus(St, Prefix, RefTrace, Z, S, RefFinal);
 }
 
 /// Outcome of one injection under recovery: a verdict, the violation text
@@ -1024,8 +1062,425 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
             describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
     }
   };
-  dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
-                Opts.Progress);
+  // Batched lane execution. Each worker owns whole blocks of the
+  // snapshot-major task list: it discharges the scalar-only residue task
+  // by task — pc sites (they deviate at the very next fetch), memory and
+  // queue sites (the paired-store cross-check catches them within a
+  // couple of transitions), and register sites the differential replay
+  // settles outright — and pools what remains into lockstep lane groups
+  // of LaneWidth. With the differential replay armed, the pooled
+  // register continuations are grouped by their *bail step*: every value
+  // zapped into one site bails at the same event, so the group shares
+  // one reconstructed base state (snapshot + replay, amortized across
+  // the lanes) with each lane's taint patched in — the lanes execute
+  // only the post-bail tail the scalar classifier would also execute,
+  // at group-amortized dispatch cost. Without it (no access log, or
+  // --no-converge), register continuations group by snapshot and run
+  // from the injection point. Per-task result slots keep the merge
+  // deterministic regardless of how tasks were batched.
+  bool UseLanes = !Recover && Opts.Lanes && !Tasks.empty();
+  R.Stats.Lanes = UseLanes;
+  if (UseLanes) {
+    uint64_t Width = std::max(1u, Opts.LaneWidth);
+    R.Stats.LaneWidth = (unsigned)Width;
+    vm::LaneEngine LE(Prog.code());
+    bool DiffReplay =
+        Converge && Conv.Accesses && Conv.Execs && !Conv.Execs->empty();
+
+    struct LaneBlock {
+      uint64_t Begin, End;
+    };
+    uint64_t BlockCap = std::max<uint64_t>(32 * Width, 256);
+    std::vector<LaneBlock> Blocks;
+    for (uint64_t I = 0; I != Tasks.size();) {
+      uint64_t J = I + 1;
+      while (J != Tasks.size() && Tasks[J].SnapIdx == Tasks[I].SnapIdx &&
+             J - I < BlockCap)
+        ++J;
+      Blocks.push_back({I, J});
+      I = J;
+    }
+
+    struct LaneBlockStats {
+      uint64_t Groups = 0, LaneTasks = 0, Deviations = 0, Steps = 0;
+    };
+    std::vector<LaneBlockStats> BlockStats(Blocks.size());
+
+    // Task-granularity progress across block-granularity dispatch.
+    std::atomic<uint64_t> TasksDone{0};
+    std::mutex ProgressMu;
+    auto ReportProgress = [&](uint64_t N) {
+      if (!Opts.Progress || !Opts.ProgressInterval)
+        return;
+      uint64_t Prev = TasksDone.fetch_add(N, std::memory_order_acq_rel);
+      uint64_t Done = Prev + N;
+      if (Done == Tasks.size() ||
+          Done / Opts.ProgressInterval != Prev / Opts.ProgressInterval) {
+        std::lock_guard<std::mutex> Lock(ProgressMu);
+        Opts.Progress({Done, Tasks.size()});
+      }
+    };
+
+    // Reusable per-block scratch: the SoA lane bank and the per-lane
+    // bookkeeping arrays. A block runs dozens of small groups; reusing one
+    // full-width allocation across them removes the dominant fixed cost of
+    // short-lived groups (most post-bail lanes detect within a few steps).
+    struct LaneScratch {
+      vm::LaneState Bank;
+      std::vector<MachineState> States;
+      std::vector<ZapTag> Zs;
+      std::vector<PrefixTracker> Prefixes;
+      std::vector<uint64_t> ConvIdx;
+      std::vector<LaneOutcome> Outs;
+      explicit LaneScratch(unsigned W)
+          : Bank(W), States(W), Zs(W, ZapTag::color(Color::Green)),
+            ConvIdx(W, 0), Outs(W) {
+        Prefixes.reserve(W);
+      }
+      /// Rebinds slot \p L to a fresh copy of \p Base minus the value
+      /// memory, which stays shared across the group: the fault model
+      /// never corrupts memory (it sits in the protected sphere), so
+      /// register and queue injections alike leave it untouched.
+      /// Container capacity survives the assignments.
+      MachineState &rebind(unsigned L, const MachineState &Base) {
+        MachineState &S = States[L];
+        S.Faulted = false;
+        S.Code = Base.Code;
+        S.Regs = Base.Regs;
+        S.Mem = ValueMemory();
+        S.Queue = Base.Queue;
+        S.IR = Base.IR;
+        return S;
+      }
+    };
+
+    // One lane group: resume + inject W same-snapshot tasks, run them in
+    // lockstep, map each lane's outcome through the shared verdict logic.
+    auto RunLaneGroup = [&](LaneScratch &SC, const uint64_t *Idx, unsigned W,
+                            LaneBlockStats &BS) {
+      const UntypedSnapshot &Snap = Snaps[Tasks[Idx[0]].SnapIdx];
+      // One base reconstruction serves the whole group: in Replay mode the
+      // snapshot prefix is re-simulated once and every lane copies the
+      // result (the scalar path replays it per task).
+      MachineState ReplayBase;
+      size_t TraceLen = Snap.TraceLen;
+      const MachineState *BasePtr = &Snap.S;
+      if (Opts.Resume != ResumeMode::Snapshot) {
+        ReplayBase = *Initial;
+        OutputTrace Prefix;
+        E.replaySteps(ReplayBase, Snap.Steps, Prefix, Config.Policy);
+        TraceLen = Prefix.size();
+        BasePtr = &ReplayBase;
+      }
+      const MachineState &Base = *BasePtr;
+      std::vector<PrefixTracker> &Prefixes = SC.Prefixes;
+      std::vector<uint64_t> &ConvIdx = SC.ConvIdx;
+      Prefixes.clear();
+      for (unsigned L = 0; L != W; ++L) {
+        const InjectionTask &T = Tasks[Idx[L]];
+        MachineState &S = SC.rebind(L, Base);
+        SC.Zs[L] = ZapTag::color(faultColor(Base, T.Site));
+        injectFault(S, T.Site, T.Value);
+        Prefixes.push_back(PrefixTracker{RefTrace, TraceLen});
+      }
+
+      LaneGroupSpec GSpec;
+      GSpec.ExitAddr = ExitAddr;
+      GSpec.Budget = RefSteps - Snap.Steps + Config.ExtraSteps;
+      GSpec.Policy = Config.Policy;
+      GSpec.SharedMem = &Base.Mem;
+      GSpec.OnOutput = [&Prefixes](unsigned L, const QueueEntry &Out) {
+        Prefixes[L].track(Out);
+      };
+
+      // Lanes probe the same boundary indices in lockstep, so the
+      // reference reconstruction is cached across the group — one
+      // snapshot replay serves up to W fingerprint matches.
+      struct RefCache {
+        uint64_t Idx = ~uint64_t{0};
+        MachineState Ref;
+        size_t TraceLen = 0;
+      } Cache;
+      LaneProbe Probe;
+      if (Converge) {
+        Probe.Timeline = Timeline.data();
+        Probe.Size = Timeline.size();
+        Probe.StartStep = Snap.Steps;
+        Probe.Mask = ProbeMask;
+        Probe.Verify = [&](unsigned L, const MachineState &FS, uint64_t Idx) {
+          if (Prefixes[L].Diverged)
+            return false;
+          if (Cache.Idx != Idx) {
+            const UntypedSnapshot &Base = ConvSnaps[Idx / Conv.Stride];
+            assert(Base.Steps <= Idx && "snapshot stride invariant violated");
+            MachineState Ref = Base.S;
+            OutputTrace Replayed;
+            E.replaySteps(Ref, Idx - Base.Steps, Replayed, Config.Policy);
+            Cache = {Idx, std::move(Ref), Base.TraceLen + Replayed.size()};
+          }
+          if (Prefixes[L].MatchPos != Cache.TraceLen)
+            return false;
+          if (!(FS == Cache.Ref))
+            return false; // fingerprint collision — the guard held
+          ConvIdx[L] = Idx;
+          return true;
+        };
+        GSpec.Probe = &Probe;
+      }
+
+      LaneOutcome *Outs = SC.Outs.data();
+      LE.run(SC.States.data(), W, GSpec, Outs, SC.Bank);
+
+      ++BS.Groups;
+      for (unsigned L = 0; L != W; ++L) {
+        uint64_t I = Idx[L];
+        const InjectionTask &T = Tasks[I];
+        if (Outs[L].Status == RunStatus::Converged && Converge) {
+          Hits[I].Hit = true;
+          Hits[I].Window = ConvIdx[L] - Snap.Steps;
+          Hits[I].Saved = RefSteps - ConvIdx[L];
+        }
+        Verdict V = verdictForStatus(Outs[L].Status, Prefixes[L], RefTrace,
+                                     SC.Zs[L], SC.States[L], RefFinal);
+        Verdicts[I] = (uint8_t)V;
+        if (!isBenign(V))
+          Details[I] =
+              describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
+        ++BS.LaneTasks;
+        if (Outs[L].Deviated)
+          ++BS.Deviations;
+        BS.Steps += Outs[L].GroupSteps;
+      }
+    };
+
+    // A register continuation the differential replay could not settle,
+    // waiting to be pooled with its bail-step neighbors.
+    struct BailEntry {
+      uint64_t Resume;
+      uint64_t Task;
+      ZapTag Z;
+      TaintMap Taint;
+    };
+
+    // One post-bail lane group: every entry bails at the same reference
+    // step \p Resume, where the caller's rolled reconstruction \p Ref
+    // already sits; each lane is that state with its own taint payloads
+    // patched in (exactly the repositioned state the scalar bail path
+    // builds). The lanes then run only the post-bail tail, probing for
+    // re-convergence on the way, and map through the shared verdict
+    // logic.
+    auto RunLaneGroupAtResume = [&](LaneScratch &SC, const BailEntry *Ent,
+                                    unsigned W, LaneBlockStats &BS,
+                                    const MachineState &Ref,
+                                    size_t TraceLenAt) {
+      uint64_t Resume = Ent[0].Resume;
+      std::vector<PrefixTracker> &Prefixes = SC.Prefixes;
+      std::vector<uint64_t> &ConvIdx = SC.ConvIdx;
+      Prefixes.clear();
+      for (unsigned L = 0; L != W; ++L) {
+        const InjectionTask &T = Tasks[Ent[L].Task];
+        const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
+        SC.Zs[L] = Ent[L].Z;
+        // Registers, queue and in-flight instruction are per-lane copies
+        // of the base; the value memory stays shared (SharedMem below) —
+        // taints only touch register payloads.
+        MachineState &S = SC.rebind(L, Ref);
+        patchTaint(S, Ent[L].Taint);
+        Prefixes.push_back(PrefixTracker{RefTrace, TraceLenAt});
+        // Mirror the scalar bail's skip accounting, including its "short
+        // prefixes are re-simulated, not skipped" threshold, so the
+        // lockstep-skip statistics fold onto the scalar sweep's.
+        if (Resume > Snap.Steps + 64)
+          Hits[Ent[L].Task].Skipped = Resume - Snap.Steps;
+      }
+
+      LaneGroupSpec GSpec;
+      GSpec.ExitAddr = ExitAddr;
+      GSpec.Budget = RefSteps - Resume + Config.ExtraSteps;
+      GSpec.Policy = Config.Policy;
+      GSpec.SharedMem = &Ref.Mem;
+      GSpec.OnOutput = [&Prefixes](unsigned L, const QueueEntry &Out) {
+        Prefixes[L].track(Out);
+      };
+
+      struct RefCache {
+        uint64_t Idx = ~uint64_t{0};
+        MachineState Ref;
+        size_t TraceLen = 0;
+      } Cache;
+      LaneProbe Probe;
+      Probe.Timeline = Timeline.data();
+      Probe.Size = Timeline.size();
+      Probe.StartStep = Resume;
+      Probe.Mask = ProbeMask;
+      Probe.Verify = [&](unsigned L, const MachineState &FS, uint64_t Idx) {
+        if (Prefixes[L].Diverged)
+          return false;
+        if (Cache.Idx != Idx) {
+          // Reconstruct from whichever reference state sits closest below
+          // Idx: the previous cache entry (probe indices only grow, so it
+          // rolls forward in place), the group base at Resume, or the
+          // stride snapshot.
+          const UntypedSnapshot &B = ConvSnaps[Idx / Conv.Stride];
+          assert(B.Steps <= Idx && "snapshot stride invariant violated");
+          OutputTrace Rep;
+          if (Cache.Idx != ~uint64_t{0} && Cache.Idx <= Idx &&
+              Cache.Idx >= B.Steps && Cache.Idx >= Resume) {
+            E.replaySteps(Cache.Ref, Idx - Cache.Idx, Rep, Config.Policy);
+            Cache.TraceLen += Rep.size();
+            Cache.Idx = Idx;
+          } else if (Resume >= B.Steps) {
+            MachineState R2 = Ref;
+            E.replaySteps(R2, Idx - Resume, Rep, Config.Policy);
+            Cache = {Idx, std::move(R2), TraceLenAt + Rep.size()};
+          } else {
+            MachineState R2 = B.S;
+            E.replaySteps(R2, Idx - B.Steps, Rep, Config.Policy);
+            Cache = {Idx, std::move(R2), B.TraceLen + Rep.size()};
+          }
+        }
+        if (Prefixes[L].MatchPos != Cache.TraceLen)
+          return false;
+        if (!(FS == Cache.Ref))
+          return false; // fingerprint collision — the guard held
+        ConvIdx[L] = Idx;
+        return true;
+      };
+      GSpec.Probe = &Probe;
+
+      LaneOutcome *Outs = SC.Outs.data();
+      LE.run(SC.States.data(), W, GSpec, Outs, SC.Bank);
+
+      ++BS.Groups;
+      for (unsigned L = 0; L != W; ++L) {
+        uint64_t I = Ent[L].Task;
+        const InjectionTask &T = Tasks[I];
+        const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
+        if (Outs[L].Status == RunStatus::Converged) {
+          Hits[I].Hit = true;
+          Hits[I].Window = ConvIdx[L] - Snap.Steps;
+          Hits[I].Saved = RefSteps - ConvIdx[L];
+        }
+        Verdict V = verdictForStatus(Outs[L].Status, Prefixes[L], RefTrace,
+                                     SC.Zs[L], SC.States[L], RefFinal);
+        Verdicts[I] = (uint8_t)V;
+        if (!isBenign(V))
+          Details[I] =
+              describeInjection(T.Site, T.Value, Snap.Steps, abnormalMessage(V));
+        ++BS.LaneTasks;
+        if (Outs[L].Deviated)
+          ++BS.Deviations;
+        BS.Steps += Outs[L].GroupSteps;
+      }
+    };
+
+    auto RunBlock = [&](uint64_t B) {
+      const LaneBlock &Blk = Blocks[B];
+      LaneBlockStats &BS = BlockStats[B];
+      LaneScratch SC((unsigned)Width);
+      std::vector<uint64_t> Pending;
+      std::vector<BailEntry> Bails;
+      for (uint64_t I = Blk.Begin; I != Blk.End; ++I) {
+        const InjectionTask &T = Tasks[I];
+        // pc sites deviate at the very next fetch (lanes cannot share a
+        // pc pair with them), so they stay on the scalar classifier.
+        if (T.Site.K == FaultSite::Kind::Register && T.Site.R.isPC()) {
+          RunOne(I);
+          continue;
+        }
+        // Queue corruptions ride the reference control flow until the
+        // paired-store cross-check reaches the damaged entry, so they
+        // pool from the snapshot like unreplayed register faults.
+        if (T.Site.K != FaultSite::Kind::Register) {
+          Pending.push_back(I);
+          continue;
+        }
+        if (DiffReplay) {
+          // Same fast path as the scalar classifier, in defer mode: the
+          // differential replay either settles the verdict outright or
+          // reports where the continuation must resume concretely.
+          const UntypedSnapshot &Snap = Snaps[T.SnapIdx];
+          ZapTag Z = ZapTag::color(faultColor(Snap.S, T.Site));
+          uint64_t AtSteps = Snap.Steps;
+          size_t TraceLen = Snap.TraceLen;
+          MachineState Untouched; // defer mode never writes it
+          DeferredBail DB;
+          if (std::optional<Verdict> V = differentialReplay(
+                  E, Config.Policy, Conv, T.Site, T.Value, RefFinal, RefSteps,
+                  Z, Untouched, AtSteps, TraceLen, &Hits[I], &DB)) {
+            Verdicts[I] = (uint8_t)*V;
+            if (!isBenign(*V))
+              Details[I] = describeInjection(T.Site, T.Value, Snap.Steps,
+                                             abnormalMessage(*V));
+          } else {
+            Bails.push_back({DB.Resume, I, Z, std::move(DB.Taint)});
+          }
+          continue;
+        }
+        Pending.push_back(I);
+      }
+      // Queue-site groups and — without the differential replay —
+      // register-site groups share a snapshot (blocks never cross one)
+      // and run from the injection.
+      for (size_t P = 0; P < Pending.size(); P += Width)
+        RunLaneGroup(SC, &Pending[P],
+                     (unsigned)std::min<size_t>(Width, Pending.size() - P), BS);
+      // With it, pool by bail step: the stable sort keeps task order
+      // within a pool, so grouping stays deterministic.
+      std::stable_sort(Bails.begin(), Bails.end(),
+                       [](const BailEntry &A, const BailEntry &B) {
+                         return A.Resume < B.Resume;
+                       });
+      // The pools resume at increasing reference steps, so one rolled
+      // reconstruction serves them all: each pool replays the reference
+      // forward from the previous pool's bail step (or from the closest
+      // snapshot, whichever is nearer) instead of re-deriving its base
+      // from a snapshot — the whole block's reconstruction cost becomes
+      // one pass over the bail-step span.
+      MachineState Roll;
+      uint64_t RollAt = 0;
+      size_t RollLen = 0;
+      bool HaveRoll = false;
+      for (size_t P = 0; P != Bails.size();) {
+        size_t Q = P + 1;
+        while (Q != Bails.size() && Bails[Q].Resume == Bails[P].Resume &&
+               Q - P < Width)
+          ++Q;
+        uint64_t Resume = Bails[P].Resume;
+        const UntypedSnapshot &CB = ConvSnaps[Resume / Conv.Stride];
+        const UntypedSnapshot &IS = Snaps[Tasks[Bails[P].Task].SnapIdx];
+        const UntypedSnapshot &SB = IS.Steps > CB.Steps ? IS : CB;
+        assert(SB.Steps <= Resume && "snapshot stride invariant violated");
+        OutputTrace Rep;
+        if (HaveRoll && RollAt <= Resume && RollAt >= SB.Steps) {
+          E.replaySteps(Roll, Resume - RollAt, Rep, Config.Policy);
+          RollLen += Rep.size();
+        } else {
+          Roll = SB.S;
+          E.replaySteps(Roll, Resume - SB.Steps, Rep, Config.Policy);
+          RollLen = SB.TraceLen + Rep.size();
+          HaveRoll = true;
+        }
+        RollAt = Resume;
+        RunLaneGroupAtResume(SC, &Bails[P], (unsigned)(Q - P), BS, Roll,
+                             RollLen);
+        P = Q;
+      }
+      ReportProgress(Blk.End - Blk.Begin);
+    };
+
+    dispatchTasks(Threads, Blocks.size(), RunBlock, 0, nullptr);
+
+    for (const LaneBlockStats &BS : BlockStats) {
+      R.Stats.LaneGroups += BS.Groups;
+      R.Stats.LaneTasks += BS.LaneTasks;
+      R.Stats.LaneDeviations += BS.Deviations;
+      R.Stats.LaneLockstepSteps += BS.Steps;
+    }
+  } else {
+    dispatchTasks(Threads, Tasks.size(), RunOne, Opts.ProgressInterval,
+                  Opts.Progress);
+  }
 
   // Deterministic merge: counters sum (order-independent), violations keep
   // enumeration order, the window maximum commutes.
@@ -1558,6 +2013,14 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    (unsigned long long)R.Stats.StepsSaved,
                    (unsigned long long)R.Stats.LockstepSkips,
                    (unsigned long long)R.Stats.LockstepSteps);
+  S += P + formatv("  \"lanes\": {\"enabled\": %s, \"width\": %u, "
+                   "\"groups\": %llu, \"lane_tasks\": %llu, "
+                   "\"deviations\": %llu, \"lockstep_steps\": %llu},\n",
+                   R.Stats.Lanes ? "true" : "false", R.Stats.LaneWidth,
+                   (unsigned long long)R.Stats.LaneGroups,
+                   (unsigned long long)R.Stats.LaneTasks,
+                   (unsigned long long)R.Stats.LaneDeviations,
+                   (unsigned long long)R.Stats.LaneLockstepSteps);
   S += P + "  \"violations\": [";
   for (size_t I = 0; I != R.Violations.size(); ++I) {
     S += I ? ", " : "";

@@ -166,6 +166,22 @@ struct CampaignOptions {
   /// replays re-diverge from the reference) and typed campaigns (they
   /// must type every intermediate state).
   bool Converge = true;
+  /// Batched lane execution: tasks that resume from the same reference
+  /// step are grouped and advanced in lockstep through one decoded
+  /// micro-op stream (vm/LaneEngine.h), amortizing fetch, boundary checks
+  /// and fingerprint maintenance across the group. Register sites on the
+  /// program counters stay scalar (their continuations diverge at the
+  /// very next fetch); with Converge on, register-site tasks still go
+  /// through the differential replay first and only the bailed residue is
+  /// batched. Verdict tables and violation lists are bit-identical with
+  /// and without lanes, for every width, engine, thread count and resume
+  /// mode; only wall-clock time and the lane statistics change. Ignored
+  /// by recovery campaigns, typed campaigns and plan campaigns.
+  bool Lanes = true;
+  /// Lanes per group (1 = degenerate scalar batching, useful for
+  /// differential testing). Groups narrower than this form when a
+  /// reference step has fewer batched tasks left.
+  unsigned LaneWidth = 16;
 };
 
 struct CampaignStats {
@@ -200,6 +216,21 @@ struct CampaignStats {
   /// the skipped prefix of runs that bailed to concrete simulation).
   uint64_t LockstepSkips = 0;
   uint64_t LockstepSteps = 0;
+  /// True when batched lane execution was active for this campaign.
+  bool Lanes = false;
+  /// The configured group width (meaningful only with Lanes).
+  unsigned LaneWidth = 0;
+  /// Lane groups executed, continuations classified through the lane
+  /// path, lanes that deviated to the scalar fallback mid-group, and the
+  /// total lane-steps executed inside lockstep groups. All are
+  /// order-independent sums, as thread-deterministic as the table — but
+  /// unlike the verdict counters they legitimately differ between lane
+  /// and scalar runs of the same campaign (they describe the execution
+  /// strategy, not the outcome).
+  uint64_t LaneGroups = 0;
+  uint64_t LaneTasks = 0;
+  uint64_t LaneDeviations = 0;
+  uint64_t LaneLockstepSteps = 0;
 };
 
 /// The merged outcome of a campaign.
