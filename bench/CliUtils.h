@@ -12,16 +12,19 @@
 //     every harness instead of silently becoming 0;
 //   - report files are written atomically — temp file in the same
 //     directory, then rename — so a crashed or OOM-killed run can never
-//     leave a truncated report for a workflow to upload.
+//     leave a truncated report for a workflow to upload. The actual
+//     write lives in support/AtomicFile.h so non-bench code (the
+//     certification server's memo store) links the same logic.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef TALFT_BENCH_CLIUTILS_H
 #define TALFT_BENCH_CLIUTILS_H
 
+#include "support/AtomicFile.h"
+
 #include <cerrno>
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -72,25 +75,12 @@ inline bool parseU64List(const char *V, std::vector<uint64_t> &Out) {
   return true;
 }
 
-/// Writes \p Contents to \p Path atomically: temp file alongside the
-/// target, fflush, then rename. Returns false (with the partial temp file
-/// removed) on any failure, so the target is either the old version or
-/// the complete new one — never a truncated report.
+/// Writes \p Contents to \p Path atomically (support/AtomicFile.h): temp
+/// file alongside the target, fflush, then rename, so the target is either
+/// the old version or the complete new one — never a truncated report.
 inline bool writeFileAtomic(const std::string &Path,
                             const std::string &Contents) {
-  std::string Tmp = Path + ".tmp";
-  FILE *F = std::fopen(Tmp.c_str(), "w");
-  if (!F)
-    return false;
-  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), F) ==
-            Contents.size();
-  Ok = (std::fflush(F) == 0) && Ok;
-  Ok = (std::fclose(F) == 0) && Ok;
-  if (Ok)
-    Ok = std::rename(Tmp.c_str(), Path.c_str()) == 0;
-  if (!Ok)
-    std::remove(Tmp.c_str());
-  return Ok;
+  return support::writeFileAtomic(Path, Contents);
 }
 
 } // namespace talft::cli

@@ -66,15 +66,28 @@
 //   --lane-width N
 //                 lanes advanced in lockstep per group (default 16).
 //                 Any width yields the same verdict tables.
+//   --shards N    deterministically partition every campaign's task list
+//                 into N contiguous shards and run only one of them
+//                 (fault/Campaign.h applyShardSlice semantics: shard I
+//                 covers tasks [I*T/N, (I+1)*T/N); statically-pruned
+//                 tallies land in shard 0). Folding the N shard tables
+//                 with foldShardResult reproduces the unsharded table
+//                 bit-identically — the serve tests assert exactly that.
+//   --shard-index I
+//                 which shard to run (default 0; must be < N).
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v5: v4 plus the top-level
-//                 "lanes"/"lane_width" knobs and the per-campaign
-//                 "lanes" stats object; v4 added the top-level
-//                 "converge" knob and the per-campaign "convergence"
-//                 stats object; v3 added per-program "certification"
-//                 from the analysis ladder and the statically_masked
-//                 verdict / pruned stats) to FILE (written atomically),
-//                 or stdout with the human table on stderr.
+//                 talft-fault-campaign-v6: v5 plus the top-level
+//                 "shards"/"shard_index" knobs and, per campaign, the
+//                 whole-program "program_hash", the "shard" provenance
+//                 object and the lossless "window_sum" convergence
+//                 counter; v5 added the top-level "lanes"/"lane_width"
+//                 knobs and the per-campaign "lanes" stats object; v4
+//                 added the top-level "converge" knob and the
+//                 per-campaign "convergence" stats object; v3 added
+//                 per-program "certification" from the analysis ladder
+//                 and the statically_masked verdict / pruned stats) to
+//                 FILE (written atomically), or stdout with the human
+//                 table on stderr.
 //
 //===----------------------------------------------------------------------===//
 
@@ -181,6 +194,8 @@ struct Cli {
   bool Converge = true;
   bool Lanes = true;
   unsigned LaneWidth = 16;
+  unsigned Shards = 1;
+  unsigned ShardIndex = 0;
 };
 
 void usage(const char *Argv0) {
@@ -188,7 +203,8 @@ void usage(const char *Argv0) {
                "usage: %s [--threads N] [--stride N] "
                "[--engine reference|vm] [--json [FILE]] [--recover] "
                "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
-               "[--prune] [--no-converge] [--no-lanes] [--lane-width N]\n",
+               "[--prune] [--no-converge] [--no-lanes] [--lane-width N] "
+               "[--shards N] [--shard-index I]\n",
                Argv0);
 }
 
@@ -225,6 +241,16 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
       if (!NumArg(N) || N == 0)
         return false;
       C.LaneWidth = (unsigned)N;
+    } else if (std::strcmp(A, "--shards") == 0) {
+      uint64_t N;
+      if (!NumArg(N) || N == 0)
+        return false;
+      C.Shards = (unsigned)N;
+    } else if (std::strcmp(A, "--shard-index") == 0) {
+      uint64_t N;
+      if (!NumArg(N))
+        return false;
+      C.ShardIndex = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
       if (I + 1 >= Argc)
         return false;
@@ -304,6 +330,8 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   Opts.Converge = C.Converge;
   Opts.Lanes = C.Lanes;
   Opts.LaneWidth = C.LaneWidth;
+  Opts.ShardCount = C.Shards;
+  Opts.ShardIndex = C.ShardIndex;
   // The VM engine is bound to one CodeMemory, so it is built per program.
   std::unique_ptr<ExecEngine> Vm;
   if (C.UseVm) {
@@ -410,6 +438,8 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     Opts.Converge = C.Converge;
     Opts.Lanes = C.Lanes;
     Opts.LaneWidth = C.LaneWidth;
+    Opts.ShardCount = C.Shards;
+    Opts.ShardIndex = C.ShardIndex;
     CampaignResult R = runSingleFaultCampaign(CP->Prog, Config, Opts);
     // Raw-semantics sweeps report the certification rung the analysis
     // ladder assigns (Typed / AnalysisCertified / Inconsistent) instead
@@ -425,7 +455,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v5\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v6\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
@@ -436,6 +466,8 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
   S += "  \"converge\": " + std::string(C.Converge ? "true" : "false") + ",\n";
   S += "  \"lanes\": " + std::string(C.Lanes ? "true" : "false") + ",\n";
   S += "  \"lane_width\": " + std::to_string(C.LaneWidth) + ",\n";
+  S += "  \"shards\": " + std::to_string(C.Shards) + ",\n";
+  S += "  \"shard_index\": " + std::to_string(C.ShardIndex) + ",\n";
   S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
   S += "  \"programs\": [\n";
   for (size_t I = 0; I != Rows.size(); ++I) {

@@ -7,6 +7,7 @@
 #include "fault/Campaign.h"
 
 #include "analysis/ZapCoverage.h"
+#include "isa/ProgramHash.h"
 #include "support/StringUtils.h"
 #include "support/Unreachable.h"
 #include "vm/LaneEngine.h"
@@ -981,6 +982,44 @@ enumerateTasks(const Program &Prog, const TheoremConfig &Config,
   return Tasks;
 }
 
+/// Replaces \p Tasks with the contiguous slice the requested shard covers
+/// ([I*T/N, (I+1)*T/N) of the T enumerated tasks) and records the shard
+/// provenance in \p R. Enumeration is deterministic and tasks classify
+/// independently, so folding the N shard results in index order
+/// (foldShardResult) reproduces the unsharded campaign bit for bit.
+/// Returns false (with a campaign-level violation) on an out-of-range
+/// shard index.
+bool applyShardSlice(const CampaignOptions &Opts, const TheoremConfig &Config,
+                     std::vector<InjectionTask> &Tasks, CampaignResult &R) {
+  unsigned Count = std::max(1u, Opts.ShardCount);
+  R.Stats.ShardCount = Count;
+  R.Stats.ShardIndex = Opts.ShardIndex;
+  R.Stats.TotalTasks = Tasks.size();
+  if (Count == 1 && Opts.ShardIndex == 0)
+    return true;
+  if (Opts.ShardIndex >= Count) {
+    R.Ok = false;
+    if (R.Violations.size() < Config.MaxViolations)
+      R.Violations.push_back(formatv("shard index %u out of range for %u "
+                                     "shard(s)",
+                                     Opts.ShardIndex, Count));
+    Tasks.clear();
+    return false;
+  }
+  uint64_t T = Tasks.size();
+  uint64_t Lo = T * Opts.ShardIndex / Count;
+  uint64_t Hi = T * (uint64_t)(Opts.ShardIndex + 1) / Count;
+  R.Stats.ShardFirstTask = Lo;
+  // Statically pruned sites are tallied during enumeration, which every
+  // shard repeats; assign them to shard 0 alone so the N shard tables sum
+  // to the unsharded table exactly.
+  if (Opts.ShardIndex != 0)
+    R.Table[Verdict::StaticallyMasked] = 0;
+  Tasks.erase(Tasks.begin() + (ptrdiff_t)Hi, Tasks.end());
+  Tasks.erase(Tasks.begin(), Tasks.begin() + (ptrdiff_t)Lo);
+  return true;
+}
+
 /// Phase 3, untyped: classifies every task in parallel on the raw
 /// semantics — with or without the recovery layer — and merges verdicts,
 /// violations and recovery stats into \p R deterministically. A non-empty
@@ -1587,6 +1626,12 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
       },
       Oracle ? &*Oracle : nullptr, R.Table);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
+  if (Expected<MachineState> Init = CP.Prog->initialState())
+    R.ProgramHash =
+        programContentHash(CP.Prog->code(), CP.Prog->entryAddress(),
+                           CP.Prog->exitAddress(), *Init);
+  if (!applyShardSlice(Opts, Config, Tasks, R))
+    return R;
   R.Stats.Tasks = Tasks.size();
   R.Stats.Pruned = Oracle.has_value();
   R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
@@ -1667,6 +1712,8 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   }
   MachineState S = *S0;
   Addr ExitAddr = Prog.exitAddress();
+  R.ProgramHash =
+      programContentHash(Prog.code(), Prog.entryAddress(), ExitAddr, S);
   OutputTrace Trace;
   uint64_t Steps = 0;
   ConvergenceRecorder CR;
@@ -1706,6 +1753,8 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
                      },
                      Oracle ? &*Oracle : nullptr, R.Table);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
+  if (!applyShardSlice(Opts, Config, Tasks, R))
+    return R;
   R.Stats.Tasks = Tasks.size();
   R.Stats.Pruned = Oracle.has_value();
   R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
@@ -1852,6 +1901,9 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
     return R;
   }
   MachineState Final = *S0;
+  R.ProgramHash =
+      programContentHash(Spec.Prog->code(), Spec.Prog->entryAddress(),
+                         Spec.Prog->exitAddress(), *S0);
   // With convergence on, the reference run goes stepwise so the per-step
   // fingerprint timeline and periodic snapshots can be recorded; the loop
   // mirrors talft::run's stopping conditions exactly (budget before exit).
@@ -1899,6 +1951,7 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   R.ReferenceTrace = RefRun.Trace;
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
   R.Stats.Tasks = Spec.Plans.size();
+  R.Stats.TotalTasks = Spec.Plans.size();
 
   Clock::time_point InjectStart = Clock::now();
   unsigned Threads = Opts.Threads ? Opts.Threads
@@ -1946,6 +1999,55 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   return R;
 }
 
+void talft::foldShardResult(CampaignResult &Acc, const CampaignResult &Shard,
+                            size_t MaxViolations) {
+  Acc.Ok = Acc.Ok && Shard.Ok;
+  Acc.Table.merge(Shard.Table);
+  Acc.StatesTypechecked += Shard.StatesTypechecked;
+  // Each shard keeps a prefix of its slice's violations (the cap applies
+  // per shard), so appending in shard-index order up to the same cap
+  // reproduces the unsharded list exactly.
+  for (const std::string &V : Shard.Violations)
+    if (Acc.Violations.size() < MaxViolations)
+      Acc.Violations.push_back(V);
+  Acc.Recovery.merge(Shard.Recovery);
+  if (!Acc.ProgramHash)
+    Acc.ProgramHash = Shard.ProgramHash;
+  if (!Acc.ReferenceSteps) {
+    Acc.ReferenceSteps = Shard.ReferenceSteps;
+    Acc.ReferenceTrace = Shard.ReferenceTrace;
+  }
+
+  CampaignStats &A = Acc.Stats;
+  const CampaignStats &B = Shard.Stats;
+  A.WallSeconds += B.WallSeconds;
+  A.ReferenceSeconds += B.ReferenceSeconds;
+  A.Tasks += B.Tasks;
+  A.ThreadsUsed = std::max(A.ThreadsUsed, B.ThreadsUsed);
+  A.Pruned = A.Pruned || B.Pruned;
+  A.PrunedTasks += B.PrunedTasks;
+  A.Converge = A.Converge || B.Converge;
+  A.EarlyExits += B.EarlyExits;
+  A.WindowSum += B.WindowSum;
+  A.MaxWindow = std::max(A.MaxWindow, B.MaxWindow);
+  A.StepsSaved += B.StepsSaved;
+  A.LockstepSkips += B.LockstepSkips;
+  A.LockstepSteps += B.LockstepSteps;
+  A.Lanes = A.Lanes || B.Lanes;
+  A.LaneWidth = std::max(A.LaneWidth, B.LaneWidth);
+  A.LaneGroups += B.LaneGroups;
+  A.LaneTasks += B.LaneTasks;
+  A.LaneDeviations += B.LaneDeviations;
+  A.LaneLockstepSteps += B.LaneLockstepSteps;
+  A.ShardCount = std::max(A.ShardCount, B.ShardCount);
+  A.ShardIndex = std::min(A.ShardIndex, B.ShardIndex);
+  A.ShardFirstTask = std::min(A.ShardFirstTask, B.ShardFirstTask);
+  A.TotalTasks = std::max(A.TotalTasks, B.TotalTasks);
+  A.ShardsFolded = (A.ShardsFolded ? A.ShardsFolded : 1) +
+                   (B.ShardsFolded ? B.ShardsFolded : 1);
+  A.TriplesPerSecond = A.WallSeconds > 0 ? (double)A.Tasks / A.WallSeconds : 0;
+}
+
 namespace {
 
 void appendJsonEscaped(std::string &Out, const std::string &In) {
@@ -1983,6 +2085,8 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
   S += P + formatv("  \"ok\": %s,\n", R.Ok ? "true" : "false");
   S += P + formatv("  \"reference_steps\": %llu,\n",
                    (unsigned long long)R.ReferenceSteps);
+  S += P + formatv("  \"program_hash\": \"%s\",\n",
+                   programHashString(R.ProgramHash).c_str());
   S += P + formatv("  \"injections\": %llu,\n",
                    (unsigned long long)R.Table.total());
   S += P + "  \"verdicts\": {";
@@ -2001,7 +2105,8 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    (unsigned long long)R.Recovery.Checkpoints,
                    (unsigned long long)R.Recovery.ReplayedOutputs);
   S += P + formatv("  \"convergence\": {\"enabled\": %s, \"early_exits\": %llu, "
-                   "\"mean_window\": %.2f, \"max_window\": %llu, "
+                   "\"mean_window\": %.2f, \"window_sum\": %llu, "
+                   "\"max_window\": %llu, "
                    "\"steps_saved\": %llu, \"lockstep_skips\": %llu, "
                    "\"lockstep_steps\": %llu},\n",
                    R.Stats.Converge ? "true" : "false",
@@ -2009,6 +2114,7 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    R.Stats.EarlyExits
                        ? (double)R.Stats.WindowSum / (double)R.Stats.EarlyExits
                        : 0.0,
+                   (unsigned long long)R.Stats.WindowSum,
                    (unsigned long long)R.Stats.MaxWindow,
                    (unsigned long long)R.Stats.StepsSaved,
                    (unsigned long long)R.Stats.LockstepSkips,
@@ -2021,6 +2127,14 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    (unsigned long long)R.Stats.LaneTasks,
                    (unsigned long long)R.Stats.LaneDeviations,
                    (unsigned long long)R.Stats.LaneLockstepSteps);
+  S += P + formatv("  \"shard\": {\"count\": %u, \"index\": %u, "
+                   "\"first_task\": %llu, \"tasks\": %llu, "
+                   "\"total_tasks\": %llu, \"folded\": %u},\n",
+                   R.Stats.ShardCount, R.Stats.ShardIndex,
+                   (unsigned long long)R.Stats.ShardFirstTask,
+                   (unsigned long long)R.Stats.Tasks,
+                   (unsigned long long)R.Stats.TotalTasks,
+                   R.Stats.ShardsFolded);
   S += P + "  \"violations\": [";
   for (size_t I = 0; I != R.Violations.size(); ++I) {
     S += I ? ", " : "";

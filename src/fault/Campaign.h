@@ -182,6 +182,19 @@ struct CampaignOptions {
   /// differential testing). Groups narrower than this form when a
   /// reference step has fewer batched tasks left.
   unsigned LaneWidth = 16;
+  /// Deterministic shard partition of the task list: the enumerated tasks
+  /// are split into ShardCount contiguous ranges (shard I covers
+  /// [I*T/N, (I+1)*T/N) of the T enumerated tasks) and only shard
+  /// ShardIndex is classified. Because enumeration order is deterministic
+  /// and per-task verdicts are independent, folding the N shard results in
+  /// index order (foldShardResult) reproduces the unsharded campaign bit
+  /// for bit — table, violation list and Ok flag. Statically pruned sites
+  /// are tallied by shard 0 alone so the shard tables sum exactly.
+  /// ShardCount 0 or 1 means no sharding; ShardIndex >= ShardCount is a
+  /// campaign-level violation. Ignored by plan campaigns (their work list
+  /// is the caller's plan vector — slice it directly instead).
+  unsigned ShardCount = 1;
+  unsigned ShardIndex = 0;
 };
 
 struct CampaignStats {
@@ -231,6 +244,20 @@ struct CampaignStats {
   uint64_t LaneTasks = 0;
   uint64_t LaneDeviations = 0;
   uint64_t LaneLockstepSteps = 0;
+  /// Shard provenance: which contiguous slice of the enumerated task list
+  /// this result covers. ShardCount 1 / TotalTasks == Tasks describes an
+  /// unsharded run; after foldShardResult, ShardsFolded counts the shard
+  /// results merged in and the slice grows back toward [0, TotalTasks).
+  unsigned ShardCount = 1;
+  unsigned ShardIndex = 0;
+  /// First task (enumeration index) of this shard's slice.
+  uint64_t ShardFirstTask = 0;
+  /// Size of the full task enumeration before shard slicing (Tasks is the
+  /// slice actually classified here).
+  uint64_t TotalTasks = 0;
+  /// Number of shard results folded into this one (0 = a direct campaign
+  /// run that never went through foldShardResult).
+  unsigned ShardsFolded = 0;
 };
 
 /// The merged outcome of a campaign.
@@ -251,6 +278,11 @@ struct CampaignResult {
   /// (recovery campaigns only; all-zero otherwise). Sums are
   /// order-independent, so this is as thread-deterministic as the table.
   RecoveryStats Recovery;
+  /// Whole-program content hash (isa/ProgramHash.h) of the campaigned
+  /// program: the identity half of the serve-layer memo key, recorded in
+  /// every JSON report as provenance. 0 only when the initial state could
+  /// not be built.
+  uint64_t ProgramHash = 0;
 };
 
 /// The Theorem 4 exhaustive single-fault sweep, parallelized. With one
@@ -308,6 +340,20 @@ struct PlanCampaign {
 /// multi-fault ablations *expect* it; callers judge the table themselves.
 CampaignResult runInjectionPlans(const PlanCampaign &Spec,
                                  const CampaignOptions &Opts);
+
+/// Folds shard result \p Shard into the accumulator \p Acc, which must be
+/// initialized from the preceding shard's result (fold shard 0's result
+/// into shard 1's accumulator copy, and so on, in shard-index order).
+/// Tables, counters and the recovery stats are order-independent sums;
+/// violations concatenate in shard order — each shard keeps a prefix of
+/// its slice's violations, so the in-order concatenation capped at
+/// \p MaxViolations equals the unsharded list. After folding all N shards
+/// the result is bit-identical to the unsharded campaign: same table,
+/// same violations, same Ok, same ReferenceSteps. Wall-clock stats sum
+/// (total compute, not elapsed time); lane/convergence strategy counters
+/// sum exactly because each task's classification path is deterministic.
+void foldShardResult(CampaignResult &Acc, const CampaignResult &Shard,
+                     size_t MaxViolations = 16);
 
 /// Renders a campaign result as a JSON object (no trailing newline).
 /// \p Indent is the number of spaces prefixed to every line, letting

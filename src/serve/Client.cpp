@@ -1,0 +1,180 @@
+//===- serve/Client.cpp - Line-protocol client for the cert server --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "serve/Json.h"
+#include "support/StringUtils.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace talft;
+using namespace talft::serve;
+
+namespace {
+
+int connectTo(const std::string &Host, unsigned Port, std::string &Err) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = formatv("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons((uint16_t)Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "invalid host address \"" + Host + "\"";
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, (sockaddr *)&Addr, sizeof(Addr)) < 0) {
+    Err = formatv("connect to %s:%u: %s", Host.c_str(), Port,
+                  std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &S) {
+  const char *Data = S.data();
+  size_t Len = S.size();
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= (size_t)N;
+  }
+  return true;
+}
+
+/// Reads the next '\n'-terminated line (without the terminator). False on
+/// EOF/error with nothing buffered.
+bool readLine(int Fd, std::string &Buf, std::string &Line) {
+  while (true) {
+    size_t NL = Buf.find('\n');
+    if (NL != std::string::npos) {
+      Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buf.append(Chunk, (size_t)N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+bool oneShot(const std::string &Host, unsigned Port,
+             const std::string &Request, std::string &Out, std::string &Err) {
+  int Fd = connectTo(Host, Port, Err);
+  if (Fd < 0)
+    return false;
+  if (!sendAll(Fd, Request + "\n")) {
+    Err = formatv("send: %s", std::strerror(errno));
+    ::close(Fd);
+    return false;
+  }
+  std::string Buf;
+  bool Got = readLine(Fd, Buf, Out);
+  ::close(Fd);
+  if (!Got)
+    Err = "connection closed before a response arrived";
+  return Got;
+}
+
+} // namespace
+
+SubmitOutcome talft::serve::submitProgram(const std::string &Host,
+                                          unsigned Port,
+                                          const SubmitSpec &Spec) {
+  SubmitOutcome O;
+  int Fd = connectTo(Host, Port, O.Error);
+  if (Fd < 0)
+    return O;
+  if (!sendAll(Fd, submitRequestJson(Spec) + "\n")) {
+    O.Error = formatv("send: %s", std::strerror(errno));
+    ::close(Fd);
+    return O;
+  }
+
+  std::string Buf, Line;
+  while (readLine(Fd, Buf, Line)) {
+    if (Line.empty())
+      continue;
+    O.Events.push_back(Line);
+    std::optional<JsonValue> Ev = JsonValue::parse(Line);
+    if (!Ev || !Ev->isObject()) {
+      O.Error = "unparseable event line: " + Line;
+      break;
+    }
+    std::string Kind = Ev->stringAt("event", "");
+    if (Kind == "accepted") {
+      O.Cache = Ev->stringAt("cache", "");
+      O.Certification = Ev->stringAt("certification", "");
+      O.ProgramHash = Ev->stringAt("program_hash", "");
+      O.ShardsTotal = (unsigned)Ev->u64At("shards_total", 0);
+      O.ShardsDone = (unsigned)Ev->u64At("shards_done", 0);
+    } else if (Kind == "shard") {
+      ++O.ShardEvents;
+      O.ShardsDone = (unsigned)Ev->u64At("index", O.ShardsDone) + 1;
+    } else if (Kind == "result") {
+      O.ShardsTotal = (unsigned)Ev->u64At("shards_total", O.ShardsTotal);
+      O.ShardsDone = (unsigned)Ev->u64At("shards_done", O.ShardsDone);
+      O.Certification = Ev->stringAt("certification", O.Certification);
+      const JsonValue *Campaign = Ev->get("campaign");
+      std::string ParseErr;
+      if (Campaign && campaignFromJson(*Campaign, O.Campaign, ParseErr))
+        O.GotResult = true;
+      else
+        O.Error = "result event without a parseable campaign: " + ParseErr;
+      O.Completed = true;
+      break;
+    } else if (Kind == "drained") {
+      O.Drained = true;
+      O.ShardsDone = (unsigned)Ev->u64At("shards_done", O.ShardsDone);
+      O.ShardsTotal = (unsigned)Ev->u64At("shards_total", O.ShardsTotal);
+      O.Completed = true;
+      break;
+    } else if (Kind == "error") {
+      O.Error = Ev->stringAt("error", "unspecified server error");
+      O.ErrorCode = Ev->stringAt("code", "");
+      O.Completed = true;
+      break;
+    }
+    // Unknown event kinds are skipped for forward compatibility.
+  }
+  if (!O.Completed && O.Error.empty())
+    O.Error = "connection closed before a terminal event";
+  ::close(Fd);
+  return O;
+}
+
+bool talft::serve::requestStats(const std::string &Host, unsigned Port,
+                                std::string &Out, std::string &Err) {
+  return oneShot(Host, Port, "{\"cmd\": \"stats\"}", Out, Err);
+}
+
+bool talft::serve::requestPing(const std::string &Host, unsigned Port,
+                               std::string &Out, std::string &Err) {
+  return oneShot(Host, Port, "{\"cmd\": \"ping\"}", Out, Err);
+}

@@ -1,0 +1,68 @@
+//===- serve/Client.h - Line-protocol client for the cert server ----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the talft_serve line protocol
+/// (serve/Protocol.h): connect, send one request line, collect the event
+/// stream until a terminal event. Used by the talft-serve CLI's client
+/// mode, the serve tests and the serve latency benchmark; nothing here is
+/// server-side state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SERVE_CLIENT_H
+#define TALFT_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+#include <vector>
+
+namespace talft::serve {
+
+/// Everything a submit session produced, parsed from the event stream.
+struct SubmitOutcome {
+  /// Transport worked and a terminal event (result/drained/error) arrived.
+  bool Completed = false;
+  /// A "result" event arrived and its campaign parsed.
+  bool GotResult = false;
+  /// The server drained mid-campaign; resubmit to resume.
+  bool Drained = false;
+  /// "hit", "partial" or "miss" from the accepted event.
+  std::string Cache;
+  /// Certification ladder rung (JSON key form).
+  std::string Certification;
+  /// "0x…" whole-program content hash from the accepted event.
+  std::string ProgramHash;
+  unsigned ShardsTotal = 0;
+  unsigned ShardsDone = 0;
+  /// Number of "shard" events streamed (0 on a cache hit).
+  unsigned ShardEvents = 0;
+  /// The folded campaign from the result event.
+  CampaignResult Campaign;
+  /// Transport or server error ("" when Completed without error).
+  std::string Error;
+  /// Machine-readable error code from an error event (e.g. "queue_full").
+  std::string ErrorCode;
+  /// Every raw event line, in arrival order (diagnostics, tests).
+  std::vector<std::string> Events;
+};
+
+/// Connects to \p Host:\p Port, submits \p Spec and drains the event
+/// stream. Never throws; transport failures land in Outcome.Error.
+SubmitOutcome submitProgram(const std::string &Host, unsigned Port,
+                            const SubmitSpec &Spec);
+
+/// One-line request/response helpers. Return false with \p Err set on
+/// transport failure; the response line lands in \p Out.
+bool requestStats(const std::string &Host, unsigned Port, std::string &Out,
+                  std::string &Err);
+bool requestPing(const std::string &Host, unsigned Port, std::string &Out,
+                 std::string &Err);
+
+} // namespace talft::serve
+
+#endif // TALFT_SERVE_CLIENT_H

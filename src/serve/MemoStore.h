@@ -1,0 +1,112 @@
+//===- serve/MemoStore.h - Content-addressed campaign result cache --------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The certification server's memoization layer: a bounded LRU map from
+/// (whole-program content hash × campaign-options digest) to a folded
+/// campaign result. A completed entry answers a resubmission without
+/// re-running any shard; a *partial* entry — the folded prefix of a
+/// drained campaign's shards — lets a resubmission resume from the first
+/// unclassified shard, which is how SIGTERM drain stays lossless.
+///
+/// With a cache directory configured, every store also persists the entry
+/// as one JSON file (written atomically, support/AtomicFile.h), and a
+/// lookup miss falls back to disk — so partial folds survive a server
+/// restart. Eviction only trims the in-memory tier; disk files are the
+/// durable record and are overwritten in place on update.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SERVE_MEMOSTORE_H
+#define TALFT_SERVE_MEMOSTORE_H
+
+#include "fault/Campaign.h"
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace talft::serve {
+
+struct MemoKey {
+  uint64_t ProgramHash = 0;
+  uint64_t OptionsDigest = 0;
+  bool operator==(const MemoKey &) const = default;
+};
+
+struct MemoEntry {
+  MemoKey Key;
+  /// Display name of the submission that produced the entry.
+  std::string Name;
+  /// Certification ladder rung (analysis/Certify.h JSON key).
+  std::string Certification;
+  /// The shard partition the cached fold was produced under; a resumed
+  /// campaign must keep it (a different count cuts different slices).
+  unsigned ShardsTotal = 0;
+  /// Shards folded so far: the fold covers shard indices [0, ShardsDone).
+  unsigned ShardsDone = 0;
+  CampaignResult Folded;
+
+  bool complete() const { return ShardsTotal != 0 && ShardsDone == ShardsTotal; }
+};
+
+struct MemoStats {
+  uint64_t Hits = 0;        ///< Lookups answered by a complete entry.
+  uint64_t PartialHits = 0; ///< Lookups answered by a resumable prefix.
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t DiskLoads = 0;
+  uint64_t DiskStores = 0;
+  uint64_t Entries = 0;
+  uint64_t Capacity = 0;
+};
+
+class MemoStore {
+public:
+  /// \p Capacity bounds the in-memory entry count (>= 1). \p CacheDir,
+  /// when non-empty, names an existing directory used as the persistent
+  /// tier.
+  explicit MemoStore(size_t Capacity, std::string CacheDir = "");
+
+  /// Returns the entry for \p K (complete or partial), refreshing its LRU
+  /// position, or nullopt. Counts a hit, partial hit or miss; falls back
+  /// to the cache directory before declaring a miss.
+  std::optional<MemoEntry> lookup(const MemoKey &K);
+
+  /// Inserts or updates \p E, makes it most-recently-used, persists it to
+  /// the cache directory, and evicts the least-recently-used entries down
+  /// to capacity.
+  void store(const MemoEntry &E);
+
+  MemoStats stats() const;
+
+  /// The file a key persists to (empty without a cache directory).
+  std::string entryPath(const MemoKey &K) const;
+
+private:
+  struct KeyHash {
+    size_t operator()(const MemoKey &K) const {
+      return (size_t)(K.ProgramHash ^ (K.OptionsDigest * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  std::optional<MemoEntry> loadFromDisk(const MemoKey &K);
+  void persist(const MemoEntry &E);
+
+  mutable std::mutex Mu;
+  size_t Capacity;
+  std::string CacheDir;
+  /// LRU order: front = most recent.
+  std::list<MemoEntry> Entries;
+  std::unordered_map<MemoKey, std::list<MemoEntry>::iterator, KeyHash> Index;
+  MemoStats Counters;
+};
+
+} // namespace talft::serve
+
+#endif // TALFT_SERVE_MEMOSTORE_H

@@ -1,0 +1,598 @@
+//===- serve/Server.cpp - The long-running certification server -----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "analysis/Certify.h"
+#include "isa/ProgramHash.h"
+#include "serve/Json.h"
+#include "support/AtomicFile.h"
+#include "support/StringUtils.h"
+#include "tal/Parser.h"
+#include "vm/Engine.h"
+#include "wile/Codegen.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace talft;
+using namespace talft::serve;
+
+namespace {
+
+/// A connection with no complete line in this many bytes is hostile.
+constexpr size_t MaxLineBytes = 32u << 20;
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= (size_t)N;
+  }
+  return true;
+}
+
+bool sendLine(int Fd, const std::string &S) {
+  std::string Out = S;
+  Out.push_back('\n');
+  return sendAll(Fd, Out.data(), Out.size());
+}
+
+std::string verdictTableJson(const VerdictTable &T) {
+  std::string S = "{";
+  for (size_t I = 0; I != NumVerdicts; ++I) {
+    if (I)
+      S += ", ";
+    S += formatv("\"%s\": %llu", verdictJsonKey((Verdict)I),
+                 (unsigned long long)T.Counts[I]);
+  }
+  S += "}";
+  return S;
+}
+
+} // namespace
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Memo(Opts.CacheEntries, Opts.CacheDir) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.DefaultShards == 0)
+    Opts.DefaultShards = 1;
+}
+
+Server::~Server() {
+  if (Started.load())
+    stop();
+}
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = formatv("%s: %s", What, std::strerror(errno));
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  if (!Opts.CacheDir.empty() &&
+      !support::createDirectories(Opts.CacheDir)) {
+    if (Err)
+      *Err = "cannot create cache directory \"" + Opts.CacheDir + "\"";
+    return false;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons((uint16_t)Opts.Port);
+  if (::inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Err)
+      *Err = "invalid host address \"" + Opts.Host + "\"";
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+  if (::bind(ListenFd, (sockaddr *)&Addr, sizeof(Addr)) < 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 64) < 0)
+    return Fail("listen");
+
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(ListenFd, (sockaddr *)&Bound, &BoundLen) < 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Bound.sin_port);
+
+  Started.store(true);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+  return true;
+}
+
+void Server::requestDrain() {
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return;
+  // Wake the accept loop; pending connections are refused by the workers.
+  if (ListenFd >= 0)
+    ::shutdown(ListenFd, SHUT_RDWR);
+  QueueCv.notify_all();
+}
+
+void Server::wait() {
+  if (Acceptor.joinable())
+    Acceptor.join();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  Started.store(false);
+}
+
+void Server::stop() {
+  requestDrain();
+  wait();
+}
+
+void Server::acceptLoop() {
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR && !Draining.load())
+        continue;
+      break; // drained or listener gone
+    }
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Connections;
+    }
+    // Bound each read so a silent client cannot stall a drain.
+    timeval Tv{0, 500 * 1000};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+
+    std::unique_lock<std::mutex> Lock(QueueMu);
+    if (Draining.load() || Queue.size() >= Opts.QueueCap) {
+      const char *Why = Draining.load() ? "draining" : "queue_full";
+      Lock.unlock();
+      {
+        std::lock_guard<std::mutex> CLock(CountersMu);
+        ++Counters.Rejected;
+      }
+      sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                           "\"code\": \"%s\", \"error\": "
+                           "\"server is %s, try again later\"}",
+                           ProtocolSchema, Why,
+                           Draining.load() ? "draining" : "at capacity"));
+      ::close(Fd);
+      continue;
+    }
+    Queue.push_back(Fd);
+    Lock.unlock();
+    QueueCv.notify_one();
+  }
+}
+
+void Server::workerLoop() {
+  while (true) {
+    int Fd = -1;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMu);
+      QueueCv.wait(Lock,
+                   [this] { return !Queue.empty() || Draining.load(); });
+      if (Queue.empty())
+        return; // draining and nothing queued
+      Fd = Queue.front();
+      Queue.pop_front();
+    }
+    if (Draining.load()) {
+      // Accepted before the drain, never served: refuse rather than start
+      // work the drain would immediately cut short.
+      {
+        std::lock_guard<std::mutex> Lock(CountersMu);
+        ++Counters.Rejected;
+      }
+      sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                           "\"code\": \"draining\", \"error\": "
+                           "\"server is draining\"}",
+                           ProtocolSchema));
+      ::close(Fd);
+      continue;
+    }
+    ++Active;
+    handleConnection(Fd);
+    --Active;
+  }
+}
+
+void Server::handleConnection(int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  bool Keep = true;
+  while (Keep) {
+    size_t NL;
+    while (Keep && (NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      Keep = handleRequest(Fd, Line);
+    }
+    if (!Keep || Buf.size() > MaxLineBytes)
+      break;
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      Buf.append(Chunk, (size_t)N);
+      continue;
+    }
+    if (N == 0)
+      break; // client closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      if (Draining.load())
+        break;
+      continue;
+    }
+    break;
+  }
+  ::close(Fd);
+}
+
+bool Server::handleRequest(int Fd, const std::string &Line) {
+  // Minimal HTTP escape hatch so `curl http://host:port/stats` works.
+  if (Line.rfind("GET ", 0) == 0) {
+    bool IsStats = Line.rfind("GET /stats", 0) == 0;
+    std::string Body = IsStats ? statsJson() + "\n"
+                               : std::string("{\"error\": \"not found\"}\n");
+    std::string Resp = formatv("HTTP/1.0 %s\r\n"
+                               "Content-Type: application/json\r\n"
+                               "Content-Length: %llu\r\n"
+                               "Connection: close\r\n\r\n",
+                               IsStats ? "200 OK" : "404 Not Found",
+                               (unsigned long long)Body.size());
+    Resp += Body;
+    sendAll(Fd, Resp.data(), Resp.size());
+    return false;
+  }
+
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = JsonValue::parse(Line, &ParseErr);
+  if (!Doc || !Doc->isObject()) {
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Errors;
+    }
+    sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                         "\"code\": \"bad_request\", \"error\": %s}",
+                         ProtocolSchema,
+                         jsonQuote(Doc ? "request is not a JSON object"
+                                       : "parse error: " + ParseErr)
+                             .c_str()));
+    return true;
+  }
+
+  std::string Cmd = Doc->stringAt("cmd", "");
+  if (Cmd == "ping") {
+    return sendLine(Fd, formatv("{\"event\": \"pong\", \"schema\": \"%s\", "
+                                "\"build\": %s}",
+                                ProtocolSchema,
+                                jsonQuote(Opts.BuildId).c_str()));
+  }
+  if (Cmd == "stats")
+    return sendLine(Fd, statsJson());
+  if (Cmd == "submit") {
+    handleSubmit(Fd, *Doc);
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    ++Counters.Errors;
+  }
+  sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                       "\"code\": \"bad_request\", \"error\": %s}",
+                       ProtocolSchema,
+                       jsonQuote("unknown cmd \"" + Cmd + "\"").c_str()));
+  return true;
+}
+
+void Server::noteShardRetired(const CampaignResult &R) {
+  std::lock_guard<std::mutex> Lock(CountersMu);
+  ++Counters.ShardsRetired;
+  Counters.TasksClassified += R.Stats.Tasks + R.Stats.PrunedTasks;
+  Counters.ShardSeconds += R.Stats.WallSeconds;
+  Counters.EarlyExits += R.Stats.EarlyExits;
+  Counters.StepsSaved += R.Stats.StepsSaved;
+  Counters.LockstepSkips += R.Stats.LockstepSkips;
+  Counters.LaneGroups += R.Stats.LaneGroups;
+  Counters.LaneTasks += R.Stats.LaneTasks;
+}
+
+void Server::handleSubmit(int Fd, const JsonValue &Request) {
+  auto Fail = [&](const char *Code, const std::string &Msg) {
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Errors;
+    }
+    sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                         "\"code\": \"%s\", \"error\": %s}",
+                         ProtocolSchema, Code, jsonQuote(Msg).c_str()));
+  };
+
+  SubmitSpec Spec;
+  std::string SpecErr;
+  if (!specFromJson(Request, Spec, SpecErr))
+    return Fail("bad_request", SpecErr);
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    ++Counters.Submits;
+  }
+
+  // Compile (Wile through the fault-tolerant backend, TAL verbatim).
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  std::optional<wile::CompiledProgram> Compiled;
+  std::optional<Program> Parsed;
+  const Program *Prog = nullptr;
+  if (Spec.Lang == "wile") {
+    Expected<wile::CompiledProgram> CP = wile::compileWile(
+        TC, Spec.Source, wile::CodegenMode::FaultTolerant, Diags);
+    if (!CP)
+      return Fail("compile_error", CP.message());
+    Compiled.emplace(std::move(*CP));
+    Prog = &Compiled->Prog;
+  } else {
+    Expected<Program> P = parseAndLayoutTalProgram(TC, Spec.Source, Diags);
+    if (!P)
+      return Fail("compile_error", P.message());
+    Parsed.emplace(std::move(*P));
+    Prog = &*Parsed;
+  }
+
+  Expected<MachineState> S0 = Prog->initialState();
+  if (Error Err = S0.takeError())
+    return Fail("compile_error", Err.message());
+
+  // Identity: the memo key. The campaign recomputes the same program hash
+  // internally; the tests assert they agree.
+  uint64_t PH = programContentHash(Prog->code(), Prog->entryAddress(),
+                                   Prog->exitAddress(), *S0);
+  uint64_t OD = optionsDigest(Spec);
+  MemoKey Key{PH, OD};
+
+  // Certification ladder (independent of the campaign; raw-semantics
+  // sweeps run even for programs the checker rejects, as in fig10).
+  analysis::Certification Cert = analysis::certifyProgram(TC, *Prog);
+  std::string CertKey = certificationStatusJsonKey(Cert.Status);
+
+  // Cache probe: a complete entry answers outright; a partial entry (a
+  // drained campaign's folded prefix) resumes with its own shard
+  // partition; a miss starts from shard 0.
+  MemoEntry Entry;
+  unsigned StartShard = 0;
+  const char *Cache = "miss";
+  if (std::optional<MemoEntry> Hit = Memo.lookup(Key)) {
+    if (Hit->complete()) {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.CacheHits;
+    } else {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Resumed;
+    }
+    Entry = std::move(*Hit);
+    StartShard = Entry.ShardsDone;
+    Cache = Entry.complete() ? "hit" : "partial";
+  } else {
+    Entry.Key = Key;
+    Entry.Name = Spec.Name;
+    Entry.ShardsTotal = Spec.Shards ? Spec.Shards : Opts.DefaultShards;
+  }
+  Entry.Certification = CertKey;
+
+  sendLine(Fd,
+           formatv("{\"event\": \"accepted\", \"schema\": \"%s\", "
+                   "\"name\": %s, \"program_hash\": \"%s\", "
+                   "\"options_digest\": \"%s\", \"certification\": \"%s\", "
+                   "\"cache\": \"%s\", \"shards_total\": %u, "
+                   "\"shards_done\": %u, \"build\": %s}",
+                   ProtocolSchema, jsonQuote(Spec.Name).c_str(),
+                   programHashString(PH).c_str(),
+                   programHashString(OD).c_str(), CertKey.c_str(), Cache,
+                   Entry.ShardsTotal, StartShard,
+                   jsonQuote(Opts.BuildId).c_str()));
+
+  auto SendResult = [&](const MemoEntry &E, const char *How) {
+    std::string Out =
+        formatv("{\"event\": \"result\", \"schema\": \"%s\", "
+                "\"name\": %s, \"certification\": \"%s\", "
+                "\"cache\": \"%s\", \"shards_total\": %u, "
+                "\"shards_done\": %u, \"campaign\": ",
+                ProtocolSchema, jsonQuote(Spec.Name).c_str(),
+                E.Certification.c_str(), How, E.ShardsTotal, E.ShardsDone);
+    Out += campaignJsonLine(E.Folded);
+    Out += "}";
+    sendLine(Fd, Out);
+  };
+
+  if (Entry.complete()) {
+    // Resubmission of certified content: zero shards run.
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Completed;
+    }
+    SendResult(Entry, "hit");
+    return;
+  }
+
+  // Engine choice is provenance, not policy: tables are engine-invariant
+  // by the engine contract, and the options digest keeps entries from
+  // answering across engines.
+  std::unique_ptr<ExecEngine> Vm;
+  const ExecEngine *E = &referenceEngine();
+  if (Spec.Engine == "vm") {
+    Vm = vm::createEngine(Prog->code());
+    E = Vm.get();
+  }
+
+  // Stride: explicit, or adapted from the reference length exactly as the
+  // batch CLI's fig10 sweep does (max(1, steps/12)). Step counts are
+  // engine-independent, so a resumed campaign re-derives the same stride.
+  uint64_t Stride = Spec.Stride;
+  if (Stride == 0) {
+    TheoremConfig Probe;
+    Probe.MaxSteps = Spec.MaxSteps;
+    MachineState S = *S0;
+    RunResult RR = E->run(S, Prog->exitAddress(), Probe.MaxSteps, Probe.Policy);
+    if (RR.Status != RunStatus::Halted)
+      return Fail("campaign_error",
+                  formatv("reference run did not halt (%s)",
+                          runStatusName(RR.Status)));
+    Stride = std::max<uint64_t>(1, RR.Steps / 12);
+  }
+
+  TheoremConfig Config = theoremConfig(Spec, Stride);
+  unsigned Shards = Entry.ShardsTotal;
+  bool Drained = false;
+  for (unsigned I = StartShard; I != Shards; ++I) {
+    if (Draining.load()) {
+      Drained = true;
+      break;
+    }
+    CampaignOptions CO;
+    CO.Threads = Opts.CampaignThreads;
+    CO.Engine = Vm.get(); // null for the reference interpreter
+    applySpecOptions(Spec, CO);
+    CO.ShardCount = Shards;
+    CO.ShardIndex = I;
+    CampaignResult R = runSingleFaultCampaign(*Prog, Config, CO);
+    noteShardRetired(R);
+
+    sendLine(Fd, formatv("{\"event\": \"shard\", \"schema\": \"%s\", "
+                         "\"index\": %u, \"count\": %u, "
+                         "\"first_task\": %llu, \"tasks\": %llu, "
+                         "\"ok\": %s, \"wall_seconds\": %.6f, "
+                         "\"verdicts\": %s}",
+                         ProtocolSchema, I, Shards,
+                         (unsigned long long)R.Stats.ShardFirstTask,
+                         (unsigned long long)R.Stats.Tasks,
+                         R.Ok ? "true" : "false", R.Stats.WallSeconds,
+                         verdictTableJson(R.Table).c_str()));
+
+    if (I == 0)
+      Entry.Folded = std::move(R);
+    else
+      foldShardResult(Entry.Folded, R);
+    Entry.ShardsDone = I + 1;
+    // Persist after every shard: a drain (or a crash) loses at most the
+    // shard in flight, and the resume path needs no extra bookkeeping.
+    Memo.store(Entry);
+
+    uint64_t Retired = ++ShardsRetiredTotal;
+    if (Opts.DrainAfterShards && Retired >= Opts.DrainAfterShards)
+      requestDrain();
+  }
+
+  if (Drained) {
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Drained;
+    }
+    sendLine(Fd, formatv("{\"event\": \"drained\", \"schema\": \"%s\", "
+                         "\"name\": %s, \"program_hash\": \"%s\", "
+                         "\"shards_done\": %u, \"shards_total\": %u, "
+                         "\"resumable\": true}",
+                         ProtocolSchema, jsonQuote(Spec.Name).c_str(),
+                         programHashString(PH).c_str(), Entry.ShardsDone,
+                         Entry.ShardsTotal));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    ++Counters.Completed;
+  }
+  SendResult(Entry, Cache);
+}
+
+std::string Server::statsJson() const {
+  ServeCounters C;
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    C = Counters;
+  }
+  size_t Depth;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Depth = Queue.size();
+  }
+  MemoStats M = Memo.stats();
+  uint64_t Lookups = M.Hits + M.PartialHits + M.Misses;
+  double HitRate = Lookups ? (double)M.Hits / (double)Lookups : 0.0;
+  double Throughput =
+      C.ShardSeconds > 0 ? (double)C.TasksClassified / C.ShardSeconds : 0.0;
+
+  std::string S = formatv(
+      "{\"schema\": \"%s\", \"build\": %s, \"port\": %u, "
+      "\"draining\": %s, \"queue_depth\": %llu, \"queue_cap\": %llu, "
+      "\"workers\": %u, \"active\": %u",
+      StatsSchema, jsonQuote(Opts.BuildId).c_str(), BoundPort,
+      Draining.load() ? "true" : "false", (unsigned long long)Depth,
+      (unsigned long long)Opts.QueueCap, Opts.Workers, Active.load());
+  S += formatv(", \"connections\": %llu, \"rejected\": %llu, "
+               "\"submits\": %llu, \"completed\": %llu, "
+               "\"drained\": %llu, \"errors\": %llu, \"resumed\": %llu",
+               (unsigned long long)C.Connections,
+               (unsigned long long)C.Rejected, (unsigned long long)C.Submits,
+               (unsigned long long)C.Completed, (unsigned long long)C.Drained,
+               (unsigned long long)C.Errors, (unsigned long long)C.Resumed);
+  S += formatv(", \"cache\": {\"hits\": %llu, \"partial_hits\": %llu, "
+               "\"misses\": %llu, \"hit_rate\": %.4f, \"evictions\": %llu, "
+               "\"disk_loads\": %llu, \"disk_stores\": %llu, "
+               "\"entries\": %llu, \"capacity\": %llu}",
+               (unsigned long long)M.Hits, (unsigned long long)M.PartialHits,
+               (unsigned long long)M.Misses, HitRate,
+               (unsigned long long)M.Evictions,
+               (unsigned long long)M.DiskLoads,
+               (unsigned long long)M.DiskStores,
+               (unsigned long long)M.Entries,
+               (unsigned long long)M.Capacity);
+  S += formatv(", \"shards\": {\"retired\": %llu, "
+               "\"tasks_classified\": %llu, \"seconds\": %.6f, "
+               "\"tasks_per_second\": %.1f}",
+               (unsigned long long)C.ShardsRetired,
+               (unsigned long long)C.TasksClassified, C.ShardSeconds,
+               Throughput);
+  S += formatv(", \"convergence\": {\"early_exits\": %llu, "
+               "\"steps_saved\": %llu, \"lockstep_skips\": %llu}",
+               (unsigned long long)C.EarlyExits,
+               (unsigned long long)C.StepsSaved,
+               (unsigned long long)C.LockstepSkips);
+  S += formatv(", \"lanes\": {\"groups\": %llu, \"lane_tasks\": %llu}}",
+               (unsigned long long)C.LaneGroups,
+               (unsigned long long)C.LaneTasks);
+  return S;
+}

@@ -1,0 +1,163 @@
+//===- serve/Server.h - The long-running certification server -------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running certification service over a local TCP socket: clients
+/// submit Wile/TAL programs (serve/Protocol.h, one JSON document per
+/// line), the server validates and certifies them through the analysis
+/// ladder (analysis/Certify.h), runs the Theorem 4 fault campaign shard
+/// by shard on the campaign engine's deterministic task partition
+/// (fault/Campaign.h), streams per-shard verdict-table deltas as they
+/// retire, and memoizes folded results content-addressed by
+/// (program hash × options digest) in a MemoStore — a resubmission is a
+/// cache hit that re-runs nothing.
+///
+/// Operational guarantees:
+///   - every served verdict table folds bit-identically onto the batch
+///     CLI's for the same program and options (same enumeration, same
+///     shard fold the tests assert);
+///   - backpressure: connections beyond the queue cap are refused with a
+///     "queue_full" error instead of queueing unboundedly;
+///   - graceful drain: requestDrain (wired to SIGTERM by the tool) stops
+///     accepting, cuts in-flight campaigns at the next shard boundary,
+///     persists the folded prefix through the memo store, and answers
+///     the client with a "drained" event; a resubmission — to this
+///     process or a restarted one sharing the cache directory — resumes
+///     from the first unclassified shard;
+///   - introspection: a "stats" request (or HTTP "GET /stats") reports
+///     queue depth, cache hit rate, shard throughput and the summed
+///     convergence/lane counters of every served campaign.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SERVE_SERVER_H
+#define TALFT_SERVE_SERVER_H
+
+#include "serve/MemoStore.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace talft::serve {
+
+struct ServerOptions {
+  std::string Host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back with port()).
+  unsigned Port = 0;
+  /// Connection-handler threads (each serves one campaign at a time).
+  unsigned Workers = 2;
+  /// Worker threads per campaign shard (0 = hardware concurrency).
+  unsigned CampaignThreads = 0;
+  /// Shard count when a submission does not request one.
+  unsigned DefaultShards = 4;
+  /// Backpressure: pending connections beyond this are refused.
+  size_t QueueCap = 16;
+  /// In-memory memo entries retained (LRU).
+  size_t CacheEntries = 64;
+  /// Optional persistent cache directory (must exist); empty = memory only.
+  std::string CacheDir;
+  /// Testing hook: request a drain after this many shards have retired
+  /// server-wide (0 = never). CI uses it to exercise the drain/resume
+  /// path deterministically; production drains via SIGTERM.
+  uint64_t DrainAfterShards = 0;
+  /// Free-form build identifier echoed in every "accepted" event and in
+  /// the stats document.
+  std::string BuildId = "dev";
+};
+
+/// Aggregated service counters (all monotonically increasing).
+struct ServeCounters {
+  uint64_t Connections = 0;
+  uint64_t Rejected = 0; ///< queue_full + draining refusals
+  uint64_t Submits = 0;
+  uint64_t CacheHits = 0;
+  uint64_t Resumed = 0;
+  uint64_t Completed = 0;
+  uint64_t Drained = 0;
+  uint64_t Errors = 0;
+  uint64_t ShardsRetired = 0;
+  uint64_t TasksClassified = 0;
+  double ShardSeconds = 0;
+  uint64_t EarlyExits = 0;
+  uint64_t StepsSaved = 0;
+  uint64_t LockstepSkips = 0;
+  uint64_t LaneGroups = 0;
+  uint64_t LaneTasks = 0;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens and spawns the accept loop and worker threads.
+  /// Returns false with \p Err set on any socket failure.
+  bool start(std::string *Err = nullptr);
+
+  /// The bound port (meaningful after start; resolves Port 0).
+  unsigned port() const { return BoundPort; }
+
+  /// Initiates a graceful drain: stop accepting, finish in-flight work at
+  /// the next shard boundary, persist partial folds. Idempotent;
+  /// async-signal-unsafe (call from a thread, not a signal handler).
+  void requestDrain();
+
+  bool draining() const { return Draining.load(); }
+
+  /// Blocks until the accept loop and every worker have exited (i.e.
+  /// until someone calls requestDrain and in-flight work finishes).
+  void wait();
+
+  /// requestDrain + wait.
+  void stop();
+
+  /// The stats document served to "stats" requests (single line).
+  std::string statsJson() const;
+
+  const ServerOptions &options() const { return Opts; }
+  MemoStats memoStats() const { return Memo.stats(); }
+
+private:
+  void acceptLoop();
+  void workerLoop();
+  void handleConnection(int Fd);
+  bool handleRequest(int Fd, const std::string &Line);
+  void handleSubmit(int Fd, const JsonValue &Request);
+  void noteShardRetired(const CampaignResult &Shard);
+
+  ServerOptions Opts;
+  MemoStore Memo;
+  unsigned BoundPort = 0;
+  int ListenFd = -1;
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Started{false};
+  std::atomic<uint64_t> ShardsRetiredTotal{0};
+  std::atomic<unsigned> Active{0};
+
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+
+  mutable std::mutex QueueMu;
+  std::condition_variable QueueCv;
+  std::deque<int> Queue;
+
+  mutable std::mutex CountersMu;
+  ServeCounters Counters;
+};
+
+} // namespace talft::serve
+
+#endif // TALFT_SERVE_SERVER_H

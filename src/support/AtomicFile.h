@@ -1,0 +1,65 @@
+//===- support/AtomicFile.h - Atomic whole-file writes --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic whole-file replacement: temp file alongside the target, fflush,
+/// then rename. A crashed or OOM-killed writer can never leave a truncated
+/// file behind — the target is either the old version or the complete new
+/// one. Shared by the bench harness report writers (bench/CliUtils.h) and
+/// the certification server's memo-store persistence (src/serve/).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_ATOMICFILE_H
+#define TALFT_SUPPORT_ATOMICFILE_H
+
+#include <cerrno>
+#include <cstdio>
+#include <string>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+namespace talft::support {
+
+/// Creates directory \p Path and any missing parents (mkdir -p).
+/// Returns true iff \p Path names an existing directory afterwards.
+inline bool createDirectories(const std::string &Path) {
+  if (Path.empty())
+    return false;
+  for (size_t I = 1; I <= Path.size(); ++I) {
+    if (I != Path.size() && Path[I] != '/')
+      continue;
+    std::string Prefix = Path.substr(0, I);
+    if (::mkdir(Prefix.c_str(), 0777) != 0 && errno != EEXIST)
+      return false;
+  }
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
+}
+
+/// Writes \p Contents to \p Path atomically. Returns false (with the
+/// partial temp file removed) on any failure.
+inline bool writeFileAtomic(const std::string &Path,
+                            const std::string &Contents) {
+  std::string Tmp = Path + ".tmp";
+  FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+            Contents.size();
+  Ok = (std::fflush(F) == 0) && Ok;
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (Ok)
+    Ok = std::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (!Ok)
+    std::remove(Tmp.c_str());
+  return Ok;
+}
+
+} // namespace talft::support
+
+#endif // TALFT_SUPPORT_ATOMICFILE_H

@@ -1,0 +1,549 @@
+//===- tests/serve_test.cpp - Certification server and shard oracle -------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving layer's load-bearing contracts:
+//
+//   1. shard partition soundness: for any shard count, running every
+//      shard and folding (fault/Campaign.h foldShardResult) reproduces
+//      the unsharded campaign bit-identically — verdict table, violation
+//      list, Ok flag and program hash — with and without pruning, on both
+//      campaign entry points; an out-of-range shard index is a violation,
+//      not silence;
+//   2. the whole-program content hash is stable across recompiles of the
+//      same source and sensitive to program edits, so it can anchor the
+//      memo key;
+//   3. the memo store answers resubmissions (hit), refuses to answer for
+//      any changed campaign option (distinct digests → miss), resumes
+//      partial folds, bounds its memory footprint by LRU eviction, and
+//      round-trips entries through the on-disk cache losslessly;
+//   4. the wire protocol round-trips campaign results (campaignToJson →
+//      campaignFromJson) with every integer field exact;
+//   5. end to end over loopback: a cold submission streams one event per
+//      shard and serves a campaign bit-identical to a directly-run one; a
+//      resubmission is a cache hit that streams zero shard events; a
+//      drained server leaves a resumable partial entry that a restarted
+//      server (same cache directory) finishes from where it stopped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/ProgramChecker.h"
+#include "fault/Campaign.h"
+#include "isa/ProgramHash.h"
+#include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/MemoStore.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+#include "tal/Parser.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace talft;
+using namespace talft::serve;
+
+namespace {
+
+struct NamedProgram {
+  const char *Name;
+  const char *Source;
+};
+
+const std::vector<NamedProgram> &allPrograms() {
+  static const std::vector<NamedProgram> Programs = {
+      {"PairedStore", progs::PairedStore},
+      {"CseBroken", progs::CseBroken},
+      {"CountdownLoop", progs::CountdownLoop},
+      {"QueueForwarding", progs::QueueForwarding},
+  };
+  return Programs;
+}
+
+Program parseOrDie(TypeContext &TC, const NamedProgram &NP) {
+  DiagnosticEngine Diags;
+  Expected<Program> P = parseAndLayoutTalProgram(TC, NP.Source, Diags);
+  EXPECT_TRUE(bool(P)) << NP.Name << ": " << Diags.str();
+  return std::move(*P);
+}
+
+/// A fresh private directory for disk-cache tests.
+std::string tempDir() {
+  char Template[] = "/tmp/talft-serve-test-XXXXXX";
+  const char *D = mkdtemp(Template);
+  EXPECT_NE(D, nullptr);
+  return D ? D : "";
+}
+
+void expectSameCampaign(const CampaignResult &A, const CampaignResult &B,
+                        const std::string &At) {
+  EXPECT_EQ(A.Ok, B.Ok) << At;
+  EXPECT_EQ(A.Table, B.Table) << At;
+  EXPECT_EQ(A.Violations, B.Violations) << At;
+  EXPECT_EQ(A.ReferenceSteps, B.ReferenceSteps) << At;
+  EXPECT_EQ(A.StatesTypechecked, B.StatesTypechecked) << At;
+  EXPECT_EQ(A.ProgramHash, B.ProgramHash) << At;
+}
+
+// Contract 1: the deterministic shard partition folds back to the
+// unsharded table exactly, for shard counts around and beyond the task
+// count, with pruning on and off.
+TEST(ShardFold, SingleFaultShardsFoldBitIdentically) {
+  for (const NamedProgram &NP : allPrograms()) {
+    TypeContext TC;
+    Program P = parseOrDie(TC, NP);
+    TheoremConfig Config;
+    Config.InjectionStride = 2; // keep the exhaustive sweep unit-sized
+    for (bool Prune : {false, true}) {
+      CampaignOptions Base;
+      Base.Prune = Prune;
+      CampaignResult Whole = runSingleFaultCampaign(P, Config, Base);
+      EXPECT_NE(Whole.ProgramHash, 0u) << NP.Name;
+
+      for (unsigned N : {1u, 4u, 16u}) {
+        CampaignResult Acc;
+        for (unsigned I = 0; I != N; ++I) {
+          CampaignOptions Opts;
+          Opts.Prune = Prune;
+          Opts.ShardCount = N;
+          Opts.ShardIndex = I;
+          CampaignResult Shard = runSingleFaultCampaign(P, Config, Opts);
+          EXPECT_EQ(Shard.Stats.ShardIndex, I);
+          EXPECT_EQ(Shard.Stats.ShardCount, N);
+          if (I == 0)
+            Acc = std::move(Shard);
+          else
+            foldShardResult(Acc, Shard);
+        }
+        std::string At = std::string(NP.Name) + " prune=" +
+                         (Prune ? "1" : "0") + " shards=" +
+                         std::to_string(N);
+        expectSameCampaign(Acc, Whole, At);
+        // ShardsFolded counts fold operations: 0 marks an unfolded
+        // single-shard result, N a genuine N-way fold.
+        EXPECT_EQ(Acc.Stats.ShardsFolded, N == 1 ? 0u : N) << At;
+        EXPECT_EQ(Acc.Stats.TotalTasks, Whole.Stats.TotalTasks) << At;
+      }
+    }
+  }
+}
+
+// The typed-campaign entry point shards identically (it shares the
+// enumeration and the slice).
+TEST(ShardFold, FaultToleranceCampaignShardsFoldBitIdentically) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::PairedStore, Diags);
+  ASSERT_TRUE(bool(P)) << Diags.str();
+  Expected<CheckedProgram> CP = checkProgram(TC, *P, Diags);
+  ASSERT_TRUE(bool(CP)) << Diags.str();
+  TheoremConfig Config;
+  Config.InjectionStride = 2;
+
+  CampaignOptions Base;
+  CampaignResult Whole = runFaultToleranceCampaign(TC, *CP, Config, Base);
+  for (unsigned N : {4u, 16u}) {
+    CampaignResult Acc;
+    for (unsigned I = 0; I != N; ++I) {
+      CampaignOptions Opts;
+      Opts.ShardCount = N;
+      Opts.ShardIndex = I;
+      CampaignResult Shard = runFaultToleranceCampaign(TC, *CP, Config, Opts);
+      if (I == 0)
+        Acc = std::move(Shard);
+      else
+        foldShardResult(Acc, Shard);
+    }
+    expectSameCampaign(Acc, Whole, "PairedStore typed shards=" +
+                                       std::to_string(N));
+  }
+}
+
+TEST(ShardFold, OutOfRangeShardIndexIsAViolation) {
+  TypeContext TC;
+  Program P = parseOrDie(TC, allPrograms()[0]);
+  TheoremConfig Config;
+  Config.InjectionStride = 2;
+  CampaignOptions Opts;
+  Opts.ShardCount = 4;
+  Opts.ShardIndex = 4; // one past the end
+  CampaignResult R = runSingleFaultCampaign(P, Config, Opts);
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_NE(R.Violations[0].find("out of range"), std::string::npos);
+  EXPECT_EQ(R.Stats.Tasks, 0u);
+}
+
+// Contract 2: the content hash is deterministic over recompiles and
+// sensitive to the program actually changing.
+TEST(ProgramHash, StableAcrossRecompilesSensitiveToEdits) {
+  std::vector<uint64_t> Hashes;
+  for (const NamedProgram &NP : allPrograms()) {
+    uint64_t First = 0;
+    for (int Round = 0; Round != 2; ++Round) {
+      TypeContext TC;
+      Program P = parseOrDie(TC, NP);
+      Expected<MachineState> S0 = P.initialState();
+      ASSERT_TRUE(bool(S0)) << NP.Name;
+      uint64_t H = programContentHash(P.code(), P.entryAddress(),
+                                      P.exitAddress(), *S0);
+      EXPECT_NE(H, 0u) << NP.Name;
+      if (Round == 0)
+        First = H;
+      else
+        EXPECT_EQ(H, First) << NP.Name << ": hash not reproducible";
+    }
+    Hashes.push_back(First);
+  }
+  // Distinct programs hash apart.
+  for (size_t I = 0; I != Hashes.size(); ++I)
+    for (size_t J = I + 1; J != Hashes.size(); ++J)
+      EXPECT_NE(Hashes[I], Hashes[J])
+          << allPrograms()[I].Name << " vs " << allPrograms()[J].Name;
+}
+
+TEST(ProgramHash, StringFormRoundTrips) {
+  uint64_t H = 0x0123456789abcdefull;
+  std::string S = programHashString(H);
+  EXPECT_EQ(S, "0x0123456789abcdef");
+  uint64_t Back = 0;
+  EXPECT_TRUE(parseProgramHash(S, Back));
+  EXPECT_EQ(Back, H);
+  // The prefix is optional on input; garbage is not.
+  EXPECT_TRUE(parseProgramHash("123", Back));
+  EXPECT_EQ(Back, 0x123u);
+  EXPECT_FALSE(parseProgramHash("0x", Back));
+  EXPECT_FALSE(parseProgramHash("", Back));
+  EXPECT_FALSE(parseProgramHash("0xzz", Back));
+  EXPECT_FALSE(parseProgramHash("-1", Back));
+}
+
+// The campaign records the same hash the serve layer computes for the
+// memo key — they must agree or the cache could answer for the wrong
+// program.
+TEST(ProgramHash, CampaignRecordsTheMemoKeyHash) {
+  TypeContext TC;
+  Program P = parseOrDie(TC, allPrograms()[0]);
+  TheoremConfig Config;
+  Config.InjectionStride = 2;
+  CampaignResult R = runSingleFaultCampaign(P, Config, CampaignOptions());
+  Expected<MachineState> S0 = P.initialState();
+  ASSERT_TRUE(bool(S0));
+  EXPECT_EQ(R.ProgramHash, programContentHash(P.code(), P.entryAddress(),
+                                              P.exitAddress(), *S0));
+}
+
+// Contract 4: JSON plumbing.
+TEST(ServeJson, ParserHandlesTheProtocolSubset) {
+  std::string Err;
+  std::optional<JsonValue> V = JsonValue::parse(
+      "{\"a\": 18446744073709551615, \"b\": [1, 2.5, true, null], "
+      "\"s\": \"q\\\"\\u0041\\n\"}",
+      &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->u64At("a", 0), 18446744073709551615ull); // > 2^53: exact
+  EXPECT_EQ(V->get("b")->items().size(), 4u);
+  EXPECT_EQ(V->stringAt("s", ""), "q\"A\n");
+  EXPECT_FALSE(JsonValue::parse("{\"a\": 1} trailing", &Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("{", &Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("", &Err).has_value());
+}
+
+TEST(ServeJson, CampaignRoundTripsThroughTheWireForm) {
+  TypeContext TC;
+  Program P = parseOrDie(TC, allPrograms()[1]); // CseBroken: has violations
+  TheoremConfig Config;
+  Config.InjectionStride = 2;
+  CampaignResult R = runSingleFaultCampaign(P, Config, CampaignOptions());
+
+  std::string Line = campaignJsonLine(R);
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  std::string Err;
+  std::optional<JsonValue> V = JsonValue::parse(Line, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  CampaignResult Back;
+  ASSERT_TRUE(campaignFromJson(*V, Back, Err)) << Err;
+  expectSameCampaign(Back, R, "wire roundtrip");
+  EXPECT_EQ(Back.Stats.Tasks, R.Stats.Tasks);
+  EXPECT_EQ(Back.Stats.EarlyExits, R.Stats.EarlyExits);
+  EXPECT_EQ(Back.Stats.WindowSum, R.Stats.WindowSum);
+  EXPECT_EQ(Back.Stats.LaneTasks, R.Stats.LaneTasks);
+  EXPECT_EQ(Back.Stats.ShardCount, R.Stats.ShardCount);
+  EXPECT_STREQ(Back.Stats.Engine, R.Stats.Engine);
+}
+
+// Contract 3 (key half): every campaign knob lands in the digest, so an
+// entry can never answer for different options; shard/thread counts are
+// verdict-neutral and deliberately excluded.
+TEST(MemoStore, EveryOptionChangeChangesTheDigest) {
+  SubmitSpec Base;
+  Base.Source = "irrelevant";
+  uint64_t D0 = optionsDigest(Base);
+
+  std::vector<SubmitSpec> Variants(11, Base);
+  Variants[0].Engine = "reference";
+  Variants[1].Stride = 7;
+  Variants[2].MaxSteps = 12345;
+  Variants[3].ExtraSteps = 1;
+  Variants[4].OnlyMentionedRegisters = false;
+  Variants[5].Prune = true;
+  Variants[6].Converge = false;
+  Variants[7].Lanes = false;
+  Variants[8].LaneWidth = 8;
+  Variants[9].Recover = true;
+  Variants[10].RetryBudget = 9;
+  std::vector<uint64_t> Digests{D0};
+  for (const SubmitSpec &S : Variants)
+    Digests.push_back(optionsDigest(S));
+  for (size_t I = 0; I != Digests.size(); ++I)
+    for (size_t J = I + 1; J != Digests.size(); ++J)
+      EXPECT_NE(Digests[I], Digests[J]) << I << " vs " << J;
+
+  // Shard count is partitioning, not semantics: same digest.
+  SubmitSpec Sharded = Base;
+  Sharded.Shards = 16;
+  EXPECT_EQ(optionsDigest(Sharded), D0);
+}
+
+TEST(MemoStore, HitsMissesAndInvalidation) {
+  MemoStore Store(8);
+  MemoEntry E;
+  E.Key = {0x1111, 0x2222};
+  E.ShardsTotal = 4;
+  E.ShardsDone = 4;
+  Store.store(E);
+
+  EXPECT_TRUE(Store.lookup({0x1111, 0x2222}).has_value());
+  // Program edit → different hash → miss.
+  EXPECT_FALSE(Store.lookup({0x1112, 0x2222}).has_value());
+  // Option change → different digest → miss.
+  EXPECT_FALSE(Store.lookup({0x1111, 0x2223}).has_value());
+
+  MemoStats S = Store.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Entries, 1u);
+
+  // A partial entry is a partial hit, not a hit.
+  MemoEntry Partial;
+  Partial.Key = {0x3333, 0x4444};
+  Partial.ShardsTotal = 4;
+  Partial.ShardsDone = 2;
+  Store.store(Partial);
+  std::optional<MemoEntry> Got = Store.lookup(Partial.Key);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_FALSE(Got->complete());
+  EXPECT_EQ(Store.stats().PartialHits, 1u);
+}
+
+TEST(MemoStore, EvictionBoundsTheEntryCount) {
+  MemoStore Store(4);
+  for (uint64_t I = 0; I != 10; ++I) {
+    MemoEntry E;
+    E.Key = {I, I};
+    E.ShardsTotal = E.ShardsDone = 1;
+    Store.store(E);
+  }
+  MemoStats S = Store.stats();
+  EXPECT_EQ(S.Entries, 4u);
+  EXPECT_EQ(S.Evictions, 6u);
+  // LRU: the oldest keys are gone, the newest survive.
+  EXPECT_FALSE(Store.lookup({0, 0}).has_value());
+  EXPECT_TRUE(Store.lookup({9, 9}).has_value());
+}
+
+TEST(MemoStore, DiskPersistenceRoundTripsAndSurvivesRestart) {
+  // A nested, not-yet-existing path: the store must mkdir -p its cache
+  // dir so a fresh --cache-dir works without manual setup.
+  std::string Dir = tempDir() + "/nested/cache";
+  ASSERT_FALSE(Dir.empty());
+
+  TypeContext TC;
+  Program P = parseOrDie(TC, allPrograms()[0]);
+  TheoremConfig Config;
+  Config.InjectionStride = 2;
+  CampaignResult R = runSingleFaultCampaign(P, Config, CampaignOptions());
+
+  MemoKey Key{R.ProgramHash, 0xabcdef};
+  {
+    MemoStore Store(4, Dir);
+    MemoEntry E;
+    E.Key = Key;
+    E.Name = "PairedStore";
+    E.Certification = "typed";
+    E.ShardsTotal = 4;
+    E.ShardsDone = 2; // partial: the drain case
+    E.Folded = R;
+    Store.store(E);
+    EXPECT_EQ(Store.stats().DiskStores, 1u);
+  }
+  // A brand-new store (fresh process, same cache dir) must answer from
+  // disk with the partial fold intact.
+  MemoStore Fresh(4, Dir);
+  std::optional<MemoEntry> Got = Fresh.lookup(Key);
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(Fresh.stats().DiskLoads, 1u);
+  EXPECT_EQ(Got->Name, "PairedStore");
+  EXPECT_EQ(Got->Certification, "typed");
+  EXPECT_EQ(Got->ShardsTotal, 4u);
+  EXPECT_EQ(Got->ShardsDone, 2u);
+  EXPECT_FALSE(Got->complete());
+  expectSameCampaign(Got->Folded, R, "disk roundtrip");
+
+  // Eviction only trims memory; the file still answers.
+  for (uint64_t I = 0; I != 8; ++I) {
+    MemoEntry E;
+    E.Key = {I, I};
+    E.ShardsTotal = E.ShardsDone = 1;
+    Fresh.store(E);
+  }
+  EXPECT_TRUE(Fresh.lookup(Key).has_value());
+}
+
+// Contract 5: the full loop over loopback.
+TEST(ServeEndToEnd, ColdSubmitStreamsShardsAndMatchesDirectRun) {
+  ServerOptions SO;
+  SO.DefaultShards = 4;
+  SO.Workers = 2;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  Spec.Stride = 2; // explicit so the direct run below matches exactly
+  Spec.Engine = "reference";
+
+  SubmitOutcome Cold = submitProgram("127.0.0.1", S.port(), Spec);
+  ASSERT_TRUE(Cold.Error.empty()) << Cold.Error;
+  ASSERT_TRUE(Cold.GotResult);
+  EXPECT_EQ(Cold.Cache, "miss");
+  EXPECT_EQ(Cold.ShardEvents, 4u);
+  EXPECT_EQ(Cold.ShardsDone, 4u);
+  EXPECT_EQ(Cold.Certification, "typed");
+
+  // The same campaign run directly, unsharded: bit-identical fold.
+  TypeContext TC;
+  Program P = parseOrDie(TC, allPrograms()[0]);
+  CampaignOptions Direct;
+  applySpecOptions(Spec, Direct);
+  CampaignResult Whole =
+      runSingleFaultCampaign(P, theoremConfig(Spec, Spec.Stride), Direct);
+  expectSameCampaign(Cold.Campaign, Whole, "served vs direct");
+  EXPECT_EQ(Cold.Campaign.Stats.ShardsFolded, 4u);
+
+  // Resubmission: a hit that runs nothing.
+  SubmitOutcome Warm = submitProgram("127.0.0.1", S.port(), Spec);
+  ASSERT_TRUE(Warm.Error.empty()) << Warm.Error;
+  ASSERT_TRUE(Warm.GotResult);
+  EXPECT_EQ(Warm.Cache, "hit");
+  EXPECT_EQ(Warm.ShardEvents, 0u);
+  expectSameCampaign(Warm.Campaign, Whole, "warm vs direct");
+
+  // Any option change misses (prune flips the digest).
+  SubmitSpec Pruned = Spec;
+  Pruned.Prune = true;
+  SubmitOutcome M = submitProgram("127.0.0.1", S.port(), Pruned);
+  ASSERT_TRUE(M.Error.empty()) << M.Error;
+  EXPECT_EQ(M.Cache, "miss");
+
+  // Stats: well-formed, counts what happened.
+  std::string StatsLine, StatsErr;
+  ASSERT_TRUE(requestStats("127.0.0.1", S.port(), StatsLine, StatsErr))
+      << StatsErr;
+  std::optional<JsonValue> Stats = JsonValue::parse(StatsLine, &StatsErr);
+  ASSERT_TRUE(Stats.has_value()) << StatsErr;
+  EXPECT_EQ(Stats->stringAt("schema", ""), StatsSchema);
+  EXPECT_EQ(Stats->u64At("submits", 0), 3u);
+  EXPECT_EQ(Stats->get("cache")->u64At("hits", 0), 1u);
+  EXPECT_EQ(Stats->get("cache")->u64At("misses", 0), 2u);
+  EXPECT_EQ(Stats->get("shards")->u64At("retired", 0), 8u);
+
+  S.stop();
+}
+
+TEST(ServeEndToEnd, MalformedRequestsAreErrorsNotCrashes) {
+  Server S((ServerOptions()));
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Bad;
+  Bad.Lang = "tal";
+  Bad.Source = "block main { this does not parse }";
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Bad);
+  EXPECT_FALSE(O.Error.empty());
+  EXPECT_EQ(O.ErrorCode, "compile_error");
+  EXPECT_FALSE(O.GotResult);
+
+  S.stop();
+}
+
+// Drain + resume across a server restart: the partial fold persists
+// through the shared cache directory, and the resumed total equals an
+// uninterrupted run.
+TEST(ServeEndToEnd, DrainLeavesAResumablePartialEntry) {
+  std::string Dir = tempDir();
+  ASSERT_FALSE(Dir.empty());
+
+  SubmitSpec Spec;
+  Spec.Name = "CountdownLoop";
+  Spec.Lang = "tal";
+  Spec.Source = progs::CountdownLoop;
+  Spec.Stride = 2;
+  Spec.Engine = "reference";
+  Spec.Shards = 4;
+
+  SubmitOutcome First;
+  {
+    ServerOptions SO;
+    SO.CacheDir = Dir;
+    SO.DrainAfterShards = 2; // deterministic mid-campaign drain
+    Server S(SO);
+    std::string Err;
+    ASSERT_TRUE(S.start(&Err)) << Err;
+    First = submitProgram("127.0.0.1", S.port(), Spec);
+    S.wait(); // the drain hook already stopped it
+  }
+  ASSERT_TRUE(First.Error.empty()) << First.Error;
+  EXPECT_TRUE(First.Drained);
+  EXPECT_FALSE(First.GotResult);
+  EXPECT_EQ(First.ShardsDone, 2u);
+  EXPECT_EQ(First.ShardsTotal, 4u);
+
+  // Restart on the same cache dir; the resubmission resumes shards 2..3.
+  ServerOptions SO2;
+  SO2.CacheDir = Dir;
+  Server S2(SO2);
+  std::string Err;
+  ASSERT_TRUE(S2.start(&Err)) << Err;
+  SubmitOutcome Second = submitProgram("127.0.0.1", S2.port(), Spec);
+  ASSERT_TRUE(Second.Error.empty()) << Second.Error;
+  ASSERT_TRUE(Second.GotResult);
+  EXPECT_EQ(Second.Cache, "partial");
+  EXPECT_EQ(Second.ShardEvents, 2u); // only the remaining shards ran
+  S2.stop();
+
+  // The resumed fold equals an uninterrupted direct run.
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Expected<Program> P =
+      parseAndLayoutTalProgram(TC, progs::CountdownLoop, Diags);
+  ASSERT_TRUE(bool(P)) << Diags.str();
+  CampaignOptions Direct;
+  applySpecOptions(Spec, Direct);
+  CampaignResult Whole =
+      runSingleFaultCampaign(*P, theoremConfig(Spec, Spec.Stride), Direct);
+  expectSameCampaign(Second.Campaign, Whole, "resumed vs direct");
+}
+
+} // namespace
