@@ -1677,6 +1677,8 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
                          CR.Stride, &CR.Accesses, &CR.Execs, R);
   }
 
+  if (Opts.ShardRetiredHook)
+    Opts.ShardRetiredHook(R.Stats.ShardIndex, R.Stats.ShardCount);
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
@@ -1763,6 +1765,8 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps,
                        CR.Timeline, CR.Snaps, CR.Stride, &CR.Accesses,
                        &CR.Execs, R);
+  if (Opts.ShardRetiredHook)
+    Opts.ShardRetiredHook(R.Stats.ShardIndex, R.Stats.ShardCount);
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;

@@ -195,6 +195,15 @@ struct CampaignOptions {
   /// is the caller's plan vector — slice it directly instead).
   unsigned ShardCount = 1;
   unsigned ShardIndex = 0;
+  /// Invoked exactly once, after the shard's classification phase has
+  /// fully retired (every task verdict merged) and before the stats are
+  /// finalized — i.e. at the shard boundary. The serve layer's
+  /// crash-isolated workers use it as the chaos injection point: a worker
+  /// told to die "at a shard boundary" raises its signal here, after the
+  /// work is provably complete but before any result escapes the process,
+  /// which is the worst case the retry path must mask. Null = no hook.
+  std::function<void(unsigned ShardIndex, unsigned ShardCount)>
+      ShardRetiredHook;
 };
 
 struct CampaignStats {

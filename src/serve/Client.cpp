@@ -9,6 +9,7 @@
 #include "serve/Json.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -137,6 +138,8 @@ SubmitOutcome talft::serve::submitProgram(const std::string &Host,
     } else if (Kind == "shard") {
       ++O.ShardEvents;
       O.ShardsDone = (unsigned)Ev->u64At("index", O.ShardsDone) + 1;
+      O.MaxShardAttempts = std::max(
+          O.MaxShardAttempts, (unsigned)Ev->u64At("attempts", 1));
     } else if (Kind == "result") {
       O.ShardsTotal = (unsigned)Ev->u64At("shards_total", O.ShardsTotal);
       O.ShardsDone = (unsigned)Ev->u64At("shards_done", O.ShardsDone);
@@ -158,6 +161,9 @@ SubmitOutcome talft::serve::submitProgram(const std::string &Host,
     } else if (Kind == "error") {
       O.Error = Ev->stringAt("error", "unspecified server error");
       O.ErrorCode = Ev->stringAt("code", "");
+      O.RetryAfterMs = Ev->u64At("retry_after_ms", 0);
+      O.MaxShardAttempts = std::max(
+          O.MaxShardAttempts, (unsigned)Ev->u64At("attempts", 0));
       O.Completed = true;
       break;
     }

@@ -45,8 +45,14 @@ struct SubmitOutcome {
   CampaignResult Campaign;
   /// Transport or server error ("" when Completed without error).
   std::string Error;
-  /// Machine-readable error code from an error event (e.g. "queue_full").
+  /// Machine-readable error code from an error event (e.g. "overloaded",
+  /// "shard_poisoned", "deadline_exceeded").
   std::string ErrorCode;
+  /// Backpressure hint from an "overloaded" error (0 when absent).
+  uint64_t RetryAfterMs = 0;
+  /// Pool attempts reported by shard/error events (max seen; 1 = no
+  /// retry was needed anywhere).
+  unsigned MaxShardAttempts = 0;
   /// Every raw event line, in arrival order (diagnostics, tests).
   std::vector<std::string> Events;
 };

@@ -100,6 +100,7 @@ bool talft::serve::specFromJson(const JsonValue &V, SubmitSpec &Out,
     Out.CheckpointInterval = 1;
   Out.RetryBudget = V.u64At("retry_budget", Out.RetryBudget);
   Out.Shards = (unsigned)V.u64At("shards", Out.Shards);
+  Out.DeadlineMs = V.u64At("deadline_ms", Out.DeadlineMs);
   if (Out.MaxSteps == 0) {
     Err = "max_steps must be nonzero";
     return false;
@@ -127,6 +128,8 @@ std::string talft::serve::submitRequestJson(const SubmitSpec &S) {
                  S.Recover ? "true" : "false",
                  (unsigned long long)S.CheckpointInterval,
                  (unsigned long long)S.RetryBudget, S.Shards);
+  if (S.DeadlineMs)
+    Out += formatv(", \"deadline_ms\": %llu", (unsigned long long)S.DeadlineMs);
   Out += ", \"source\": " + jsonQuote(S.Source);
   Out += "}";
   return Out;

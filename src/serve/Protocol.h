@@ -14,7 +14,8 @@
 ///    "engine":"vm"|"reference", "stride":0, "max_steps":N,
 ///    "extra_steps":N, "only_mentioned_registers":b, "prune":b,
 ///    "converge":b, "lanes":b, "lane_width":N, "recover":b,
-///    "checkpoint_interval":N, "retry_budget":N, "shards":N}
+///    "checkpoint_interval":N, "retry_budget":N, "shards":N,
+///    "deadline_ms":N}
 ///     Every option is optional and defaults to the batch CLI's defaults
 ///     (stride 0 = the fig10 adaptive stride max(1, refSteps/12)).
 ///   {"cmd":"stats"}   one stats document (also served as HTTP "GET /stats")
@@ -50,8 +51,12 @@
 
 namespace talft::serve {
 
-inline constexpr const char *ProtocolSchema = "talft-serve-v1";
-inline constexpr const char *StatsSchema = "talft-serve-stats-v1";
+/// v2 adds the fail-operational fields: "retry_after_ms" on overloaded
+/// errors, "shard_poisoned"/"deadline_exceeded" error codes, the
+/// "deadline_ms" submit option, per-shard "attempts" provenance, and the
+/// pool/wal/admission objects in the stats document.
+inline constexpr const char *ProtocolSchema = "talft-serve-v2";
+inline constexpr const char *StatsSchema = "talft-serve-stats-v2";
 inline constexpr const char *CacheSchema = "talft-serve-cache-v1";
 
 /// One submission: a program plus the campaign options that shape its
@@ -79,6 +84,10 @@ struct SubmitSpec {
   /// Requested shard count; 0 = the server's default. Not part of the
   /// memo key (shard folds are bit-identical at any count).
   unsigned Shards = 0;
+  /// Per-submission wall-clock deadline; 0 = the server's default (which
+  /// may itself be "none"). Not part of the memo key — a deadline shapes
+  /// when work is abandoned, never what a verdict table contains.
+  uint64_t DeadlineMs = 0;
 };
 
 /// The options half of the memo key: a 64-bit digest of every semantic

@@ -15,12 +15,15 @@
 #include "vm/Engine.h"
 #include "wile/Codegen.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 using namespace talft;
@@ -28,8 +31,13 @@ using namespace talft::serve;
 
 namespace {
 
-/// A connection with no complete line in this many bytes is hostile.
-constexpr size_t MaxLineBytes = 32u << 20;
+using Clock = std::chrono::steady_clock;
+
+uint64_t msSince(Clock::time_point T0) {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now() - T0)
+      .count();
+}
 
 bool sendAll(int Fd, const char *Data, size_t Len) {
   while (Len) {
@@ -63,14 +71,28 @@ std::string verdictTableJson(const VerdictTable &T) {
   return S;
 }
 
+WorkerPoolOptions poolOptions(const ServerOptions &O) {
+  WorkerPoolOptions P;
+  P.Workers = O.PoolWorkers;
+  P.CampaignThreads = O.CampaignThreads;
+  P.ShardTimeoutMs = O.ShardTimeoutMs;
+  P.MaxAttempts = O.MaxShardAttempts;
+  P.ChaosCrashEveryN = O.ChaosCrashEveryN;
+  P.ChaosSignal = O.ChaosSignal;
+  return P;
+}
+
 } // namespace
 
 Server::Server(ServerOptions O)
-    : Opts(std::move(O)), Memo(Opts.CacheEntries, Opts.CacheDir) {
+    : Opts(std::move(O)), Memo(Opts.CacheEntries, Opts.CacheDir),
+      Pool(poolOptions(Opts)) {
   if (Opts.Workers == 0)
     Opts.Workers = 1;
   if (Opts.DefaultShards == 0)
     Opts.DefaultShards = 1;
+  if (Opts.MaxLineBytes == 0)
+    Opts.MaxLineBytes = 32u << 20;
 }
 
 Server::~Server() {
@@ -86,8 +108,13 @@ bool Server::start(std::string *Err) {
       ::close(ListenFd);
       ListenFd = -1;
     }
+    Pool.stop();
     return false;
   };
+
+  // A client (or a dead worker's pipe) closing mid-write must be an
+  // error return, never a process-killing signal.
+  ::signal(SIGPIPE, SIG_IGN);
 
   if (!Opts.CacheDir.empty() &&
       !support::createDirectories(Opts.CacheDir)) {
@@ -95,6 +122,14 @@ bool Server::start(std::string *Err) {
       *Err = "cannot create cache directory \"" + Opts.CacheDir + "\"";
     return false;
   }
+
+  if (!Opts.WalPath.empty() && !Wal.open(Opts.WalPath, Err))
+    return false;
+
+  // Fork the worker pool before any thread exists: the children inherit
+  // a single-threaded image, so nothing can be forked mid-malloc.
+  if (!Pool.start(Err))
+    return false;
 
   ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (ListenFd < 0)
@@ -110,6 +145,7 @@ bool Server::start(std::string *Err) {
       *Err = "invalid host address \"" + Opts.Host + "\"";
     ::close(ListenFd);
     ListenFd = -1;
+    Pool.stop();
     return false;
   }
   if (::bind(ListenFd, (sockaddr *)&Addr, sizeof(Addr)) < 0)
@@ -127,6 +163,8 @@ bool Server::start(std::string *Err) {
   Acceptor = std::thread([this] { acceptLoop(); });
   for (unsigned I = 0; I != Opts.Workers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  if (!Wal.pending().empty())
+    Replayer = std::thread([this] { replayLoop(); });
   return true;
 }
 
@@ -147,6 +185,9 @@ void Server::wait() {
     if (W.joinable())
       W.join();
   Workers.clear();
+  if (Replayer.joinable())
+    Replayer.join();
+  Pool.stop();
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
@@ -157,6 +198,27 @@ void Server::wait() {
 void Server::stop() {
   requestDrain();
   wait();
+}
+
+uint64_t Server::retryAfterMsEstimate() const {
+  // How long until a queue slot frees up: the average shard time scaled
+  // by the backlog, floored so clients never busy-spin against a server
+  // that has not yet served a shard.
+  double AvgShardMs;
+  size_t Depth;
+  {
+    std::lock_guard<std::mutex> Lock(CountersMu);
+    AvgShardMs = Counters.ShardsRetired
+                     ? Counters.ShardSeconds * 1000.0 /
+                           (double)Counters.ShardsRetired
+                     : 0.0;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMu);
+    Depth = Queue.size();
+  }
+  uint64_t Estimate = (uint64_t)(AvgShardMs * (double)(Depth + 1));
+  return std::min<uint64_t>(std::max<uint64_t>(Estimate, 200), 60000);
 }
 
 void Server::acceptLoop() {
@@ -171,23 +233,33 @@ void Server::acceptLoop() {
       std::lock_guard<std::mutex> Lock(CountersMu);
       ++Counters.Connections;
     }
-    // Bound each read so a silent client cannot stall a drain.
-    timeval Tv{0, 500 * 1000};
-    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
 
     std::unique_lock<std::mutex> Lock(QueueMu);
     if (Draining.load() || Queue.size() >= Opts.QueueCap) {
-      const char *Why = Draining.load() ? "draining" : "queue_full";
+      bool IsDraining = Draining.load();
       Lock.unlock();
       {
         std::lock_guard<std::mutex> CLock(CountersMu);
         ++Counters.Rejected;
+        if (!IsDraining)
+          ++Counters.Overloaded;
       }
-      sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
-                           "\"code\": \"%s\", \"error\": "
-                           "\"server is %s, try again later\"}",
-                           ProtocolSchema, Why,
-                           Draining.load() ? "draining" : "at capacity"));
+      if (IsDraining) {
+        emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                             "\"code\": \"draining\", \"error\": "
+                             "\"server is draining, try again later\"}",
+                             ProtocolSchema));
+      } else {
+        // Shed load ahead of the kernel accept backlog: the client gets
+        // a machine-readable hint for when a slot should be free.
+        emitLine(Fd,
+                 formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                         "\"code\": \"overloaded\", \"retry_after_ms\": "
+                         "%llu, \"error\": \"server is at capacity, retry "
+                         "later\"}",
+                         ProtocolSchema,
+                         (unsigned long long)retryAfterMsEstimate()));
+      }
       ::close(Fd);
       continue;
     }
@@ -216,7 +288,7 @@ void Server::workerLoop() {
         std::lock_guard<std::mutex> Lock(CountersMu);
         ++Counters.Rejected;
       }
-      sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+      emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
                            "\"code\": \"draining\", \"error\": "
                            "\"server is draining\"}",
                            ProtocolSchema));
@@ -229,10 +301,34 @@ void Server::workerLoop() {
   }
 }
 
+void Server::replayLoop() {
+  // Recovered accepts, oldest first. Each replays through the same
+  // pipeline as a live submission (memo probe first, so shards already
+  // folded before the crash are not rerun); the terminal event retires
+  // the WAL record. A drain mid-replay leaves the rest pending for the
+  // next restart.
+  for (const PendingSubmission &S : Wal.pending()) {
+    if (Draining.load())
+      return;
+    runSubmission(/*Fd=*/-1, S.Spec, /*ReplayId=*/S.Id);
+  }
+}
+
+bool Server::emitLine(int Fd, const std::string &S) {
+  if (Fd < 0)
+    return true; // replay: there is no client
+  if (sendLine(Fd, S))
+    return true;
+  std::lock_guard<std::mutex> Lock(CountersMu);
+  ++Counters.SendFailures;
+  return false;
+}
+
 void Server::handleConnection(int Fd) {
   std::string Buf;
   char Chunk[4096];
   bool Keep = true;
+  Clock::time_point LastActivity = Clock::now();
   while (Keep) {
     size_t NL;
     while (Keep && (NL = Buf.find('\n')) != std::string::npos) {
@@ -243,22 +339,53 @@ void Server::handleConnection(int Fd) {
       if (Line.empty())
         continue;
       Keep = handleRequest(Fd, Line);
+      LastActivity = Clock::now();
     }
-    if (!Keep || Buf.size() > MaxLineBytes)
+    if (!Keep)
       break;
+    if (Buf.size() > Opts.MaxLineBytes) {
+      // A structured refusal, not a silent close: the client learns the
+      // cap instead of diagnosing a reset.
+      {
+        std::lock_guard<std::mutex> Lock(CountersMu);
+        ++Counters.OversizedLines;
+        ++Counters.Errors;
+      }
+      emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                           "\"code\": \"bad_request\", \"error\": "
+                           "\"request line exceeds %llu bytes\"}",
+                           ProtocolSchema,
+                           (unsigned long long)Opts.MaxLineBytes));
+      break;
+    }
+    // Block in poll, not in a recv/EAGAIN spin: wake every 500ms to
+    // honor a drain and the idle timer without burning a core.
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, 500);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (R == 0) {
+      if (Draining.load())
+        break;
+      if (Opts.IdleTimeoutMs && msSince(LastActivity) >= Opts.IdleTimeoutMs) {
+        std::lock_guard<std::mutex> Lock(CountersMu);
+        ++Counters.IdleClosed;
+        break;
+      }
+      continue;
+    }
     ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
     if (N > 0) {
       Buf.append(Chunk, (size_t)N);
+      LastActivity = Clock::now();
       continue;
     }
-    if (N == 0)
-      break; // client closed
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      if (Draining.load())
-        break;
+    if (N < 0 && errno == EINTR)
       continue;
-    }
-    break;
+    break; // client closed or connection error
   }
   ::close(Fd);
 }
@@ -276,7 +403,10 @@ bool Server::handleRequest(int Fd, const std::string &Line) {
                                IsStats ? "200 OK" : "404 Not Found",
                                (unsigned long long)Body.size());
     Resp += Body;
-    sendAll(Fd, Resp.data(), Resp.size());
+    if (!sendAll(Fd, Resp.data(), Resp.size())) {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.SendFailures;
+    }
     return false;
   }
 
@@ -287,7 +417,7 @@ bool Server::handleRequest(int Fd, const std::string &Line) {
       std::lock_guard<std::mutex> Lock(CountersMu);
       ++Counters.Errors;
     }
-    sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+    emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
                          "\"code\": \"bad_request\", \"error\": %s}",
                          ProtocolSchema,
                          jsonQuote(Doc ? "request is not a JSON object"
@@ -298,13 +428,13 @@ bool Server::handleRequest(int Fd, const std::string &Line) {
 
   std::string Cmd = Doc->stringAt("cmd", "");
   if (Cmd == "ping") {
-    return sendLine(Fd, formatv("{\"event\": \"pong\", \"schema\": \"%s\", "
+    return emitLine(Fd, formatv("{\"event\": \"pong\", \"schema\": \"%s\", "
                                 "\"build\": %s}",
                                 ProtocolSchema,
                                 jsonQuote(Opts.BuildId).c_str()));
   }
   if (Cmd == "stats")
-    return sendLine(Fd, statsJson());
+    return emitLine(Fd, statsJson());
   if (Cmd == "submit") {
     handleSubmit(Fd, *Doc);
     return true;
@@ -313,7 +443,7 @@ bool Server::handleRequest(int Fd, const std::string &Line) {
     std::lock_guard<std::mutex> Lock(CountersMu);
     ++Counters.Errors;
   }
-  sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+  emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
                        "\"code\": \"bad_request\", \"error\": %s}",
                        ProtocolSchema,
                        jsonQuote("unknown cmd \"" + Cmd + "\"").c_str()));
@@ -333,20 +463,42 @@ void Server::noteShardRetired(const CampaignResult &R) {
 }
 
 void Server::handleSubmit(int Fd, const JsonValue &Request) {
-  auto Fail = [&](const char *Code, const std::string &Msg) {
+  SubmitSpec Spec;
+  std::string SpecErr;
+  if (!specFromJson(Request, Spec, SpecErr)) {
     {
       std::lock_guard<std::mutex> Lock(CountersMu);
       ++Counters.Errors;
     }
-    sendLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+    emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                         "\"code\": \"bad_request\", \"error\": %s}",
+                         ProtocolSchema, jsonQuote(SpecErr).c_str()));
+    return;
+  }
+  runSubmission(Fd, Spec, /*ReplayId=*/0);
+}
+
+void Server::runSubmission(int Fd, const SubmitSpec &Spec,
+                           uint64_t ReplayId) {
+  // The WAL record this submission retires on its terminal event. Live
+  // submissions append one below; replays retire the recovered record.
+  uint64_t WalId = ReplayId;
+  auto Retire = [&](const std::string &Outcome) {
+    Wal.appendRetire(WalId, Outcome);
+    WalId = 0;
+  };
+  auto Fail = [&](const std::string &Code, const std::string &Msg) {
+    {
+      std::lock_guard<std::mutex> Lock(CountersMu);
+      ++Counters.Errors;
+    }
+    emitLine(Fd, formatv("{\"event\": \"error\", \"schema\": \"%s\", "
                          "\"code\": \"%s\", \"error\": %s}",
-                         ProtocolSchema, Code, jsonQuote(Msg).c_str()));
+                         ProtocolSchema, Code.c_str(),
+                         jsonQuote(Msg).c_str()));
+    Retire("failed:" + Code);
   };
 
-  SubmitSpec Spec;
-  std::string SpecErr;
-  if (!specFromJson(Request, Spec, SpecErr))
-    return Fail("bad_request", SpecErr);
   {
     std::lock_guard<std::mutex> Lock(CountersMu);
     ++Counters.Submits;
@@ -413,16 +565,25 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
   }
   Entry.Certification = CertKey;
 
-  sendLine(Fd,
+  // Durability point: once the accept record is fsync'd, a crashed
+  // server replays this submission on restart. Replays already hold a
+  // record; cache-complete hits run no shards but are logged anyway so
+  // the retire outcome documents them.
+  if (!WalId)
+    WalId = Wal.appendAccept(Spec.Name, PH, OD, Entry.ShardsTotal,
+                             submitRequestJson(Spec));
+  const char *ServedOutcome = ReplayId ? "replayed" : "served";
+
+  emitLine(Fd,
            formatv("{\"event\": \"accepted\", \"schema\": \"%s\", "
                    "\"name\": %s, \"program_hash\": \"%s\", "
                    "\"options_digest\": \"%s\", \"certification\": \"%s\", "
                    "\"cache\": \"%s\", \"shards_total\": %u, "
-                   "\"shards_done\": %u, \"build\": %s}",
+                   "\"shards_done\": %u, \"wal_id\": %llu, \"build\": %s}",
                    ProtocolSchema, jsonQuote(Spec.Name).c_str(),
                    programHashString(PH).c_str(),
                    programHashString(OD).c_str(), CertKey.c_str(), Cache,
-                   Entry.ShardsTotal, StartShard,
+                   Entry.ShardsTotal, StartShard, (unsigned long long)WalId,
                    jsonQuote(Opts.BuildId).c_str()));
 
   auto SendResult = [&](const MemoEntry &E, const char *How) {
@@ -435,7 +596,7 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
                 E.Certification.c_str(), How, E.ShardsTotal, E.ShardsDone);
     Out += campaignJsonLine(E.Folded);
     Out += "}";
-    sendLine(Fd, Out);
+    emitLine(Fd, Out);
   };
 
   if (Entry.complete()) {
@@ -443,8 +604,11 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
     {
       std::lock_guard<std::mutex> Lock(CountersMu);
       ++Counters.Completed;
+      if (ReplayId)
+        ++Counters.Replayed;
     }
     SendResult(Entry, "hit");
+    Retire(ServedOutcome);
     return;
   }
 
@@ -474,6 +638,21 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
     Stride = std::max<uint64_t>(1, RR.Steps / 12);
   }
 
+  // Deadline: request-level, falling back to the server default. It
+  // bounds shard dispatch and retries; it is not part of the memo key.
+  uint64_t DeadlineMs =
+      Spec.DeadlineMs ? Spec.DeadlineMs : Opts.DefaultDeadlineMs;
+  Clock::time_point T0 = Clock::now();
+
+  // The worker request: the submission spliced with the already-resolved
+  // stride and the thread budget. The shard slice is appended per shard.
+  std::string BaseRequest = submitRequestJson(Spec);
+  BaseRequest.insert(BaseRequest.rfind('}'),
+                     formatv(", \"resolved_stride\": %llu, "
+                             "\"campaign_threads\": %u",
+                             (unsigned long long)Stride,
+                             Opts.CampaignThreads));
+
   TheoremConfig Config = theoremConfig(Spec, Stride);
   unsigned Shards = Entry.ShardsTotal;
   bool Drained = false;
@@ -482,24 +661,80 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
       Drained = true;
       break;
     }
-    CampaignOptions CO;
-    CO.Threads = Opts.CampaignThreads;
-    CO.Engine = Vm.get(); // null for the reference interpreter
-    applySpecOptions(Spec, CO);
-    CO.ShardCount = Shards;
-    CO.ShardIndex = I;
-    CampaignResult R = runSingleFaultCampaign(*Prog, Config, CO);
+    if (DeadlineMs && msSince(T0) >= DeadlineMs) {
+      {
+        std::lock_guard<std::mutex> Lock(CountersMu);
+        ++Counters.DeadlineExceeded;
+      }
+      return Fail("deadline_exceeded",
+                  formatv("submission deadline of %llu ms expired after "
+                          "%u of %u shards",
+                          (unsigned long long)DeadlineMs, I, Shards));
+    }
+
+    CampaignResult R;
+    unsigned Attempts = 1;
+    if (Pool.enabled()) {
+      std::string Req = BaseRequest;
+      Req.insert(Req.rfind('}'),
+                 formatv(", \"shard_index\": %u, \"shard_count\": %u", I,
+                         Shards));
+      uint64_t Left = 0;
+      if (DeadlineMs) {
+        uint64_t Spent = msSince(T0);
+        Left = Spent >= DeadlineMs ? 1 : DeadlineMs - Spent;
+      }
+      WorkerPool::ShardOutcome O = Pool.runShard(Req, Left);
+      if (!O.Ok) {
+        if (O.Code == "draining") {
+          Drained = true;
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> Lock(CountersMu);
+          if (O.Code == "deadline_exceeded")
+            ++Counters.DeadlineExceeded;
+          else if (O.Code == "shard_poisoned")
+            ++Counters.PoisonedSubmits;
+        }
+        // The submission fails contained: the pool already replaced the
+        // dead workers and every other submission keeps flowing.
+        {
+          std::lock_guard<std::mutex> Lock(CountersMu);
+          ++Counters.Errors;
+        }
+        emitLine(Fd,
+                 formatv("{\"event\": \"error\", \"schema\": \"%s\", "
+                         "\"code\": \"%s\", \"shard\": %u, "
+                         "\"attempts\": %u, \"error\": %s}",
+                         ProtocolSchema, O.Code.c_str(), I, O.Attempts,
+                         jsonQuote(O.Error).c_str()));
+        Retire("failed:" + O.Code);
+        return;
+      }
+      R = std::move(O.Result);
+      Attempts = O.Attempts;
+    } else {
+      CampaignOptions CO;
+      CO.Threads = Opts.CampaignThreads;
+      CO.Engine = Vm.get(); // null for the reference interpreter
+      applySpecOptions(Spec, CO);
+      CO.ShardCount = Shards;
+      CO.ShardIndex = I;
+      R = runSingleFaultCampaign(*Prog, Config, CO);
+    }
     noteShardRetired(R);
 
-    sendLine(Fd, formatv("{\"event\": \"shard\", \"schema\": \"%s\", "
+    emitLine(Fd, formatv("{\"event\": \"shard\", \"schema\": \"%s\", "
                          "\"index\": %u, \"count\": %u, "
                          "\"first_task\": %llu, \"tasks\": %llu, "
-                         "\"ok\": %s, \"wall_seconds\": %.6f, "
-                         "\"verdicts\": %s}",
+                         "\"ok\": %s, \"attempts\": %u, "
+                         "\"wall_seconds\": %.6f, \"verdicts\": %s}",
                          ProtocolSchema, I, Shards,
                          (unsigned long long)R.Stats.ShardFirstTask,
                          (unsigned long long)R.Stats.Tasks,
-                         R.Ok ? "true" : "false", R.Stats.WallSeconds,
+                         R.Ok ? "true" : "false", Attempts,
+                         R.Stats.WallSeconds,
                          verdictTableJson(R.Table).c_str()));
 
     if (I == 0)
@@ -521,21 +756,31 @@ void Server::handleSubmit(int Fd, const JsonValue &Request) {
       std::lock_guard<std::mutex> Lock(CountersMu);
       ++Counters.Drained;
     }
-    sendLine(Fd, formatv("{\"event\": \"drained\", \"schema\": \"%s\", "
+    emitLine(Fd, formatv("{\"event\": \"drained\", \"schema\": \"%s\", "
                          "\"name\": %s, \"program_hash\": \"%s\", "
                          "\"shards_done\": %u, \"shards_total\": %u, "
                          "\"resumable\": true}",
                          ProtocolSchema, jsonQuote(Spec.Name).c_str(),
                          programHashString(PH).c_str(), Entry.ShardsDone,
                          Entry.ShardsTotal));
+    // A drained *replay* stays pending: nobody has seen its result, so
+    // the next restart must pick it up again (the folded prefix is in
+    // the memo store, so it resumes, not reruns). A drained client
+    // submission retires — the client got a terminal event and the
+    // partial fold persists for its resubmission.
+    if (!ReplayId)
+      Retire("drained");
     return;
   }
 
   {
     std::lock_guard<std::mutex> Lock(CountersMu);
     ++Counters.Completed;
+    if (ReplayId)
+      ++Counters.Replayed;
   }
   SendResult(Entry, Cache);
+  Retire(ServedOutcome);
 }
 
 std::string Server::statsJson() const {
@@ -563,12 +808,24 @@ std::string Server::statsJson() const {
       Draining.load() ? "true" : "false", (unsigned long long)Depth,
       (unsigned long long)Opts.QueueCap, Opts.Workers, Active.load());
   S += formatv(", \"connections\": %llu, \"rejected\": %llu, "
-               "\"submits\": %llu, \"completed\": %llu, "
-               "\"drained\": %llu, \"errors\": %llu, \"resumed\": %llu",
+               "\"overloaded\": %llu, \"submits\": %llu, "
+               "\"completed\": %llu, \"drained\": %llu, "
+               "\"replayed\": %llu, \"errors\": %llu, \"resumed\": %llu",
                (unsigned long long)C.Connections,
-               (unsigned long long)C.Rejected, (unsigned long long)C.Submits,
+               (unsigned long long)C.Rejected,
+               (unsigned long long)C.Overloaded,
+               (unsigned long long)C.Submits,
                (unsigned long long)C.Completed, (unsigned long long)C.Drained,
-               (unsigned long long)C.Errors, (unsigned long long)C.Resumed);
+               (unsigned long long)C.Replayed, (unsigned long long)C.Errors,
+               (unsigned long long)C.Resumed);
+  S += formatv(", \"deadline_exceeded\": %llu, \"poisoned\": %llu, "
+               "\"send_failures\": %llu, \"oversized_lines\": %llu, "
+               "\"idle_closed\": %llu",
+               (unsigned long long)C.DeadlineExceeded,
+               (unsigned long long)C.PoisonedSubmits,
+               (unsigned long long)C.SendFailures,
+               (unsigned long long)C.OversizedLines,
+               (unsigned long long)C.IdleClosed);
   S += formatv(", \"cache\": {\"hits\": %llu, \"partial_hits\": %llu, "
                "\"misses\": %llu, \"hit_rate\": %.4f, \"evictions\": %llu, "
                "\"disk_loads\": %llu, \"disk_stores\": %llu, "
@@ -580,6 +837,37 @@ std::string Server::statsJson() const {
                (unsigned long long)M.DiskStores,
                (unsigned long long)M.Entries,
                (unsigned long long)M.Capacity);
+
+  // Pool health; the pids are the chaos harness's kill list.
+  WorkerPoolStats P = Pool.stats();
+  S += formatv(", \"pool\": {\"workers\": %u, \"alive\": %u, \"busy\": %u, "
+               "\"spawned\": %llu, \"dispatched\": %llu, "
+               "\"crashes\": %llu, \"timeouts\": %llu, \"retries\": %llu, "
+               "\"poisoned\": %llu, \"chaos_injected\": %llu, \"pids\": [",
+               Opts.PoolWorkers, P.Alive, P.Busy,
+               (unsigned long long)P.Spawned,
+               (unsigned long long)P.Dispatched,
+               (unsigned long long)P.Crashes, (unsigned long long)P.Timeouts,
+               (unsigned long long)P.Retries, (unsigned long long)P.Poisoned,
+               (unsigned long long)P.ChaosInjected);
+  std::vector<pid_t> Pids = Pool.workerPids();
+  for (size_t I = 0; I != Pids.size(); ++I)
+    S += formatv(I ? ", %d" : "%d", (int)Pids[I]);
+  S += "]}";
+
+  SubmitLogStats W = Wal.stats();
+  S += formatv(", \"wal\": {\"enabled\": %s, \"path\": %s, "
+               "\"appends\": %llu, \"retires\": %llu, \"recovered\": %llu, "
+               "\"torn_bytes\": %llu, \"corrupt_frames\": %llu, "
+               "\"fsyncs\": %llu}",
+               Wal.enabled() ? "true" : "false",
+               jsonQuote(Wal.path()).c_str(), (unsigned long long)W.Appends,
+               (unsigned long long)W.Retires,
+               (unsigned long long)W.Recovered,
+               (unsigned long long)W.TornBytes,
+               (unsigned long long)W.CorruptFrames,
+               (unsigned long long)W.Fsyncs);
+
   S += formatv(", \"shards\": {\"retired\": %llu, "
                "\"tasks_classified\": %llu, \"seconds\": %.6f, "
                "\"tasks_per_second\": %.1f}",

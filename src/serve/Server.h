@@ -18,9 +18,24 @@
 /// Operational guarantees:
 ///   - every served verdict table folds bit-identically onto the batch
 ///     CLI's for the same program and options (same enumeration, same
-///     shard fold the tests assert);
-///   - backpressure: connections beyond the queue cap are refused with a
-///     "queue_full" error instead of queueing unboundedly;
+///     shard fold the tests assert) — including when shards execute on
+///     crash-isolated worker processes and some of them are retried;
+///   - crash isolation: with PoolWorkers > 0 every shard runs in a
+///     forked worker (serve/WorkerPool.h); a segfault, OOM kill or wedged
+///     shard costs one worker process, the shard is retried on a fresh
+///     one, and after MaxShardAttempts failures the submission gets a
+///     structured "shard_poisoned" error while other submissions keep
+///     flowing;
+///   - durability: with a WalPath every accepted submission is fsync'd
+///     into a write-ahead log (serve/SubmitLog.h) before work starts and
+///     retired after the terminal event; a SIGKILLed server replays the
+///     unretired entries through the memo store on restart, so accepted
+///     work is never silently lost;
+///   - deadlines and backpressure: submissions carry wall-clock deadlines
+///     ("deadline_ms", or DefaultDeadlineMs) enforced across shard
+///     dispatch and retries; connections beyond the queue cap are shed
+///     with a structured "overloaded" error carrying a retry_after_ms
+///     hint instead of queueing unboundedly;
 ///   - graceful drain: requestDrain (wired to SIGTERM by the tool) stops
 ///     accepting, cuts in-flight campaigns at the next shard boundary,
 ///     persists the folded prefix through the memo store, and answers
@@ -28,8 +43,10 @@
 ///     process or a restarted one sharing the cache directory — resumes
 ///     from the first unclassified shard;
 ///   - introspection: a "stats" request (or HTTP "GET /stats") reports
-///     queue depth, cache hit rate, shard throughput and the summed
-///     convergence/lane counters of every served campaign.
+///     queue depth, cache hit rate, shard throughput, pool health
+///     (including live worker pids, which the chaos harness uses as its
+///     kill list), WAL counters and the summed convergence/lane counters
+///     of every served campaign.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +55,8 @@
 
 #include "serve/MemoStore.h"
 #include "serve/Protocol.h"
+#include "serve/SubmitLog.h"
+#include "serve/WorkerPool.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -60,7 +79,8 @@ struct ServerOptions {
   unsigned CampaignThreads = 0;
   /// Shard count when a submission does not request one.
   unsigned DefaultShards = 4;
-  /// Backpressure: pending connections beyond this are refused.
+  /// Backpressure: pending connections beyond this are shed with an
+  /// "overloaded" error carrying a retry_after_ms hint.
   size_t QueueCap = 16;
   /// In-memory memo entries retained (LRU).
   size_t CacheEntries = 64;
@@ -73,18 +93,50 @@ struct ServerOptions {
   /// Free-form build identifier echoed in every "accepted" event and in
   /// the stats document.
   std::string BuildId = "dev";
+
+  /// Forked shard-worker processes (crash isolation). 0 disables the
+  /// pool and runs shards in-process — the pre-pool behavior, kept for
+  /// environments where fork is unwelcome.
+  unsigned PoolWorkers = 2;
+  /// Per-shard wall-clock deadline in the pool; a worker exceeding it is
+  /// SIGKILLed and the shard retried. 0 = none.
+  uint64_t ShardTimeoutMs = 0;
+  /// Attempts per shard before it is declared poisoned.
+  unsigned MaxShardAttempts = 3;
+  /// Default per-submission deadline when the request carries no
+  /// "deadline_ms"; 0 = unbounded.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Connections idle (no bytes, no in-flight request) longer than this
+  /// are closed; 0 = never.
+  uint64_t IdleTimeoutMs = 30000;
+  /// A connection accumulating this many bytes without a complete line
+  /// is answered with a structured "bad_request" and closed.
+  size_t MaxLineBytes = 32u << 20;
+  /// Write-ahead submission log path; empty disables durability.
+  std::string WalPath;
+  /// Chaos hooks (tests/CI only): every Nth pool dispatch instructs the
+  /// worker to raise ChaosSignal at the shard boundary.
+  uint64_t ChaosCrashEveryN = 0;
+  int ChaosSignal = 11; // SIGSEGV
 };
 
 /// Aggregated service counters (all monotonically increasing).
 struct ServeCounters {
   uint64_t Connections = 0;
-  uint64_t Rejected = 0; ///< queue_full + draining refusals
+  uint64_t Rejected = 0; ///< overloaded + draining refusals
+  uint64_t Overloaded = 0; ///< connections shed with retry_after_ms
   uint64_t Submits = 0;
   uint64_t CacheHits = 0;
   uint64_t Resumed = 0;
   uint64_t Completed = 0;
   uint64_t Drained = 0;
+  uint64_t Replayed = 0; ///< WAL entries replayed to completion
   uint64_t Errors = 0;
+  uint64_t DeadlineExceeded = 0; ///< submissions failed on deadline
+  uint64_t PoisonedSubmits = 0;  ///< submissions failed shard_poisoned
+  uint64_t SendFailures = 0;     ///< EPIPE/short writes to clients
+  uint64_t OversizedLines = 0;   ///< lines rejected for exceeding the cap
+  uint64_t IdleClosed = 0;       ///< connections closed by the idle timer
   uint64_t ShardsRetired = 0;
   uint64_t TasksClassified = 0;
   double ShardSeconds = 0;
@@ -103,8 +155,10 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds, listens and spawns the accept loop and worker threads.
-  /// Returns false with \p Err set on any socket failure.
+  /// Opens the WAL, forks the worker pool (before any thread exists, so
+  /// the first generation forks from a single-threaded process), binds,
+  /// listens, spawns the accept loop, workers and the WAL replayer.
+  /// Returns false with \p Err set on any failure.
   bool start(std::string *Err = nullptr);
 
   /// The bound port (meaningful after start; resolves Port 0).
@@ -129,17 +183,31 @@ public:
 
   const ServerOptions &options() const { return Opts; }
   MemoStats memoStats() const { return Memo.stats(); }
+  WorkerPoolStats poolStats() const { return Pool.stats(); }
+  SubmitLogStats walStats() const { return Wal.stats(); }
 
 private:
   void acceptLoop();
   void workerLoop();
+  void replayLoop();
   void handleConnection(int Fd);
   bool handleRequest(int Fd, const std::string &Line);
   void handleSubmit(int Fd, const JsonValue &Request);
+  /// The whole submission pipeline — compile, certify, memo probe, WAL
+  /// accept, shard loop (pool or in-process), fold, terminal event —
+  /// shared by connection handlers (Fd >= 0) and the WAL replayer
+  /// (Fd < 0, ReplayId = the pending record being replayed).
+  void runSubmission(int Fd, const SubmitSpec &Spec, uint64_t ReplayId);
+  /// sendLine that counts failures (EPIPE, resets) instead of raising
+  /// SIGPIPE or silently dropping them. Fd < 0 (replay) always succeeds.
+  bool emitLine(int Fd, const std::string &S);
   void noteShardRetired(const CampaignResult &Shard);
+  uint64_t retryAfterMsEstimate() const;
 
   ServerOptions Opts;
   MemoStore Memo;
+  WorkerPool Pool;
+  SubmitLog Wal;
   unsigned BoundPort = 0;
   int ListenFd = -1;
   std::atomic<bool> Draining{false};
@@ -149,6 +217,7 @@ private:
 
   std::thread Acceptor;
   std::vector<std::thread> Workers;
+  std::thread Replayer;
 
   mutable std::mutex QueueMu;
   std::condition_variable QueueCv;

@@ -1,0 +1,210 @@
+//===- serve/SubmitLog.cpp - Write-ahead submission log -------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SubmitLog.h"
+
+#include "isa/ProgramHash.h"
+#include "serve/Json.h"
+#include "support/AtomicFile.h"
+#include "support/Crc32.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <map>
+#include <unistd.h>
+
+using namespace talft;
+using namespace talft::serve;
+
+namespace {
+
+constexpr uint32_t MaxWalFrame = 64u << 20;
+
+std::string frameRecord(const std::string &Payload) {
+  uint32_t Header[2] = {(uint32_t)Payload.size(), support::crc32(Payload)};
+  std::string Out(reinterpret_cast<const char *>(Header), sizeof(Header));
+  Out += Payload;
+  return Out;
+}
+
+bool writeAllFd(int Fd, const char *Data, size_t Len) {
+  while (Len) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= (size_t)N;
+  }
+  return true;
+}
+
+} // namespace
+
+SubmitLog::~SubmitLog() { close(); }
+
+void SubmitLog::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool SubmitLog::open(const std::string &P, std::string *Err) {
+  close();
+  std::lock_guard<std::mutex> Lock(Mu);
+  Path = P;
+  Pending.clear();
+  NextId = 1;
+
+  // Scan whatever survives on disk. A missing file is a fresh log.
+  std::string Text;
+  {
+    int RFd = ::open(P.c_str(), O_RDONLY);
+    if (RFd >= 0) {
+      char Buf[1 << 16];
+      ssize_t N;
+      while ((N = ::read(RFd, Buf, sizeof(Buf))) > 0)
+        Text.append(Buf, (size_t)N);
+      ::close(RFd);
+    }
+  }
+
+  // Replay the frames: accepts keyed by id, retires erase them. The scan
+  // stops at the first frame that cannot be whole (torn tail) and skips
+  // frames whose CRC fails (a torn middle can only happen if the kernel
+  // reordered writes across a crash; skipping is safe because every
+  // record is self-contained).
+  std::map<uint64_t, PendingSubmission> Accepted;
+  size_t Off = 0;
+  while (Off + 8 <= Text.size()) {
+    uint32_t Len, Crc;
+    std::memcpy(&Len, Text.data() + Off, 4);
+    std::memcpy(&Crc, Text.data() + Off + 4, 4);
+    if (Len > MaxWalFrame || Off + 8 + Len > Text.size())
+      break; // torn tail: the record never finished hitting the disk
+    std::string_view Payload(Text.data() + Off + 8, Len);
+    Off += 8 + Len;
+    if (support::crc32(Payload) != Crc) {
+      ++Counters.CorruptFrames;
+      continue;
+    }
+    std::optional<JsonValue> Doc = JsonValue::parse(Payload);
+    if (!Doc || !Doc->isObject()) {
+      ++Counters.CorruptFrames;
+      continue;
+    }
+    uint64_t Id = Doc->u64At("id", 0);
+    NextId = std::max(NextId, Id + 1);
+    std::string Kind = Doc->stringAt("wal", "");
+    if (Kind == "accept") {
+      PendingSubmission S;
+      S.Id = Id;
+      S.Name = Doc->stringAt("name", "");
+      parseProgramHash(Doc->stringAt("program_hash", "0x0"), S.ProgramHash);
+      parseProgramHash(Doc->stringAt("options_digest", "0x0"),
+                       S.OptionsDigest);
+      S.ShardsTotal = (unsigned)Doc->u64At("shards_total", 0);
+      const JsonValue *Spec = Doc->get("spec");
+      std::string SpecErr;
+      if (!Spec || !specFromJson(*Spec, S.Spec, SpecErr)) {
+        ++Counters.CorruptFrames;
+        continue;
+      }
+      S.AcceptJson = std::string(Payload);
+      Accepted[Id] = std::move(S);
+    } else if (Kind == "retire") {
+      Accepted.erase(Id);
+    } else {
+      ++Counters.CorruptFrames;
+    }
+  }
+  Counters.TornBytes += Text.size() - Off;
+
+  for (auto &[Id, S] : Accepted)
+    Pending.push_back(std::move(S));
+  Counters.Recovered += Pending.size();
+
+  // Compact: rewrite the log holding only the pending accepts. The
+  // atomic rename means a crash mid-compaction leaves the old log.
+  std::string Compacted;
+  for (const PendingSubmission &S : Pending)
+    Compacted += frameRecord(S.AcceptJson);
+  if (!support::writeFileAtomic(P, Compacted)) {
+    if (Err)
+      *Err = "cannot rewrite submission log \"" + P + "\"";
+    return false;
+  }
+
+  Fd = ::open(P.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = formatv("cannot open submission log \"%s\": %s", P.c_str(),
+                     std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool SubmitLog::writeRecord(const std::string &Payload, bool Sync) {
+  // Caller holds Mu.
+  if (Fd < 0)
+    return false;
+  std::string Frame = frameRecord(Payload);
+  if (!writeAllFd(Fd, Frame.data(), Frame.size()))
+    return false;
+  if (Sync) {
+    while (::fsync(Fd) < 0 && errno == EINTR)
+      ;
+    ++Counters.Fsyncs;
+  }
+  return true;
+}
+
+uint64_t SubmitLog::appendAccept(const std::string &Name,
+                                 uint64_t ProgramHash, uint64_t OptionsDigest,
+                                 unsigned ShardsTotal,
+                                 const std::string &SpecJson) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return 0;
+  uint64_t Id = NextId++;
+  std::string Payload = formatv(
+      "{\"wal\": \"accept\", \"id\": %llu, \"name\": %s, "
+      "\"program_hash\": \"%s\", \"options_digest\": \"%s\", "
+      "\"shards_total\": %u, \"spec\": ",
+      (unsigned long long)Id, jsonQuote(Name).c_str(),
+      programHashString(ProgramHash).c_str(),
+      programHashString(OptionsDigest).c_str(), ShardsTotal);
+  Payload += SpecJson;
+  Payload += "}";
+  if (!writeRecord(Payload, /*Sync=*/true))
+    return 0;
+  ++Counters.Appends;
+  return Id;
+}
+
+void SubmitLog::appendRetire(uint64_t Id, const std::string &Outcome) {
+  if (Id == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (writeRecord(formatv("{\"wal\": \"retire\", \"id\": %llu, "
+                          "\"outcome\": %s}",
+                          (unsigned long long)Id, jsonQuote(Outcome).c_str()),
+                  /*Sync=*/true))
+    ++Counters.Retires;
+}
+
+SubmitLogStats SubmitLog::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}

@@ -1,0 +1,123 @@
+//===- serve/SubmitLog.h - Write-ahead submission log ---------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The certification server's write-ahead log: every accepted submission
+/// is appended — atomically framed, CRC-checked, fsync'd — *before* any
+/// shard work starts, and marked retired after the client has received
+/// its terminal event (result, drained, or a structured error). A server
+/// killed mid-campaign (crash, OOM, SIGKILL) therefore cannot silently
+/// lose accepted work: on restart, open() scans the log, discards a torn
+/// tail (a frame cut mid-write fails its CRC or length check and the
+/// file is truncated back to the last whole record), and hands back the
+/// accepted-but-unretired entries; the server replays them through the
+/// memo store's partial-fold path, so a resubmitting client gets a cache
+/// hit instead of a rerun.
+///
+/// On-disk format: a sequence of frames, each
+///
+///   [u32 payload length][u32 crc32(payload)][payload]
+///
+/// where the payload is one JSON object, either
+///   {"wal":"accept","id":N,"name":...,"program_hash":...,
+///    "options_digest":...,"shards_total":N,"spec":{...submit request...}}
+/// or
+///   {"wal":"retire","id":N,"outcome":"served"|"drained"|"replayed"|
+///    "failed:<code>"}.
+///
+/// open() also compacts: retired pairs are dropped and the log is
+/// rewritten (atomically, support/AtomicFile.h) holding only the pending
+/// accepts, so the file is bounded by the in-flight backlog rather than
+/// the server's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SERVE_SUBMITLOG_H
+#define TALFT_SERVE_SUBMITLOG_H
+
+#include "serve/Protocol.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace talft::serve {
+
+/// One accepted-but-unretired submission recovered from the log.
+struct PendingSubmission {
+  uint64_t Id = 0;
+  std::string Name;
+  uint64_t ProgramHash = 0;
+  uint64_t OptionsDigest = 0;
+  unsigned ShardsTotal = 0;
+  /// The submission's options, parsed back out of the logged request —
+  /// a pending entry carries everything replay needs.
+  SubmitSpec Spec;
+  /// The verbatim accept record, re-appended by open()'s compaction.
+  std::string AcceptJson;
+};
+
+struct SubmitLogStats {
+  uint64_t Appends = 0;     ///< accept records written (this process)
+  uint64_t Retires = 0;     ///< retire records written (this process)
+  uint64_t Recovered = 0;   ///< pending entries handed back by open()
+  uint64_t TornBytes = 0;   ///< tail bytes discarded by open()'s scan
+  uint64_t CorruptFrames = 0; ///< CRC-failed frames skipped by the scan
+  uint64_t Fsyncs = 0;
+};
+
+class SubmitLog {
+public:
+  SubmitLog() = default;
+  ~SubmitLog();
+
+  SubmitLog(const SubmitLog &) = delete;
+  SubmitLog &operator=(const SubmitLog &) = delete;
+
+  bool enabled() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+  /// Opens (creating if absent) the log at \p P, scans it, truncates any
+  /// torn tail, compacts retired records away, and exposes the surviving
+  /// pending entries via pending(). Returns false with \p Err on I/O
+  /// failure.
+  bool open(const std::string &P, std::string *Err);
+
+  /// The accepted-but-unretired submissions recovered by open(), oldest
+  /// first. Stable until the next open().
+  const std::vector<PendingSubmission> &pending() const { return Pending; }
+
+  /// Appends an accept record and fsyncs before returning, so the caller
+  /// may promise the client the submission is durable. Returns the new
+  /// record id (0 when the log is disabled or the write failed — the
+  /// caller degrades to best-effort serving, it does not refuse).
+  uint64_t appendAccept(const std::string &Name, uint64_t ProgramHash,
+                        uint64_t OptionsDigest, unsigned ShardsTotal,
+                        const std::string &SpecJson);
+
+  /// Appends a retire record for \p Id (fsync'd). No-op for id 0.
+  void appendRetire(uint64_t Id, const std::string &Outcome);
+
+  SubmitLogStats stats() const;
+
+  /// Closes the fd (open() does this implicitly).
+  void close();
+
+private:
+  bool writeRecord(const std::string &Payload, bool Sync);
+
+  mutable std::mutex Mu;
+  std::string Path;
+  int Fd = -1;
+  uint64_t NextId = 1;
+  std::vector<PendingSubmission> Pending;
+  SubmitLogStats Counters;
+};
+
+} // namespace talft::serve
+
+#endif // TALFT_SERVE_SUBMITLOG_H

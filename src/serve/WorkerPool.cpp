@@ -1,0 +1,307 @@
+//===- serve/WorkerPool.cpp - Crash-isolated shard worker pool ------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/WorkerPool.h"
+
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <poll.h>
+#include <thread>
+
+using namespace talft;
+using namespace talft::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t msSince(Clock::time_point T0) {
+  return (uint64_t)std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now() - T0)
+      .count();
+}
+
+/// Waits for a response frame on \p Fd for at most \p TimeoutMs
+/// (0 = forever). Returns 1 when readable, 0 on timeout, -1 on error.
+int pollResponse(int Fd, uint64_t TimeoutMs) {
+  Clock::time_point T0 = Clock::now();
+  while (true) {
+    uint64_t Left =
+        TimeoutMs ? (TimeoutMs > msSince(T0) ? TimeoutMs - msSince(T0) : 0)
+                  : 0;
+    if (TimeoutMs && Left == 0)
+      return 0;
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, TimeoutMs ? (int)std::min<uint64_t>(Left, 60000)
+                                    : 60000);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R > 0)
+      return (P.revents & (POLLIN | POLLHUP | POLLERR)) ? 1 : -1;
+    if (!TimeoutMs)
+      continue; // untimed: keep waiting in 60s slices
+  }
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(WorkerPoolOptions O) : Opts(O) {
+  if (Opts.MaxAttempts == 0)
+    Opts.MaxAttempts = 1;
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+bool WorkerPool::start(std::string *Err) {
+  if (!enabled())
+    return true;
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (unsigned I = 0; I != Opts.Workers; ++I) {
+    WorkerProc W;
+    if (!spawnWorker(W, Err)) {
+      for (WorkerProc &P : Free)
+        destroyWorker(P);
+      Free.clear();
+      Alive = 0;
+      return false;
+    }
+    ++Counters.Spawned;
+    ++Alive;
+    Free.push_back(W);
+  }
+  return true;
+}
+
+void WorkerPool::stop() {
+  std::vector<WorkerProc> ToKill;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping && Free.empty())
+      return;
+    Stopping = true;
+    ToKill.swap(Free);
+  }
+  FreeCv.notify_all();
+  for (WorkerProc &W : ToKill)
+    destroyWorker(W);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Alive -= std::min<unsigned>(Alive, (unsigned)ToKill.size());
+  // Busy workers are destroyed by their checked-out callers when they
+  // observe Stopping; nothing to do for them here.
+}
+
+bool WorkerPool::checkout(WorkerProc &W, uint64_t DeadlineMs, bool &Chaos) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Clock::time_point T0 = Clock::now();
+  while (true) {
+    if (Stopping)
+      return false;
+    if (!Free.empty()) {
+      W = Free.back();
+      Free.pop_back();
+      ++BusyCount;
+      ++Counters.Dispatched;
+      BusyPids.push_back(W.Pid);
+      Chaos = Opts.ChaosCrashEveryN &&
+              Counters.Dispatched % Opts.ChaosCrashEveryN == 0;
+      if (Chaos)
+        ++Counters.ChaosInjected;
+      return true;
+    }
+    if (DeadlineMs) {
+      uint64_t Spent = msSince(T0);
+      if (Spent >= DeadlineMs)
+        return false;
+      FreeCv.wait_for(Lock, std::chrono::milliseconds(DeadlineMs - Spent));
+    } else {
+      FreeCv.wait(Lock);
+    }
+  }
+}
+
+void WorkerPool::checkin(WorkerProc W) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    BusyPids.erase(std::remove(BusyPids.begin(), BusyPids.end(), W.Pid),
+                   BusyPids.end());
+    --BusyCount;
+    if (!Stopping) {
+      Free.push_back(W);
+      FreeCv.notify_one();
+      return;
+    }
+  }
+  destroyWorker(W);
+}
+
+void WorkerPool::retire(WorkerProc W, bool Timeout) {
+  pid_t Pid = W.Pid;
+  destroyWorker(W); // SIGKILL + waitpid: confirm the death we detected
+  bool WantRespawn;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    WantRespawn = !Stopping;
+  }
+  WorkerProc Fresh;
+  std::string Err;
+  bool Respawned = WantRespawn && spawnWorker(Fresh, &Err);
+  std::lock_guard<std::mutex> Lock(Mu);
+  BusyPids.erase(std::remove(BusyPids.begin(), BusyPids.end(), Pid),
+                 BusyPids.end());
+  --BusyCount;
+  --Alive;
+  if (Timeout)
+    ++Counters.Timeouts;
+  else
+    ++Counters.Crashes;
+  if (Respawned) {
+    ++Counters.Spawned;
+    ++Alive;
+    Free.push_back(Fresh);
+    FreeCv.notify_one();
+  }
+}
+
+WorkerPool::ShardOutcome WorkerPool::runShard(const std::string &RequestJson,
+                                              uint64_t DeadlineMs) {
+  ShardOutcome Out;
+  Clock::time_point T0 = Clock::now();
+  uint64_t Backoff = std::max<uint64_t>(1, Opts.BackoffMs);
+
+  for (unsigned Attempt = 0; Attempt != Opts.MaxAttempts; ++Attempt) {
+    Out.Attempts = Attempt + 1;
+    if (Attempt) {
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        ++Counters.Retries;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+      Backoff = std::min(Backoff * 2, std::max(Opts.BackoffCapMs, Backoff));
+    }
+    uint64_t Left = 0;
+    if (DeadlineMs) {
+      uint64_t Spent = msSince(T0);
+      if (Spent >= DeadlineMs) {
+        Out.Code = "deadline_exceeded";
+        Out.Error = "submission deadline expired while retrying the shard";
+        return Out;
+      }
+      Left = DeadlineMs - Spent;
+    }
+
+    WorkerProc W;
+    bool Chaos = false;
+    if (!checkout(W, Left, Chaos)) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stopping) {
+        Out.Code = "draining";
+        Out.Error = "worker pool is shutting down";
+      } else {
+        Out.Code = "deadline_exceeded";
+        Out.Error = "submission deadline expired waiting for a free worker";
+      }
+      return Out;
+    }
+
+    std::string Request = RequestJson;
+    if (Chaos) {
+      // Splice the chaos field into the request object's tail.
+      Request.insert(Request.rfind('}'),
+                     formatv(", \"chaos_signal\": %d", Opts.ChaosSignal));
+    }
+
+    if (!writeFrame(W.RequestFd, Request)) {
+      retire(std::move(W), /*Timeout=*/false);
+      continue; // the worker died between shards; retry costs nothing
+    }
+
+    // Shard deadline: the tighter of the per-shard timeout and what is
+    // left of the submission deadline.
+    uint64_t Wait = Opts.ShardTimeoutMs;
+    if (DeadlineMs) {
+      uint64_t Spent = msSince(T0);
+      uint64_t Remain = Spent >= DeadlineMs ? 1 : DeadlineMs - Spent;
+      Wait = Wait ? std::min(Wait, Remain) : Remain;
+    }
+    int Ready = pollResponse(W.ResponseFd, Wait);
+    if (Ready == 0) {
+      retire(std::move(W), /*Timeout=*/true);
+      if (DeadlineMs && msSince(T0) >= DeadlineMs) {
+        Out.Code = "deadline_exceeded";
+        Out.Error = "shard exceeded the submission deadline";
+        return Out;
+      }
+      continue;
+    }
+    std::string Response;
+    if (Ready < 0 || !readFrame(W.ResponseFd, Response)) {
+      // EOF, torn frame or CRC mismatch: the worker is dead or lying.
+      retire(std::move(W), /*Timeout=*/false);
+      continue;
+    }
+
+    std::optional<JsonValue> Doc = JsonValue::parse(Response);
+    if (!Doc || !Doc->isObject()) {
+      retire(std::move(W), /*Timeout=*/false);
+      continue;
+    }
+    if (!Doc->boolAt("ok", false)) {
+      // A structured worker-side failure (compile error, bad request) is
+      // deterministic — retrying cannot help, and the worker is healthy.
+      Out.Code = Doc->stringAt("code", "worker_error");
+      Out.Error = Doc->stringAt("error", "worker reported an error");
+      ++W.ShardsServed;
+      checkin(std::move(W));
+      return Out;
+    }
+    const JsonValue *Campaign = Doc->get("campaign");
+    std::string ParseErr;
+    if (!Campaign || !campaignFromJson(*Campaign, Out.Result, ParseErr)) {
+      retire(std::move(W), /*Timeout=*/false);
+      continue;
+    }
+    Out.Ok = true;
+    Out.Code.clear();
+    Out.Error.clear();
+    ++W.ShardsServed;
+    checkin(std::move(W));
+    return Out;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Counters.Poisoned;
+  }
+  Out.Code = "shard_poisoned";
+  Out.Error = formatv("shard failed %u consecutive attempts on fresh "
+                      "workers; refusing to retry further",
+                      Opts.MaxAttempts);
+  return Out;
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  WorkerPoolStats S = Counters;
+  S.Alive = Alive;
+  S.Busy = BusyCount;
+  return S;
+}
+
+std::vector<pid_t> WorkerPool::workerPids() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<pid_t> Pids = BusyPids;
+  for (const WorkerProc &W : Free)
+    Pids.push_back(W.Pid);
+  return Pids;
+}

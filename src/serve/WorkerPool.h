@@ -1,0 +1,147 @@
+//===- serve/WorkerPool.h - Crash-isolated shard worker pool --------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The certification server's detect→contain→recover discipline applied
+/// to the server itself: shards are farmed over a pool of forked worker
+/// processes (serve/WorkerProc.h), so a fault that would have killed the
+/// whole service — a segfault in the campaign engine, an OOM kill, a
+/// wedged shard — takes down one worker process instead.
+///
+///   - detect: a worker that dies (pipe EOF / torn frame, confirmed by
+///     waitpid) or exceeds the per-shard deadline (poll timeout, then
+///     SIGKILL) is a detected fault;
+///   - contain: the shard's partial work dies with the process — no
+///     result bytes escape a crashing worker, so nothing corrupt can
+///     fold into a table;
+///   - recover: the shard is re-dispatched to a fresh worker with capped
+///     exponential backoff. Shards are deterministic index ranges of the
+///     campaign's task enumeration, so the retried table is bit-identical
+///     to what the dead worker would have produced.
+///
+/// After MaxAttempts consecutive failures of the *same* shard the pool
+/// reports it poisoned (a deterministic crasher would otherwise eat
+/// workers forever); the server fails that one submission with a
+/// structured "shard_poisoned" error while every other submission keeps
+/// flowing.
+///
+/// runShard is thread-safe and blocking: connection handlers check
+/// workers out of a free list and wait when all are busy, which is also
+/// the pool's natural backpressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SERVE_WORKERPOOL_H
+#define TALFT_SERVE_WORKERPOOL_H
+
+#include "fault/Campaign.h"
+#include "serve/WorkerProc.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace talft::serve {
+
+struct WorkerPoolOptions {
+  /// Worker processes; 0 disables the pool (the server then runs shards
+  /// in-process, the pre-pool behavior).
+  unsigned Workers = 2;
+  /// Campaign threads inside each worker (0 = hardware concurrency).
+  unsigned CampaignThreads = 0;
+  /// Per-shard wall-clock deadline; a worker that exceeds it is SIGKILLed
+  /// and the shard retried. 0 = no deadline.
+  uint64_t ShardTimeoutMs = 0;
+  /// Attempts per shard before declaring it poisoned (>= 1).
+  unsigned MaxAttempts = 3;
+  /// First retry backoff; doubles per failure, capped at BackoffCapMs.
+  uint64_t BackoffMs = 10;
+  uint64_t BackoffCapMs = 500;
+  /// Chaos hook: every Nth dispatched shard request tells the worker to
+  /// raise ChaosSignal at the shard boundary (0 = off). 1 makes every
+  /// attempt crash, which is how the poisoning path is tested.
+  uint64_t ChaosCrashEveryN = 0;
+  int ChaosSignal = 11; // SIGSEGV
+};
+
+/// Monotonic pool counters (stats document, CI assertions).
+struct WorkerPoolStats {
+  uint64_t Spawned = 0;       ///< fork()s that succeeded (incl. respawns)
+  uint64_t Dispatched = 0;    ///< shard requests written to a worker
+  uint64_t Crashes = 0;       ///< workers lost to death mid-shard
+  uint64_t Timeouts = 0;      ///< workers SIGKILLed for blowing a deadline
+  uint64_t Retries = 0;       ///< shard re-dispatches after a failure
+  uint64_t Poisoned = 0;      ///< shards failed after MaxAttempts
+  uint64_t ChaosInjected = 0; ///< requests sent with a chaos signal
+  unsigned Alive = 0;         ///< workers currently forked
+  unsigned Busy = 0;          ///< workers currently running a shard
+};
+
+class WorkerPool {
+public:
+  /// The outcome of one shard dispatch.
+  struct ShardOutcome {
+    bool Ok = false;
+    CampaignResult Result;
+    /// Machine-readable failure ("shard_poisoned", "worker_error",
+    /// "deadline_exceeded", "draining").
+    std::string Code;
+    std::string Error;
+    unsigned Attempts = 0;
+  };
+
+  explicit WorkerPool(WorkerPoolOptions Opts);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  bool enabled() const { return Opts.Workers > 0; }
+
+  /// Forks the initial workers. Call before the server spawns its
+  /// threads, so the first generation is forked from a single-threaded
+  /// process. Returns false with \p Err on fork/pipe failure.
+  bool start(std::string *Err);
+
+  /// Runs one shard on some worker, retrying crashes and timeouts on
+  /// fresh workers. \p RequestJson is the worker request minus the chaos
+  /// field (serve/WorkerProc.h). \p DeadlineMs additionally bounds the
+  /// total wall-clock spent here (0 = only the per-shard timeout applies)
+  /// — the submission-level deadline, checked between attempts and
+  /// folded into each poll.
+  ShardOutcome runShard(const std::string &RequestJson,
+                        uint64_t DeadlineMs = 0);
+
+  /// Stops accepting dispatches, wakes blocked callers with a "draining"
+  /// outcome, and tears down every worker.
+  void stop();
+
+  WorkerPoolStats stats() const;
+  /// Pids of the live workers — the chaos harness's kill list.
+  std::vector<pid_t> workerPids() const;
+
+private:
+  bool checkout(WorkerProc &W, uint64_t DeadlineMs, bool &Chaos);
+  void checkin(WorkerProc W);
+  /// Confirms the death of a checked-out worker (kill + waitpid), counts
+  /// it, and forks a replacement into the free list when possible.
+  void retire(WorkerProc W, bool Timeout);
+
+  WorkerPoolOptions Opts;
+  mutable std::mutex Mu;
+  std::condition_variable FreeCv;
+  std::vector<WorkerProc> Free;
+  bool Stopping = false;
+  unsigned Alive = 0;
+  unsigned BusyCount = 0;
+  WorkerPoolStats Counters;
+  std::vector<pid_t> BusyPids;
+};
+
+} // namespace talft::serve
+
+#endif // TALFT_SERVE_WORKERPOOL_H

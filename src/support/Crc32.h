@@ -1,0 +1,66 @@
+//===- support/Crc32.h - CRC-32 (ISO-HDLC) checksums ----------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard CRC-32 (polynomial 0xEDB88320, the zlib/ISO-HDLC variant)
+/// as a small header-only routine. It frames the certification server's
+/// crash-safe byte streams: the write-ahead submission log's on-disk
+/// records (serve/SubmitLog.h) and the worker-pool pipe protocol
+/// (serve/WorkerProc.h) both carry a CRC per frame so a torn write, a
+/// truncated tail or a worker dying mid-reply is detected as corruption
+/// instead of being parsed as data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_CRC32_H
+#define TALFT_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace talft::support {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256> &crc32Table() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+} // namespace detail
+
+/// CRC-32 of \p Len bytes at \p Data, continuing from \p Seed (pass the
+/// previous return value to checksum a stream in chunks; 0 starts
+/// fresh). Distinctly named — a crc32(const void*, size_t) overload
+/// would ambiguously capture `crc32("literal", seed)` calls, reading the
+/// seed as a length.
+inline uint32_t crc32Bytes(const void *Data, size_t Len, uint32_t Seed = 0) {
+  const auto &T = detail::crc32Table();
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Len; ++I)
+    C = T[(C ^ P[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t crc32(std::string_view S, uint32_t Seed = 0) {
+  return crc32Bytes(S.data(), S.size(), Seed);
+}
+
+} // namespace talft::support
+
+#endif // TALFT_SUPPORT_CRC32_H

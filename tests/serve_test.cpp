@@ -25,7 +25,19 @@
 //      shard and serves a campaign bit-identical to a directly-run one; a
 //      resubmission is a cache hit that streams zero shard events; a
 //      drained server leaves a resumable partial entry that a restarted
-//      server (same cache directory) finishes from where it stopped.
+//      server (same cache directory) finishes from where it stopped;
+//   6. crash isolation: shards run on forked worker processes; a worker
+//      crashing at the shard boundary (the chaos hook) is retried on a
+//      fresh worker and the served table stays bit-identical; a
+//      deterministic crasher poisons its one submission, not the server;
+//      deadlines fail structured, not silent;
+//   7. durability: the write-ahead submission log survives retires,
+//      replays, torn tails and compaction; a server started on a log
+//      with unretired accepts replays them to completion;
+//   8. connection hygiene: oversized request lines get a structured
+//      bad_request, pipelined submissions on one connection answer in
+//      order, stats serve during an active sweep, and connections beyond
+//      the queue cap shed with "overloaded" + retry_after_ms.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,14 +49,23 @@
 #include "serve/MemoStore.h"
 #include "serve/Protocol.h"
 #include "serve/Server.h"
+#include "serve/SubmitLog.h"
+#include "support/Crc32.h"
 #include "tal/Parser.h"
 
 #include "TestPrograms.h"
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
+#include <netinet/in.h>
 #include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 using namespace talft;
@@ -544,6 +565,441 @@ TEST(ServeEndToEnd, DrainLeavesAResumablePartialEntry) {
   CampaignResult Whole =
       runSingleFaultCampaign(*P, theoremConfig(Spec, Spec.Stride), Direct);
   expectSameCampaign(Second.Campaign, Whole, "resumed vs direct");
+}
+
+// --- Contract 6: crash-isolated worker pool ------------------------------
+
+// The chaos hook kills every second dispatched worker at the shard
+// boundary — after the shard's work is done but before any result byte
+// leaves the process. Every crashed shard must be retried on a fresh
+// worker and the folded table must not differ by a bit.
+TEST(WorkerPoolE2E, CrashedShardsAreRetriedBitIdentically) {
+  ServerOptions SO;
+  SO.DefaultShards = 4;
+  SO.ChaosCrashEveryN = 2;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  Spec.Stride = 2;
+  Spec.Engine = "reference";
+
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Spec);
+  ASSERT_TRUE(O.Error.empty()) << O.Error;
+  ASSERT_TRUE(O.GotResult);
+  EXPECT_EQ(O.ShardEvents, 4u);
+  // At least one shard needed a second attempt, and the client saw it.
+  EXPECT_GE(O.MaxShardAttempts, 2u);
+
+  WorkerPoolStats P = S.poolStats();
+  EXPECT_GT(P.Crashes, 0u);
+  EXPECT_EQ(P.Retries, P.Crashes); // every crash was retried, none leaked
+  EXPECT_GT(P.ChaosInjected, 0u);
+  EXPECT_EQ(P.Poisoned, 0u);
+  EXPECT_EQ(P.Alive, SO.PoolWorkers); // dead workers were respawned
+
+  TypeContext TC;
+  Program Prog = parseOrDie(TC, allPrograms()[0]);
+  CampaignOptions Direct;
+  applySpecOptions(Spec, Direct);
+  CampaignResult Whole =
+      runSingleFaultCampaign(Prog, theoremConfig(Spec, Spec.Stride), Direct);
+  expectSameCampaign(O.Campaign, Whole, "chaos-retried vs direct");
+  S.stop();
+}
+
+// A shard that crashes on *every* attempt is a deterministic crasher:
+// after MaxShardAttempts the submission fails with a structured
+// "shard_poisoned" error, the pool has respawned its workers, and the
+// server keeps answering.
+TEST(WorkerPoolE2E, DeterministicCrasherPoisonsTheShardNotTheServer) {
+  ServerOptions SO;
+  SO.DefaultShards = 2;
+  SO.ChaosCrashEveryN = 1; // every dispatch crashes
+  SO.MaxShardAttempts = 2;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  Spec.Stride = 2;
+  Spec.Engine = "reference";
+
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Spec);
+  EXPECT_FALSE(O.GotResult);
+  EXPECT_EQ(O.ErrorCode, "shard_poisoned");
+  EXPECT_EQ(O.MaxShardAttempts, 2u);
+
+  WorkerPoolStats P = S.poolStats();
+  EXPECT_EQ(P.Poisoned, 1u);
+  EXPECT_EQ(P.Alive, SO.PoolWorkers);
+
+  // The server is fail-operational: it still answers after the poisoning.
+  std::string Pong, PingErr;
+  EXPECT_TRUE(requestPing("127.0.0.1", S.port(), Pong, PingErr)) << PingErr;
+  S.stop();
+}
+
+// A submission deadline bounds the whole shard pipeline — including the
+// retries a crashing worker burns — and fails structured.
+TEST(WorkerPoolE2E, DeadlineExceededIsStructuredNotSilent) {
+  ServerOptions SO;
+  SO.DefaultShards = 2;
+  SO.ChaosCrashEveryN = 1;  // every attempt crashes…
+  SO.MaxShardAttempts = 100; // …and attempts alone never give up,
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  Spec.Stride = 2;
+  Spec.Engine = "reference";
+  Spec.DeadlineMs = 50; // …so only the deadline can end it.
+
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Spec);
+  EXPECT_FALSE(O.GotResult);
+  EXPECT_EQ(O.ErrorCode, "deadline_exceeded");
+
+  std::optional<JsonValue> Stats = JsonValue::parse(S.statsJson());
+  ASSERT_TRUE(Stats.has_value());
+  EXPECT_GE(Stats->u64At("deadline_exceeded", 0), 1u);
+  S.stop();
+}
+
+// --- Contract 7: the write-ahead submission log --------------------------
+
+TEST(Crc32, MatchesTheIsoHdlcCheckValue) {
+  // The canonical CRC-32 check value ("123456789" → 0xCBF43926) pins the
+  // polynomial and bit order; the split computation pins the seeding
+  // contract used for incremental framing.
+  EXPECT_EQ(support::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(support::crc32(""), 0u);
+  uint32_t Split = support::crc32("6789", support::crc32("12345"));
+  EXPECT_EQ(Split, 0xCBF43926u);
+}
+
+TEST(SubmitLog, AcceptRetireTornTailAndCompaction) {
+  std::string Dir = tempDir();
+  ASSERT_FALSE(Dir.empty());
+  std::string Path = Dir + "/submit.wal";
+
+  SubmitSpec Spec;
+  Spec.Name = "CountdownLoop";
+  Spec.Lang = "tal";
+  Spec.Source = progs::CountdownLoop;
+  Spec.Stride = 2;
+  Spec.Shards = 4;
+
+  uint64_t IdA = 0, IdB = 0;
+  {
+    SubmitLog L;
+    std::string Err;
+    ASSERT_TRUE(L.open(Path, &Err)) << Err;
+    EXPECT_TRUE(L.pending().empty());
+    IdA = L.appendAccept("a", 0x11, 0x22, 4, submitRequestJson(Spec));
+    IdB = L.appendAccept("b", 0x33, 0x44, 2, submitRequestJson(Spec));
+    ASSERT_NE(IdA, 0u);
+    ASSERT_NE(IdB, 0u);
+    EXPECT_NE(IdA, IdB);
+    L.appendRetire(IdA, "served");
+    EXPECT_EQ(L.stats().Appends, 2u);
+    EXPECT_EQ(L.stats().Retires, 1u);
+  }
+
+  // Reopen: only the unretired accept survives, with its spec parsed
+  // back out of the logged request.
+  {
+    SubmitLog L;
+    std::string Err;
+    ASSERT_TRUE(L.open(Path, &Err)) << Err;
+    ASSERT_EQ(L.pending().size(), 1u);
+    const PendingSubmission &P = L.pending()[0];
+    EXPECT_EQ(P.Id, IdB);
+    EXPECT_EQ(P.Name, "b");
+    EXPECT_EQ(P.ProgramHash, 0x33u);
+    EXPECT_EQ(P.ShardsTotal, 2u);
+    EXPECT_EQ(P.Spec.Source, Spec.Source);
+    EXPECT_EQ(P.Spec.Stride, 2u);
+    EXPECT_EQ(L.stats().Recovered, 1u);
+    // New ids never reuse recovered ones.
+    uint64_t IdC = L.appendAccept("c", 0x55, 0x66, 1, submitRequestJson(Spec));
+    EXPECT_GT(IdC, IdB);
+    L.appendRetire(IdC, "served");
+  }
+
+  // A torn tail — a frame cut mid-write by a crash — is discarded; the
+  // whole records before it survive.
+  {
+    std::ofstream Out(Path, std::ios::app | std::ios::binary);
+    Out << std::string("\xff\xff\xff\xff torn", 9);
+  }
+  {
+    SubmitLog L;
+    std::string Err;
+    ASSERT_TRUE(L.open(Path, &Err)) << Err;
+    EXPECT_EQ(L.pending().size(), 1u);
+    EXPECT_EQ(L.pending()[0].Id, IdB);
+    EXPECT_GT(L.stats().TornBytes, 0u);
+  }
+}
+
+// A server started on a WAL holding an unretired accept replays it to
+// completion: the memo fills without any client, the record retires, and
+// a later submission of the same program is a pure cache hit.
+TEST(WalE2E, ServerReplaysUnretiredSubmissionsOnStartup) {
+  std::string Dir = tempDir();
+  ASSERT_FALSE(Dir.empty());
+  std::string Path = Dir + "/submit.wal";
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  Spec.Stride = 2;
+  Spec.Engine = "reference";
+  Spec.Shards = 2;
+
+  // Simulate the crash: an accept hits the log and the server dies
+  // before any shard retires.
+  {
+    SubmitLog L;
+    std::string Err;
+    ASSERT_TRUE(L.open(Path, &Err)) << Err;
+    ASSERT_NE(L.appendAccept(Spec.Name, 0, 0, 2, submitRequestJson(Spec)),
+              0u);
+  }
+
+  ServerOptions SO;
+  SO.WalPath = Path;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+  EXPECT_EQ(S.walStats().Recovered, 1u);
+
+  // The replayer runs in the background; wait for it to finish.
+  bool Replayed = false;
+  for (int I = 0; I != 200 && !Replayed; ++I) {
+    std::optional<JsonValue> Stats = JsonValue::parse(S.statsJson());
+    ASSERT_TRUE(Stats.has_value());
+    Replayed = Stats->u64At("replayed", 0) == 1;
+    if (!Replayed)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(Replayed) << "WAL replay did not complete";
+
+  // The replayed campaign is already folded: a client submission of the
+  // same program runs zero shards.
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Spec);
+  ASSERT_TRUE(O.Error.empty()) << O.Error;
+  ASSERT_TRUE(O.GotResult);
+  EXPECT_EQ(O.Cache, "hit");
+  EXPECT_EQ(O.ShardEvents, 0u);
+
+  TypeContext TC;
+  Program Prog = parseOrDie(TC, allPrograms()[0]);
+  CampaignOptions Direct;
+  applySpecOptions(Spec, Direct);
+  CampaignResult Whole =
+      runSingleFaultCampaign(Prog, theoremConfig(Spec, Spec.Stride), Direct);
+  expectSameCampaign(O.Campaign, Whole, "replayed vs direct");
+  S.stop();
+
+  // The replay retired its record: a restarted log recovers nothing.
+  SubmitLog L;
+  std::string LErr;
+  ASSERT_TRUE(L.open(Path, &LErr)) << LErr;
+  EXPECT_TRUE(L.pending().empty());
+}
+
+// --- Contract 8: connection hygiene --------------------------------------
+
+int connectRaw(unsigned Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons((uint16_t)Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  EXPECT_EQ(::connect(Fd, (sockaddr *)&Addr, sizeof(Addr)), 0);
+  return Fd;
+}
+
+bool sendRaw(int Fd, const std::string &S) {
+  const char *P = S.data();
+  size_t Len = S.size();
+  while (Len) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    P += N;
+    Len -= (size_t)N;
+  }
+  return true;
+}
+
+/// Reads lines until \p Want terminal events ("result"/"drained"/"error")
+/// arrived or the peer closed. Returns every parsed event object.
+std::vector<JsonValue> readEvents(int Fd, unsigned Want) {
+  std::vector<JsonValue> Events;
+  std::string Buf;
+  unsigned Terminals = 0;
+  char Chunk[4096];
+  while (Terminals < Want) {
+    size_t NL;
+    while (Terminals < Want && (NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (Line.empty())
+        continue;
+      std::optional<JsonValue> Ev = JsonValue::parse(Line);
+      if (!Ev || !Ev->isObject())
+        continue;
+      std::string Kind = Ev->stringAt("event", "");
+      if (Kind == "result" || Kind == "drained" || Kind == "error")
+        ++Terminals;
+      Events.push_back(std::move(*Ev));
+    }
+    if (Terminals >= Want)
+      break;
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, (size_t)N);
+  }
+  return Events;
+}
+
+// A request line exceeding the cap is refused with a structured
+// bad_request naming the limit — never a silent close the client has to
+// diagnose from a reset.
+TEST(ConnectionHygiene, OversizedLineGetsAStructuredBadRequest) {
+  ServerOptions SO;
+  SO.MaxLineBytes = 1024;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  int Fd = connectRaw(S.port());
+  ASSERT_TRUE(sendRaw(Fd, std::string(4096, 'x'))); // no newline, ever
+  std::vector<JsonValue> Events = readEvents(Fd, 1);
+  ::close(Fd);
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].stringAt("event", ""), "error");
+  EXPECT_EQ(Events[0].stringAt("code", ""), "bad_request");
+  EXPECT_NE(Events[0].stringAt("error", "").find("1024"), std::string::npos);
+
+  std::optional<JsonValue> Stats = JsonValue::parse(S.statsJson());
+  ASSERT_TRUE(Stats.has_value());
+  EXPECT_EQ(Stats->u64At("oversized_lines", 0), 1u);
+  S.stop();
+}
+
+// Two submissions pipelined down one connection answer strictly in
+// order, each with its own accepted→shards→result stream.
+TEST(ConnectionHygiene, PipelinedSubmissionsAnswerInOrder) {
+  ServerOptions SO;
+  SO.DefaultShards = 2;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec A;
+  A.Name = "PairedStore";
+  A.Lang = "tal";
+  A.Source = progs::PairedStore;
+  A.Stride = 2;
+  A.Engine = "reference";
+  SubmitSpec B = A;
+  B.Name = "CountdownLoop";
+  B.Source = progs::CountdownLoop;
+
+  int Fd = connectRaw(S.port());
+  ASSERT_TRUE(
+      sendRaw(Fd, submitRequestJson(A) + "\n" + submitRequestJson(B) + "\n"));
+  std::vector<JsonValue> Events = readEvents(Fd, 2);
+  ::close(Fd);
+
+  std::vector<std::string> ResultNames;
+  unsigned Accepted = 0;
+  for (const JsonValue &Ev : Events) {
+    if (Ev.stringAt("event", "") == "accepted")
+      ++Accepted;
+    if (Ev.stringAt("event", "") == "result")
+      ResultNames.push_back(Ev.stringAt("name", ""));
+  }
+  EXPECT_EQ(Accepted, 2u);
+  ASSERT_EQ(ResultNames.size(), 2u);
+  EXPECT_EQ(ResultNames[0], "PairedStore");
+  EXPECT_EQ(ResultNames[1], "CountdownLoop");
+  S.stop();
+}
+
+// GET /stats (and the stats cmd) answer while a sweep is in flight on
+// another connection — introspection is never blocked behind work.
+TEST(ConnectionHygiene, StatsServeDuringAnActiveSweep) {
+  ServerOptions SO;
+  SO.DefaultShards = 8;
+  SO.Workers = 2; // one handler free while the other sweeps
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "QueueForwarding";
+  Spec.Lang = "tal";
+  Spec.Source = progs::QueueForwarding;
+  Spec.Stride = 1;
+  Spec.Engine = "reference";
+
+  SubmitOutcome O;
+  std::thread Submitter(
+      [&] { O = submitProgram("127.0.0.1", S.port(), Spec); });
+  for (int I = 0; I != 10; ++I) {
+    std::string Line, StatsErr;
+    ASSERT_TRUE(requestStats("127.0.0.1", S.port(), Line, StatsErr))
+        << StatsErr;
+    std::optional<JsonValue> Stats = JsonValue::parse(Line, &StatsErr);
+    ASSERT_TRUE(Stats.has_value()) << StatsErr;
+    EXPECT_EQ(Stats->stringAt("schema", ""), StatsSchema);
+  }
+  Submitter.join();
+  ASSERT_TRUE(O.Error.empty()) << O.Error;
+  EXPECT_TRUE(O.GotResult);
+  S.stop();
+}
+
+// Connections beyond the admission queue are shed with a retry hint, not
+// left to time out against a full backlog.
+TEST(ConnectionHygiene, OverloadSheddingCarriesARetryHint) {
+  ServerOptions SO;
+  SO.QueueCap = 0; // everything is backpressure
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(&Err)) << Err;
+
+  SubmitSpec Spec;
+  Spec.Name = "PairedStore";
+  Spec.Lang = "tal";
+  Spec.Source = progs::PairedStore;
+  SubmitOutcome O = submitProgram("127.0.0.1", S.port(), Spec);
+  EXPECT_FALSE(O.GotResult);
+  EXPECT_EQ(O.ErrorCode, "overloaded");
+  EXPECT_GE(O.RetryAfterMs, 200u);
+
+  std::optional<JsonValue> Stats = JsonValue::parse(S.statsJson());
+  ASSERT_TRUE(Stats.has_value());
+  EXPECT_GE(Stats->u64At("overloaded", 0), 1u);
+  S.stop();
 }
 
 } // namespace

@@ -1,0 +1,413 @@
+#!/usr/bin/env python3
+"""Chaos harness for the talft certification server.
+
+Drives a live talft-serve instance while injecting the faults the server
+claims to survive, and holds it to the only oracle that matters: every
+campaign the server *completes* must be bit-identical (verdict table,
+violations, reference steps, states typechecked, program hash) to the
+batch CLI's table for the same kernel and options.
+
+Injected chaos, all concurrent:
+
+  - worker kills: live shard-worker pids are read from GET /stats
+    (pool.pids) and hit with SIGKILL or SIGSEGV at random moments —
+    covering arbitrary points in a shard's life; the server's own
+    --chaos-crash-every hook covers the exact shard boundary;
+  - slow-loris clients: connections that dribble one byte of a request
+    at a time and then stall, which the server must shed via its idle
+    timer instead of wedging a handler;
+  - server SIGKILL + restart: the whole server is killed without
+    warning, its write-ahead log optionally truncated mid-frame (a torn
+    tail, as a crashed kernel write would leave), then restarted on the
+    same WAL + cache dir; the restart must recover, replay, and keep
+    serving;
+  - sustained submissions: a client loop submits random Figure 10
+    kernels the whole time; structured shedding ("overloaded",
+    "draining", "shard_poisoned", "deadline_exceeded", exit 75 drains)
+    is tolerated and counted, silent corruption is not.
+
+Usage:
+  tools/talft_chaos.py --serve build/tools/talft-serve \
+      --coverage build/bench/fault_coverage \
+      [--duration 60] [--kernels pegwit,jpeg,adpcm] [--seed 1]
+      [--kill-period 0.4] [--kill-signal mix|kill|segv]
+      [--restart-every 15] [--truncate-wal] [--loris 2]
+      [--chaos-crash-every N] [--workdir DIR]
+
+Exit status: 0 when no divergence and the final restart recovered; 1 on
+any oracle violation, server death, or recovery failure.
+"""
+
+import argparse
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# The semantic fields of a campaign object: everything the paper's
+# tables are made of. Timing floats are explicitly not here.
+SEMANTIC = ("ok", "verdicts", "violations", "reference_steps",
+            "states_typechecked", "program_hash")
+
+
+def semantic_view(campaign):
+    return {K: campaign.get(K) for K in SEMANTIC}
+
+
+class Stats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.completed = 0
+        self.matched = 0
+        self.shed = 0          # overloaded/draining/queue shed
+        self.failed = 0        # structured failures (poisoned, deadline)
+        self.transport = 0     # connect/reset during a server restart
+        self.worker_kills = 0
+        self.server_kills = 0
+        self.loris_opened = 0
+        self.divergences = []
+
+    def note(self, field, inc=1):
+        with self.lock:
+            setattr(self, field, getattr(self, field) + inc)
+
+
+class ServerHandle:
+    """Owns the talft-serve process and its restart lifecycle."""
+
+    def __init__(self, args, workdir):
+        self.args = args
+        self.workdir = workdir
+        self.port_file = os.path.join(workdir, "port.txt")
+        self.wal = os.path.join(workdir, "submit.wal")
+        self.cache = os.path.join(workdir, "cache")
+        self.log = open(os.path.join(workdir, "server.log"), "ab")
+        self.proc = None
+        self.port = 0
+        self.lock = threading.Lock()
+        self.generation = 0
+
+    def start(self):
+        if os.path.exists(self.port_file):
+            os.unlink(self.port_file)
+        cmd = [
+            self.args.serve,
+            "--port-file", self.port_file,
+            "--wal", self.wal,
+            "--cache-dir", self.cache,
+            "--shards", str(self.args.shards),
+            "--pool", str(self.args.pool),
+            "--idle-timeout-ms", "2000",
+            "--shard-timeout-ms", "30000",
+        ]
+        if self.args.chaos_crash_every:
+            cmd += ["--chaos-crash-every", str(self.args.chaos_crash_every)]
+        self.proc = subprocess.Popen(cmd, stdout=self.log, stderr=self.log)
+        deadline = time.time() + 20
+        while time.time() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError("server died during startup; see server.log")
+            try:
+                with open(self.port_file) as F:
+                    self.port = int(F.read().strip())
+                    self.generation += 1
+                    return
+            except (FileNotFoundError, ValueError):
+                time.sleep(0.05)
+        raise RuntimeError("server did not publish a port in 20s")
+
+    def sigkill(self):
+        with self.lock:
+            if self.proc and self.proc.poll() is None:
+                self.proc.kill()
+                self.proc.wait()
+
+    def wipe_cache(self):
+        """Delete on-disk cache entries (only while the server is down).
+        The restarted server's memo starts cold, so submissions go back
+        to doing real shard work instead of replaying memo hits."""
+        try:
+            for name in os.listdir(self.cache):
+                os.unlink(os.path.join(self.cache, name))
+        except OSError:
+            pass
+
+    def truncate_wal_tail(self, rng):
+        """Cut 1..64 bytes off the WAL — a torn final frame."""
+        try:
+            size = os.path.getsize(self.wal)
+        except OSError:
+            return False
+        if size < 16:
+            return False
+        with open(self.wal, "ab") as F:
+            F.truncate(size - rng.randint(1, min(64, size - 8)))
+        return True
+
+    def stop(self):
+        with self.lock:
+            if self.proc and self.proc.poll() is None:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    self.proc.kill()
+                    self.proc.wait()
+
+
+def get_stats(port, timeout=3.0):
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=timeout) as S:
+            S.sendall(b'{"cmd": "stats"}\n')
+            S.settimeout(timeout)
+            buf = b""
+            while b"\n" not in buf:
+                chunk = S.recv(65536)
+                if not chunk:
+                    return None
+                buf += chunk
+            return json.loads(buf.split(b"\n", 1)[0])
+    except (OSError, ValueError):
+        return None
+
+
+def build_golden(args, workdir):
+    """The batch CLI's fig10 tables, the bit-identity oracle."""
+    path = os.path.join(workdir, "golden.json")
+    cmd = [args.coverage, "--fig10", "--json", path, "--engine", "vm",
+           "--threads", "0"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                   stderr=subprocess.DEVNULL)
+    with open(path) as F:
+        doc = json.load(F)
+    return {P["name"]: semantic_view(P["campaign"]) for P in doc["programs"]}
+
+
+def submit_loop(args, server, golden, stats, stop, rng):
+    kernels = args.kernels.split(",")
+    out = os.path.join(server.workdir, "served.json")
+    while not stop.is_set():
+        name = rng.choice(kernels)
+        if os.path.exists(out):
+            os.unlink(out)
+        port = server.port
+        R = subprocess.run(
+            [args.serve, "--client", "--port", str(port),
+             "--submit-kernel", name, "--engine", "vm", "--json", out],
+            capture_output=True, text=True)
+        err = R.stderr or ""
+        if R.returncode == 0 and os.path.exists(out):
+            stats.note("completed")
+            with open(out) as F:
+                served = semantic_view(json.load(F))
+            if served == golden[name]:
+                stats.note("matched")
+            else:
+                with stats.lock:
+                    stats.divergences.append(
+                        {"kernel": name, "served": served,
+                         "golden": golden[name]})
+                stop.set()  # a divergence ends the run immediately
+            continue
+        if R.returncode == 75 or "[draining]" in err or "[overloaded]" in err:
+            stats.note("shed")
+        elif any(C in err for C in ("[shard_poisoned]", "[deadline_exceeded]",
+                                    "[worker_error]", "[campaign_error]")):
+            stats.note("failed")
+        else:
+            # connect refused / reset mid-restart
+            stats.note("transport")
+        time.sleep(0.02)
+
+
+def worker_killer(args, server, stats, stop, rng):
+    sigs = {"kill": [signal.SIGKILL], "segv": [signal.SIGSEGV],
+            "mix": [signal.SIGKILL, signal.SIGSEGV]}[args.kill_signal]
+    while not stop.is_set():
+        time.sleep(rng.uniform(0.3, 1.7) * args.kill_period)
+        doc = get_stats(server.port)
+        if not doc:
+            continue
+        pids = doc.get("pool", {}).get("pids", [])
+        if not pids:
+            continue
+        pid = rng.choice(pids)
+        try:
+            os.kill(pid, rng.choice(sigs))
+            stats.note("worker_kills")
+        except (ProcessLookupError, PermissionError):
+            pass  # already dead / reaped; the pool respawned it
+
+
+def slow_loris(server, stats, stop, rng):
+    """Dribble a request one byte a second, then stall past the idle
+    timer. The server must keep serving others and shed us."""
+    payload = b'{"cmd": "ping"}'
+    while not stop.is_set():
+        try:
+            with socket.create_connection(("127.0.0.1", server.port),
+                                          timeout=2) as S:
+                stats.note("loris_opened")
+                for B in payload[: rng.randint(3, len(payload) - 1)]:
+                    if stop.is_set():
+                        break
+                    S.sendall(bytes([B]))
+                    time.sleep(0.7)
+                # never send the newline; hold until the server closes
+                S.settimeout(10)
+                try:
+                    S.recv(1)
+                except socket.timeout:
+                    pass
+        except OSError:
+            pass
+        time.sleep(0.5)
+
+
+def restarter(args, server, stats, stop, rng):
+    """SIGKILL the server on a period, optionally tear the WAL tail,
+    restart, and verify recovery."""
+    if not args.restart_every:
+        return
+    while not stop.is_set():
+        if stop.wait(args.restart_every):
+            return
+        server.sigkill()
+        stats.note("server_kills")
+        if args.truncate_wal and rng.random() < 0.5:
+            server.truncate_wal_tail(rng)
+        if args.wipe_cache:
+            server.wipe_cache()
+        try:
+            server.start()
+        except RuntimeError as E:
+            with stats.lock:
+                stats.divergences.append({"recovery_failure": str(E)})
+            stop.set()
+            return
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--serve", required=True, help="talft-serve binary")
+    ap.add_argument("--coverage", required=True,
+                    help="fault_coverage binary (the golden oracle)")
+    ap.add_argument("--duration", type=float, default=60)
+    ap.add_argument("--kernels", default="pegwit,jpeg,adpcm,g721,epic")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--shards", type=int, default=4)
+    ap.add_argument("--pool", type=int, default=2)
+    ap.add_argument("--kill-period", type=float, default=0.4,
+                    help="mean seconds between worker kills")
+    ap.add_argument("--kill-signal", choices=["mix", "kill", "segv"],
+                    default="mix")
+    ap.add_argument("--restart-every", type=float, default=0,
+                    help="SIGKILL+restart the server every N seconds")
+    ap.add_argument("--truncate-wal", action="store_true",
+                    help="tear the WAL tail on half the server kills")
+    ap.add_argument("--wipe-cache", action="store_true",
+                    help="clear the result cache on each restart so "
+                         "submissions keep doing real shard work")
+    ap.add_argument("--loris", type=int, default=1,
+                    help="concurrent slow-loris connections")
+    ap.add_argument("--chaos-crash-every", type=int, default=0,
+                    help="also arm the server's shard-boundary crash hook")
+    ap.add_argument("--workdir", default=None)
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="talft-chaos-")
+    os.makedirs(workdir, exist_ok=True)
+    rng = random.Random(args.seed)
+    stats = Stats()
+    stop = threading.Event()
+
+    print(f"[chaos] golden tables via {args.coverage} --fig10 ...",
+          flush=True)
+    golden = build_golden(args, workdir)
+    for K in args.kernels.split(","):
+        if K not in golden:
+            print(f"[chaos] unknown kernel {K!r}", file=sys.stderr)
+            return 2
+
+    server = ServerHandle(args, workdir)
+    server.start()
+    print(f"[chaos] server on port {server.port}, workdir {workdir}",
+          flush=True)
+
+    threads = [
+        threading.Thread(target=submit_loop,
+                         args=(args, server, golden, stats, stop, rng)),
+        threading.Thread(target=worker_killer,
+                         args=(args, server, stats, stop,
+                               random.Random(args.seed + 1))),
+        threading.Thread(target=restarter,
+                         args=(args, server, stats, stop,
+                               random.Random(args.seed + 2))),
+    ]
+    for I in range(args.loris):
+        threads.append(threading.Thread(
+            target=slow_loris,
+            args=(server, stats, stop, random.Random(args.seed + 3 + I))))
+    for T in threads:
+        T.daemon = True
+        T.start()
+
+    deadline = time.time() + args.duration
+    while time.time() < deadline and not stop.is_set():
+        time.sleep(0.25)
+    stop.set()
+    for T in threads:
+        T.join(timeout=30)
+
+    # Final recovery check: kill hard, restart, and require a clean WAL
+    # replay (pending entries drain to zero) and a live stats endpoint.
+    server.sigkill()
+    stats.note("server_kills")
+    recovery_ok = True
+    try:
+        server.start()
+        doc = get_stats(server.port, timeout=10)
+        recovery_ok = doc is not None
+    except RuntimeError as E:
+        print(f"[chaos] final restart failed: {E}", file=sys.stderr)
+        recovery_ok = False
+    if recovery_ok:
+        wal = doc.get("wal", {})
+        print(f"[chaos] post-restart wal: recovered={wal.get('recovered')} "
+              f"torn_bytes={wal.get('torn_bytes')} "
+              f"corrupt_frames={wal.get('corrupt_frames')}", flush=True)
+    server.stop()
+
+    print(f"[chaos] completed={stats.completed} matched={stats.matched} "
+          f"shed={stats.shed} failed={stats.failed} "
+          f"transport={stats.transport} worker_kills={stats.worker_kills} "
+          f"server_kills={stats.server_kills} "
+          f"loris={stats.loris_opened}", flush=True)
+
+    ok = True
+    if stats.divergences:
+        ok = False
+        print("[chaos] DIVERGENCE:", file=sys.stderr)
+        for D in stats.divergences:
+            print(json.dumps(D, indent=2), file=sys.stderr)
+    if not recovery_ok:
+        ok = False
+        print("[chaos] FAIL: server did not recover from the final kill",
+              file=sys.stderr)
+    if stats.completed == 0:
+        ok = False
+        print("[chaos] FAIL: no submission ever completed", file=sys.stderr)
+    if stats.completed != stats.matched:
+        ok = False  # belt-and-braces; divergences already caught this
+    print(f"[chaos] {'PASS' if ok else 'FAIL'}", flush=True)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

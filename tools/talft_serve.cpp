@@ -13,6 +13,16 @@
 //               [--shards N] [--queue-cap N] [--cache-entries N]
 //               [--cache-dir DIR] [--drain-after-shards N]
 //               [--port-file FILE] [--build-id S]
+//               [--pool N] [--shard-timeout-ms N] [--max-shard-attempts N]
+//               [--wal FILE] [--default-deadline-ms N]
+//               [--idle-timeout-ms N] [--max-line-bytes N]
+//               [--chaos-crash-every N] [--chaos-signal N]
+//
+// --pool N forks N crash-isolated shard worker processes (0 runs shards
+// in-process); --wal FILE makes every accepted submission durable in a
+// write-ahead log that a restarted server replays. --chaos-crash-every
+// is for the chaos harness only: every Nth dispatched shard crashes its
+// worker at the shard boundary.
 //
 // binds 127.0.0.1 (ephemeral port by default; --port-file publishes the
 // bound port atomically for scripts), serves the line protocol documented
@@ -28,7 +38,8 @@
 //        | --stats | --ping)
 //       [--engine vm|reference] [--stride N] [--shards N] [--prune]
 //       [--no-converge] [--no-lanes] [--lane-width N] [--recover]
-//       [--checkpoint-interval N] [--retry-budget N] [--json FILE]
+//       [--checkpoint-interval N] [--retry-budget N] [--deadline-ms N]
+//       [--json FILE]
 //
 // submits a Figure 10 kernel by name (wile/Kernels.h) or a source file,
 // prints the streamed events' summary, and with --json writes the served
@@ -182,8 +193,17 @@ int runClient(const std::string &Host, unsigned Port, bool Stats, bool Ping,
 
   serve::SubmitOutcome O = serve::submitProgram(Host, Port, Spec);
   if (!O.Error.empty()) {
-    std::fprintf(stderr, "talft-serve: %s: %s\n", Spec.Name.c_str(),
-                 O.Error.c_str());
+    // Lead with the machine-readable code (when the server sent one) so
+    // scripts can classify failures without parsing prose.
+    if (!O.ErrorCode.empty())
+      std::fprintf(stderr, "talft-serve: %s: [%s] %s\n", Spec.Name.c_str(),
+                   O.ErrorCode.c_str(), O.Error.c_str());
+    else
+      std::fprintf(stderr, "talft-serve: %s: %s\n", Spec.Name.c_str(),
+                   O.Error.c_str());
+    if (O.RetryAfterMs)
+      std::fprintf(stderr, "talft-serve: %s: retry after %llu ms\n",
+                   Spec.Name.c_str(), (unsigned long long)O.RetryAfterMs);
     return 1;
   }
   if (O.Drained) {
@@ -257,6 +277,24 @@ int main(int Argc, char **Argv) {
       SOpts.CacheDir = strArg(Argc, Argv, I);
     else if (!std::strcmp(A, "--drain-after-shards"))
       SOpts.DrainAfterShards = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--pool"))
+      SOpts.PoolWorkers = (unsigned)numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--shard-timeout-ms"))
+      SOpts.ShardTimeoutMs = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--max-shard-attempts"))
+      SOpts.MaxShardAttempts = (unsigned)numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--wal"))
+      SOpts.WalPath = strArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--default-deadline-ms"))
+      SOpts.DefaultDeadlineMs = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--idle-timeout-ms"))
+      SOpts.IdleTimeoutMs = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--max-line-bytes"))
+      SOpts.MaxLineBytes = (size_t)numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--chaos-crash-every"))
+      SOpts.ChaosCrashEveryN = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--chaos-signal"))
+      SOpts.ChaosSignal = (int)numArg(Argc, Argv, I);
     else if (!std::strcmp(A, "--port-file"))
       PortFile = strArg(Argc, Argv, I);
     else if (!std::strcmp(A, "--build-id"))
@@ -291,6 +329,8 @@ int main(int Argc, char **Argv) {
       Spec.CheckpointInterval = numArg(Argc, Argv, I);
     else if (!std::strcmp(A, "--retry-budget"))
       Spec.RetryBudget = numArg(Argc, Argv, I);
+    else if (!std::strcmp(A, "--deadline-ms"))
+      Spec.DeadlineMs = numArg(Argc, Argv, I);
     else if (!std::strcmp(A, "--json"))
       JsonPath = strArg(Argc, Argv, I);
     else {
