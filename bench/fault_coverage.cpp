@@ -47,10 +47,19 @@
 //                 covers the kernels the type checker rejects too.
 //   --prune       discharge provably-dead injection sites statically
 //                 (analysis/ZapCoverage.h) instead of simulating them;
-//                 they are tallied as statically-masked, and the verdict
-//                 table folds bit-identically onto the unpruned one
-//                 (masked + statically-masked is invariant). The nightly
-//                 workflow asserts exactly that.
+//                 dead general-register zaps are tallied as
+//                 statically-masked and control-register (d/pc) zaps as
+//                 statically-masked or statically-detected per the
+//                 d-protocol, and the verdict table folds bit-identically
+//                 onto the unpruned one (masked + statically-masked and
+//                 detected + statically-detected are invariant). The
+//                 nightly workflow asserts exactly that.
+//   --cfi-check   validate every committed indirect control transfer
+//                 against the statically resolved per-jump target sets
+//                 (analysis/CFG.h FLTA→MLTA ladder) in every engine.
+//                 Record-only: verdict tables are bit-identical either
+//                 way. A nonzero violation count is a hard analysis bug —
+//                 the static sets missed a target a real run took.
 //   --no-converge disable the convergence early-exit (fingerprint
 //                 timeline + full-equality probe) in the classifier.
 //                 Verdict tables are bit-identical either way — the
@@ -76,18 +85,22 @@
 //   --shard-index I
 //                 which shard to run (default 0; must be < N).
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v6: v5 plus the top-level
-//                 "shards"/"shard_index" knobs and, per campaign, the
-//                 whole-program "program_hash", the "shard" provenance
-//                 object and the lossless "window_sum" convergence
-//                 counter; v5 added the top-level "lanes"/"lane_width"
-//                 knobs and the per-campaign "lanes" stats object; v4
-//                 added the top-level "converge" knob and the
-//                 per-campaign "convergence" stats object; v3 added
-//                 per-program "certification" from the analysis ladder
-//                 and the statically_masked verdict / pruned stats) to
-//                 FILE (written atomically), or stdout with the human
-//                 table on stderr.
+//                 talft-fault-campaign-v7: v6 plus the top-level
+//                 "cfi_check" knob, the per-program "target_resolution"
+//                 summary from the indirect-target ladder, the
+//                 statically_detected verdict, the per-campaign "cfi"
+//                 object and the "pruned_detected" stat; v6 added the
+//                 top-level "shards"/"shard_index" knobs and, per
+//                 campaign, the whole-program "program_hash", the "shard"
+//                 provenance object and the lossless "window_sum"
+//                 convergence counter; v5 added the top-level
+//                 "lanes"/"lane_width" knobs and the per-campaign "lanes"
+//                 stats object; v4 added the top-level "converge" knob
+//                 and the per-campaign "convergence" stats object; v3
+//                 added per-program "certification" from the analysis
+//                 ladder and the statically_masked verdict / pruned
+//                 stats) to FILE (written atomically), or stdout with the
+//                 human table on stderr.
 //
 //===----------------------------------------------------------------------===//
 
@@ -191,6 +204,7 @@ struct Cli {
   uint64_t RetryBudget = 2;
   bool Fig10 = false;
   bool Prune = false;
+  bool CfiCheck = false;
   bool Converge = true;
   bool Lanes = true;
   unsigned LaneWidth = 16;
@@ -203,8 +217,8 @@ void usage(const char *Argv0) {
                "usage: %s [--threads N] [--stride N] "
                "[--engine reference|vm] [--json [FILE]] [--recover] "
                "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
-               "[--prune] [--no-converge] [--no-lanes] [--lane-width N] "
-               "[--shards N] [--shard-index I]\n",
+               "[--prune] [--cfi-check] [--no-converge] [--no-lanes] "
+               "[--lane-width N] [--shards N] [--shard-index I]\n",
                Argv0);
 }
 
@@ -232,6 +246,8 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
       C.Fig10 = true;
     } else if (std::strcmp(A, "--prune") == 0) {
       C.Prune = true;
+    } else if (std::strcmp(A, "--cfi-check") == 0) {
+      C.CfiCheck = true;
     } else if (std::strcmp(A, "--no-converge") == 0) {
       C.Converge = false;
     } else if (std::strcmp(A, "--no-lanes") == 0) {
@@ -289,18 +305,23 @@ struct SweepRow {
   /// (analysis/Certify.h): typed, analysis-certified or inconsistent.
   analysis::CertificationStatus Certification =
       analysis::CertificationStatus::Typed;
+  /// Per-jump indirect-target resolution tallies from the FLTA→MLTA
+  /// ladder (analysis/CFG.h).
+  analysis::CFG::ResolutionSummary Resolution;
 };
 
 void printRow(FILE *Out, const SweepRow &Row) {
   const CampaignResult &R = Row.Result;
-  // The masked column folds in statically-masked so the human table reads
-  // the same with and without --prune (the JSON keeps them split).
+  // The masked and detected columns fold in their statically-discharged
+  // twins so the human table reads the same with and without --prune (the
+  // JSON keeps them split).
   std::fprintf(Out,
                "%-18s %9llu %11llu %9llu %8llu %9llu %9llu %10s %8.2fs %11.0f\n",
                Row.Name.c_str(), (unsigned long long)R.ReferenceSteps,
                (unsigned long long)R.Table.total(),
                (unsigned long long)(R.Table[Verdict::Detected] +
-                                    R.Table[Verdict::DetectedBadPrefix]),
+                                    R.Table[Verdict::DetectedBadPrefix] +
+                                    R.Table[Verdict::StaticallyDetected]),
                (unsigned long long)(R.Table[Verdict::Masked] +
                                     R.Table[Verdict::StaticallyMasked]),
                (unsigned long long)R.Table[Verdict::Recovered],
@@ -327,6 +348,7 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   CampaignOptions Opts;
   Opts.Threads = C.Threads;
   Opts.Prune = C.Prune;
+  Opts.CfiCheck = C.CfiCheck;
   Opts.Converge = C.Converge;
   Opts.Lanes = C.Lanes;
   Opts.LaneWidth = C.LaneWidth;
@@ -339,9 +361,14 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
     Opts.Engine = Vm.get();
   }
   CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
-  // The program type-checked to get here: top rung of the ladder.
+  // The program type-checked to get here: top rung of the ladder. The
+  // resolution summary still comes from the CFG — typed programs have
+  // indirect jumps too.
+  analysis::CFG::ResolutionSummary Res;
+  if (Expected<analysis::CFG> G = analysis::CFG::build(*CP.Prog))
+    Res = G->resolutionSummary();
   Rows.push_back({Name, std::move(R), Stride,
-                  analysis::CertificationStatus::Typed});
+                  analysis::CertificationStatus::Typed, Res});
   printRow(tableStream(C), Rows.back());
   return Rows.back().Result.Ok;
 }
@@ -435,6 +462,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     Opts.Threads = C.Threads;
     Opts.Engine = C.UseVm ? Vm.get() : nullptr;
     Opts.Prune = C.Prune;
+    Opts.CfiCheck = C.CfiCheck;
     Opts.Converge = C.Converge;
     Opts.Lanes = C.Lanes;
     Opts.LaneWidth = C.LaneWidth;
@@ -445,7 +473,8 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     // ladder assigns (Typed / AnalysisCertified / Inconsistent) instead
     // of the old ad-hoc rejected/unsupported booleans.
     analysis::Certification Cert = analysis::certifyProgram(TC, CP->Prog);
-    Rows.push_back({K.Name, std::move(R), Stride, Cert.Status});
+    Rows.push_back({K.Name, std::move(R), Stride, Cert.Status,
+                    Cert.Resolution});
     printRow(tableStream(C), Rows.back());
     Ok &= Rows.back().Result.Ok;
   }
@@ -455,7 +484,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v6\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v7\",\n";
   S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
@@ -463,6 +492,7 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
        ",\n";
   S += "  \"retry_budget\": " + std::to_string(C.RetryBudget) + ",\n";
   S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
+  S += "  \"cfi_check\": " + std::string(C.CfiCheck ? "true" : "false") + ",\n";
   S += "  \"converge\": " + std::string(C.Converge ? "true" : "false") + ",\n";
   S += "  \"lanes\": " + std::string(C.Lanes ? "true" : "false") + ",\n";
   S += "  \"lane_width\": " + std::to_string(C.LaneWidth) + ",\n";
@@ -477,6 +507,14 @@ std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
          std::string(analysis::certificationStatusJsonKey(
              Rows[I].Certification)) +
          "\",\n";
+    const analysis::CFG::ResolutionSummary &Res = Rows[I].Resolution;
+    S += "      \"target_resolution\": {\"commits\": " +
+         std::to_string(Res.Commits) +
+         ", \"exact\": " + std::to_string(Res.Exact) +
+         ", \"type_narrowed\": " + std::to_string(Res.TypeNarrowed) +
+         ", \"over_approximated\": " + std::to_string(Res.OverApproximated) +
+         ", \"unresolved_targets\": " + std::to_string(Res.UnresolvedTargets) +
+         "},\n";
     S += "      \"campaign\":\n";
     S += campaignToJson(Rows[I].Result, 6);
     S += "\n    }";

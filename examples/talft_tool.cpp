@@ -118,10 +118,17 @@ int main(int Argc, char **Argv) {
                 analysis::certificationStatusName(Cert.Status));
     if (!Cert.CheckerError.empty())
       std::printf("  checker: %s\n", Cert.CheckerError.c_str());
-    std::printf("  cfg: %zu basic blocks, %zu instructions, targets %s\n",
+    analysis::CFG::ResolutionSummary Sum = Cov->cfg().resolutionSummary();
+    std::printf("  cfg: %zu basic blocks, %zu instructions, targets %s "
+                "(%llu commits: %llu exact, %llu type-narrowed, "
+                "%llu over-approximated)\n",
                 Cov->cfg().numBlocks(), Cov->cfg().numInsts(),
                 Cov->cfg().targetsResolved() ? "resolved"
-                                             : "over-approximated");
+                                             : "over-approximated",
+                (unsigned long long)Sum.Commits,
+                (unsigned long long)Sum.Exact,
+                (unsigned long long)Sum.TypeNarrowed,
+                (unsigned long long)Sum.OverApproximated);
     std::printf("  fault sites: %llu dead, %llu checked, %llu vulnerable\n",
                 (unsigned long long)Sites.Dead,
                 (unsigned long long)Sites.Checked,

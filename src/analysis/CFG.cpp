@@ -6,6 +6,7 @@
 
 #include "analysis/CFG.h"
 
+#include "analysis/TargetSets.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -31,10 +32,10 @@ struct ControlInfo {
   bool Indirect = false;
 };
 
-/// Scans one TAL block linearly, propagating register constants and the
-/// abstract d, and resolves the targets of every jmpB/bzB it contains.
-/// Conditional fallthrough (bzG untaken) does not invalidate constants:
-/// neither branch arm of the pair writes general registers.
+/// Layer 0: scans one TAL block linearly, propagating register constants
+/// and the abstract d, and resolves the targets of every jmpB/bzB it
+/// contains. Conditional fallthrough (bzG untaken) does not invalidate
+/// constants: neither branch arm of the pair writes general registers.
 void resolveBlockTargets(const Program &Prog, const Block &B, Addr Begin,
                          std::vector<ControlInfo> &Out, Addr Base) {
   std::array<std::optional<int64_t>, Reg::NumRegs> Known;
@@ -120,6 +121,18 @@ void resolveBlockTargets(const Program &Prog, const Block &B, Addr Begin,
 
 } // namespace
 
+const char *talft::analysis::provenanceName(TargetProvenance P) {
+  switch (P) {
+  case TargetProvenance::Exact:
+    return "exact";
+  case TargetProvenance::TypeNarrowed:
+    return "type-narrowed";
+  case TargetProvenance::OverApproximated:
+    return "over-approximated";
+  }
+  return "unknown";
+}
+
 std::string CFG::describeAddr(Addr A) const {
   const Block *B = talBlockOf(A);
   if (!B)
@@ -128,6 +141,110 @@ std::string CFG::describeAddr(Addr A) const {
   if (Off == 0)
     return B->Label;
   return formatv("%s+%lld", B->Label.c_str(), (long long)Off);
+}
+
+CFG::ResolutionSummary CFG::resolutionSummary() const {
+  ResolutionSummary Sum;
+  for (Addr A = minAddr(); A != limitAddr(); ++A) {
+    if (!isCommit(A))
+      continue;
+    ++Sum.Commits;
+    switch (targetProvenance(A)) {
+    case TargetProvenance::Exact:
+      ++Sum.Exact;
+      break;
+    case TargetProvenance::TypeNarrowed:
+      ++Sum.TypeNarrowed;
+      Sum.UnresolvedTargets += controlTargets(A).size();
+      break;
+    case TargetProvenance::OverApproximated:
+      ++Sum.OverApproximated;
+      Sum.UnresolvedTargets += controlTargets(A).size();
+      break;
+    }
+  }
+  return Sum;
+}
+
+void CFG::assembleGraph() {
+  Blocks.clear();
+  BlockOf.assign(Insts.size(), 0);
+  Reachable.clear();
+  Rpo.clear();
+
+  // Leaders: TAL block entries, committed-transfer targets, and the
+  // instruction after each committing (blue) control instruction.
+  std::set<Addr> Leaders;
+  Leaders.insert(Base);
+  for (const Block &B : Prog->blocks())
+    Leaders.insert(Prog->addressOf(B.Label));
+  for (size_t I = 0; I != Insts.size(); ++I) {
+    const Inst &Ins = Insts[I];
+    Addr A = Base + (Addr)I;
+    if (Ins.isControlFlow() && Ins.C == Color::Blue) {
+      if (A + 1 < limitAddr())
+        Leaders.insert(A + 1);
+      for (Addr T : Targets[I])
+        Leaders.insert(T);
+    }
+  }
+
+  for (Addr A = Base; A < limitAddr(); ++A) {
+    if (Leaders.count(A)) {
+      BasicBlock BB;
+      BB.Begin = A;
+      Blocks.push_back(BB);
+    }
+    BasicBlock &BB = Blocks.back();
+    ++BB.Size;
+    BlockOf[instIndex(A)] = (uint32_t)(Blocks.size() - 1);
+  }
+
+  // Edges.
+  for (uint32_t Id = 0; Id != Blocks.size(); ++Id) {
+    BasicBlock &BB = Blocks[Id];
+    Addr Last = BB.end() - 1;
+    const Inst &Ins = inst(Last);
+    std::set<uint32_t> Succs;
+    bool Commits = Ins.isControlFlow() && Ins.C == Color::Blue;
+    bool Fallthrough = !(Ins.Op == Opcode::Jmp && Ins.C == Color::Blue);
+    if (Fallthrough && Last + 1 < limitAddr())
+      Succs.insert(blockOf(Last + 1));
+    if (Commits) {
+      BB.HasIndirect =
+          targetProvenance(Last) != TargetProvenance::Exact;
+      for (Addr T : Targets[instIndex(Last)])
+        Succs.insert(blockOf(T));
+    }
+    BB.Succs.assign(Succs.begin(), Succs.end());
+    for (uint32_t S : BB.Succs)
+      Blocks[S].Preds.push_back(Id);
+  }
+
+  EntryBB = blockOf(Prog->entryAddress());
+
+  // Reachability and reverse post-order from the entry block.
+  Reachable.assign(Blocks.size(), 0);
+  std::vector<uint32_t> Post;
+  Post.reserve(Blocks.size());
+  // Iterative DFS with an explicit successor cursor.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Reachable[EntryBB] = 1;
+  Stack.push_back({EntryBB, 0});
+  while (!Stack.empty()) {
+    auto &[BB, Cursor] = Stack.back();
+    if (Cursor < Blocks[BB].Succs.size()) {
+      uint32_t S = Blocks[BB].Succs[Cursor++];
+      if (!Reachable[S]) {
+        Reachable[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Post.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
 }
 
 Expected<CFG> CFG::build(const Program &Prog) {
@@ -144,6 +261,8 @@ Expected<CFG> CFG::build(const Program &Prog) {
   G.Locs.resize(NumInsts);
   G.TalBlocks.resize(NumInsts, nullptr);
   G.Targets.resize(NumInsts);
+  G.Provs.assign(NumInsts, TargetProvenance::Exact);
+  G.Layers.assign(NumInsts, 0);
 
   std::vector<ControlInfo> Control(NumInsts);
   std::vector<Addr> TalEntries;
@@ -158,94 +277,51 @@ Expected<CFG> CFG::build(const Program &Prog) {
     }
     resolveBlockTargets(Prog, B, Begin, Control, G.Base);
   }
+  std::sort(TalEntries.begin(), TalEntries.end());
 
+  // A layer-0-unresolved commit can land on any block entry (transfers
+  // always target declared labels in well-formed programs); the ladder
+  // below narrows that.
   bool AnyIndirect = false;
-  for (const ControlInfo &CI : Control)
-    AnyIndirect |= CI.Indirect;
-  G.Resolved = !AnyIndirect;
-
-  // An unresolved blue transfer can land on any block entry (transfers
-  // always target declared labels in well-formed programs).
   for (size_t I = 0; I != NumInsts; ++I) {
-    if (Control[I].Indirect)
-      Control[I].Targets = TalEntries;
     G.Targets[I] = Control[I].Targets;
-  }
-
-  // Leaders: TAL block entries, committed-transfer targets, and the
-  // instruction after each committing (blue) control instruction.
-  std::set<Addr> Leaders(TalEntries.begin(), TalEntries.end());
-  Leaders.insert(G.Base);
-  for (size_t I = 0; I != NumInsts; ++I) {
-    const Inst &Ins = G.Insts[I];
-    Addr A = G.Base + (Addr)I;
-    bool Commits = Ins.isControlFlow() && Ins.C == Color::Blue;
-    if (Commits) {
-      if (A + 1 < G.limitAddr())
-        Leaders.insert(A + 1);
-      for (Addr T : G.Targets[I])
-        Leaders.insert(T);
+    if (Control[I].Indirect) {
+      G.Targets[I] = TalEntries;
+      G.Provs[I] = TargetProvenance::OverApproximated;
+      AnyIndirect = true;
     }
   }
 
-  G.BlockOf.resize(NumInsts);
-  for (Addr A = G.Base; A < G.limitAddr(); ++A) {
-    if (Leaders.count(A)) {
-      BasicBlock BB;
-      BB.Begin = A;
-      G.Blocks.push_back(BB);
-    }
-    BasicBlock &BB = G.Blocks.back();
-    ++BB.Size;
-    G.BlockOf[G.instIndex(A)] = (uint32_t)(G.Blocks.size() - 1);
-  }
-
-  // Edges.
-  for (uint32_t Id = 0; Id != G.Blocks.size(); ++Id) {
-    BasicBlock &BB = G.Blocks[Id];
-    Addr Last = BB.end() - 1;
-    const Inst &Ins = G.inst(Last);
-    std::set<uint32_t> Succs;
-    bool Commits = Ins.isControlFlow() && Ins.C == Color::Blue;
-    bool Fallthrough = !(Ins.Op == Opcode::Jmp && Ins.C == Color::Blue);
-    if (Fallthrough && Last + 1 < G.limitAddr())
-      Succs.insert(G.blockOf(Last + 1));
-    if (Commits) {
-      BB.HasIndirect = Control[G.instIndex(Last)].Indirect;
-      for (Addr T : G.Targets[G.instIndex(Last)])
-        Succs.insert(G.blockOf(T));
-    }
-    BB.Succs.assign(Succs.begin(), Succs.end());
-    for (uint32_t S : BB.Succs)
-      G.Blocks[S].Preds.push_back(Id);
-  }
-
-  Addr Entry = Prog.entryAddress();
-  if (!G.contains(Entry))
+  if (!G.contains(Prog.entryAddress()))
     return makeError("entry address outside code memory");
-  G.EntryBB = G.blockOf(Entry);
+  G.assembleGraph();
 
-  // Reachability and reverse post-order from the entry block.
-  G.Reachable.assign(G.Blocks.size(), 0);
-  std::vector<uint32_t> Post;
-  Post.reserve(G.Blocks.size());
-  // Iterative DFS with an explicit successor cursor.
-  std::vector<std::pair<uint32_t, size_t>> Stack;
-  G.Reachable[G.EntryBB] = 1;
-  Stack.push_back({G.EntryBB, 0});
-  while (!Stack.empty()) {
-    auto &[BB, Cursor] = Stack.back();
-    if (Cursor < G.Blocks[BB].Succs.size()) {
-      uint32_t S = G.Blocks[BB].Succs[Cursor++];
-      if (!G.Reachable[S]) {
-        G.Reachable[S] = 1;
-        Stack.push_back({S, 0});
+  // Ladder fixpoint: layers 2 and 1 sharpen target sets, sharpened sets
+  // shrink the edge relation, and fewer edges can sharpen the flow sets
+  // again. Sets only shrink, so this converges; the round cap bounds
+  // pathological cases.
+  if (AnyIndirect) {
+    for (int Round = 0; Round != 4; ++Round) {
+      std::vector<JumpResolution> Refined = refineIndirectTargets(G);
+      bool Changed = false;
+      for (JumpResolution &R : Refined) {
+        size_t I = G.instIndex(R.At);
+        if (G.Provs[I] == R.Prov && G.Targets[I] == R.Targets)
+          continue;
+        Changed = true;
+        G.Provs[I] = R.Prov;
+        G.Layers[I] = R.Layer;
+        G.Targets[I] = std::move(R.Targets);
       }
-    } else {
-      Post.push_back(BB);
-      Stack.pop_back();
+      if (!Changed)
+        break;
+      G.assembleGraph();
     }
   }
-  G.Rpo.assign(Post.rbegin(), Post.rend());
+
+  G.Resolved = true;
+  for (Addr A = G.minAddr(); A != G.limitAddr(); ++A)
+    if (G.isCommit(A) && G.targetProvenance(A) != TargetProvenance::Exact)
+      G.Resolved = false;
   return G;
 }

@@ -12,14 +12,32 @@
 /// branches. Block boundaries therefore sit after the blue half of each
 /// pair, not after the green half.
 ///
-/// Successor resolution runs a little constant propagation over each TAL
-/// block (movs of immediates, folded ALU ops, and the abstract d register)
-/// so that the common codegen shape — mov a target label into a register,
-/// jmpG/jmpB it — resolves to exact targets. A target that cannot be
-/// resolved (e.g. loaded from memory) is over-approximated by every TAL
-/// block entry and recorded in targetsResolved(), which downstream passes
-/// consult before trusting the graph for *pruning* (as opposed to
-/// certification, where extra edges are sound).
+/// Successor resolution ladders three layers (FLTA -> MLTA style):
+///
+///   layer 0  per-block constant scan: movs of immediates, folded ALU ops,
+///            and the abstract d register resolve the common codegen shape
+///            (mov a label into a register, jmpG/jmpB it) to exact targets;
+///   layer 1  type narrowing: a still-unresolved jump keeps only targets
+///            whose code type (the block's precondition StaticContext) the
+///            jump's abstract register-file context cannot refute;
+///   layer 2  interprocedural label-set dataflow (analysis/TargetSets):
+///            which label constants can flow into the jump register through
+///            movs, ALU folds, and never-stored typed data cells; a finite
+///            flow set resolves the jump exactly.
+///
+/// Every committing (blue) control instruction carries a per-jump
+/// TargetProvenance:
+///
+///   Exact             the target set holds every address any fault-free
+///                     run can commit to (layers 0/2) — sound for pruning;
+///   TypeNarrowed      a type-based subset of the block entries (layer 1);
+///                     sound only if transfers satisfy preconditions, an
+///                     assumption campaigns validate dynamically with
+///                     --cfi-check, so pruning must not trust it;
+///   OverApproximated  every TAL block entry.
+///
+/// targetsResolved() — every commit Exact — is what pruning clients check;
+/// certification tolerates the extra edges of the weaker provenances.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +53,24 @@
 namespace talft {
 namespace analysis {
 
+/// How a committing control instruction's target set was established, from
+/// strongest to weakest.
+enum class TargetProvenance : uint8_t {
+  /// Constant scan or label-set dataflow proved the set covers every
+  /// fault-free committed transfer. Sound for pruning.
+  Exact,
+  /// Unresolved flow, narrowed to the block entries whose code type the
+  /// jump's abstract register context cannot refute. Carries the
+  /// "transfers satisfy preconditions" assumption; advisory for pruning.
+  TypeNarrowed,
+  /// Every TAL block entry.
+  OverApproximated,
+};
+
+/// Stable lower-case name for reports ("exact" / "type-narrowed" /
+/// "over-approximated").
+const char *provenanceName(TargetProvenance P);
+
 /// A basic-block CFG over the program's code addresses. Instruction
 /// addresses are dense (layout assigns [1, 1+size)), so per-instruction
 /// facts index a plain vector via instIndex().
@@ -48,15 +84,27 @@ public:
     /// Successor / predecessor block ids.
     std::vector<uint32_t> Succs;
     std::vector<uint32_t> Preds;
-    /// True when some successor set was over-approximated (an indirect
-    /// jump whose target the constant scan could not resolve).
+    /// True when the terminating commit's target set is not Exact.
     bool HasIndirect = false;
 
     Addr end() const { return Begin + (Addr)Size; }
   };
 
-  /// Builds the CFG. Requires Prog.isLaidOut(); fails only on malformed
-  /// layouts (empty code, entry outside code).
+  /// Aggregate resolution facts over the committing (blue) control
+  /// instructions, for reports.
+  struct ResolutionSummary {
+    uint64_t Commits = 0;
+    uint64_t Exact = 0;
+    uint64_t TypeNarrowed = 0;
+    uint64_t OverApproximated = 0;
+    /// Total size of the non-Exact target sets (the residual
+    /// over-approximation the ladder could not discharge).
+    uint64_t UnresolvedTargets = 0;
+  };
+
+  /// Builds the CFG, running the full resolution ladder to a fixpoint.
+  /// Requires Prog.isLaidOut(); fails only on malformed layouts (empty
+  /// code, entry outside code).
   static Expected<CFG> build(const Program &Prog);
 
   const Program &program() const { return *Prog; }
@@ -93,8 +141,27 @@ public:
     return Targets[instIndex(A)];
   }
 
-  /// False when any jump target had to be over-approximated; pruning
-  /// clients must treat the graph as advisory then.
+  /// Provenance of the target set at \p A. Exact (trivially) for
+  /// non-control instructions and green halves.
+  TargetProvenance targetProvenance(Addr A) const {
+    return Provs[instIndex(A)];
+  }
+
+  /// The strongest ladder layer that produced the target set at \p A
+  /// (0 = constant scan, 1 = type narrowing, 2 = label-set dataflow).
+  unsigned resolutionLayer(Addr A) const { return Layers[instIndex(A)]; }
+
+  /// True for the committing (blue) control instruction at \p A.
+  bool isCommit(Addr A) const {
+    const Inst &I = inst(A);
+    return I.isControlFlow() && I.C == Color::Blue;
+  }
+
+  /// Per-commit resolution tallies.
+  ResolutionSummary resolutionSummary() const;
+
+  /// True when every commit's target set is Exact; pruning clients must
+  /// treat the graph as advisory otherwise.
   bool targetsResolved() const { return Resolved; }
 
   /// True when the block is reachable from the entry block.
@@ -105,12 +172,17 @@ public:
   const std::vector<uint32_t> &rpo() const { return Rpo; }
 
 private:
+  /// Rebuilds Blocks/BlockOf/edges/reachability/RPO from Insts + Targets.
+  void assembleGraph();
+
   const Program *Prog = nullptr;
   Addr Base = 1;
   std::vector<Inst> Insts;
   std::vector<SourceLoc> Locs;
   std::vector<const Block *> TalBlocks;
   std::vector<std::vector<Addr>> Targets;
+  std::vector<TargetProvenance> Provs;
+  std::vector<uint8_t> Layers;
   std::vector<uint32_t> BlockOf;
   std::vector<BasicBlock> Blocks;
   std::vector<uint8_t> Reachable;

@@ -44,6 +44,13 @@ Certification talft::analysis::certifyProgram(TypeContext &TC,
   DiagnosticEngine Diags;
   if (Expected<CheckedProgram> CP = checkProgram(TC, Prog, Diags)) {
     C.Status = CertificationStatus::Typed;
+    // Typed programs skip the duplication ladder, but their indirect
+    // jumps still go through target resolution — report it so consumers
+    // see one summary shape across all rungs.
+    if (Expected<CFG> G = CFG::build(Prog)) {
+      C.TargetsResolved = G->targetsResolved();
+      C.Resolution = G->resolutionSummary();
+    }
     return C;
   } else {
     C.CheckerError = CP.message();
@@ -72,6 +79,7 @@ Certification talft::analysis::certifyProgram(TypeContext &TC,
     return C;
   }
   C.TargetsResolved = Dup->TargetsResolved;
+  C.Resolution = Dup->Resolution;
   if (Dup->consistent()) {
     C.Status = CertificationStatus::AnalysisCertified;
   } else {

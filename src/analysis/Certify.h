@@ -50,9 +50,11 @@ struct Certification {
   std::string CheckerError;
   /// The duplication findings (nonempty iff Inconsistent).
   std::vector<Finding> Findings;
-  /// False when indirect targets were over-approximated; an
+  /// False when some commit's target set is not Exact; an
   /// AnalysisCertified verdict then assumes transfers reach block entries.
   bool TargetsResolved = true;
+  /// Per-commit provenance tallies from the resolution ladder.
+  CFG::ResolutionSummary Resolution;
 
   bool certified() const { return Status != CertificationStatus::Inconsistent; }
 };

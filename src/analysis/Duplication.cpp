@@ -518,6 +518,7 @@ Expected<DuplicationResult> talft::analysis::analyzeDuplication(const CFG &G) {
 
   DuplicationResult R;
   R.TargetsResolved = G.targetsResolved();
+  R.Resolution = G.resolutionSummary();
   // Findings pass: replay each reachable block once from its solved entry
   // state, in address order, so diagnostics are deterministic.
   for (uint32_t Id = 0; Id != G.numBlocks(); ++Id) {

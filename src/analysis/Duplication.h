@@ -59,9 +59,11 @@ struct Finding {
 /// The outcome of the duplication-consistency pass.
 struct DuplicationResult {
   std::vector<Finding> Findings;
-  /// False when the CFG over-approximated an indirect target; the
-  /// verdict then assumes transfers only reach block entries.
+  /// False when some commit's target set is not Exact; the verdict then
+  /// assumes transfers only reach block entries.
   bool TargetsResolved = true;
+  /// Per-commit provenance tallies from the resolution ladder.
+  CFG::ResolutionSummary Resolution;
 
   bool consistent() const { return Findings.empty(); }
 };

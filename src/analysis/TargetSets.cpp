@@ -1,0 +1,347 @@
+//===- analysis/TargetSets.cpp --------------------------------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TargetSets.h"
+
+#include "analysis/Dataflow.h"
+#include "sexpr/ExprNormalize.h"
+#include "types/HeapTyping.h"
+#include "types/StaticContext.h"
+#include "types/TypeContext.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+using namespace talft;
+using namespace talft::analysis;
+
+namespace {
+
+/// A saturating finite set of constants: the may-values of one register.
+/// Empty + !Any is the join identity ("no fault-free path delivers a
+/// value yet"); Any is the saturated top.
+struct ConstSet {
+  static constexpr size_t Cap = 16;
+
+  bool Any = false;
+  /// Sorted, unique; meaningful only when !Any.
+  std::vector<int64_t> Vals;
+
+  static ConstSet any() {
+    ConstSet S;
+    S.Any = true;
+    return S;
+  }
+  static ConstSet single(int64_t V) {
+    ConstSet S;
+    S.Vals.push_back(V);
+    return S;
+  }
+
+  bool contains(int64_t V) const {
+    return Any || std::binary_search(Vals.begin(), Vals.end(), V);
+  }
+
+  /// Union with saturation; returns true when this set changed.
+  bool unionWith(const ConstSet &O) {
+    if (Any)
+      return false;
+    if (O.Any) {
+      Any = true;
+      Vals.clear();
+      return true;
+    }
+    size_t Before = Vals.size();
+    std::vector<int64_t> Merged;
+    Merged.reserve(Vals.size() + O.Vals.size());
+    std::set_union(Vals.begin(), Vals.end(), O.Vals.begin(), O.Vals.end(),
+                   std::back_inserter(Merged));
+    if (Merged.size() > Cap) {
+      Any = true;
+      Vals.clear();
+      return true;
+    }
+    Vals = std::move(Merged);
+    return Vals.size() != Before;
+  }
+
+  bool operator==(const ConstSet &O) const = default;
+};
+
+ConstSet foldAlu(Opcode Op, const ConstSet &L, const ConstSet &R) {
+  if (L.Any || R.Any)
+    return ConstSet::any();
+  ConstSet Out;
+  for (int64_t A : L.Vals)
+    for (int64_t B : R.Vals) {
+      int64_t V = evalAluOp(Op, A, B);
+      if (!std::binary_search(Out.Vals.begin(), Out.Vals.end(), V))
+        Out.Vals.insert(
+            std::lower_bound(Out.Vals.begin(), Out.Vals.end(), V), V);
+      if (Out.Vals.size() > ConstSet::Cap)
+        return ConstSet::any();
+    }
+  return Out;
+}
+
+/// Forward may-constant analysis over general registers and d. Loads read
+/// from \p CleanCells (address -> initializer for cells no store can
+/// reach); a null map treats every load as unknown (the dirtiness
+/// pre-pass). The pc registers stay Any from the boundary on: no transfer
+/// writes their entries.
+struct LabelFlow {
+  using State = std::array<ConstSet, Reg::NumRegs>;
+  static constexpr Direction Dir = Direction::Forward;
+
+  const std::map<Addr, int64_t> *CleanCells = nullptr;
+
+  State boundary(const CFG &) {
+    State S;
+    S.fill(ConstSet::any());
+    return S;
+  }
+  State top() { return State(); }
+
+  bool join(State &Into, const State &From, uint32_t) {
+    bool Changed = false;
+    for (size_t I = 0; I != Into.size(); ++I)
+      Changed |= Into[I].unionWith(From[I]);
+    return Changed;
+  }
+
+  ConstSet loadFrom(const ConstSet &AddrSet) const {
+    if (AddrSet.Any || !CleanCells)
+      return ConstSet::any();
+    ConstSet Out;
+    for (int64_t A : AddrSet.Vals) {
+      auto It = CleanCells->find((Addr)A);
+      if (It == CleanCells->end())
+        return ConstSet::any();
+      Out.unionWith(ConstSet::single(It->second));
+    }
+    return Out;
+  }
+
+  void transfer(Addr, const Inst &I, State &S) {
+    size_t D = Reg::dest().denseIndex();
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul: {
+      ConstSet R = I.HasImm ? ConstSet::single(I.Imm.N)
+                            : S[I.Rt.denseIndex()];
+      S[I.Rd.denseIndex()] = foldAlu(I.Op, S[I.Rs.denseIndex()], R);
+      break;
+    }
+    case Opcode::Mov:
+      S[I.Rd.denseIndex()] = ConstSet::single(I.Imm.N);
+      break;
+    case Opcode::Ld:
+      S[I.Rd.denseIndex()] = loadFrom(S[I.Rs.denseIndex()]);
+      break;
+    case Opcode::St:
+      // Verified against the queue before touching memory; cell dirtiness
+      // is handled by the pre-pass, not here.
+      break;
+    case Opcode::Jmp:
+      // jmpG faults unless d = 0, then parks val(Rd) in d; jmpB resets d
+      // to green 0 on commit (and never falls through — the reset flows
+      // to the committed targets).
+      S[D] = I.C == Color::Green ? S[I.Rd.denseIndex()] : ConstSet::single(0);
+      break;
+    case Opcode::Bz:
+      if (I.C == Color::Green) {
+        // Taken intent parks val(Rd); untaken keeps the entry value 0
+        // (any other prior d faults, so that path has no successors).
+        ConstSet T = S[I.Rd.denseIndex()];
+        T.unionWith(ConstSet::single(0));
+        S[D] = T;
+      } else {
+        S[D] = ConstSet::single(0);
+      }
+      break;
+    }
+  }
+};
+
+/// The meet of the two replicas at a commit: the committed target equals
+/// both val(d) and val(Rd), so any finite side bounds it.
+ConstSet meetReplicas(const ConstSet &DSet, const ConstSet &RdSet) {
+  if (DSet.Any)
+    return RdSet;
+  if (RdSet.Any)
+    return DSet;
+  ConstSet Out;
+  std::set_intersection(DSet.Vals.begin(), DSet.Vals.end(),
+                        RdSet.Vals.begin(), RdSet.Vals.end(),
+                        std::back_inserter(Out.Vals));
+  return Out;
+}
+
+/// Cells whose initializer survives the whole run: no store's abstract
+/// address set can reach them. Sound over faulty continuations too — stB
+/// verifies (address, value) against the green queue entry before writing,
+/// so a single fault cannot land a store at an unintended address.
+std::map<Addr, int64_t> findCleanCells(const CFG &G,
+                                       const DataflowSolution<LabelFlow> &Pre) {
+  std::map<Addr, int64_t> Clean;
+  const std::vector<DataCell> &Cells = G.program().data();
+  if (Cells.empty())
+    return Clean;
+
+  std::vector<int64_t> Dirty;
+  for (Addr A = G.minAddr(); A != G.limitAddr(); ++A) {
+    const Inst &I = G.inst(A);
+    if (I.Op != Opcode::St)
+      continue;
+    const ConstSet &AddrSet = Pre.at(G, A)[I.Rd.denseIndex()];
+    if (AddrSet.Any)
+      return Clean; // Some store can hit anything: every cell is dirty.
+    Dirty.insert(Dirty.end(), AddrSet.Vals.begin(), AddrSet.Vals.end());
+  }
+  std::sort(Dirty.begin(), Dirty.end());
+  for (const DataCell &C : Cells)
+    if (!std::binary_search(Dirty.begin(), Dirty.end(), (int64_t)C.Address))
+      Clean.emplace(C.Address, C.Init);
+  return Clean;
+}
+
+/// Ψ ⊢ n : b, mirroring check/StateTyping's intHasBasicType: any integer
+/// has type int; a ref/code shape must be exactly Ψ's (uniqued) type.
+bool valueHasShape(const HeapTyping &Psi, int64_t N, const BasicType *B) {
+  if (!B || B->isInt())
+    return true;
+  return Psi.lookup((Addr)N) == B;
+}
+
+/// True when no fault-free register file described by \p S can enter the
+/// block preconditioned by \p Pre off a commit. Refutation-only:
+/// unconstrained registers (Γ is partial) and conditional or open types
+/// never refute.
+bool refutesTarget(const CFG &G, const StaticContext *Pre,
+                   const LabelFlow::State &S) {
+  if (!Pre)
+    return false;
+  const Program &Prog = G.program();
+  ExprContext &Exprs = Prog.types().exprs();
+  const HeapTyping &Psi = Prog.heapTyping();
+
+  for (const auto &[Key, T] : Pre->Gamma) {
+    if (T.isConditional())
+      continue;
+    Reg R = RegFileType::regForKey(Key);
+    if (R.isDest()) {
+      // A commit lands with d = (Green, 0).
+      if (T.C != Color::Green)
+        return true;
+      if (!valueHasShape(Psi, 0, T.B))
+        return true;
+      if (T.E) {
+        const Expr *N = normalize(Exprs, T.E);
+        if (N->isIntConst() && N->intValue() != 0)
+          return true;
+      }
+      continue;
+    }
+    const ConstSet &V = S[R.denseIndex()];
+    if (V.Any)
+      continue;
+    if (T.E) {
+      const Expr *N = normalize(Exprs, T.E);
+      if (N->isIntConst() && !V.contains(N->intValue()))
+        return true;
+    }
+    if (T.B && !T.B->isInt()) {
+      bool AnyFits = false;
+      for (int64_t Val : V.Vals)
+        AnyFits |= valueHasShape(Psi, Val, T.B);
+      if (!AnyFits)
+        return true;
+    }
+  }
+  return false;
+}
+
+/// The precondition of the block whose entry is \p Target, or null when
+/// the address is not a block entry (mid-block landings carry no declared
+/// contract and are never refuted).
+const StaticContext *targetPrecondition(const CFG &G, Addr Target) {
+  const Block *B = G.talBlockOf(Target);
+  if (!B || G.program().addressOf(B->Label) != Target)
+    return nullptr;
+  return B->Pre;
+}
+
+} // namespace
+
+std::vector<JumpResolution>
+talft::analysis::refineIndirectTargets(const CFG &G) {
+  std::vector<JumpResolution> Out;
+
+  // Layer 2: the label-set dataflow, with a dirtiness pre-pass so loads
+  // from never-stored data cells yield their initializers.
+  LabelFlow Flow;
+  DataflowSolution<LabelFlow> Sol = solveDataflow(G, Flow);
+  bool AnyLoad = false;
+  for (Addr A = G.minAddr(); A != G.limitAddr(); ++A)
+    AnyLoad |= G.inst(A).Op == Opcode::Ld;
+  std::map<Addr, int64_t> Clean;
+  if (AnyLoad) {
+    Clean = findCleanCells(G, Sol);
+    if (!Clean.empty()) {
+      Flow.CleanCells = &Clean;
+      Sol = solveDataflow(G, Flow);
+    }
+  }
+
+  const CodeMemory &Code = G.program().code();
+  for (Addr A = G.minAddr(); A != G.limitAddr(); ++A) {
+    if (!G.isCommit(A))
+      continue;
+    // Layer-0 exact sets are already minimal; layer-2 exact sets must be
+    // re-derived each round — the sharpened graph can shrink the flow
+    // into this jump further (e.g. severed over-approximated edges).
+    bool ExactDataflow = G.targetProvenance(A) == TargetProvenance::Exact &&
+                         G.resolutionLayer(A) == 2;
+    if (G.targetProvenance(A) == TargetProvenance::Exact && !ExactDataflow)
+      continue;
+    const LabelFlow::State &S = Sol.In[G.instIndex(A)];
+    const Inst &I = G.inst(A);
+    ConstSet M = meetReplicas(S[Reg::dest().denseIndex()],
+                              S[I.Rd.denseIndex()]);
+
+    JumpResolution R;
+    R.At = A;
+    if (ExactDataflow && M.Any) {
+      // The previous round's finite set stands (join order can transiently
+      // widen mid-fixpoint); keep it rather than regress.
+      continue;
+    }
+    if (!M.Any) {
+      // Finite flow: every committable target is here. Addresses outside
+      // code wedge at the next fetch, so they carry no edge.
+      R.Prov = TargetProvenance::Exact;
+      R.Layer = 2;
+      for (int64_t T : M.Vals)
+        if (Code.contains((Addr)T))
+          R.Targets.push_back((Addr)T);
+    } else {
+      // Layer 1: keep the candidates the register context cannot refute.
+      const std::vector<Addr> &Cands = G.controlTargets(A);
+      for (Addr T : Cands)
+        if (!refutesTarget(G, targetPrecondition(G, T), S))
+          R.Targets.push_back(T);
+      bool Narrowed = R.Targets.size() < Cands.size() ||
+                      G.targetProvenance(A) == TargetProvenance::TypeNarrowed;
+      R.Prov = Narrowed ? TargetProvenance::TypeNarrowed
+                        : TargetProvenance::OverApproximated;
+      R.Layer = Narrowed ? 1 : 0;
+    }
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}

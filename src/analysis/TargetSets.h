@@ -1,0 +1,72 @@
+//===- analysis/TargetSets.h - FLTA->MLTA indirect-target ladder ----------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layers 1 and 2 of the indirect-target resolution ladder (layer 0, the
+/// per-block constant scan, lives in CFG.cpp):
+///
+///   layer 2 — label-set dataflow. A forward interprocedural analysis over
+///   the current CFG tracks, per register, the finite set of constants that
+///   can reach it (movs, pairwise-folded ALU ops, and loads from data
+///   cells no store can touch), saturating to "any" past a small cap. At a
+///   commit the target must equal both d (green replica) and Rd (blue
+///   replica), so the meet of their flow sets bounds every committed
+///   target; a finite meet resolves the jump *exactly*.
+///
+///   layer 1 — type refutation. When the flow sets saturate, the candidate
+///   set (all TAL block entries) is narrowed by refuting target blocks
+///   whose precondition StaticContext no fault-free register file at the
+///   jump can satisfy: a declared d type other than (G, int, 0) (commits
+///   reset d to green 0), a declared singleton expression excluded by the
+///   register's flow set, or a ref/code shape no flow-set value has under
+///   the heap typing Psi. Refutation-only — entailment would wrongly
+///   exclude blocks whose Gamma merely omits a register.
+///
+/// Soundness under the single-fault model: committed transfers are
+/// cross-checked (jmpB/bzB fault unless d and Rd agree, and bz decisions
+/// are themselves cross-checked), so even in a faulty continuation every
+/// *committed* target is a value the fault-free dataflow accounts for; and
+/// stores are verified against the queue before touching memory, so a
+/// never-stored cell's load value is its initializer in faulty runs too.
+/// Layer-2 Exact sets therefore hold for campaign pruning. Layer-1
+/// narrowing additionally assumes transfers satisfy preconditions — true
+/// for typed programs, validated dynamically (--cfi-check) for untyped
+/// ones — so it stays advisory.
+///
+/// CFG::build calls refineIndirectTargets() in a fixpoint: sharpened sets
+/// shrink the edge relation, which can sharpen the flow sets again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_ANALYSIS_TARGETSETS_H
+#define TALFT_ANALYSIS_TARGETSETS_H
+
+#include "analysis/CFG.h"
+
+#include <vector>
+
+namespace talft {
+namespace analysis {
+
+/// One sharpened commit: the instruction, the provenance/layer the ladder
+/// reached, and the new target set (sorted, unique, code addresses only).
+struct JumpResolution {
+  Addr At = 0;
+  TargetProvenance Prov = TargetProvenance::OverApproximated;
+  uint8_t Layer = 0;
+  std::vector<Addr> Targets;
+};
+
+/// Runs layers 2 and 1 over \p G and returns a resolution for every commit
+/// whose current provenance is not Exact. Returned target sets are always
+/// subsets of the current ones (monotone), so applying them and rebuilding
+/// the graph converges.
+std::vector<JumpResolution> refineIndirectTargets(const CFG &G);
+
+} // namespace analysis
+} // namespace talft
+
+#endif // TALFT_ANALYSIS_TARGETSETS_H

@@ -60,14 +60,38 @@ Expected<ZapCoverage> ZapCoverage::compute(const Program &Prog) {
       }
   }
 
-  // Same register filter as the campaign's OnlyMentionedRegisters.
+  // Same register filter as the campaign's OnlyMentionedRegisters, plus
+  // the special-register scan: d and the pcs must never appear as an
+  // explicit operand for the control-register discharge to be sound.
   std::set<unsigned> Used;
   for (const Block &B : Prog.blocks())
     for (const ProgInst &PI : B.Insts) {
-      Used.insert(PI.I.Rd.denseIndex());
-      Used.insert(PI.I.Rs.denseIndex());
-      if (!PI.I.HasImm)
-        Used.insert(PI.I.Rt.denseIndex());
+      const Inst &I = PI.I;
+      Used.insert(I.Rd.denseIndex());
+      Used.insert(I.Rs.denseIndex());
+      if (!I.HasImm)
+        Used.insert(I.Rt.denseIndex());
+      switch (I.Op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+        Z.SpecialsControlOnly &= I.Rd.isGeneral() && I.Rs.isGeneral() &&
+                                 (I.HasImm || I.Rt.isGeneral());
+        break;
+      case Opcode::Mov:
+        Z.SpecialsControlOnly &= I.Rd.isGeneral();
+        break;
+      case Opcode::Ld:
+      case Opcode::St:
+        Z.SpecialsControlOnly &= I.Rd.isGeneral() && I.Rs.isGeneral();
+        break;
+      case Opcode::Bz:
+        Z.SpecialsControlOnly &= I.rz().isGeneral() && I.Rd.isGeneral();
+        break;
+      case Opcode::Jmp:
+        Z.SpecialsControlOnly &= I.Rd.isGeneral();
+        break;
+      }
     }
   Used.insert(Reg::dest().denseIndex());
   Used.insert(Reg::pcG().denseIndex());
@@ -122,6 +146,34 @@ std::string ZapCoverage::reportJson(unsigned Indent) const {
                      Dup.TargetsResolved ? "true" : "false");
   Out += P + formatv("  \"consistent\": %s,\n",
                      Dup.consistent() ? "true" : "false");
+  const CFG::ResolutionSummary &R = Dup.Resolution;
+  Out += P + formatv("  \"target_resolution\": {\"commits\": %llu, "
+                     "\"exact\": %llu, \"type_narrowed\": %llu, "
+                     "\"over_approximated\": %llu, "
+                     "\"unresolved_targets\": %llu, \"jumps\": [",
+                     (unsigned long long)R.Commits,
+                     (unsigned long long)R.Exact,
+                     (unsigned long long)R.TypeNarrowed,
+                     (unsigned long long)R.OverApproximated,
+                     (unsigned long long)R.UnresolvedTargets);
+  {
+    bool First = true;
+    for (Addr A = G.minAddr(); A < G.limitAddr(); ++A) {
+      if (!G.isCommit(A) ||
+          G.targetProvenance(A) == TargetProvenance::Exact)
+        continue;
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += formatv("{\"at\": %lld, \"where\": \"%s\", "
+                     "\"provenance\": \"%s\", \"layer\": %u, "
+                     "\"targets\": %zu}",
+                     (long long)A, G.describeAddr(A).c_str(),
+                     provenanceName(G.targetProvenance(A)),
+                     G.resolutionLayer(A), G.controlTargets(A).size());
+    }
+  }
+  Out += "]},\n";
   Out += P + formatv("  \"blocks\": %zu,\n", G.numBlocks());
   Out += P + formatv("  \"instructions\": %zu,\n", G.numInsts());
   Out += P + formatv("  \"sites\": {\"dead\": %llu, \"checked\": %llu, "

@@ -79,6 +79,16 @@ public:
            classifyRegister(A, R) == ZapClass::Dead;
   }
 
+  /// True when the special registers (d and the pcs) appear only in their
+  /// control-protocol roles — never as an operand of an ALU op, mov, load,
+  /// store, or as a branch test/target register. Every read/write of them
+  /// is then part of the d-protocol or the fetch compare, which is what
+  /// lets a campaign discharge d/pc zap sites from the reference trace
+  /// alone (see Campaign's control-register discharge).
+  bool specialSiteDischargeSound() const {
+    return pruneSound() && SpecialsControlOnly;
+  }
+
   /// Registers the program mentions plus d and the pcs — the same site
   /// filter the campaign's OnlyMentionedRegisters uses.
   const std::vector<Reg> &mentionedRegs() const { return Mentioned; }
@@ -96,6 +106,7 @@ private:
   /// Per block: some duplication finding is reachable from here.
   std::vector<uint8_t> FindingReachable;
   std::vector<Reg> Mentioned;
+  bool SpecialsControlOnly = true;
 };
 
 } // namespace analysis

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -48,6 +49,8 @@ const char *talft::verdictName(Verdict V) {
     return "recovery escalated";
   case Verdict::StaticallyMasked:
     return "statically masked";
+  case Verdict::StaticallyDetected:
+    return "statically detected";
   }
   talft_unreachable("unknown verdict");
 }
@@ -76,6 +79,8 @@ const char *talft::verdictJsonKey(Verdict V) {
     return "recovery_escalated";
   case Verdict::StaticallyMasked:
     return "statically_masked";
+  case Verdict::StaticallyDetected:
+    return "statically_detected";
   }
   talft_unreachable("unknown verdict");
 }
@@ -90,7 +95,8 @@ uint64_t VerdictTable::total() const {
 uint64_t VerdictTable::benign() const {
   return (*this)[Verdict::Masked] + (*this)[Verdict::Detected] +
          (*this)[Verdict::Recovered] + (*this)[Verdict::RecoveryEscalated] +
-         (*this)[Verdict::StaticallyMasked];
+         (*this)[Verdict::StaticallyMasked] +
+         (*this)[Verdict::StaticallyDetected];
 }
 
 void VerdictTable::merge(const VerdictTable &O) {
@@ -111,7 +117,7 @@ double secondsSince(Clock::time_point Start) {
 bool isBenign(Verdict V) {
   return V == Verdict::Masked || V == Verdict::Detected ||
          V == Verdict::Recovered || V == Verdict::RecoveryEscalated ||
-         V == Verdict::StaticallyMasked;
+         V == Verdict::StaticallyMasked || V == Verdict::StaticallyDetected;
 }
 
 /// The violation text for an abnormal single-fault verdict, matching the
@@ -935,6 +941,27 @@ buildPruneOracle(const Program &Prog, const CampaignOptions &Opts) {
   return std::move(*Z);
 }
 
+/// Builds the CFI target table for --cfi-check campaigns: every commit's
+/// per-jump resolved set, whatever its provenance — validating the
+/// type-narrowed sets dynamically is the point. Analysis failures quietly
+/// disable checking (the table is a soundness oracle, not a requirement).
+std::unique_ptr<CfiTable> buildCfiTable(const Program &Prog,
+                                        const CampaignOptions &Opts) {
+  if (!Opts.CfiCheck)
+    return nullptr;
+  Expected<analysis::CFG> G = analysis::CFG::build(Prog);
+  if (!G)
+    return nullptr;
+  auto Table = std::make_unique<CfiTable>(G->minAddr(), G->numInsts());
+  for (Addr A = G->minAddr(); A != G->limitAddr(); ++A) {
+    if (!G->isCommit(A))
+      continue;
+    const std::vector<Addr> &Targets = G->controlTargets(A);
+    Table->setAllowed(A, std::vector<int64_t>(Targets.begin(), Targets.end()));
+  }
+  return Table;
+}
+
 /// Phase 2: the full work list in the order the serial checker visits it,
 /// so merged violation lists match it exactly. \p StateAt resolves the
 /// reference state of snapshot \p SI (typed and untyped campaigns store
@@ -942,11 +969,34 @@ buildPruneOracle(const Program &Prog, const CampaignOptions &Opts) {
 /// tallied into \p Table as StaticallyMasked instead of being enumerated —
 /// exactly the triples the unpruned sweep would have classified, so the
 /// table total is invariant under pruning.
+///
+/// A non-null \p CtrlAhead ("some control instruction executes at or after
+/// this snapshot in the reference run", per snapshot) additionally arms
+/// the control-register discharge, which the caller enables only when the
+/// oracle vouches that the specials appear in control positions alone
+/// (ZapCoverage::specialSiteDischargeSound), the campaign is untyped and
+/// recovery-free, and ExtraSteps covers the predicted fault. The rules
+/// mirror the dynamic classifier exactly:
+///
+///   d-zap — no non-control instruction can read or write d, so the
+///   corrupted value survives verbatim until the next control executes,
+///   where the d-protocol compares it (jmpG/bz demand d = 0; jmpB/bzB
+///   demand d equal to the blue replica): with a control ahead the faulty
+///   run faults on a reference-prefix trace (Detected); with none the run
+///   replays the reference and ends similar modulo the green d (Masked).
+///
+///   pc-zap — the pcs are equal at every snapshot boundary, so corrupting
+///   one desynchronizes them and the next fetch faults (Detected) —
+///   unless the in-flight instruction is a committing blue control about
+///   to succeed (it must: the reference completed), which overwrites both
+///   pcs with the verified target and reproduces the reference state
+///   exactly (Masked).
 std::vector<InjectionTask>
 enumerateTasks(const Program &Prog, const TheoremConfig &Config,
                size_t NumSnaps,
                const std::function<const MachineState &(size_t)> &StateAt,
-               const analysis::ZapCoverage *Prune, VerdictTable &Table) {
+               const analysis::ZapCoverage *Prune, VerdictTable &Table,
+               const std::vector<uint8_t> *CtrlAhead = nullptr) {
   std::set<unsigned> UsedRegs;
   if (Config.OnlyMentionedRegisters)
     UsedRegs = mentionedRegisters(Prog);
@@ -970,6 +1020,24 @@ enumerateTasks(const Program &Prog, const TheoremConfig &Config,
         for (int64_t Corruption : Corruptions)
           if (Corruption != Current)
             ++Table[Verdict::StaticallyMasked];
+        continue;
+      }
+      if (Prune && CtrlAhead && Site.K == FaultSite::Kind::Register &&
+          (Site.R.isDest() || Site.R.isPC())) {
+        Verdict V;
+        if (Site.R.isDest()) {
+          V = (*CtrlAhead)[SI] ? Verdict::StaticallyDetected
+                               : Verdict::StaticallyMasked;
+        } else {
+          bool CommitInFlight =
+              S.IR && S.IR->isControlFlow() && S.IR->C == Color::Blue &&
+              (S.IR->Op == Opcode::Jmp || S.Regs.val(S.IR->rz()) == 0);
+          V = CommitInFlight ? Verdict::StaticallyMasked
+                             : Verdict::StaticallyDetected;
+        }
+        for (int64_t Corruption : Corruptions)
+          if (Corruption != Current)
+            ++Table[V];
         continue;
       }
       for (int64_t Corruption : Corruptions) {
@@ -1013,8 +1081,10 @@ bool applyShardSlice(const CampaignOptions &Opts, const TheoremConfig &Config,
   // Statically pruned sites are tallied during enumeration, which every
   // shard repeats; assign them to shard 0 alone so the N shard tables sum
   // to the unsharded table exactly.
-  if (Opts.ShardIndex != 0)
+  if (Opts.ShardIndex != 0) {
     R.Table[Verdict::StaticallyMasked] = 0;
+    R.Table[Verdict::StaticallyDetected] = 0;
+  }
   Tasks.erase(Tasks.begin() + (ptrdiff_t)Hi, Tasks.end());
   Tasks.erase(Tasks.begin(), Tasks.begin() + (ptrdiff_t)Lo);
   return true;
@@ -1548,9 +1618,24 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
 
 CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
                                                 const CheckedProgram &CP,
-                                                const TheoremConfig &Config,
+                                                const TheoremConfig &ConfigIn,
                                                 const CampaignOptions &Opts) {
   CampaignResult R;
+  // The CFI table (when requested) rides on the step policy, so every
+  // engine — reference interpreter, vm, lanes — validates commits through
+  // the same hook. Record-only: verdicts cannot depend on it.
+  std::unique_ptr<CfiTable> Cfi = buildCfiTable(*CP.Prog, Opts);
+  TheoremConfig Config = ConfigIn;
+  if (Cfi)
+    Config.Policy.Cfi = Cfi.get();
+  auto FinishCfi = [&] {
+    if (!Cfi)
+      return;
+    R.Stats.CfiChecked = true;
+    R.Stats.CfiCommits = Cfi->commits();
+    R.Stats.CfiViolations = Cfi->violations();
+    R.CfiFirstViolation = Cfi->firstViolation();
+  };
   auto AddViolation = [&](std::string V) {
     R.Ok = false;
     if (R.Violations.size() < Config.MaxViolations)
@@ -1566,6 +1651,7 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   if (Typed && Config.Recovery.Enabled) {
     AddViolation("recovery cannot be combined with TypeCheckFaultyStates: "
                  "rollback replays run on the raw semantics");
+    FinishCfi();
     return R;
   }
   uint64_t Stride = std::max<uint64_t>(1, Config.InjectionStride);
@@ -1573,6 +1659,7 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   TrackedRun Run(TC, CP, Config.Policy);
   if (Error E = Run.start()) {
     AddViolation("cannot start: " + E.message());
+    FinishCfi();
     return R;
   }
 
@@ -1593,13 +1680,21 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   ConvergenceRecorder CR;
   CR.Enabled = !Typed && !Config.Recovery.Enabled && Opts.Converge;
 
+  // Step count of the latest point where a control instruction was
+  // in-flight (about to execute). A snapshot taken at or before that
+  // count still has a control instruction ahead of it in the reference
+  // run — the input to the d-register discharge rule.
+  int64_t LastCtrl = -1;
   TakeSnapshot(); // Step 0 is always an injection point.
   CR.start(Run.state());
   while (!Run.atExitBlock()) {
     if (Run.steps() >= Config.MaxSteps) {
       AddViolation("reference run exceeded MaxSteps");
+      FinishCfi();
       return R;
     }
+    if (Run.state().IR && Run.state().IR->isControlFlow())
+      LastCtrl = (int64_t)Run.steps();
     CR.beforeStep(Run.state(), Run.steps() + 1);
     StepResult SR = Run.stepOnce();
     if (SR.Status != StepStatus::Ok) {
@@ -1607,6 +1702,7 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
                            (unsigned long long)Run.steps(),
                            SR.Status == StepStatus::Stuck ? "stuck"
                                                           : "false positive"));
+      FinishCfi();
       return R;
     }
     CR.afterStep(Run.state(), Run.steps(), Run.trace().size());
@@ -1619,22 +1715,40 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
 
   std::optional<analysis::ZapCoverage> Oracle =
       buildPruneOracle(*CP.Prog, Opts);
+  // Control-register discharge needs the oracle's guarantee that specials
+  // never appear as instruction operands, the raw semantics (typed
+  // campaigns re-check states, recovery rewrites continuations), and
+  // enough extra steps for the corrupted run to reach its next control.
+  bool SpecialDischarge = Oracle && Oracle->specialSiteDischargeSound() &&
+                          !Typed && !Config.Recovery.Enabled &&
+                          Config.ExtraSteps >= 2;
+  std::vector<uint8_t> CtrlAhead;
+  if (SpecialDischarge) {
+    CtrlAhead.resize(Snaps.size());
+    for (size_t I = 0; I != Snaps.size(); ++I)
+      CtrlAhead[I] = LastCtrl >= 0 && (uint64_t)LastCtrl >= Snaps[I].Steps;
+  }
   std::vector<InjectionTask> Tasks = enumerateTasks(
       *CP.Prog, Config, Typed ? TypedSnaps.size() : Snaps.size(),
       [&](size_t SI) -> const MachineState & {
         return Typed ? TypedSnaps[SI].S : Snaps[SI].S;
       },
-      Oracle ? &*Oracle : nullptr, R.Table);
+      Oracle ? &*Oracle : nullptr, R.Table,
+      SpecialDischarge ? &CtrlAhead : nullptr);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
   if (Expected<MachineState> Init = CP.Prog->initialState())
     R.ProgramHash =
         programContentHash(CP.Prog->code(), CP.Prog->entryAddress(),
                            CP.Prog->exitAddress(), *Init);
-  if (!applyShardSlice(Opts, Config, Tasks, R))
+  if (!applyShardSlice(Opts, Config, Tasks, R)) {
+    FinishCfi();
     return R;
+  }
   R.Stats.Tasks = Tasks.size();
   R.Stats.Pruned = Oracle.has_value();
-  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
+  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked] +
+                        R.Table[Verdict::StaticallyDetected];
+  R.Stats.PrunedDetected = R.Table[Verdict::StaticallyDetected];
 
   // Phase 3: classify every continuation. Typed campaigns run serially
   // through the shared TypeContext; classification-only campaigns fan out.
@@ -1653,6 +1767,7 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
         TrackedRun Fresh(TC, CP, Config.Policy);
         if (Error E = Fresh.start()) {
           AddViolation("cannot start: " + E.message());
+          FinishCfi();
           return R;
         }
         while (Fresh.steps() < TypedSnaps[T.SnapIdx].Steps)
@@ -1682,13 +1797,26 @@ CampaignResult talft::runFaultToleranceCampaign(TypeContext &TC,
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
+  FinishCfi();
   return R;
 }
 
 CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
-                                             const TheoremConfig &Config,
+                                             const TheoremConfig &ConfigIn,
                                              const CampaignOptions &Opts) {
   CampaignResult R;
+  std::unique_ptr<CfiTable> Cfi = buildCfiTable(Prog, Opts);
+  TheoremConfig Config = ConfigIn;
+  if (Cfi)
+    Config.Policy.Cfi = Cfi.get();
+  auto FinishCfi = [&] {
+    if (!Cfi)
+      return;
+    R.Stats.CfiChecked = true;
+    R.Stats.CfiCommits = Cfi->commits();
+    R.Stats.CfiViolations = Cfi->violations();
+    R.CfiFirstViolation = Cfi->firstViolation();
+  };
   auto AddViolation = [&](std::string V) {
     R.Ok = false;
     if (R.Violations.size() < Config.MaxViolations)
@@ -1697,6 +1825,7 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   if (Config.TypeCheckFaultyStates) {
     AddViolation("the raw-semantics sweep cannot re-typecheck faulty states; "
                  "use runFaultToleranceCampaign on a checked program");
+    FinishCfi();
     return R;
   }
 
@@ -1710,6 +1839,7 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   Expected<MachineState> S0 = Prog.initialState();
   if (Error Err = S0.takeError()) {
     AddViolation("cannot start: " + Err.message());
+    FinishCfi();
     return R;
   }
   MachineState S = *S0;
@@ -1721,13 +1851,17 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   ConvergenceRecorder CR;
   CR.Enabled = !Config.Recovery.Enabled && Opts.Converge;
   std::vector<UntypedSnapshot> Snaps;
+  int64_t LastCtrl = -1;
   Snaps.push_back({S, 0, 0}); // Step 0 is always an injection point.
   CR.start(S);
   while (!atExit(S, ExitAddr)) {
     if (Steps >= Config.MaxSteps) {
       AddViolation("reference run exceeded MaxSteps");
+      FinishCfi();
       return R;
     }
+    if (S.IR && S.IR->isControlFlow())
+      LastCtrl = (int64_t)Steps;
     CR.beforeStep(S, Steps + 1);
     StepResult SR = E.step(S, Config.Policy);
     ++Steps;
@@ -1738,6 +1872,7 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
                            (unsigned long long)Steps,
                            SR.Status == StepStatus::Stuck ? "stuck"
                                                           : "false positive"));
+      FinishCfi();
       return R;
     }
     CR.afterStep(S, Steps, Trace.size());
@@ -1748,18 +1883,31 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   R.ReferenceTrace = Trace;
 
   std::optional<analysis::ZapCoverage> Oracle = buildPruneOracle(Prog, Opts);
+  bool SpecialDischarge = Oracle && Oracle->specialSiteDischargeSound() &&
+                          !Config.Recovery.Enabled && Config.ExtraSteps >= 2;
+  std::vector<uint8_t> CtrlAhead;
+  if (SpecialDischarge) {
+    CtrlAhead.resize(Snaps.size());
+    for (size_t I = 0; I != Snaps.size(); ++I)
+      CtrlAhead[I] = LastCtrl >= 0 && (uint64_t)LastCtrl >= Snaps[I].Steps;
+  }
   std::vector<InjectionTask> Tasks =
       enumerateTasks(Prog, Config, Snaps.size(),
                      [&](size_t SI) -> const MachineState & {
                        return Snaps[SI].S;
                      },
-                     Oracle ? &*Oracle : nullptr, R.Table);
+                     Oracle ? &*Oracle : nullptr, R.Table,
+                     SpecialDischarge ? &CtrlAhead : nullptr);
   R.Stats.ReferenceSeconds = secondsSince(RefStart);
-  if (!applyShardSlice(Opts, Config, Tasks, R))
+  if (!applyShardSlice(Opts, Config, Tasks, R)) {
+    FinishCfi();
     return R;
+  }
   R.Stats.Tasks = Tasks.size();
   R.Stats.Pruned = Oracle.has_value();
-  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked];
+  R.Stats.PrunedTasks = R.Table[Verdict::StaticallyMasked] +
+                        R.Table[Verdict::StaticallyDetected];
+  R.Stats.PrunedDetected = R.Table[Verdict::StaticallyDetected];
 
   Clock::time_point InjectStart = Clock::now();
   classifyUntypedTasks(Prog, Config, Opts, Tasks, Snaps, Trace, S, Steps,
@@ -1770,6 +1918,7 @@ CampaignResult talft::runSingleFaultCampaign(const Program &Prog,
   R.Stats.WallSeconds = secondsSince(InjectStart);
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond = (double)Tasks.size() / R.Stats.WallSeconds;
+  FinishCfi();
   return R;
 }
 
@@ -2030,6 +2179,12 @@ void talft::foldShardResult(CampaignResult &Acc, const CampaignResult &Shard,
   A.ThreadsUsed = std::max(A.ThreadsUsed, B.ThreadsUsed);
   A.Pruned = A.Pruned || B.Pruned;
   A.PrunedTasks += B.PrunedTasks;
+  A.PrunedDetected += B.PrunedDetected;
+  A.CfiChecked = A.CfiChecked || B.CfiChecked;
+  A.CfiCommits += B.CfiCommits;
+  A.CfiViolations += B.CfiViolations;
+  if (Acc.CfiFirstViolation.empty())
+    Acc.CfiFirstViolation = Shard.CfiFirstViolation;
   A.Converge = A.Converge || B.Converge;
   A.EarlyExits += B.EarlyExits;
   A.WindowSum += B.WindowSum;
@@ -2145,16 +2300,25 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
     appendJsonEscaped(S, R.Violations[I]);
   }
   S += "],\n";
+  S += P + formatv("  \"cfi\": {\"checked\": %s, \"commits\": %llu, "
+                   "\"violations\": %llu, \"first_violation\": ",
+                   R.Stats.CfiChecked ? "true" : "false",
+                   (unsigned long long)R.Stats.CfiCommits,
+                   (unsigned long long)R.Stats.CfiViolations);
+  appendJsonEscaped(S, R.CfiFirstViolation);
+  S += "},\n";
   S += P + formatv("  \"stats\": {\"engine\": \"%s\", \"threads\": %u, "
                    "\"tasks\": %llu, "
                    "\"reference_seconds\": %.6f, \"wall_seconds\": %.6f, "
                    "\"triples_per_second\": %.1f, "
-                   "\"pruned\": %s, \"pruned_tasks\": %llu}\n",
+                   "\"pruned\": %s, \"pruned_tasks\": %llu, "
+                   "\"pruned_detected\": %llu}\n",
                    R.Stats.Engine, R.Stats.ThreadsUsed,
                    (unsigned long long)R.Stats.Tasks,
                    R.Stats.ReferenceSeconds, R.Stats.WallSeconds,
                    R.Stats.TriplesPerSecond, R.Stats.Pruned ? "true" : "false",
-                   (unsigned long long)R.Stats.PrunedTasks);
+                   (unsigned long long)R.Stats.PrunedTasks,
+                   (unsigned long long)R.Stats.PrunedDetected);
   S += P + "}";
   return S;
 }

@@ -78,9 +78,16 @@ enum class Verdict : uint8_t {
   /// zapped register is not live at the injection point), so the
   /// continuation is Masked without simulation (analysis/ZapCoverage.h).
   StaticallyMasked,
+  /// Prune mode only: the static analysis proved the corruption trips a
+  /// hardware cross-check — a d-zap with a control instruction still
+  /// ahead in the reference run (the d-protocol reads d at every control
+  /// step), or a pc-zap with no committing blue control in flight (the
+  /// next fetch compares the pcs) — so the continuation is Detected
+  /// without simulation.
+  StaticallyDetected,
 };
 
-inline constexpr size_t NumVerdicts = 11;
+inline constexpr size_t NumVerdicts = 12;
 
 /// Human-readable name ("masked", "detected", ...).
 const char *verdictName(Verdict V);
@@ -97,7 +104,7 @@ struct VerdictTable {
   uint64_t total() const;
   /// The benign outcomes: Masked + Detected (the two Theorem 4 cases),
   /// under recovery Recovered + RecoveryEscalated, and under pruning
-  /// StaticallyMasked.
+  /// StaticallyMasked + StaticallyDetected.
   uint64_t benign() const;
   /// Adds \p O's tallies, saturating at UINT64_MAX instead of wrapping.
   void merge(const VerdictTable &O);
@@ -137,15 +144,28 @@ struct CampaignOptions {
   /// (0 disables). Calls are serialized but may fire on any worker.
   uint64_t ProgressInterval = 0;
   std::function<void(const CampaignProgress &)> Progress;
-  /// Discharge provably-dead injection sites statically instead of
-  /// simulating them: sites whose zapped register the liveness analysis
-  /// proves is never read again are tallied as StaticallyMasked. The
-  /// verdict table keeps the same total, every pruned site folds into
-  /// Masked, and the violation list is untouched — pruned and unpruned
-  /// campaigns are equivalent modulo the Masked/StaticallyMasked split.
-  /// Silently ignored when the analysis cannot vouch for the CFG (an
-  /// unresolved indirect target makes liveness advisory only).
+  /// Discharge provably-classifiable injection sites statically instead
+  /// of simulating them. Sites whose zapped register the liveness
+  /// analysis proves is never read again are tallied as StaticallyMasked;
+  /// when the analysis additionally vouches that the special registers
+  /// appear only in their control-protocol roles, d- and pc-zaps whose
+  /// outcome the d-protocol/fetch-compare semantics force are tallied as
+  /// StaticallyMasked or StaticallyDetected from the reference trace
+  /// alone. The verdict table keeps the same total, every pruned site
+  /// folds into Masked or Detected, and the violation list is untouched —
+  /// pruned and unpruned campaigns are equivalent modulo those splits.
+  /// Silently ignored when the analysis cannot vouch for the CFG (a
+  /// non-Exact target set makes liveness advisory only); the
+  /// special-register discharge is additionally skipped for recovery and
+  /// typed campaigns and when the step budget cannot cover the predicted
+  /// fault.
   bool Prune = false;
+  /// Validate every committed indirect control transfer (jmpB, taken
+  /// bzB) in every engine against the static target sets (sim/Step.h's
+  /// CfiTable). Record-only — verdicts are bit-identical with and
+  /// without this flag; a nonzero violation count is a hard analysis bug
+  /// surfaced in Stats.CfiViolations / CampaignResult::CfiFirstViolation.
+  bool CfiCheck = false;
   /// Convergence acceleration: the reference phase records a per-step
   /// fingerprint timeline, a register access log and dense snapshots,
   /// which buy two sound shortcuts for faulty continuations. (1) Early
@@ -219,8 +239,21 @@ struct CampaignStats {
   /// True when CampaignOptions::Prune was requested and the analysis
   /// accepted the program (pruning actually ran).
   bool Pruned = false;
-  /// Injections discharged statically (== Table[StaticallyMasked]).
+  /// Injections discharged statically (== Table[StaticallyMasked] +
+  /// Table[StaticallyDetected]).
   uint64_t PrunedTasks = 0;
+  /// Injections discharged as StaticallyDetected (the control-register
+  /// plane; included in PrunedTasks).
+  uint64_t PrunedDetected = 0;
+  /// True when CampaignOptions::CfiCheck was requested and a target table
+  /// could be built (the CFG analysis accepted the program).
+  bool CfiChecked = false;
+  /// Committed indirect transfers observed / flagged by the CFI hook.
+  /// Commit counts are an execution-strategy diagnostic (lane grouping
+  /// and convergence shortcuts legitimately change how many commits
+  /// execute); the soundness claim is CfiViolations == 0.
+  uint64_t CfiCommits = 0;
+  uint64_t CfiViolations = 0;
   /// True when convergence probing was active for this campaign.
   bool Converge = false;
   /// Continuations classified Masked by a convergence early-exit.
@@ -292,6 +325,9 @@ struct CampaignResult {
   /// every JSON report as provenance. 0 only when the initial state could
   /// not be built.
   uint64_t ProgramHash = 0;
+  /// Description of the first CFI violation (empty when none or when
+  /// CfiCheck was off).
+  std::string CfiFirstViolation;
 };
 
 /// The Theorem 4 exhaustive single-fault sweep, parallelized. With one

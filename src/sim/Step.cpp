@@ -152,6 +152,9 @@ private:
     RegisterFile &R = S.Regs;
     if (R.val(Reg::dest()) == 0 || R.val(I.Rd) != R.val(Reg::dest()))
       return toFault("jmpB-fail");
+    if (Policy.Cfi)
+      Policy.Cfi->recordCommit(R.val(Reg::pcG()), R.val(Reg::pcB()),
+                               R.val(I.Rd));
     R.set(Reg::pcG(), R.get(Reg::dest()));
     R.set(Reg::pcB(), R.get(I.Rd));
     R.set(Reg::dest(), Value::green(0));
@@ -182,6 +185,9 @@ private:
     // Blue taken: commit like jmpB.
     if (D == 0 || R.val(I.Rd) != D)
       return toFault("bzB-taken-fail");
+    if (Policy.Cfi)
+      Policy.Cfi->recordCommit(R.val(Reg::pcG()), R.val(Reg::pcB()),
+                               R.val(I.Rd));
     R.set(Reg::pcG(), R.get(Reg::dest()));
     R.set(Reg::pcB(), R.get(I.Rd));
     R.set(Reg::dest(), Value::green(0));

@@ -182,6 +182,9 @@ inline Exec execOp(MachineState &S, const MicroOp &M, const StepPolicy &Policy,
       Rule = "jmpB-fail";
       return Exec::Fault;
     }
+    if (Policy.Cfi)
+      Policy.Cfi->recordCommit(R.val(Reg::pcG()), R.val(Reg::pcB()),
+                               R.val(reg(M.Rd)));
     R.set(Reg::pcG(), R.get(Reg::dest()));
     R.set(Reg::pcB(), R.get(reg(M.Rd)));
     R.set(Reg::dest(), Value::green(0));
@@ -231,6 +234,9 @@ inline Exec execOp(MachineState &S, const MicroOp &M, const StepPolicy &Policy,
       Rule = "bzB-taken-fail";
       return Exec::Fault;
     }
+    if (Policy.Cfi)
+      Policy.Cfi->recordCommit(R.val(Reg::pcG()), R.val(Reg::pcB()),
+                               R.val(reg(M.Rd)));
     R.set(Reg::pcG(), R.get(Reg::dest()));
     R.set(Reg::pcB(), R.get(reg(M.Rd)));
     R.set(Reg::dest(), Value::green(0));

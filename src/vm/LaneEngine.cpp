@@ -290,6 +290,9 @@ void LaneEngine::run(MachineState *States, unsigned N,
           Fallback(L, I);
           continue;
         }
+        if (Spec.Policy.Cfi)
+          Spec.Policy.Cfi->recordCommit(LS.pcG().N, LS.pcB().N,
+                                        LS.val(M.Rd, L));
         LS.set(LaneState::DestIdx, L, Value::green(0));
         ++K;
       }
@@ -334,6 +337,9 @@ void LaneEngine::run(MachineState *States, unsigned N,
           Fallback(L, I);
           continue;
         }
+        if (Spec.Policy.Cfi)
+          Spec.Policy.Cfi->recordCommit(LS.pcG().N, LS.pcB().N,
+                                        LS.val(M.Rd, L));
         LS.set(LaneState::DestIdx, L, Value::green(0));
         ++K;
       }

@@ -416,12 +416,14 @@ TEST(AnalysisZapTest, InconsistentProgramHasVulnerableSites) {
             analysis::ZapClass::Vulnerable);
 }
 
-/// Folds StaticallyMasked back into Masked: pruning proves sites Masked
-/// without simulating them, so this folded table must equal the unpruned
-/// one bit-for-bit.
+/// Folds the statically-discharged verdicts back onto their dynamic
+/// twins: pruning proves sites Masked/Detected without simulating them,
+/// so this folded table must equal the unpruned one bit-for-bit.
 VerdictTable fold(VerdictTable T) {
   T[Verdict::Masked] += T[Verdict::StaticallyMasked];
   T[Verdict::StaticallyMasked] = 0;
+  T[Verdict::Detected] += T[Verdict::StaticallyDetected];
+  T[Verdict::StaticallyDetected] = 0;
   return T;
 }
 
@@ -441,8 +443,14 @@ TEST(AnalysisPruneTest, TypedCampaignPrunedVerdictsFoldToUnpruned) {
 
     EXPECT_TRUE(B.Stats.Pruned);
     EXPECT_GT(B.Stats.PrunedTasks, 0u);
-    EXPECT_EQ(B.Stats.PrunedTasks, B.Table[Verdict::StaticallyMasked]);
+    EXPECT_EQ(B.Stats.PrunedTasks, B.Table[Verdict::StaticallyMasked] +
+                                       B.Table[Verdict::StaticallyDetected]);
+    // Control-register (d/pc) zaps discharge statically too; some have a
+    // control instruction ahead, so both discharge verdicts appear.
+    EXPECT_GT(B.Stats.PrunedDetected, 0u);
+    EXPECT_EQ(B.Stats.PrunedDetected, B.Table[Verdict::StaticallyDetected]);
     EXPECT_EQ(A.Table[Verdict::StaticallyMasked], 0u);
+    EXPECT_EQ(A.Table[Verdict::StaticallyDetected], 0u);
     EXPECT_EQ(A.Ok, B.Ok);
     EXPECT_EQ(A.ReferenceSteps, B.ReferenceSteps);
     EXPECT_EQ(A.Table.total(), B.Table.total());
@@ -480,8 +488,313 @@ output(acc);
 
   std::string Json = campaignToJson(B);
   EXPECT_NE(Json.find("\"statically_masked\""), std::string::npos);
+  EXPECT_NE(Json.find("\"statically_detected\""), std::string::npos);
   EXPECT_NE(Json.find("\"pruned\": true"), std::string::npos);
   EXPECT_NE(Json.find("\"pruned_tasks\""), std::string::npos);
+  EXPECT_NE(Json.find("\"pruned_detected\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Indirect-target resolution ladder (analysis/TargetSets)
+//===----------------------------------------------------------------------===//
+
+/// All committing (blue) control instructions in address order.
+std::vector<Addr> commitsOf(const CFG &G) {
+  std::vector<Addr> Cs;
+  for (Addr A = G.minAddr(); A != G.limitAddr(); ++A)
+    if (G.isCommit(A))
+      Cs.push_back(A);
+  return Cs;
+}
+
+/// The labels of a commit's resolved targets, via describeAddr (block
+/// entries render as the bare label).
+std::set<std::string> targetLabels(const CFG &G, Addr A) {
+  std::set<std::string> L;
+  for (Addr T : G.controlTargets(A))
+    L.insert(G.describeAddr(T));
+  return L;
+}
+
+// A label that flows across a block boundary and through ALU identity
+// folds: the per-block constant scan cannot see it, the interprocedural
+// label-set dataflow resolves it exactly.
+TEST(AnalysisTargetSetsTest, LabelThroughAluFoldsResolvesCrossBlock) {
+  const char *Source = R"(
+entry main
+exit done
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G @done
+  mov r2, B @done
+  mov r10, G @mid
+  mov r11, B @mid
+  jmpG r10
+  jmpB r11
+}
+block mid {
+  pre { forall m: mem; queue []; mem m }
+  add r3, r1, G 0
+  add r4, r2, B 0
+  jmpG r3
+  jmpB r4
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  TypeContext TC;
+  Program P = load(TC, Source);
+  Expected<CFG> G = CFG::build(P);
+  ASSERT_TRUE(G) << G.message();
+  EXPECT_TRUE(G->targetsResolved());
+
+  std::vector<Addr> Cs = commitsOf(*G);
+  ASSERT_EQ(Cs.size(), 3u);
+  // mid's jmpB: r4 = r2 + 0 with r2 set to @done in the predecessor.
+  Addr MidJmp = Cs[1];
+  EXPECT_EQ(G->targetProvenance(MidJmp), analysis::TargetProvenance::Exact);
+  EXPECT_EQ(G->resolutionLayer(MidJmp), 2u);
+  EXPECT_EQ(targetLabels(*G, MidJmp), std::set<std::string>{"done"});
+
+  CFG::ResolutionSummary Sum = G->resolutionSummary();
+  EXPECT_EQ(Sum.Commits, 3u);
+  EXPECT_EQ(Sum.Exact, 3u);
+  EXPECT_EQ(Sum.UnresolvedTargets, 0u);
+}
+
+// A label stored in a typed data cell that no store dirties: the load
+// yields exactly the cell's initializer, so the jump resolves exactly.
+TEST(AnalysisTargetSetsTest, LabelFromCleanTypedDataCellResolves) {
+  const char *Source = R"(
+entry main
+exit done
+data { 300: code(@done) = @done }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r10, G 300
+  ldG r1, r10
+  mov r11, B 300
+  ldB r2, r11
+  jmpG r1
+  jmpB r2
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  TypeContext TC;
+  Program P = load(TC, Source);
+  Expected<CFG> G = CFG::build(P);
+  ASSERT_TRUE(G) << G.message();
+  EXPECT_TRUE(G->targetsResolved());
+
+  std::vector<Addr> Cs = commitsOf(*G);
+  ASSERT_EQ(Cs.size(), 2u);
+  EXPECT_EQ(G->targetProvenance(Cs[0]), analysis::TargetProvenance::Exact);
+  EXPECT_EQ(G->resolutionLayer(Cs[0]), 2u);
+  EXPECT_EQ(targetLabels(*G, Cs[0]), std::set<std::string>{"done"});
+}
+
+// Two indirect jumps through the SAME register pair with different
+// incoming label sets: resolution is per jump, not per register.
+TEST(AnalysisTargetSetsTest, SharedRegisterResolvesPerJump) {
+  const char *Source = R"(
+entry main
+exit done
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r5, G @x
+  mov r6, B @x
+  mov r10, G @a
+  mov r11, B @a
+  jmpG r10
+  jmpB r11
+}
+block a {
+  pre { forall m: mem; queue []; mem m }
+  jmpG r5
+  jmpB r6
+}
+block x {
+  pre { forall m: mem; queue []; mem m }
+  mov r5, G @done
+  mov r6, B @done
+  mov r10, G @b
+  mov r11, B @b
+  jmpG r10
+  jmpB r11
+}
+block b {
+  pre { forall m: mem; queue []; mem m }
+  jmpG r5
+  jmpB r6
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  TypeContext TC;
+  Program P = load(TC, Source);
+  Expected<CFG> G = CFG::build(P);
+  ASSERT_TRUE(G) << G.message();
+  EXPECT_TRUE(G->targetsResolved());
+
+  // Commits in address order: main's, a's, x's, b's, done's.
+  std::vector<Addr> Cs = commitsOf(*G);
+  ASSERT_EQ(Cs.size(), 5u);
+  Addr JumpA = Cs[1], JumpB = Cs[3];
+  EXPECT_EQ(G->targetProvenance(JumpA), analysis::TargetProvenance::Exact);
+  EXPECT_EQ(G->targetProvenance(JumpB), analysis::TargetProvenance::Exact);
+  EXPECT_EQ(G->resolutionLayer(JumpA), 2u);
+  EXPECT_EQ(G->resolutionLayer(JumpB), 2u);
+  EXPECT_EQ(targetLabels(*G, JumpA), std::set<std::string>{"x"});
+  EXPECT_EQ(targetLabels(*G, JumpB), std::set<std::string>{"done"});
+}
+
+// A jump the dataflow cannot bound (its target comes from a dirtied data
+// cell) narrows by type instead: candidate blocks whose precondition the
+// jump's abstract context refutes are excluded. xblock demands r1 = 7
+// while the jump provably carries r1 = 5, so xblock drops out; the
+// compatible yblock stays.
+TEST(AnalysisTargetSetsTest, IncompatibleCodeTypeIsExcluded) {
+  const char *Source = R"(
+entry main
+exit done
+data { 300: code(@yblock) = @yblock }
+block main {
+  pre { forall m: mem; queue []; mem m }
+  mov r1, G 5
+  mov r20, G 300
+  ldG r5, r20
+  mov r21, B 300
+  ldB r6, r21
+  mov r30, G 300
+  mov r31, G 77
+  stG r30, r31
+  mov r32, B 300
+  mov r33, B 77
+  stB r32, r33
+  jmpG r5
+  jmpB r6
+}
+block xblock {
+  pre { forall m: mem; r1: (G, int, 7); queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+block yblock {
+  pre { forall m: mem; r1: (G, int, 5); queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+block done {
+  pre { forall m: mem; queue []; mem m }
+  mov r60, G @done
+  mov r61, B @done
+  jmpG r60
+  jmpB r61
+}
+)";
+  TypeContext TC;
+  Program P = load(TC, Source);
+  Expected<CFG> G = CFG::build(P);
+  ASSERT_TRUE(G) << G.message();
+  EXPECT_FALSE(G->targetsResolved());
+
+  std::vector<Addr> Cs = commitsOf(*G);
+  ASSERT_EQ(Cs.size(), 4u);
+  Addr Narrowed = Cs[0];
+  EXPECT_EQ(G->targetProvenance(Narrowed),
+            analysis::TargetProvenance::TypeNarrowed);
+  EXPECT_EQ(G->resolutionLayer(Narrowed), 1u);
+  std::set<std::string> Labels = targetLabels(*G, Narrowed);
+  EXPECT_TRUE(Labels.count("yblock")) << "compatible target excluded";
+  EXPECT_FALSE(Labels.count("xblock")) << "refuted target kept";
+
+  CFG::ResolutionSummary Sum = G->resolutionSummary();
+  EXPECT_EQ(Sum.TypeNarrowed, 1u);
+  EXPECT_EQ(Sum.Exact, 3u);
+  EXPECT_GT(Sum.UnresolvedTargets, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime CFI validation
+//===----------------------------------------------------------------------===//
+
+// --cfi-check is record-only: verdicts are bit-identical with and without
+// it, every committed transfer lands in the static target set, and the
+// stats report the cross-check.
+TEST(AnalysisCfiTest, TypedCampaignCommitsStayInStaticSets) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  Program P = load(TC, progs::CountdownLoop);
+  Expected<CheckedProgram> CP = checkProgram(TC, P, Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  TheoremConfig Config;
+  CampaignOptions Plain, Checked;
+  Checked.CfiCheck = true;
+  CampaignResult A = runFaultToleranceCampaign(TC, *CP, Config, Plain);
+  CampaignResult B = runFaultToleranceCampaign(TC, *CP, Config, Checked);
+
+  EXPECT_FALSE(A.Stats.CfiChecked);
+  EXPECT_TRUE(B.Stats.CfiChecked);
+  EXPECT_GT(B.Stats.CfiCommits, 0u);
+  EXPECT_EQ(B.Stats.CfiViolations, 0u) << B.CfiFirstViolation;
+  EXPECT_TRUE(B.CfiFirstViolation.empty()) << B.CfiFirstViolation;
+  EXPECT_EQ(A.Table, B.Table);
+  EXPECT_EQ(A.Ok, B.Ok);
+  EXPECT_EQ(A.Violations, B.Violations);
+
+  std::string Json = campaignToJson(B);
+  EXPECT_NE(Json.find("\"cfi\""), std::string::npos);
+  EXPECT_NE(Json.find("\"violations\": 0"), std::string::npos);
+}
+
+// The raw-semantics campaign under pruning + CFI: the sharpened graph and
+// the dynamic cross-check agree on a compiled kernel across engines.
+TEST(AnalysisCfiTest, RawCampaignWithPruneHasNoViolations) {
+  TypeContext TC;
+  DiagnosticEngine Diags;
+  const char *Source = R"(
+var n = 3; var acc = 0;
+while (n != 0) { acc = acc + n * n; n = n - 1; }
+output(acc);
+)";
+  Expected<wile::CompiledProgram> CP = wile::compileWile(
+      TC, Source, wile::CodegenMode::FaultTolerant, Diags);
+  ASSERT_TRUE(CP) << CP.message();
+
+  TheoremConfig Config;
+  Config.InjectionStride = 7;
+  CampaignOptions Plain, Checked;
+  Checked.CfiCheck = true;
+  Checked.Prune = true;
+  CampaignResult A = runSingleFaultCampaign(CP->Prog, Config, Plain);
+  CampaignResult B = runSingleFaultCampaign(CP->Prog, Config, Checked);
+
+  EXPECT_TRUE(B.Stats.CfiChecked);
+  EXPECT_GT(B.Stats.CfiCommits, 0u);
+  EXPECT_EQ(B.Stats.CfiViolations, 0u) << B.CfiFirstViolation;
+  EXPECT_EQ(fold(A.Table), fold(B.Table));
+  EXPECT_EQ(A.Ok, B.Ok);
 }
 
 } // namespace

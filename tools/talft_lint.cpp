@@ -7,7 +7,14 @@
 // Runs every pass in src/analysis/ over one or more .tal files and prints
 // compiler-style diagnostics:
 //
-//   talft-lint [--json] [--verbose] file.tal [file2.tal ...]
+//   talft-lint [--json] [--verbose] [--cfg] file.tal [file2.tal ...]
+//
+// --cfg dumps the resolved control-flow graph instead of linting: every
+// basic block with its successor blocks, and every committing (blue)
+// control instruction with its resolved target set, provenance
+// (exact / type-narrowed / over-approximated) and the resolution-ladder
+// layer that produced it (0 = constant scan, 1 = type narrowing,
+// 2 = label-set dataflow).
 //
 // For each file the linter parses and lays out the program, certifies it
 // (type check first, duplication-consistency analysis as the fallback),
@@ -30,6 +37,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/CFG.h"
 #include "analysis/Certify.h"
 #include "analysis/ZapCoverage.h"
 #include "support/StringUtils.h"
@@ -49,7 +57,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: talft-lint [--json] [--verbose] file.tal [...]\n");
+               "usage: talft-lint [--json] [--verbose] [--cfg] "
+               "file.tal [...]\n");
   return 2;
 }
 
@@ -72,9 +81,51 @@ void printFinding(const std::string &Path, const analysis::Finding &F,
                  F.str().c_str());
 }
 
+/// Dumps the resolved CFG of one parsed program: blocks, successor sets,
+/// and each commit's target set with its provenance and ladder layer.
+void dumpCfg(const std::string &Path, const analysis::CFG &G) {
+  analysis::CFG::ResolutionSummary Sum = G.resolutionSummary();
+  std::printf("%s: cfg: %zu blocks, entry bb%u; %llu commits "
+              "(%llu exact, %llu type-narrowed, %llu over-approximated)\n",
+              Path.c_str(), G.numBlocks(), G.entryBlock(),
+              (unsigned long long)Sum.Commits, (unsigned long long)Sum.Exact,
+              (unsigned long long)Sum.TypeNarrowed,
+              (unsigned long long)Sum.OverApproximated);
+  for (uint32_t Id = 0; Id != (uint32_t)G.numBlocks(); ++Id) {
+    const analysis::CFG::BasicBlock &BB = G.block(Id);
+    std::string Line = formatv("  bb%u: %s", Id,
+                               G.describeAddr(BB.Begin).c_str());
+    if (BB.Size > 1)
+      Line += formatv(" .. %s", G.describeAddr(BB.end() - 1).c_str());
+    Line += formatv(" (%u inst%s)", BB.Size, BB.Size == 1 ? "" : "s");
+    if (!G.reachable(Id))
+      Line += " unreachable";
+    if (!BB.Succs.empty()) {
+      Line += "  -> ";
+      for (size_t I = 0; I != BB.Succs.size(); ++I)
+        Line += formatv("%sbb%u", I ? ", " : "", BB.Succs[I]);
+    }
+    std::printf("%s\n", Line.c_str());
+    for (Addr A = BB.Begin; A != BB.end(); ++A) {
+      if (!G.isCommit(A))
+        continue;
+      const std::vector<Addr> &Targets = G.controlTargets(A);
+      std::string T = "{";
+      for (size_t I = 0; I != Targets.size(); ++I)
+        T += formatv("%s%s", I ? ", " : "",
+                     G.describeAddr(Targets[I]).c_str());
+      T += "}";
+      std::printf("    %s: targets %s  %s (layer %u)\n",
+                  G.describeAddr(A).c_str(), T.c_str(),
+                  analysis::provenanceName(G.targetProvenance(A)),
+                  G.resolutionLayer(A));
+    }
+  }
+}
+
 /// Lints one file. Returns 0 / 1 / 2 with the same meaning as the process
 /// exit status; the caller keeps the maximum.
-int lintFile(const std::string &Path, bool Json, bool Verbose) {
+int lintFile(const std::string &Path, bool Json, bool Verbose, bool Cfg) {
   std::optional<std::string> Source = readFile(Path);
   if (!Source) {
     std::fprintf(stderr, "%s: cannot read file\n", Path.c_str());
@@ -90,6 +141,17 @@ int lintFile(const std::string &Path, bool Json, bool Verbose) {
     if (Diags.diagnostics().empty())
       std::fprintf(stderr, "%s: %s\n", Path.c_str(), Prog.message().c_str());
     return 2;
+  }
+
+  if (Cfg) {
+    Expected<analysis::CFG> G = analysis::CFG::build(*Prog);
+    if (!G) {
+      std::fprintf(stderr, "%s: cannot build CFG: %s\n", Path.c_str(),
+                   G.message().c_str());
+      return 2;
+    }
+    dumpCfg(Path, *G);
+    return 0;
   }
 
   analysis::Certification Cert = analysis::certifyProgram(Types, *Prog);
@@ -134,13 +196,23 @@ int lintFile(const std::string &Path, bool Json, bool Verbose) {
     S += "\n}\n";
     std::fputs(S.c_str(), stdout);
   } else {
+    // Non-exact jumps are summarized per provenance; --cfg dumps the
+    // per-jump sets.
+    analysis::CFG::ResolutionSummary Sum = Cov->cfg().resolutionSummary();
+    std::string Unresolved;
+    if (!Cov->cfg().targetsResolved())
+      Unresolved = formatv(", %llu/%llu jumps non-exact "
+                           "(%llu type-narrowed, %llu over-approximated)",
+                           (unsigned long long)(Sum.TypeNarrowed +
+                                                Sum.OverApproximated),
+                           (unsigned long long)Sum.Commits,
+                           (unsigned long long)Sum.TypeNarrowed,
+                           (unsigned long long)Sum.OverApproximated);
     std::printf("%s: %s (%zu instructions, %u basic blocks%s); "
                 "fault sites: %llu dead, %llu checked, %llu vulnerable\n",
                 Path.c_str(), certificationStatusName(Cert.Status),
                 Prog->code().size(), (unsigned)Cov->cfg().numBlocks(),
-                Cov->cfg().targetsResolved() ? ""
-                                             : ", indirect targets "
-                                               "over-approximated",
+                Unresolved.c_str(),
                 (unsigned long long)Sites.Dead,
                 (unsigned long long)Sites.Checked,
                 (unsigned long long)Sites.Vulnerable);
@@ -156,12 +228,15 @@ int lintFile(const std::string &Path, bool Json, bool Verbose) {
 int main(int Argc, char **Argv) {
   bool Json = false;
   bool Verbose = false;
+  bool Cfg = false;
   std::vector<std::string> Files;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--json") == 0)
       Json = true;
     else if (std::strcmp(Argv[I], "--verbose") == 0)
       Verbose = true;
+    else if (std::strcmp(Argv[I], "--cfg") == 0)
+      Cfg = true;
     else if (std::strcmp(Argv[I], "--help") == 0)
       return usage();
     else if (Argv[I][0] == '-')
@@ -174,6 +249,6 @@ int main(int Argc, char **Argv) {
 
   int Rc = 0;
   for (const std::string &F : Files)
-    Rc = std::max(Rc, lintFile(F, Json, Verbose));
+    Rc = std::max(Rc, lintFile(F, Json, Verbose, Cfg));
   return Rc;
 }
