@@ -25,6 +25,7 @@
 
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -72,6 +73,37 @@ inline bool parseU64List(const char *V, std::vector<uint64_t> &Out) {
       break;
     Pos = Comma + 1;
   }
+  return true;
+}
+
+/// The execution-engine names every harness accepts, in ladder order;
+/// also the set printed by engine-flag errors so they cannot drift from
+/// the parser.
+inline const char *engineNames() { return "reference, vm, jit"; }
+
+inline bool isEngineName(const char *V) {
+  return std::strcmp(V, "reference") == 0 || std::strcmp(V, "vm") == 0 ||
+         std::strcmp(V, "jit") == 0;
+}
+
+/// Consumes the next argument as an engine name, with \p I indexing the
+/// flag itself. A bare '--engine' (no value, or the next token is another
+/// flag) and an unknown name are both usage errors that name the accepted
+/// set — previously a trailing '--engine' fell through to the generic
+/// usage line with no hint at what went wrong.
+inline bool engineArg(int Argc, char **Argv, int &I, std::string &Out) {
+  if (I + 1 >= Argc || Argv[I + 1][0] == '-') {
+    std::fprintf(stderr, "%s needs a value (one of: %s)\n", Argv[I],
+                 engineNames());
+    return false;
+  }
+  const char *V = Argv[++I];
+  if (!isEngineName(V)) {
+    std::fprintf(stderr, "unknown engine '%s' (one of: %s)\n", V,
+                 engineNames());
+    return false;
+  }
+  Out = V;
   return true;
 }
 

@@ -20,7 +20,8 @@
 // The pairs run as explicit injection plans on the campaign engine
 // (fault/Campaign.h), so the sweep parallelizes: pass --threads N. The
 // plans replay on the decoded VM engine by default; --engine reference
-// selects the structural interpreter (identical tallies by construction).
+// selects the structural interpreter and --engine jit the native tier
+// (identical tallies by construction).
 // Plan campaigns use the convergence early-exit on the final continuation
 // by default; --no-converge disables it (tallies are bit-identical either
 // way — only wall-clock time changes).
@@ -31,11 +32,13 @@
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 using namespace talft;
@@ -103,7 +106,7 @@ void report(const char *Label, const CampaignResult &R) {
 
 int main(int Argc, char **Argv) {
   unsigned Threads = 1;
-  bool UseVm = true;
+  std::string Engine = "vm";
   bool Converge = true;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--threads") == 0) {
@@ -113,22 +116,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Threads = (unsigned)N;
-    } else if (std::strcmp(Argv[I], "--engine") == 0 && I + 1 < Argc) {
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0) {
-        UseVm = true;
-      } else if (std::strcmp(V, "reference") == 0) {
-        UseVm = false;
-      } else {
-        std::fprintf(stderr, "unknown engine: %s\n", V);
+    } else if (std::strcmp(Argv[I], "--engine") == 0) {
+      if (!cli::engineArg(Argc, Argv, I, Engine))
         return 2;
-      }
     } else if (std::strcmp(Argv[I], "--no-converge") == 0) {
       Converge = false;
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\nusage: %s [--threads N] "
-                   "[--engine reference|vm] [--no-converge]\n",
+                   "[--engine reference|vm|jit] [--no-converge]\n",
                    Argv[I], Argv[0]);
       return 2;
     }
@@ -150,10 +146,11 @@ int main(int Argc, char **Argv) {
   Opts.Threads = Threads;
   Opts.Converge = Converge;
   std::unique_ptr<ExecEngine> Vm;
-  if (UseVm) {
+  if (Engine == "vm")
     Vm = vm::createEngine(Prog->code());
-    Opts.Engine = Vm.get();
-  }
+  else if (Engine == "jit")
+    Vm = vm::createJitEngine(Prog->code());
+  Opts.Engine = Vm.get();
   CampaignResult Ref = runInjectionPlans(Probe, Opts);
   if (!Ref.Ok) {
     std::fprintf(stderr, "reference run failed\n");
@@ -177,7 +174,7 @@ int main(int Argc, char **Argv) {
   std::printf("Ablation D: double faults vs. the Single Event Upset model\n");
   std::printf("(paired-store program; correlated value pairs; 'silent' = "
               "completed with wrong output; %u thread%s; %s engine)\n\n",
-              Threads, Threads == 1 ? "" : "s", UseVm ? "vm" : "reference");
+              Threads, Threads == 1 ? "" : "s", Engine.c_str());
   std::printf("%-28s %10s %9s %7s %7s %6s\n", "fault pair", "injections",
               "detected", "masked", "silent", "other");
   std::printf("%.*s\n", 72,

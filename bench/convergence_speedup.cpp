@@ -15,7 +15,7 @@
 // classifier replaces O(remaining program) per masked injection with
 // O(window); the pruned sweep targets a >= 3x overall speedup.
 //
-//   convergence_speedup [--threads N] [--engine reference|vm]
+//   convergence_speedup [--threads N] [--engine reference|vm|jit]
 //                       [--no-prune] [--json [FILE]]
 //
 //   --threads N   worker threads (default 1; 0 = hardware concurrency).
@@ -37,6 +37,7 @@
 #include "CliUtils.h"
 #include "fault/Campaign.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 #include "wile/Kernels.h"
 
@@ -52,7 +53,7 @@ namespace {
 
 struct Cli {
   unsigned Threads = 1;
-  bool UseVm = true;
+  std::string Engine = "vm";
   bool Prune = true;
   bool Json = false;
   std::string JsonPath;
@@ -67,14 +68,7 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
         return false;
       C.Threads = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0)
-        C.UseVm = true;
-      else if (std::strcmp(V, "reference") == 0)
-        C.UseVm = false;
-      else
+      if (!cli::engineArg(Argc, Argv, I, C.Engine))
         return false;
     } else if (std::strcmp(A, "--no-prune") == 0) {
       C.Prune = false;
@@ -111,7 +105,7 @@ int main(int Argc, char **Argv) {
   Cli C;
   if (!parseCli(Argc, Argv, C)) {
     std::fprintf(stderr,
-                 "usage: %s [--threads N] [--engine reference|vm] "
+                 "usage: %s [--threads N] [--engine reference|vm|jit] "
                  "[--no-prune] [--json [FILE]]\n",
                  Argv[0]);
     return 2;
@@ -124,7 +118,7 @@ int main(int Argc, char **Argv) {
                "table, violations\nand reference steps match the full-run "
                "baseline bit-for-bit)\n\n",
                C.Prune ? "pruned" : "all", C.Threads,
-               C.Threads == 1 ? "" : "s", C.UseVm ? "vm" : "reference");
+               C.Threads == 1 ? "" : "s", C.Engine.c_str());
   std::fprintf(Out, "%-12s %10s %9s %9s %8s %9s %11s %8s %10s\n", "kernel",
                "injections", "full(s)", "accel(s)", "speedup", "exits",
                "mean win", "skips", "identical");
@@ -146,10 +140,12 @@ int main(int Argc, char **Argv) {
     }
     std::unique_ptr<ExecEngine> Vm;
     const ExecEngine *E = &referenceEngine();
-    if (C.UseVm) {
+    if (C.Engine == "vm")
       Vm = vm::createEngine(CP->Prog.code());
+    else if (C.Engine == "jit")
+      Vm = vm::createJitEngine(CP->Prog.code());
+    if (Vm)
       E = Vm.get();
-    }
 
     // Same adaptive stride rule as fault_coverage --fig10 (derived from
     // the engine-independent reference length).
@@ -173,7 +169,7 @@ int main(int Argc, char **Argv) {
     Config.InjectionStride = Stride;
     CampaignOptions Opts;
     Opts.Threads = C.Threads;
-    Opts.Engine = C.UseVm ? Vm.get() : nullptr;
+    Opts.Engine = Vm.get();
     Opts.Prune = C.Prune;
 
     KernelRow Row;
@@ -226,8 +222,7 @@ int main(int Argc, char **Argv) {
     S += "  \"schema\": \"talft-bench-v1\",\n";
     S += "  \"benchmark\": \"convergence_speedup\",\n";
     S += "  \"unit\": \"campaign_seconds\",\n";
-    S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") +
-         "\",\n";
+    S += "  \"engine\": \"" + C.Engine + "\",\n";
     S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
     S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
     S += "  \"tables_identical\": " +

@@ -28,9 +28,12 @@
 //                 TAL programs, 7 for the compiled kernel; the --fig10
 //                 kernels pick an adaptive per-kernel stride).
 //   --engine E    execution engine for the faulty continuations:
-//                 'vm' (default, the decoded fast path) or 'reference'
-//                 (the structural interpreter). Engines are bit-identical
-//                 by construction, so the verdicts cannot depend on this.
+//                 'vm' (default, the decoded fast path), 'jit' (the
+//                 native x86-64 tier, vm/JitEngine.h; falls back to vm
+//                 on hosts without executable mappings and reports the
+//                 fallback in the campaign JSON) or 'reference' (the
+//                 structural interpreter). Engines are bit-identical by
+//                 construction, so the verdicts cannot depend on this.
 //   --recover     run the faulty continuations under the
 //                 checkpoint/rollback layer (recover/RecoveringEngine.h):
 //                 detected faults roll back and replay instead of
@@ -85,7 +88,10 @@
 //   --shard-index I
 //                 which shard to run (default 0; must be < N).
 //   --json [FILE] emit a machine-readable report (schema
-//                 talft-fault-campaign-v7: v6 plus the top-level
+//                 talft-fault-campaign-v8: v7 plus 'jit' in the engine
+//                 enum and the per-campaign "jit" stats object
+//                 (native, blocks_compiled, code_bytes, side_exits,
+//                 simd_lane_width); v7 added the top-level
 //                 "cfi_check" knob, the per-program "target_resolution"
 //                 summary from the indirect-target ladder, the
 //                 statically_detected verdict, the per-campaign "cfi"
@@ -110,6 +116,7 @@
 #include "fault/Campaign.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 #include "wile/Kernels.h"
 
@@ -196,7 +203,7 @@ block done {
 struct Cli {
   unsigned Threads = 1;
   uint64_t Stride = 0; // 0 = per-program default
-  bool UseVm = true;
+  std::string Engine = "vm";
   bool Json = false;
   std::string JsonPath; // empty = stdout
   bool Recover = false;
@@ -215,7 +222,7 @@ struct Cli {
 void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads N] [--stride N] "
-               "[--engine reference|vm] [--json [FILE]] [--recover] "
+               "[--engine reference|vm|jit] [--json [FILE]] [--recover] "
                "[--checkpoint-interval N] [--retry-budget N] [--fig10] "
                "[--prune] [--cfi-check] [--no-converge] [--no-lanes] "
                "[--lane-width N] [--shards N] [--shard-index I]\n",
@@ -268,14 +275,7 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
         return false;
       C.ShardIndex = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0)
-        C.UseVm = true;
-      else if (std::strcmp(V, "reference") == 0)
-        C.UseVm = false;
-      else
+      if (!cli::engineArg(Argc, Argv, I, C.Engine))
         return false;
     } else if (std::strcmp(A, "--json") == 0) {
       C.Json = true;
@@ -333,6 +333,19 @@ void printRow(FILE *Out, const SweepRow &Row) {
       std::fprintf(stderr, "  %s\n", V.c_str());
 }
 
+/// The faulty-continuation engine for \p C: null means the structural
+/// reference interpreter (CampaignOptions' default). Under '--engine jit'
+/// on a host that cannot map code pages the JitEngine still constructs —
+/// it runs on its embedded vm fallback and the campaign JSON reports
+/// jit.native == false.
+std::unique_ptr<ExecEngine> makeEngine(const Cli &C, const CodeMemory &Code) {
+  if (C.Engine == "vm")
+    return vm::createEngine(Code);
+  if (C.Engine == "jit")
+    return vm::createJitEngine(Code);
+  return nullptr;
+}
+
 TheoremConfig sweepConfig(const Cli &C, uint64_t Stride) {
   TheoremConfig Config;
   Config.InjectionStride = Stride;
@@ -354,12 +367,9 @@ bool runSweep(const Cli &C, const char *Name, uint64_t Stride, TypeContext &TC,
   Opts.LaneWidth = C.LaneWidth;
   Opts.ShardCount = C.Shards;
   Opts.ShardIndex = C.ShardIndex;
-  // The VM engine is bound to one CodeMemory, so it is built per program.
-  std::unique_ptr<ExecEngine> Vm;
-  if (C.UseVm) {
-    Vm = vm::createEngine(CP.Prog->code());
-    Opts.Engine = Vm.get();
-  }
+  // Engines are bound to one CodeMemory, so they are built per program.
+  std::unique_ptr<ExecEngine> Eng = makeEngine(C, CP.Prog->code());
+  Opts.Engine = Eng.get();
   CampaignResult R = runFaultToleranceCampaign(TC, CP, Config, Opts);
   // The program type-checked to get here: top rung of the ladder. The
   // resolution summary still comes from the CFG — typed programs have
@@ -426,12 +436,8 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
       Ok = false;
       continue;
     }
-    std::unique_ptr<ExecEngine> Vm;
-    const ExecEngine *E = &referenceEngine();
-    if (C.UseVm) {
-      Vm = vm::createEngine(CP->Prog.code());
-      E = Vm.get();
-    }
+    std::unique_ptr<ExecEngine> Eng = makeEngine(C, CP->Prog.code());
+    const ExecEngine *E = Eng ? Eng.get() : &referenceEngine();
 
     // Probe the reference length to pick the stride (deterministic: step
     // counts are engine-independent by the engine contract).
@@ -460,7 +466,7 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
     TheoremConfig Config = sweepConfig(C, Stride);
     CampaignOptions Opts;
     Opts.Threads = C.Threads;
-    Opts.Engine = C.UseVm ? Vm.get() : nullptr;
+    Opts.Engine = Eng.get();
     Opts.Prune = C.Prune;
     Opts.CfiCheck = C.CfiCheck;
     Opts.Converge = C.Converge;
@@ -484,8 +490,8 @@ bool sweepFig10(const Cli &C, std::vector<SweepRow> &Rows) {
 std::string reportJson(const Cli &C, const std::vector<SweepRow> &Rows,
                        bool Ok) {
   std::string S = "{\n";
-  S += "  \"schema\": \"talft-fault-campaign-v7\",\n";
-  S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
+  S += "  \"schema\": \"talft-fault-campaign-v8\",\n";
+  S += "  \"engine\": \"" + C.Engine + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"recover\": " + std::string(C.Recover ? "true" : "false") + ",\n";
   S += "  \"checkpoint_interval\": " + std::to_string(C.CheckpointInterval) +
@@ -538,8 +544,7 @@ int main(int Argc, char **Argv) {
                C.Recover ? " (checkpoint/rollback recovery enabled)" : "");
   std::fprintf(Out, "(every step x fault site x representative corruption; "
                     "'violations' must be 0; %u thread%s; %s engine%s)\n\n",
-               C.Threads, C.Threads == 1 ? "" : "s",
-               C.UseVm ? "vm" : "reference",
+               C.Threads, C.Threads == 1 ? "" : "s", C.Engine.c_str(),
                C.Recover ? "; recovery on" : "");
   std::fprintf(Out, "%-18s %9s %11s %9s %8s %9s %9s %10s %9s %11s\n",
                "program", "ref steps", "injections", "detected", "masked",

@@ -19,7 +19,7 @@
 // on, so the number reported here is the payoff of batching on top of
 // the already-accelerated sweep.
 //
-//   lane_speedup [--threads N] [--engine reference|vm] [--no-prune]
+//   lane_speedup [--threads N] [--engine reference|vm|jit] [--no-prune]
 //                [--lane-width N] [--json [FILE]]
 //
 //   --threads N     worker threads (default 1; 0 = hardware concurrency).
@@ -42,6 +42,7 @@
 #include "CliUtils.h"
 #include "fault/Campaign.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 #include "wile/Kernels.h"
 
@@ -57,7 +58,7 @@ namespace {
 
 struct Cli {
   unsigned Threads = 1;
-  bool UseVm = true;
+  std::string Engine = "vm";
   bool Prune = true;
   unsigned LaneWidth = 16;
   bool Json = false;
@@ -73,14 +74,7 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
         return false;
       C.Threads = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0)
-        C.UseVm = true;
-      else if (std::strcmp(V, "reference") == 0)
-        C.UseVm = false;
-      else
+      if (!cli::engineArg(Argc, Argv, I, C.Engine))
         return false;
     } else if (std::strcmp(A, "--no-prune") == 0) {
       C.Prune = false;
@@ -122,7 +116,7 @@ int main(int Argc, char **Argv) {
   Cli C;
   if (!parseCli(Argc, Argv, C)) {
     std::fprintf(stderr,
-                 "usage: %s [--threads N] [--engine reference|vm] "
+                 "usage: %s [--threads N] [--engine reference|vm|jit] "
                  "[--no-prune] [--lane-width N] [--json [FILE]]\n",
                  Argv[0]);
     return 2;
@@ -135,8 +129,7 @@ int main(int Argc, char **Argv) {
                "verdict table,\nviolations and reference steps match the "
                "scalar baseline bit-for-bit)\n\n",
                C.Prune ? "pruned" : "all", C.Threads,
-               C.Threads == 1 ? "" : "s", C.UseVm ? "vm" : "reference",
-               C.LaneWidth);
+               C.Threads == 1 ? "" : "s", C.Engine.c_str(), C.LaneWidth);
   std::fprintf(Out, "%-12s %10s %9s %9s %8s %7s %9s %8s %10s\n", "kernel",
                "injections", "scalar(s)", "lanes(s)", "speedup", "groups",
                "deviated", "steps", "identical");
@@ -158,10 +151,12 @@ int main(int Argc, char **Argv) {
     }
     std::unique_ptr<ExecEngine> Vm;
     const ExecEngine *E = &referenceEngine();
-    if (C.UseVm) {
+    if (C.Engine == "vm")
       Vm = vm::createEngine(CP->Prog.code());
+    else if (C.Engine == "jit")
+      Vm = vm::createJitEngine(CP->Prog.code());
+    if (Vm)
       E = Vm.get();
-    }
 
     // Same adaptive stride rule as fault_coverage --fig10 (derived from
     // the engine-independent reference length).
@@ -185,7 +180,7 @@ int main(int Argc, char **Argv) {
     Config.InjectionStride = Stride;
     CampaignOptions Opts;
     Opts.Threads = C.Threads;
-    Opts.Engine = C.UseVm ? Vm.get() : nullptr;
+    Opts.Engine = Vm.get();
     Opts.Prune = C.Prune;
     Opts.LaneWidth = C.LaneWidth;
 
@@ -238,8 +233,7 @@ int main(int Argc, char **Argv) {
     S += "  \"schema\": \"talft-bench-v1\",\n";
     S += "  \"benchmark\": \"lane_speedup\",\n";
     S += "  \"unit\": \"campaign_seconds\",\n";
-    S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") +
-         "\",\n";
+    S += "  \"engine\": \"" + C.Engine + "\",\n";
     S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
     S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
     S += "  \"lane_width\": " + std::to_string(C.LaneWidth) + ",\n";

@@ -13,7 +13,7 @@
 // observationally transparent — the recovering run must emit the exact
 // output trace and step count of the bare run, or the harness fails.
 //
-//   recovery_overhead [--engine reference|vm] [--intervals CSV]
+//   recovery_overhead [--engine reference|vm|jit] [--intervals CSV]
 //                     [--repeat N] [--json [FILE]]
 //
 //   --intervals CSV checkpoint intervals to measure (default 1,4,16,64).
@@ -27,6 +27,7 @@
 #include "CliUtils.h"
 #include "recover/RecoveringEngine.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 #include "wile/Kernels.h"
 
@@ -44,7 +45,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 struct Cli {
-  bool UseVm = true;
+  std::string Engine = "vm";
   std::vector<uint64_t> Intervals = {1, 4, 16, 64};
   uint64_t Repeat = 3;
   bool Json = false;
@@ -53,7 +54,7 @@ struct Cli {
 
 void usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--engine reference|vm] [--intervals CSV] "
+               "usage: %s [--engine reference|vm|jit] [--intervals CSV] "
                "[--repeat N] [--json [FILE]]\n",
                Argv0);
 }
@@ -62,14 +63,7 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
     if (std::strcmp(A, "--engine") == 0) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0)
-        C.UseVm = true;
-      else if (std::strcmp(V, "reference") == 0)
-        C.UseVm = false;
-      else
+      if (!cli::engineArg(Argc, Argv, I, C.Engine))
         return false;
     } else if (std::strcmp(A, "--intervals") == 0) {
       if (I + 1 >= Argc || !cli::parseU64List(Argv[++I], C.Intervals))
@@ -129,7 +123,7 @@ int main(int Argc, char **Argv) {
   std::fprintf(Out, "Fault-free cost of the checkpoint/rollback layer\n");
   std::fprintf(Out, "(overhead = recovering wall / bare wall, best of %llu; "
                     "%s engine)\n\n",
-               (unsigned long long)C.Repeat, C.UseVm ? "vm" : "reference");
+               (unsigned long long)C.Repeat, C.Engine.c_str());
   std::fprintf(Out, "%-14s %8s %8s", "kernel", "steps", "bare");
   for (uint64_t I : C.Intervals)
     std::fprintf(Out, "   ival=%-4llu", (unsigned long long)I);
@@ -149,10 +143,12 @@ int main(int Argc, char **Argv) {
     }
     std::unique_ptr<ExecEngine> Vm;
     const ExecEngine *E = &referenceEngine();
-    if (C.UseVm) {
+    if (C.Engine == "vm")
       Vm = vm::createEngine(CP->Prog.code());
+    else if (C.Engine == "jit")
+      Vm = vm::createJitEngine(CP->Prog.code());
+    if (Vm)
       E = Vm.get();
-    }
     Expected<MachineState> S0 = CP->Prog.initialState();
     if (Error Err = S0.takeError()) {
       std::fprintf(stderr, "%s: %s\n", K.Name.c_str(), Err.message().c_str());
@@ -229,8 +225,7 @@ int main(int Argc, char **Argv) {
     std::string S = "{\n";
     S += "  \"schema\": \"talft-bench-v1\",\n";
     S += "  \"benchmark\": \"recovery_overhead\",\n";
-    S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") +
-         "\",\n";
+    S += "  \"engine\": \"" + C.Engine + "\",\n";
     S += "  \"ok\": " + std::string(Ok ? "true" : "false") + ",\n";
     S += "  \"kernels\": [\n";
     for (size_t I = 0; I != Rows.size(); ++I) {

@@ -16,7 +16,7 @@
 // memo store: warm latency is protocol + lookup, independent of
 // campaign size.
 //
-//   serve_latency [--threads N] [--shards N] [--engine reference|vm]
+//   serve_latency [--threads N] [--shards N] [--engine reference|vm|jit]
 //                 [--prune] [--json [FILE]]
 //
 //   --threads N   campaign worker threads per shard (default 0 =
@@ -56,7 +56,7 @@ namespace {
 struct Cli {
   unsigned Threads = 0;
   unsigned Shards = 4;
-  bool UseVm = true;
+  std::string Engine = "vm";
   bool Prune = false;
   bool Json = false;
   std::string JsonPath;
@@ -76,14 +76,7 @@ bool parseCli(int Argc, char **Argv, Cli &C) {
         return false;
       C.Shards = (unsigned)N;
     } else if (std::strcmp(A, "--engine") == 0) {
-      if (I + 1 >= Argc)
-        return false;
-      const char *V = Argv[++I];
-      if (std::strcmp(V, "vm") == 0)
-        C.UseVm = true;
-      else if (std::strcmp(V, "reference") == 0)
-        C.UseVm = false;
-      else
+      if (!cli::engineArg(Argc, Argv, I, C.Engine))
         return false;
     } else if (std::strcmp(A, "--prune") == 0) {
       C.Prune = true;
@@ -126,7 +119,7 @@ std::string reportJson(const Cli &C, const std::vector<KernelRow> &Rows,
   S += "  \"schema\": \"talft-bench-v1\",\n";
   S += "  \"benchmark\": \"serve_latency\",\n";
   S += "  \"unit\": \"submit_seconds\",\n";
-  S += "  \"engine\": \"" + std::string(C.UseVm ? "vm" : "reference") + "\",\n";
+  S += "  \"engine\": \"" + C.Engine + "\",\n";
   S += "  \"threads\": " + std::to_string(C.Threads) + ",\n";
   S += "  \"shards\": " + std::to_string(C.Shards) + ",\n";
   S += "  \"prune\": " + std::string(C.Prune ? "true" : "false") + ",\n";
@@ -168,7 +161,7 @@ int main(int Argc, char **Argv) {
   if (!parseCli(Argc, Argv, C)) {
     std::fprintf(stderr,
                  "usage: %s [--threads N] [--shards N] "
-                 "[--engine reference|vm] [--prune] [--json [FILE]]\n",
+                 "[--engine reference|vm|jit] [--prune] [--json [FILE]]\n",
                  Argv[0]);
     return 2;
   }
@@ -190,7 +183,7 @@ int main(int Argc, char **Argv) {
                "campaign; %s engine;\n warm = resubmission answered by the "
                "content-addressed memo store)\n\n",
                S.port(), C.Shards, C.Shards == 1 ? "" : "s",
-               C.UseVm ? "vm" : "reference");
+               C.Engine.c_str());
   std::fprintf(Out, "%-14s %11s %9s %9s %8s %7s %9s\n", "kernel",
                "injections", "cold(s)", "warm(s)", "speedup", "cache",
                "identical");
@@ -205,7 +198,7 @@ int main(int Argc, char **Argv) {
     Spec.Name = K.Name;
     Spec.Lang = "wile";
     Spec.Source = K.Source;
-    Spec.Engine = C.UseVm ? "vm" : "reference";
+    Spec.Engine = C.Engine;
     Spec.Prune = C.Prune;
     Spec.Shards = C.Shards;
 

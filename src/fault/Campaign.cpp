@@ -10,7 +10,9 @@
 #include "isa/ProgramHash.h"
 #include "support/StringUtils.h"
 #include "support/Unreachable.h"
+#include "vm/JitEngine.h"
 #include "vm/LaneEngine.h"
+#include "vm/LaneSimd.h"
 #include "vm/LaneState.h"
 
 #include <algorithm>
@@ -1116,6 +1118,16 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
 
   const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
   R.Stats.Engine = E.name();
+  // JIT-tier provenance: compilation stats are per-program constants; the
+  // side-exit counter is cumulative across the engine's lifetime, so this
+  // campaign's share is the delta over the classification phase.
+  const auto *JE = dynamic_cast<const vm::JitEngine *>(&E);
+  uint64_t JitExitsBefore = JE ? JE->sideExits() : 0;
+  if (JE) {
+    R.Stats.JitNative = JE->native();
+    R.Stats.JitBlocksCompiled = JE->blocksCompiled();
+    R.Stats.JitCodeBytes = JE->codeBytes();
+  }
   unsigned Threads = Opts.Threads
                          ? Opts.Threads
                          : std::max(1u, std::thread::hardware_concurrency());
@@ -1192,6 +1204,7 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
   if (UseLanes) {
     uint64_t Width = std::max(1u, Opts.LaneWidth);
     R.Stats.LaneWidth = (unsigned)Width;
+    R.Stats.SimdLaneWidth = vm::simd::laneWidth();
     vm::LaneEngine LE(Prog.code());
     bool DiffReplay =
         Converge && Conv.Accesses && Conv.Execs && !Conv.Execs->empty();
@@ -1612,6 +1625,8 @@ void classifyUntypedTasks(const Program &Prog, const TheoremConfig &Config,
       }
     }
   }
+  if (JE)
+    R.Stats.JitSideExits = JE->sideExits() - JitExitsBefore;
 }
 
 } // namespace
@@ -2045,6 +2060,13 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
 
   const ExecEngine &E = Opts.Engine ? *Opts.Engine : referenceEngine();
   R.Stats.Engine = E.name();
+  const auto *JE = dynamic_cast<const vm::JitEngine *>(&E);
+  uint64_t JitExitsBefore = JE ? JE->sideExits() : 0;
+  if (JE) {
+    R.Stats.JitNative = JE->native();
+    R.Stats.JitBlocksCompiled = JE->blocksCompiled();
+    R.Stats.JitCodeBytes = JE->codeBytes();
+  }
 
   Clock::time_point RefStart = Clock::now();
   Expected<MachineState> S0 = Spec.Prog->initialState();
@@ -2149,6 +2171,8 @@ CampaignResult talft::runInjectionPlans(const PlanCampaign &Spec,
   if (R.Stats.WallSeconds > 0)
     R.Stats.TriplesPerSecond =
         (double)Spec.Plans.size() / R.Stats.WallSeconds;
+  if (JE)
+    R.Stats.JitSideExits = JE->sideExits() - JitExitsBefore;
   return R;
 }
 
@@ -2198,6 +2222,13 @@ void talft::foldShardResult(CampaignResult &Acc, const CampaignResult &Shard,
   A.LaneTasks += B.LaneTasks;
   A.LaneDeviations += B.LaneDeviations;
   A.LaneLockstepSteps += B.LaneLockstepSteps;
+  // Compilation stats are per-program constants (identical in every
+  // shard); side exits are an activity sum.
+  A.JitNative = A.JitNative || B.JitNative;
+  A.JitBlocksCompiled = std::max(A.JitBlocksCompiled, B.JitBlocksCompiled);
+  A.JitCodeBytes = std::max(A.JitCodeBytes, B.JitCodeBytes);
+  A.JitSideExits += B.JitSideExits;
+  A.SimdLaneWidth = std::max(A.SimdLaneWidth, B.SimdLaneWidth);
   A.ShardCount = std::max(A.ShardCount, B.ShardCount);
   A.ShardIndex = std::min(A.ShardIndex, B.ShardIndex);
   A.ShardFirstTask = std::min(A.ShardFirstTask, B.ShardFirstTask);
@@ -2286,6 +2317,14 @@ std::string talft::campaignToJson(const CampaignResult &R, unsigned Indent) {
                    (unsigned long long)R.Stats.LaneTasks,
                    (unsigned long long)R.Stats.LaneDeviations,
                    (unsigned long long)R.Stats.LaneLockstepSteps);
+  S += P + formatv("  \"jit\": {\"native\": %s, \"blocks_compiled\": %llu, "
+                   "\"code_bytes\": %llu, \"side_exits\": %llu, "
+                   "\"simd_lane_width\": %u},\n",
+                   R.Stats.JitNative ? "true" : "false",
+                   (unsigned long long)R.Stats.JitBlocksCompiled,
+                   (unsigned long long)R.Stats.JitCodeBytes,
+                   (unsigned long long)R.Stats.JitSideExits,
+                   R.Stats.SimdLaneWidth);
   S += P + formatv("  \"shard\": {\"count\": %u, \"index\": %u, "
                    "\"first_task\": %llu, \"tasks\": %llu, "
                    "\"total_tasks\": %llu, \"folded\": %u},\n",

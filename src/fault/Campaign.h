@@ -286,6 +286,23 @@ struct CampaignStats {
   uint64_t LaneTasks = 0;
   uint64_t LaneDeviations = 0;
   uint64_t LaneLockstepSteps = 0;
+  /// True when the selected engine was the JIT tier (vm/JitEngine.h) and
+  /// it actually emitted native code; false under --engine jit on a host
+  /// without executable mappings (the campaign then ran on the embedded
+  /// vm fallback — Engine still reports "jit" so the fallback is visible
+  /// as JitNative == false).
+  bool JitNative = false;
+  /// Micro-ops lowered to native templates and the emitted code size.
+  /// Per-program constants, so foldShardResult takes the max, not the sum.
+  uint64_t JitBlocksCompiled = 0;
+  uint64_t JitCodeBytes = 0;
+  /// Native-to-driver transitions during this campaign. Like the lane
+  /// counters this describes the execution strategy, not the outcome:
+  /// thread scheduling and lane grouping legitimately change it.
+  uint64_t JitSideExits = 0;
+  /// int64 lanes per vector op in the batched lane banks (vm/LaneSimd.h):
+  /// 4 = AVX2, 2 = SSE2, 1 = portable scalar build.
+  unsigned SimdLaneWidth = 0;
   /// Shard provenance: which contiguous slice of the enumerated task list
   /// this result covers. ShardCount 1 / TotalTasks == Tasks describes an
   /// unsharded run; after foldShardResult, ShardsFolded counts the shard

@@ -70,6 +70,15 @@ public:
   /// of one pseudorandom word per (slot, colored value) pair.
   uint64_t fingerprint() const { return Fp; }
 
+  /// Raw dense-cell access for execution tiers that batch fingerprint
+  /// maintenance (the JIT writes cells natively, then the driver folds
+  /// old-cell ^ new-cell terms for the dirty slots in one pass). Callers
+  /// mutating through rawCells() own restoring the fingerprint invariant
+  /// via rawSetFingerprint() before the state is observed.
+  Value *rawCells() { return Regs.data(); }
+  const Value *rawCells() const { return Regs.data(); }
+  void rawSetFingerprint(uint64_t NewFp) { Fp = NewFp; }
+
   bool operator==(const RegisterFile &O) const = default;
 
 private:

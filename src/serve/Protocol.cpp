@@ -21,7 +21,7 @@ uint64_t talft::serve::optionsDigest(const SubmitSpec &S) {
   // Engine first: the table provably cannot depend on it, but the issue
   // of record is provenance — a vm-certified entry must not answer for a
   // reference-engine request.
-  Add(S.Engine == "reference" ? 1 : 2);
+  Add(S.Engine == "reference" ? 1 : S.Engine == "jit" ? 3 : 2);
   Add(S.Stride);
   Add(S.MaxSteps);
   Add(S.ExtraSteps);
@@ -75,9 +75,9 @@ bool talft::serve::specFromJson(const JsonValue &V, SubmitSpec &Out,
     return false;
   }
   Out.Engine = V.stringAt("engine", "vm");
-  if (Out.Engine != "vm" && Out.Engine != "reference") {
+  if (Out.Engine != "vm" && Out.Engine != "reference" && Out.Engine != "jit") {
     Err = "unknown engine \"" + Out.Engine +
-          "\" (expected \"vm\" or \"reference\")";
+          "\" (expected \"vm\", \"reference\" or \"jit\")";
     return false;
   }
   Out.Stride = V.u64At("stride", Out.Stride);
@@ -142,6 +142,8 @@ namespace {
 const char *internEngineName(const std::string &Name) {
   if (Name == "vm")
     return "vm";
+  if (Name == "jit")
+    return "jit";
   if (Name == "reference")
     return "reference";
   return "unknown";
@@ -192,6 +194,13 @@ bool talft::serve::campaignFromJson(const JsonValue &V, CampaignResult &R,
     R.Stats.LaneTasks = Lanes->u64At("lane_tasks", 0);
     R.Stats.LaneDeviations = Lanes->u64At("deviations", 0);
     R.Stats.LaneLockstepSteps = Lanes->u64At("lockstep_steps", 0);
+  }
+  if (const JsonValue *Jit = V.get("jit")) {
+    R.Stats.JitNative = Jit->boolAt("native", false);
+    R.Stats.JitBlocksCompiled = Jit->u64At("blocks_compiled", 0);
+    R.Stats.JitCodeBytes = Jit->u64At("code_bytes", 0);
+    R.Stats.JitSideExits = Jit->u64At("side_exits", 0);
+    R.Stats.SimdLaneWidth = (unsigned)Jit->u64At("simd_lane_width", 0);
   }
   if (const JsonValue *Shard = V.get("shard")) {
     R.Stats.ShardCount = (unsigned)Shard->u64At("count", 1);

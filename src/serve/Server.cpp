@@ -13,6 +13,7 @@
 #include "support/StringUtils.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 
 #include <algorithm>
@@ -619,6 +620,9 @@ void Server::runSubmission(int Fd, const SubmitSpec &Spec,
   const ExecEngine *E = &referenceEngine();
   if (Spec.Engine == "vm") {
     Vm = vm::createEngine(Prog->code());
+    E = Vm.get();
+  } else if (Spec.Engine == "jit") {
+    Vm = vm::createJitEngine(Prog->code());
     E = Vm.get();
   }
 

@@ -12,11 +12,15 @@
 #include "support/StringUtils.h"
 #include "tal/Parser.h"
 #include "vm/Engine.h"
+#include "vm/JitEngine.h"
 #include "wile/Codegen.h"
 
 #include <cerrno>
 #include <csignal>
 #include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -57,6 +61,62 @@ bool readAll(int Fd, void *Data, size_t Len) {
   return true;
 }
 
+/// One compiled program, kept alive across request frames. A worker
+/// serves many shards of the same submission back to back; recompiling
+/// (and, under the jit engine, re-emitting native code) per frame threw
+/// that work away N-shards times per submission. The entry owns the
+/// TypeContext its Program interns types into, and builds each engine at
+/// most once — engines are immutable after construction, so reuse across
+/// frames is safe by the same argument as reuse across campaign threads.
+struct CompiledEntry {
+  TypeContext TC;
+  std::optional<wile::CompiledProgram> Compiled;
+  std::optional<Program> Parsed;
+  const Program *Prog = nullptr;
+  std::string CompileError; // sticky: a source that failed once fails fast
+  std::unique_ptr<ExecEngine> Vm;
+  std::unique_ptr<ExecEngine> Jit;
+
+  const ExecEngine *engineFor(const std::string &Name) {
+    if (Name == "vm") {
+      if (!Vm)
+        Vm = vm::createEngine(Prog->code());
+      return Vm.get();
+    }
+    if (Name == "jit") {
+      if (!Jit)
+        Jit = vm::createJitEngine(Prog->code());
+      return Jit.get();
+    }
+    return nullptr; // reference interpreter: CampaignOptions' default
+  }
+};
+
+/// Decode-once cache, keyed by the exact (lang, source) pair — the same
+/// identity ProgramHash certifies, without needing a successful compile
+/// to name a failure. The worker loop is single-threaded, so no locking;
+/// FIFO eviction keeps a crashed-and-respawned worker's memory bounded
+/// when a server mixes many programs onto one worker.
+CompiledEntry *lookupCompiled(const std::string &Lang,
+                              const std::string &Source) {
+  static std::unordered_map<std::string, std::unique_ptr<CompiledEntry>> Cache;
+  static std::deque<std::string> Order;
+  constexpr size_t Capacity = 8;
+  std::string Key = Lang + '\n' + Source;
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second.get();
+  while (Cache.size() >= Capacity) {
+    Cache.erase(Order.front());
+    Order.pop_front();
+  }
+  auto Entry = std::make_unique<CompiledEntry>();
+  CompiledEntry *E = Entry.get();
+  Cache.emplace(Key, std::move(Entry));
+  Order.push_back(std::move(Key));
+  return E;
+}
+
 /// The child's whole job for one request frame. Returns the response
 /// payload (ok+campaign or a structured error object).
 std::string serveShardRequest(const std::string &Request) {
@@ -81,34 +141,40 @@ std::string serveShardRequest(const std::string &Request) {
   int ChaosSignal = (int)Doc->u64At("chaos_signal", 0);
 
   // Compile from source in this process: workers share nothing with the
-  // server, so a parser or codegen crash is contained too.
-  TypeContext TC;
-  DiagnosticEngine Diags;
-  std::optional<wile::CompiledProgram> Compiled;
-  std::optional<Program> Parsed;
-  const Program *Prog = nullptr;
-  if (Spec.Lang == "wile") {
-    Expected<wile::CompiledProgram> CP = wile::compileWile(
-        TC, Spec.Source, wile::CodegenMode::FaultTolerant, Diags);
-    if (!CP)
-      return Fail("compile_error", CP.message());
-    Compiled.emplace(std::move(*CP));
-    Prog = &Compiled->Prog;
-  } else {
-    Expected<Program> P = parseAndLayoutTalProgram(TC, Spec.Source, Diags);
-    if (!P)
-      return Fail("compile_error", P.message());
-    Parsed.emplace(std::move(*P));
-    Prog = &*Parsed;
+  // server, so a parser or codegen crash is contained too. The compile —
+  // and, for the vm/jit engines, the decode (and native code emission) —
+  // happens once per program per worker; every later shard of the same
+  // submission reuses the cached entry.
+  CompiledEntry *Entry = lookupCompiled(Spec.Lang, Spec.Source);
+  if (!Entry->CompileError.empty())
+    return Fail("compile_error", Entry->CompileError);
+  if (!Entry->Prog) {
+    DiagnosticEngine Diags;
+    if (Spec.Lang == "wile") {
+      Expected<wile::CompiledProgram> CP = wile::compileWile(
+          Entry->TC, Spec.Source, wile::CodegenMode::FaultTolerant, Diags);
+      if (!CP) {
+        Entry->CompileError = CP.message();
+        return Fail("compile_error", Entry->CompileError);
+      }
+      Entry->Compiled.emplace(std::move(*CP));
+      Entry->Prog = &Entry->Compiled->Prog;
+    } else {
+      Expected<Program> P =
+          parseAndLayoutTalProgram(Entry->TC, Spec.Source, Diags);
+      if (!P) {
+        Entry->CompileError = P.message();
+        return Fail("compile_error", Entry->CompileError);
+      }
+      Entry->Parsed.emplace(std::move(*P));
+      Entry->Prog = &*Entry->Parsed;
+    }
   }
+  const Program *Prog = Entry->Prog;
 
-  std::unique_ptr<ExecEngine> Vm;
   CampaignOptions CO;
   CO.Threads = Threads;
-  if (Spec.Engine == "vm") {
-    Vm = vm::createEngine(Prog->code());
-    CO.Engine = Vm.get();
-  }
+  CO.Engine = Entry->engineFor(Spec.Engine);
   applySpecOptions(Spec, CO);
   CO.ShardCount = ShardCount;
   CO.ShardIndex = ShardIndex;

@@ -1,0 +1,132 @@
+//===- support/ExecMem.cpp - W^X executable-memory arena ------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ExecMem.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TALFT_EXECMEM_POSIX 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+using namespace talft;
+
+ExecMem::~ExecMem() { release(); }
+
+ExecMem::ExecMem(ExecMem &&O) noexcept
+    : Base(O.Base), Cap(O.Cap), Exec(O.Exec) {
+  O.Base = nullptr;
+  O.Cap = 0;
+  O.Exec = false;
+}
+
+ExecMem &ExecMem::operator=(ExecMem &&O) noexcept {
+  if (this != &O) {
+    release();
+    Base = O.Base;
+    Cap = O.Cap;
+    Exec = O.Exec;
+    O.Base = nullptr;
+    O.Cap = 0;
+    O.Exec = false;
+  }
+  return *this;
+}
+
+size_t ExecMem::pageSize() {
+#if TALFT_EXECMEM_POSIX
+  long PS = sysconf(_SC_PAGESIZE);
+  return PS > 0 ? (size_t)PS : 4096;
+#else
+  return 4096;
+#endif
+}
+
+bool ExecMem::supported() {
+#if TALFT_EXECMEM_POSIX
+  // One-shot probe: some hardened environments grant PROT_WRITE mappings
+  // but refuse the later flip to PROT_EXEC; test the full cycle once.
+  static const bool Ok = [] {
+    size_t PS = pageSize();
+    void *P = mmap(nullptr, PS, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (P == MAP_FAILED)
+      return false;
+    bool Flip = mprotect(P, PS, PROT_READ | PROT_EXEC) == 0;
+    munmap(P, PS);
+    return Flip;
+  }();
+  return Ok;
+#else
+  return false;
+#endif
+}
+
+bool ExecMem::allocate(size_t Bytes) {
+#if TALFT_EXECMEM_POSIX
+  release();
+  if (Bytes == 0)
+    return false;
+  size_t PS = pageSize();
+  size_t Rounded = (Bytes + PS - 1) / PS * PS;
+  void *P = mmap(nullptr, Rounded, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Base = P;
+  Cap = Rounded;
+  Exec = false;
+  return true;
+#else
+  (void)Bytes;
+  return false;
+#endif
+}
+
+bool ExecMem::write(size_t Offset, const void *Code, size_t Len) {
+  if (!Base || Exec || Offset + Len > Cap)
+    return false;
+  std::memcpy(static_cast<uint8_t *>(Base) + Offset, Code, Len);
+  return true;
+}
+
+bool ExecMem::finalize() {
+#if TALFT_EXECMEM_POSIX
+  if (!Base || Exec)
+    return false;
+  if (mprotect(Base, Cap, PROT_READ | PROT_EXEC) != 0)
+    return false;
+  Exec = true;
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool ExecMem::reset() {
+#if TALFT_EXECMEM_POSIX
+  if (!Base || !Exec)
+    return false;
+  if (mprotect(Base, Cap, PROT_READ | PROT_WRITE) != 0)
+    return false;
+  Exec = false;
+  return true;
+#else
+  return false;
+#endif
+}
+
+void ExecMem::release() {
+#if TALFT_EXECMEM_POSIX
+  if (Base)
+    munmap(Base, Cap);
+#endif
+  Base = nullptr;
+  Cap = 0;
+  Exec = false;
+}

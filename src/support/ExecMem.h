@@ -1,0 +1,82 @@
+//===- support/ExecMem.h - W^X executable-memory arena --------------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A page-rounded arena for JIT-emitted machine code that honors the W^X
+/// discipline: the mapping is writable (RW) while code is being copied in
+/// and executable (RX, never RW+X) once finalized. reset() flips a
+/// finalized arena back to RW so it can be reused across campaigns without
+/// paying the mmap/munmap round trip.
+///
+/// On hosts without an mmap/mprotect pair (or when mapping fails, e.g.
+/// under a hardened kernel that refuses PROT_EXEC) the arena reports
+/// !valid() and the JIT tier falls back to the interpreter; nothing in the
+/// engine ladder depends on this succeeding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TALFT_SUPPORT_EXECMEM_H
+#define TALFT_SUPPORT_EXECMEM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace talft {
+
+/// One contiguous RW -> RX code mapping.
+class ExecMem {
+public:
+  ExecMem() = default;
+  ~ExecMem();
+
+  ExecMem(const ExecMem &) = delete;
+  ExecMem &operator=(const ExecMem &) = delete;
+  ExecMem(ExecMem &&O) noexcept;
+  ExecMem &operator=(ExecMem &&O) noexcept;
+
+  /// True when this process can map, write and then execute code pages at
+  /// all (compile-time OS support plus a one-shot runtime probe).
+  static bool supported();
+
+  /// The system page size the arena rounds to.
+  static size_t pageSize();
+
+  /// Maps at least \p Bytes of RW memory (rounded up to whole pages).
+  /// Returns false and leaves the arena invalid on failure.
+  bool allocate(size_t Bytes);
+
+  /// Copies \p Len bytes of code into the writable mapping at \p Offset.
+  /// Requires a valid, writable arena and Offset + Len <= capacity().
+  bool write(size_t Offset, const void *Code, size_t Len);
+
+  /// Flips the mapping RW -> RX. After this the arena is executable and
+  /// no longer writable.
+  bool finalize();
+
+  /// Flips a finalized mapping back to RW for reuse. Contents are
+  /// preserved; the caller overwrites and finalizes again.
+  bool reset();
+
+  bool valid() const { return Base != nullptr; }
+  bool executable() const { return Exec; }
+  /// Page-rounded capacity of the mapping (0 when invalid).
+  size_t capacity() const { return Cap; }
+  /// Base of the mapping (null when invalid).
+  const uint8_t *base() const { return static_cast<const uint8_t *>(Base); }
+  uint8_t *writableBase() { return Exec ? nullptr : static_cast<uint8_t *>(Base); }
+
+  /// Releases the mapping (idempotent).
+  void release();
+
+private:
+  void *Base = nullptr;
+  size_t Cap = 0;
+  bool Exec = false;
+};
+
+} // namespace talft
+
+#endif // TALFT_SUPPORT_EXECMEM_H

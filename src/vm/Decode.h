@@ -52,6 +52,19 @@ public:
   /// Number of decoded instructions.
   size_t size() const { return Count; }
 
+  /// Lowest code address (the array's index offset).
+  Addr base() const { return Base; }
+
+  /// Dense span of the array in address slots (holes included); slot I
+  /// corresponds to address base() + I.
+  size_t span() const { return Ops.size(); }
+
+  /// The micro-op at dense slot \p I (valid only when the slot is).
+  const MicroOp &opAtSlot(size_t I) const { return Ops[I]; }
+
+  /// Whether dense slot \p I holds a decoded instruction.
+  bool validSlot(size_t I) const { return Valid[I]; }
+
 private:
   const CodeMemory *Code;
   Addr Base = 0;

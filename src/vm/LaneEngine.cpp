@@ -26,8 +26,10 @@
 #include "vm/LaneEngine.h"
 
 #include "support/Unreachable.h"
+#include "vm/LaneSimd.h"
 #include "vm/LaneState.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -132,7 +134,23 @@ void LaneEngine::run(MachineState *States, unsigned N,
   // Retiring calls (Detect / Fallback) swap-remove the current active
   // slot, so the loops re-examine the slot instead of advancing.
   auto ExecAll = [&](const MicroOp &M, const Inst &I) {
-    auto AluRR = [&](auto F) {
+    // The ALU families never retire a lane, so the active set is stable
+    // across the op: when it spans the whole bank, one row-at-a-time SIMD
+    // pass (LaneSimd.h) replaces the per-lane loop — payload row op plus
+    // a color-row copy/fill, with the same deferred-fingerprint snapshot
+    // set() would take. Partially-retired groups keep the scalar loop,
+    // which doubles as the oracle for the row path.
+    auto AluRR = [&](auto F, void (*Rows)(int64_t *, const int64_t *,
+                                          const int64_t *, unsigned)) {
+      if (LS.fullWidthActive()) {
+        unsigned W = LS.width();
+        LS.beginRowWrite(M.Rd);
+        Rows(LS.rowV(M.Rd), LS.rowV(M.Rs), LS.rowV(M.Rt), W);
+        if (M.Rd != M.Rt)
+          std::copy_n(LS.rowC(M.Rt), W, LS.rowC(M.Rd));
+        LS.incrementPCs();
+        return;
+      }
       for (size_t K = 0; K != LS.numActive(); ++K) {
         unsigned L = LS.act(K);
         LS.set(M.Rd, L,
@@ -141,7 +159,16 @@ void LaneEngine::run(MachineState *States, unsigned N,
       }
       LS.incrementPCs();
     };
-    auto AluRI = [&](auto F) {
+    auto AluRI = [&](auto F, void (*RowImm)(int64_t *, const int64_t *,
+                                            int64_t, unsigned)) {
+      if (LS.fullWidthActive()) {
+        unsigned W = LS.width();
+        LS.beginRowWrite(M.Rd);
+        RowImm(LS.rowV(M.Rd), LS.rowV(M.Rs), M.ImmN, W);
+        std::fill_n(LS.rowC(M.Rd), W, M.ImmC);
+        LS.incrementPCs();
+        return;
+      }
       for (size_t K = 0; K != LS.numActive(); ++K) {
         unsigned L = LS.act(K);
         LS.set(M.Rd, L,
@@ -152,24 +179,32 @@ void LaneEngine::run(MachineState *States, unsigned N,
     };
     switch (M.Kind) {
     case MicroOpKind::AddRR:
-      AluRR([](uint64_t A, uint64_t B) { return A + B; });
+      AluRR([](uint64_t A, uint64_t B) { return A + B; }, &simd::addRows);
       return;
     case MicroOpKind::SubRR:
-      AluRR([](uint64_t A, uint64_t B) { return A - B; });
+      AluRR([](uint64_t A, uint64_t B) { return A - B; }, &simd::subRows);
       return;
     case MicroOpKind::MulRR:
-      AluRR([](uint64_t A, uint64_t B) { return A * B; });
+      AluRR([](uint64_t A, uint64_t B) { return A * B; }, &simd::mulRows);
       return;
     case MicroOpKind::AddRI:
-      AluRI([](uint64_t A, uint64_t B) { return A + B; });
+      AluRI([](uint64_t A, uint64_t B) { return A + B; }, &simd::addRowImm);
       return;
     case MicroOpKind::SubRI:
-      AluRI([](uint64_t A, uint64_t B) { return A - B; });
+      AluRI([](uint64_t A, uint64_t B) { return A - B; }, &simd::subRowImm);
       return;
     case MicroOpKind::MulRI:
-      AluRI([](uint64_t A, uint64_t B) { return A * B; });
+      AluRI([](uint64_t A, uint64_t B) { return A * B; }, &simd::mulRowImm);
       return;
     case MicroOpKind::Mov:
+      if (LS.fullWidthActive()) {
+        unsigned W = LS.width();
+        LS.beginRowWrite(M.Rd);
+        simd::fillRow(LS.rowV(M.Rd), M.ImmN, W);
+        std::fill_n(LS.rowC(M.Rd), W, M.ImmC);
+        LS.incrementPCs();
+        return;
+      }
       for (size_t K = 0; K != LS.numActive(); ++K)
         LS.set(M.Rd, LS.act(K), Value(M.ImmC, M.ImmN));
       LS.incrementPCs();

@@ -202,6 +202,33 @@ public:
     RegC[Slot] = V.C;
   }
 
+  /// True when the dense active set covers the entire bank, i.e. every
+  /// slot in [0, width()) is live. Row-at-a-time dispatch (LaneSimd.h) is
+  /// only valid then: a full-row write touches all Width cells, which is
+  /// observationally the per-active-lane write exactly when there are no
+  /// dead cells to clobber bookkeeping for.
+  bool fullWidthActive() const { return Act.size() == Width; }
+
+  /// Opens row \p I for a full-row write: takes the deferred-fingerprint
+  /// snapshot set() would take on the row's first write this window. The
+  /// caller then writes the row storage directly via rowV()/rowC().
+  void beginRowWrite(unsigned I) {
+    if (!RowDirty[I]) {
+      RowDirty[I] = 1;
+      DirtyRows.push_back(I);
+      size_t Row = size_t(I) * Width;
+      std::copy_n(&RegV[Row], Width, &SaveV[Row]);
+      std::copy_n(&RegC[Row], Width, &SaveC[Row]);
+    }
+  }
+
+  /// Raw storage of data-register row \p I ([I * Width, (I + 1) * Width)).
+  /// Writes require a preceding beginRowWrite(I) in the same window.
+  int64_t *rowV(unsigned I) { return &RegV[size_t(I) * Width]; }
+  const int64_t *rowV(unsigned I) const { return &RegV[size_t(I) * Width]; }
+  Color *rowC(unsigned I) { return &RegC[size_t(I) * Width]; }
+  const Color *rowC(unsigned I) const { return &RegC[size_t(I) * Width]; }
+
   /// Folds all deferred register writes into the active lanes' data-bank
   /// hashes: for each dirty row, each lane whose cell changed since the
   /// window opened XORs the old cell hash out and the new one in. Must run

@@ -1,0 +1,129 @@
+//===- tests/execmem_test.cpp - W^X executable-memory arena ---------------===//
+//
+// Part of the TALFT project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The support/ExecMem.h arena underneath the JIT tier: page rounding, the
+// RW -> RX finalize transition, write-after-finalize refusal, and reuse
+// through reset(). The execution checks run tiny hand-assembled x86-64
+// stubs and are skipped elsewhere; the bookkeeping checks run everywhere
+// the arena reports itself supported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ExecMem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+using namespace talft;
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64)
+constexpr bool HostIsX64 = true;
+#else
+constexpr bool HostIsX64 = false;
+#endif
+
+// mov eax, <imm32>; ret
+void emitReturnConst(uint8_t *Out, uint32_t Imm) {
+  Out[0] = 0xB8;
+  Out[1] = uint8_t(Imm);
+  Out[2] = uint8_t(Imm >> 8);
+  Out[3] = uint8_t(Imm >> 16);
+  Out[4] = uint8_t(Imm >> 24);
+  Out[5] = 0xC3;
+}
+
+uint32_t callStub(const uint8_t *Code) {
+  auto Fn = reinterpret_cast<uint32_t (*)()>(
+      reinterpret_cast<uintptr_t>(Code));
+  return Fn();
+}
+
+TEST(ExecMem, PageRoundingAndBookkeeping) {
+  if (!ExecMem::supported())
+    GTEST_SKIP() << "no executable mappings on this host";
+  size_t Page = ExecMem::pageSize();
+  ASSERT_GT(Page, 0u);
+  ASSERT_EQ(Page & (Page - 1), 0u) << "page size must be a power of two";
+
+  ExecMem M;
+  ASSERT_TRUE(M.allocate(1));
+  EXPECT_TRUE(M.valid());
+  EXPECT_FALSE(M.executable());
+  EXPECT_EQ(M.capacity(), Page) << "1 byte rounds up to one page";
+  EXPECT_NE(M.writableBase(), nullptr);
+
+  ExecMem Big;
+  ASSERT_TRUE(Big.allocate(Page + 1));
+  EXPECT_EQ(Big.capacity(), 2 * Page);
+}
+
+TEST(ExecMem, WriteFinalizeExecute) {
+  if (!ExecMem::supported() || !HostIsX64)
+    GTEST_SKIP() << "needs executable mappings on an x86-64 host";
+  ExecMem M;
+  ASSERT_TRUE(M.allocate(64));
+  uint8_t Stub[6];
+  emitReturnConst(Stub, 42);
+  ASSERT_TRUE(M.write(0, Stub, sizeof(Stub)));
+  ASSERT_TRUE(M.finalize());
+  EXPECT_TRUE(M.executable());
+  EXPECT_EQ(M.writableBase(), nullptr) << "no writes once executable";
+  EXPECT_FALSE(M.write(8, Stub, sizeof(Stub)))
+      << "W^X: writes must be refused after finalize";
+  EXPECT_EQ(callStub(M.base()), 42u);
+}
+
+TEST(ExecMem, ResetPreservesContentsAndAllowsRewrite) {
+  if (!ExecMem::supported() || !HostIsX64)
+    GTEST_SKIP() << "needs executable mappings on an x86-64 host";
+  ExecMem M;
+  ASSERT_TRUE(M.allocate(64));
+  uint8_t Stub[6];
+  emitReturnConst(Stub, 7);
+  ASSERT_TRUE(M.write(0, Stub, sizeof(Stub)));
+  ASSERT_TRUE(M.finalize());
+  ASSERT_EQ(callStub(M.base()), 7u);
+
+  // Reuse: drop back to RW, patch, refinalize.
+  ASSERT_TRUE(M.reset());
+  EXPECT_FALSE(M.executable());
+  ASSERT_NE(M.writableBase(), nullptr);
+  EXPECT_EQ(M.writableBase()[0], 0xB8)
+      << "reset must preserve previously written code";
+  emitReturnConst(Stub, 1000000);
+  ASSERT_TRUE(M.write(0, Stub, sizeof(Stub)));
+  ASSERT_TRUE(M.finalize());
+  EXPECT_EQ(callStub(M.base()), 1000000u);
+}
+
+TEST(ExecMem, OutOfBoundsWriteRefused) {
+  if (!ExecMem::supported())
+    GTEST_SKIP() << "no executable mappings on this host";
+  ExecMem M;
+  ASSERT_TRUE(M.allocate(16));
+  uint8_t Byte = 0x90;
+  EXPECT_TRUE(M.write(M.capacity() - 1, &Byte, 1));
+  EXPECT_FALSE(M.write(M.capacity(), &Byte, 1));
+  EXPECT_FALSE(M.write(M.capacity() - 1, &Byte, 2));
+}
+
+TEST(ExecMem, MoveTransfersOwnership) {
+  if (!ExecMem::supported())
+    GTEST_SKIP() << "no executable mappings on this host";
+  ExecMem A;
+  ASSERT_TRUE(A.allocate(32));
+  const uint8_t *Base = A.base();
+  ExecMem B = std::move(A);
+  EXPECT_FALSE(A.valid());
+  EXPECT_TRUE(B.valid());
+  EXPECT_EQ(B.base(), Base);
+}
+
+} // namespace

@@ -36,14 +36,14 @@
 //   talft-serve --client --port N [--host H]
 //       (--submit-kernel NAME | --submit-file FILE [--lang wile|tal]
 //        | --stats | --ping)
-//       [--engine vm|reference] [--stride N] [--shards N] [--prune]
+//       [--engine vm|reference|jit] [--stride N] [--shards N] [--prune]
 //       [--no-converge] [--no-lanes] [--lane-width N] [--recover]
 //       [--checkpoint-interval N] [--retry-budget N] [--deadline-ms N]
 //       [--json FILE]
 //
 // submits a Figure 10 kernel by name (wile/Kernels.h) or a source file,
 // prints the streamed events' summary, and with --json writes the served
-// campaign as a talft-fault-campaign-v7 document — the same renderer the
+// campaign as a talft-fault-campaign-v8 document — the same renderer the
 // batch CLI uses, so the two are diffable field by field.
 //
 // Exit status: 0 success (campaign ok, or stats/ping answered); 1 when
